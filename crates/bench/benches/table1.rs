@@ -1,0 +1,74 @@
+//! Criterion benchmarks for the computations behind **Table I**: the
+//! safe-control-rate / energy evaluation loop and the two pipeline stages
+//! (PPO mixing, distillation) at reduced-but-representative sizes.
+//!
+//! The `table1` *binary* regenerates the paper's numbers; this bench
+//! measures how fast the underlying machinery runs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cocktail_core::experts::{cloned_experts, reference_laws};
+use cocktail_core::metrics::{evaluate, EvalConfig};
+use cocktail_core::pipeline::Cocktail;
+use cocktail_core::{Preset, SystemId};
+use cocktail_distill::{direct_distill, DistillConfig, TeacherDataset};
+
+fn bench_evaluation(c: &mut Criterion) {
+    // the Table I evaluation kernel: closed-loop S_r / e estimation
+    let mut group = c.benchmark_group("table1/evaluate");
+    for sys_id in SystemId::all() {
+        let sys = sys_id.dynamics();
+        let (law1, _) = reference_laws(sys_id);
+        let controller = law1.controller("bench");
+        group.bench_function(sys_id.label(), |b| {
+            b.iter(|| {
+                evaluate(
+                    sys.as_ref(),
+                    black_box(&controller),
+                    &EvalConfig { samples: 50, ..Default::default() },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline_stages(c: &mut Criterion) {
+    let sys_id = SystemId::Oscillator;
+    let experts = cloned_experts(sys_id, 0);
+
+    let mut group = c.benchmark_group("table1/pipeline");
+    group.sample_size(10);
+    group.bench_function("smoke_mixing_and_distillation", |b| {
+        b.iter(|| {
+            Cocktail::new(sys_id, experts.clone())
+                .with_config(Preset::Smoke.config())
+                .run()
+        })
+    });
+    group.finish();
+
+    // distillation alone, over a fixed teacher dataset
+    let sys = sys_id.dynamics();
+    let (law1, _) = reference_laws(sys_id);
+    let teacher = law1.controller("teacher");
+    let data = TeacherDataset::sample_uniform(&teacher, &sys.verification_domain(), 512, 0);
+    let mut group = c.benchmark_group("table1/distill");
+    group.sample_size(10);
+    group.bench_function("direct_512x50", |b| {
+        b.iter(|| {
+            direct_distill(
+                black_box(&data),
+                &DistillConfig { epochs: 50, hidden: 16, ..Default::default() },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_evaluation, bench_pipeline_stages
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benchmarks for the computations behind **Table II**: FGSM
+//! direction generation and attacked closed-loop evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use cocktail_core::experts::reference_laws;
+use cocktail_core::metrics::{evaluate, EvalConfig};
+use cocktail_core::SystemId;
+use cocktail_distill::{fgsm_direction, AttackModel};
+use cocktail_env::Dynamics;
+
+fn bench_fgsm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/fgsm_direction");
+    for sys_id in SystemId::all() {
+        let sys = sys_id.dynamics();
+        let (law1, _) = reference_laws(sys_id);
+        let controller = law1.controller("bench");
+        let s = sys.initial_set().center();
+        group.bench_function(sys_id.label(), |b| {
+            b.iter(|| fgsm_direction(black_box(&controller), black_box(&s)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_attacked_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/attacked_evaluate");
+    group.sample_size(10);
+    for sys_id in SystemId::all() {
+        let sys = sys_id.dynamics();
+        let (law1, _) = reference_laws(sys_id);
+        let controller = law1.controller("bench");
+        for (name, adversarial) in [("fgsm", true), ("noise", false)] {
+            let attack = AttackModel::scaled_to(&sys.verification_domain(), 0.12, adversarial);
+            group.bench_function(format!("{}/{}", sys_id.label(), name), |b| {
+                b.iter(|| {
+                    evaluate(
+                        sys.as_ref(),
+                        black_box(&controller),
+                        &EvalConfig { samples: 25, attack: attack.clone(), ..Default::default() },
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fgsm, bench_attacked_evaluation
+}
+criterion_main!(benches);

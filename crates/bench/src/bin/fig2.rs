@@ -1,0 +1,42 @@
+//! Regenerates **Fig. 2**: the normalized control signal `u(t)/U_sup`
+//! of `κ_D` vs `κ*` while the system is under FGSM adversarial attack.
+//!
+//! Prints an ASCII sparkline per controller and writes the full series to
+//! the JSON artifact.
+//!
+//! ```text
+//! cargo run --release -p cocktail-bench --bin fig2
+//! ```
+
+use cocktail_bench::{save_artifact, selected_systems};
+use cocktail_core::experiment::{build_controller_set, fig2_trace, Fig2Trace, Preset};
+use cocktail_core::report::sparkline;
+
+const ATTACK_FRACTION: f64 = 0.12;
+
+fn mean_abs(series: &[f64]) -> f64 {
+    series.iter().map(|v| v.abs()).sum::<f64>() / series.len().max(1) as f64
+}
+
+fn main() {
+    let preset = Preset::from_env(Preset::Full);
+    let mut artifacts: Vec<Fig2Trace> = Vec::new();
+    for sys_id in selected_systems() {
+        println!("== {} (preset {preset:?}, FGSM δ fraction = {ATTACK_FRACTION}) ==", sys_id.label());
+        let set = build_controller_set(sys_id, preset, 0);
+        let trace = fig2_trace(&set, ATTACK_FRACTION, 42);
+        println!(
+            "kappa_D    |u|/U mean {:.3}\n{}",
+            mean_abs(&trace.kappa_d),
+            sparkline(&trace.kappa_d)
+        );
+        println!(
+            "kappa_star |u|/U mean {:.3}\n{}",
+            mean_abs(&trace.kappa_star),
+            sparkline(&trace.kappa_star)
+        );
+        println!();
+        artifacts.push(trace);
+    }
+    save_artifact("fig2.json", &artifacts);
+}

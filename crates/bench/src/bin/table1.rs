@@ -1,0 +1,40 @@
+//! Regenerates **Table I**: safe control rate `S_r`, control energy `e`
+//! and Lipschitz constant `L` for `κ₁, κ₂, A_S, A_W, κ_D, κ*` on the
+//! three benchmark systems.
+//!
+//! ```text
+//! cargo run --release -p cocktail-bench --bin table1
+//! COCKTAIL_FAST=1 COCKTAIL_SYSTEMS=oscillator cargo run -p cocktail-bench --bin table1
+//! ```
+
+use cocktail_bench::{save_artifact, selected_systems};
+use cocktail_core::experiment::{build_controller_set, table1_rows, Preset, Table1Row};
+use cocktail_core::report::render_table1_text;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Table1Artifact {
+    system: String,
+    preset: String,
+    rows: Vec<Table1Row>,
+}
+
+fn main() {
+    let preset = Preset::from_env(Preset::Full);
+    let mut artifacts = Vec::new();
+    for sys_id in selected_systems() {
+        let started = Instant::now();
+        println!("== {} (preset {preset:?}) ==", sys_id.label());
+        let set = build_controller_set(sys_id, preset, 0);
+        let rows = table1_rows(&set, preset.eval_samples(), 42);
+        print!("{}", render_table1_text(&rows));
+        println!("[{}] pipeline+eval in {:.1?}\n", sys_id.label(), started.elapsed());
+        artifacts.push(Table1Artifact {
+            system: sys_id.label().to_owned(),
+            preset: format!("{preset:?}"),
+            rows,
+        });
+    }
+    save_artifact("table1.json", &artifacts);
+}

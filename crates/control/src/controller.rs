@@ -1,0 +1,68 @@
+//! The feedback-controller trait.
+
+use cocktail_math::BoxRegion;
+
+/// A state-feedback controller `u = κ(s)`.
+///
+/// The trait is object-safe; the experiment harness stores experts and
+/// students as `Arc<dyn Controller>`.
+///
+/// Implementations are pure functions of the observed state — perturbations
+/// and clipping are handled by the rollout driver — but may internally be
+/// neural networks, polynomials, gain matrices or compositions of other
+/// controllers.
+pub trait Controller: Send + Sync {
+    /// Computes the control input for the observed state.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `s.len() != self.state_dim()`.
+    fn control(&self, s: &[f64]) -> Vec<f64>;
+
+    /// Expected state dimension.
+    fn state_dim(&self) -> usize;
+
+    /// Produced control dimension.
+    fn control_dim(&self) -> usize;
+
+    /// A human-readable label (`"kappa1"`, `"A_W"`, …).
+    fn name(&self) -> &str;
+
+    /// An upper bound on the controller's Lipschitz constant over `domain`
+    /// (2-norm), or `None` when the bound is not computable — the paper
+    /// marks `A_S` and `A_W` with "-" in Table I for exactly this reason.
+    fn lipschitz(&self, domain: &BoxRegion) -> Option<f64>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Zero;
+
+    impl Controller for Zero {
+        fn control(&self, s: &[f64]) -> Vec<f64> {
+            assert_eq!(s.len(), 2);
+            vec![0.0]
+        }
+        fn state_dim(&self) -> usize {
+            2
+        }
+        fn control_dim(&self) -> usize {
+            1
+        }
+        fn name(&self) -> &str {
+            "zero"
+        }
+        fn lipschitz(&self, _domain: &BoxRegion) -> Option<f64> {
+            Some(0.0)
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let c: Box<dyn Controller> = Box::new(Zero);
+        assert_eq!(c.control(&[1.0, 2.0]), vec![0.0]);
+        assert_eq!(c.lipschitz(&BoxRegion::cube(2, -1.0, 1.0)), Some(0.0));
+    }
+}

@@ -1,0 +1,128 @@
+//! Linear state-feedback controllers.
+
+use crate::controller::Controller;
+use cocktail_math::{BoxRegion, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// The affine feedback law `u = −K s + b`.
+///
+/// Used to manufacture deterministic, intentionally suboptimal experts (the
+/// paper's experts "are not necessary to be optimal") and as the target of
+/// behavior cloning into [`crate::NnController`]s. The bias term models a
+/// systematically miscalibrated controller — e.g. one trained by a
+/// different team against a drifted actuator model — and is the kind of
+/// structured flaw adaptive *mixing* can cancel while *switching* cannot.
+///
+/// # Examples
+///
+/// ```
+/// use cocktail_control::{Controller, LinearFeedbackController};
+/// use cocktail_math::Matrix;
+///
+/// let k = LinearFeedbackController::new(Matrix::from_rows(vec![vec![1.0, 2.0]]));
+/// assert_eq!(k.control(&[3.0, -1.0]), vec![-1.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearFeedbackController {
+    gain: Matrix,
+    bias: Vec<f64>,
+    label: String,
+}
+
+impl LinearFeedbackController {
+    /// Creates `u = −gain · s` (no bias).
+    pub fn new(gain: Matrix) -> Self {
+        let bias = vec![0.0; gain.rows()];
+        Self { gain, bias, label: "linear-feedback".to_owned() }
+    }
+
+    /// Creates the controller with a custom label.
+    pub fn with_name(gain: Matrix, label: impl Into<String>) -> Self {
+        let bias = vec![0.0; gain.rows()];
+        Self { gain, bias, label: label.into() }
+    }
+
+    /// Creates the biased law `u = −gain · s + bias`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != gain.rows()`.
+    pub fn with_bias(gain: Matrix, bias: Vec<f64>, label: impl Into<String>) -> Self {
+        assert_eq!(bias.len(), gain.rows(), "bias length must match control dimension");
+        Self { gain, bias, label: label.into() }
+    }
+
+    /// The gain matrix `K`.
+    pub fn gain(&self) -> &Matrix {
+        &self.gain
+    }
+
+    /// The bias vector `b`.
+    pub fn bias(&self) -> &[f64] {
+        &self.bias
+    }
+}
+
+impl Controller for LinearFeedbackController {
+    fn control(&self, s: &[f64]) -> Vec<f64> {
+        let mut u = cocktail_math::vector::scale(&self.gain.matvec(s), -1.0);
+        cocktail_math::vector::axpy_inplace(&mut u, 1.0, &self.bias);
+        u
+    }
+
+    fn state_dim(&self) -> usize {
+        self.gain.cols()
+    }
+
+    fn control_dim(&self) -> usize {
+        self.gain.rows()
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn lipschitz(&self, _domain: &BoxRegion) -> Option<f64> {
+        Some(self.gain.spectral_norm())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_is_negative_gain_product() {
+        let k = LinearFeedbackController::new(Matrix::from_rows(vec![vec![2.0, 0.0], vec![0.0, 3.0]]));
+        assert_eq!(k.control(&[1.0, -1.0]), vec![-2.0, 3.0]);
+        assert_eq!(k.state_dim(), 2);
+        assert_eq!(k.control_dim(), 2);
+    }
+
+    #[test]
+    fn lipschitz_is_gain_spectral_norm() {
+        let k = LinearFeedbackController::new(Matrix::from_rows(vec![vec![3.0, 4.0]]));
+        let l = k.lipschitz(&BoxRegion::cube(2, -1.0, 1.0)).expect("linear always bounded");
+        assert!((l - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn custom_label() {
+        let k = LinearFeedbackController::with_name(Matrix::identity(2), "kappa1");
+        assert_eq!(k.name(), "kappa1");
+    }
+
+    #[test]
+    fn bias_shifts_output() {
+        let k = LinearFeedbackController::with_bias(
+            Matrix::from_rows(vec![vec![1.0, 0.0]]),
+            vec![5.0],
+            "biased",
+        );
+        assert_eq!(k.control(&[2.0, 0.0]), vec![3.0]);
+        assert_eq!(k.bias(), &[5.0]);
+        // bias does not change the Lipschitz constant
+        let l = k.lipschitz(&BoxRegion::cube(2, -1.0, 1.0)).expect("linear");
+        assert!((l - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,316 @@
+//! Discrete-time LQR synthesis and numerical linearization.
+//!
+//! The paper's experts can come from "well-established model-based
+//! approaches, such as MPC or LQR"; this module provides that expert
+//! family: linearize any [`Dynamics`] around an equilibrium by central
+//! finite differences, then synthesize the infinite-horizon discrete LQR
+//! gain by iterating the Riccati difference equation to its fixed point.
+//! The result plugs straight into [`LinearFeedbackController`] (and from
+//! there into behavior cloning or adaptive mixing).
+
+use crate::linear::LinearFeedbackController;
+use cocktail_env::Dynamics;
+use cocktail_math::linalg::{inverse, SingularMatrixError};
+use cocktail_math::Matrix;
+use std::error::Error;
+use std::fmt;
+
+/// Why LQR synthesis failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthesizeLqrError {
+    /// The Riccati recursion hit a singular `R + Bᵀ P B`.
+    Singular,
+    /// The recursion did not converge within the iteration cap — the
+    /// linearized pair is likely unstabilizable or the weights degenerate.
+    NotConverged {
+        /// Final change between successive `P` iterates.
+        residual: f64,
+    },
+}
+
+impl fmt::Display for SynthesizeLqrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesizeLqrError::Singular => {
+                f.write_str("riccati recursion hit a singular R + B'PB")
+            }
+            SynthesizeLqrError::NotConverged { residual } => {
+                write!(f, "riccati recursion did not converge (residual {residual:.3e})")
+            }
+        }
+    }
+}
+
+impl Error for SynthesizeLqrError {}
+
+#[doc(hidden)]
+impl From<SingularMatrixError> for SynthesizeLqrError {
+    fn from(_: SingularMatrixError) -> Self {
+        SynthesizeLqrError::Singular
+    }
+}
+
+/// A discrete-time linearization `s' ≈ A s + B u + c` of a plant around
+/// `(s_eq, u_eq)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linearization {
+    /// State Jacobian `∂f/∂s`.
+    pub a: Matrix,
+    /// Input Jacobian `∂f/∂u`.
+    pub b: Matrix,
+    /// Drift `f(s_eq, u_eq) − s_eq` (zero at a true equilibrium).
+    pub drift: Vec<f64>,
+}
+
+/// Linearizes a plant's one-step map by central finite differences
+/// (disturbance held at zero).
+///
+/// # Panics
+///
+/// Panics if `s_eq`/`u_eq` dimensions disagree with the plant.
+///
+/// # Examples
+///
+/// ```
+/// use cocktail_control::lqr::linearize;
+/// use cocktail_env::systems::VanDerPol;
+///
+/// let lin = linearize(&VanDerPol::new(), &[0.0, 0.0], &[0.0]);
+/// // ds1' / ds2 = τ = 0.05
+/// assert!((lin.a[(0, 1)] - 0.05).abs() < 1e-6);
+/// assert!(lin.drift.iter().all(|d| d.abs() < 1e-9));
+/// ```
+pub fn linearize(sys: &dyn Dynamics, s_eq: &[f64], u_eq: &[f64]) -> Linearization {
+    assert_eq!(s_eq.len(), sys.state_dim(), "state dimension mismatch");
+    assert_eq!(u_eq.len(), sys.control_dim(), "control dimension mismatch");
+    let n = sys.state_dim();
+    let m = sys.control_dim();
+    let omega = vec![0.0; sys.disturbance_dim()];
+    let h = 1e-6;
+
+    let mut a = Matrix::zeros(n, n);
+    for j in 0..n {
+        let mut sp = s_eq.to_vec();
+        sp[j] += h;
+        let mut sm = s_eq.to_vec();
+        sm[j] -= h;
+        let fp = sys.step(&sp, u_eq, &omega);
+        let fm = sys.step(&sm, u_eq, &omega);
+        for i in 0..n {
+            a[(i, j)] = (fp[i] - fm[i]) / (2.0 * h);
+        }
+    }
+    let mut b = Matrix::zeros(n, m);
+    for j in 0..m {
+        let mut up = u_eq.to_vec();
+        up[j] += h;
+        let mut um = u_eq.to_vec();
+        um[j] -= h;
+        let fp = sys.step(s_eq, &up, &omega);
+        let fm = sys.step(s_eq, &um, &omega);
+        for i in 0..n {
+            b[(i, j)] = (fp[i] - fm[i]) / (2.0 * h);
+        }
+    }
+    let f0 = sys.step(s_eq, u_eq, &omega);
+    let drift = cocktail_math::vector::sub(&f0, s_eq);
+    Linearization { a, b, drift }
+}
+
+/// Infinite-horizon discrete LQR: minimizes `Σ (sᵀQs + uᵀRu)` for
+/// `s' = As + Bu`, returning the gain `K` of the optimal law `u = −Ks`.
+///
+/// Solved by iterating the Riccati difference equation
+/// `P ← Q + Aᵀ(P − PB(R + BᵀPB)⁻¹BᵀP)A` from `P = Q` until the update
+/// falls below `1e-10` (or 10 000 iterations).
+///
+/// # Errors
+///
+/// [`SynthesizeLqrError::Singular`] when `R + BᵀPB` becomes singular;
+/// [`SynthesizeLqrError::NotConverged`] for unstabilizable pairs.
+///
+/// # Panics
+///
+/// Panics on dimension mismatches among `A`, `B`, `Q`, `R`.
+pub fn dlqr(a: &Matrix, b: &Matrix, q: &Matrix, r: &Matrix) -> Result<Matrix, SynthesizeLqrError> {
+    let n = a.rows();
+    let m = b.cols();
+    assert_eq!(a.cols(), n, "A must be square");
+    assert_eq!(b.rows(), n, "B row count must match A");
+    assert_eq!(q.shape(), (n, n), "Q must be n x n");
+    assert_eq!(r.shape(), (m, m), "R must be m x m");
+
+    let bt = b.transpose();
+    let mut p = q.clone();
+    for _ in 0..10_000 {
+        // K = (R + BᵀPB)⁻¹ BᵀPA
+        let btp = bt.matmul(&p);
+        let gram = {
+            let mut g = btp.matmul(b);
+            g.axpy(1.0, r);
+            g
+        };
+        let k = inverse(&gram)?.matmul(&btp).matmul(a);
+        // P' = Q + Kᵀ R K + (A − BK)ᵀ P (A − BK)
+        let a_cl = {
+            let mut acl = a.clone();
+            acl.axpy(-1.0, &b.matmul(&k));
+            acl
+        };
+        let mut p_next = q.clone();
+        p_next.axpy(1.0, &k.transpose().matmul(r).matmul(&k));
+        p_next.axpy(1.0, &a_cl.transpose().matmul(&p).matmul(&a_cl));
+
+        let diff = (&p_next - &p).max_abs();
+        let scale = p_next.max_abs().max(1.0);
+        if !diff.is_finite() || !scale.is_finite() {
+            return Err(SynthesizeLqrError::NotConverged { residual: diff });
+        }
+        p = p_next;
+        if diff <= 1e-10 * scale {
+            let btp = bt.matmul(&p);
+            let gram = {
+                let mut g = btp.matmul(b);
+                g.axpy(1.0, r);
+                g
+            };
+            return Ok(inverse(&gram)?.matmul(&btp).matmul(a));
+        }
+    }
+    Err(SynthesizeLqrError::NotConverged {
+        residual: f64::NAN,
+    })
+}
+
+/// Convenience: linearize `sys` at the origin and synthesize the LQR
+/// controller `u = −K s` for diagonal weights.
+///
+/// # Errors
+///
+/// Propagates [`dlqr`] failures.
+///
+/// # Panics
+///
+/// Panics if the weight slices do not match the plant's dimensions or
+/// contain non-positive entries.
+pub fn lqr_controller(
+    sys: &dyn Dynamics,
+    state_weights: &[f64],
+    control_weights: &[f64],
+    label: &str,
+) -> Result<LinearFeedbackController, SynthesizeLqrError> {
+    assert_eq!(state_weights.len(), sys.state_dim(), "state weight length mismatch");
+    assert_eq!(control_weights.len(), sys.control_dim(), "control weight length mismatch");
+    assert!(state_weights.iter().all(|&w| w > 0.0), "state weights must be positive");
+    assert!(control_weights.iter().all(|&w| w > 0.0), "control weights must be positive");
+    let s_eq = vec![0.0; sys.state_dim()];
+    let u_eq = vec![0.0; sys.control_dim()];
+    let lin = linearize(sys, &s_eq, &u_eq);
+    let q = Matrix::from_fn(sys.state_dim(), sys.state_dim(), |i, j| {
+        if i == j {
+            state_weights[i]
+        } else {
+            0.0
+        }
+    });
+    let r = Matrix::from_fn(sys.control_dim(), sys.control_dim(), |i, j| {
+        if i == j {
+            control_weights[i]
+        } else {
+            0.0
+        }
+    });
+    let k = dlqr(&lin.a, &lin.b, &q, &r)?;
+    Ok(LinearFeedbackController::with_name(k, label))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::Controller;
+    use cocktail_env::systems::{CartPole, VanDerPol};
+    use cocktail_math::linalg::spectral_radius;
+
+    #[test]
+    fn linearize_vdp_matches_analytic_jacobian() {
+        let sys = VanDerPol::new();
+        let lin = linearize(&sys, &[0.0, 0.0], &[0.0]);
+        // at the origin: A = [[1, τ], [-τ, 1+τ]], B = [0, τ]ᵀ
+        let tau = 0.05;
+        assert!((lin.a[(0, 0)] - 1.0).abs() < 1e-6);
+        assert!((lin.a[(0, 1)] - tau).abs() < 1e-6);
+        assert!((lin.a[(1, 0)] + tau).abs() < 1e-6);
+        assert!((lin.a[(1, 1)] - (1.0 + tau)).abs() < 1e-6);
+        assert!(lin.b[(0, 0)].abs() < 1e-6);
+        assert!((lin.b[(1, 0)] - tau).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linearize_detects_equilibrium_drift() {
+        let sys = VanDerPol::new();
+        // not an equilibrium: drift must be non-zero
+        let lin = linearize(&sys, &[1.0, 0.5], &[0.0]);
+        assert!(cocktail_math::vector::norm_2(&lin.drift) > 1e-3);
+    }
+
+    #[test]
+    fn dlqr_stabilizes_double_integrator() {
+        // s' = [[1, 0.1], [0, 1]] s + [0.005, 0.1]ᵀ u
+        let a = Matrix::from_rows(vec![vec![1.0, 0.1], vec![0.0, 1.0]]);
+        let b = Matrix::from_rows(vec![vec![0.005], vec![0.1]]);
+        let q = Matrix::identity(2);
+        let r = Matrix::from_rows(vec![vec![1.0]]);
+        let k = dlqr(&a, &b, &q, &r).expect("stabilizable");
+        let mut a_cl = a.clone();
+        a_cl.axpy(-1.0, &b.matmul(&k));
+        assert!(spectral_radius(&a_cl) < 1.0, "closed loop must be Schur stable");
+    }
+
+    #[test]
+    fn dlqr_gain_grows_with_state_weight() {
+        let a = Matrix::from_rows(vec![vec![1.0, 0.1], vec![0.0, 1.0]]);
+        let b = Matrix::from_rows(vec![vec![0.005], vec![0.1]]);
+        let r = Matrix::from_rows(vec![vec![1.0]]);
+        let k_soft = dlqr(&a, &b, &Matrix::identity(2), &r).expect("ok");
+        let k_hard = dlqr(&a, &b, &(&Matrix::identity(2) * 100.0), &r).expect("ok");
+        assert!(k_hard.frobenius_norm() > k_soft.frobenius_norm());
+    }
+
+    #[test]
+    fn lqr_stabilizes_cartpole_simulation() {
+        let sys = CartPole::new();
+        let controller =
+            lqr_controller(&sys, &[1.0, 1.0, 10.0, 1.0], &[0.1], "lqr-cartpole").expect("ok");
+        // simulate from a tilted start: the pole must stay up
+        let mut s = vec![0.1, 0.0, 0.1, 0.0];
+        for _ in 0..400 {
+            let u = sys.clip_control(&controller.control(&s));
+            s = sys.step(&s, &u, &[]);
+            assert!(sys.is_safe(&s), "LQR lost the pole at {s:?}");
+        }
+        assert!(s[2].abs() < 0.05, "pole should be nearly upright, got {s:?}");
+    }
+
+    #[test]
+    fn lqr_stabilizes_vdp_simulation() {
+        let sys = VanDerPol::new();
+        let controller = lqr_controller(&sys, &[1.0, 1.0], &[0.5], "lqr-vdp").expect("ok");
+        let mut s = vec![1.5, 1.5];
+        for _ in 0..300 {
+            let u = sys.clip_control(&controller.control(&s));
+            s = sys.step(&s, &u, &[0.0]);
+        }
+        assert!(cocktail_math::vector::norm_2(&s) < 0.2, "VdP not regulated: {s:?}");
+    }
+
+    #[test]
+    fn unstabilizable_pair_is_rejected() {
+        // B = 0: nothing to control, and A is unstable
+        let a = Matrix::from_rows(vec![vec![2.0, 0.0], vec![0.0, 2.0]]);
+        let b = Matrix::from_rows(vec![vec![0.0], vec![0.0]]);
+        let q = Matrix::identity(2);
+        let r = Matrix::from_rows(vec![vec![1.0]]);
+        let result = dlqr(&a, &b, &q, &r);
+        assert!(result.is_err(), "uncontrollable system must not converge");
+    }
+}

@@ -1,0 +1,297 @@
+//! Sampling-based model-predictive control.
+//!
+//! The paper lists MPC alongside LQR as the model-based expert families
+//! ("well-established model-based approaches, such as model-predictive
+//! control (MPC) or linear quadratic regulator (LQR)"). This module
+//! implements a cross-entropy-method (CEM) MPC: at every step it samples
+//! candidate control sequences over a short horizon, rolls them out
+//! through the plant model, refits the sampling distribution to the elite
+//! fraction, and applies the first control of the best sequence.
+//!
+//! CEM-MPC requires no gradients and handles the control bounds and the
+//! nonconvex safe-region cost directly, at the price of per-step compute —
+//! which is exactly the storage/compute burden the paper's distillation
+//! step exists to remove.
+
+use crate::controller::Controller;
+use cocktail_env::Dynamics;
+use cocktail_math::BoxRegion;
+use std::sync::{Arc, Mutex};
+
+/// Configuration of the CEM optimizer behind [`MpcController`].
+#[derive(Debug, Clone)]
+pub struct MpcConfig {
+    /// Planning horizon in plant steps.
+    pub horizon: usize,
+    /// Candidate sequences per CEM iteration.
+    pub samples: usize,
+    /// CEM refinement iterations.
+    pub iterations: usize,
+    /// Fraction of samples kept as the elite set.
+    pub elite_fraction: f64,
+    /// Quadratic state cost weights (per dimension).
+    pub state_weights: Vec<f64>,
+    /// Quadratic control cost weights (per dimension).
+    pub control_weights: Vec<f64>,
+    /// Additive penalty when a planned state leaves the safe region.
+    pub unsafe_penalty: f64,
+    /// RNG seed (per-step streams derive from it deterministically).
+    pub seed: u64,
+}
+
+impl Default for MpcConfig {
+    fn default() -> Self {
+        Self {
+            horizon: 12,
+            samples: 64,
+            iterations: 3,
+            elite_fraction: 0.2,
+            state_weights: Vec::new(),
+            control_weights: Vec::new(),
+            unsafe_penalty: 1e4,
+            seed: 0,
+        }
+    }
+}
+
+/// A cross-entropy-method MPC controller planning through the true plant
+/// model.
+///
+/// The controller is deterministic: the CEM sampling stream is re-seeded
+/// from a hash of the observed state on every call, so the same state
+/// always produces the same control (required for reproducible
+/// evaluations and for distillation datasets).
+///
+/// # Examples
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use cocktail_control::{Controller, MpcConfig, MpcController};
+/// use cocktail_env::systems::VanDerPol;
+///
+/// let mpc = MpcController::new(Arc::new(VanDerPol::new()), MpcConfig::default());
+/// let u = mpc.control(&[1.0, -0.5]);
+/// assert!(u[0].abs() <= 20.0);
+/// ```
+pub struct MpcController {
+    sys: Arc<dyn Dynamics>,
+    config: MpcConfig,
+    state_weights: Vec<f64>,
+    control_weights: Vec<f64>,
+    label: String,
+    // CEM scratch RNG; re-seeded per call (interior mutability keeps the
+    // Controller trait's &self signature)
+    rng: Mutex<rand::rngs::StdRng>,
+}
+
+impl MpcController {
+    /// Creates the controller; empty weight vectors default to all-ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if non-empty weights disagree with the plant's dimensions,
+    /// or the CEM parameters are degenerate.
+    pub fn new(sys: Arc<dyn Dynamics>, config: MpcConfig) -> Self {
+        Self::with_name(sys, config, "mpc")
+    }
+
+    /// Creates the controller with a custom label.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::new`].
+    pub fn with_name(sys: Arc<dyn Dynamics>, config: MpcConfig, label: impl Into<String>) -> Self {
+        assert!(config.horizon > 0, "horizon must be positive");
+        assert!(config.samples >= 4, "CEM needs at least 4 samples");
+        assert!(config.iterations > 0, "CEM needs at least one iteration");
+        assert!(
+            config.elite_fraction > 0.0 && config.elite_fraction <= 0.5,
+            "elite fraction must be in (0, 0.5]"
+        );
+        let state_weights = if config.state_weights.is_empty() {
+            vec![1.0; sys.state_dim()]
+        } else {
+            assert_eq!(config.state_weights.len(), sys.state_dim(), "state weight length");
+            config.state_weights.clone()
+        };
+        let control_weights = if config.control_weights.is_empty() {
+            vec![0.1; sys.control_dim()]
+        } else {
+            assert_eq!(config.control_weights.len(), sys.control_dim(), "control weight length");
+            config.control_weights.clone()
+        };
+        let rng = Mutex::new(cocktail_math::rng::seeded(config.seed));
+        Self { sys, config, state_weights, control_weights, label: label.into(), rng }
+    }
+
+    /// Stage cost of one planned step.
+    fn stage_cost(&self, s: &[f64], u: &[f64]) -> f64 {
+        let mut cost = 0.0;
+        for (x, w) in s.iter().zip(&self.state_weights) {
+            cost += w * x * x;
+        }
+        for (v, w) in u.iter().zip(&self.control_weights) {
+            cost += w * v * v;
+        }
+        if !self.sys.is_safe(s) {
+            cost += self.config.unsafe_penalty;
+        }
+        cost
+    }
+
+    /// Total cost of rolling a control sequence out from `s0`
+    /// (disturbance held at zero during planning).
+    fn sequence_cost(&self, s0: &[f64], seq: &[Vec<f64>]) -> f64 {
+        let omega = vec![0.0; self.sys.disturbance_dim()];
+        let mut s = s0.to_vec();
+        let mut cost = 0.0;
+        for u in seq {
+            let u = self.sys.clip_control(u);
+            s = self.sys.step(&s, &u, &omega);
+            cost += self.stage_cost(&s, &u);
+        }
+        cost
+    }
+}
+
+impl Controller for MpcController {
+    fn control(&self, s: &[f64]) -> Vec<f64> {
+        use rand::SeedableRng;
+        assert_eq!(s.len(), self.sys.state_dim(), "state dimension mismatch");
+        let (u_lo, u_hi) = self.sys.control_bounds();
+        let m = self.sys.control_dim();
+        let h = self.config.horizon;
+
+        // deterministic per-state stream: hash the observed state bits
+        let mut hash = self.config.seed;
+        for &x in s {
+            hash = hash.rotate_left(13) ^ x.to_bits();
+        }
+        let mut rng = {
+            let mut shared = self.rng.lock().expect("mpc rng poisoned");
+            *shared = rand::rngs::StdRng::seed_from_u64(hash);
+            shared.clone()
+        };
+
+        // CEM over sequences: per-(step, dim) Gaussian mean/std
+        let mut mean = vec![vec![0.0; m]; h];
+        let mut std: Vec<Vec<f64>> = (0..h)
+            .map(|_| u_lo.iter().zip(&u_hi).map(|(&l, &hb)| 0.5 * (hb - l)).collect())
+            .collect();
+        let elites = ((self.config.samples as f64 * self.config.elite_fraction) as usize).max(2);
+        let mut best_seq: Option<(f64, Vec<Vec<f64>>)> = None;
+
+        for _ in 0..self.config.iterations {
+            let mut scored: Vec<(f64, Vec<Vec<f64>>)> = (0..self.config.samples)
+                .map(|_| {
+                    let seq: Vec<Vec<f64>> = (0..h)
+                        .map(|t| {
+                            (0..m)
+                                .map(|j| {
+                                    let v = mean[t][j]
+                                        + std[t][j]
+                                            * cocktail_math::rng::gaussian_vector(&mut rng, 1, 1.0)
+                                                [0];
+                                    v.clamp(u_lo[j], u_hi[j])
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    (self.sequence_cost(s, &seq), seq)
+                })
+                .collect();
+            scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+            if best_seq.as_ref().is_none_or(|(c, _)| scored[0].0 < *c) {
+                best_seq = Some(scored[0].clone());
+            }
+            // refit mean/std to the elite set
+            for t in 0..h {
+                for j in 0..m {
+                    let vals: Vec<f64> = scored[..elites].iter().map(|(_, q)| q[t][j]).collect();
+                    mean[t][j] = cocktail_math::stats::mean(&vals);
+                    std[t][j] = cocktail_math::stats::std_dev(&vals).max(1e-3);
+                }
+            }
+        }
+        let (_, seq) = best_seq.expect("at least one CEM iteration ran");
+        self.sys.clip_control(&seq[0])
+    }
+
+    fn state_dim(&self) -> usize {
+        self.sys.state_dim()
+    }
+
+    fn control_dim(&self) -> usize {
+        self.sys.control_dim()
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn lipschitz(&self, _domain: &BoxRegion) -> Option<f64> {
+        // the CEM argmin is not Lipschitz in general (plan switching)
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocktail_env::systems::VanDerPol;
+
+    fn mpc() -> MpcController {
+        MpcController::new(
+            Arc::new(VanDerPol::new()),
+            MpcConfig { horizon: 10, samples: 48, iterations: 3, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn control_is_deterministic_per_state() {
+        let c = mpc();
+        let s = [1.2, -0.7];
+        assert_eq!(c.control(&s), c.control(&s));
+        // interleaved queries do not disturb determinism
+        let u1 = c.control(&s);
+        let _ = c.control(&[0.0, 0.0]);
+        assert_eq!(c.control(&s), u1);
+    }
+
+    #[test]
+    fn control_respects_bounds() {
+        let c = mpc();
+        for s in [[2.0, 2.0], [-2.0, -2.0], [0.5, -1.5]] {
+            let u = c.control(&s);
+            assert!(u[0].abs() <= 20.0);
+        }
+    }
+
+    #[test]
+    fn mpc_pushes_toward_the_origin() {
+        let c = mpc();
+        // from a state moving up fast, MPC must brake (u < 0)
+        let u = c.control(&[1.0, 1.8]);
+        assert!(u[0] < 0.0, "expected braking, got {}", u[0]);
+        let u = c.control(&[-1.0, -1.8]);
+        assert!(u[0] > 0.0, "expected acceleration, got {}", u[0]);
+    }
+
+    #[test]
+    fn mpc_stabilizes_vdp_in_closed_loop() {
+        let sys = VanDerPol::new();
+        let c = mpc();
+        let mut s = vec![1.5, 1.0];
+        for _ in 0..120 {
+            let u = sys.clip_control(&c.control(&s));
+            s = sys.step(&s, &u, &[0.0]);
+            assert!(sys.is_safe(&s), "MPC left the safe region at {s:?}");
+        }
+        assert!(cocktail_math::vector::norm_2(&s) < 0.6, "not regulated: {s:?}");
+    }
+
+    #[test]
+    fn no_lipschitz_claim() {
+        assert!(mpc().lipschitz(&BoxRegion::cube(2, -1.0, 1.0)).is_none());
+    }
+}

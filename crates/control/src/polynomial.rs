@@ -1,0 +1,147 @@
+//! Polynomial feedback controllers.
+
+use crate::controller::Controller;
+use cocktail_math::{BoxRegion, MultiPoly};
+use serde::{Deserialize, Serialize};
+
+/// A polynomial feedback law `uᵢ = pᵢ(s)`.
+///
+/// The 3D system's second expert in the paper is a polynomial controller
+/// synthesized by the LP-based method of Sassi et al. \[25\]; Table I reports
+/// its very small Lipschitz constant (0.72). We reproduce that expert with
+/// a low-gain stabilizing polynomial law.
+///
+/// The Lipschitz bound over a box is computed soundly from interval
+/// enclosures of the gradient: `L ≤ ‖(max |∂p/∂s₁|, …)‖₂`.
+///
+/// # Examples
+///
+/// ```
+/// use cocktail_control::{Controller, PolynomialController};
+/// use cocktail_math::MultiPoly;
+///
+/// // u = -x - z
+/// let p = MultiPoly::from_terms(3, vec![(vec![1, 0, 0], -1.0), (vec![0, 0, 1], -1.0)]);
+/// let k = PolynomialController::new(vec![p]);
+/// assert_eq!(k.control(&[0.5, 0.0, 0.25]), vec![-0.75]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolynomialController {
+    polys: Vec<MultiPoly>,
+    label: String,
+}
+
+impl PolynomialController {
+    /// Creates the controller from one polynomial per control dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `polys` is empty or the polynomials disagree on arity.
+    pub fn new(polys: Vec<MultiPoly>) -> Self {
+        Self::with_name(polys, "polynomial")
+    }
+
+    /// Creates the controller with a custom label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `polys` is empty or the polynomials disagree on arity.
+    pub fn with_name(polys: Vec<MultiPoly>, label: impl Into<String>) -> Self {
+        assert!(!polys.is_empty(), "controller needs at least one output");
+        let n = polys[0].nvars();
+        assert!(polys.iter().all(|p| p.nvars() == n), "polynomial arity mismatch");
+        Self { polys, label: label.into() }
+    }
+
+    /// The component polynomials.
+    pub fn polynomials(&self) -> &[MultiPoly] {
+        &self.polys
+    }
+}
+
+impl Controller for PolynomialController {
+    fn control(&self, s: &[f64]) -> Vec<f64> {
+        self.polys.iter().map(|p| p.eval(s)).collect()
+    }
+
+    fn state_dim(&self) -> usize {
+        self.polys[0].nvars()
+    }
+
+    fn control_dim(&self) -> usize {
+        self.polys.len()
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn lipschitz(&self, domain: &BoxRegion) -> Option<f64> {
+        // For each output p, bound |∂p/∂sᵢ| on the domain; the controller's
+        // 2-norm Lipschitz constant is bounded by the Frobenius norm of the
+        // per-entry Jacobian bounds.
+        let mut acc = 0.0;
+        for p in &self.polys {
+            for i in 0..p.nvars() {
+                let bound = p.derivative(i).eval_interval(domain).mag();
+                acc += bound * bound;
+            }
+        }
+        Some(acc.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quad() -> PolynomialController {
+        // u = -2x + x·y
+        let p = MultiPoly::from_terms(2, vec![(vec![1, 0], -2.0), (vec![1, 1], 1.0)]);
+        PolynomialController::new(vec![p])
+    }
+
+    #[test]
+    fn evaluates_each_component() {
+        let k = quad();
+        assert_eq!(k.control(&[1.0, 3.0]), vec![1.0]);
+        assert_eq!(k.state_dim(), 2);
+        assert_eq!(k.control_dim(), 1);
+    }
+
+    #[test]
+    fn lipschitz_bound_dominates_samples() {
+        let k = quad();
+        let domain = BoxRegion::cube(2, -1.0, 1.0);
+        let lb = k.lipschitz(&domain).expect("computable");
+        let mut rng = cocktail_math::rng::seeded(8);
+        for _ in 0..200 {
+            let a = cocktail_math::rng::uniform_in_box(&mut rng, &domain);
+            let b = cocktail_math::rng::uniform_in_box(&mut rng, &domain);
+            let dx = cocktail_math::vector::norm_2(&cocktail_math::vector::sub(&a, &b));
+            if dx < 1e-12 {
+                continue;
+            }
+            let dy = cocktail_math::vector::norm_2(&cocktail_math::vector::sub(
+                &k.control(&a),
+                &k.control(&b),
+            ));
+            assert!(dy <= lb * dx * (1.0 + 1e-9), "slope {} > bound {lb}", dy / dx);
+        }
+    }
+
+    #[test]
+    fn linear_poly_lipschitz_is_gain_norm() {
+        // u = -3x ⇒ L = 3 on any domain
+        let p = MultiPoly::from_terms(1, vec![(vec![1], -3.0)]);
+        let k = PolynomialController::new(vec![p]);
+        let l = k.lipschitz(&BoxRegion::cube(1, -10.0, 10.0)).expect("computable");
+        assert!((l - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn mixed_arity_panics() {
+        PolynomialController::new(vec![MultiPoly::var(2, 0), MultiPoly::var(3, 0)]);
+    }
+}

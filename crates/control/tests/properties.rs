@@ -1,0 +1,138 @@
+//! Property-based tests of the controller algebra: the mixing action
+//! space really is a super-space of switching (Proposition 1's structural
+//! argument), and Lipschitz bounds hold for every controller kind.
+
+use cocktail_control::{
+    ConstantWeights, Controller, FnSelector, LinearFeedbackController, MixedController,
+    NnController, PolynomialController, SwitchingController,
+};
+use cocktail_math::{rng, vector, BoxRegion, Matrix, MultiPoly};
+use cocktail_nn::{Activation, MlpBuilder};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn experts(g1: f64, g2: f64) -> Vec<Arc<dyn Controller>> {
+    vec![
+        Arc::new(LinearFeedbackController::new(Matrix::from_rows(vec![vec![g1, 0.5 * g1]]))),
+        Arc::new(LinearFeedbackController::new(Matrix::from_rows(vec![vec![0.3 * g2, g2]]))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// One-hot mixing weights reproduce the selected expert exactly — the
+    /// structural inclusion behind Proposition 1.
+    #[test]
+    fn one_hot_mixing_equals_switching(
+        g1 in 0.1..5.0f64, g2 in 0.1..5.0f64,
+        s0 in -2.0..2.0f64, s1 in -2.0..2.0f64,
+        pick in 0usize..2,
+    ) {
+        let e = experts(g1, g2);
+        let mut weights = vec![0.0, 0.0];
+        weights[pick] = 1.0;
+        let mixed = MixedController::new(
+            e.clone(),
+            Arc::new(ConstantWeights(weights)),
+            vec![-1000.0],
+            vec![1000.0],
+        );
+        let switching = SwitchingController::new(
+            e.clone(),
+            Arc::new(FnSelector(move |_: &[f64]| pick)),
+        );
+        let s = [s0, s1];
+        let um = mixed.control(&s);
+        let us = switching.control(&s);
+        prop_assert!((um[0] - us[0]).abs() < 1e-12);
+        prop_assert!((um[0] - e[pick].control(&s)[0]).abs() < 1e-12);
+    }
+
+    /// Mixing output is linear in the weights (before clipping).
+    #[test]
+    fn mixing_is_linear_in_weights(
+        w0 in -2.0..2.0f64, w1 in -2.0..2.0f64, scale in -2.0..2.0f64,
+        s0 in -1.0..1.0f64, s1 in -1.0..1.0f64,
+    ) {
+        let e = experts(1.0, 2.0);
+        let mk = |w: Vec<f64>| {
+            MixedController::new(e.clone(), Arc::new(ConstantWeights(w)), vec![-1e9], vec![1e9])
+        };
+        let s = [s0, s1];
+        let base = mk(vec![w0, w1]).raw_control(&s)[0];
+        let scaled = mk(vec![scale * w0, scale * w1]).raw_control(&s)[0];
+        prop_assert!((scaled - scale * base).abs() < 1e-9 * (1.0 + base.abs() * scale.abs()));
+    }
+
+    /// The mixed control after clipping always lies inside the bound.
+    #[test]
+    fn mixed_control_is_clipped(
+        w0 in -10.0..10.0f64, w1 in -10.0..10.0f64,
+        s0 in -2.0..2.0f64, s1 in -2.0..2.0f64,
+    ) {
+        let e = experts(3.0, 4.0);
+        let mixed = MixedController::new(
+            e,
+            Arc::new(ConstantWeights(vec![w0, w1])),
+            vec![-20.0],
+            vec![20.0],
+        );
+        let u = mixed.control(&[s0, s1]);
+        prop_assert!(u[0].abs() <= 20.0);
+    }
+
+    /// Every controller kind respects its own Lipschitz bound on samples.
+    #[test]
+    fn lipschitz_bounds_hold_for_all_kinds(seed in 0u64..500) {
+        let domain = BoxRegion::cube(2, -1.5, 1.5);
+        let nn = {
+            let net = MlpBuilder::new(2)
+                .hidden(8, Activation::Tanh)
+                .output(1, Activation::Tanh)
+                .seed(seed)
+                .build();
+            NnController::new(net, vec![10.0])
+        };
+        let lin = LinearFeedbackController::new(Matrix::from_rows(vec![vec![2.0, -1.0]]));
+        let poly = PolynomialController::new(vec![MultiPoly::from_terms(
+            2,
+            vec![(vec![1, 0], -1.5), (vec![1, 1], 0.5)],
+        )]);
+        let controllers: Vec<(&dyn Controller, f64)> = vec![
+            (&nn, nn.lipschitz(&domain).unwrap()),
+            (&lin, lin.lipschitz(&domain).unwrap()),
+            (&poly, poly.lipschitz(&domain).unwrap()),
+        ];
+        let mut r = rng::seeded(seed.wrapping_add(1));
+        for _ in 0..20 {
+            let a = rng::uniform_in_box(&mut r, &domain);
+            let b = rng::uniform_in_box(&mut r, &domain);
+            let dx = vector::norm_2(&vector::sub(&a, &b));
+            if dx < 1e-9 {
+                continue;
+            }
+            for (c, bound) in &controllers {
+                let dy = vector::norm_2(&vector::sub(&c.control(&a), &c.control(&b)));
+                prop_assert!(dy <= bound * dx * (1.0 + 1e-9) + 1e-12,
+                    "{}: slope {} > bound {bound}", c.name(), dy / dx);
+            }
+        }
+    }
+
+    /// Bias never changes a linear controller's Lipschitz constant.
+    #[test]
+    fn bias_is_lipschitz_neutral(bias in -10.0..10.0f64, g in 0.1..10.0f64) {
+        let domain = BoxRegion::cube(2, -1.0, 1.0);
+        let plain = LinearFeedbackController::new(Matrix::from_rows(vec![vec![g, g]]));
+        let biased = LinearFeedbackController::with_bias(
+            Matrix::from_rows(vec![vec![g, g]]),
+            vec![bias],
+            "biased",
+        );
+        prop_assert_eq!(plain.lipschitz(&domain), biased.lipschitz(&domain));
+        // and shifts the output by exactly the bias
+        let s = [0.3, -0.8];
+        prop_assert!((biased.control(&s)[0] - plain.control(&s)[0] - bias).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,240 @@
+//! The paper's evaluation metrics (Properties 1–3).
+
+use cocktail_control::Controller;
+use cocktail_distill::AttackModel;
+use cocktail_env::{rollout, Dynamics, RolloutConfig};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a sampling-based evaluation run.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Number of initial states drawn uniformly from `X₀` (the paper
+    /// uses 500).
+    pub samples: usize,
+    /// RNG seed for the initial states, disturbances and noise.
+    pub seed: u64,
+    /// Per-step perturbation `δ(t)` of the controller's observation.
+    pub attack: AttackModel,
+    /// Override the evaluation horizon (defaults to the system's `T`).
+    pub horizon: Option<usize>,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        Self { samples: 500, seed: 42, attack: AttackModel::None, horizon: None }
+    }
+}
+
+/// The outcome of an evaluation run.
+///
+/// Mirrors Table I/II rows: `safe_rate` is the paper's `S_r` and
+/// `mean_energy` its `e` (Eq. 3, averaged over the trajectories that stay
+/// inside the safe region for the entire horizon).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Fraction of sampled initial states whose trajectory stays safe.
+    pub safe_rate: f64,
+    /// Mean `Σ_t ‖u(t)‖₁` over the safe trajectories (`NaN` when none).
+    pub mean_energy: f64,
+    /// Number of safe trajectories.
+    pub safe_count: usize,
+    /// Total sampled initial states.
+    pub samples: usize,
+}
+
+impl Evaluation {
+    /// `S_r` in percent, as printed in the paper's tables.
+    pub fn safe_rate_percent(&self) -> f64 {
+        100.0 * self.safe_rate
+    }
+}
+
+/// Simulates sample `i` of an evaluation run; returns `Some(energy)` when
+/// the trajectory stays safe. Initial states are drawn from a single
+/// sequential stream computed up-front so the parallel and sequential
+/// paths are bit-identical.
+fn evaluate_one(
+    sys: &dyn Dynamics,
+    controller: &dyn Controller,
+    config: &EvalConfig,
+    s0: &[f64],
+    i: usize,
+) -> Option<f64> {
+    let mut control_fn = |s: &[f64]| controller.control(s);
+    let mut perturb = config.attack.perturbation(controller, config.seed ^ (i as u64) << 1);
+    let traj = rollout(
+        sys,
+        &mut control_fn,
+        &mut perturb,
+        s0,
+        &RolloutConfig {
+            horizon: config.horizon,
+            seed: config.seed.wrapping_add(1).wrapping_add(i as u64),
+            ..Default::default()
+        },
+    );
+    traj.is_safe().then(|| traj.energy())
+}
+
+/// Estimates the safe control rate and control energy of a controller by
+/// closed-loop simulation from sampled initial states (Section IV's
+/// protocol: 500 random initial states from `X₀`). Samples are simulated
+/// across all available CPU cores; the result is identical to a
+/// sequential run with the same seed.
+///
+/// # Panics
+///
+/// Panics if `config.samples == 0` or the controller's dimensions disagree
+/// with the plant.
+pub fn evaluate(
+    sys: &dyn Dynamics,
+    controller: &dyn Controller,
+    config: &EvalConfig,
+) -> Evaluation {
+    assert!(config.samples > 0, "evaluation needs at least one sample");
+    assert_eq!(controller.state_dim(), sys.state_dim(), "controller state dim mismatch");
+    assert_eq!(controller.control_dim(), sys.control_dim(), "controller control dim mismatch");
+    let x0 = sys.initial_set();
+    // draw all initial states from one sequential stream (determinism)
+    let mut rng = cocktail_math::rng::seeded(config.seed);
+    let starts: Vec<Vec<f64>> =
+        (0..config.samples).map(|_| cocktail_math::rng::uniform_in_box(&mut rng, &x0)).collect();
+
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let results: Vec<Option<f64>> = if workers <= 1 || config.samples < 8 {
+        starts
+            .iter()
+            .enumerate()
+            .map(|(i, s0)| evaluate_one(sys, controller, config, s0, i))
+            .collect()
+    } else {
+        let chunk = config.samples.div_ceil(workers);
+        let mut results = vec![None; config.samples];
+        std::thread::scope(|scope| {
+            for (w, out) in results.chunks_mut(chunk).enumerate() {
+                let starts = &starts;
+                scope.spawn(move || {
+                    for (j, slot) in out.iter_mut().enumerate() {
+                        let i = w * chunk + j;
+                        *slot = evaluate_one(sys, controller, config, &starts[i], i);
+                    }
+                });
+            }
+        });
+        results
+    };
+
+    let energies: Vec<f64> = results.iter().filter_map(|r| *r).collect();
+    let safe = energies.len();
+    Evaluation {
+        safe_rate: safe as f64 / config.samples as f64,
+        mean_energy: if energies.is_empty() {
+            f64::NAN
+        } else {
+            cocktail_math::stats::mean(&energies)
+        },
+        safe_count: safe,
+        samples: config.samples,
+    }
+}
+
+/// The control signal `u(t)` of one closed-loop run under a perturbation
+/// model — the data behind Fig. 2. Returns one value per step for
+/// single-input plants (the paper's plots are 1-D controls).
+///
+/// # Panics
+///
+/// Panics if the plant has more than one control input or dimensions
+/// mismatch.
+pub fn signal_trace(
+    sys: &dyn Dynamics,
+    controller: &dyn Controller,
+    s0: &[f64],
+    attack: &AttackModel,
+    seed: u64,
+) -> Vec<f64> {
+    assert_eq!(sys.control_dim(), 1, "signal traces are for single-input plants");
+    let mut control_fn = |s: &[f64]| controller.control(s);
+    let mut perturb = attack.perturbation(controller, seed);
+    let traj = rollout(
+        sys,
+        &mut control_fn,
+        &mut perturb,
+        s0,
+        &RolloutConfig { seed: seed.wrapping_add(1), stop_on_violation: false, ..Default::default() },
+    );
+    traj.controls.iter().map(|u| u[0]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocktail_control::LinearFeedbackController;
+    use cocktail_env::systems::VanDerPol;
+    use cocktail_math::Matrix;
+
+    fn damped() -> LinearFeedbackController {
+        LinearFeedbackController::new(Matrix::from_rows(vec![vec![3.0, 4.0]]))
+    }
+
+    fn undamped() -> LinearFeedbackController {
+        LinearFeedbackController::new(Matrix::from_rows(vec![vec![0.0, 0.0]]))
+    }
+
+    #[test]
+    fn good_controller_scores_high_safe_rate() {
+        let sys = VanDerPol::new();
+        let eval = evaluate(&sys, &damped(), &EvalConfig { samples: 200, ..Default::default() });
+        assert!(eval.safe_rate > 0.8, "S_r {}", eval.safe_rate);
+        assert!(eval.mean_energy > 0.0);
+        assert_eq!(eval.samples, 200);
+    }
+
+    #[test]
+    fn zero_controller_scores_lower() {
+        let sys = VanDerPol::new();
+        let cfg = EvalConfig { samples: 200, ..Default::default() };
+        let good = evaluate(&sys, &damped(), &cfg);
+        let bad = evaluate(&sys, &undamped(), &cfg);
+        assert!(bad.safe_rate < good.safe_rate, "bad {} good {}", bad.safe_rate, good.safe_rate);
+    }
+
+    #[test]
+    fn attack_degrades_or_matches_nominal() {
+        let sys = VanDerPol::new();
+        let nominal = evaluate(&sys, &damped(), &EvalConfig { samples: 150, ..Default::default() });
+        let attacked = evaluate(
+            &sys,
+            &damped(),
+            &EvalConfig {
+                samples: 150,
+                attack: AttackModel::scaled_to(&sys.verification_domain(), 0.15, true),
+                ..Default::default()
+            },
+        );
+        assert!(attacked.safe_rate <= nominal.safe_rate + 0.05);
+    }
+
+    #[test]
+    fn evaluation_is_seed_deterministic() {
+        let sys = VanDerPol::new();
+        let cfg = EvalConfig { samples: 50, seed: 9, ..Default::default() };
+        let a = evaluate(&sys, &damped(), &cfg);
+        let b = evaluate(&sys, &damped(), &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn signal_trace_has_horizon_length() {
+        let sys = VanDerPol::new();
+        let trace = signal_trace(&sys, &damped(), &[0.5, 0.5], &AttackModel::None, 3);
+        assert_eq!(trace.len(), 100);
+        assert!(trace.iter().all(|u| u.abs() <= 20.0));
+    }
+
+    #[test]
+    fn safe_percent_scales() {
+        let e = Evaluation { safe_rate: 0.984, mean_energy: 1.0, safe_count: 492, samples: 500 };
+        assert!((e.safe_rate_percent() - 98.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,250 @@
+//! The end-to-end Cocktail pipeline (Algorithm 1).
+
+use crate::policy::{DdpgWeightPolicy, PpoWeightPolicy};
+use crate::system::SystemId;
+use cocktail_control::{Controller, MixedController, NnController, WeightPolicy};
+use cocktail_distill::{direct_distill, robust_distill, DistillConfig, TeacherDataset};
+use cocktail_rl::ddpg::{DdpgConfig, DdpgTrainer, EpisodeStats};
+use cocktail_rl::ppo::{IterationStats, PpoConfig, PpoTrainer};
+use cocktail_rl::{MixingMdp, RewardConfig};
+use std::sync::Arc;
+
+/// Which RL algorithm learns the adaptive mixing weights. The paper's
+/// optimality argument (Proposition 1) applies to PPO; Remark 1 notes
+/// that DDPG "can also achieve significant improvement", which this
+/// variant lets you test directly (see the `ablation` bench binary).
+#[derive(Debug, Clone)]
+pub enum MixingAlgorithm {
+    /// Proximal policy optimization (the paper's default).
+    Ppo,
+    /// Deep deterministic policy gradient (Remark 1).
+    Ddpg(DdpgConfig),
+}
+
+/// Configuration of a full Cocktail run.
+#[derive(Debug, Clone)]
+pub struct CocktailConfig {
+    /// The paper's weight bound `A_B ≥ 1`.
+    pub weight_bound: f64,
+    /// Which algorithm learns the mixing weights.
+    pub mixing: MixingAlgorithm,
+    /// PPO hyperparameters of the adaptive-mixing stage (used when
+    /// `mixing` is [`MixingAlgorithm::Ppo`]).
+    pub ppo: PpoConfig,
+    /// Reward shaping (safety punishment / energy).
+    pub reward: RewardConfig,
+    /// Distillation hyperparameters (shared by `κ_D` and `κ*`; the robust
+    /// terms only apply to `κ*`).
+    pub distill: DistillConfig,
+    /// Uniform teacher samples for the distillation dataset.
+    pub dataset_uniform: usize,
+    /// On-policy teacher episodes added to the dataset.
+    pub dataset_episodes: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for CocktailConfig {
+    fn default() -> Self {
+        Self {
+            weight_bound: 2.0,
+            mixing: MixingAlgorithm::Ppo,
+            ppo: PpoConfig::default(),
+            reward: RewardConfig::default(),
+            distill: DistillConfig::default(),
+            dataset_uniform: 2048,
+            dataset_episodes: 16,
+            seed: 0,
+        }
+    }
+}
+
+/// The artifacts of a Cocktail run.
+pub struct CocktailResult {
+    /// The mixed controller design `A_W` (teacher).
+    pub mixed: Arc<MixedController>,
+    /// The direct-distillation student `κ_D` (ablation).
+    pub kappa_d: Arc<NnController>,
+    /// The robust-distillation student `κ*` (the framework's output).
+    pub kappa_star: Arc<NnController>,
+    /// PPO training statistics of the mixing stage (empty under DDPG).
+    pub ppo_history: Vec<IterationStats>,
+    /// DDPG training statistics of the mixing stage (empty under PPO).
+    pub ddpg_history: Vec<EpisodeStats>,
+}
+
+/// Builder for a Cocktail run.
+///
+/// # Examples
+///
+/// ```no_run
+/// use cocktail_core::pipeline::Cocktail;
+/// use cocktail_core::system::SystemId;
+///
+/// let experts = cocktail_core::experts::cloned_experts(SystemId::Oscillator, 0);
+/// let result = Cocktail::new(SystemId::Oscillator, experts).run();
+/// println!("L(κ*) = {}", result.kappa_star.lipschitz_constant());
+/// ```
+pub struct Cocktail {
+    system: SystemId,
+    experts: Vec<Arc<dyn Controller>>,
+    config: CocktailConfig,
+}
+
+impl Cocktail {
+    /// Starts a run over `experts` on `system`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `experts` is empty.
+    pub fn new(system: SystemId, experts: Vec<Arc<dyn Controller>>) -> Self {
+        assert!(!experts.is_empty(), "cocktail needs at least one expert");
+        Self { system, experts, config: CocktailConfig::default() }
+    }
+
+    /// Overrides the configuration.
+    pub fn with_config(mut self, config: CocktailConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Executes both stages: PPO adaptive mixing, then direct and robust
+    /// distillation of the mixed teacher.
+    pub fn run(self) -> CocktailResult {
+        let sys = self.system.dynamics();
+        let cfg = &self.config;
+
+        // ---- stage 1: RL-based adaptive mixing (Alg. 1 lines 2-10)
+        let mut mdp = MixingMdp::new(
+            sys.clone(),
+            self.experts.clone(),
+            cfg.weight_bound,
+            cfg.reward,
+            cfg.seed,
+        );
+        let mut ppo_history = Vec::new();
+        let mut ddpg_history = Vec::new();
+        let weight_policy: Arc<dyn WeightPolicy> = match &cfg.mixing {
+            MixingAlgorithm::Ppo => {
+                let trained =
+                    PpoTrainer::new(&cfg.ppo, sys.state_dim(), self.experts.len()).train(&mut mdp);
+                ppo_history = trained.history;
+                Arc::new(PpoWeightPolicy::new(trained.policy, cfg.weight_bound))
+            }
+            MixingAlgorithm::Ddpg(ddpg) => {
+                let trained =
+                    DdpgTrainer::new(ddpg, sys.state_dim(), self.experts.len()).train(&mut mdp);
+                ddpg_history = trained.history;
+                Arc::new(DdpgWeightPolicy::new(trained.actor, cfg.weight_bound))
+            }
+        };
+        let (u_lo, u_hi) = sys.control_bounds();
+        let mixed = Arc::new(MixedController::new(
+            self.experts.clone(),
+            weight_policy,
+            u_lo,
+            u_hi,
+        ));
+
+        // ---- stage 2: distillation (Alg. 1 lines 11-14)
+        let uniform = TeacherDataset::sample_uniform(
+            mixed.as_ref(),
+            &sys.verification_domain(),
+            cfg.dataset_uniform,
+            cfg.seed.wrapping_add(11),
+        );
+        let data = if cfg.dataset_episodes > 0 {
+            uniform.merge(TeacherDataset::sample_on_policy(
+                mixed.as_ref(),
+                sys.as_ref(),
+                cfg.dataset_episodes,
+                cfg.seed.wrapping_add(13),
+            ))
+        } else {
+            uniform
+        };
+        let kappa_d = Arc::new(direct_distill(&data, &cfg.distill));
+        let kappa_star = Arc::new(robust_distill(&data, &cfg.distill));
+
+        CocktailResult { mixed, kappa_d, kappa_star, ppo_history, ddpg_history }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::Preset;
+    use crate::metrics::{evaluate, EvalConfig};
+    use crate::testutil::oscillator_experts;
+    use std::sync::OnceLock;
+
+    fn smoke_result() -> &'static CocktailResult {
+        static CELL: OnceLock<CocktailResult> = OnceLock::new();
+        CELL.get_or_init(|| {
+            Cocktail::new(SystemId::Oscillator, oscillator_experts().clone())
+                .with_config(Preset::Smoke.config())
+                .run()
+        })
+    }
+
+    #[test]
+    fn smoke_pipeline_produces_all_artifacts() {
+        let result = smoke_result();
+        assert_eq!(result.mixed.state_dim(), 2);
+        assert_eq!(result.kappa_d.state_dim(), 2);
+        assert_eq!(result.kappa_star.state_dim(), 2);
+        assert!(!result.ppo_history.is_empty());
+        // the robust student must carry a finite Lipschitz constant
+        assert!(result.kappa_star.lipschitz_constant().is_finite());
+    }
+
+    #[test]
+    fn students_approximate_the_mixed_teacher() {
+        let result = smoke_result();
+        let sys = SystemId::Oscillator.dynamics();
+        let mut rng = cocktail_math::rng::seeded(3);
+        let mut err = 0.0;
+        let n = 50;
+        for _ in 0..n {
+            let s = cocktail_math::rng::uniform_in_box(&mut rng, &sys.initial_set());
+            err += (result.kappa_star.control(&s)[0] - result.mixed.control(&s)[0]).abs();
+        }
+        // clipped teacher outputs span ±20; a loose bound suffices for the
+        // smoke preset
+        assert!(err / (n as f64) < 8.0, "mean teacher gap {}", err / n as f64);
+    }
+
+    #[test]
+    fn ddpg_mixing_variant_runs() {
+        // Remark 1: DDPG can replace PPO as the mixing learner
+        let config = CocktailConfig {
+            mixing: MixingAlgorithm::Ddpg(cocktail_rl::DdpgConfig {
+                episodes: 6,
+                warmup_steps: 50,
+                hidden: 16,
+                seed: 4,
+                ..Default::default()
+            }),
+            ..Preset::Smoke.config()
+        };
+        let result = Cocktail::new(SystemId::Oscillator, oscillator_experts().clone())
+            .with_config(config)
+            .run();
+        assert!(result.ppo_history.is_empty());
+        assert!(!result.ddpg_history.is_empty());
+        assert_eq!(result.mixed.control(&[0.5, 0.5]).len(), 1);
+    }
+
+    #[test]
+    fn smoke_students_remain_plausible_controllers() {
+        let result = smoke_result();
+        let sys = SystemId::Oscillator.dynamics();
+        let eval = evaluate(
+            sys.as_ref(),
+            result.kappa_star.as_ref(),
+            &EvalConfig { samples: 100, ..Default::default() },
+        );
+        // even the smoke preset should stabilize a solid majority
+        assert!(eval.safe_rate > 0.5, "S_r {}", eval.safe_rate);
+    }
+}

@@ -1,0 +1,80 @@
+//! Registry of the paper's three benchmark systems.
+
+use cocktail_env::systems::{CartPole, Poly3d, VanDerPol};
+use cocktail_env::Dynamics;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// One of the paper's Section IV test systems.
+///
+/// # Examples
+///
+/// ```
+/// use cocktail_core::SystemId;
+///
+/// let sys = SystemId::CartPole.dynamics();
+/// assert_eq!(sys.state_dim(), 4);
+/// assert_eq!(SystemId::all().len(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemId {
+    /// The Van der Pol oscillator (2 states).
+    Oscillator,
+    /// The 3D polynomial system of \[25, example 15\].
+    Poly3d,
+    /// The cartpole (4 states).
+    CartPole,
+}
+
+impl SystemId {
+    /// All three systems in the paper's order.
+    pub fn all() -> [SystemId; 3] {
+        [SystemId::Oscillator, SystemId::Poly3d, SystemId::CartPole]
+    }
+
+    /// Instantiates the plant.
+    pub fn dynamics(self) -> Arc<dyn Dynamics> {
+        match self {
+            SystemId::Oscillator => Arc::new(VanDerPol::new()),
+            SystemId::Poly3d => Arc::new(Poly3d::new()),
+            SystemId::CartPole => Arc::new(CartPole::new()),
+        }
+    }
+
+    /// The paper's display name.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemId::Oscillator => "Oscillator",
+            SystemId::Poly3d => "3D system",
+            SystemId::CartPole => "Cartpole",
+        }
+    }
+}
+
+impl fmt::Display for SystemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_paper() {
+        assert_eq!(SystemId::Oscillator.dynamics().state_dim(), 2);
+        assert_eq!(SystemId::Poly3d.dynamics().state_dim(), 3);
+        assert_eq!(SystemId::CartPole.dynamics().state_dim(), 4);
+        assert_eq!(SystemId::Oscillator.dynamics().horizon(), 100);
+        assert_eq!(SystemId::CartPole.dynamics().horizon(), 200);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: Vec<_> = SystemId::all().iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), 3);
+        assert!(labels.contains(&"Oscillator"));
+    }
+}

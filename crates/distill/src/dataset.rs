@@ -1,0 +1,169 @@
+//! Teacher-labelled training data for distillation.
+
+use cocktail_control::Controller;
+use cocktail_env::{rollout, Dynamics, RolloutConfig};
+use cocktail_math::{rng, BoxRegion};
+
+/// A set of `(state, teacher control)` pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TeacherDataset {
+    states: Vec<Vec<f64>>,
+    controls: Vec<Vec<f64>>,
+}
+
+impl TeacherDataset {
+    /// Builds a dataset from parallel state/control vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors are empty or their lengths differ.
+    pub fn new(states: Vec<Vec<f64>>, controls: Vec<Vec<f64>>) -> Self {
+        assert!(!states.is_empty(), "dataset is empty");
+        assert_eq!(states.len(), controls.len(), "states/controls length mismatch");
+        Self { states, controls }
+    }
+
+    /// Labels `count` uniformly-sampled states of `domain` with the
+    /// teacher's control.
+    pub fn sample_uniform(
+        teacher: &dyn Controller,
+        domain: &BoxRegion,
+        count: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(count > 0, "dataset needs at least one sample");
+        let mut r = rng::seeded(seed);
+        let states = rng::sample_box(&mut r, domain, count);
+        let controls = states.iter().map(|s| teacher.control(s)).collect();
+        Self { states, controls }
+    }
+
+    /// Labels the states visited by the teacher's own closed-loop
+    /// trajectories from `episodes` random initial states — the
+    /// distribution the student will actually be queried on.
+    pub fn sample_on_policy(
+        teacher: &dyn Controller,
+        sys: &dyn Dynamics,
+        episodes: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(episodes > 0, "dataset needs at least one episode");
+        let mut r = rng::seeded(seed);
+        let mut states = Vec::new();
+        let mut controls = Vec::new();
+        for ep in 0..episodes {
+            let s0 = rng::uniform_in_box(&mut r, &sys.initial_set());
+            let mut control_fn = |s: &[f64]| teacher.control(s);
+            let mut no_attack = |_t: usize, s: &[f64]| vec![0.0; s.len()];
+            let traj = rollout(
+                sys,
+                &mut control_fn,
+                &mut no_attack,
+                &s0,
+                &RolloutConfig { seed: seed.wrapping_add(ep as u64), ..Default::default() },
+            );
+            for s in &traj.states {
+                states.push(s.clone());
+                controls.push(teacher.control(s));
+            }
+        }
+        Self::new(states, controls)
+    }
+
+    /// Concatenates two datasets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions disagree.
+    pub fn merge(mut self, other: TeacherDataset) -> Self {
+        assert_eq!(self.states[0].len(), other.states[0].len(), "state dimension mismatch");
+        assert_eq!(self.controls[0].len(), other.controls[0].len(), "control dimension mismatch");
+        self.states.extend(other.states);
+        self.controls.extend(other.controls);
+        self
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the dataset is empty (never true for a constructed dataset).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The sampled states.
+    pub fn states(&self) -> &[Vec<f64>] {
+        &self.states
+    }
+
+    /// The teacher's control labels.
+    pub fn controls(&self) -> &[Vec<f64>] {
+        &self.controls
+    }
+
+    /// State dimension.
+    pub fn state_dim(&self) -> usize {
+        self.states[0].len()
+    }
+
+    /// Control dimension.
+    pub fn control_dim(&self) -> usize {
+        self.controls[0].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocktail_control::LinearFeedbackController;
+    use cocktail_env::systems::VanDerPol;
+    use cocktail_math::Matrix;
+
+    fn teacher() -> LinearFeedbackController {
+        LinearFeedbackController::new(Matrix::from_rows(vec![vec![2.0, 2.0]]))
+    }
+
+    #[test]
+    fn uniform_sampling_labels_match_teacher() {
+        let t = teacher();
+        let domain = BoxRegion::cube(2, -1.0, 1.0);
+        let data = TeacherDataset::sample_uniform(&t, &domain, 50, 1);
+        assert_eq!(data.len(), 50);
+        for (s, u) in data.states().iter().zip(data.controls()) {
+            assert!(domain.contains(s));
+            assert_eq!(u, &t.control(s));
+        }
+    }
+
+    #[test]
+    fn on_policy_sampling_visits_trajectory_states() {
+        let t = teacher();
+        let sys = VanDerPol::new();
+        let data = TeacherDataset::sample_on_policy(&t, &sys, 3, 2);
+        // 3 episodes × (≤101 states each)
+        assert!(data.len() > 100, "got {}", data.len());
+        assert_eq!(data.state_dim(), 2);
+        assert_eq!(data.control_dim(), 1);
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let t = teacher();
+        let domain = BoxRegion::cube(2, -1.0, 1.0);
+        let a = TeacherDataset::sample_uniform(&t, &domain, 10, 1);
+        let b = TeacherDataset::sample_uniform(&t, &domain, 20, 2);
+        let merged = a.merge(b);
+        assert_eq!(merged.len(), 30);
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let t = teacher();
+        let domain = BoxRegion::cube(2, -1.0, 1.0);
+        let a = TeacherDataset::sample_uniform(&t, &domain, 10, 7);
+        let b = TeacherDataset::sample_uniform(&t, &domain, 10, 7);
+        assert_eq!(a, b);
+    }
+}

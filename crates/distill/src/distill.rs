@@ -1,0 +1,234 @@
+//! Direct and robust distillation (Algorithm 1 lines 11–14).
+
+use crate::dataset::TeacherDataset;
+use cocktail_control::NnController;
+use cocktail_math::vector;
+use cocktail_nn::{loss, Activation, Adam, GradStore, MlpBuilder, Optimizer};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Distillation hyperparameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DistillConfig {
+    /// Training epochs over the dataset.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Hidden width of the student (two Tanh hidden layers).
+    pub hidden: usize,
+    /// Probability `p` of replacing a sample by its FGSM adversary
+    /// (Algorithm 1 line 12; only used by robust distillation).
+    pub fgsm_prob: f64,
+    /// FGSM perturbation bound `Δ` per state dimension (robust only). An
+    /// empty vector derives it as `fgsm_fraction` of the data's state range.
+    pub fgsm_bound: Vec<f64>,
+    /// Fraction of the per-dimension state half-range used when
+    /// `fgsm_bound` is empty.
+    pub fgsm_fraction: f64,
+    /// L2 regularization weight `λ` (robust only).
+    pub lambda: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DistillConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 150,
+            batch_size: 64,
+            learning_rate: 5e-3,
+            hidden: 24,
+            fgsm_prob: 0.5,
+            fgsm_bound: Vec::new(),
+            fgsm_fraction: 0.1,
+            lambda: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+fn student_arch(data: &TeacherDataset, config: &DistillConfig) -> cocktail_nn::Mlp {
+    MlpBuilder::new(data.state_dim())
+        .hidden(config.hidden, Activation::Tanh)
+        .hidden(config.hidden, Activation::Tanh)
+        .output(data.control_dim(), Activation::Identity)
+        .seed(config.seed)
+        .build()
+}
+
+/// Per-dimension FGSM bound: explicit config, or derived from the data's
+/// state spread.
+fn resolve_fgsm_bound(data: &TeacherDataset, config: &DistillConfig) -> Vec<f64> {
+    if !config.fgsm_bound.is_empty() {
+        assert_eq!(config.fgsm_bound.len(), data.state_dim(), "fgsm_bound dimension mismatch");
+        return config.fgsm_bound.clone();
+    }
+    let dim = data.state_dim();
+    let mut lo = vec![f64::INFINITY; dim];
+    let mut hi = vec![f64::NEG_INFINITY; dim];
+    for s in data.states() {
+        for i in 0..dim {
+            lo[i] = lo[i].min(s[i]);
+            hi[i] = hi[i].max(s[i]);
+        }
+    }
+    lo.iter().zip(&hi).map(|(&l, &h)| config.fgsm_fraction * 0.5 * (h - l)).collect()
+}
+
+/// Direct distillation (`κ_D`): plain MSE regression of the teacher map,
+/// no adversarial training, no regularization.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+pub fn direct_distill(data: &TeacherDataset, config: &DistillConfig) -> NnController {
+    let mut net = student_arch(data, config);
+    cocktail_nn::train::fit_regression(
+        &mut net,
+        data.states(),
+        data.controls(),
+        &cocktail_nn::train::TrainConfig {
+            epochs: config.epochs,
+            batch_size: config.batch_size,
+            learning_rate: config.learning_rate,
+            weight_decay: 0.0,
+            grad_clip: Some(10.0),
+            seed: config.seed,
+            ..Default::default()
+        },
+    );
+    NnController::unscaled(net, "kappa_D")
+}
+
+/// Robust distillation (`κ*`): the paper's probabilistic adversarial
+/// training with L2 regularization. Per sample, with probability `p` the
+/// input is replaced by its FGSM adversary
+/// `s + Δ ⊙ sign(∇_s ℓ(κ*(s; q), u))` before the regression step, and
+/// every update carries the `λ‖q‖²` weight-decay gradient.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty or configured bounds mismatch.
+pub fn robust_distill(data: &TeacherDataset, config: &DistillConfig) -> NnController {
+    let mut net = student_arch(data, config);
+    let bound = resolve_fgsm_bound(data, config);
+    let mut rng = cocktail_math::rng::seeded(config.seed.wrapping_add(17));
+    let mut opt = Adam::new(config.learning_rate);
+    let mut grads = GradStore::zeros_like(&net);
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    let batch = config.batch_size.max(1).min(data.len());
+
+    for _ in 0..config.epochs.max(1) {
+        order.shuffle(&mut rng);
+        for chunk in order.chunks(batch) {
+            grads.reset();
+            let scale = 1.0 / chunk.len() as f64;
+            for &i in chunk {
+                let s = &data.states()[i];
+                let u = &data.controls()[i];
+                // Algorithm 1 line 12-13: z ~ U[0,1]; adversarial input if z ≤ p
+                let z: f64 = rng.gen_range(0.0..=1.0);
+                let input = if z <= config.fgsm_prob {
+                    // δ = Δ·sign(∇_s ℓ(κ*(s;q), u)) via exact backprop
+                    let cache = net.forward_cached(s);
+                    let g_out = loss::mse_gradient(cache.output(), u);
+                    let g_in = net.input_gradient(s, &g_out);
+                    let dir = vector::sign(&g_in);
+                    let delta: Vec<f64> = dir.iter().zip(&bound).map(|(d, b)| d * b).collect();
+                    vector::add(s, &delta)
+                } else {
+                    s.clone()
+                };
+                let cache = net.forward_cached(&input);
+                let g = loss::mse_gradient(cache.output(), u);
+                net.backward(&cache, &g, &mut grads, scale);
+            }
+            if config.lambda > 0.0 {
+                grads.add_weight_decay(&net, config.lambda);
+            }
+            grads.clip_global_norm(10.0);
+            opt.step(&mut net, &grads);
+        }
+    }
+    NnController::unscaled(net, "kappa_star")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocktail_control::{Controller, LinearFeedbackController};
+    use cocktail_math::{BoxRegion, Matrix};
+
+    fn teacher() -> LinearFeedbackController {
+        LinearFeedbackController::new(Matrix::from_rows(vec![vec![4.0, 2.0]]))
+    }
+
+    fn dataset() -> TeacherDataset {
+        TeacherDataset::sample_uniform(&teacher(), &BoxRegion::cube(2, -1.0, 1.0), 400, 3)
+    }
+
+    #[test]
+    fn direct_distillation_fits_teacher() {
+        let data = dataset();
+        let student = direct_distill(&data, &DistillConfig { epochs: 250, ..Default::default() });
+        let t = teacher();
+        let mut worst: f64 = 0.0;
+        for s in data.states().iter().take(50) {
+            worst = worst.max((student.control(s)[0] - t.control(s)[0]).abs());
+        }
+        assert!(worst < 0.5, "worst error {worst}");
+        assert_eq!(student.name(), "kappa_D");
+    }
+
+    #[test]
+    fn robust_distillation_fits_teacher() {
+        let data = dataset();
+        let student = robust_distill(&data, &DistillConfig { epochs: 250, ..Default::default() });
+        let t = teacher();
+        let mut worst: f64 = 0.0;
+        for s in data.states().iter().take(50) {
+            worst = worst.max((student.control(s)[0] - t.control(s)[0]).abs());
+        }
+        assert!(worst < 1.0, "worst error {worst}");
+        assert_eq!(student.name(), "kappa_star");
+    }
+
+    #[test]
+    fn robust_student_has_smaller_lipschitz_constant() {
+        let data = dataset();
+        let cfg = DistillConfig { epochs: 200, ..Default::default() };
+        let kd = direct_distill(&data, &cfg);
+        let ks = robust_distill(
+            &data,
+            &DistillConfig { lambda: 1e-3, fgsm_prob: 0.5, ..cfg },
+        );
+        assert!(
+            ks.lipschitz_constant() < kd.lipschitz_constant(),
+            "robust {} vs direct {}",
+            ks.lipschitz_constant(),
+            kd.lipschitz_constant()
+        );
+    }
+
+    #[test]
+    fn fgsm_bound_resolution() {
+        let data = dataset();
+        let explicit = DistillConfig { fgsm_bound: vec![0.3, 0.4], ..Default::default() };
+        assert_eq!(resolve_fgsm_bound(&data, &explicit), vec![0.3, 0.4]);
+        let derived = resolve_fgsm_bound(&data, &DistillConfig::default());
+        // states span ≈[-1,1] per dim ⇒ bound ≈ 0.1 at the default fraction
+        assert!(derived.iter().all(|&b| (0.05..0.15).contains(&b)), "{derived:?}");
+    }
+
+    #[test]
+    fn distillation_is_seed_deterministic() {
+        let data = dataset();
+        let cfg = DistillConfig { epochs: 30, ..Default::default() };
+        let a = robust_distill(&data, &cfg);
+        let b = robust_distill(&data, &cfg);
+        assert_eq!(a.network(), b.network());
+    }
+}

@@ -1,0 +1,41 @@
+//! Teacher-student distillation with probabilistic adversarial training —
+//! the second stage of the Cocktail framework (Algorithm 1 lines 11–14).
+//!
+//! Given the mixed controller design `A_W` (the teacher), this crate
+//! synthesizes a single student MLP in two flavours:
+//!
+//! * **direct distillation** (`κ_D`) — plain MSE regression of the
+//!   teacher's state→control map ([`distill::direct_distill`]);
+//! * **robust distillation** (`κ*`) — the paper's min-max
+//!   `min_q max_{‖δ‖≤Δ} ℓ(κ*(s+δ; q), u) + λ‖q‖²`, solved by FGSM inner
+//!   steps applied with probability `p` plus L2 regularization
+//!   ([`distill::robust_distill`]), which demonstrably shrinks the
+//!   student's Lipschitz constant.
+//!
+//! The [`attack`] module provides the evaluation-time threat models of
+//! Table II: per-step uniform measurement noise and FGSM adversarial
+//! perturbations at 10–15 % of the state bound.
+//!
+//! # Examples
+//!
+//! ```
+//! use cocktail_distill::dataset::TeacherDataset;
+//! use cocktail_distill::distill::{direct_distill, DistillConfig};
+//! use cocktail_control::{Controller, LinearFeedbackController};
+//! use cocktail_math::{BoxRegion, Matrix};
+//!
+//! let teacher = LinearFeedbackController::new(Matrix::from_rows(vec![vec![2.0, 1.0]]));
+//! let domain = BoxRegion::cube(2, -1.0, 1.0);
+//! let data = TeacherDataset::sample_uniform(&teacher, &domain, 256, 0);
+//! let student = direct_distill(&data, &DistillConfig { epochs: 200, ..DistillConfig::default() });
+//! let err = (student.control(&[0.5, 0.5])[0] - teacher.control(&[0.5, 0.5])[0]).abs();
+//! assert!(err < 0.3, "student should approximate the teacher, err {err}");
+//! ```
+
+pub mod attack;
+pub mod dataset;
+pub mod distill;
+
+pub use attack::{fgsm_direction, pgd_perturbation, AttackModel};
+pub use dataset::TeacherDataset;
+pub use distill::{direct_distill, robust_distill, DistillConfig};

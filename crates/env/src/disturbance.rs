@@ -1,0 +1,95 @@
+//! External disturbance models (`ω(t)` in the system equation).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How the external disturbance `ω(t)` is sampled at every step.
+///
+/// # Examples
+///
+/// ```
+/// use cocktail_env::DisturbanceModel;
+///
+/// let model = DisturbanceModel::Uniform(vec![0.05]);
+/// let mut rng = cocktail_math::rng::seeded(0);
+/// let w = model.sample(&mut rng);
+/// assert!(w[0].abs() <= 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DisturbanceModel {
+    /// No disturbance; produces an empty vector.
+    None,
+    /// Component `i` is uniform in `[-amp[i], amp[i]]` — the paper's model.
+    Uniform(Vec<f64>),
+}
+
+impl DisturbanceModel {
+    /// Builds the model matching a system's declared amplitude vector.
+    pub fn from_amplitude(amp: Vec<f64>) -> Self {
+        if amp.is_empty() || amp.iter().all(|&a| a == 0.0) {
+            DisturbanceModel::None
+        } else {
+            DisturbanceModel::Uniform(amp)
+        }
+    }
+
+    /// Dimension of the sampled vector.
+    pub fn dim(&self) -> usize {
+        match self {
+            DisturbanceModel::None => 0,
+            DisturbanceModel::Uniform(amp) => amp.len(),
+        }
+    }
+
+    /// Draws one disturbance realization.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        match self {
+            DisturbanceModel::None => Vec::new(),
+            DisturbanceModel::Uniform(amp) => amp
+                .iter()
+                .map(|&a| if a > 0.0 { rng.gen_range(-a..=a) } else { 0.0 })
+                .collect(),
+        }
+    }
+}
+
+impl Default for DisturbanceModel {
+    fn default() -> Self {
+        DisturbanceModel::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocktail_math::rng::seeded;
+
+    #[test]
+    fn none_is_empty() {
+        let mut r = seeded(0);
+        assert!(DisturbanceModel::None.sample(&mut r).is_empty());
+        assert_eq!(DisturbanceModel::None.dim(), 0);
+    }
+
+    #[test]
+    fn uniform_respects_amplitude() {
+        let m = DisturbanceModel::Uniform(vec![0.1, 0.0, 2.0]);
+        let mut r = seeded(1);
+        for _ in 0..100 {
+            let w = m.sample(&mut r);
+            assert!(w[0].abs() <= 0.1);
+            assert_eq!(w[1], 0.0);
+            assert!(w[2].abs() <= 2.0);
+        }
+    }
+
+    #[test]
+    fn from_amplitude_collapses_zero() {
+        assert_eq!(DisturbanceModel::from_amplitude(vec![]), DisturbanceModel::None);
+        assert_eq!(DisturbanceModel::from_amplitude(vec![0.0]), DisturbanceModel::None);
+        assert_eq!(
+            DisturbanceModel::from_amplitude(vec![0.05]),
+            DisturbanceModel::Uniform(vec![0.05])
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! The system-model trait.
+
+use cocktail_math::{BoxRegion, Interval};
+
+/// A discrete-time controlled system `s(t+1) = f(s(t), u(t), ω(t))`.
+///
+/// The trait carries everything the paper's Section II problem statement
+/// attaches to a system: the safe region `X`, the initial set `X₀`, the
+/// control bound `U`, the disturbance bound `Ω`, and the episode length
+/// `T`. State perturbations `δ(t)` are *not* part of the plant — they model
+/// attacks or sensor noise on the controller's observation and are injected
+/// by the rollout driver.
+///
+/// Implementations must also provide [`Dynamics::step_interval`], a sound
+/// interval extension of `f` used by the reachability analysis: for every
+/// concrete `(s, u, ω)` inside the given boxes, the concrete successor must
+/// lie inside the returned intervals.
+///
+/// The trait is object-safe; experiment drivers hold `&dyn Dynamics`.
+pub trait Dynamics: Send + Sync {
+    /// Human-readable system name ("oscillator", "3d-system", "cartpole").
+    fn name(&self) -> &str;
+
+    /// State dimension `|s|`.
+    fn state_dim(&self) -> usize;
+
+    /// Control dimension `|u|`.
+    fn control_dim(&self) -> usize;
+
+    /// Disturbance dimension `|ω|` (0 when the plant is deterministic).
+    fn disturbance_dim(&self) -> usize;
+
+    /// One simulation step from the *true* state.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if any argument dimension is wrong.
+    fn step(&self, s: &[f64], u: &[f64], omega: &[f64]) -> Vec<f64>;
+
+    /// Sound interval extension of [`Self::step`].
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if any argument dimension is wrong.
+    fn step_interval(&self, s: &[Interval], u: &[Interval], omega: &[Interval]) -> Vec<Interval>;
+
+    /// Whether `s` lies in the safe region `X`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `s.len() != self.state_dim()`.
+    fn is_safe(&self, s: &[f64]) -> bool;
+
+    /// The initial-state set `X₀`.
+    fn initial_set(&self) -> BoxRegion;
+
+    /// A finite box over-approximating the safe region, used as the domain
+    /// for gridding, sampling and Bernstein approximation. For systems with
+    /// unconstrained state dimensions (cartpole velocities) the box is a
+    /// generous finite surrogate; [`Self::is_safe`] remains the authority.
+    fn verification_domain(&self) -> BoxRegion;
+
+    /// Control bounds `(U_inf, U_sup)` per input dimension.
+    fn control_bounds(&self) -> (Vec<f64>, Vec<f64>);
+
+    /// Per-component amplitude of the uniform disturbance `ω`; empty when
+    /// `disturbance_dim() == 0`.
+    fn disturbance_amplitude(&self) -> Vec<f64>;
+
+    /// Episode / evaluation horizon `T` (Eq. 3).
+    fn horizon(&self) -> usize;
+
+    /// Clips a control vector into `U` — the paper's Eq. 4 clip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u.len() != self.control_dim()`.
+    fn clip_control(&self, u: &[f64]) -> Vec<f64> {
+        let (lo, hi) = self.control_bounds();
+        cocktail_math::vector::clip(u, &lo, &hi)
+    }
+
+    /// The disturbance set `Ω` as a box (degenerate `{0}` box when the
+    /// plant is deterministic but a disturbance slot is still needed).
+    fn disturbance_set(&self) -> BoxRegion {
+        let amp = self.disturbance_amplitude();
+        if amp.is_empty() {
+            BoxRegion::new(vec![Interval::point(0.0)])
+        } else {
+            BoxRegion::new(amp.iter().map(|&a| Interval::symmetric(a)).collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::systems::{CartPole, Poly3d, VanDerPol};
+
+    fn all_systems() -> Vec<Box<dyn Dynamics>> {
+        vec![Box::new(VanDerPol::new()), Box::new(Poly3d::new()), Box::new(CartPole::new())]
+    }
+
+    #[test]
+    fn trait_is_object_safe_and_consistent() {
+        for sys in all_systems() {
+            assert!(!sys.name().is_empty());
+            assert_eq!(sys.initial_set().dim(), sys.state_dim());
+            assert_eq!(sys.verification_domain().dim(), sys.state_dim());
+            let (lo, hi) = sys.control_bounds();
+            assert_eq!(lo.len(), sys.control_dim());
+            assert_eq!(hi.len(), sys.control_dim());
+            assert!(lo.iter().zip(&hi).all(|(l, h)| l < h));
+            assert_eq!(sys.disturbance_amplitude().len(), sys.disturbance_dim());
+            assert!(sys.horizon() > 0);
+        }
+    }
+
+    #[test]
+    fn clip_control_respects_bounds() {
+        for sys in all_systems() {
+            let huge = vec![1e9; sys.control_dim()];
+            let clipped = sys.clip_control(&huge);
+            let (_, hi) = sys.control_bounds();
+            assert_eq!(clipped, hi);
+        }
+    }
+
+    #[test]
+    fn initial_states_are_safe() {
+        for sys in all_systems() {
+            let x0 = sys.initial_set();
+            assert!(sys.is_safe(&x0.center()));
+            for corner in x0.corners() {
+                assert!(sys.is_safe(&corner), "{} corner unsafe", sys.name());
+            }
+        }
+    }
+
+    #[test]
+    fn step_preserves_dimension() {
+        for sys in all_systems() {
+            let s = sys.initial_set().center();
+            let u = vec![0.0; sys.control_dim()];
+            let w = vec![0.0; sys.disturbance_dim()];
+            assert_eq!(sys.step(&s, &u, &w).len(), sys.state_dim());
+        }
+    }
+}

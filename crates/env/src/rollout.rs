@@ -1,0 +1,278 @@
+//! Closed-loop trajectory simulation.
+//!
+//! The rollout driver implements the paper's Eq. 2: the controller observes
+//! the *perturbed* state `s(t) + δ(t)` (attack or measurement noise), its
+//! output is clipped into `U` (Eq. 4), the plant evolves from the true
+//! state under disturbance `ω(t)`, and the trajectory is safe iff every
+//! visited state stays inside the safe region `X`.
+
+use crate::disturbance::DisturbanceModel;
+use crate::dynamics::Dynamics;
+use cocktail_math::vector;
+use serde::{Deserialize, Serialize};
+
+/// A simulated closed-loop trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    /// Visited true states, `controls.len() + 1` entries.
+    pub states: Vec<Vec<f64>>,
+    /// Applied (clipped) control inputs.
+    pub controls: Vec<Vec<f64>>,
+    /// Step index of the first safety violation, if any.
+    pub first_violation: Option<usize>,
+}
+
+impl Trajectory {
+    /// Whether every visited state was safe.
+    pub fn is_safe(&self) -> bool {
+        self.first_violation.is_none()
+    }
+
+    /// Total control energy `Σ_t ‖u(t)‖₁` (the paper's Eq. 3 summand).
+    pub fn energy(&self) -> f64 {
+        self.controls.iter().map(|u| vector::norm_1(u)).sum()
+    }
+
+    /// Number of executed control steps.
+    pub fn len(&self) -> usize {
+        self.controls.len()
+    }
+
+    /// Whether no step was executed.
+    pub fn is_empty(&self) -> bool {
+        self.controls.is_empty()
+    }
+
+    /// The final state.
+    pub fn last_state(&self) -> &[f64] {
+        self.states.last().expect("trajectory always holds the initial state")
+    }
+}
+
+/// Configuration for [`rollout`].
+#[derive(Debug, Clone)]
+pub struct RolloutConfig {
+    /// Number of control steps; `None` uses the system's own horizon.
+    pub horizon: Option<usize>,
+    /// External-disturbance model; `None` uses the system's declared
+    /// uniform amplitude.
+    pub disturbance: Option<DisturbanceModel>,
+    /// RNG seed for disturbance sampling.
+    pub seed: u64,
+    /// Stop simulating at the first safety violation (default `true`;
+    /// the safe-control-rate metric only needs the first violation).
+    pub stop_on_violation: bool,
+}
+
+impl Default for RolloutConfig {
+    fn default() -> Self {
+        Self { horizon: None, disturbance: None, seed: 0, stop_on_violation: true }
+    }
+}
+
+/// Simulates the closed loop from `s0`.
+///
+/// `controller` maps the *observed* state to a control vector;
+/// `perturbation` produces `δ(t)` from the step index and the true state
+/// (return a zero vector for the nominal setting). The rollout clips the
+/// control into `U` before applying it.
+///
+/// # Panics
+///
+/// Panics if `s0.len() != sys.state_dim()` or the controller returns a
+/// vector of the wrong dimension.
+///
+/// # Examples
+///
+/// ```
+/// use cocktail_env::{rollout, Dynamics, RolloutConfig, systems::VanDerPol};
+///
+/// let sys = VanDerPol::new();
+/// // proportional damping controller
+/// let mut controller = |s: &[f64]| vec![-2.0 * s[0] - 2.0 * s[1]];
+/// let mut no_attack = |_t: usize, s: &[f64]| vec![0.0; s.len()];
+/// let traj = rollout(&sys, &mut controller, &mut no_attack, &[0.5, 0.5],
+///                    &RolloutConfig::default());
+/// assert!(traj.is_safe());
+/// ```
+pub fn rollout(
+    sys: &dyn Dynamics,
+    controller: &mut dyn FnMut(&[f64]) -> Vec<f64>,
+    perturbation: &mut dyn FnMut(usize, &[f64]) -> Vec<f64>,
+    s0: &[f64],
+    config: &RolloutConfig,
+) -> Trajectory {
+    assert_eq!(s0.len(), sys.state_dim(), "initial state dimension mismatch");
+    let horizon = config.horizon.unwrap_or_else(|| sys.horizon());
+    let disturbance = config
+        .disturbance
+        .clone()
+        .unwrap_or_else(|| DisturbanceModel::from_amplitude(sys.disturbance_amplitude()));
+    let mut rng = cocktail_math::rng::seeded(config.seed);
+
+    let mut states = Vec::with_capacity(horizon + 1);
+    let mut controls = Vec::with_capacity(horizon);
+    let mut first_violation = if sys.is_safe(s0) { None } else { Some(0) };
+    states.push(s0.to_vec());
+
+    if first_violation.is_some() && config.stop_on_violation {
+        return Trajectory { states, controls, first_violation };
+    }
+
+    let mut s = s0.to_vec();
+    for t in 0..horizon {
+        let delta = perturbation(t, &s);
+        assert_eq!(delta.len(), s.len(), "perturbation dimension mismatch");
+        let observed = vector::add(&s, &delta);
+        let u_raw = controller(&observed);
+        assert_eq!(u_raw.len(), sys.control_dim(), "controller output dimension mismatch");
+        let u = sys.clip_control(&u_raw);
+        let mut omega = disturbance.sample(&mut rng);
+        omega.truncate(sys.disturbance_dim());
+        if omega.len() < sys.disturbance_dim() {
+            omega.resize(sys.disturbance_dim(), 0.0);
+        }
+        s = sys.step(&s, &u, &omega);
+        controls.push(u);
+        states.push(s.clone());
+        if first_violation.is_none() && !sys.is_safe(&s) {
+            first_violation = Some(t + 1);
+            if config.stop_on_violation {
+                break;
+            }
+        }
+    }
+    Trajectory { states, controls, first_violation }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::systems::{CartPole, VanDerPol};
+
+    fn zero_perturbation(_t: usize, s: &[f64]) -> Vec<f64> {
+        vec![0.0; s.len()]
+    }
+
+    #[test]
+    fn zero_controller_on_vdp_from_origin_stays_safe() {
+        let sys = VanDerPol::new();
+        let mut c = |_: &[f64]| vec![0.0];
+        let mut p = zero_perturbation;
+        let traj = rollout(&sys, &mut c, &mut p, &[0.0, 0.0], &RolloutConfig::default());
+        assert!(traj.is_safe());
+        assert_eq!(traj.len(), 100);
+        assert_eq!(traj.energy(), 0.0);
+    }
+
+    #[test]
+    fn damping_controller_stabilizes_vdp() {
+        let sys = VanDerPol::new();
+        let mut c = |s: &[f64]| vec![-3.0 * s[0] - 3.0 * s[1]];
+        let mut p = zero_perturbation;
+        let traj = rollout(&sys, &mut c, &mut p, &[1.5, 1.5], &RolloutConfig::default());
+        assert!(traj.is_safe());
+        let last = traj.last_state();
+        assert!(cocktail_math::vector::norm_2(last) < 0.5, "final {last:?}");
+    }
+
+    #[test]
+    fn uncontrolled_cartpole_violates_and_stops_early() {
+        let sys = CartPole::new();
+        let mut c = |_: &[f64]| vec![0.0];
+        let mut p = zero_perturbation;
+        let traj = rollout(&sys, &mut c, &mut p, &[0.0, 0.0, 0.15, 0.0], &RolloutConfig::default());
+        assert!(!traj.is_safe());
+        let v = traj.first_violation.expect("must violate");
+        assert!(v < 200);
+        assert_eq!(traj.len(), v, "stop_on_violation trims the rollout");
+    }
+
+    #[test]
+    fn unsafe_initial_state_flagged_at_zero() {
+        let sys = VanDerPol::new();
+        let mut c = |_: &[f64]| vec![0.0];
+        let mut p = zero_perturbation;
+        let traj = rollout(&sys, &mut c, &mut p, &[3.0, 0.0], &RolloutConfig::default());
+        assert_eq!(traj.first_violation, Some(0));
+        assert!(traj.is_empty());
+    }
+
+    #[test]
+    fn rollout_is_seed_deterministic() {
+        let sys = VanDerPol::new();
+        let run = |seed| {
+            let mut c = |s: &[f64]| vec![-s[0] - s[1]];
+            let mut p = zero_perturbation;
+            rollout(
+                &sys,
+                &mut c,
+                &mut p,
+                &[1.0, -1.0],
+                &RolloutConfig { seed, ..Default::default() },
+            )
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5).states, run(6).states);
+    }
+
+    #[test]
+    fn perturbation_reaches_controller_not_plant() {
+        let sys = VanDerPol::new();
+        // controller echoes what it sees into the control; with a constant
+        // +1 perturbation on s₁ the observed state differs from the true one.
+        let mut seen = Vec::new();
+        let mut c = |s: &[f64]| {
+            seen.push(s.to_vec());
+            vec![0.0]
+        };
+        let mut p = |_t: usize, s: &[f64]| {
+            let mut d = vec![0.0; s.len()];
+            d[0] = 1.0;
+            d
+        };
+        let traj = rollout(
+            &sys,
+            &mut c,
+            &mut p,
+            &[0.0, 0.0],
+            &RolloutConfig {
+                horizon: Some(1),
+                disturbance: Some(DisturbanceModel::None),
+                ..Default::default()
+            },
+        );
+        assert_eq!(seen[0][0], 1.0, "controller sees perturbed state");
+        assert_eq!(traj.states[0][0], 0.0, "true state unperturbed");
+    }
+
+    #[test]
+    fn control_is_clipped_to_bounds() {
+        let sys = VanDerPol::new();
+        let mut c = |_: &[f64]| vec![1000.0];
+        let mut p = zero_perturbation;
+        let traj = rollout(
+            &sys,
+            &mut c,
+            &mut p,
+            &[0.0, 0.0],
+            &RolloutConfig { horizon: Some(3), ..Default::default() },
+        );
+        assert!(traj.controls.iter().all(|u| u[0] == 20.0));
+    }
+
+    #[test]
+    fn energy_accumulates_l1_norm() {
+        let sys = VanDerPol::new();
+        let mut c = |_: &[f64]| vec![-2.0];
+        let mut p = zero_perturbation;
+        let traj = rollout(
+            &sys,
+            &mut c,
+            &mut p,
+            &[0.0, 0.0],
+            &RolloutConfig { horizon: Some(5), ..Default::default() },
+        );
+        assert_eq!(traj.energy(), 10.0);
+    }
+}

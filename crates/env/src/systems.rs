@@ -1,0 +1,476 @@
+//! The three benchmark systems of the paper's Section IV.
+
+use crate::dynamics::Dynamics;
+use cocktail_math::{BoxRegion, Interval};
+use serde::{Deserialize, Serialize};
+
+/// Van der Pol oscillator, discretized at `τ = 0.05`.
+///
+/// ```text
+/// s₁(t+1) = s₁ + τ s₂
+/// s₂(t+1) = s₂ + τ [(1 − s₁²) s₂ − s₁ + u] + ω
+/// ```
+///
+/// `X = X₀ = [-2, 2]²`, `u ∈ [-20, 20]`, `ω ~ U[-0.05, 0.05]`, `T = 100`.
+///
+/// # Examples
+///
+/// ```
+/// use cocktail_env::{Dynamics, systems::VanDerPol};
+///
+/// let sys = VanDerPol::new();
+/// let s = sys.step(&[0.5, -0.5], &[1.0], &[0.0]);
+/// assert!((s[0] - (0.5 + 0.05 * -0.5)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VanDerPol {
+    tau: f64,
+}
+
+impl VanDerPol {
+    /// Creates the oscillator with the paper's `τ = 0.05`.
+    pub fn new() -> Self {
+        Self { tau: 0.05 }
+    }
+
+    /// The sampling period.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+}
+
+impl Default for VanDerPol {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Dynamics for VanDerPol {
+    fn name(&self) -> &str {
+        "oscillator"
+    }
+
+    fn state_dim(&self) -> usize {
+        2
+    }
+
+    fn control_dim(&self) -> usize {
+        1
+    }
+
+    fn disturbance_dim(&self) -> usize {
+        1
+    }
+
+    fn step(&self, s: &[f64], u: &[f64], omega: &[f64]) -> Vec<f64> {
+        assert_eq!(s.len(), 2, "state dimension mismatch");
+        assert_eq!(u.len(), 1, "control dimension mismatch");
+        assert_eq!(omega.len(), 1, "disturbance dimension mismatch");
+        let (s1, s2) = (s[0], s[1]);
+        vec![
+            s1 + self.tau * s2,
+            s2 + self.tau * ((1.0 - s1 * s1) * s2 - s1 + u[0]) + omega[0],
+        ]
+    }
+
+    fn step_interval(&self, s: &[Interval], u: &[Interval], omega: &[Interval]) -> Vec<Interval> {
+        assert_eq!(s.len(), 2, "state dimension mismatch");
+        assert_eq!(u.len(), 1, "control dimension mismatch");
+        assert_eq!(omega.len(), 1, "disturbance dimension mismatch");
+        let (s1, s2) = (s[0], s[1]);
+        let one = Interval::point(1.0);
+        let next1 = s1 + s2 * self.tau;
+        let accel = (one - s1.square()) * s2 - s1 + u[0];
+        let next2 = s2 + accel * self.tau + omega[0];
+        vec![next1, next2]
+    }
+
+    fn is_safe(&self, s: &[f64]) -> bool {
+        assert_eq!(s.len(), 2, "state dimension mismatch");
+        s.iter().all(|v| v.abs() <= 2.0)
+    }
+
+    fn initial_set(&self) -> BoxRegion {
+        BoxRegion::cube(2, -2.0, 2.0)
+    }
+
+    fn verification_domain(&self) -> BoxRegion {
+        BoxRegion::cube(2, -2.0, 2.0)
+    }
+
+    fn control_bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        (vec![-20.0], vec![20.0])
+    }
+
+    fn disturbance_amplitude(&self) -> Vec<f64> {
+        vec![0.05]
+    }
+
+    fn horizon(&self) -> usize {
+        100
+    }
+}
+
+/// The 3D polynomial system of Sassi et al. \[25\] (example 15):
+/// `ẋ = y + 0.5 z², ẏ = z, ż = u`, Euler-discretized at `τ = 0.05`.
+///
+/// `X = X₀ = [-0.5, 0.5]³`, `u ∈ [-10, 10]`, `T = 100`, no disturbance.
+///
+/// # Examples
+///
+/// ```
+/// use cocktail_env::{Dynamics, systems::Poly3d};
+///
+/// let sys = Poly3d::new();
+/// let s = sys.step(&[0.0, 0.2, 0.4], &[1.0], &[]);
+/// assert!((s[0] - 0.05 * (0.2 + 0.5 * 0.16)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Poly3d {
+    tau: f64,
+}
+
+impl Poly3d {
+    /// Creates the system with the paper's `τ = 0.05`.
+    pub fn new() -> Self {
+        Self { tau: 0.05 }
+    }
+
+    /// The sampling period.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+}
+
+impl Default for Poly3d {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Dynamics for Poly3d {
+    fn name(&self) -> &str {
+        "3d-system"
+    }
+
+    fn state_dim(&self) -> usize {
+        3
+    }
+
+    fn control_dim(&self) -> usize {
+        1
+    }
+
+    fn disturbance_dim(&self) -> usize {
+        0
+    }
+
+    fn step(&self, s: &[f64], u: &[f64], omega: &[f64]) -> Vec<f64> {
+        assert_eq!(s.len(), 3, "state dimension mismatch");
+        assert_eq!(u.len(), 1, "control dimension mismatch");
+        assert!(omega.is_empty(), "3d system has no disturbance");
+        let (x, y, z) = (s[0], s[1], s[2]);
+        vec![
+            x + self.tau * (y + 0.5 * z * z),
+            y + self.tau * z,
+            z + self.tau * u[0],
+        ]
+    }
+
+    fn step_interval(&self, s: &[Interval], u: &[Interval], omega: &[Interval]) -> Vec<Interval> {
+        assert_eq!(s.len(), 3, "state dimension mismatch");
+        assert_eq!(u.len(), 1, "control dimension mismatch");
+        assert!(omega.is_empty(), "3d system has no disturbance");
+        let (x, y, z) = (s[0], s[1], s[2]);
+        vec![
+            x + (y + z.square() * 0.5) * self.tau,
+            y + z * self.tau,
+            z + u[0] * self.tau,
+        ]
+    }
+
+    fn is_safe(&self, s: &[f64]) -> bool {
+        assert_eq!(s.len(), 3, "state dimension mismatch");
+        s.iter().all(|v| v.abs() <= 0.5)
+    }
+
+    fn initial_set(&self) -> BoxRegion {
+        BoxRegion::cube(3, -0.5, 0.5)
+    }
+
+    fn verification_domain(&self) -> BoxRegion {
+        BoxRegion::cube(3, -0.5, 0.5)
+    }
+
+    fn control_bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        (vec![-10.0], vec![10.0])
+    }
+
+    fn disturbance_amplitude(&self) -> Vec<f64> {
+        Vec::new()
+    }
+
+    fn horizon(&self) -> usize {
+        100
+    }
+}
+
+/// The cartpole, Euler-discretized at `τ = 0.02` with the paper's
+/// parameters (`m_c = 1`, `m_p = 0.1`, `m_t = 1.1`, `g = 9.8`, `l = 1`).
+///
+/// State `(s₁, s₂, s₃, s₄)` = (cart position, cart velocity, pole angle,
+/// pole angular velocity); safe region `|s₁| ≤ 2.4 ∧ |s₃| ≤ 0.209`,
+/// `X₀ = [-0.2, 0.2]⁴`, `T = 200`, no disturbance. The control bound is
+/// `u ∈ [-10, 10]` (the paper does not state it; ±10 N is the standard
+/// continuous-cartpole choice and comfortably covers the LQR stabilizer).
+///
+/// # Examples
+///
+/// ```
+/// use cocktail_env::{Dynamics, systems::CartPole};
+///
+/// let sys = CartPole::new();
+/// assert!(sys.is_safe(&[0.0, 5.0, 0.1, -3.0]));
+/// assert!(!sys.is_safe(&[0.0, 0.0, 0.3, 0.0]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CartPole {
+    tau: f64,
+    m_cart: f64,
+    m_pole: f64,
+    gravity: f64,
+    length: f64,
+}
+
+impl CartPole {
+    /// Creates the cartpole with the paper's parameters.
+    pub fn new() -> Self {
+        Self { tau: 0.02, m_cart: 1.0, m_pole: 0.1, gravity: 9.8, length: 1.0 }
+    }
+
+    /// The sampling period.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    fn m_total(&self) -> f64 {
+        self.m_cart + self.m_pole
+    }
+
+    /// The accelerations `(s_acc, θ_acc)` for a given state and force —
+    /// exposed so tests can cross-check the update equations.
+    pub fn accelerations(&self, s: &[f64], u: f64) -> (f64, f64) {
+        let (s3, s4) = (s[2], s[3]);
+        let m_t = self.m_total();
+        let psi = (u + self.m_pole * self.length * s4 * s4 * s3.sin()) / m_t;
+        let theta_acc = (self.gravity * s3.sin() - s3.cos() * psi)
+            / (self.length * (4.0 / 3.0 - self.m_pole * s3.cos() * s3.cos() / m_t));
+        let s_acc = psi - self.m_pole * self.length * s3.cos() * theta_acc / m_t;
+        (s_acc, theta_acc)
+    }
+}
+
+impl Default for CartPole {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Dynamics for CartPole {
+    fn name(&self) -> &str {
+        "cartpole"
+    }
+
+    fn state_dim(&self) -> usize {
+        4
+    }
+
+    fn control_dim(&self) -> usize {
+        1
+    }
+
+    fn disturbance_dim(&self) -> usize {
+        0
+    }
+
+    fn step(&self, s: &[f64], u: &[f64], omega: &[f64]) -> Vec<f64> {
+        assert_eq!(s.len(), 4, "state dimension mismatch");
+        assert_eq!(u.len(), 1, "control dimension mismatch");
+        assert!(omega.is_empty(), "cartpole has no disturbance");
+        let (s_acc, theta_acc) = self.accelerations(s, u[0]);
+        vec![
+            s[0] + self.tau * s[1],
+            s[1] + self.tau * s_acc,
+            s[2] + self.tau * s[3],
+            s[3] + self.tau * theta_acc,
+        ]
+    }
+
+    fn step_interval(&self, s: &[Interval], u: &[Interval], omega: &[Interval]) -> Vec<Interval> {
+        assert_eq!(s.len(), 4, "state dimension mismatch");
+        assert_eq!(u.len(), 1, "control dimension mismatch");
+        assert!(omega.is_empty(), "cartpole has no disturbance");
+        let m_t = Interval::point(self.m_total());
+        let ml = Interval::point(self.m_pole * self.length);
+        let g = Interval::point(self.gravity);
+        let (s3, s4) = (s[2], s[3]);
+        let sin3 = s3.sin();
+        let cos3 = s3.cos();
+        let psi = (u[0] + ml * s4.square() * sin3) / m_t;
+        let denom = Interval::point(self.length)
+            * (Interval::point(4.0 / 3.0)
+                - cos3.square() * Interval::point(self.m_pole) / m_t);
+        let theta_acc = (g * sin3 - cos3 * psi) / denom;
+        let s_acc = psi - ml * cos3 * theta_acc / m_t;
+        vec![
+            s[0] + s[1] * self.tau,
+            s[1] + s_acc * self.tau,
+            s[2] + s[3] * self.tau,
+            s[3] + theta_acc * self.tau,
+        ]
+    }
+
+    fn is_safe(&self, s: &[f64]) -> bool {
+        assert_eq!(s.len(), 4, "state dimension mismatch");
+        s[0].abs() <= 2.4 && s[2].abs() <= 0.209
+    }
+
+    fn initial_set(&self) -> BoxRegion {
+        BoxRegion::cube(4, -0.2, 0.2)
+    }
+
+    fn verification_domain(&self) -> BoxRegion {
+        // s₂ and s₄ are unconstrained in X; ±3 comfortably covers every
+        // velocity observed along safe trajectories of the paper's horizon.
+        BoxRegion::new(vec![
+            Interval::new(-2.4, 2.4),
+            Interval::new(-3.0, 3.0),
+            Interval::new(-0.209, 0.209),
+            Interval::new(-3.0, 3.0),
+        ])
+    }
+
+    fn control_bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        (vec![-10.0], vec![10.0])
+    }
+
+    fn disturbance_amplitude(&self) -> Vec<f64> {
+        Vec::new()
+    }
+
+    fn horizon(&self) -> usize {
+        200
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocktail_math::rng;
+
+    #[test]
+    fn vdp_step_matches_hand_computation() {
+        let sys = VanDerPol::new();
+        let s = [1.0, -0.5];
+        let next = sys.step(&s, &[2.0], &[0.01]);
+        let expect1 = 1.0 + 0.05 * -0.5;
+        let expect2 = -0.5 + 0.05 * ((1.0 - 1.0) * -0.5 - 1.0 + 2.0) + 0.01;
+        assert!((next[0] - expect1).abs() < 1e-12);
+        assert!((next[1] - expect2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vdp_unforced_origin_is_fixed_point() {
+        let sys = VanDerPol::new();
+        let next = sys.step(&[0.0, 0.0], &[0.0], &[0.0]);
+        assert_eq!(next, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn poly3d_step_matches_hand_computation() {
+        let sys = Poly3d::new();
+        let next = sys.step(&[0.1, 0.2, 0.3], &[-1.0], &[]);
+        assert!((next[0] - (0.1 + 0.05 * (0.2 + 0.5 * 0.09))).abs() < 1e-12);
+        assert!((next[1] - (0.2 + 0.05 * 0.3)).abs() < 1e-12);
+        assert!((next[2] - (0.3 - 0.05)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cartpole_accelerations_match_paper_form() {
+        let sys = CartPole::new();
+        let s = [0.0, 0.0, 0.05, 0.1];
+        let u = 1.0;
+        let m_t = 1.1;
+        let psi = (u + 0.1 * 1.0 * 0.01 * 0.05_f64.sin()) / m_t;
+        // paper writes (g sin s3 − cos s3 ψ) m_t / (l (1.333 m_t − m_p cos² s3));
+        // the standard Barto form divides by l(4/3 − m_p cos²/m_t) after
+        // normalizing by m_t — identical up to the 1.333 truncation.
+        let theta_acc = (9.8 * 0.05_f64.sin() - 0.05_f64.cos() * psi)
+            / (1.0 * (4.0 / 3.0 - 0.1 * 0.05_f64.cos().powi(2) / m_t));
+        let s_acc = psi - 0.1 * 1.0 * 0.05_f64.cos() * theta_acc / m_t;
+        let (sa, ta) = sys.accelerations(&s, u);
+        assert!((sa - s_acc).abs() < 1e-12);
+        assert!((ta - theta_acc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cartpole_falls_without_control() {
+        let sys = CartPole::new();
+        let mut s = vec![0.0, 0.0, 0.05, 0.0];
+        for _ in 0..200 {
+            s = sys.step(&s, &[0.0], &[]);
+        }
+        assert!(!sys.is_safe(&s), "uncontrolled pole should fall: {s:?}");
+    }
+
+    #[test]
+    fn cartpole_gravity_accelerates_fall() {
+        let sys = CartPole::new();
+        let (_, ta) = sys.accelerations(&[0.0, 0.0, 0.1, 0.0], 0.0);
+        assert!(ta > 0.0, "positive angle should accelerate positively under gravity");
+        let (_, ta_neg) = sys.accelerations(&[0.0, 0.0, -0.1, 0.0], 0.0);
+        assert!(ta_neg < 0.0);
+    }
+
+    #[test]
+    fn interval_step_contains_concrete_steps() {
+        let systems: Vec<Box<dyn Dynamics>> =
+            vec![Box::new(VanDerPol::new()), Box::new(Poly3d::new()), Box::new(CartPole::new())];
+        let mut r = rng::seeded(11);
+        for sys in &systems {
+            let region = sys.initial_set();
+            let (ulo, uhi) = sys.control_bounds();
+            let ubox: Vec<Interval> =
+                ulo.iter().zip(&uhi).map(|(&l, &h)| Interval::new(l / 10.0, h / 10.0)).collect();
+            let wamp = sys.disturbance_amplitude();
+            let wbox: Vec<Interval> = wamp.iter().map(|&a| Interval::symmetric(a)).collect();
+            let sbox: Vec<Interval> = region.intervals().to_vec();
+            let bounds = sys.step_interval(&sbox, &ubox, &wbox);
+            for _ in 0..200 {
+                let s = rng::uniform_in_box(&mut r, &region);
+                let u: Vec<f64> =
+                    ubox.iter().map(|iv| iv.lo() + (iv.hi() - iv.lo()) * 0.37).collect();
+                let w: Vec<f64> = wamp.iter().map(|&a| a * 0.5).collect();
+                let next = sys.step(&s, &u, &w);
+                for (ni, bi) in next.iter().zip(&bounds) {
+                    assert!(
+                        bi.inflate(1e-9).contains(*ni),
+                        "{}: {ni} escapes {bi}",
+                        sys.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn safety_boundaries_exact() {
+        let vdp = VanDerPol::new();
+        assert!(vdp.is_safe(&[2.0, -2.0]));
+        assert!(!vdp.is_safe(&[2.0001, 0.0]));
+        let cp = CartPole::new();
+        assert!(cp.is_safe(&[2.4, 100.0, 0.209, -100.0]));
+        assert!(!cp.is_safe(&[2.41, 0.0, 0.0, 0.0]));
+        assert!(!cp.is_safe(&[0.0, 0.0, 0.21, 0.0]));
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests of the plant substrate: interval-step soundness,
+//! rollout determinism and clipping invariants across all three systems.
+
+use cocktail_env::systems::{CartPole, Poly3d, VanDerPol};
+use cocktail_env::{rollout, Dynamics, RolloutConfig};
+use cocktail_math::{rng, BoxRegion, Interval};
+use proptest::prelude::*;
+
+fn systems() -> Vec<Box<dyn Dynamics>> {
+    vec![Box::new(VanDerPol::new()), Box::new(Poly3d::new()), Box::new(CartPole::new())]
+}
+
+/// Builds a random sub-box of the initial set from unit coordinates.
+fn sub_box(sys: &dyn Dynamics, lo_t: &[f64], width_t: f64) -> BoxRegion {
+    let x0 = sys.initial_set();
+    let dims = x0
+        .intervals()
+        .iter()
+        .zip(lo_t)
+        .map(|(iv, &t)| {
+            let lo = iv.lo() + t * iv.width() * (1.0 - width_t);
+            let hi = lo + iv.width() * width_t;
+            Interval::new(lo, hi.min(iv.hi()))
+        })
+        .collect();
+    BoxRegion::new(dims)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn interval_step_contains_concrete_step(
+        seed in 0u64..10_000,
+        t0 in 0.0..1.0f64, t1 in 0.0..1.0f64, t2 in 0.0..1.0f64, t3 in 0.0..1.0f64,
+        width in 0.05..0.5f64,
+        u_frac in -1.0..1.0f64,
+    ) {
+        let ts = [t0, t1, t2, t3];
+        for sys in systems() {
+            let region = sub_box(sys.as_ref(), &ts[..sys.state_dim()], width);
+            let (ulo, uhi) = sys.control_bounds();
+            let u_point: Vec<f64> =
+                ulo.iter().zip(&uhi).map(|(&l, &h)| 0.5 * (l + h) + 0.5 * u_frac * (h - l)).collect();
+            let ubox: Vec<Interval> = u_point.iter().map(|&u| Interval::point(u)).collect();
+            let wamp = sys.disturbance_amplitude();
+            let wbox: Vec<Interval> = wamp.iter().map(|&a| Interval::symmetric(a)).collect();
+            let bounds = sys.step_interval(region.intervals(), &ubox, &wbox);
+
+            let mut r = rng::seeded(seed);
+            for _ in 0..10 {
+                let s = rng::uniform_in_box(&mut r, &region);
+                let w = rng::uniform_symmetric(
+                    &mut r,
+                    sys.disturbance_dim(),
+                    *wamp.first().unwrap_or(&0.0),
+                );
+                let next = sys.step(&s, &u_point, &w);
+                for (n, b) in next.iter().zip(&bounds) {
+                    prop_assert!(b.inflate(1e-9).contains(*n), "{}: {n} escapes {b}", sys.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rollout_controls_always_clipped(seed in 0u64..1000, gain in -50.0..50.0f64) {
+        for sys in systems() {
+            let dim = sys.state_dim();
+            let mut controller = |s: &[f64]| vec![gain * s.iter().sum::<f64>(); sys.control_dim()];
+            let mut no_attack = |_t: usize, s: &[f64]| vec![0.0; s.len()];
+            let mut r = rng::seeded(seed);
+            let s0 = rng::uniform_in_box(&mut r, &sys.initial_set());
+            prop_assert_eq!(s0.len(), dim);
+            let traj = rollout(
+                sys.as_ref(),
+                &mut controller,
+                &mut no_attack,
+                &s0,
+                &RolloutConfig { horizon: Some(20), seed, ..Default::default() },
+            );
+            let (lo, hi) = sys.control_bounds();
+            for u in &traj.controls {
+                for (i, v) in u.iter().enumerate() {
+                    prop_assert!((lo[i]..=hi[i]).contains(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rollout_energy_is_nonnegative_and_additive(seed in 0u64..1000) {
+        let sys = VanDerPol::new();
+        let mut controller = |s: &[f64]| vec![-2.0 * s[0] - 2.0 * s[1]];
+        let mut no_attack = |_t: usize, s: &[f64]| vec![0.0; s.len()];
+        let mut r = rng::seeded(seed);
+        let s0 = rng::uniform_in_box(&mut r, &sys.initial_set());
+        let traj = rollout(
+            &sys,
+            &mut controller,
+            &mut no_attack,
+            &s0,
+            &RolloutConfig { seed, ..Default::default() },
+        );
+        let manual: f64 = traj.controls.iter().map(|u| u[0].abs()).sum();
+        prop_assert!((traj.energy() - manual).abs() < 1e-12);
+        prop_assert!(traj.energy() >= 0.0);
+    }
+
+    #[test]
+    fn safety_flag_matches_visited_states(seed in 0u64..1000, gain in 0.0..5.0f64) {
+        for sys in systems() {
+            let mut controller = {
+                let g = gain;
+                move |s: &[f64]| vec![-g * s.iter().sum::<f64>(); 1]
+            };
+            let mut no_attack = |_t: usize, s: &[f64]| vec![0.0; s.len()];
+            let mut r = rng::seeded(seed);
+            let s0 = rng::uniform_in_box(&mut r, &sys.initial_set());
+            let traj = rollout(
+                sys.as_ref(),
+                &mut controller,
+                &mut no_attack,
+                &s0,
+                &RolloutConfig { horizon: Some(50), seed, stop_on_violation: false, ..Default::default() },
+            );
+            let all_safe = traj.states.iter().all(|s| sys.is_safe(s));
+            prop_assert_eq!(traj.is_safe(), all_safe, "{} flag mismatch", sys.name());
+            if let Some(t) = traj.first_violation {
+                prop_assert!(!sys.is_safe(&traj.states[t]));
+                for s in &traj.states[..t] {
+                    prop_assert!(sys.is_safe(s));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trajectory(seed in 0u64..1000) {
+        let sys = VanDerPol::new();
+        let run = || {
+            let mut c = |s: &[f64]| vec![-s[0] - s[1]];
+            let mut p = |_t: usize, s: &[f64]| vec![0.0; s.len()];
+            rollout(&sys, &mut c, &mut p, &[0.7, -0.7],
+                &RolloutConfig { seed, ..Default::default() })
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,37 @@
+//! Dense linear algebra, interval arithmetic, multivariate polynomials and
+//! statistics kernels for the Cocktail reproduction.
+//!
+//! This crate is the NumPy-replacement substrate of the workspace. Everything
+//! downstream — the neural-network crate, the reinforcement-learning crate and
+//! the verification crate — is built on the primitives defined here:
+//!
+//! * [`matrix::Matrix`] — a row-major dense `f64` matrix with the product,
+//!   norm and decomposition-free spectral estimates the NN layers need;
+//! * [`interval::Interval`] and [`interval::BoxRegion`] — sound interval
+//!   arithmetic used by the reachability analysis;
+//! * [`poly::MultiPoly`] — sparse multivariate polynomials used by the
+//!   model-based expert of the 3D system and by Bernstein certificates;
+//! * [`stats`] — running statistics for reward normalization;
+//! * [`rng`] — seeded sampling helpers so every experiment is reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use cocktail_math::matrix::Matrix;
+//!
+//! let a = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+//! let x = [1.0, 1.0];
+//! assert_eq!(a.matvec(&x), vec![3.0, 7.0]);
+//! ```
+
+pub mod interval;
+pub mod linalg;
+pub mod matrix;
+pub mod poly;
+pub mod rng;
+pub mod stats;
+pub mod vector;
+
+pub use interval::{BoxRegion, Interval};
+pub use matrix::Matrix;
+pub use poly::MultiPoly;

@@ -1,0 +1,261 @@
+//! Dense linear solvers: Gauss–Jordan inverse, linear solve and
+//! determinant with partial pivoting.
+//!
+//! Sized for the control problems of this workspace (n ≤ ~10): the
+//! discrete Riccati iteration behind LQR synthesis needs `A⁻¹` of
+//! `R + Bᵀ P B`-sized matrices, which are at most a few columns wide.
+
+use crate::matrix::Matrix;
+use std::error::Error;
+use std::fmt;
+
+/// The matrix was (numerically) singular.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularMatrixError;
+
+impl fmt::Display for SingularMatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("matrix is singular to working precision")
+    }
+}
+
+impl Error for SingularMatrixError {}
+
+/// Inverts a square matrix by Gauss–Jordan elimination with partial
+/// pivoting.
+///
+/// # Errors
+///
+/// Returns [`SingularMatrixError`] when a pivot falls below `1e-12`
+/// relative to the largest row entry.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+///
+/// # Examples
+///
+/// ```
+/// use cocktail_math::linalg::inverse;
+/// use cocktail_math::Matrix;
+///
+/// let a = Matrix::from_rows(vec![vec![4.0, 7.0], vec![2.0, 6.0]]);
+/// let inv = inverse(&a)?;
+/// let id = a.matmul(&inv);
+/// assert!((id[(0, 0)] - 1.0).abs() < 1e-12);
+/// assert!(id[(0, 1)].abs() < 1e-12);
+/// # Ok::<(), cocktail_math::linalg::SingularMatrixError>(())
+/// ```
+pub fn inverse(a: &Matrix) -> Result<Matrix, SingularMatrixError> {
+    assert_eq!(a.rows(), a.cols(), "inverse needs a square matrix");
+    let n = a.rows();
+    // augmented [A | I]
+    let mut m = Matrix::from_fn(n, 2 * n, |r, c| {
+        if c < n {
+            a[(r, c)]
+        } else if c - n == r {
+            1.0
+        } else {
+            0.0
+        }
+    });
+    for col in 0..n {
+        // partial pivot
+        let (pivot_row, pivot_val) = (col..n)
+            .map(|r| (r, m[(r, col)].abs()))
+            .max_by(|x, y| x.1.total_cmp(&y.1))
+            .expect("non-empty range");
+        if pivot_val < 1e-12 {
+            return Err(SingularMatrixError);
+        }
+        if pivot_row != col {
+            for c in 0..2 * n {
+                let tmp = m[(col, c)];
+                m[(col, c)] = m[(pivot_row, c)];
+                m[(pivot_row, c)] = tmp;
+            }
+        }
+        let p = m[(col, col)];
+        for c in 0..2 * n {
+            m[(col, c)] /= p;
+        }
+        for r in 0..n {
+            if r == col {
+                continue;
+            }
+            let f = m[(r, col)];
+            if f == 0.0 {
+                continue;
+            }
+            for c in 0..2 * n {
+                m[(r, c)] -= f * m[(col, c)];
+            }
+        }
+    }
+    Ok(Matrix::from_fn(n, n, |r, c| m[(r, c + n)]))
+}
+
+/// Solves `A x = b` for a square `A`.
+///
+/// # Errors
+///
+/// Returns [`SingularMatrixError`] when `A` is singular.
+///
+/// # Panics
+///
+/// Panics if `A` is not square or `b.len() != A.rows()`.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, SingularMatrixError> {
+    assert_eq!(a.rows(), a.cols(), "solve needs a square matrix");
+    assert_eq!(b.len(), a.rows(), "right-hand side length mismatch");
+    Ok(inverse(a)?.matvec(b))
+}
+
+/// Determinant by LU-style elimination with partial pivoting.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+pub fn determinant(a: &Matrix) -> f64 {
+    assert_eq!(a.rows(), a.cols(), "determinant needs a square matrix");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut det = 1.0;
+    for col in 0..n {
+        let (pivot_row, pivot_val) = (col..n)
+            .map(|r| (r, m[(r, col)].abs()))
+            .max_by(|x, y| x.1.total_cmp(&y.1))
+            .expect("non-empty range");
+        if pivot_val == 0.0 {
+            return 0.0;
+        }
+        if pivot_row != col {
+            det = -det;
+            for c in 0..n {
+                let tmp = m[(col, c)];
+                m[(col, c)] = m[(pivot_row, c)];
+                m[(pivot_row, c)] = tmp;
+            }
+        }
+        det *= m[(col, col)];
+        for r in col + 1..n {
+            let f = m[(r, col)] / m[(col, col)];
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                m[(r, c)] -= f * m[(col, c)];
+            }
+        }
+    }
+    det
+}
+
+/// Spectral radius estimate (largest |eigenvalue|) by power iteration on
+/// the matrix itself — used to test closed-loop stability of LQR designs.
+///
+/// The estimate converges for matrices whose dominant eigenvalue is real
+/// or complex with distinct modulus; for the Schur-stable closed loops we
+/// test it against, 200 iterations are ample.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square.
+pub fn spectral_radius(a: &Matrix) -> f64 {
+    assert_eq!(a.rows(), a.cols(), "spectral radius needs a square matrix");
+    let n = a.rows();
+    // power iteration on A with periodic normalization; for complex
+    // dominant pairs, track the growth rate of the norm instead of the
+    // Rayleigh quotient
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 / (1.0 + i as f64)).collect();
+    let mut rate = 0.0;
+    for _ in 0..200 {
+        let w = a.matvec(&v);
+        let norm = crate::vector::norm_2(&w);
+        if norm <= f64::MIN_POSITIVE {
+            return 0.0;
+        }
+        rate = norm / crate::vector::norm_2(&v).max(f64::MIN_POSITIVE);
+        v = crate::vector::scale(&w, 1.0 / norm);
+    }
+    rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_of_identity_is_identity() {
+        let id = Matrix::identity(4);
+        assert_eq!(inverse(&id).expect("regular"), id);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Matrix::from_rows(vec![
+            vec![2.0, 1.0, 0.0],
+            vec![1.0, 3.0, 1.0],
+            vec![0.0, 1.0, 4.0],
+        ]);
+        let inv = inverse(&a).expect("regular");
+        let id = a.matmul(&inv);
+        for r in 0..3 {
+            for c in 0..3 {
+                let want = if r == c { 1.0 } else { 0.0 };
+                assert!((id[(r, c)] - want).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let a = Matrix::from_rows(vec![vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(inverse(&a), Err(SingularMatrixError));
+    }
+
+    #[test]
+    fn solve_matches_hand_computation() {
+        // x + y = 3, x - y = 1 → x = 2, y = 1
+        let a = Matrix::from_rows(vec![vec![1.0, 1.0], vec![1.0, -1.0]]);
+        let x = solve(&a, &[3.0, 1.0]).expect("regular");
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_of_triangular_is_product() {
+        let a = Matrix::from_rows(vec![
+            vec![2.0, 5.0, 1.0],
+            vec![0.0, 3.0, 7.0],
+            vec![0.0, 0.0, 4.0],
+        ]);
+        assert!((determinant(&a) - 24.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn determinant_sign_tracks_row_swaps() {
+        let a = Matrix::from_rows(vec![vec![0.0, 1.0], vec![1.0, 0.0]]);
+        assert!((determinant(&a) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_zero_for_singular() {
+        let a = Matrix::from_rows(vec![vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(determinant(&a), 0.0);
+    }
+
+    #[test]
+    fn spectral_radius_of_diagonal() {
+        let a = Matrix::from_rows(vec![vec![0.5, 0.0], vec![0.0, -0.9]]);
+        assert!((spectral_radius(&a) - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spectral_radius_of_rotation_scaled() {
+        // 0.8 × rotation: complex eigenvalues with modulus 0.8
+        let c = 0.8 * (0.3_f64).cos();
+        let s = 0.8 * (0.3_f64).sin();
+        let a = Matrix::from_rows(vec![vec![c, -s], vec![s, c]]);
+        assert!((spectral_radius(&a) - 0.8).abs() < 1e-6);
+    }
+}

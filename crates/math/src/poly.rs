@@ -1,0 +1,330 @@
+//! Sparse multivariate polynomials over `f64`.
+//!
+//! [`MultiPoly`] backs two pieces of the reproduction: the model-based
+//! polynomial expert of the 3D system (Sassi et al. \[25\] produce polynomial
+//! feedback laws) and the polynomial closed-loop dynamics handed to the
+//! verification crate once the neural controller has been replaced by its
+//! Bernstein certificate. Terms are stored as exponent vectors with
+//! coefficients; evaluation supports both concrete points and intervals.
+
+use crate::interval::{BoxRegion, Interval};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A sparse multivariate polynomial in `n` variables.
+///
+/// # Examples
+///
+/// ```
+/// use cocktail_math::MultiPoly;
+///
+/// // p(x, y) = 2 x² y - 3 y + 1
+/// let p = MultiPoly::from_terms(2, vec![
+///     (vec![2, 1], 2.0),
+///     (vec![0, 1], -3.0),
+///     (vec![0, 0], 1.0),
+/// ]);
+/// assert_eq!(p.eval(&[1.0, 2.0]), 2.0 * 2.0 - 3.0 * 2.0 + 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiPoly {
+    nvars: usize,
+    /// exponent vector → coefficient; zero coefficients are pruned.
+    terms: BTreeMap<Vec<u32>, f64>,
+}
+
+impl MultiPoly {
+    /// The zero polynomial in `nvars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nvars == 0`.
+    pub fn zero(nvars: usize) -> Self {
+        assert!(nvars > 0, "polynomial needs at least one variable");
+        Self { nvars, terms: BTreeMap::new() }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(nvars: usize, c: f64) -> Self {
+        let mut p = Self::zero(nvars);
+        p.add_term(&vec![0; nvars], c);
+        p
+    }
+
+    /// The monomial `x_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= nvars`.
+    pub fn var(nvars: usize, i: usize) -> Self {
+        assert!(i < nvars, "variable index out of bounds");
+        let mut exps = vec![0; nvars];
+        exps[i] = 1;
+        let mut p = Self::zero(nvars);
+        p.add_term(&exps, 1.0);
+        p
+    }
+
+    /// Builds a polynomial from `(exponents, coefficient)` pairs; repeated
+    /// exponent vectors accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any exponent vector's length differs from `nvars`.
+    pub fn from_terms(nvars: usize, terms: Vec<(Vec<u32>, f64)>) -> Self {
+        let mut p = Self::zero(nvars);
+        for (e, c) in terms {
+            p.add_term(&e, c);
+        }
+        p
+    }
+
+    /// Number of variables.
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Number of (non-zero) terms.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Iterates over `(exponents, coefficient)` pairs.
+    pub fn terms(&self) -> impl Iterator<Item = (&[u32], f64)> {
+        self.terms.iter().map(|(e, &c)| (e.as_slice(), c))
+    }
+
+    /// Total degree (max over terms of the exponent sum); 0 for zero poly.
+    pub fn degree(&self) -> u32 {
+        self.terms.keys().map(|e| e.iter().sum()).max().unwrap_or(0)
+    }
+
+    /// Adds `c · x^e` to the polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e.len() != nvars`.
+    pub fn add_term(&mut self, e: &[u32], c: f64) {
+        assert_eq!(e.len(), self.nvars, "exponent arity mismatch");
+        if c == 0.0 {
+            return;
+        }
+        let entry = self.terms.entry(e.to_vec()).or_insert(0.0);
+        *entry += c;
+        if *entry == 0.0 {
+            self.terms.remove(e);
+        }
+    }
+
+    /// Evaluates at a concrete point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != nvars`.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.nvars, "evaluation arity mismatch");
+        self.terms
+            .iter()
+            .map(|(e, c)| {
+                c * e.iter().zip(x).map(|(&p, &xi)| xi.powi(p as i32)).product::<f64>()
+            })
+            .sum()
+    }
+
+    /// Sound interval evaluation over a box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.dim() != nvars`.
+    pub fn eval_interval(&self, x: &BoxRegion) -> Interval {
+        assert_eq!(x.dim(), self.nvars, "evaluation arity mismatch");
+        let mut acc = Interval::point(0.0);
+        for (e, c) in &self.terms {
+            let mut term = Interval::point(*c);
+            for (i, &p) in e.iter().enumerate() {
+                if p > 0 {
+                    term = term * x.interval(i).powi(p);
+                }
+            }
+            acc = acc + term;
+        }
+        acc
+    }
+
+    /// Polynomial sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable counts differ.
+    pub fn add(&self, other: &MultiPoly) -> MultiPoly {
+        assert_eq!(self.nvars, other.nvars, "variable count mismatch");
+        let mut out = self.clone();
+        for (e, c) in &other.terms {
+            out.add_term(e, *c);
+        }
+        out
+    }
+
+    /// Polynomial difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable counts differ.
+    pub fn sub(&self, other: &MultiPoly) -> MultiPoly {
+        self.add(&other.scale(-1.0))
+    }
+
+    /// Polynomial product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable counts differ.
+    pub fn mul(&self, other: &MultiPoly) -> MultiPoly {
+        assert_eq!(self.nvars, other.nvars, "variable count mismatch");
+        let mut out = MultiPoly::zero(self.nvars);
+        for (ea, ca) in &self.terms {
+            for (eb, cb) in &other.terms {
+                let e: Vec<u32> = ea.iter().zip(eb).map(|(a, b)| a + b).collect();
+                out.add_term(&e, ca * cb);
+            }
+        }
+        out
+    }
+
+    /// Scales every coefficient by `s`.
+    pub fn scale(&self, s: f64) -> MultiPoly {
+        if s == 0.0 {
+            return MultiPoly::zero(self.nvars);
+        }
+        MultiPoly {
+            nvars: self.nvars,
+            terms: self.terms.iter().map(|(e, c)| (e.clone(), c * s)).collect(),
+        }
+    }
+
+    /// Partial derivative with respect to variable `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= nvars`.
+    pub fn derivative(&self, i: usize) -> MultiPoly {
+        assert!(i < self.nvars, "variable index out of bounds");
+        let mut out = MultiPoly::zero(self.nvars);
+        for (e, c) in &self.terms {
+            if e[i] == 0 {
+                continue;
+            }
+            let mut d = e.clone();
+            d[i] -= 1;
+            out.add_term(&d, c * e[i] as f64);
+        }
+        out
+    }
+}
+
+impl fmt::Display for MultiPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (e, c) in &self.terms {
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            write!(f, "{c}")?;
+            for (i, &p) in e.iter().enumerate() {
+                match p {
+                    0 => {}
+                    1 => write!(f, "·x{i}")?,
+                    _ => write!(f, "·x{i}^{p}")?,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_evaluates_everywhere() {
+        let p = MultiPoly::constant(3, 4.5);
+        assert_eq!(p.eval(&[1.0, -2.0, 100.0]), 4.5);
+        assert_eq!(p.degree(), 0);
+    }
+
+    #[test]
+    fn var_picks_component() {
+        let p = MultiPoly::var(2, 1);
+        assert_eq!(p.eval(&[3.0, 7.0]), 7.0);
+    }
+
+    #[test]
+    fn add_term_cancellation_prunes() {
+        let mut p = MultiPoly::var(1, 0);
+        p.add_term(&[1], -1.0);
+        assert_eq!(p.term_count(), 0);
+        assert_eq!(p.eval(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn product_of_linear_factors() {
+        // (x + 1)(x - 1) = x² - 1
+        let n = 1;
+        let x = MultiPoly::var(n, 0);
+        let p = x.add(&MultiPoly::constant(n, 1.0)).mul(&x.sub(&MultiPoly::constant(n, 1.0)));
+        assert_eq!(p.eval(&[3.0]), 8.0);
+        assert_eq!(p.degree(), 2);
+    }
+
+    #[test]
+    fn derivative_of_quadratic() {
+        // d/dx (x² y) = 2 x y
+        let p = MultiPoly::from_terms(2, vec![(vec![2, 1], 1.0)]);
+        let d = p.derivative(0);
+        assert_eq!(d.eval(&[2.0, 3.0]), 12.0);
+    }
+
+    #[test]
+    fn derivative_of_constant_is_zero() {
+        let p = MultiPoly::constant(2, 7.0);
+        assert_eq!(p.derivative(1).term_count(), 0);
+    }
+
+    #[test]
+    fn interval_eval_contains_point_eval() {
+        // p(x, y) = x² y - 3 x + y
+        let p = MultiPoly::from_terms(
+            2,
+            vec![(vec![2, 1], 1.0), (vec![1, 0], -3.0), (vec![0, 1], 1.0)],
+        );
+        let b = BoxRegion::from_bounds(&[-1.0, 0.0], &[2.0, 1.0]);
+        let bounds = p.eval_interval(&b);
+        for i in 0..=4 {
+            for j in 0..=4 {
+                let x = -1.0 + 3.0 * i as f64 / 4.0;
+                let y = j as f64 / 4.0;
+                assert!(bounds.contains(p.eval(&[x, y])), "p({x},{y}) escapes {bounds}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_roundtrip_is_readable() {
+        let p = MultiPoly::from_terms(2, vec![(vec![1, 2], 3.0)]);
+        let s = format!("{p}");
+        assert!(s.contains("x0") && s.contains("x1^2"));
+        assert_eq!(format!("{}", MultiPoly::zero(1)), "0");
+    }
+
+    #[test]
+    fn scale_by_zero_gives_zero_poly() {
+        let p = MultiPoly::var(2, 0).scale(0.0);
+        assert_eq!(p.term_count(), 0);
+    }
+}

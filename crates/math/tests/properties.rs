@@ -1,0 +1,179 @@
+//! Property-based tests for the math substrate.
+//!
+//! These pin down the soundness invariants the verification crate relies on:
+//! interval arithmetic must contain every concrete image, boxes must tile
+//! under subdivision, and the matrix norms must dominate the corresponding
+//! vector amplification.
+
+use cocktail_math::interval::{BoxRegion, Interval};
+use cocktail_math::matrix::Matrix;
+use cocktail_math::poly::MultiPoly;
+use cocktail_math::vector;
+use proptest::prelude::*;
+
+fn small_f64() -> impl Strategy<Value = f64> {
+    -10.0..10.0f64
+}
+
+fn interval_strategy() -> impl Strategy<Value = Interval> {
+    (small_f64(), small_f64()).prop_map(|(a, b)| Interval::new(a.min(b), a.max(b)))
+}
+
+fn point_in(iv: Interval) -> impl Strategy<Value = f64> {
+    (0.0..=1.0f64).prop_map(move |t| iv.lo() + t * iv.width())
+}
+
+proptest! {
+    #[test]
+    fn interval_add_sound(x in interval_strategy(), y in interval_strategy(), tx in 0.0..=1.0f64, ty in 0.0..=1.0f64) {
+        let a = x.lo() + tx * x.width();
+        let b = y.lo() + ty * y.width();
+        prop_assert!((x + y).inflate(1e-9).contains(a + b));
+        prop_assert!((x - y).inflate(1e-9).contains(a - b));
+        prop_assert!((x * y).inflate(1e-9).contains(a * b));
+    }
+
+    #[test]
+    fn interval_square_sound(x in interval_strategy(), t in 0.0..=1.0f64) {
+        let a = x.lo() + t * x.width();
+        prop_assert!(x.square().inflate(1e-9).contains(a * a));
+        prop_assert!(x.square().lo() >= 0.0);
+    }
+
+    #[test]
+    fn interval_powi_sound(x in interval_strategy(), t in 0.0..=1.0f64, n in 0u32..6) {
+        let a = x.lo() + t * x.width();
+        prop_assert!(x.powi(n).inflate(1e-6 * x.mag().powi(n as i32).max(1.0)).contains(a.powi(n as i32)));
+    }
+
+    #[test]
+    fn interval_transcendental_sound(x in interval_strategy(), t in 0.0..=1.0f64) {
+        let a = x.lo() + t * x.width();
+        prop_assert!(x.sin().inflate(1e-12).contains(a.sin()));
+        prop_assert!(x.cos().inflate(1e-9).contains(a.cos()));
+        prop_assert!(x.tanh().contains(a.tanh()));
+        prop_assert!(x.relu().contains(a.max(0.0)));
+        prop_assert!(x.sigmoid().contains(1.0 / (1.0 + (-a).exp())));
+    }
+
+    #[test]
+    fn interval_hull_contains_both(x in interval_strategy(), y in interval_strategy()) {
+        let h = x.hull(&y);
+        prop_assert!(h.contains_interval(&x));
+        prop_assert!(h.contains_interval(&y));
+    }
+
+    #[test]
+    fn box_subdivision_tiles(k in 1usize..4, lo in -5.0..0.0f64, hi in 0.1..5.0f64) {
+        let b = BoxRegion::cube(2, lo, hi);
+        let cells = b.subdivide(k);
+        prop_assert_eq!(cells.len(), k * k);
+        let vol: f64 = cells.iter().map(BoxRegion::volume).sum();
+        prop_assert!((vol - b.volume()).abs() < 1e-9 * b.volume().max(1.0));
+        for c in &cells {
+            prop_assert!(b.contains_box(c));
+        }
+    }
+
+    #[test]
+    fn box_lerp_membership(t0 in 0.0..=1.0f64, t1 in 0.0..=1.0f64) {
+        let b = BoxRegion::from_bounds(&[-2.0, 1.0], &[3.0, 4.0]);
+        let p = b.lerp(&[t0, t1]);
+        prop_assert!(b.contains(&p));
+        let u = b.to_unit(&p);
+        prop_assert!((u[0] - t0).abs() < 1e-12);
+        prop_assert!((u[1] - t1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matvec_linear(a0 in small_f64(), a1 in small_f64(), a2 in small_f64(), a3 in small_f64(),
+                     x0 in small_f64(), x1 in small_f64(), s in small_f64()) {
+        let m = Matrix::from_rows(vec![vec![a0, a1], vec![a2, a3]]);
+        let x = [x0, x1];
+        let sx = [s * x0, s * x1];
+        let y = m.matvec(&x);
+        let ys = m.matvec(&sx);
+        prop_assert!((ys[0] - s * y[0]).abs() < 1e-6 * (1.0 + y[0].abs() * s.abs()));
+        prop_assert!((ys[1] - s * y[1]).abs() < 1e-6 * (1.0 + y[1].abs() * s.abs()));
+    }
+
+    #[test]
+    fn spectral_norm_dominates_amplification(
+        a0 in small_f64(), a1 in small_f64(), a2 in small_f64(), a3 in small_f64(),
+        x0 in small_f64(), x1 in small_f64())
+    {
+        let m = Matrix::from_rows(vec![vec![a0, a1], vec![a2, a3]]);
+        let x = [x0, x1];
+        let nx = vector::norm_2(&x);
+        prop_assume!(nx > 1e-6);
+        let y = m.matvec(&x);
+        let amplification = vector::norm_2(&y) / nx;
+        prop_assert!(amplification <= m.spectral_norm() * (1.0 + 1e-6) + 1e-9);
+    }
+
+    #[test]
+    fn matmul_associative(vals in proptest::collection::vec(small_f64(), 12)) {
+        let a = Matrix::from_vec(2, 2, vals[0..4].to_vec());
+        let b = Matrix::from_vec(2, 2, vals[4..8].to_vec());
+        let c = Matrix::from_vec(2, 2, vals[8..12].to_vec());
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (l, r) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((l - r).abs() < 1e-6 * (1.0 + l.abs()));
+        }
+    }
+
+    #[test]
+    fn transpose_reverses_product(vals in proptest::collection::vec(small_f64(), 8)) {
+        let a = Matrix::from_vec(2, 2, vals[0..4].to_vec());
+        let b = Matrix::from_vec(2, 2, vals[4..8].to_vec());
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (l, r) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((l - r).abs() < 1e-9 * (1.0 + l.abs()));
+        }
+    }
+
+    #[test]
+    fn clip_is_idempotent_and_bounded(xs in proptest::collection::vec(-100.0..100.0f64, 1..6)) {
+        let lo = vec![-1.5; xs.len()];
+        let hi = vec![2.5; xs.len()];
+        let once = vector::clip(&xs, &lo, &hi);
+        let twice = vector::clip(&once, &lo, &hi);
+        prop_assert_eq!(&once, &twice);
+        prop_assert!(once.iter().all(|&v| (-1.5..=2.5).contains(&v)));
+    }
+
+    #[test]
+    fn poly_interval_eval_sound(c0 in small_f64(), c1 in small_f64(), c2 in small_f64(),
+                                t0 in 0.0..=1.0f64, t1 in 0.0..=1.0f64) {
+        let p = MultiPoly::from_terms(2, vec![
+            (vec![0, 0], c0),
+            (vec![1, 1], c1),
+            (vec![2, 0], c2),
+        ]);
+        let b = BoxRegion::from_bounds(&[-1.0, -2.0], &[2.0, 1.0]);
+        let x = b.lerp(&[t0, t1]);
+        let bound = p.eval_interval(&b);
+        prop_assert!(bound.inflate(1e-9 * (1.0 + bound.mag())).contains(p.eval(&x)));
+    }
+
+    #[test]
+    fn poly_ring_axioms(c in small_f64(), x in small_f64(), y in small_f64()) {
+        let n = 2;
+        let p = MultiPoly::from_terms(n, vec![(vec![1, 0], 2.0), (vec![0, 2], c)]);
+        let q = MultiPoly::from_terms(n, vec![(vec![0, 1], -1.0), (vec![1, 1], 0.5)]);
+        let pt = [x, y];
+        let sum = p.add(&q).eval(&pt);
+        prop_assert!((sum - (p.eval(&pt) + q.eval(&pt))).abs() < 1e-9 * (1.0 + sum.abs()));
+        let prod = p.mul(&q).eval(&pt);
+        prop_assert!((prod - p.eval(&pt) * q.eval(&pt)).abs() < 1e-6 * (1.0 + prod.abs()));
+    }
+
+    // drop `_iv` unused warning helper
+    #[test]
+    fn interval_membership_strategy_consistent(iv in interval_strategy()) {
+        prop_assert!(iv.lo() <= iv.hi());
+        let _ = point_in(iv);
+    }
+}

@@ -1,0 +1,254 @@
+//! Element-wise activation functions.
+
+use cocktail_math::Interval;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Activation applied element-wise after a dense layer.
+///
+/// Cocktail's networks use `Tanh` hidden layers for controllers (bounded,
+/// smooth, Lipschitz-1) and `Identity` outputs for regression; `Relu` and
+/// `Sigmoid` are provided because the paper's footnote 1 defines the layer
+/// Lipschitz factors for all three non-trivial activations.
+///
+/// # Examples
+///
+/// ```
+/// use cocktail_nn::Activation;
+///
+/// assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+/// assert_eq!(Activation::Relu.lipschitz_factor(), 1.0);
+/// assert_eq!(Activation::Sigmoid.lipschitz_factor(), 0.25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Activation {
+    /// `f(x) = x`.
+    Identity,
+    /// `f(x) = max(0, x)`.
+    Relu,
+    /// `f(x) = tanh(x)`.
+    Tanh,
+    /// `f(x) = 1 / (1 + e^{-x})`.
+    Sigmoid,
+    /// `f(x) = max(αx, x)` with leak `α ∈ [0, 1)`.
+    LeakyRelu {
+        /// Negative-side slope.
+        alpha: f64,
+    },
+    /// `f(x) = ln(1 + eˣ)`, a smooth ReLU.
+    Softplus,
+}
+
+impl Activation {
+    /// Applies the activation to a scalar.
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::LeakyRelu { alpha } => {
+                if x > 0.0 {
+                    x
+                } else {
+                    alpha * x
+                }
+            }
+            Activation::Softplus => {
+                // numerically stable ln(1 + e^x)
+                if x > 30.0 {
+                    x
+                } else {
+                    x.max(0.0) + (-(x.abs())).exp().ln_1p()
+                }
+            }
+        }
+    }
+
+    /// Derivative at pre-activation `x`.
+    ///
+    /// The ReLU derivative at exactly 0 is taken as 0 (sub-gradient choice).
+    pub fn derivative(self, x: f64) -> f64 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Sigmoid => {
+                let s = self.apply(x);
+                s * (1.0 - s)
+            }
+            Activation::LeakyRelu { alpha } => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    alpha
+                }
+            }
+            // softplus' = sigmoid
+            Activation::Softplus => Activation::Sigmoid.apply(x),
+        }
+    }
+
+    /// Applies the activation element-wise to a slice, returning a new
+    /// vector.
+    pub fn apply_vec(self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.apply(x)).collect()
+    }
+
+    /// Global Lipschitz factor contributed by this activation, per the
+    /// paper's footnote 1: ReLU and Tanh contribute 1, Sigmoid ¼.
+    pub fn lipschitz_factor(self) -> f64 {
+        match self {
+            Activation::Identity
+            | Activation::Relu
+            | Activation::Tanh
+            | Activation::Softplus => 1.0,
+            Activation::Sigmoid => 0.25,
+            Activation::LeakyRelu { alpha } => alpha.abs().max(1.0),
+        }
+    }
+
+    /// Sound interval image of the activation.
+    pub fn apply_interval(self, x: Interval) -> Interval {
+        match self {
+            Activation::Identity => x,
+            Activation::Relu => x.relu(),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => x.sigmoid(),
+            // both are monotone increasing
+            Activation::LeakyRelu { .. } | Activation::Softplus => {
+                Interval::new(self.apply(x.lo()), self.apply(x.hi()))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Activation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Activation::Identity => "identity",
+            Activation::Relu => "relu",
+            Activation::Tanh => "tanh",
+            Activation::Sigmoid => "sigmoid",
+            Activation::LeakyRelu { .. } => "leaky-relu",
+            Activation::Softplus => "softplus",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Activation; 6] = [
+        Activation::Identity,
+        Activation::Relu,
+        Activation::Tanh,
+        Activation::Sigmoid,
+        Activation::LeakyRelu { alpha: 0.1 },
+        Activation::Softplus,
+    ];
+
+    #[test]
+    fn identity_is_identity() {
+        assert_eq!(Activation::Identity.apply(-3.5), -3.5);
+        assert_eq!(Activation::Identity.derivative(100.0), 1.0);
+    }
+
+    #[test]
+    fn relu_clamps_negative() {
+        assert_eq!(Activation::Relu.apply(-1.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert_eq!(Activation::Relu.derivative(-1.0), 0.0);
+        assert_eq!(Activation::Relu.derivative(1.0), 1.0);
+    }
+
+    #[test]
+    fn tanh_and_sigmoid_bounded() {
+        for x in [-10.0, -1.0, 0.0, 1.0, 10.0] {
+            let t = Activation::Tanh.apply(x);
+            assert!((-1.0..=1.0).contains(&t));
+            let s = Activation::Sigmoid.apply(x);
+            assert!((0.0..=1.0).contains(&s));
+        }
+        assert_eq!(Activation::Sigmoid.apply(0.0), 0.5);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let h = 1e-6;
+        for act in ALL {
+            for x in [-2.0, -0.5, 0.3, 1.7] {
+                let fd = (act.apply(x + h) - act.apply(x - h)) / (2.0 * h);
+                let an = act.derivative(x);
+                assert!((fd - an).abs() < 1e-5, "{act} at {x}: fd {fd} vs {an}");
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_bounded_by_lipschitz_factor() {
+        for act in ALL {
+            for i in -100..=100 {
+                let x = i as f64 / 10.0;
+                assert!(
+                    act.derivative(x) <= act.lipschitz_factor() + 1e-12,
+                    "{act} derivative exceeds Lipschitz factor at {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interval_image_contains_point_image() {
+        let iv = Interval::new(-1.5, 0.75);
+        for act in ALL {
+            let img = act.apply_interval(iv);
+            for i in 0..=20 {
+                let x = iv.lo() + iv.width() * i as f64 / 20.0;
+                assert!(img.contains(act.apply(x)), "{act}({x}) escapes");
+            }
+        }
+    }
+
+    #[test]
+    fn leaky_relu_leaks() {
+        let a = Activation::LeakyRelu { alpha: 0.1 };
+        assert!((a.apply(-2.0) + 0.2).abs() < 1e-12);
+        assert_eq!(a.apply(3.0), 3.0);
+        assert_eq!(a.derivative(-1.0), 0.1);
+        assert_eq!(a.lipschitz_factor(), 1.0);
+    }
+
+    #[test]
+    fn softplus_is_smooth_relu() {
+        let a = Activation::Softplus;
+        // softplus(0) = ln 2
+        assert!((a.apply(0.0) - 2.0_f64.ln()).abs() < 1e-12);
+        // approaches identity for large x, zero for very negative x
+        assert!((a.apply(40.0) - 40.0).abs() < 1e-9);
+        assert!(a.apply(-40.0) < 1e-12);
+        assert!(a.apply(-40.0) >= 0.0);
+    }
+
+    #[test]
+    fn apply_vec_maps_each() {
+        let out = Activation::Relu.apply_vec(&[-1.0, 2.0]);
+        assert_eq!(out, vec![0.0, 2.0]);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Activation::Tanh.to_string(), "tanh");
+    }
+}

@@ -1,0 +1,141 @@
+//! Lipschitz-constant bounds for MLPs.
+//!
+//! The paper (footnote 1) bounds the network Lipschitz constant by the
+//! product of per-layer terms: `‖W‖` for ReLU/Tanh layers and `‖W‖/4` for
+//! Sigmoid layers. [`Mlp::lipschitz_constant`] uses the spectral norm; this
+//! module additionally exposes the 1-, ∞- and Frobenius-norm variants (all
+//! are valid upper bounds for the corresponding vector norms) and an
+//! empirical lower bound by pairwise sampling, which is handy for testing
+//! that the analytic bound is neither violated nor absurdly loose.
+
+use crate::mlp::Mlp;
+use cocktail_math::{rng, vector, BoxRegion, Matrix};
+
+/// Which operator norm to use per layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormKind {
+    /// Largest singular value (pairs with the vector 2-norm).
+    Spectral,
+    /// Maximum absolute column sum (pairs with the vector 1-norm).
+    One,
+    /// Maximum absolute row sum (pairs with the vector ∞-norm).
+    Infinity,
+    /// Frobenius norm (an upper bound on the spectral norm).
+    Frobenius,
+}
+
+fn layer_norm(w: &Matrix, kind: NormKind) -> f64 {
+    match kind {
+        NormKind::Spectral => w.spectral_norm(),
+        NormKind::One => w.norm_1(),
+        NormKind::Infinity => w.norm_inf(),
+        NormKind::Frobenius => w.frobenius_norm(),
+    }
+}
+
+/// Product-of-layer-norms Lipschitz upper bound with a chosen norm.
+///
+/// # Examples
+///
+/// ```
+/// use cocktail_nn::{Activation, MlpBuilder};
+/// use cocktail_nn::lipschitz::{upper_bound, NormKind};
+///
+/// let net = MlpBuilder::new(2).hidden(8, Activation::Tanh)
+///     .output(1, Activation::Identity).seed(0).build();
+/// let spectral = upper_bound(&net, NormKind::Spectral);
+/// let frob = upper_bound(&net, NormKind::Frobenius);
+/// assert!(spectral <= frob + 1e-9);
+/// ```
+pub fn upper_bound(net: &Mlp, kind: NormKind) -> f64 {
+    net.layers()
+        .iter()
+        .map(|l| l.activation().lipschitz_factor() * layer_norm(l.weights(), kind))
+        .product()
+}
+
+/// Empirical Lipschitz lower bound: the largest observed
+/// `‖f(a) − f(b)‖₂ / ‖a − b‖₂` over `samples` random pairs in `region`.
+///
+/// # Panics
+///
+/// Panics if `region.dim() != net.input_dim()` or `samples == 0`.
+pub fn empirical_lower_bound(net: &Mlp, region: &BoxRegion, samples: usize, seed: u64) -> f64 {
+    assert!(samples > 0, "need at least one sample pair");
+    assert_eq!(region.dim(), net.input_dim(), "region dimension mismatch");
+    let mut rng = rng::seeded(seed);
+    let mut best: f64 = 0.0;
+    for _ in 0..samples {
+        let a = rng::uniform_in_box(&mut rng, region);
+        let b = rng::uniform_in_box(&mut rng, region);
+        let dx = vector::norm_2(&vector::sub(&a, &b));
+        if dx < 1e-12 {
+            continue;
+        }
+        let dy = vector::norm_2(&vector::sub(&net.forward(&a), &net.forward(&b)));
+        best = best.max(dy / dx);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::mlp::MlpBuilder;
+
+    fn net() -> Mlp {
+        MlpBuilder::new(2)
+            .hidden(10, Activation::Tanh)
+            .hidden(10, Activation::Sigmoid)
+            .output(1, Activation::Identity)
+            .seed(21)
+            .build()
+    }
+
+    #[test]
+    fn spectral_bound_is_tightest_induced_2_bound() {
+        let n = net();
+        assert!(upper_bound(&n, NormKind::Spectral) <= upper_bound(&n, NormKind::Frobenius) + 1e-9);
+    }
+
+    #[test]
+    fn empirical_never_exceeds_spectral_bound() {
+        let n = net();
+        let region = BoxRegion::cube(2, -3.0, 3.0);
+        let lower = empirical_lower_bound(&n, &region, 500, 7);
+        let upper = upper_bound(&n, NormKind::Spectral);
+        assert!(lower <= upper * (1.0 + 1e-9), "{lower} > {upper}");
+        assert!(lower > 0.0);
+    }
+
+    #[test]
+    fn sigmoid_quarter_factor_applies() {
+        // single sigmoid layer with identity weights: bound must be 1/4
+        let l = crate::layer::Dense::from_parts(
+            Matrix::identity(3),
+            vec![0.0; 3],
+            Activation::Sigmoid,
+        );
+        let n = Mlp::from_layers(vec![l]);
+        assert!((upper_bound(&n, NormKind::Spectral) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bound_agrees_with_mlp_method() {
+        let n = net();
+        assert!((upper_bound(&n, NormKind::Spectral) - n.lipschitz_constant()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_weights_scales_bound() {
+        let mut n = net();
+        let before = n.lipschitz_constant();
+        for l in n.layers_mut() {
+            l.weights_mut().scale_inplace(0.5);
+        }
+        let after = n.lipschitz_constant();
+        let layers = 3;
+        assert!((after - before * 0.5_f64.powi(layers)).abs() < 1e-9 * before);
+    }
+}

@@ -1,0 +1,492 @@
+//! Multi-layer perceptrons.
+
+use crate::activation::Activation;
+use crate::layer::Dense;
+use crate::optimizer::GradStore;
+use cocktail_math::{BoxRegion, Interval, Matrix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A feed-forward multi-layer perceptron.
+///
+/// Construct one with [`MlpBuilder`]. The network owns its layers and
+/// exposes a cached forward pass ([`Mlp::forward_cached`]) whose result
+/// feeds [`Mlp::backward`] to obtain parameter gradients and the gradient
+/// of the loss with respect to the *input* — the quantity FGSM perturbs.
+///
+/// # Examples
+///
+/// ```
+/// use cocktail_nn::{Activation, MlpBuilder};
+///
+/// let net = MlpBuilder::new(2)
+///     .hidden(16, Activation::Tanh)
+///     .output(1, Activation::Identity)
+///     .seed(1)
+///     .build();
+/// assert_eq!(net.input_dim(), 2);
+/// assert_eq!(net.output_dim(), 1);
+/// assert_eq!(net.forward(&[0.0, 0.0]).len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+/// Cached per-layer values of a forward pass, consumed by [`Mlp::backward`].
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    /// Input and each layer's activation output (`layers.len() + 1` entries).
+    pub activations: Vec<Vec<f64>>,
+    /// Each layer's pre-activation (`layers.len()` entries).
+    pub pre_activations: Vec<Vec<f64>>,
+}
+
+impl ForwardCache {
+    /// The network output (last activation).
+    pub fn output(&self) -> &[f64] {
+        self.activations.last().expect("cache always holds the input")
+    }
+}
+
+impl Mlp {
+    /// Builds a network from explicit layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or consecutive dimensions mismatch.
+    pub fn from_layers(layers: Vec<Dense>) -> Self {
+        assert!(!layers.is_empty(), "network needs at least one layer");
+        for w in layers.windows(2) {
+            assert_eq!(
+                w[0].output_dim(),
+                w[1].input_dim(),
+                "consecutive layer dimensions mismatch"
+            );
+        }
+        Self { layers }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].input_dim()
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").output_dim()
+    }
+
+    /// The layers, in order.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (used by optimizers).
+    pub fn layers_mut(&mut self) -> &mut [Dense] {
+        &mut self.layers
+    }
+
+    /// Total number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Dense::param_count).sum()
+    }
+
+    /// Plain forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.input_dim()`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut a = x.to_vec();
+        for layer in &self.layers {
+            a = layer.forward(&a).1;
+        }
+        a
+    }
+
+    /// Forward pass that records all intermediate values for [`Self::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.input_dim()`.
+    pub fn forward_cached(&self, x: &[f64]) -> ForwardCache {
+        let mut activations = Vec::with_capacity(self.layers.len() + 1);
+        let mut pre_activations = Vec::with_capacity(self.layers.len());
+        activations.push(x.to_vec());
+        for layer in &self.layers {
+            let (z, a) = layer.forward(activations.last().expect("pushed above"));
+            pre_activations.push(z);
+            activations.push(a);
+        }
+        ForwardCache { activations, pre_activations }
+    }
+
+    /// Backpropagates `grad_output` (the loss gradient at the network
+    /// output) through the cached forward pass.
+    ///
+    /// Accumulates parameter gradients into `grads` (scaled by `scale`,
+    /// useful for minibatch averaging) and returns the gradient with
+    /// respect to the network input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache or gradient dimensions do not match this network.
+    pub fn backward(
+        &self,
+        cache: &ForwardCache,
+        grad_output: &[f64],
+        grads: &mut GradStore,
+        scale: f64,
+    ) -> Vec<f64> {
+        assert_eq!(grad_output.len(), self.output_dim(), "output gradient dimension mismatch");
+        assert_eq!(cache.pre_activations.len(), self.layers.len(), "cache layer count mismatch");
+        assert!(grads.matches(self), "gradient store shape mismatch");
+        let mut grad = grad_output.to_vec();
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let x = &cache.activations[i];
+            let z = &cache.pre_activations[i];
+            let (gw, gb, gx) = layer.backward(x, z, &grad);
+            grads.accumulate(i, &gw, &gb, scale);
+            grad = gx;
+        }
+        grad
+    }
+
+    /// Gradient of the scalar function `v ↦ grad_output · f(v)` with respect
+    /// to the input, without touching parameter gradients. This is the
+    /// primitive behind FGSM and DDPG's actor update.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions mismatch.
+    pub fn input_gradient(&self, x: &[f64], grad_output: &[f64]) -> Vec<f64> {
+        let cache = self.forward_cached(x);
+        let mut grad = grad_output.to_vec();
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let (_, _, gx) = layer.backward(&cache.activations[i], &cache.pre_activations[i], &grad);
+            grad = gx;
+        }
+        grad
+    }
+
+    /// Sound output bounds over a state box via interval bound propagation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region.dim() != self.input_dim()`.
+    pub fn bounds(&self, region: &BoxRegion) -> Vec<Interval> {
+        assert_eq!(region.dim(), self.input_dim(), "region dimension mismatch");
+        let mut iv: Vec<Interval> = region.intervals().to_vec();
+        for layer in &self.layers {
+            iv = layer.forward_interval(&iv);
+        }
+        iv
+    }
+
+    /// The paper's footnote-1 Lipschitz bound: the product of each layer's
+    /// `factor(σ) · ‖W‖` (spectral norm).
+    pub fn lipschitz_constant(&self) -> f64 {
+        self.layers.iter().map(Dense::lipschitz_bound).product()
+    }
+
+    /// Sum of squared weights and biases — the `‖q‖²` regularizer of the
+    /// robust-distillation objective.
+    pub fn weight_norm_sq(&self) -> f64 {
+        self.layers
+            .iter()
+            .map(|l| {
+                l.weights().as_slice().iter().map(|w| w * w).sum::<f64>()
+                    + l.biases().iter().map(|b| b * b).sum::<f64>()
+            })
+            .sum()
+    }
+
+    /// Serializes the network to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if serialization fails (it cannot for this type,
+    /// but the signature stays honest).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserializes a network from [`Self::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+impl fmt::Display for Mlp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Mlp({}", self.input_dim())?;
+        for layer in &self.layers {
+            write!(f, " → {}[{}]", layer.output_dim(), layer.activation())?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Builder for [`Mlp`] with seeded Xavier-uniform initialization.
+///
+/// # Examples
+///
+/// ```
+/// use cocktail_nn::{Activation, MlpBuilder};
+///
+/// let net = MlpBuilder::new(4)
+///     .hidden(32, Activation::Relu)
+///     .hidden(32, Activation::Relu)
+///     .output(2, Activation::Tanh)
+///     .seed(99)
+///     .build();
+/// assert_eq!(net.layers().len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MlpBuilder {
+    input_dim: usize,
+    spec: Vec<(usize, Activation)>,
+    seed: u64,
+    init_scale: f64,
+}
+
+impl MlpBuilder {
+    /// Starts a builder for a network with `input_dim` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_dim == 0`.
+    pub fn new(input_dim: usize) -> Self {
+        assert!(input_dim > 0, "input dimension must be positive");
+        Self { input_dim, spec: Vec::new(), seed: 0, init_scale: 1.0 }
+    }
+
+    /// Appends a hidden layer of `width` units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn hidden(mut self, width: usize, activation: Activation) -> Self {
+        assert!(width > 0, "layer width must be positive");
+        self.spec.push((width, activation));
+        self
+    }
+
+    /// Appends the output layer. Alias of [`Self::hidden`] kept for
+    /// call-site readability.
+    pub fn output(self, width: usize, activation: Activation) -> Self {
+        self.hidden(width, activation)
+    }
+
+    /// Sets the RNG seed for initialization (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Scales the Xavier initialization amplitude (default 1.0). Small
+    /// scales give low-Lipschitz starting points for distillation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale <= 0`.
+    pub fn init_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0, "init scale must be positive");
+        self.init_scale = scale;
+        self
+    }
+
+    /// Builds the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no layer was added.
+    pub fn build(self) -> Mlp {
+        assert!(!self.spec.is_empty(), "network needs at least one layer");
+        let mut rng = cocktail_math::rng::seeded(self.seed);
+        let mut layers = Vec::with_capacity(self.spec.len());
+        let mut fan_in = self.input_dim;
+        for (width, activation) in self.spec {
+            let bound = self.init_scale * (6.0 / (fan_in + width) as f64).sqrt();
+            let weights =
+                Matrix::from_fn(width, fan_in, |_, _| rng.gen_range(-bound..=bound));
+            let biases = vec![0.0; width];
+            layers.push(Dense::from_parts(weights, biases, activation));
+            fan_in = width;
+        }
+        Mlp::from_layers(layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss;
+    use cocktail_math::vector;
+
+    fn net() -> Mlp {
+        MlpBuilder::new(2)
+            .hidden(5, Activation::Tanh)
+            .hidden(4, Activation::Sigmoid)
+            .output(2, Activation::Identity)
+            .seed(42)
+            .build()
+    }
+
+    #[test]
+    fn builder_shapes() {
+        let n = net();
+        assert_eq!(n.input_dim(), 2);
+        assert_eq!(n.output_dim(), 2);
+        assert_eq!(n.layers().len(), 3);
+        assert_eq!(n.param_count(), 2 * 5 + 5 + 5 * 4 + 4 + 4 * 2 + 2);
+    }
+
+    #[test]
+    fn forward_cached_matches_forward() {
+        let n = net();
+        let x = [0.3, -0.8];
+        let cache = n.forward_cached(&x);
+        assert_eq!(cache.output(), n.forward(&x).as_slice());
+        assert_eq!(cache.activations.len(), 4);
+        assert_eq!(cache.pre_activations.len(), 3);
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = net();
+        let b = net();
+        assert_eq!(a, b);
+        let c = MlpBuilder::new(2)
+            .hidden(5, Activation::Tanh)
+            .hidden(4, Activation::Sigmoid)
+            .output(2, Activation::Identity)
+            .seed(43)
+            .build();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn backward_parameter_gradients_match_finite_differences() {
+        let n = net();
+        let x = [0.4, 0.1];
+        let target = [0.25, -0.5];
+        let mut grads = GradStore::zeros_like(&n);
+        let cache = n.forward_cached(&x);
+        let grad_out = loss::mse_gradient(cache.output(), &target);
+        n.backward(&cache, &grad_out, &mut grads, 1.0);
+
+        let h = 1e-6;
+        let loss_of = |net: &Mlp| loss::mse(&net.forward(&x), &target);
+        for li in 0..n.layers().len() {
+            let rows = n.layers()[li].weights().rows();
+            let cols = n.layers()[li].weights().cols();
+            for r in 0..rows {
+                for c in 0..cols {
+                    let mut p = n.clone();
+                    p.layers_mut()[li].weights_mut()[(r, c)] += h;
+                    let mut m = n.clone();
+                    m.layers_mut()[li].weights_mut()[(r, c)] -= h;
+                    let fd = (loss_of(&p) - loss_of(&m)) / (2.0 * h);
+                    let an = grads.weight(li)[(r, c)];
+                    assert!((fd - an).abs() < 1e-5, "layer {li} w[{r}{c}]: {fd} vs {an}");
+                }
+            }
+            for b in 0..n.layers()[li].biases().len() {
+                let mut p = n.clone();
+                p.layers_mut()[li].biases_mut()[b] += h;
+                let mut m = n.clone();
+                m.layers_mut()[li].biases_mut()[b] -= h;
+                let fd = (loss_of(&p) - loss_of(&m)) / (2.0 * h);
+                let an = grads.bias(li)[b];
+                assert!((fd - an).abs() < 1e-5, "layer {li} b[{b}]: {fd} vs {an}");
+            }
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let n = net();
+        let x = [0.4, 0.1];
+        let target = [0.25, -0.5];
+        let cache = n.forward_cached(&x);
+        let grad_out = loss::mse_gradient(cache.output(), &target);
+        let gx = n.input_gradient(&x, &grad_out);
+        let h = 1e-6;
+        for i in 0..2 {
+            let mut xp = x;
+            xp[i] += h;
+            let mut xm = x;
+            xm[i] -= h;
+            let fd = (loss::mse(&n.forward(&xp), &target) - loss::mse(&n.forward(&xm), &target))
+                / (2.0 * h);
+            assert!((fd - gx[i]).abs() < 1e-5, "input[{i}]: {fd} vs {}", gx[i]);
+        }
+    }
+
+    #[test]
+    fn bounds_contain_sampled_outputs() {
+        let n = net();
+        let region = BoxRegion::cube(2, -1.0, 1.0);
+        let bounds = n.bounds(&region);
+        let mut rng = cocktail_math::rng::seeded(5);
+        for _ in 0..200 {
+            let x = cocktail_math::rng::uniform_in_box(&mut rng, &region);
+            let y = n.forward(&x);
+            for (yi, bi) in y.iter().zip(&bounds) {
+                assert!(bi.inflate(1e-10).contains(*yi));
+            }
+        }
+    }
+
+    #[test]
+    fn lipschitz_constant_dominates_sampled_slopes() {
+        let n = net();
+        let lc = n.lipschitz_constant();
+        let mut rng = cocktail_math::rng::seeded(9);
+        let region = BoxRegion::cube(2, -2.0, 2.0);
+        for _ in 0..100 {
+            let a = cocktail_math::rng::uniform_in_box(&mut rng, &region);
+            let b = cocktail_math::rng::uniform_in_box(&mut rng, &region);
+            let dx = vector::norm_2(&vector::sub(&a, &b));
+            if dx < 1e-9 {
+                continue;
+            }
+            let dy = vector::norm_2(&vector::sub(&n.forward(&a), &n.forward(&b)));
+            assert!(dy <= lc * dx * (1.0 + 1e-9) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_network() {
+        let n = net();
+        let json = n.to_json().expect("serialize");
+        let back = Mlp::from_json(&json).expect("deserialize");
+        assert_eq!(n, back);
+    }
+
+    #[test]
+    fn weight_norm_sq_is_positive_for_random_net() {
+        assert!(net().weight_norm_sq() > 0.0);
+    }
+
+    #[test]
+    fn display_mentions_architecture() {
+        let s = net().to_string();
+        assert!(s.contains("tanh") && s.contains("sigmoid"));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions mismatch")]
+    fn mismatched_layers_panic() {
+        let l1 = Dense::from_parts(Matrix::identity(2), vec![0.0; 2], Activation::Relu);
+        let l2 = Dense::from_parts(Matrix::identity(3), vec![0.0; 3], Activation::Relu);
+        Mlp::from_layers(vec![l1, l2]);
+    }
+}

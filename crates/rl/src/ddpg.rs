@@ -1,0 +1,360 @@
+//! Deep deterministic policy gradient (Lillicrap et al.), used to train the
+//! paper's neural experts "obtained by DDPG with different hyperparameters"
+//! (Section IV) and as the alternative mixing learner of Remark 1.
+
+use crate::buffer::{ReplayBuffer, Transition};
+use crate::mdp::Mdp;
+use crate::noise::{ExplorationNoise, NoiseKind};
+use cocktail_nn::{loss, Activation, Adam, GradStore, Mlp, MlpBuilder, Optimizer};
+use serde::{Deserialize, Serialize};
+
+/// DDPG hyperparameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DdpgConfig {
+    /// Total environment episodes.
+    pub episodes: usize,
+    /// Replay capacity.
+    pub buffer_capacity: usize,
+    /// Steps collected before learning starts.
+    pub warmup_steps: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// Soft target-update rate τ.
+    pub soft_tau: f64,
+    /// Actor learning rate.
+    pub actor_lr: f64,
+    /// Critic learning rate.
+    pub critic_lr: f64,
+    /// Initial exploration noise amplitude (in normalized action units).
+    pub exploration_noise: f64,
+    /// Exploration-noise process (Gaussian or Ornstein–Uhlenbeck).
+    pub noise_kind: NoiseKind,
+    /// Multiplicative per-episode decay of the exploration noise.
+    pub noise_decay: f64,
+    /// Hidden width of the two-hidden-layer networks.
+    pub hidden: usize,
+    /// Gradient updates per environment step.
+    pub updates_per_step: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DdpgConfig {
+    fn default() -> Self {
+        Self {
+            episodes: 80,
+            buffer_capacity: 50_000,
+            warmup_steps: 500,
+            batch_size: 64,
+            gamma: 0.99,
+            soft_tau: 0.01,
+            actor_lr: 1e-3,
+            critic_lr: 2e-3,
+            exploration_noise: 0.3,
+            noise_kind: NoiseKind::Gaussian,
+            noise_decay: 0.97,
+            hidden: 32,
+            updates_per_step: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-episode statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpisodeStats {
+    /// Undiscounted episode return.
+    pub episode_return: f64,
+    /// Episode length in steps.
+    pub length: usize,
+}
+
+/// The result of DDPG training.
+#[derive(Debug, Clone)]
+pub struct TrainedActor {
+    /// The deterministic actor `a = tanh-net(s)` (outputs in `[-1, 1]`,
+    /// scaled by the MDP's action bound at deployment).
+    pub actor: Mlp,
+    /// The learned critic `Q(s, a)`.
+    pub critic: Mlp,
+    /// Per-episode statistics, oldest first.
+    pub history: Vec<EpisodeStats>,
+}
+
+/// Soft-updates `target ← τ·source + (1−τ)·target`.
+fn soft_update(target: &mut Mlp, source: &Mlp, tau: f64) {
+    for (tl, sl) in target.layers_mut().iter_mut().zip(source.layers()) {
+        let tw = tl.weights_mut().as_mut_slice();
+        for (t, s) in tw.iter_mut().zip(sl.weights().as_slice()) {
+            *t = tau * s + (1.0 - tau) * *t;
+        }
+        for (t, s) in tl.biases_mut().iter_mut().zip(sl.biases()) {
+            *t = tau * s + (1.0 - tau) * *t;
+        }
+    }
+}
+
+/// DDPG trainer. Construct with [`DdpgTrainer::new`], then call
+/// [`DdpgTrainer::train`] on any [`Mdp`].
+pub struct DdpgTrainer {
+    config: DdpgConfig,
+    actor: Mlp,
+    critic: Mlp,
+}
+
+impl DdpgTrainer {
+    /// Creates a trainer with freshly-initialized actor and critic.
+    pub fn new(config: &DdpgConfig, state_dim: usize, action_dim: usize) -> Self {
+        let actor = MlpBuilder::new(state_dim)
+            .hidden(config.hidden, Activation::Relu)
+            .hidden(config.hidden, Activation::Relu)
+            .output(action_dim, Activation::Tanh)
+            .seed(config.seed)
+            .build();
+        let critic = MlpBuilder::new(state_dim + action_dim)
+            .hidden(config.hidden, Activation::Relu)
+            .hidden(config.hidden, Activation::Relu)
+            .output(1, Activation::Identity)
+            .seed(config.seed.wrapping_add(1))
+            .build();
+        Self { config: config.clone(), actor, critic }
+    }
+
+    /// Runs the training loop, consuming the trainer.
+    pub fn train(mut self, mdp: &mut dyn Mdp) -> TrainedActor {
+        assert_eq!(mdp.state_dim(), self.actor.input_dim(), "state dim mismatch");
+        assert_eq!(mdp.action_dim(), self.actor.output_dim(), "action dim mismatch");
+        let bound = mdp.action_bound();
+        let mut rng = cocktail_math::rng::seeded(self.config.seed.wrapping_add(2));
+        let mut buffer = ReplayBuffer::new(self.config.buffer_capacity);
+        let mut actor_target = self.actor.clone();
+        let mut critic_target = self.critic.clone();
+        let mut actor_opt = Adam::new(self.config.actor_lr);
+        let mut critic_opt = Adam::new(self.config.critic_lr);
+        let mut history = Vec::with_capacity(self.config.episodes);
+        let mut noise = self.config.exploration_noise;
+        let mut noise_process = ExplorationNoise::new(self.config.noise_kind, mdp.action_dim());
+        let mut total_steps = 0usize;
+
+        for _ in 0..self.config.episodes {
+            let mut s = mdp.reset(&mut rng);
+            noise_process.reset();
+            let mut episode_return = 0.0;
+            let mut length = 0usize;
+            loop {
+                // normalized action in [-1, 1] + exploration noise
+                let mut a = self.actor.forward(&s);
+                let eps = noise_process.sample(&mut rng, noise);
+                for (ai, e) in a.iter_mut().zip(&eps) {
+                    *ai = (*ai + e).clamp(-1.0, 1.0);
+                }
+                let a_env: Vec<f64> = a.iter().map(|x| x * bound).collect();
+                let (next, r, done) = mdp.step(&a_env);
+                buffer.push(Transition {
+                    state: s.clone(),
+                    action: a.clone(),
+                    reward: r,
+                    next_state: next.clone(),
+                    done,
+                });
+                episode_return += r;
+                length += 1;
+                total_steps += 1;
+                s = next;
+
+                if total_steps >= self.config.warmup_steps {
+                    for _ in 0..self.config.updates_per_step {
+                        self.learn(
+                            &buffer,
+                            &mut actor_target,
+                            &mut critic_target,
+                            &mut actor_opt,
+                            &mut critic_opt,
+                            &mut rng,
+                        );
+                    }
+                }
+                if done {
+                    break;
+                }
+            }
+            noise *= self.config.noise_decay;
+            history.push(EpisodeStats { episode_return, length });
+        }
+        TrainedActor { actor: self.actor, critic: self.critic, history }
+    }
+
+    fn learn(
+        &mut self,
+        buffer: &ReplayBuffer,
+        actor_target: &mut Mlp,
+        critic_target: &mut Mlp,
+        actor_opt: &mut Adam,
+        critic_opt: &mut Adam,
+        rng: &mut rand::rngs::StdRng,
+    ) {
+        let batch = buffer.sample(rng, self.config.batch_size);
+        let scale = 1.0 / batch.len() as f64;
+        let state_dim = self.actor.input_dim();
+
+        // ---- critic update: y = r + γ(1−done)·Q'(s', μ'(s'))
+        let mut critic_grads = GradStore::zeros_like(&self.critic);
+        for t in &batch {
+            let mut target_q = t.reward;
+            if !t.done {
+                let a_next = actor_target.forward(&t.next_state);
+                let mut q_in = t.next_state.clone();
+                q_in.extend_from_slice(&a_next);
+                target_q += self.config.gamma * critic_target.forward(&q_in)[0];
+            }
+            let mut q_in = t.state.clone();
+            q_in.extend_from_slice(&t.action);
+            let cache = self.critic.forward_cached(&q_in);
+            let g = loss::mse_gradient(cache.output(), &[target_q]);
+            self.critic.backward(&cache, &g, &mut critic_grads, scale);
+        }
+        critic_grads.clip_global_norm(10.0);
+        critic_opt.step(&mut self.critic, &critic_grads);
+
+        // ---- actor update: maximize Q(s, μ(s)) ⇒ dLoss/da = −dQ/da
+        let mut actor_grads = GradStore::zeros_like(&self.actor);
+        for t in &batch {
+            let acache = self.actor.forward_cached(&t.state);
+            let a = acache.output().to_vec();
+            let mut q_in = t.state.clone();
+            q_in.extend_from_slice(&a);
+            let dq_dinput = self.critic.input_gradient(&q_in, &[1.0]);
+            let dloss_da: Vec<f64> =
+                dq_dinput[state_dim..].iter().map(|g| -g).collect();
+            self.actor.backward(&acache, &dloss_da, &mut actor_grads, scale);
+        }
+        actor_grads.clip_global_norm(5.0);
+        actor_opt.step(&mut self.actor, &actor_grads);
+
+        soft_update(actor_target, &self.actor, self.config.soft_tau);
+        soft_update(critic_target, &self.critic, self.config.soft_tau);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    /// 1-D point regulation identical to the PPO test MDP.
+    struct PointMdp {
+        x: f64,
+        t: usize,
+    }
+
+    impl Mdp for PointMdp {
+        fn state_dim(&self) -> usize {
+            1
+        }
+        fn action_dim(&self) -> usize {
+            1
+        }
+        fn action_bound(&self) -> f64 {
+            1.0
+        }
+        fn reset(&mut self, rng: &mut dyn rand::RngCore) -> Vec<f64> {
+            let mut r = rand::rngs::StdRng::from_rng(rng).expect("rng");
+            self.x = r.gen_range(-1.0..=1.0);
+            self.t = 0;
+            vec![self.x]
+        }
+        fn step(&mut self, a: &[f64]) -> (Vec<f64>, f64, bool) {
+            let act = a[0].clamp(-1.0, 1.0);
+            self.x += 0.2 * act;
+            self.t += 1;
+            (vec![self.x], -self.x * self.x - 0.01 * act * act, self.t >= 25)
+        }
+    }
+
+    #[test]
+    fn ddpg_improves_point_regulation() {
+        let config = DdpgConfig {
+            episodes: 40,
+            warmup_steps: 200,
+            hidden: 16,
+            seed: 5,
+            ..Default::default()
+        };
+        let mut mdp = PointMdp { x: 0.0, t: 0 };
+        let trained = DdpgTrainer::new(&config, 1, 1).train(&mut mdp);
+        let early: f64 =
+            trained.history[..8].iter().map(|s| s.episode_return).sum::<f64>() / 8.0;
+        let late: f64 = trained.history[trained.history.len() - 8..]
+            .iter()
+            .map(|s| s.episode_return)
+            .sum::<f64>()
+            / 8.0;
+        assert!(late > early, "no improvement: early {early} late {late}");
+        // learned policy must push toward the origin
+        let a_pos = trained.actor.forward(&[0.8])[0];
+        let a_neg = trained.actor.forward(&[-0.8])[0];
+        assert!(a_pos < 0.0, "at x=0.8 got {a_pos}");
+        assert!(a_neg > 0.0, "at x=-0.8 got {a_neg}");
+    }
+
+    #[test]
+    fn soft_update_interpolates() {
+        let a = MlpBuilder::new(1).output(1, Activation::Identity).seed(1).build();
+        let b = MlpBuilder::new(1).output(1, Activation::Identity).seed(2).build();
+        let mut t = a.clone();
+        soft_update(&mut t, &b, 1.0);
+        assert_eq!(t, b, "τ=1 copies the source");
+        let mut t2 = a.clone();
+        soft_update(&mut t2, &b, 0.0);
+        assert_eq!(t2, a, "τ=0 keeps the target");
+        let mut t3 = a.clone();
+        soft_update(&mut t3, &b, 0.5);
+        let expect = 0.5 * a.layers()[0].weights()[(0, 0)] + 0.5 * b.layers()[0].weights()[(0, 0)];
+        assert!((t3.layers()[0].weights()[(0, 0)] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn actor_outputs_are_bounded() {
+        let trainer = DdpgTrainer::new(&DdpgConfig { hidden: 8, ..Default::default() }, 2, 1);
+        for s in [[0.0, 0.0], [100.0, -100.0]] {
+            let a = trainer.actor.forward(&s);
+            assert!(a[0].abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn ou_noise_variant_also_learns() {
+        let config = DdpgConfig {
+            episodes: 40,
+            warmup_steps: 200,
+            hidden: 16,
+            seed: 6,
+            noise_kind: NoiseKind::OrnsteinUhlenbeck { theta: 0.15 },
+            ..Default::default()
+        };
+        let mut mdp = PointMdp { x: 0.0, t: 0 };
+        let trained = DdpgTrainer::new(&config, 1, 1).train(&mut mdp);
+        let a_pos = trained.actor.forward(&[0.8])[0];
+        assert!(a_pos < 0.0, "OU-trained policy should push x=0.8 down, got {a_pos}");
+    }
+
+    #[test]
+    fn training_is_seed_deterministic() {
+        let config = DdpgConfig {
+            episodes: 3,
+            warmup_steps: 20,
+            hidden: 8,
+            seed: 9,
+            ..Default::default()
+        };
+        let run = || {
+            let mut mdp = PointMdp { x: 0.0, t: 0 };
+            DdpgTrainer::new(&config, 1, 1).train(&mut mdp)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.actor, b.actor);
+    }
+}

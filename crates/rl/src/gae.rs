@@ -1,0 +1,113 @@
+//! Generalized advantage estimation (the `Â` of Algorithm 1 line 9).
+
+/// Computes GAE(λ) advantages and discounted returns for one episode.
+///
+/// `values` must hold one entry per state *including* the bootstrap value of
+/// the final state (`rewards.len() + 1` entries). For terminal episodes pass
+/// a bootstrap of 0.
+///
+/// Returns `(advantages, returns)` where `returns[t] = advantages[t] + values[t]`.
+///
+/// # Panics
+///
+/// Panics if `values.len() != rewards.len() + 1`, the episode is empty, or
+/// `gamma`/`lambda` are outside `(0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use cocktail_rl::gae::gae;
+///
+/// // single-step episode: A = r + γ·V(s') − V(s)
+/// let (adv, ret) = gae(&[1.0], &[0.5, 2.0], 0.9, 1.0);
+/// assert!((adv[0] - (1.0 + 0.9 * 2.0 - 0.5)).abs() < 1e-12);
+/// assert!((ret[0] - (adv[0] + 0.5)).abs() < 1e-12);
+/// ```
+pub fn gae(rewards: &[f64], values: &[f64], gamma: f64, lambda: f64) -> (Vec<f64>, Vec<f64>) {
+    assert!(!rewards.is_empty(), "empty episode");
+    assert_eq!(values.len(), rewards.len() + 1, "values must include the bootstrap entry");
+    assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+    assert!(lambda > 0.0 && lambda <= 1.0, "lambda must be in (0, 1]");
+    let n = rewards.len();
+    let mut advantages = vec![0.0; n];
+    let mut acc = 0.0;
+    for t in (0..n).rev() {
+        let delta = rewards[t] + gamma * values[t + 1] - values[t];
+        acc = delta + gamma * lambda * acc;
+        advantages[t] = acc;
+    }
+    let returns = advantages.iter().zip(values).map(|(a, v)| a + v).collect();
+    (advantages, returns)
+}
+
+/// Plain discounted returns `G_t = Σ_k γ^k r_{t+k}` (no bootstrap) —
+/// equivalent to [`gae`] with `λ = 1` and zero values, kept as an
+/// independently-tested reference.
+///
+/// # Panics
+///
+/// Panics if the episode is empty or `gamma` is outside `(0, 1]`.
+pub fn discounted_returns(rewards: &[f64], gamma: f64) -> Vec<f64> {
+    assert!(!rewards.is_empty(), "empty episode");
+    assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
+    let mut out = vec![0.0; rewards.len()];
+    let mut acc = 0.0;
+    for t in (0..rewards.len()).rev() {
+        acc = rewards[t] + gamma * acc;
+        out[t] = acc;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discounted_returns_geometric() {
+        let r = discounted_returns(&[1.0, 1.0, 1.0], 0.5);
+        assert_eq!(r, vec![1.75, 1.5, 1.0]);
+    }
+
+    #[test]
+    fn gae_with_lambda_one_and_zero_values_is_discounted_return() {
+        let rewards = [1.0, -2.0, 3.0];
+        let values = [0.0; 4];
+        let (adv, ret) = gae(&rewards, &values, 0.9, 1.0);
+        let reference = discounted_returns(&rewards, 0.9);
+        for (a, r) in adv.iter().zip(&reference) {
+            assert!((a - r).abs() < 1e-12);
+        }
+        assert_eq!(adv, ret);
+    }
+
+    #[test]
+    fn gae_lambda_zero_limit_is_td_error() {
+        // λ → 0 reduces to one-step TD errors; use a tiny λ and compare
+        let rewards = [1.0, 2.0];
+        let values = [0.5, 1.0, 0.0];
+        let (adv, _) = gae(&rewards, &values, 0.9, 1e-12);
+        let td0 = 1.0 + 0.9 * 1.0 - 0.5;
+        let td1 = 2.0 + 0.9 * 0.0 - 1.0;
+        assert!((adv[0] - td0).abs() < 1e-9);
+        assert!((adv[1] - td1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_value_function_gives_zero_advantage() {
+        // rewards all 1, γ=1, V(s_t) = remaining reward
+        let rewards = [1.0, 1.0, 1.0];
+        let values = [3.0, 2.0, 1.0, 0.0];
+        let (adv, ret) = gae(&rewards, &values, 1.0, 0.95);
+        assert!(adv.iter().all(|a| a.abs() < 1e-12));
+        for (r, v) in ret.iter().zip(&values) {
+            assert!((r - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bootstrap")]
+    fn wrong_value_length_panics() {
+        gae(&[1.0], &[0.0], 0.9, 0.9);
+    }
+}

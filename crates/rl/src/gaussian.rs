@@ -1,0 +1,198 @@
+//! Diagonal-Gaussian policy head.
+//!
+//! PPO's stochastic policy is `a ~ N(μ(s), diag(σ²))` with the mean from an
+//! MLP and a state-independent learnable `log σ` vector. This module keeps
+//! the density/gradient math in one tested place:
+//!
+//! * `log π(a|s) = Σᵢ [ −(aᵢ−μᵢ)²/(2σᵢ²) − log σᵢ − ½ log 2π ]`
+//! * `∂ log π/∂μᵢ = (aᵢ−μᵢ)/σᵢ²`
+//! * `∂ log π/∂ log σᵢ = (aᵢ−μᵢ)²/σᵢ² − 1`
+//! * `KL(old‖new) = Σᵢ [ log(σₙ/σₒ) + (σₒ² + (μₒ−μₙ)²)/(2σₙ²) − ½ ]`
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+/// Log-density of `a` under `N(mean, diag(exp(log_std)²))`.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn log_prob(action: &[f64], mean: &[f64], log_std: &[f64]) -> f64 {
+    assert_eq!(action.len(), mean.len(), "length mismatch");
+    assert_eq!(action.len(), log_std.len(), "length mismatch");
+    const HALF_LOG_2PI: f64 = 0.918_938_533_204_672_7;
+    action
+        .iter()
+        .zip(mean)
+        .zip(log_std)
+        .map(|((&a, &m), &ls)| {
+            let s = ls.exp();
+            let z = (a - m) / s;
+            -0.5 * z * z - ls - HALF_LOG_2PI
+        })
+        .sum()
+}
+
+/// Gradient of [`log_prob`] with respect to the mean.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn grad_mean(action: &[f64], mean: &[f64], log_std: &[f64]) -> Vec<f64> {
+    assert_eq!(action.len(), mean.len(), "length mismatch");
+    assert_eq!(action.len(), log_std.len(), "length mismatch");
+    action
+        .iter()
+        .zip(mean)
+        .zip(log_std)
+        .map(|((&a, &m), &ls)| {
+            let var = (2.0 * ls).exp();
+            (a - m) / var
+        })
+        .collect()
+}
+
+/// Gradient of [`log_prob`] with respect to `log_std`.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn grad_log_std(action: &[f64], mean: &[f64], log_std: &[f64]) -> Vec<f64> {
+    assert_eq!(action.len(), mean.len(), "length mismatch");
+    assert_eq!(action.len(), log_std.len(), "length mismatch");
+    action
+        .iter()
+        .zip(mean)
+        .zip(log_std)
+        .map(|((&a, &m), &ls)| {
+            let var = (2.0 * ls).exp();
+            (a - m) * (a - m) / var - 1.0
+        })
+        .collect()
+}
+
+/// Samples an action from the policy.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn sample<R: Rng + ?Sized>(rng: &mut R, mean: &[f64], log_std: &[f64]) -> Vec<f64> {
+    assert_eq!(mean.len(), log_std.len(), "length mismatch");
+    mean.iter()
+        .zip(log_std)
+        .map(|(&m, &ls)| {
+            let normal = Normal::new(m, ls.exp()).expect("std is positive by construction");
+            normal.sample(rng)
+        })
+        .collect()
+}
+
+/// KL divergence `KL(old ‖ new)` between two diagonal Gaussians.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn kl_divergence(
+    mean_old: &[f64],
+    log_std_old: &[f64],
+    mean_new: &[f64],
+    log_std_new: &[f64],
+) -> f64 {
+    assert_eq!(mean_old.len(), log_std_old.len(), "length mismatch");
+    assert_eq!(mean_old.len(), mean_new.len(), "length mismatch");
+    assert_eq!(mean_old.len(), log_std_new.len(), "length mismatch");
+    mean_old
+        .iter()
+        .zip(log_std_old)
+        .zip(mean_new.iter().zip(log_std_new))
+        .map(|((&mo, &lso), (&mn, &lsn))| {
+            let (vo, vn) = ((2.0 * lso).exp(), (2.0 * lsn).exp());
+            lsn - lso + (vo + (mo - mn) * (mo - mn)) / (2.0 * vn) - 0.5
+        })
+        .sum()
+}
+
+/// Entropy of the diagonal Gaussian: `Σᵢ (log σᵢ + ½ log 2πe)`.
+pub fn entropy(log_std: &[f64]) -> f64 {
+    const HALF_LOG_2PIE: f64 = 1.418_938_533_204_672_7;
+    log_std.iter().map(|ls| ls + HALF_LOG_2PIE).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_prob_peaks_at_mean() {
+        let mean = [0.5, -1.0];
+        let ls = [0.0, 0.0];
+        let at_mean = log_prob(&mean, &mean, &ls);
+        let off = log_prob(&[0.6, -1.0], &mean, &ls);
+        assert!(at_mean > off);
+    }
+
+    #[test]
+    fn log_prob_matches_univariate_formula() {
+        // N(0,1) density at 0 is 1/sqrt(2π)
+        let lp = log_prob(&[0.0], &[0.0], &[0.0]);
+        assert!((lp - (-0.918_938_533_204_672_7)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let a = [0.3, -0.7];
+        let m = [0.1, 0.2];
+        let ls = [-0.5, 0.3];
+        let gm = grad_mean(&a, &m, &ls);
+        let gs = grad_log_std(&a, &m, &ls);
+        let h = 1e-6;
+        for i in 0..2 {
+            let mut mp = m;
+            mp[i] += h;
+            let mut mm = m;
+            mm[i] -= h;
+            let fd = (log_prob(&a, &mp, &ls) - log_prob(&a, &mm, &ls)) / (2.0 * h);
+            assert!((fd - gm[i]).abs() < 1e-6, "mean grad {i}");
+            let mut lsp = ls;
+            lsp[i] += h;
+            let mut lsm = ls;
+            lsm[i] -= h;
+            let fd = (log_prob(&a, &m, &lsp) - log_prob(&a, &m, &lsm)) / (2.0 * h);
+            assert!((fd - gs[i]).abs() < 1e-6, "log_std grad {i}");
+        }
+    }
+
+    #[test]
+    fn kl_zero_for_identical_distributions() {
+        let m = [1.0, -2.0];
+        let ls = [0.2, -0.1];
+        assert!(kl_divergence(&m, &ls, &m, &ls).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kl_positive_and_grows_with_mean_gap() {
+        let ls = [0.0];
+        let small = kl_divergence(&[0.0], &ls, &[0.1], &ls);
+        let large = kl_divergence(&[0.0], &ls, &[1.0], &ls);
+        assert!(small > 0.0);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn sample_statistics_match_parameters() {
+        let mut rng = cocktail_math::rng::seeded(0);
+        let mut xs = Vec::new();
+        for _ in 0..20_000 {
+            xs.push(sample(&mut rng, &[2.0], &[(0.5_f64).ln()])[0]);
+        }
+        let mean = cocktail_math::stats::mean(&xs);
+        let std = cocktail_math::stats::std_dev(&xs);
+        assert!((mean - 2.0).abs() < 0.02, "mean {mean}");
+        assert!((std - 0.5).abs() < 0.02, "std {std}");
+    }
+
+    #[test]
+    fn entropy_increases_with_std() {
+        assert!(entropy(&[0.0]) < entropy(&[1.0]));
+    }
+}

@@ -1,0 +1,141 @@
+//! Exploration-noise processes for DDPG.
+//!
+//! Lillicrap et al. used an Ornstein–Uhlenbeck process for temporally
+//! correlated exploration; later practice showed plain Gaussian noise
+//! works as well. Both are provided and selected by
+//! [`crate::ddpg::DdpgConfig::noise_kind`].
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which exploration-noise process DDPG uses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NoiseKind {
+    /// Independent `N(0, σ²)` per step.
+    Gaussian,
+    /// Ornstein–Uhlenbeck: `x ← x + θ(μ − x) + σ ε`, temporally
+    /// correlated with mean reversion to `μ = 0`.
+    OrnsteinUhlenbeck {
+        /// Mean-reversion rate `θ ∈ (0, 1]`.
+        theta: f64,
+    },
+}
+
+impl Default for NoiseKind {
+    fn default() -> Self {
+        NoiseKind::Gaussian
+    }
+}
+
+/// A stateful exploration-noise generator.
+///
+/// # Examples
+///
+/// ```
+/// use cocktail_rl::noise::{ExplorationNoise, NoiseKind};
+///
+/// let mut noise = ExplorationNoise::new(NoiseKind::OrnsteinUhlenbeck { theta: 0.15 }, 2);
+/// let mut rng = cocktail_math::rng::seeded(0);
+/// let sample = noise.sample(&mut rng, 0.2);
+/// assert_eq!(sample.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExplorationNoise {
+    kind: NoiseKind,
+    state: Vec<f64>,
+}
+
+impl ExplorationNoise {
+    /// Creates a generator for `dim`-dimensional actions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`, or for OU if `theta` is outside `(0, 1]`.
+    pub fn new(kind: NoiseKind, dim: usize) -> Self {
+        assert!(dim > 0, "noise dimension must be positive");
+        if let NoiseKind::OrnsteinUhlenbeck { theta } = kind {
+            assert!(theta > 0.0 && theta <= 1.0, "theta must be in (0, 1]");
+        }
+        Self { kind, state: vec![0.0; dim] }
+    }
+
+    /// Draws the next noise vector at amplitude `sigma`.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R, sigma: f64) -> Vec<f64> {
+        match self.kind {
+            NoiseKind::Gaussian => cocktail_math::rng::gaussian_vector(rng, self.state.len(), sigma),
+            NoiseKind::OrnsteinUhlenbeck { theta } => {
+                let eps = cocktail_math::rng::gaussian_vector(rng, self.state.len(), sigma);
+                for (x, e) in self.state.iter_mut().zip(&eps) {
+                    *x += theta * (0.0 - *x) + e;
+                }
+                self.state.clone()
+            }
+        }
+    }
+
+    /// Resets the internal state (call at episode boundaries for OU).
+    pub fn reset(&mut self) {
+        self.state.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_noise_is_uncorrelated() {
+        let mut noise = ExplorationNoise::new(NoiseKind::Gaussian, 1);
+        let mut rng = cocktail_math::rng::seeded(1);
+        let xs: Vec<f64> = (0..20_000).map(|_| noise.sample(&mut rng, 1.0)[0]).collect();
+        // lag-1 autocorrelation ≈ 0
+        let mean = cocktail_math::stats::mean(&xs);
+        let var = cocktail_math::stats::variance(&xs);
+        let autocov: f64 = xs
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum::<f64>()
+            / (xs.len() - 1) as f64;
+        assert!((autocov / var).abs() < 0.05, "gaussian autocorrelation {}", autocov / var);
+    }
+
+    #[test]
+    fn ou_noise_is_positively_correlated() {
+        let mut noise = ExplorationNoise::new(NoiseKind::OrnsteinUhlenbeck { theta: 0.1 }, 1);
+        let mut rng = cocktail_math::rng::seeded(2);
+        let xs: Vec<f64> = (0..20_000).map(|_| noise.sample(&mut rng, 0.3)[0]).collect();
+        let mean = cocktail_math::stats::mean(&xs);
+        let var = cocktail_math::stats::variance(&xs);
+        let autocov: f64 = xs
+            .windows(2)
+            .map(|w| (w[0] - mean) * (w[1] - mean))
+            .sum::<f64>()
+            / (xs.len() - 1) as f64;
+        let rho = autocov / var;
+        // theory: lag-1 autocorrelation of OU(θ) ≈ 1 − θ
+        assert!((rho - 0.9).abs() < 0.05, "OU autocorrelation {rho}");
+    }
+
+    #[test]
+    fn ou_mean_reverts_to_zero() {
+        let mut noise = ExplorationNoise::new(NoiseKind::OrnsteinUhlenbeck { theta: 0.2 }, 1);
+        let mut rng = cocktail_math::rng::seeded(3);
+        let xs: Vec<f64> = (0..50_000).map(|_| noise.sample(&mut rng, 0.2)[0]).collect();
+        assert!(cocktail_math::stats::mean(&xs).abs() < 0.05);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut noise = ExplorationNoise::new(NoiseKind::OrnsteinUhlenbeck { theta: 0.5 }, 3);
+        let mut rng = cocktail_math::rng::seeded(4);
+        noise.sample(&mut rng, 1.0);
+        noise.reset();
+        assert_eq!(noise.state, vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn invalid_theta_panics() {
+        ExplorationNoise::new(NoiseKind::OrnsteinUhlenbeck { theta: 1.5 }, 1);
+    }
+}

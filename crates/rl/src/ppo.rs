@@ -1,0 +1,497 @@
+//! Proximal policy optimization (Algorithm 1 lines 2–10).
+//!
+//! The paper's adaptive-mixing objective is the PPO surrogate with a KL
+//! penalty:
+//!
+//! ```text
+//! argmax_θ  Ê[ (π_θ(a|s) / π_θold(a|s)) Â − β KL(π_θold, π_θ) ]
+//! ```
+//!
+//! We implement exactly that (plus the standard ratio clip, which only ever
+//! tightens the update) with a diagonal-Gaussian policy: an MLP mean head
+//! and a learnable, state-independent `log σ` vector.
+
+use crate::gae::gae;
+use crate::gaussian;
+use crate::mdp::Mdp;
+use cocktail_math::stats;
+use cocktail_nn::{loss, Activation, Adam, GradStore, Mlp, MlpBuilder, Optimizer};
+use serde::{Deserialize, Serialize};
+
+/// PPO hyperparameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PpoConfig {
+    /// Outer training iterations (the paper's epochs `N`).
+    pub iterations: usize,
+    /// Episodes collected per iteration with the current policy.
+    pub episodes_per_iteration: usize,
+    /// Gradient passes over each collected batch.
+    pub update_epochs: usize,
+    /// Minibatch size for the policy/value updates.
+    pub minibatch_size: usize,
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// GAE λ.
+    pub lambda: f64,
+    /// PPO ratio clip ε.
+    pub clip_ratio: f64,
+    /// KL-penalty weight β (the paper's objective).
+    pub kl_beta: f64,
+    /// Entropy bonus weight.
+    pub entropy_bonus: f64,
+    /// Mean-network learning rate.
+    pub policy_lr: f64,
+    /// Value-network learning rate.
+    pub value_lr: f64,
+    /// Initial `log σ` of the exploration noise.
+    pub init_log_std: f64,
+    /// Hidden width of the two-hidden-layer Tanh networks.
+    pub hidden: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PpoConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 60,
+            episodes_per_iteration: 8,
+            update_epochs: 6,
+            minibatch_size: 64,
+            gamma: 0.99,
+            lambda: 0.95,
+            clip_ratio: 0.2,
+            kl_beta: 0.01,
+            entropy_bonus: 1e-3,
+            policy_lr: 3e-3,
+            value_lr: 1e-2,
+            init_log_std: -0.5,
+            hidden: 32,
+            seed: 0,
+        }
+    }
+}
+
+/// A diagonal-Gaussian policy: MLP mean + learnable `log σ`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaussianPolicy {
+    mean_net: Mlp,
+    log_std: Vec<f64>,
+}
+
+impl GaussianPolicy {
+    /// Creates a policy with a fresh mean network.
+    pub fn new(state_dim: usize, action_dim: usize, hidden: usize, init_log_std: f64, seed: u64) -> Self {
+        let mean_net = MlpBuilder::new(state_dim)
+            .hidden(hidden, Activation::Tanh)
+            .hidden(hidden, Activation::Tanh)
+            .output(action_dim, Activation::Identity)
+            .seed(seed)
+            .build();
+        Self { mean_net, log_std: vec![init_log_std; action_dim] }
+    }
+
+    /// The mean network.
+    pub fn mean_net(&self) -> &Mlp {
+        &self.mean_net
+    }
+
+    /// Current exploration `log σ`.
+    pub fn log_std(&self) -> &[f64] {
+        &self.log_std
+    }
+
+    /// Policy mean `μ(s)`.
+    pub fn mean(&self, s: &[f64]) -> Vec<f64> {
+        self.mean_net.forward(s)
+    }
+
+    /// Stochastic (unclipped) action.
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R, s: &[f64]) -> Vec<f64> {
+        gaussian::sample(rng, &self.mean(s), &self.log_std)
+    }
+
+    /// Deterministic deployment action: `clip(μ(s), ±bound)`.
+    pub fn deterministic(&self, s: &[f64], bound: f64) -> Vec<f64> {
+        self.mean(s).iter().map(|m| m.clamp(-bound, bound)).collect()
+    }
+}
+
+/// Per-iteration statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IterationStats {
+    /// Mean undiscounted episode return.
+    pub mean_return: f64,
+    /// Mean episode length.
+    pub mean_length: f64,
+    /// Fraction of episodes that ended without a safety violation.
+    pub safe_fraction: f64,
+}
+
+/// The result of PPO training.
+#[derive(Debug, Clone)]
+pub struct TrainedPolicy {
+    /// The learned policy.
+    pub policy: GaussianPolicy,
+    /// The learned value network.
+    pub value: Mlp,
+    /// Per-iteration statistics, oldest first.
+    pub history: Vec<IterationStats>,
+}
+
+struct Sample {
+    state: Vec<f64>,
+    action: Vec<f64>,
+    advantage: f64,
+    ret: f64,
+    log_prob_old: f64,
+    mean_old: Vec<f64>,
+}
+
+/// Adam state for the bare `log σ` vector (the mean net uses the full
+/// [`Adam`] optimizer; this mirrors it for a plain parameter vector).
+#[derive(Debug, Clone)]
+struct VecAdam {
+    lr: f64,
+    t: u64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl VecAdam {
+    fn new(lr: f64, dim: usize) -> Self {
+        Self { lr, t: 0, m: vec![0.0; dim], v: vec![0.0; dim] }
+    }
+
+    fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        self.t += 1;
+        let (b1, b2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
+        let bc1 = 1.0 - b1.powi(self.t as i32);
+        let bc2 = 1.0 - b2.powi(self.t as i32);
+        for i in 0..params.len() {
+            self.m[i] = b1 * self.m[i] + (1.0 - b1) * grads[i];
+            self.v[i] = b2 * self.v[i] + (1.0 - b2) * grads[i] * grads[i];
+            params[i] -= self.lr * (self.m[i] / bc1) / ((self.v[i] / bc2).sqrt() + eps);
+        }
+    }
+}
+
+/// PPO trainer. Construct with [`PpoTrainer::new`], then call
+/// [`PpoTrainer::train`] on any [`Mdp`].
+pub struct PpoTrainer {
+    config: PpoConfig,
+    policy: GaussianPolicy,
+    value: Mlp,
+}
+
+impl PpoTrainer {
+    /// Creates a trainer with freshly-initialized networks.
+    pub fn new(config: &PpoConfig, state_dim: usize, action_dim: usize) -> Self {
+        let policy = GaussianPolicy::new(
+            state_dim,
+            action_dim,
+            config.hidden,
+            config.init_log_std,
+            config.seed,
+        );
+        let value = MlpBuilder::new(state_dim)
+            .hidden(config.hidden, Activation::Tanh)
+            .hidden(config.hidden, Activation::Tanh)
+            .output(1, Activation::Identity)
+            .seed(config.seed.wrapping_add(1))
+            .build();
+        Self { config: config.clone(), policy, value }
+    }
+
+    /// Runs the full training loop, consuming the trainer.
+    pub fn train(mut self, mdp: &mut dyn Mdp) -> TrainedPolicy {
+        assert_eq!(mdp.state_dim(), self.policy.mean_net.input_dim(), "state dim mismatch");
+        assert_eq!(mdp.action_dim(), self.policy.mean_net.output_dim(), "action dim mismatch");
+        let mut rng = cocktail_math::rng::seeded(self.config.seed.wrapping_add(2));
+        let mut policy_opt = Adam::new(self.config.policy_lr);
+        let mut value_opt = Adam::new(self.config.value_lr);
+        let mut log_std_opt = VecAdam::new(self.config.policy_lr, mdp.action_dim());
+        let mut history = Vec::with_capacity(self.config.iterations);
+
+        for _ in 0..self.config.iterations {
+            let (samples, stats) = self.collect(mdp, &mut rng);
+            history.push(stats);
+            self.update(&samples, &mut policy_opt, &mut value_opt, &mut log_std_opt, &mut rng);
+        }
+        TrainedPolicy { policy: self.policy, value: self.value, history }
+    }
+
+    fn collect(
+        &self,
+        mdp: &mut dyn Mdp,
+        rng: &mut rand::rngs::StdRng,
+    ) -> (Vec<Sample>, IterationStats) {
+        let bound = mdp.action_bound();
+        let mut samples = Vec::new();
+        let mut returns = Vec::new();
+        let mut lengths = Vec::new();
+        let mut safe_episodes = 0usize;
+
+        for _ in 0..self.config.episodes_per_iteration {
+            let mut s = mdp.reset(rng);
+            let mut states = Vec::new();
+            let mut actions = Vec::new();
+            let mut rewards = Vec::new();
+            let mut means = Vec::new();
+            let mut done = false;
+            let mut truncated_bootstrap = 0.0;
+            while !done {
+                let mean = self.policy.mean(&s);
+                let a = gaussian::sample(rng, &mean, &self.policy.log_std);
+                let a_env: Vec<f64> = a.iter().map(|x| x.clamp(-bound, bound)).collect();
+                let (next, r, d) = mdp.step(&a_env);
+                states.push(s.clone());
+                actions.push(a);
+                means.push(mean);
+                rewards.push(r);
+                s = next;
+                done = d;
+            }
+            // bootstrap: terminal states get 0; the paper punishes violations
+            // with R_pun which already encodes the termination value. A
+            // horizon truncation would warrant V(s_T), but our MDPs treat
+            // the horizon as the true episode end (finite-horizon objective,
+            // Eq. of Section III-A), so 0 is the correct terminal value.
+            let _ = &mut truncated_bootstrap;
+            let mut values: Vec<f64> =
+                states.iter().map(|st| self.value.forward(st)[0]).collect();
+            values.push(truncated_bootstrap);
+            let (advantages, rets) = gae(&rewards, &values, self.config.gamma, self.config.lambda);
+            let episode_return: f64 = rewards.iter().sum();
+            let violated = rewards.last().is_some_and(|&r| r <= -50.0);
+            if !violated {
+                safe_episodes += 1;
+            }
+            returns.push(episode_return);
+            lengths.push(rewards.len() as f64);
+            for i in 0..states.len() {
+                let log_prob_old =
+                    gaussian::log_prob(&actions[i], &means[i], &self.policy.log_std);
+                samples.push(Sample {
+                    state: states[i].clone(),
+                    action: actions[i].clone(),
+                    advantage: advantages[i],
+                    ret: rets[i],
+                    log_prob_old,
+                    mean_old: means[i].clone(),
+                });
+            }
+        }
+        // standardize advantages across the whole batch
+        let mut advs: Vec<f64> = samples.iter().map(|s| s.advantage).collect();
+        stats::standardize(&mut advs);
+        for (s, a) in samples.iter_mut().zip(&advs) {
+            s.advantage = *a;
+        }
+        let stats = IterationStats {
+            mean_return: stats::mean(&returns),
+            mean_length: stats::mean(&lengths),
+            safe_fraction: safe_episodes as f64 / self.config.episodes_per_iteration as f64,
+        };
+        (samples, stats)
+    }
+
+    fn update(
+        &mut self,
+        samples: &[Sample],
+        policy_opt: &mut Adam,
+        value_opt: &mut Adam,
+        log_std_opt: &mut VecAdam,
+        rng: &mut rand::rngs::StdRng,
+    ) {
+        use rand::seq::SliceRandom;
+        if samples.is_empty() {
+            return;
+        }
+        let log_std_old = self.policy.log_std.clone();
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let batch = self.config.minibatch_size.max(1);
+
+        for _ in 0..self.config.update_epochs {
+            order.shuffle(rng);
+            for chunk in order.chunks(batch) {
+                let scale = 1.0 / chunk.len() as f64;
+                let mut policy_grads = GradStore::zeros_like(&self.policy.mean_net);
+                let mut log_std_grad = vec![0.0; self.policy.log_std.len()];
+                let mut value_grads = GradStore::zeros_like(&self.value);
+
+                for &i in chunk {
+                    let s = &samples[i];
+                    let cache = self.policy.mean_net.forward_cached(&s.state);
+                    let mean_new = cache.output().to_vec();
+                    let log_prob_new =
+                        gaussian::log_prob(&s.action, &mean_new, &self.policy.log_std);
+                    let ratio = (log_prob_new - s.log_prob_old).exp();
+
+                    // clipped-surrogate coefficient: derivative of
+                    // min(r·A, clip(r)·A) w.r.t. log π_new is r·A when the
+                    // unclipped branch is active, else 0.
+                    let clipped_ratio =
+                        ratio.clamp(1.0 - self.config.clip_ratio, 1.0 + self.config.clip_ratio);
+                    let surrogate_active = ratio * s.advantage <= clipped_ratio * s.advantage;
+                    let coeff = if surrogate_active { ratio * s.advantage } else { 0.0 };
+
+                    // ∂(-L)/∂μ = -coeff·∂logπ/∂μ + β·∂KL/∂μ
+                    let glp_mean = gaussian::grad_mean(&s.action, &mean_new, &self.policy.log_std);
+                    let mut grad_mean_total: Vec<f64> = glp_mean
+                        .iter()
+                        .map(|g| -coeff * g)
+                        .collect();
+                    // KL(old‖new) gradient wrt new mean: (μn−μo)/σn²
+                    for (k, gi) in grad_mean_total.iter_mut().enumerate() {
+                        let gap = mean_new[k] - s.mean_old[k];
+                        *gi += self.config.kl_beta * gap / (2.0 * self.policy.log_std[k]).exp();
+                    }
+                    self.policy.mean_net.backward(&cache, &grad_mean_total, &mut policy_grads, scale);
+
+                    // log_std gradients: surrogate + KL + entropy bonus
+                    let glp_ls = gaussian::grad_log_std(&s.action, &mean_new, &self.policy.log_std);
+                    for (k, g) in glp_ls.iter().enumerate() {
+                        let mut total = -coeff * g;
+                        // ∂KL/∂logσn = 1 − (σo² + (μo−μn)²)/σn²
+                        let vo = (2.0 * log_std_old[k]).exp();
+                        let vn = (2.0 * self.policy.log_std[k]).exp();
+                        let gap = s.mean_old[k] - mean_new[k];
+                        total += self.config.kl_beta * (1.0 - (vo + gap * gap) / vn);
+                        // entropy bonus: maximize H ⇒ subtract ∂H/∂logσ = 1
+                        total -= self.config.entropy_bonus;
+                        log_std_grad[k] += scale * total;
+                    }
+
+                    // value update
+                    let vcache = self.value.forward_cached(&s.state);
+                    let vg = loss::mse_gradient(vcache.output(), &[s.ret]);
+                    self.value.backward(&vcache, &vg, &mut value_grads, scale);
+                }
+
+                policy_grads.clip_global_norm(5.0);
+                value_grads.clip_global_norm(10.0);
+                policy_opt.step(&mut self.policy.mean_net, &policy_grads);
+                log_std_opt.step(&mut self.policy.log_std, &log_std_grad);
+                // keep exploration noise in a sane range
+                for ls in &mut self.policy.log_std {
+                    *ls = ls.clamp(-3.0, 1.0);
+                }
+                value_opt.step(&mut self.value, &value_grads);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// 1-D point regulation: x' = x + 0.2·a, reward −x² − 0.01 a², 25 steps.
+    struct PointMdp {
+        x: f64,
+        t: usize,
+    }
+
+    impl Mdp for PointMdp {
+        fn state_dim(&self) -> usize {
+            1
+        }
+        fn action_dim(&self) -> usize {
+            1
+        }
+        fn action_bound(&self) -> f64 {
+            1.0
+        }
+        fn reset(&mut self, rng: &mut dyn rand::RngCore) -> Vec<f64> {
+            let mut r = rand::rngs::StdRng::from_rng(rng).expect("rng");
+            self.x = r.gen_range(-1.0..=1.0);
+            self.t = 0;
+            vec![self.x]
+        }
+        fn step(&mut self, a: &[f64]) -> (Vec<f64>, f64, bool) {
+            let act = a[0].clamp(-1.0, 1.0);
+            self.x += 0.2 * act;
+            self.t += 1;
+            let r = -self.x * self.x - 0.01 * act * act;
+            (vec![self.x], r, self.t >= 25)
+        }
+    }
+
+    use rand::SeedableRng;
+
+    #[test]
+    fn ppo_improves_point_regulation() {
+        let config = PpoConfig {
+            iterations: 30,
+            episodes_per_iteration: 10,
+            hidden: 16,
+            seed: 7,
+            ..Default::default()
+        };
+        let mut mdp = PointMdp { x: 0.0, t: 0 };
+        let trained = PpoTrainer::new(&config, 1, 1).train(&mut mdp);
+        let early: f64 = trained.history[..5].iter().map(|s| s.mean_return).sum::<f64>() / 5.0;
+        let late: f64 =
+            trained.history[trained.history.len() - 5..].iter().map(|s| s.mean_return).sum::<f64>()
+                / 5.0;
+        assert!(late > early, "no improvement: early {early} late {late}");
+        // the learned deterministic policy should push x towards 0
+        let a_pos = trained.policy.deterministic(&[0.8], 1.0)[0];
+        let a_neg = trained.policy.deterministic(&[-0.8], 1.0)[0];
+        assert!(a_pos < 0.0, "at x=0.8 action should be negative, got {a_pos}");
+        assert!(a_neg > 0.0, "at x=-0.8 action should be positive, got {a_neg}");
+    }
+
+    #[test]
+    fn deterministic_action_is_clipped() {
+        let p = GaussianPolicy::new(1, 1, 8, 0.0, 0);
+        let a = p.deterministic(&[1000.0], 0.5);
+        assert!(a[0].abs() <= 0.5);
+    }
+
+    #[test]
+    fn sample_spread_follows_log_std() {
+        let p = GaussianPolicy::new(1, 1, 8, -2.0, 1);
+        let mut rng = cocktail_math::rng::seeded(2);
+        let m = p.mean(&[0.3])[0];
+        let xs: Vec<f64> = (0..2000).map(|_| p.sample(&mut rng, &[0.3])[0] - m).collect();
+        let std = cocktail_math::stats::std_dev(&xs);
+        assert!((std - (-2.0_f64).exp()).abs() < 0.02, "std {std}");
+    }
+
+    #[test]
+    fn training_is_seed_deterministic() {
+        let config = PpoConfig {
+            iterations: 3,
+            episodes_per_iteration: 3,
+            hidden: 8,
+            seed: 11,
+            ..Default::default()
+        };
+        let run = || {
+            let mut mdp = PointMdp { x: 0.0, t: 0 };
+            PpoTrainer::new(&config, 1, 1).train(&mut mdp)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.policy, b.policy);
+        assert_eq!(a.history, b.history);
+    }
+
+    #[test]
+    fn history_has_one_entry_per_iteration() {
+        let config = PpoConfig {
+            iterations: 4,
+            episodes_per_iteration: 2,
+            hidden: 8,
+            seed: 3,
+            ..Default::default()
+        };
+        let mut mdp = PointMdp { x: 0.0, t: 0 };
+        let trained = PpoTrainer::new(&config, 1, 1).train(&mut mdp);
+        assert_eq!(trained.history.len(), 4);
+        assert!(trained.history.iter().all(|s| s.mean_length > 0.0));
+    }
+}

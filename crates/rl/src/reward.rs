@@ -1,0 +1,93 @@
+//! The paper's reward function (Section III-A).
+//!
+//! ```text
+//! r(s, a) = R_pun                 if s ∉ X
+//!           h(‖u‖)                otherwise
+//! ```
+//!
+//! with `R_pun` a large negative punishment and `h` monotonically
+//! decreasing in the applied control's magnitude. We use the affine form
+//! `h(x) = alive_bonus − energy_scale · x` with `x = ‖u‖₁`, which is
+//! monotone decreasing and keeps per-step rewards O(1) for clipped inputs.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the safety/energy reward.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RewardConfig {
+    /// `R_pun`: reward when the state leaves the safe region.
+    pub punish: f64,
+    /// Per-step constant granted while safe (keeps safe trajectories
+    /// strictly preferable to early termination).
+    pub alive_bonus: f64,
+    /// Slope of the energy penalty on `‖u‖₁`.
+    pub energy_scale: f64,
+    /// Slope of the state-magnitude penalty on `‖s'‖₁` (steer-away term).
+    pub state_scale: f64,
+}
+
+impl Default for RewardConfig {
+    fn default() -> Self {
+        Self { punish: -100.0, alive_bonus: 1.0, energy_scale: 0.05, state_scale: 0.25 }
+    }
+}
+
+impl RewardConfig {
+    /// Reward for a step that applied control `u` and landed on state
+    /// `next` with the given safety flag.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cocktail_rl::RewardConfig;
+    ///
+    /// let r = RewardConfig::default();
+    /// assert_eq!(r.reward(&[0.0], &[0.0], false), -100.0);
+    /// assert!(r.reward(&[1.0], &[0.0], true) < r.reward(&[0.0], &[0.0], true));
+    /// assert!(r.reward(&[0.0], &[1.0], true) < r.reward(&[0.0], &[0.0], true));
+    /// ```
+    pub fn reward(&self, u: &[f64], next: &[f64], safe: bool) -> f64 {
+        if !safe {
+            self.punish
+        } else {
+            self.alive_bonus
+                - self.energy_scale * cocktail_math::vector::norm_1(u)
+                - self.state_scale * cocktail_math::vector::norm_1(next)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsafe_always_punished() {
+        let r = RewardConfig::default();
+        assert_eq!(r.reward(&[0.0], &[0.0], false), r.punish);
+        assert_eq!(r.reward(&[100.0], &[0.0], false), r.punish);
+    }
+
+    #[test]
+    fn h_is_monotone_decreasing_in_energy() {
+        let r = RewardConfig::default();
+        let mut prev = f64::INFINITY;
+        for e in [0.0, 0.5, 1.0, 5.0, 20.0] {
+            let now = r.reward(&[e], &[0.0], true);
+            assert!(now < prev);
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn steer_away_term_prefers_small_states() {
+        let r = RewardConfig::default();
+        assert!(r.reward(&[1.0], &[0.1, 0.1], true) > r.reward(&[1.0], &[1.0, 1.0], true));
+    }
+
+    #[test]
+    fn punishment_dominates_any_safe_reward() {
+        let r = RewardConfig::default();
+        assert!(r.reward(&[0.0], &[0.0], false) < r.reward(&[40.0], &[4.0], true));
+    }
+}

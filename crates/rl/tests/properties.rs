@@ -1,0 +1,119 @@
+//! Property-based tests of the RL substrate: GAE identities, Gaussian
+//! policy-head calculus and replay-buffer behaviour.
+
+use cocktail_rl::buffer::{ReplayBuffer, Transition};
+use cocktail_rl::gae::{discounted_returns, gae};
+use cocktail_rl::gaussian;
+use proptest::prelude::*;
+
+fn reward_vec() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-10.0..10.0f64, 1..20)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn gae_returns_equal_adv_plus_value(rewards in reward_vec(), gamma in 0.5..1.0f64, lambda in 0.5..1.0f64) {
+        let values: Vec<f64> = (0..=rewards.len()).map(|i| (i as f64 * 0.37).sin()).collect();
+        let (adv, ret) = gae(&rewards, &values, gamma, lambda);
+        for i in 0..rewards.len() {
+            prop_assert!((ret[i] - (adv[i] + values[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gae_lambda_one_zero_values_is_discounted_return(rewards in reward_vec(), gamma in 0.5..1.0f64) {
+        let values = vec![0.0; rewards.len() + 1];
+        let (adv, _) = gae(&rewards, &values, gamma, 1.0);
+        let reference = discounted_returns(&rewards, gamma);
+        for (a, r) in adv.iter().zip(&reference) {
+            prop_assert!((a - r).abs() < 1e-9 * (1.0 + r.abs()));
+        }
+    }
+
+    #[test]
+    fn perfect_values_zero_advantage(rewards in reward_vec(), lambda in 0.5..1.0f64) {
+        // V(s_t) = exact remaining undiscounted reward ⇒ every TD error is 0
+        let mut values = vec![0.0; rewards.len() + 1];
+        for t in (0..rewards.len()).rev() {
+            values[t] = rewards[t] + values[t + 1];
+        }
+        let (adv, _) = gae(&rewards, &values, 1.0, lambda);
+        for a in &adv {
+            prop_assert!(a.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn log_prob_maximized_at_mean(a0 in -3.0..3.0f64, a1 in -3.0..3.0f64,
+                                  ls0 in -1.0..0.5f64, ls1 in -1.0..0.5f64,
+                                  off in 0.01..2.0f64) {
+        let mean = [a0, a1];
+        let ls = [ls0, ls1];
+        let at_mean = gaussian::log_prob(&mean, &mean, &ls);
+        let shifted = [a0 + off, a1];
+        prop_assert!(at_mean > gaussian::log_prob(&shifted, &mean, &ls));
+    }
+
+    #[test]
+    fn kl_is_nonnegative_and_zero_iff_equal(
+        m0 in -2.0..2.0f64, m1 in -2.0..2.0f64,
+        ls0 in -1.0..0.5f64, ls1 in -1.0..0.5f64,
+        dm in -1.0..1.0f64, dls in -0.5..0.5f64,
+    ) {
+        let mean_old = [m0, m1];
+        let ls_old = [ls0, ls1];
+        let mean_new = [m0 + dm, m1];
+        let ls_new = [ls0 + dls, ls1];
+        let kl = gaussian::kl_divergence(&mean_old, &ls_old, &mean_new, &ls_new);
+        prop_assert!(kl >= -1e-12);
+        if dm.abs() < 1e-12 && dls.abs() < 1e-12 {
+            prop_assert!(kl.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gaussian_gradients_match_finite_differences(
+        a in -2.0..2.0f64, m in -2.0..2.0f64, ls in -1.0..0.5f64,
+    ) {
+        let action = [a];
+        let mean = [m];
+        let log_std = [ls];
+        let gm = gaussian::grad_mean(&action, &mean, &log_std)[0];
+        let gs = gaussian::grad_log_std(&action, &mean, &log_std)[0];
+        let h = 1e-6;
+        let fd_m = (gaussian::log_prob(&action, &[m + h], &log_std)
+            - gaussian::log_prob(&action, &[m - h], &log_std))
+            / (2.0 * h);
+        let fd_s = (gaussian::log_prob(&action, &mean, &[ls + h])
+            - gaussian::log_prob(&action, &mean, &[ls - h]))
+            / (2.0 * h);
+        prop_assert!((gm - fd_m).abs() < 1e-5);
+        prop_assert!((gs - fd_s).abs() < 1e-5);
+    }
+
+    #[test]
+    fn replay_buffer_never_exceeds_capacity(cap in 1usize..64, pushes in 0usize..200) {
+        let mut buf = ReplayBuffer::new(cap);
+        for i in 0..pushes {
+            buf.push(Transition {
+                state: vec![i as f64],
+                action: vec![0.0],
+                reward: i as f64,
+                next_state: vec![0.0],
+                done: false,
+            });
+        }
+        prop_assert!(buf.len() <= cap);
+        prop_assert_eq!(buf.len(), pushes.min(cap));
+        if !buf.is_empty() {
+            // the surviving transitions are the newest ones
+            let mut r = cocktail_math::rng::seeded(0);
+            let newest_cutoff = pushes.saturating_sub(cap) as f64;
+            for t in buf.sample(&mut r, 32) {
+                prop_assert!(t.reward >= newest_cutoff);
+            }
+        }
+    }
+}

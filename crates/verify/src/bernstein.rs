@@ -1,0 +1,616 @@
+//! Bernstein-polynomial over-approximation of neural controllers.
+//!
+//! Following ReachNN \[21\] and the paper's Section III-C, a network
+//! `κ: X → R` is replaced by `B_d(x) ± ε` where `B_d` is the degree-`d`
+//! tensor-product Bernstein approximant and `ε` a *rigorous* error bound.
+//! The classical modulus-of-continuity estimate gives, per dimension of
+//! width `wᵢ` and network Lipschitz constant `L` (2-norm, which dominates
+//! every coordinate direction):
+//!
+//! ```text
+//! ‖B_d κ − κ‖_∞  ≤  (3/2) · L · Σᵢ wᵢ / √d
+//! ```
+//!
+//! so the error shrinks with the partition width — and *grows with `L`*,
+//! which is exactly the mechanism that makes low-Lipschitz students cheap
+//! to verify (Table I, Figs. 3–4). When a piece's bound exceeds the
+//! tolerance it is bisected; the total piece budget is capped and a
+//! high-`L` network exhausts it ([`VerifyError::ResourceExhausted`]).
+
+use crate::enclosure::ControlEnclosure;
+use crate::error::VerifyError;
+use cocktail_math::{BoxRegion, Interval};
+use cocktail_nn::Mlp;
+use serde::{Deserialize, Serialize};
+
+/// Binomial coefficient `C(n, k)` as `f64` (degrees here are ≤ ~10).
+fn binomial(n: usize, k: usize) -> f64 {
+    let k = k.min(n - k);
+    let mut num = 1.0;
+    let mut den = 1.0;
+    for i in 0..k {
+        num *= (n - i) as f64;
+        den *= (i + 1) as f64;
+    }
+    num / den
+}
+
+/// A single-output Bernstein approximant over a box.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BernsteinApprox {
+    domain: BoxRegion,
+    degree: usize,
+    /// Coefficients on the `(degree+1)^n` tensor grid, lexicographic in the
+    /// per-dimension index (dimension 0 fastest).
+    coeffs: Vec<f64>,
+}
+
+impl BernsteinApprox {
+    /// Builds the degree-`degree` approximant of `f` over `domain` by
+    /// sampling `f` on the uniform `(degree+1)^n` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree == 0`.
+    pub fn build(f: &dyn Fn(&[f64]) -> f64, domain: &BoxRegion, degree: usize) -> Self {
+        assert!(degree > 0, "degree must be positive");
+        let n = domain.dim();
+        let pts = degree + 1;
+        let count = pts.pow(n as u32);
+        let mut coeffs = Vec::with_capacity(count);
+        let mut idx = vec![0usize; n];
+        for _ in 0..count {
+            let t: Vec<f64> = idx.iter().map(|&k| k as f64 / degree as f64).collect();
+            coeffs.push(f(&domain.lerp(&t)));
+            // increment mixed-radix counter
+            for item in idx.iter_mut() {
+                *item += 1;
+                if *item < pts {
+                    break;
+                }
+                *item = 0;
+            }
+        }
+        Self { domain: domain.clone(), degree, coeffs }
+    }
+
+    /// The approximation domain.
+    pub fn domain(&self) -> &BoxRegion {
+        &self.domain
+    }
+
+    /// The polynomial degree per dimension.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Evaluates the approximant at a point of the domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != domain.dim()`.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        let t = self.domain.to_unit(x);
+        let n = t.len();
+        let d = self.degree;
+        // per-dimension basis values B_{k,d}(tᵢ)
+        let basis: Vec<Vec<f64>> = t
+            .iter()
+            .map(|&ti| {
+                (0..=d)
+                    .map(|k| {
+                        binomial(d, k)
+                            * ti.powi(k as i32)
+                            * (1.0 - ti).powi((d - k) as i32)
+                    })
+                    .collect()
+            })
+            .collect();
+        let pts = d + 1;
+        let mut acc = 0.0;
+        let mut idx = vec![0usize; n];
+        for &c in &self.coeffs {
+            let mut w = c;
+            for (i, &k) in idx.iter().enumerate() {
+                w *= basis[i][k];
+            }
+            acc += w;
+            for item in idx.iter_mut() {
+                *item += 1;
+                if *item < pts {
+                    break;
+                }
+                *item = 0;
+            }
+        }
+        acc
+    }
+
+    /// The convex-hull enclosure over the *whole* domain: a Bernstein-form
+    /// polynomial lies within the range of its coefficients.
+    pub fn coefficient_range(&self) -> Interval {
+        let lo = self.coeffs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = self.coeffs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Interval::new(lo, hi)
+    }
+
+    /// An upper bound on this approximant's own 2-norm Lipschitz constant,
+    /// from the first differences of the coefficient tensor.
+    pub fn lipschitz_bound(&self) -> f64 {
+        bernstein_lipschitz(self)
+    }
+
+    /// Sound enclosure of the approximant over a sub-box `q ⊆ domain`.
+    ///
+    /// Three sound bounds are intersected: the convex-hull property of the
+    /// Bernstein form (the basis is a partition of unity, so the value lies
+    /// in the coefficient range over *any* sub-box), interval evaluation
+    /// of the basis products, and the mean-value bound
+    /// `B(mid(q)) ± L_B · radius₂(q)` (the tightest for small sub-boxes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q.dim() != domain.dim()`.
+    pub fn enclose(&self, q: &BoxRegion) -> Interval {
+        let mut bound = self.coefficient_range();
+        if let Some(tighter) = bound.intersect(&self.enclose_by_basis(q)) {
+            bound = tighter;
+        }
+        let radius = q
+            .intervals()
+            .iter()
+            .map(|iv| iv.radius() * iv.radius())
+            .sum::<f64>()
+            .sqrt();
+        let centre = self.eval(&q.center());
+        let mean_value = Interval::symmetric(self.lipschitz_bound() * radius)
+            + Interval::point(centre);
+        bound.intersect(&mean_value).unwrap_or(bound)
+    }
+
+    fn enclose_by_basis(&self, q: &BoxRegion) -> Interval {
+        assert_eq!(q.dim(), self.domain.dim(), "sub-box dimension mismatch");
+        // unit coordinates of the sub-box, clamped to [0,1]
+        let n = q.dim();
+        let d = self.degree;
+        let t: Vec<Interval> = (0..n)
+            .map(|i| {
+                let lo = self.domain.to_unit(&q.lower())[i].clamp(0.0, 1.0);
+                let hi = self.domain.to_unit(&q.upper())[i].clamp(0.0, 1.0);
+                Interval::new(lo.min(hi), hi.max(lo))
+            })
+            .collect();
+        let one = Interval::point(1.0);
+        let basis: Vec<Vec<Interval>> = t
+            .iter()
+            .map(|&ti| {
+                (0..=d)
+                    .map(|k| {
+                        Interval::point(binomial(d, k))
+                            * ti.powi(k as u32)
+                            * (one - ti).powi((d - k) as u32)
+                    })
+                    .collect()
+            })
+            .collect();
+        let pts = d + 1;
+        let mut acc = Interval::point(0.0);
+        let mut idx = vec![0usize; n];
+        for &c in &self.coeffs {
+            let mut w = Interval::point(c);
+            for (i, &k) in idx.iter().enumerate() {
+                w = w * basis[i][k];
+            }
+            acc = acc + w;
+            for item in idx.iter_mut() {
+                *item += 1;
+                if *item < pts {
+                    break;
+                }
+                *item = 0;
+            }
+        }
+        acc
+    }
+}
+
+/// Classical rigorous Bernstein error bound for a Lipschitz-`l` function
+/// over a box: `(3/2)·l·Σᵢwᵢ/√d`. Used as a cheap acceptance test; the
+/// certificate falls back to the (still sound, much tighter)
+/// sampled-plus-Lipschitz-margin bound when this is too conservative.
+pub fn rigorous_error_bound(lipschitz: f64, domain: &BoxRegion, degree: usize) -> f64 {
+    let width_sum: f64 = domain.intervals().iter().map(Interval::width).sum();
+    1.5 * lipschitz * width_sum / (degree as f64).sqrt()
+}
+
+/// An upper bound on the 2-norm Lipschitz constant of a Bernstein
+/// approximant, from the first differences of its coefficient tensor:
+/// `|∂B/∂tᵢ| ≤ d·max_k |c_{k+eᵢ} − c_k|` in unit coordinates.
+fn bernstein_lipschitz(poly: &BernsteinApprox) -> f64 {
+    let n = poly.domain.dim();
+    let d = poly.degree;
+    let pts = d + 1;
+    let mut acc = 0.0;
+    for i in 0..n {
+        let stride: usize = pts.pow(i as u32);
+        let mut max_diff: f64 = 0.0;
+        for (idx, &c) in poly.coeffs.iter().enumerate() {
+            // index along dimension i
+            let k = (idx / stride) % pts;
+            if k + 1 < pts {
+                max_diff = max_diff.max((poly.coeffs[idx + stride] - c).abs());
+            }
+        }
+        let w = poly.domain.interval(i).width();
+        if w > 0.0 {
+            let l_i = d as f64 * max_diff / w;
+            acc += l_i * l_i;
+        }
+    }
+    acc.sqrt()
+}
+
+/// Sound error bound for `|f − B|` over the piece from a dense sample grid
+/// plus the Lipschitz covering margin: if the grid has covering radius `r`
+/// (2-norm) then `‖f − B‖_∞ ≤ max_grid |f − B| + (L_f + L_B)·r`.
+fn sampled_error_bound(
+    f: &dyn Fn(&[f64]) -> f64,
+    poly: &BernsteinApprox,
+    f_lipschitz: f64,
+    samples_per_dim: usize,
+) -> f64 {
+    let n = poly.domain.dim();
+    let m = samples_per_dim.max(2);
+    let mut worst: f64 = 0.0;
+    let mut idx = vec![0usize; n];
+    let count = m.pow(n as u32);
+    for _ in 0..count {
+        let t: Vec<f64> = idx.iter().map(|&k| k as f64 / (m - 1) as f64).collect();
+        let x = poly.domain.lerp(&t);
+        worst = worst.max((f(&x) - poly.eval(&x)).abs());
+        for item in idx.iter_mut() {
+            *item += 1;
+            if *item < m {
+                break;
+            }
+            *item = 0;
+        }
+    }
+    let r = 0.5
+        * poly
+            .domain
+            .intervals()
+            .iter()
+            .map(|iv| {
+                let h = iv.width() / (m - 1) as f64;
+                h * h
+            })
+            .sum::<f64>()
+            .sqrt();
+    worst + (f_lipschitz + bernstein_lipschitz(poly)) * r
+}
+
+/// Configuration for [`BernsteinCertificate::build`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CertificateConfig {
+    /// Bernstein degree per dimension.
+    pub degree: usize,
+    /// Target approximation error per piece.
+    pub tolerance: f64,
+    /// Maximum number of partition pieces before giving up — the analogue
+    /// of the paper's memory blow-up for high-Lipschitz students.
+    pub max_pieces: usize,
+    /// Sample-grid resolution per dimension for the sound
+    /// sampled-plus-Lipschitz-margin error bound of each piece.
+    pub error_samples_per_dim: usize,
+}
+
+impl Default for CertificateConfig {
+    fn default() -> Self {
+        Self { degree: 4, tolerance: 0.5, max_pieces: 2048, error_samples_per_dim: 5 }
+    }
+}
+
+/// A piecewise Bernstein over-approximation of a (scaled) MLP controller:
+/// on every piece `P`, `κ(x) ∈ B_P(x) ± ε_P` for all `x ∈ P`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BernsteinCertificate {
+    pieces: Vec<CertPiece>,
+    domain: BoxRegion,
+    output_dim: usize,
+    lipschitz: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CertPiece {
+    region: BoxRegion,
+    polys: Vec<BernsteinApprox>,
+    epsilon: f64,
+}
+
+impl BernsteinCertificate {
+    /// Builds a certificate for the scaled network `x ↦ scale ⊙ net(x)`
+    /// over `domain`, refining the partition until every piece meets the
+    /// tolerance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerifyError::ResourceExhausted`] when more than
+    /// `config.max_pieces` pieces would be needed — high-Lipschitz networks
+    /// hit this budget, which is the paper's κ_D failure mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale.len() != net.output_dim()` or
+    /// `domain.dim() != net.input_dim()`.
+    pub fn build(
+        net: &Mlp,
+        scale: &[f64],
+        domain: &BoxRegion,
+        config: &CertificateConfig,
+    ) -> Result<Self, VerifyError> {
+        assert_eq!(scale.len(), net.output_dim(), "scale length mismatch");
+        assert_eq!(domain.dim(), net.input_dim(), "domain dimension mismatch");
+        let max_scale = scale.iter().fold(0.0_f64, |m, &s| m.max(s.abs()));
+        let lipschitz = max_scale * net.lipschitz_constant();
+
+        let mut queue = vec![domain.clone()];
+        let mut pieces = Vec::new();
+        while let Some(region) = queue.pop() {
+            if pieces.len() + queue.len() + 1 > config.max_pieces {
+                return Err(VerifyError::ResourceExhausted {
+                    resource: "bernstein partitions",
+                    budget: config.max_pieces,
+                });
+            }
+            // build per-output approximants and bound their error soundly
+            let polys: Vec<BernsteinApprox> = (0..net.output_dim())
+                .map(|o| {
+                    let f = |x: &[f64]| net.forward(x)[o] * scale[o];
+                    BernsteinApprox::build(&f, &region, config.degree)
+                })
+                .collect();
+            let rigorous = rigorous_error_bound(lipschitz, &region, config.degree);
+            let mut epsilon: f64 = 0.0;
+            for (o, poly) in polys.iter().enumerate() {
+                let f = |x: &[f64]| net.forward(x)[o] * scale[o];
+                let sampled =
+                    sampled_error_bound(&f, poly, lipschitz, config.error_samples_per_dim);
+                epsilon = epsilon.max(sampled.min(rigorous));
+            }
+            if epsilon > config.tolerance && region.max_width() > 1e-6 {
+                let (a, b) = region.bisect();
+                queue.push(a);
+                queue.push(b);
+                continue;
+            }
+            pieces.push(CertPiece { region, polys, epsilon });
+        }
+        Ok(Self { pieces, domain: domain.clone(), output_dim: scale.len(), lipschitz })
+    }
+
+    /// Number of partition pieces — the paper's verification-cost driver.
+    pub fn piece_count(&self) -> usize {
+        self.pieces.len()
+    }
+
+    /// The largest per-piece error bound `ε = max(ε̂_p)`.
+    pub fn epsilon(&self) -> f64 {
+        self.pieces.iter().map(|p| p.epsilon).fold(0.0, f64::max)
+    }
+
+    /// The Lipschitz bound of the certified network.
+    pub fn lipschitz(&self) -> f64 {
+        self.lipschitz
+    }
+
+    /// The certified domain.
+    pub fn domain(&self) -> &BoxRegion {
+        &self.domain
+    }
+
+    /// The pieces intersecting `q` (used by the analyses).
+    fn pieces_covering<'a>(&'a self, q: &'a BoxRegion) -> impl Iterator<Item = &'a CertPiece> {
+        self.pieces.iter().filter(move |p| p.region.intersect(q).is_some())
+    }
+
+    /// Evaluates the certified approximation at a point (mid-value, no
+    /// error term) — diagnostics only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` lies outside the certified domain.
+    pub fn eval(&self, x: &[f64]) -> Vec<f64> {
+        let piece = self
+            .pieces
+            .iter()
+            .find(|p| p.region.contains(x))
+            .expect("point outside certified domain");
+        piece.polys.iter().map(|p| p.eval(x)).collect()
+    }
+}
+
+impl ControlEnclosure for BernsteinCertificate {
+    fn state_dim(&self) -> usize {
+        self.domain.dim()
+    }
+
+    fn control_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    fn enclose(&self, q: &BoxRegion) -> Vec<Interval> {
+        let mut out: Vec<Option<Interval>> = vec![None; self.output_dim];
+        for piece in self.pieces_covering(q) {
+            let overlap = piece.region.intersect(q).expect("filtered to intersecting");
+            for (o, poly) in piece.polys.iter().enumerate() {
+                let iv = poly.enclose(&overlap).inflate(piece.epsilon);
+                out[o] = Some(match out[o] {
+                    Some(acc) => acc.hull(&iv),
+                    None => iv,
+                });
+            }
+        }
+        out.into_iter()
+            .map(|iv| iv.expect("query box must intersect the certified domain"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocktail_nn::{Activation, MlpBuilder};
+
+    #[test]
+    fn binomial_matches_pascal() {
+        assert_eq!(binomial(4, 0), 1.0);
+        assert_eq!(binomial(4, 2), 6.0);
+        assert_eq!(binomial(5, 3), 10.0);
+    }
+
+    #[test]
+    fn approximates_linear_function_exactly() {
+        // Bernstein operators reproduce affine functions exactly
+        let f = |x: &[f64]| 2.0 * x[0] - x[1] + 0.5;
+        let domain = BoxRegion::cube(2, -1.0, 1.0);
+        let b = BernsteinApprox::build(&f, &domain, 3);
+        for p in [[0.0, 0.0], [0.5, -0.5], [1.0, 1.0], [-0.3, 0.7]] {
+            assert!((b.eval(&p) - f(&p)).abs() < 1e-9, "at {p:?}");
+        }
+    }
+
+    #[test]
+    fn approximation_error_shrinks_with_degree() {
+        let f = |x: &[f64]| (3.0 * x[0]).sin();
+        let domain = BoxRegion::cube(1, -1.0, 1.0);
+        let errs: Vec<f64> = [2usize, 8, 32]
+            .iter()
+            .map(|&d| {
+                let b = BernsteinApprox::build(&f, &domain, d);
+                (0..100)
+                    .map(|i| {
+                        let x = [-1.0 + 2.0 * i as f64 / 99.0];
+                        (b.eval(&x) - f(&x)).abs()
+                    })
+                    .fold(0.0, f64::max)
+            })
+            .collect();
+        assert!(errs[0] > errs[1] && errs[1] > errs[2], "{errs:?}");
+    }
+
+    #[test]
+    fn coefficient_range_encloses_values() {
+        let f = |x: &[f64]| x[0] * x[0];
+        let domain = BoxRegion::cube(1, -1.0, 1.0);
+        let b = BernsteinApprox::build(&f, &domain, 5);
+        let range = b.coefficient_range();
+        for i in 0..50 {
+            let x = [-1.0 + 2.0 * i as f64 / 49.0];
+            assert!(range.inflate(1e-12).contains(b.eval(&x)));
+        }
+    }
+
+    #[test]
+    fn sub_box_enclosure_contains_poly_values() {
+        let f = |x: &[f64]| (x[0] - 0.3) * (x[1] + 0.2);
+        let domain = BoxRegion::cube(2, -1.0, 1.0);
+        let b = BernsteinApprox::build(&f, &domain, 4);
+        let q = BoxRegion::from_bounds(&[-0.25, 0.1], &[0.25, 0.6]);
+        let iv = b.enclose(&q);
+        let mut rng = cocktail_math::rng::seeded(1);
+        for _ in 0..100 {
+            let x = cocktail_math::rng::uniform_in_box(&mut rng, &q);
+            assert!(iv.inflate(1e-9).contains(b.eval(&x)));
+        }
+    }
+
+    #[test]
+    fn rigorous_bound_scales_with_lipschitz() {
+        let domain = BoxRegion::cube(2, -1.0, 1.0);
+        let low = rigorous_error_bound(1.0, &domain, 4);
+        let high = rigorous_error_bound(10.0, &domain, 4);
+        assert!((high - 10.0 * low).abs() < 1e-12);
+    }
+
+    fn small_net(seed: u64) -> Mlp {
+        MlpBuilder::new(2)
+            .hidden(6, Activation::Tanh)
+            .output(1, Activation::Tanh)
+            .seed(seed)
+            .build()
+    }
+
+    #[test]
+    fn certificate_is_sound_on_samples() {
+        let net = small_net(5);
+        let domain = BoxRegion::cube(2, -1.0, 1.0);
+        let cert = BernsteinCertificate::build(
+            &net,
+            &[5.0],
+            &domain,
+            &CertificateConfig { tolerance: 0.4, ..Default::default() },
+        )
+        .expect("budget suffices");
+        let mut rng = cocktail_math::rng::seeded(3);
+        for _ in 0..300 {
+            let x = cocktail_math::rng::uniform_in_box(&mut rng, &domain);
+            let truth = 5.0 * net.forward(&x)[0];
+            // enclose a tiny box around x
+            let q = BoxRegion::from_bounds(
+                &[x[0] - 1e-6, x[1] - 1e-6],
+                &[x[0] + 1e-6, x[1] + 1e-6],
+            )
+            .intersect(&domain)
+            .expect("inside");
+            let iv = cert.enclose(&q);
+            assert!(iv[0].inflate(1e-6).contains(truth), "{truth} escapes {}", iv[0]);
+        }
+    }
+
+    #[test]
+    fn lower_lipschitz_needs_fewer_pieces() {
+        let net = small_net(6);
+        let mut shrunk = net.clone();
+        for l in shrunk.layers_mut() {
+            l.weights_mut().scale_inplace(0.5);
+        }
+        let domain = BoxRegion::cube(2, -1.0, 1.0);
+        let cfg = CertificateConfig { tolerance: 0.3, max_pieces: 1 << 14, ..Default::default() };
+        let big = BernsteinCertificate::build(&net, &[10.0], &domain, &cfg).expect("fits");
+        let small = BernsteinCertificate::build(&shrunk, &[10.0], &domain, &cfg).expect("fits");
+        assert!(
+            small.piece_count() <= big.piece_count(),
+            "small {} vs big {}",
+            small.piece_count(),
+            big.piece_count()
+        );
+        assert!(small.lipschitz() < big.lipschitz());
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let net = small_net(7);
+        let domain = BoxRegion::cube(2, -2.0, 2.0);
+        let err = BernsteinCertificate::build(
+            &net,
+            &[100.0],
+            &domain,
+            &CertificateConfig { tolerance: 1e-3, max_pieces: 8, ..Default::default() },
+        )
+        .expect_err("tiny budget must blow up");
+        assert!(matches!(err, VerifyError::ResourceExhausted { .. }));
+    }
+
+    #[test]
+    fn eval_matches_network_within_epsilon() {
+        let net = small_net(8);
+        let domain = BoxRegion::cube(2, -1.0, 1.0);
+        let cert = BernsteinCertificate::build(&net, &[1.0], &domain, &CertificateConfig::default())
+            .expect("fits");
+        let x = [0.2, -0.4];
+        let approx = cert.eval(&x)[0];
+        let truth = net.forward(&x)[0];
+        assert!((approx - truth).abs() <= cert.epsilon() + 1e-9);
+    }
+}

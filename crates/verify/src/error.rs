@@ -1,0 +1,82 @@
+//! Verification failure modes.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a verification run could not be completed.
+///
+/// `ResourceExhausted` is the analogue of the paper's Fig. 4 observation:
+/// the direct-distillation student `κ_D` "cannot be verified because of a
+/// memory segmentation fault … caused by its large Lipschitz constant". Our
+/// analyses bound their partition/box budgets explicitly and surface the
+/// blow-up as an error instead of crashing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The partition or reachable-set budget was exhausted before the
+    /// requested precision/horizon was met.
+    ResourceExhausted {
+        /// What ran out ("bernstein partitions", "reachable boxes", …).
+        resource: &'static str,
+        /// The configured budget that was exceeded.
+        budget: usize,
+    },
+    /// A reachable box escaped the certificate's domain, so the controller
+    /// enclosure no longer covers the flow.
+    DomainEscape {
+        /// The analysis step at which the escape happened.
+        step: usize,
+    },
+    /// The analysis proved a safety violation (a reachable box left the
+    /// safe region entirely).
+    Unsafe {
+        /// The analysis step at which the violation was proven.
+        step: usize,
+    },
+    /// Inconsistent dimensions between the network, plant and domain.
+    DimensionMismatch {
+        /// Description of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::ResourceExhausted { resource, budget } => {
+                write!(f, "verification budget exhausted: {resource} exceeded {budget}")
+            }
+            VerifyError::DomainEscape { step } => {
+                write!(f, "reachable set escaped the certificate domain at step {step}")
+            }
+            VerifyError::Unsafe { step } => {
+                write!(f, "safety violation proven at step {step}")
+            }
+            VerifyError::DimensionMismatch { detail } => {
+                write!(f, "dimension mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = VerifyError::ResourceExhausted { resource: "bernstein partitions", budget: 4096 };
+        let s = e.to_string();
+        assert!(s.contains("4096") && s.contains("partitions"));
+        assert!(!VerifyError::DomainEscape { step: 3 }.to_string().is_empty());
+        assert!(VerifyError::Unsafe { step: 9 }.to_string().contains('9'));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> =
+            Box::new(VerifyError::DimensionMismatch { detail: "2 vs 3".into() });
+        assert!(e.to_string().contains("2 vs 3"));
+    }
+}

@@ -1,0 +1,368 @@
+//! Quadratic Lyapunov certificates.
+//!
+//! A complement to the grid-fixpoint invariant sets of [`crate::invariant`]:
+//! solve the discrete Lyapunov equation `AᵀPA − P = −Q` for the linearized
+//! closed loop, then *soundly verify* that a sublevel set
+//! `E_c = {x : xᵀPx ≤ c}` of the quadratic form is control-invariant for
+//! the **full nonlinear** system under a certified controller enclosure —
+//! every cell of a grid covering `E_c` must map (by the interval dynamics,
+//! under the full disturbance) back inside `E_c`.
+//!
+//! Ellipsoidal certificates describe contraction-aligned invariant sets
+//! far more compactly than grid masks, which is why classical control uses
+//! them; the grid fixpoint remains the tool for *maximal* sets.
+
+use crate::enclosure::ControlEnclosure;
+use crate::error::VerifyError;
+use cocktail_env::Dynamics;
+use cocktail_math::linalg::{inverse, SingularMatrixError};
+use cocktail_math::{BoxRegion, Interval, Matrix};
+use std::time::{Duration, Instant};
+
+/// Solves the discrete Lyapunov equation `AᵀPA − P = −Q` by fixed-point
+/// iteration `P ← Q + AᵀPA` (converges iff `ρ(A) < 1`).
+///
+/// # Errors
+///
+/// Returns [`VerifyError::ResourceExhausted`] when the iteration has not
+/// converged after 20 000 sweeps (the closed loop is not Schur stable).
+///
+/// # Panics
+///
+/// Panics if `A`/`Q` are not square of equal size.
+///
+/// # Examples
+///
+/// ```
+/// use cocktail_math::Matrix;
+/// use cocktail_verify::lyapunov::solve_discrete_lyapunov;
+///
+/// let a = Matrix::from_rows(vec![vec![0.5, 0.0], vec![0.0, 0.8]]);
+/// let p = solve_discrete_lyapunov(&a, &Matrix::identity(2))?;
+/// // AᵀPA − P = −Q must hold
+/// let residual = &(&a.transpose().matmul(&p).matmul(&a) - &p) + &Matrix::identity(2);
+/// assert!(residual.max_abs() < 1e-8);
+/// # Ok::<(), cocktail_verify::VerifyError>(())
+/// ```
+pub fn solve_discrete_lyapunov(a: &Matrix, q: &Matrix) -> Result<Matrix, VerifyError> {
+    assert_eq!(a.rows(), a.cols(), "A must be square");
+    assert_eq!(q.shape(), a.shape(), "Q must match A");
+    let at = a.transpose();
+    let mut p = q.clone();
+    for _ in 0..20_000 {
+        let mut next = q.clone();
+        next.axpy(1.0, &at.matmul(&p).matmul(a));
+        let diff = (&next - &p).max_abs();
+        let scale = next.max_abs().max(1.0);
+        if !diff.is_finite() {
+            break;
+        }
+        p = next;
+        if diff <= 1e-12 * scale {
+            return Ok(p);
+        }
+    }
+    Err(VerifyError::ResourceExhausted { resource: "lyapunov iterations", budget: 20_000 })
+}
+
+/// The quadratic form `V(x) = xᵀPx` with helpers for sound evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuadraticForm {
+    p: Matrix,
+}
+
+impl QuadraticForm {
+    /// Wraps a symmetric positive-definite matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not square, not (numerically) symmetric, or has a
+    /// non-positive diagonal.
+    pub fn new(p: Matrix) -> Self {
+        assert_eq!(p.rows(), p.cols(), "P must be square");
+        for r in 0..p.rows() {
+            assert!(p[(r, r)] > 0.0, "P must have a positive diagonal");
+            for c in 0..p.cols() {
+                assert!(
+                    (p[(r, c)] - p[(c, r)]).abs() <= 1e-9 * p.max_abs().max(1.0),
+                    "P must be symmetric"
+                );
+            }
+        }
+        Self { p }
+    }
+
+    /// The matrix `P`.
+    pub fn matrix(&self) -> &Matrix {
+        &self.p
+    }
+
+    /// `V(x) = xᵀPx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` disagrees with `P`.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        cocktail_math::vector::dot(x, &self.p.matvec(x))
+    }
+
+    /// Sound interval enclosure of `V` over a box.
+    pub fn eval_interval(&self, b: &BoxRegion) -> Interval {
+        assert_eq!(b.dim(), self.p.rows(), "box dimension mismatch");
+        let n = b.dim();
+        let mut acc = Interval::point(0.0);
+        for i in 0..n {
+            for j in 0..n {
+                let term = if i == j {
+                    b.interval(i).square() * self.p[(i, i)]
+                } else {
+                    b.interval(i) * b.interval(j) * self.p[(i, j)]
+                };
+                acc = acc + term;
+            }
+        }
+        acc
+    }
+
+    /// The tightest axis-aligned box containing the sublevel set
+    /// `{x : V(x) ≤ c}`: `|x_i| ≤ √(c · (P⁻¹)_{ii})`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates singularity of `P`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c <= 0`.
+    pub fn sublevel_bounding_box(&self, c: f64) -> Result<BoxRegion, SingularMatrixError> {
+        assert!(c > 0.0, "level must be positive");
+        let p_inv = inverse(&self.p)?;
+        let dims = (0..self.p.rows())
+            .map(|i| Interval::symmetric((c * p_inv[(i, i)]).max(0.0).sqrt()))
+            .collect();
+        Ok(BoxRegion::new(dims))
+    }
+}
+
+/// The outcome of an ellipsoid-invariance check.
+#[derive(Debug, Clone)]
+pub struct EllipsoidCheck {
+    /// Whether `E_c` was proven control-invariant.
+    pub invariant: bool,
+    /// Grid cells that overlapped the ellipsoid (work performed).
+    pub cells_checked: usize,
+    /// Worst observed `V_max(image) / c` over the checked cells (> 1 on
+    /// the first failing cell when not invariant).
+    pub worst_ratio: f64,
+    /// Wall-clock time of the check.
+    pub duration: Duration,
+}
+
+/// Soundly verifies that the sublevel set `E_c = {x : xᵀPx ≤ c}` is
+/// control-invariant for `sys` under a certified controller enclosure:
+/// the bounding box of `E_c` is tiled into `gⁿ` cells, and every cell
+/// whose `V`-enclosure intersects `[0, c]` must have a one-step interval
+/// image with `V_max ≤ c`.
+///
+/// The check is conservative (interval over-approximation); `invariant =
+/// true` is a proof, `false` is inconclusive.
+///
+/// # Errors
+///
+/// Propagates [`VerifyError::DimensionMismatch`] and singular `P`.
+///
+/// # Panics
+///
+/// Panics if `c <= 0` or `grid == 0`.
+pub fn verify_ellipsoid_invariant(
+    sys: &dyn Dynamics,
+    controller: &dyn ControlEnclosure,
+    form: &QuadraticForm,
+    c: f64,
+    grid: usize,
+) -> Result<EllipsoidCheck, VerifyError> {
+    assert!(grid > 0, "grid must be positive");
+    if controller.state_dim() != sys.state_dim() || controller.control_dim() != sys.control_dim()
+    {
+        return Err(VerifyError::DimensionMismatch {
+            detail: "enclosure/plant dimensions".to_owned(),
+        });
+    }
+    let start = Instant::now();
+    let bbox = form
+        .sublevel_bounding_box(c)
+        .map_err(|_| VerifyError::DimensionMismatch { detail: "singular P".to_owned() })?;
+    // the ellipsoid must live inside the certified domain
+    let domain = sys.verification_domain();
+    if !domain.contains_box(&bbox) {
+        return Err(VerifyError::DomainEscape { step: 0 });
+    }
+    let (u_lo, u_hi) = sys.control_bounds();
+    let omega: Vec<Interval> =
+        sys.disturbance_amplitude().iter().map(|&a| Interval::symmetric(a)).collect();
+
+    // adaptive check: cells failing at the current resolution are bisected
+    // (boundary cells carry the most over-approximation slop); a cell that
+    // still fails at the depth cap refutes the proof attempt
+    const MAX_DEPTH: usize = 11;
+    let mut cells_checked = 0usize;
+    let mut worst_ratio: f64 = 0.0;
+    let mut queue: Vec<(BoxRegion, usize)> =
+        bbox.subdivide(grid).into_iter().map(|cell| (cell, 0)).collect();
+    while let Some((cell, depth)) = queue.pop() {
+        let v_cell = form.eval_interval(&cell);
+        if v_cell.lo() > c {
+            continue; // cell entirely outside the ellipsoid
+        }
+        cells_checked += 1;
+        let u: Vec<Interval> = controller
+            .enclose(&cell)
+            .into_iter()
+            .zip(u_lo.iter().zip(&u_hi))
+            .map(|(iv, (&l, &h))| iv.clamp_to(l, h))
+            .collect();
+        let image = BoxRegion::new(sys.step_interval(cell.intervals(), &u, &omega));
+        let v_image = form.eval_interval(&image);
+        let ratio = v_image.hi() / c;
+        if ratio > 1.0 {
+            if depth < MAX_DEPTH {
+                let (a, b) = cell.bisect();
+                queue.push((a, depth + 1));
+                queue.push((b, depth + 1));
+                continue;
+            }
+            return Ok(EllipsoidCheck {
+                invariant: false,
+                cells_checked,
+                worst_ratio: worst_ratio.max(ratio),
+                duration: start.elapsed(),
+            });
+        }
+        worst_ratio = worst_ratio.max(ratio);
+    }
+    Ok(EllipsoidCheck { invariant: true, cells_checked, worst_ratio, duration: start.elapsed() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enclosure::LinearEnclosure;
+    use cocktail_env::systems::VanDerPol;
+
+    #[test]
+    fn lyapunov_solution_satisfies_equation() {
+        let a = Matrix::from_rows(vec![vec![0.9, 0.1], vec![-0.05, 0.85]]);
+        let q = Matrix::identity(2);
+        let p = solve_discrete_lyapunov(&a, &q).expect("stable A");
+        let mut residual = a.transpose().matmul(&p).matmul(&a);
+        residual.axpy(-1.0, &p);
+        residual.axpy(1.0, &q);
+        assert!(residual.max_abs() < 1e-8, "residual {}", residual.max_abs());
+        // P is positive definite: V(x) > 0 on basis vectors
+        let form = QuadraticForm::new(p);
+        assert!(form.eval(&[1.0, 0.0]) > 0.0);
+        assert!(form.eval(&[0.0, 1.0]) > 0.0);
+    }
+
+    #[test]
+    fn unstable_a_is_rejected() {
+        let a = Matrix::from_rows(vec![vec![1.1, 0.0], vec![0.0, 0.5]]);
+        let err = solve_discrete_lyapunov(&a, &Matrix::identity(2)).expect_err("unstable");
+        assert!(matches!(err, VerifyError::ResourceExhausted { .. }));
+    }
+
+    #[test]
+    fn quadratic_interval_eval_is_sound() {
+        let p = Matrix::from_rows(vec![vec![2.0, 0.5], vec![0.5, 1.0]]);
+        let form = QuadraticForm::new(p);
+        let b = BoxRegion::from_bounds(&[-0.5, 0.1], &[0.3, 0.8]);
+        let bound = form.eval_interval(&b);
+        let mut rng = cocktail_math::rng::seeded(1);
+        for _ in 0..200 {
+            let x = cocktail_math::rng::uniform_in_box(&mut rng, &b);
+            assert!(bound.inflate(1e-9).contains(form.eval(&x)));
+        }
+    }
+
+    #[test]
+    fn sublevel_bounding_box_contains_the_ellipsoid() {
+        let p = Matrix::from_rows(vec![vec![4.0, 0.0], vec![0.0, 1.0]]);
+        let form = QuadraticForm::new(p);
+        let c = 1.0;
+        let bbox = form.sublevel_bounding_box(c).expect("regular");
+        // 4x² + y² ≤ 1 ⇒ |x| ≤ 0.5, |y| ≤ 1
+        assert!((bbox.interval(0).hi() - 0.5).abs() < 1e-9);
+        assert!((bbox.interval(1).hi() - 1.0).abs() < 1e-9);
+        let mut rng = cocktail_math::rng::seeded(2);
+        for _ in 0..200 {
+            let x = cocktail_math::rng::uniform_in_box(&mut rng, &bbox);
+            if form.eval(&x) <= c {
+                assert!(bbox.contains(&x));
+            }
+        }
+    }
+
+    /// Builds the Lyapunov form of the damped Van der Pol closed loop.
+    fn vdp_form(gain: &Matrix) -> QuadraticForm {
+        let sys = VanDerPol::new();
+        let lin = cocktail_control::lqr::linearize(&sys, &[0.0, 0.0], &[0.0]);
+        let mut a_cl = lin.a.clone();
+        a_cl.axpy(-1.0, &lin.b.matmul(gain));
+        let p = solve_discrete_lyapunov(&a_cl, &Matrix::identity(2)).expect("stable loop");
+        QuadraticForm::new(p)
+    }
+
+    #[test]
+    fn small_ellipsoid_is_invariant_for_damped_vdp() {
+        let sys = VanDerPol::new();
+        let gain = Matrix::from_rows(vec![vec![3.0, 4.0]]);
+        let enc = LinearEnclosure::new(gain.clone());
+        let form = vdp_form(&gain);
+        // scan bounding-box radii: larger levels dilute the ω noise
+        // relative to the contraction margin, so some mid-size level must
+        // verify (the noise floor rules out tiny ones, X rules out huge)
+        let p_inv = inverse(form.matrix()).expect("P regular");
+        let max_diag = (0..2).map(|i| p_inv[(i, i)]).fold(0.0_f64, f64::max);
+        let mut verified = None;
+        for radius in [0.8, 1.0, 1.2, 1.4, 1.6] {
+            let c = radius * radius / max_diag;
+            let check =
+                verify_ellipsoid_invariant(&sys, &enc, &form, c, 24).expect("well-posed check");
+            if check.invariant {
+                verified = Some((radius, check));
+                break;
+            }
+        }
+        let (radius, check) = verified.expect("some level must be provably invariant");
+        assert!(check.cells_checked > 0);
+        assert!(check.worst_ratio <= 1.0, "radius {radius}: ratio {}", check.worst_ratio);
+    }
+
+    #[test]
+    fn tiny_ellipsoid_fails_against_the_noise_floor() {
+        // with ω = ±0.05 per step, a tiny sublevel set cannot absorb the
+        // disturbance: the check must come back inconclusive
+        let sys = VanDerPol::new();
+        let gain = Matrix::from_rows(vec![vec![3.0, 4.0]]);
+        let enc = LinearEnclosure::new(gain.clone());
+        let form = vdp_form(&gain);
+        let p_inv = inverse(form.matrix()).expect("P regular");
+        let max_diag = (0..2).map(|i| p_inv[(i, i)]).fold(0.0_f64, f64::max);
+        // bounding-box radius ≈ 0.02: smaller than one noise step
+        let c = 0.0004 / max_diag;
+        let check =
+            verify_ellipsoid_invariant(&sys, &enc, &form, c, 12).expect("well-posed check");
+        assert!(!check.invariant);
+        assert!(check.worst_ratio > 1.0);
+    }
+
+    #[test]
+    fn oversized_ellipsoid_escapes_the_domain() {
+        let sys = VanDerPol::new();
+        let gain = Matrix::from_rows(vec![vec![3.0, 4.0]]);
+        let enc = LinearEnclosure::new(gain.clone());
+        let form = vdp_form(&gain);
+        let err = verify_ellipsoid_invariant(&sys, &enc, &form, 1e9, 8).expect_err("too big");
+        assert!(matches!(err, VerifyError::DomainEscape { .. }));
+    }
+}

@@ -1,0 +1,604 @@
+//! Finite-horizon reachable-set computation (Definition 2, Fig. 4).
+//!
+//! Gridded-paving reachability: the verification domain is tiled into
+//! cells of the configured width and each reachable frame is a set of
+//! occupied cells. Per step, every occupied cell's one-step interval image
+//! (controller bounds from a sound [`ControlEnclosure`], disturbance `Ω`,
+//! with the Bernstein error `ε` already folded into the enclosure —
+//! the paper's `Ω ⊕ ε`) marks the cells it intersects. Snapping to the
+//! grid bounds the wrapping effect and keeps the cell count finite.
+//!
+//! The cell budget is explicit: exceeding it returns
+//! [`VerifyError::ResourceExhausted`], which is how the paper's "κ_D could
+//! not be verified (segmentation fault after 12 reachable-set steps)"
+//! manifests here.
+
+use crate::enclosure::ControlEnclosure;
+use crate::error::VerifyError;
+use cocktail_env::Dynamics;
+use cocktail_math::{BoxRegion, Interval};
+use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
+
+/// How reachable sets are represented between steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReachMode {
+    /// Snap every image onto a global grid of `split_width` cells. Bounded
+    /// memory and robust against the wrapping effect over long horizons,
+    /// at the cost of up to one cell of inflation per dimension per step.
+    /// Right for noisy plants and long horizons (the Fig. 3 setting).
+    GridPaving,
+    /// Keep exact image boxes, bisecting any box wider than `split_width`
+    /// before stepping. No snap inflation — right for short horizons from
+    /// small initial sets (the Fig. 4 setting) — but the box count can
+    /// grow without bound on expansive flows.
+    Subdivision,
+}
+
+/// Configuration for [`reach_analysis`].
+#[derive(Debug, Clone)]
+pub struct ReachConfig {
+    /// Number of forward steps `T`.
+    pub steps: usize,
+    /// Grid cell width ([`ReachMode::GridPaving`]) or maximum box width
+    /// before bisection ([`ReachMode::Subdivision`]).
+    pub split_width: f64,
+    /// Maximum number of cells/boxes alive at any step.
+    pub max_boxes: usize,
+    /// Fail with [`VerifyError::Unsafe`] as soon as a reachable image
+    /// leaves the safe domain; when `false` the result records
+    /// `verified_safe = false` and the outside part is discarded (sound
+    /// only for safety *refutation*, so the flag matters).
+    pub fail_on_unsafe: bool,
+    /// Set representation between steps.
+    pub mode: ReachMode,
+}
+
+impl Default for ReachConfig {
+    fn default() -> Self {
+        Self {
+            steps: 15,
+            split_width: 0.02,
+            max_boxes: 100_000,
+            fail_on_unsafe: false,
+            mode: ReachMode::GridPaving,
+        }
+    }
+}
+
+/// The result of a reachability run.
+#[derive(Debug, Clone)]
+pub struct ReachResult {
+    /// Reachable cell union per step, `steps + 1` frames (frame 0 covers
+    /// the initial box).
+    pub frames: Vec<Vec<BoxRegion>>,
+    /// Whether every reachable image stayed inside the safe domain.
+    pub verified_safe: bool,
+    /// Wall-clock time of the analysis (the paper's verifiability metric).
+    pub duration: Duration,
+    /// Peak number of simultaneously-occupied cells.
+    pub peak_boxes: usize,
+}
+
+impl ReachResult {
+    /// The tightest single box containing the final frame.
+    pub fn final_hull(&self) -> BoxRegion {
+        let last = self.frames.last().expect("at least the initial frame");
+        let mut hull = last[0].clone();
+        for b in &last[1..] {
+            hull = hull.hull(b);
+        }
+        hull
+    }
+}
+
+/// Uniform grid over a box.
+struct Grid {
+    domain: BoxRegion,
+    counts: Vec<usize>,
+}
+
+impl Grid {
+    fn new(domain: BoxRegion, cell_width: f64) -> Self {
+        let counts = domain
+            .intervals()
+            .iter()
+            .map(|iv| ((iv.width() / cell_width).ceil() as usize).max(1))
+            .collect();
+        Self { domain, counts }
+    }
+
+    fn cell_box(&self, index: &[usize]) -> BoxRegion {
+        let dims = index
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                let iv = self.domain.interval(i);
+                let w = iv.width() / self.counts[i] as f64;
+                Interval::new(iv.lo() + k as f64 * w, iv.lo() + (k + 1) as f64 * w)
+            })
+            .collect();
+        BoxRegion::new(dims)
+    }
+
+    fn flat(&self, index: &[usize]) -> usize {
+        let mut out = 0usize;
+        let mut stride = 1usize;
+        for (i, &k) in index.iter().enumerate() {
+            out += k * stride;
+            stride *= self.counts[i];
+        }
+        out
+    }
+
+    fn unflat(&self, mut flat: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.counts.len());
+        for &c in &self.counts {
+            out.push(flat % c);
+            flat /= c;
+        }
+        out
+    }
+
+    /// Per-dimension index ranges of cells a box overlaps, or `None` when
+    /// the box lies entirely outside the domain in some dimension.
+    /// `clipped` is set when the box pokes outside the domain.
+    fn overlap_ranges(&self, b: &BoxRegion) -> Option<(Vec<(usize, usize)>, bool)> {
+        let mut ranges = Vec::with_capacity(self.counts.len());
+        let mut clipped = false;
+        for i in 0..self.counts.len() {
+            let dom = self.domain.interval(i);
+            let cell = b.interval(i);
+            if cell.hi() < dom.lo() || cell.lo() > dom.hi() {
+                return None;
+            }
+            if cell.lo() < dom.lo() - 1e-12 || cell.hi() > dom.hi() + 1e-12 {
+                clipped = true;
+            }
+            let w = dom.width() / self.counts[i] as f64;
+            let lo = (((cell.lo() - dom.lo()) / w).floor() as isize)
+                .clamp(0, self.counts[i] as isize - 1) as usize;
+            let hi_raw = ((cell.hi() - dom.lo()) / w).ceil() as isize - 1;
+            let hi = hi_raw.clamp(lo as isize, self.counts[i] as isize - 1) as usize;
+            ranges.push((lo, hi));
+        }
+        Some((ranges, clipped))
+    }
+
+    /// Marks all cells in the given per-dimension ranges into `set`.
+    fn mark(&self, ranges: &[(usize, usize)], set: &mut BTreeSet<usize>) {
+        let mut idx: Vec<usize> = ranges.iter().map(|r| r.0).collect();
+        loop {
+            set.insert(self.flat(&idx));
+            let mut d = 0;
+            loop {
+                if d == idx.len() {
+                    return;
+                }
+                idx[d] += 1;
+                if idx[d] <= ranges[d].1 {
+                    break;
+                }
+                idx[d] = ranges[d].0;
+                d += 1;
+            }
+        }
+    }
+}
+
+/// Runs the reachability analysis from the initial box `x0`.
+///
+/// The safe region used for containment is the system's
+/// [`Dynamics::verification_domain`] (equal to `X` for the oscillator and
+/// 3D system; a conservative finite surrogate for cartpole).
+///
+/// # Errors
+///
+/// * [`VerifyError::ResourceExhausted`] — cell budget exceeded;
+/// * [`VerifyError::DomainEscape`] — the entire reachable image left the
+///   certified domain, so no sound continuation exists;
+/// * [`VerifyError::Unsafe`] — only with `fail_on_unsafe`, a reachable
+///   image left the safe region.
+///
+/// # Panics
+///
+/// Panics if dimensions of the plant, enclosure and `x0` disagree, or
+/// `split_width <= 0`.
+pub fn reach_analysis(
+    sys: &dyn Dynamics,
+    controller: &dyn ControlEnclosure,
+    x0: &BoxRegion,
+    config: &ReachConfig,
+) -> Result<ReachResult, VerifyError> {
+    assert_eq!(x0.dim(), sys.state_dim(), "initial box dimension mismatch");
+    assert_eq!(controller.state_dim(), sys.state_dim(), "enclosure dimension mismatch");
+    assert_eq!(controller.control_dim(), sys.control_dim(), "control dimension mismatch");
+    assert!(config.split_width > 0.0, "split width must be positive");
+    if config.mode == ReachMode::Subdivision {
+        return reach_by_subdivision(sys, controller, x0, config);
+    }
+    let start = Instant::now();
+    let grid = Grid::new(sys.verification_domain(), config.split_width);
+    let (u_lo, u_hi) = sys.control_bounds();
+    let omega: Vec<Interval> =
+        sys.disturbance_amplitude().iter().map(|&a| Interval::symmetric(a)).collect();
+
+    let mut occupied = BTreeSet::new();
+    let (init_ranges, init_clipped) = grid
+        .overlap_ranges(x0)
+        .ok_or(VerifyError::DomainEscape { step: 0 })?;
+    grid.mark(&init_ranges, &mut occupied);
+    let mut verified_safe = !init_clipped;
+    let mut peak = occupied.len();
+    let mut frames = vec![cells_to_boxes(&grid, &occupied)];
+
+    for step in 0..config.steps {
+        if occupied.len() > config.max_boxes {
+            return Err(VerifyError::ResourceExhausted {
+                resource: "reachable cells",
+                budget: config.max_boxes,
+            });
+        }
+        let mut next = BTreeSet::new();
+        let mut any_inside = false;
+        for &flat in &occupied {
+            let cell = grid.cell_box(&grid.unflat(flat));
+            let u: Vec<Interval> = controller
+                .enclose(&cell)
+                .into_iter()
+                .zip(u_lo.iter().zip(&u_hi))
+                .map(|(iv, (&l, &h))| iv.clamp_to(l, h))
+                .collect();
+            let image = BoxRegion::new(sys.step_interval(cell.intervals(), &u, &omega));
+            match grid.overlap_ranges(&image) {
+                None => {
+                    verified_safe = false;
+                    if config.fail_on_unsafe {
+                        return Err(VerifyError::Unsafe { step: step + 1 });
+                    }
+                }
+                Some((ranges, clipped)) => {
+                    any_inside = true;
+                    if clipped {
+                        verified_safe = false;
+                        if config.fail_on_unsafe {
+                            return Err(VerifyError::Unsafe { step: step + 1 });
+                        }
+                    }
+                    grid.mark(&ranges, &mut next);
+                }
+            }
+        }
+        if !any_inside {
+            return Err(VerifyError::DomainEscape { step: step + 1 });
+        }
+        if next.len() > config.max_boxes {
+            return Err(VerifyError::ResourceExhausted {
+                resource: "reachable cells",
+                budget: config.max_boxes,
+            });
+        }
+        peak = peak.max(next.len());
+        frames.push(cells_to_boxes(&grid, &next));
+        occupied = next;
+    }
+
+    Ok(ReachResult { frames, verified_safe, duration: start.elapsed(), peak_boxes: peak })
+}
+
+fn cells_to_boxes(grid: &Grid, cells: &BTreeSet<usize>) -> Vec<BoxRegion> {
+    cells.iter().map(|&f| grid.cell_box(&grid.unflat(f))).collect()
+}
+
+/// [`ReachMode::Subdivision`] implementation: exact boxes, bisected to the
+/// split width before each step, never snapped.
+fn reach_by_subdivision(
+    sys: &dyn Dynamics,
+    controller: &dyn ControlEnclosure,
+    x0: &BoxRegion,
+    config: &ReachConfig,
+) -> Result<ReachResult, VerifyError> {
+    let start = Instant::now();
+    let safe_box = sys.verification_domain();
+    let (u_lo, u_hi) = sys.control_bounds();
+    let omega: Vec<Interval> =
+        sys.disturbance_amplitude().iter().map(|&a| Interval::symmetric(a)).collect();
+
+    let mut current = vec![x0.clone()];
+    let mut verified_safe = safe_box.contains_box(x0);
+    let mut peak = 1usize;
+    let mut frames = vec![current.clone()];
+
+    for step in 0..config.steps {
+        // bisect to the target width, respecting the budget
+        let mut queue = std::mem::take(&mut current);
+        while let Some(b) = queue.pop() {
+            if current.len() + queue.len() + 1 > config.max_boxes {
+                return Err(VerifyError::ResourceExhausted {
+                    resource: "reachable boxes",
+                    budget: config.max_boxes,
+                });
+            }
+            if b.max_width() > config.split_width {
+                let (l, r) = b.bisect();
+                queue.push(l);
+                queue.push(r);
+            } else {
+                current.push(b);
+            }
+        }
+        peak = peak.max(current.len());
+
+        let mut next = Vec::with_capacity(current.len());
+        for q in &current {
+            let query = match safe_box.intersect(q) {
+                Some(inner) => inner,
+                None => {
+                    verified_safe = false;
+                    if config.fail_on_unsafe {
+                        return Err(VerifyError::Unsafe { step });
+                    }
+                    continue;
+                }
+            };
+            let u: Vec<Interval> = controller
+                .enclose(&query)
+                .into_iter()
+                .zip(u_lo.iter().zip(&u_hi))
+                .map(|(iv, (&l, &h))| iv.clamp_to(l, h))
+                .collect();
+            let image = BoxRegion::new(sys.step_interval(q.intervals(), &u, &omega));
+            if !safe_box.contains_box(&image) {
+                verified_safe = false;
+                if config.fail_on_unsafe {
+                    return Err(VerifyError::Unsafe { step: step + 1 });
+                }
+                match safe_box.intersect(&image) {
+                    Some(clipped) => next.push(clipped),
+                    None => continue,
+                }
+            } else {
+                next.push(image);
+            }
+        }
+        if next.is_empty() {
+            return Err(VerifyError::DomainEscape { step: step + 1 });
+        }
+        let next = coalesce(next, config.split_width);
+        peak = peak.max(next.len());
+        frames.push(next.clone());
+        current = next;
+    }
+
+    Ok(ReachResult { frames, verified_safe, duration: start.elapsed(), peak_boxes: peak })
+}
+
+/// Merges boxes whose centers fall into the same half-split-width bucket
+/// (hull merge). Bounds the box count by the tube volume without the
+/// per-step snap inflation of the grid paving.
+fn coalesce(boxes: Vec<BoxRegion>, split_width: f64) -> Vec<BoxRegion> {
+    use std::collections::BTreeMap;
+    let key_width = 0.5 * split_width;
+    let mut buckets: BTreeMap<Vec<i64>, BoxRegion> = BTreeMap::new();
+    for b in boxes {
+        let key: Vec<i64> =
+            b.center().iter().map(|c| (c / key_width).floor() as i64).collect();
+        buckets
+            .entry(key)
+            .and_modify(|acc| *acc = acc.hull(&b))
+            .or_insert(b);
+    }
+    buckets.into_values().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enclosure::LinearEnclosure;
+    use cocktail_env::systems::{Poly3d, VanDerPol};
+    use cocktail_math::Matrix;
+
+    #[test]
+    fn stable_linear_loop_verifies_safe() {
+        let sys = VanDerPol::new();
+        let enc = LinearEnclosure::new(Matrix::from_rows(vec![vec![3.0, 3.0]]));
+        let x0 = BoxRegion::from_bounds(&[0.1, 0.1], &[0.15, 0.15]);
+        let result = reach_analysis(
+            &sys,
+            &enc,
+            &x0,
+            &ReachConfig { steps: 20, split_width: 0.05, ..Default::default() },
+        )
+        .expect("must verify");
+        assert!(result.verified_safe);
+        assert_eq!(result.frames.len(), 21);
+        assert!(result.peak_boxes >= 1);
+    }
+
+    #[test]
+    fn reach_over_approximates_simulation() {
+        let sys = Poly3d::new();
+        let gain = Matrix::from_rows(vec![vec![2.0, 3.0, 3.0]]);
+        let enc = LinearEnclosure::new(gain.clone());
+        let x0 = BoxRegion::from_bounds(&[-0.11, 0.205, 0.1], &[-0.105, 0.21, 0.11]);
+        let result = reach_analysis(
+            &sys,
+            &enc,
+            &x0,
+            &ReachConfig { steps: 15, split_width: 0.02, ..Default::default() },
+        )
+        .expect("must verify");
+        // simulate concrete trajectories and check frame membership
+        let controller = cocktail_control::LinearFeedbackController::new(gain);
+        use cocktail_control::Controller;
+        let mut rng = cocktail_math::rng::seeded(9);
+        for _ in 0..25 {
+            let mut s = cocktail_math::rng::uniform_in_box(&mut rng, &x0);
+            for frame in &result.frames {
+                assert!(
+                    frame.iter().any(|b| b.inflate(1e-9).contains(&s)),
+                    "state {s:?} escapes its frame"
+                );
+                let u = sys.clip_control(&controller.control(&s));
+                s = sys.step(&s, &u, &[]);
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_budget_exhausts() {
+        let sys = VanDerPol::new();
+        let enc = LinearEnclosure::new(Matrix::from_rows(vec![vec![3.0, 3.0]]));
+        let x0 = BoxRegion::cube(2, -0.5, 0.5);
+        let err = reach_analysis(
+            &sys,
+            &enc,
+            &x0,
+            &ReachConfig { steps: 5, split_width: 0.01, max_boxes: 16, ..Default::default() },
+        )
+        .expect_err("budget too small");
+        assert!(matches!(err, VerifyError::ResourceExhausted { .. }));
+    }
+
+    #[test]
+    fn unstable_loop_reports_unsafe() {
+        let sys = VanDerPol::new();
+        // positive feedback destabilizes
+        let enc = LinearEnclosure::new(Matrix::from_rows(vec![vec![-8.0, -8.0]]));
+        let x0 = BoxRegion::from_bounds(&[1.5, 1.5], &[1.6, 1.6]);
+        let result = reach_analysis(
+            &sys,
+            &enc,
+            &x0,
+            &ReachConfig { steps: 30, split_width: 0.1, ..Default::default() },
+        );
+        match result {
+            Ok(r) => assert!(!r.verified_safe),
+            Err(e) => assert!(matches!(
+                e,
+                VerifyError::DomainEscape { .. } | VerifyError::Unsafe { .. }
+            )),
+        }
+    }
+
+    #[test]
+    fn fail_on_unsafe_raises() {
+        let sys = VanDerPol::new();
+        let enc = LinearEnclosure::new(Matrix::from_rows(vec![vec![-8.0, -8.0]]));
+        let x0 = BoxRegion::from_bounds(&[1.5, 1.5], &[1.6, 1.6]);
+        let err = reach_analysis(
+            &sys,
+            &enc,
+            &x0,
+            &ReachConfig {
+                steps: 30,
+                split_width: 0.1,
+                fail_on_unsafe: true,
+                ..Default::default()
+            },
+        )
+        .expect_err("must fail");
+        assert!(matches!(err, VerifyError::Unsafe { .. } | VerifyError::DomainEscape { .. }));
+    }
+
+    #[test]
+    fn final_hull_covers_last_frame() {
+        let sys = VanDerPol::new();
+        let enc = LinearEnclosure::new(Matrix::from_rows(vec![vec![3.0, 3.0]]));
+        let x0 = BoxRegion::from_bounds(&[0.1, 0.1], &[0.2, 0.2]);
+        let r = reach_analysis(
+            &sys,
+            &enc,
+            &x0,
+            &ReachConfig { steps: 10, split_width: 0.05, ..Default::default() },
+        )
+        .expect("verifies");
+        let hull = r.final_hull();
+        for b in r.frames.last().expect("frames") {
+            assert!(hull.contains_box(b));
+        }
+    }
+
+    #[test]
+    fn subdivision_mode_tracks_tighter_than_paving() {
+        let sys = Poly3d::new();
+        let gain = Matrix::from_rows(vec![vec![2.0, 3.0, 3.0]]);
+        let enc = LinearEnclosure::new(gain);
+        let x0 = BoxRegion::from_bounds(&[-0.11, 0.205, 0.1], &[-0.105, 0.21, 0.11]);
+        let paving = reach_analysis(
+            &sys,
+            &enc,
+            &x0,
+            &ReachConfig { steps: 10, split_width: 0.02, ..Default::default() },
+        )
+        .expect("paving verifies");
+        let subdivision = reach_analysis(
+            &sys,
+            &enc,
+            &x0,
+            &ReachConfig {
+                steps: 10,
+                split_width: 0.02,
+                mode: ReachMode::Subdivision,
+                ..Default::default()
+            },
+        )
+        .expect("subdivision verifies");
+        // subdivision avoids the per-step snap inflation, so its final
+        // hull must be no wider than the paving's in every dimension
+        let hp = paving.final_hull();
+        let hs = subdivision.final_hull();
+        for i in 0..3 {
+            assert!(hs.interval(i).width() <= hp.interval(i).width() + 1e-12);
+        }
+        assert!(subdivision.verified_safe);
+    }
+
+    #[test]
+    fn subdivision_mode_is_sound_on_samples() {
+        let sys = Poly3d::new();
+        let gain = Matrix::from_rows(vec![vec![2.0, 3.0, 3.0]]);
+        let enc = LinearEnclosure::new(gain.clone());
+        let x0 = BoxRegion::from_bounds(&[-0.11, 0.205, 0.1], &[-0.105, 0.21, 0.11]);
+        let result = reach_analysis(
+            &sys,
+            &enc,
+            &x0,
+            &ReachConfig {
+                steps: 12,
+                split_width: 0.01,
+                mode: ReachMode::Subdivision,
+                ..Default::default()
+            },
+        )
+        .expect("verifies");
+        let controller = cocktail_control::LinearFeedbackController::new(gain);
+        use cocktail_control::Controller;
+        let mut rng = cocktail_math::rng::seeded(3);
+        for _ in 0..20 {
+            let mut s = cocktail_math::rng::uniform_in_box(&mut rng, &x0);
+            for frame in &result.frames {
+                assert!(frame.iter().any(|b| b.inflate(1e-9).contains(&s)));
+                let u = sys.clip_control(&controller.control(&s));
+                s = sys.step(&s, &u, &[]);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_mark_and_ranges_roundtrip() {
+        let grid = Grid::new(BoxRegion::cube(2, 0.0, 1.0), 0.25);
+        assert_eq!(grid.counts, vec![4, 4]);
+        let b = BoxRegion::from_bounds(&[0.3, 0.6], &[0.4, 0.9]);
+        let (ranges, clipped) = grid.overlap_ranges(&b).expect("inside");
+        assert!(!clipped);
+        assert_eq!(ranges, vec![(1, 1), (2, 3)]);
+        let mut set = BTreeSet::new();
+        grid.mark(&ranges, &mut set);
+        assert_eq!(set.len(), 2);
+        for &f in &set {
+            let cell = grid.cell_box(&grid.unflat(f));
+            assert!(cell.intersect(&b).is_some());
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! End-to-end safety certification of a neural controller.
+//!
+//! [`certify_safety`] bundles the whole Section III-C pipeline into one
+//! call: build the Bernstein certificate for the student over the
+//! verification domain, run the reachability analysis from the initial
+//! set, and return a structured [`SafetyReport`] with the resource and
+//! timing figures the paper treats as the verifiability metric.
+
+use crate::bernstein::{BernsteinCertificate, CertificateConfig};
+use crate::error::VerifyError;
+use crate::reach::{reach_analysis, ReachConfig, ReachResult};
+use cocktail_env::Dynamics;
+use cocktail_math::BoxRegion;
+use cocktail_nn::Mlp;
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// The verdict of a certification run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum SafetyVerdict {
+    /// Every reachable over-approximation stayed inside the safe domain
+    /// for the full horizon.
+    Safe,
+    /// The over-approximation left the safe domain — possibly spurious
+    /// (over-approximation), but the property could not be proven.
+    NotProven,
+}
+
+/// A structured certification result.
+#[derive(Debug, Clone, Serialize)]
+pub struct SafetyReport {
+    /// The verdict.
+    pub verdict: SafetyVerdict,
+    /// Lipschitz bound of the certified controller.
+    pub lipschitz: f64,
+    /// Bernstein partition pieces used.
+    pub bernstein_pieces: usize,
+    /// The certificate's approximation error bound `ε`.
+    pub epsilon: f64,
+    /// Peak number of reachable boxes/cells.
+    pub peak_boxes: usize,
+    /// Analysis steps completed.
+    pub steps: usize,
+    /// Total wall-clock (certificate + reachability) — the paper's
+    /// verifiability metric.
+    pub total_time: Duration,
+}
+
+/// Certifies finite-horizon safety of the scaled network `scale ⊙ net`
+/// in closed loop with `sys`, starting anywhere in `x0`.
+///
+/// # Errors
+///
+/// Propagates [`VerifyError`] from the certificate construction or the
+/// reachability analysis (budget exhaustion, domain escape) — the paper's
+/// κ_D failure mode surfaces here as `ResourceExhausted`.
+///
+/// # Panics
+///
+/// Panics on dimension mismatches between the network, plant and boxes.
+///
+/// # Examples
+///
+/// ```no_run
+/// use cocktail_env::systems::VanDerPol;
+/// use cocktail_env::Dynamics;
+/// use cocktail_math::BoxRegion;
+/// use cocktail_nn::{Activation, MlpBuilder};
+/// use cocktail_verify::report::certify_safety;
+/// use cocktail_verify::{CertificateConfig, ReachConfig};
+///
+/// let sys = VanDerPol::new();
+/// let net = MlpBuilder::new(2).hidden(8, Activation::Tanh)
+///     .output(1, Activation::Tanh).seed(0).build();
+/// let report = certify_safety(
+///     &sys, &net, &[20.0],
+///     &BoxRegion::from_bounds(&[0.1, 0.1], &[0.2, 0.2]),
+///     &CertificateConfig::default(), &ReachConfig::default(),
+/// )?;
+/// println!("{:?} in {:?}", report.verdict, report.total_time);
+/// # Ok::<(), cocktail_verify::VerifyError>(())
+/// ```
+pub fn certify_safety(
+    sys: &dyn Dynamics,
+    net: &Mlp,
+    scale: &[f64],
+    x0: &BoxRegion,
+    cert_config: &CertificateConfig,
+    reach_config: &ReachConfig,
+) -> Result<SafetyReport, VerifyError> {
+    let start = Instant::now();
+    let cert = BernsteinCertificate::build(net, scale, &sys.verification_domain(), cert_config)?;
+    let result: ReachResult = reach_analysis(sys, &cert, x0, reach_config)?;
+    Ok(SafetyReport {
+        verdict: if result.verified_safe { SafetyVerdict::Safe } else { SafetyVerdict::NotProven },
+        lipschitz: cert.lipschitz(),
+        bernstein_pieces: cert.piece_count(),
+        epsilon: cert.epsilon(),
+        peak_boxes: result.peak_boxes,
+        steps: result.frames.len().saturating_sub(1),
+        total_time: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reach::ReachMode;
+    use cocktail_env::systems::VanDerPol;
+    use cocktail_math::Matrix;
+    use cocktail_nn::train::{fit_regression, TrainConfig};
+    use cocktail_nn::{Activation, MlpBuilder};
+
+    /// Clones a stabilizing law into a small network.
+    fn stabilizing_net() -> Mlp {
+        let gain = Matrix::from_rows(vec![vec![3.0, 4.0]]);
+        let mut states = Vec::new();
+        let mut targets = Vec::new();
+        let domain = BoxRegion::cube(2, -2.0, 2.0);
+        let mut rng = cocktail_math::rng::seeded(0);
+        for _ in 0..512 {
+            let s = cocktail_math::rng::uniform_in_box(&mut rng, &domain);
+            let u = -(gain[(0, 0)] * s[0] + gain[(0, 1)] * s[1]);
+            targets.push(vec![(u / 20.0).clamp(-1.0, 1.0)]);
+            states.push(s);
+        }
+        let mut net = MlpBuilder::new(2)
+            .hidden(12, Activation::Tanh)
+            .output(1, Activation::Tanh)
+            .seed(4)
+            .build();
+        fit_regression(&mut net, &states, &targets, &TrainConfig { epochs: 120, ..Default::default() });
+        net
+    }
+
+    #[test]
+    fn certifies_a_stabilizing_student() {
+        let sys = VanDerPol::new();
+        let net = stabilizing_net();
+        let report = certify_safety(
+            &sys,
+            &net,
+            &[20.0],
+            &BoxRegion::from_bounds(&[0.2, 0.2], &[0.3, 0.3]),
+            &CertificateConfig {
+                degree: 4,
+                tolerance: 0.3,
+                max_pieces: 1 << 16,
+                error_samples_per_dim: 7,
+            },
+            &ReachConfig {
+                steps: 15,
+                split_width: 0.05,
+                mode: ReachMode::Subdivision,
+                ..Default::default()
+            },
+        )
+        .expect("must certify");
+        assert_eq!(report.verdict, SafetyVerdict::Safe);
+        assert!(report.bernstein_pieces > 0);
+        assert!(report.epsilon <= 0.3 + 1e-12);
+        assert_eq!(report.steps, 15);
+        assert!(report.total_time.as_secs_f64() > 0.0);
+    }
+
+    #[test]
+    fn reports_budget_exhaustion() {
+        let sys = VanDerPol::new();
+        let net = stabilizing_net();
+        let err = certify_safety(
+            &sys,
+            &net,
+            &[20.0],
+            &BoxRegion::from_bounds(&[0.2, 0.2], &[0.3, 0.3]),
+            &CertificateConfig {
+                degree: 4,
+                tolerance: 1e-4,
+                max_pieces: 16,
+                error_samples_per_dim: 5,
+            },
+            &ReachConfig::default(),
+        )
+        .expect_err("tiny budget must fail");
+        assert!(matches!(err, VerifyError::ResourceExhausted { .. }));
+    }
+}

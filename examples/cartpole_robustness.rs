@@ -1,0 +1,59 @@
+//! Robustness of the distilled students under attacks — the Table II
+//! experiment on the cartpole.
+//!
+//! ```text
+//! cargo run --release --example cartpole_robustness
+//! ```
+//!
+//! Compares the direct student `κ_D` against the robust student `κ*`
+//! under (a) no perturbation, (b) uniform measurement noise, and (c) FGSM
+//! adversarial attacks at 12 % of the state bound.
+
+use cocktail_core::experiment::{build_controller_set, Preset};
+use cocktail_core::metrics::{evaluate, EvalConfig};
+use cocktail_core::SystemId;
+use cocktail_distill::AttackModel;
+
+fn main() {
+    let sys_id = SystemId::CartPole;
+    let sys = sys_id.dynamics();
+    let preset = Preset::from_env(Preset::Fast);
+    println!("building the cartpole controller set ({preset:?} preset) ...");
+    let set = build_controller_set(sys_id, preset, 0);
+    let domain = sys.verification_domain();
+
+    println!(
+        "\nLipschitz constants: kappa_D = {:.1}, kappa_star = {:.1}",
+        set.kappa_d.lipschitz_constant(),
+        set.kappa_star.lipschitz_constant()
+    );
+
+    println!("\n{:<14} {:<22} {:>8} {:>10}", "controller", "threat", "S_r (%)", "energy");
+    let threats = [
+        ("none", AttackModel::None),
+        ("uniform noise 12%", AttackModel::scaled_to(&domain, 0.12, false)),
+        ("FGSM attack 12%", AttackModel::scaled_to(&domain, 0.12, true)),
+    ];
+    for (threat_name, attack) in threats {
+        for (name, student) in
+            [("kappa_D", set.kappa_d.clone()), ("kappa_star", set.kappa_star.clone())]
+        {
+            let eval = evaluate(
+                sys.as_ref(),
+                student.as_ref(),
+                &EvalConfig { samples: 250, attack: attack.clone(), ..Default::default() },
+            );
+            println!(
+                "{:<14} {:<22} {:>8.1} {:>10.1}",
+                name,
+                threat_name,
+                eval.safe_rate_percent(),
+                eval.mean_energy
+            );
+        }
+    }
+    println!(
+        "\nThe lower-Lipschitz kappa_star degrades less under perturbations — \
+         the paper's robust-distillation claim."
+    );
+}

@@ -1,0 +1,107 @@
+//! Model-based experts: synthesize two LQR controllers from a numerically
+//! linearized cartpole, clone them into neural experts, and run the full
+//! Cocktail pipeline on top.
+//!
+//! ```text
+//! cargo run --release --example lqr_experts
+//! ```
+//!
+//! The paper notes experts "could be based on well-established model-based
+//! approaches, such as MPC or LQR". This example exercises that expert
+//! family end-to-end: `cocktail_control::lqr` derives the gains, the
+//! pipeline mixes and distills them.
+
+use cocktail_control::lqr::{linearize, lqr_controller};
+use cocktail_control::{Controller, LinearFeedbackController, NnController};
+use cocktail_core::metrics::{evaluate, EvalConfig};
+use cocktail_core::pipeline::Cocktail;
+use cocktail_core::{Preset, SystemId};
+use cocktail_distill::TeacherDataset;
+use cocktail_math::vector;
+use cocktail_nn::train::{fit_regression, TrainConfig};
+use cocktail_nn::{Activation, MlpBuilder};
+use std::sync::Arc;
+
+/// Clones an affine law into a tanh-output neural controller.
+fn clone_into_network(
+    sys: &dyn cocktail_env::Dynamics,
+    law: &LinearFeedbackController,
+    label: &str,
+    seed: u64,
+) -> NnController {
+    let (_, u_hi) = sys.control_bounds();
+    let data = TeacherDataset::sample_uniform(law, &sys.verification_domain(), 1024, seed);
+    let targets: Vec<Vec<f64>> = data
+        .controls()
+        .iter()
+        .map(|u| u.iter().zip(&u_hi).map(|(&v, &h)| (v / h).clamp(-1.0, 1.0)).collect())
+        .collect();
+    let mut net = MlpBuilder::new(sys.state_dim())
+        .hidden(24, Activation::Tanh)
+        .hidden(24, Activation::Tanh)
+        .output(sys.control_dim(), Activation::Tanh)
+        .seed(seed)
+        .build();
+    fit_regression(&mut net, data.states(), &targets, &TrainConfig { epochs: 80, ..Default::default() });
+    NnController::with_name(net, u_hi, label)
+}
+
+fn main() {
+    let sys_id = SystemId::CartPole;
+    let sys = sys_id.dynamics();
+
+    // ---- linearize the cartpole at the upright equilibrium
+    let lin = linearize(sys.as_ref(), &[0.0; 4], &[0.0]);
+    println!("linearized cartpole at the upright equilibrium:");
+    println!("  A row 3 (pole dynamics): {:?}", lin.a.row(3));
+    println!("  drift norm: {:.2e} (true equilibrium)", vector::norm_2(&lin.drift));
+
+    // ---- two LQR designs with different weightings
+    let cheap = lqr_controller(sys.as_ref(), &[0.5, 0.5, 5.0, 0.5], &[1.0], "lqr-cheap")
+        .expect("stabilizable");
+    let tight = lqr_controller(sys.as_ref(), &[5.0, 5.0, 50.0, 5.0], &[0.05], "lqr-tight")
+        .expect("stabilizable");
+    println!("\nLQR gains:");
+    println!("  cheap (R=1):    {:?}", cheap.gain().row(0));
+    println!("  tight (R=0.05): {:?}", tight.gain().row(0));
+
+    let cfg = EvalConfig { samples: 250, ..Default::default() };
+    for law in [&cheap, &tight] {
+        let eval = evaluate(sys.as_ref(), law, &cfg);
+        println!("  {}: S_r {:.1}%, e {:.1}", law.name(), eval.safe_rate_percent(), eval.mean_energy);
+    }
+
+    // ---- clone into neural experts and run the Cocktail pipeline
+    println!("\ncloning the LQR laws into neural experts and running Cocktail ...");
+    let experts: Vec<Arc<dyn Controller>> = vec![
+        Arc::new(clone_into_network(sys.as_ref(), &cheap, "nn-lqr-cheap", 1)),
+        Arc::new(clone_into_network(sys.as_ref(), &tight, "nn-lqr-tight", 2)),
+    ];
+    let result = Cocktail::new(sys_id, experts.clone())
+        .with_config(cocktail_core::experiment::pipeline_config(
+            sys_id,
+            Preset::from_env(Preset::Fast),
+            0,
+        ))
+        .run();
+
+    println!("\n{:<16} {:>8} {:>10} {:>8}", "controller", "S_r (%)", "energy", "L");
+    let domain = sys.verification_domain();
+    let lineup: Vec<(&str, &dyn Controller)> = vec![
+        ("nn-lqr-cheap", experts[0].as_ref()),
+        ("nn-lqr-tight", experts[1].as_ref()),
+        ("A_W (mixed)", result.mixed.as_ref()),
+        ("kappa* (robust)", result.kappa_star.as_ref()),
+    ];
+    for (name, c) in lineup {
+        let eval = evaluate(sys.as_ref(), c, &cfg);
+        let l = c.lipschitz(&domain).map_or("-".to_owned(), |v| format!("{v:.1}"));
+        println!(
+            "{:<16} {:>8.1} {:>10.1} {:>8}",
+            name,
+            eval.safe_rate_percent(),
+            eval.mean_energy,
+            l
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Cross-crate consistency tests: the contracts between the environment,
+//! control, RL and distillation crates that no single crate can test
+//! alone.
+
+use cocktail_control::{
+    ConstantWeights, Controller, LinearFeedbackController, MixedController,
+};
+use cocktail_core::experts::reference_laws;
+use cocktail_core::metrics::{evaluate, signal_trace, EvalConfig};
+use cocktail_core::SystemId;
+use cocktail_distill::{AttackModel, TeacherDataset};
+use cocktail_env::{rollout, Dynamics, RolloutConfig};
+use cocktail_math::Matrix;
+use cocktail_rl::{Mdp, MixingMdp, RewardConfig};
+use std::sync::Arc;
+
+/// The mixing MDP's plant input must equal the MixedController's output
+/// for the same weights (Eq. 4 implemented twice must agree).
+#[test]
+fn mixing_mdp_agrees_with_mixed_controller() {
+    let sys_id = SystemId::Oscillator;
+    let sys = sys_id.dynamics();
+    let (law1, law2) = reference_laws(sys_id);
+    let experts: Vec<Arc<dyn Controller>> = vec![
+        Arc::new(law1.controller("e1")),
+        Arc::new(law2.controller("e2")),
+    ];
+    let weights = vec![0.7, -1.2];
+    let (u_lo, u_hi) = sys.control_bounds();
+    let mixed = MixedController::new(
+        experts.clone(),
+        Arc::new(ConstantWeights(weights.clone())),
+        u_lo,
+        u_hi,
+    );
+
+    // drive the MDP with the same constant weights and compare the
+    // resulting state sequence with a rollout of the MixedController
+    let reward = RewardConfig::default();
+    let mut mdp = MixingMdp::new(sys.clone(), experts, 2.0, reward, 9);
+    let mut rng = cocktail_math::rng::seeded(10);
+    let s0 = mdp.reset(&mut rng);
+
+    let mut control_fn = |s: &[f64]| mixed.control(s);
+    let mut no_attack = |_t: usize, s: &[f64]| vec![0.0; s.len()];
+    let traj = rollout(
+        sys.as_ref(),
+        &mut control_fn,
+        &mut no_attack,
+        &s0,
+        &RolloutConfig { horizon: Some(20), seed: 9, stop_on_violation: false, ..Default::default() },
+    );
+
+    let mut mdp_states = vec![s0.clone()];
+    loop {
+        let (next, _, done) = mdp.step(&weights);
+        mdp_states.push(next);
+        if done || mdp_states.len() > 20 {
+            break;
+        }
+    }
+    // both paths sample ω from the same seeded stream
+    for (a, b) in traj.states.iter().zip(&mdp_states) {
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-9, "state divergence: {a:?} vs {b:?}");
+        }
+    }
+}
+
+/// FGSM perturbations must respect their bound along a full rollout, and
+/// attacked evaluations must never *increase* the safe rate on a fragile
+/// controller.
+#[test]
+fn fgsm_bound_respected_in_closed_loop() {
+    let sys = SystemId::Oscillator.dynamics();
+    let (law1, _) = reference_laws(SystemId::Oscillator);
+    let controller = law1.controller("victim");
+    let domain = sys.verification_domain();
+    let attack = AttackModel::scaled_to(&domain, 0.15, true);
+    let bound: Vec<f64> =
+        domain.intervals().iter().map(|iv| 0.15 * iv.radius()).collect();
+
+    let mut perturb = attack.perturbation(&controller, 3);
+    let mut max_seen = vec![0.0_f64; 2];
+    let mut control_fn = |s: &[f64]| controller.control(s);
+    let mut checked_perturb = |t: usize, s: &[f64]| {
+        let d = perturb(t, s);
+        for (m, v) in max_seen.iter_mut().zip(&d) {
+            *m = m.max(v.abs());
+        }
+        d
+    };
+    let _ = rollout(
+        sys.as_ref(),
+        &mut control_fn,
+        &mut checked_perturb,
+        &[0.5, 0.5],
+        &RolloutConfig::default(),
+    );
+    for (seen, b) in max_seen.iter().zip(&bound) {
+        assert!(seen <= &(b + 1e-12), "perturbation {seen} exceeds bound {b}");
+        assert!(*seen > 0.0, "FGSM must actually perturb");
+    }
+}
+
+/// Energy accounting: the evaluation's mean energy must match a manual
+/// recomputation from trajectories.
+#[test]
+fn evaluation_energy_matches_manual_recomputation() {
+    let sys = SystemId::Oscillator.dynamics();
+    let controller = LinearFeedbackController::new(Matrix::from_rows(vec![vec![3.0, 4.0]]));
+    let cfg = EvalConfig { samples: 40, seed: 21, ..Default::default() };
+    let eval = evaluate(sys.as_ref(), &controller, &cfg);
+
+    // manual: same seeds, same sampling protocol
+    let mut rng = cocktail_math::rng::seeded(cfg.seed);
+    let x0 = sys.initial_set();
+    let mut energies = Vec::new();
+    let mut safe = 0;
+    for i in 0..cfg.samples {
+        let s0 = cocktail_math::rng::uniform_in_box(&mut rng, &x0);
+        let mut control_fn = |s: &[f64]| controller.control(s);
+        let mut no_attack = |_t: usize, s: &[f64]| vec![0.0; s.len()];
+        let traj = rollout(
+            sys.as_ref(),
+            &mut control_fn,
+            &mut no_attack,
+            &s0,
+            &RolloutConfig {
+                seed: cfg.seed.wrapping_add(1).wrapping_add(i as u64),
+                ..Default::default()
+            },
+        );
+        if traj.is_safe() {
+            safe += 1;
+            energies.push(traj.energy());
+        }
+    }
+    assert_eq!(eval.safe_count, safe);
+    assert!((eval.mean_energy - cocktail_math::stats::mean(&energies)).abs() < 1e-9);
+}
+
+/// Teacher datasets must be consistent with the teacher they sample.
+#[test]
+fn dataset_labels_match_live_teacher_queries() {
+    let sys = SystemId::Poly3d.dynamics();
+    let (_, law2) = reference_laws(SystemId::Poly3d);
+    let teacher = law2.controller("teacher");
+    let data = TeacherDataset::sample_on_policy(&teacher, sys.as_ref(), 2, 5);
+    for (s, u) in data.states().iter().zip(data.controls()).take(50) {
+        assert_eq!(u, &teacher.control(s));
+    }
+}
+
+/// Signal traces must agree with the applied (clipped) controls of a
+/// rollout under the same attack and seed.
+#[test]
+fn signal_trace_matches_rollout_controls() {
+    let sys = SystemId::Oscillator.dynamics();
+    let (law1, _) = reference_laws(SystemId::Oscillator);
+    let controller = law1.controller("traced");
+    let attack = AttackModel::scaled_to(&sys.verification_domain(), 0.1, true);
+    let trace = signal_trace(sys.as_ref(), &controller, &[1.0, -1.0], &attack, 17);
+    let (lo, hi) = sys.control_bounds();
+    assert_eq!(trace.len(), sys.horizon());
+    assert!(trace.iter().all(|u| (lo[0]..=hi[0]).contains(u)));
+}
+
+/// Rollouts must be invariant to the controller's internal representation:
+/// a cloned network driven through `Arc<dyn Controller>` and through the
+/// concrete type must produce identical trajectories.
+#[test]
+fn dyn_dispatch_does_not_change_behaviour() {
+    let sys = SystemId::Oscillator.dynamics();
+    let concrete = LinearFeedbackController::new(Matrix::from_rows(vec![vec![2.0, 3.0]]));
+    let dynamic: Arc<dyn Controller> = Arc::new(concrete.clone());
+    let run = |c: &dyn Controller| {
+        let mut control_fn = |s: &[f64]| c.control(s);
+        let mut no_attack = |_t: usize, s: &[f64]| vec![0.0; s.len()];
+        rollout(
+            sys.as_ref(),
+            &mut control_fn,
+            &mut no_attack,
+            &[1.0, 1.0],
+            &RolloutConfig { seed: 2, ..Default::default() },
+        )
+    };
+    assert_eq!(run(&concrete).states, run(dynamic.as_ref()).states);
+}

@@ -1,0 +1,140 @@
+//! End-to-end pipeline integration tests across all three benchmark
+//! systems (smoke preset: small training budgets, seconds per system).
+
+use cocktail_control::Controller;
+use cocktail_core::experiment::{
+    build_controller_set, fig2_trace, table1_rows, table2_entries, Preset,
+};
+use cocktail_core::experts::cloned_experts;
+use cocktail_core::metrics::{evaluate, EvalConfig};
+use cocktail_core::pipeline::Cocktail;
+use cocktail_core::SystemId;
+use std::sync::OnceLock;
+
+fn smoke_set(sys_id: SystemId) -> &'static cocktail_core::experiment::ControllerSet {
+    static OSC: OnceLock<cocktail_core::experiment::ControllerSet> = OnceLock::new();
+    static P3D: OnceLock<cocktail_core::experiment::ControllerSet> = OnceLock::new();
+    static CP: OnceLock<cocktail_core::experiment::ControllerSet> = OnceLock::new();
+    let cell = match sys_id {
+        SystemId::Oscillator => &OSC,
+        SystemId::Poly3d => &P3D,
+        SystemId::CartPole => &CP,
+    };
+    cell.get_or_init(|| build_controller_set(sys_id, Preset::Smoke, 0))
+}
+
+#[test]
+fn pipeline_runs_on_all_three_systems() {
+    for sys_id in SystemId::all() {
+        let set = smoke_set(sys_id);
+        let sys = sys_id.dynamics();
+        assert_eq!(set.kappa_star.state_dim(), sys.state_dim());
+        assert_eq!(set.kappa_star.control_dim(), sys.control_dim());
+        assert!(set.kappa_star.lipschitz_constant().is_finite());
+        assert!(set.kappa_d.lipschitz_constant().is_finite());
+    }
+}
+
+#[test]
+fn students_are_nontrivial_controllers_everywhere() {
+    // the distilled students must act like controllers, not constants:
+    // outputs vary with the state and stay inside the control bound
+    for sys_id in SystemId::all() {
+        let set = smoke_set(sys_id);
+        let sys = sys_id.dynamics();
+        let (lo, hi) = sys.control_bounds();
+        let x0 = sys.initial_set();
+        let mut rng = cocktail_math::rng::seeded(1);
+        let mut outputs = Vec::new();
+        for _ in 0..20 {
+            let s = cocktail_math::rng::uniform_in_box(&mut rng, &x0);
+            let u = set.kappa_star.control(&s);
+            assert_eq!(u.len(), sys.control_dim());
+            // students are unclipped MLPs; outputs may exceed U slightly,
+            // the rollout clips — but they must stay within 3x the bound
+            assert!(u[0].abs() <= 3.0 * hi[0].max(-lo[0]), "{}: wild output {u:?}", sys_id);
+            outputs.push(u[0]);
+        }
+        let spread = cocktail_math::stats::std_dev(&outputs);
+        assert!(spread > 1e-3, "{sys_id}: student output is constant");
+    }
+}
+
+#[test]
+fn table1_rows_have_the_paper_shape_on_oscillator() {
+    let set = smoke_set(SystemId::Oscillator);
+    let rows = table1_rows(set, 150, 7);
+    let by_name = |n: &str| rows.iter().find(|r| r.controller == n).expect("present");
+    let k1 = by_name("kappa1");
+    let k2 = by_name("kappa2");
+    let aw = by_name("A_W");
+    let ks = by_name("kappa_star");
+    // mixing must at least match the experts on the safe control rate;
+    // the Smoke preset under-trains PPO, so allow a small slack here (the
+    // Fast/Full presets used by the bench binaries achieve strict
+    // dominance — see EXPERIMENTS.md)
+    assert!(
+        aw.safe_rate_percent >= k1.safe_rate_percent.max(k2.safe_rate_percent) - 5.0,
+        "A_W {} vs experts {}/{}",
+        aw.safe_rate_percent,
+        k1.safe_rate_percent,
+        k2.safe_rate_percent
+    );
+    // the robust student tracks the teacher closely
+    assert!(
+        (ks.safe_rate_percent - aw.safe_rate_percent).abs() < 15.0,
+        "kappa_star {} vs A_W {}",
+        ks.safe_rate_percent,
+        aw.safe_rate_percent
+    );
+    // Lipschitz column: "-" for the composites
+    assert!(by_name("A_S").lipschitz.is_none());
+    assert!(aw.lipschitz.is_none());
+    assert!(ks.lipschitz.is_some());
+}
+
+#[test]
+fn table2_reports_finite_entries_under_both_threats() {
+    let set = smoke_set(SystemId::Oscillator);
+    let entries = table2_entries(set, 0.12, 100, 3);
+    assert_eq!(entries.len(), 4);
+    for e in &entries {
+        assert!((0.0..=100.0).contains(&e.safe_rate_percent), "{e:?}");
+        assert!(e.energy.is_finite() || e.safe_rate_percent == 0.0, "{e:?}");
+    }
+}
+
+#[test]
+fn fig2_traces_cover_the_horizon() {
+    let set = smoke_set(SystemId::Oscillator);
+    let trace = fig2_trace(set, 0.12, 5);
+    let horizon = SystemId::Oscillator.dynamics().horizon();
+    assert_eq!(trace.kappa_d.len(), horizon);
+    assert_eq!(trace.kappa_star.len(), horizon);
+}
+
+#[test]
+fn pipeline_is_reproducible_from_the_seed() {
+    let sys_id = SystemId::Oscillator;
+    let run = || {
+        let experts = cloned_experts(sys_id, 3);
+        Cocktail::new(sys_id, experts).with_config(Preset::Smoke.config()).run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.kappa_star.network(), b.kappa_star.network());
+    assert_eq!(a.kappa_d.network(), b.kappa_d.network());
+}
+
+#[test]
+fn evaluation_sample_count_controls_result_granularity() {
+    let set = smoke_set(SystemId::Oscillator);
+    let sys = SystemId::Oscillator.dynamics();
+    let small = evaluate(
+        sys.as_ref(),
+        set.kappa_star.as_ref(),
+        &EvalConfig { samples: 10, ..Default::default() },
+    );
+    assert_eq!(small.samples, 10);
+    assert!(small.safe_count <= 10);
+}
