@@ -1,0 +1,102 @@
+//! Weight-hygiene pass.
+//!
+//! Value-level checks on every network and gain matrix in a spec:
+//! non-finite weights or biases (error — the controller would emit NaN),
+//! degenerate all-zero layers (warning — the layer contributes nothing and
+//! usually signals a failed initialization or a truncated file), exploding
+//! layers whose spectral norm exceeds a configured limit (warning — the
+//! Lipschitz product and any verification budget blow up), and per-layer
+//! spectral-norm notes that make the Lipschitz certification below
+//! auditable layer by layer.
+//!
+//! The pass assumes the composition pass already validated shapes: it
+//! reads matrix entries only through `as_slice`, never by index.
+
+use crate::analyzer::AnalysisConfig;
+use crate::report::{AnalysisReport, Diagnostic};
+use crate::spec::{Component, ControllerSpec};
+use cocktail_math::Matrix;
+
+pub(crate) const PASS: &str = "hygiene";
+
+/// Runs the pass over every component of `spec`.
+pub fn check(spec: &ControllerSpec, config: &AnalysisConfig, report: &mut AnalysisReport) {
+    for component in spec.components() {
+        match component {
+            Component::Net { path, net, scale } => {
+                for (li, layer) in net.layers().iter().enumerate() {
+                    check_matrix(
+                        &format!("{path} layer {li} weights"),
+                        layer.weights(),
+                        config,
+                        report,
+                    );
+                    check_vector(&format!("{path} layer {li} biases"), layer.biases(), report);
+                }
+                if let Some(scale) = scale {
+                    check_vector(&format!("{path} output scale"), scale, report);
+                }
+            }
+            Component::Gain { path, gain, bias } => {
+                check_matrix(&format!("{path} gain"), gain, config, report);
+                check_vector(&format!("{path} bias"), bias, report);
+            }
+        }
+    }
+}
+
+fn check_matrix(what: &str, m: &Matrix, config: &AnalysisConfig, report: &mut AnalysisReport) {
+    let entries = m.as_slice();
+    if let Some(bad) = entries.iter().position(|v| !v.is_finite()) {
+        report.push(Diagnostic::error(
+            PASS,
+            "nonfinite-weight",
+            format!(
+                "{what}: entry ({}, {}) is {} — the controller would propagate it to every output",
+                bad / m.cols(),
+                bad % m.cols(),
+                entries[bad]
+            ),
+        ));
+        return; // norms are meaningless on non-finite data
+    }
+    if entries.iter().all(|&v| v == 0.0) {
+        report.push(Diagnostic::warn(
+            PASS,
+            "degenerate-layer",
+            format!(
+                "{what}: all {} entries are zero — the layer transmits nothing",
+                entries.len()
+            ),
+        ));
+        return;
+    }
+    let sigma = m.spectral_norm();
+    if sigma > config.spectral_norm_limit {
+        report.push(Diagnostic::warn(
+            PASS,
+            "exploding-layer",
+            format!(
+                "{what}: spectral norm {sigma:.3e} exceeds the limit {:.1e} — \
+                 Lipschitz products and verification budgets blow up",
+                config.spectral_norm_limit
+            ),
+        ));
+    } else {
+        report.push(Diagnostic::info(
+            PASS,
+            "layer-norm",
+            format!("{what}: spectral norm sigma = {sigma:.4}"),
+        ));
+    }
+}
+
+fn check_vector(what: &str, v: &[f64], report: &mut AnalysisReport) {
+    if let Some(bad) = v.iter().position(|x| !x.is_finite()) {
+        report.push(Diagnostic::error(
+            PASS,
+            "nonfinite-weight",
+            format!("{what}: entry {bad} is {}", v[bad]),
+        ));
+    }
+}

@@ -1,0 +1,38 @@
+//! Static analysis of Cocktail controllers and networks.
+//!
+//! A linter for the artifacts the rest of the workspace produces: expert
+//! controllers, the adaptive mixture `A_W`, and distilled student
+//! networks. It executes no rollouts — every finding is derived from the
+//! weights, the architecture and the plant's declared domains:
+//!
+//! * **composition** — dimension and arity errors the runtime
+//!   constructors would otherwise turn into panics deep inside a run;
+//! * **hygiene** — non-finite, degenerate and exploding weights;
+//! * **range** — interval propagation of the verification domain through
+//!   the controller: saturated layers, dead `ReLU`s, and outputs that
+//!   provably exceed the actuator limits `[U_inf, U_sup]`;
+//! * **lipschitz** — the spectral-norm product bound, the distillation
+//!   budget `L`, and the predicted Bernstein verification cost.
+//!
+//! The analyzable form is [`ControllerSpec`], a serializable
+//! pre-construction mirror of the controller families: unlike the runtime
+//! types it loads malformed models cleanly so the analyzer can explain
+//! what is wrong instead of panicking.
+//!
+//! Two front ends consume the analyzer: the `lint-model` binary (exit
+//! code ≠ 0 on error findings) and the pipeline pre-flight gate in
+//! `cocktail-core`, controlled by [`PreflightMode`].
+
+mod analyzer;
+mod composition;
+mod hygiene;
+mod lipschitz_cert;
+mod range;
+mod report;
+mod spec;
+
+pub use analyzer::{AnalysisConfig, Analyzer, PreflightMode};
+pub use lipschitz_cert::certified_bound;
+pub use range::output_range;
+pub use report::{AnalysisReport, Diagnostic, Severity};
+pub use spec::{Component, ControllerSpec, WeightSpec};

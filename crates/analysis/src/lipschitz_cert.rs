@@ -1,0 +1,177 @@
+//! Lipschitz certification pass.
+//!
+//! Computes the product-of-spectral-norms Lipschitz bound of the
+//! controller (the bound the paper's robust-distillation loss controls
+//! and its Bernstein verification consumes), compares it against an
+//! optional distillation target, and predicts what the bound costs at
+//! verification time: the Bernstein remainder `ε = 1.5·L·Σwᵢ/√d` of
+//! `cocktail-verify` and the number of domain partitions needed to push
+//! that remainder under the certificate tolerance.
+//!
+//! The partition prediction inverts the verifier's bisection geometry:
+//! splitting every axis `k` times divides the width sum — and hence `ε` —
+//! by `2^k` while multiplying the piece count by `2^{kn}`, so reaching a
+//! tolerance `τ` from an initial remainder `ε₀ > τ` takes at least
+//! `(ε₀/τ)^n` pieces.
+
+use crate::analyzer::AnalysisConfig;
+use crate::report::{AnalysisReport, Diagnostic};
+use crate::spec::ControllerSpec;
+use cocktail_env::Dynamics;
+use cocktail_nn::lipschitz::{self, NormKind};
+use cocktail_verify::bernstein::rigorous_error_bound;
+
+pub(crate) const PASS: &str = "lipschitz";
+
+/// Runs the pass.
+///
+/// Assumes the composition and hygiene passes ran clean.
+pub fn check(
+    spec: &ControllerSpec,
+    sys: &dyn Dynamics,
+    config: &AnalysisConfig,
+    report: &mut AnalysisReport,
+) {
+    let Some(l) = certified_bound(spec) else {
+        report.push(Diagnostic::info(
+            PASS,
+            "no-certified-bound",
+            format!(
+                "no product-form Lipschitz bound for a {} controller (state-dependent \
+                 weights / hard switching are not globally Lipschitz-certifiable); \
+                 Bernstein cost prediction skipped",
+                spec.kind()
+            ),
+        ));
+        return;
+    };
+
+    report.push(Diagnostic::info(
+        PASS,
+        "lipschitz-bound",
+        format!("certified Lipschitz bound L <= {l:.4} (spectral-norm product)"),
+    ));
+
+    if let Some(target) = config.lipschitz_target {
+        if l > target {
+            report.push(Diagnostic::warn(
+                PASS,
+                "lipschitz-budget",
+                format!(
+                    "certified bound {l:.4} exceeds the distillation target L = {target} — \
+                     the robust-distillation regularizer did not bind, or the model was \
+                     trained without it"
+                ),
+            ));
+        } else {
+            report.push(Diagnostic::info(
+                PASS,
+                "lipschitz-budget",
+                format!("certified bound {l:.4} is within the distillation target L = {target}"),
+            ));
+        }
+    }
+
+    let domain = sys.verification_domain();
+    let cert = &config.certificate;
+    let epsilon = rigorous_error_bound(l, &domain, cert.degree);
+    report.push(Diagnostic::info(
+        PASS,
+        "bernstein-error",
+        format!(
+            "Bernstein remainder over the unpartitioned domain: eps = {epsilon:.4} at \
+             degree {}",
+            cert.degree
+        ),
+    ));
+
+    let pieces = predicted_pieces(epsilon, cert.tolerance, domain.dim());
+    if pieces > cert.max_pieces as f64 {
+        report.push(Diagnostic::warn(
+            PASS,
+            "verification-budget",
+            format!(
+                "reaching tolerance {} needs an estimated {pieces:.0} domain partitions, \
+                 beyond the certificate budget of {} pieces — verification will likely \
+                 be inconclusive at this Lipschitz bound",
+                cert.tolerance, cert.max_pieces
+            ),
+        ));
+    } else {
+        report.push(Diagnostic::info(
+            PASS,
+            "verification-cost",
+            format!(
+                "estimated {pieces:.0} domain partition(s) to reach tolerance {}",
+                cert.tolerance
+            ),
+        ));
+    }
+}
+
+/// Product-form Lipschitz upper bound of a spec, when one exists.
+///
+/// `Mlp`: `max(scale) · Π σ(Wᵢ)·lip(actᵢ)` — the same bound
+/// `NnController::lipschitz_constant` certifies. `Linear`: `σ(K)`.
+/// Mixed and switching controllers get `None`: their weight policies vary
+/// with the state, so no product bound applies.
+pub fn certified_bound(spec: &ControllerSpec) -> Option<f64> {
+    match spec {
+        ControllerSpec::Mlp { net, scale } => {
+            let max_scale = scale.iter().copied().fold(0.0f64, f64::max);
+            Some(max_scale * lipschitz::upper_bound(net, NormKind::Spectral))
+        }
+        ControllerSpec::Linear { gain, .. } => Some(gain.spectral_norm()),
+        ControllerSpec::Mixed { .. } | ControllerSpec::Switching { .. } => None,
+    }
+}
+
+/// Minimum partition count to reach tolerance `tau` from an initial
+/// remainder `epsilon` over an `n`-dimensional domain.
+fn predicted_pieces(epsilon: f64, tau: f64, n: usize) -> f64 {
+    if epsilon <= tau {
+        return 1.0;
+    }
+    (epsilon / tau)
+        .powi(i32::try_from(n).unwrap_or(i32::MAX))
+        .ceil()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocktail_math::Matrix;
+
+    #[test]
+    fn linear_bound_is_gain_spectral_norm() {
+        let spec = ControllerSpec::Linear {
+            gain: Matrix::from_rows(vec![vec![3.0, 4.0]]),
+            bias: vec![],
+        };
+        let l = certified_bound(&spec).expect("linear is certifiable");
+        assert!((l - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_has_no_certified_bound() {
+        let spec = ControllerSpec::Mixed {
+            experts: vec![ControllerSpec::Linear {
+                gain: Matrix::from_rows(vec![vec![1.0]]),
+                bias: vec![],
+            }],
+            weights: crate::spec::WeightSpec::Constant { weights: vec![1.0] },
+            u_inf: vec![-1.0],
+            u_sup: vec![1.0],
+        };
+        assert!(certified_bound(&spec).is_none());
+    }
+
+    #[test]
+    fn piece_prediction_inverts_bisection_geometry() {
+        // already within tolerance: one piece
+        assert_eq!(predicted_pieces(0.4, 0.5, 3), 1.0);
+        // one halving of every axis of a 2-D domain: 4 pieces
+        assert_eq!(predicted_pieces(1.0, 0.5, 2), 4.0);
+        assert_eq!(predicted_pieces(2.0, 0.5, 2), 16.0);
+    }
+}

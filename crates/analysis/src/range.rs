@@ -1,0 +1,416 @@
+//! Interval range analysis.
+//!
+//! Propagates the plant's verification domain through a controller spec
+//! with interval arithmetic and reports what the bounds imply:
+//!
+//! * **Saturated layers** — a tanh/sigmoid layer whose pre-activation
+//!   interval sits entirely in the flat tail, or a `ReLU` layer that is dead
+//!   on the whole domain, computes a constant; the controller cannot react
+//!   to the state there.
+//! * **Actuator overflow** — output dimensions whose certified range
+//!   exceeds the plant's control box `[U_inf, U_sup]`; the plant will
+//!   clip, so the effective policy is not the trained one.
+//! * **Clipped mixtures** — the raw mixture `Σ aᵢ κᵢ(s)` of a mixed
+//!   controller escaping its own actuator box, i.e. the paper's Eq. (4)
+//!   projection is load-bearing rather than a formality.
+//!
+//! The per-layer propagation mirrors `Dense::forward_interval`'s
+//! centre/radius form: `z ∈ [Wc + b − |W|r, Wc + b + |W|r]`, which is the
+//! tightest interval extension of an affine map over a box. It is
+//! re-implemented here (rather than calling `Mlp::bounds`) because the
+//! pass needs the *pre-activation* interval of every layer for saturation
+//! detection, which the network API does not expose.
+
+use crate::analyzer::AnalysisConfig;
+use crate::report::{AnalysisReport, Diagnostic};
+use crate::spec::{ControllerSpec, WeightSpec};
+use cocktail_env::Dynamics;
+use cocktail_math::{BoxRegion, Interval};
+use cocktail_nn::{Activation, Dense, Mlp};
+
+pub(crate) const PASS: &str = "range";
+
+/// Runs the pass: propagates `sys.verification_domain()` through the spec
+/// and reports saturation and actuator-overflow findings.
+///
+/// Assumes the composition and hygiene passes ran clean (shapes are
+/// consistent and every value is finite).
+pub fn check(
+    spec: &ControllerSpec,
+    sys: &dyn Dynamics,
+    config: &AnalysisConfig,
+    report: &mut AnalysisReport,
+) {
+    let domain = sys.verification_domain();
+    let Some(out) = spec_interval(spec, "controller", domain.intervals(), config, Some(report))
+    else {
+        return;
+    };
+
+    report.push(Diagnostic::info(
+        PASS,
+        "output-range",
+        format!(
+            "certified output range over the verification domain: {}",
+            render_box(&out)
+        ),
+    ));
+
+    let (u_lo, u_hi) = sys.control_bounds();
+    for (j, iv) in out.iter().enumerate() {
+        let (lo, hi) = (u_lo[j], u_hi[j]);
+        if iv.lo() < lo - config.range_tolerance || iv.hi() > hi + config.range_tolerance {
+            report.push(Diagnostic::warn(
+                PASS,
+                "actuator-overflow",
+                format!(
+                    "output dim {j} spans [{:.4}, {:.4}] but plant `{}` only accepts \
+                     [{lo}, {hi}] — the plant will clip, so the executed policy differs \
+                     from the analyzed one",
+                    iv.lo(),
+                    iv.hi(),
+                    sys.name()
+                ),
+            ));
+        }
+    }
+}
+
+/// Certified output box of a controller spec over a state-domain box, or
+/// `None` when the spec is malformed or is a `Switching` ensemble with a
+/// malformed expert.
+///
+/// This is the side-effect-free entry point used by tests and the CLI;
+/// the pass itself goes through the same propagation with a report
+/// attached for saturation findings.
+pub fn output_range(spec: &ControllerSpec, domain: &BoxRegion) -> Option<Vec<Interval>> {
+    if spec.state_dim()? != domain.dim() {
+        return None;
+    }
+    let config = AnalysisConfig::default();
+    spec_interval(spec, "controller", domain.intervals(), &config, None)
+}
+
+fn spec_interval(
+    spec: &ControllerSpec,
+    path: &str,
+    input: &[Interval],
+    config: &AnalysisConfig,
+    mut report: Option<&mut AnalysisReport>,
+) -> Option<Vec<Interval>> {
+    match spec {
+        ControllerSpec::Mlp { net, scale } => {
+            let raw = net_interval(net, path, input, config, report.as_deref_mut())?;
+            if raw.len() != scale.len() {
+                return None;
+            }
+            Some(raw.iter().zip(scale).map(|(iv, &k)| *iv * k).collect())
+        }
+        ControllerSpec::Linear { gain, bias } => {
+            if gain.as_slice().len() != gain.rows() * gain.cols()
+                || gain.cols() != input.len()
+                || (!bias.is_empty() && bias.len() != gain.rows())
+            {
+                return None;
+            }
+            Some(
+                (0..gain.rows())
+                    .map(|r| {
+                        let mut acc = Interval::point(bias.get(r).copied().unwrap_or(0.0));
+                        for (c, x) in input.iter().enumerate() {
+                            // u = -K s + b
+                            acc = acc + *x * -gain[(r, c)];
+                        }
+                        acc
+                    })
+                    .collect(),
+            )
+        }
+        ControllerSpec::Mixed {
+            experts,
+            weights,
+            u_inf,
+            u_sup,
+        } => {
+            let m = spec.control_dim()?;
+            if u_inf.len() != m || u_sup.len() != m {
+                return None;
+            }
+            let expert_ranges: Vec<Vec<Interval>> = experts
+                .iter()
+                .enumerate()
+                .map(|(i, e)| {
+                    spec_interval(
+                        e,
+                        &format!("{path}.experts[{i}]"),
+                        input,
+                        config,
+                        report.as_deref_mut(),
+                    )
+                })
+                .collect::<Option<_>>()?;
+            if expert_ranges.iter().any(|r| r.len() != m) {
+                return None;
+            }
+            let weight_ranges: Vec<Interval> = match weights {
+                WeightSpec::Constant { weights } => {
+                    if weights.len() != experts.len() {
+                        return None;
+                    }
+                    weights.iter().map(|&w| Interval::point(w)).collect()
+                }
+                WeightSpec::TanhNet { net, bound } => {
+                    let logits = net_interval(
+                        net,
+                        &format!("{path}.weight-policy"),
+                        input,
+                        config,
+                        report.as_deref_mut(),
+                    )?;
+                    if logits.len() != experts.len() {
+                        return None;
+                    }
+                    logits.iter().map(|z| z.tanh() * *bound).collect()
+                }
+            };
+            let raw: Vec<Interval> = (0..m)
+                .map(|j| {
+                    let mut acc = Interval::point(0.0);
+                    for (w, e) in weight_ranges.iter().zip(&expert_ranges) {
+                        acc = acc + *w * e[j];
+                    }
+                    acc
+                })
+                .collect();
+            if let Some(report) = report.as_deref_mut() {
+                let escapes: Vec<usize> = (0..m)
+                    .filter(|&j| raw[j].lo() < u_inf[j] || raw[j].hi() > u_sup[j])
+                    .collect();
+                if !escapes.is_empty() {
+                    report.push(Diagnostic::warn(
+                        PASS,
+                        "clipped-mixture",
+                        format!(
+                            "{path}: the raw mixture Σ aᵢκᵢ(s) can escape the actuator box on \
+                             output dims {escapes:?} (raw range {}) — the Eq. (4) clip is \
+                             load-bearing there",
+                            render_box(&raw)
+                        ),
+                    ));
+                }
+            }
+            Some(
+                raw.iter()
+                    .enumerate()
+                    .map(|(j, iv)| iv.clamp_to(u_inf[j], u_sup[j]))
+                    .collect(),
+            )
+        }
+        ControllerSpec::Switching { experts } => {
+            // any expert may be active: the reachable set is the union,
+            // over-approximated by the per-dimension hull
+            let m = spec.control_dim()?;
+            let mut hull: Option<Vec<Interval>> = None;
+            for (i, e) in experts.iter().enumerate() {
+                let r = spec_interval(
+                    e,
+                    &format!("{path}.experts[{i}]"),
+                    input,
+                    config,
+                    report.as_deref_mut(),
+                )?;
+                if r.len() != m {
+                    return None;
+                }
+                hull = Some(match hull {
+                    None => r,
+                    Some(h) => h.iter().zip(&r).map(|(a, b)| a.hull(b)).collect(),
+                });
+            }
+            hull
+        }
+    }
+}
+
+/// Interval-propagates one network, reporting saturated layers.
+fn net_interval(
+    net: &Mlp,
+    path: &str,
+    input: &[Interval],
+    config: &AnalysisConfig,
+    mut report: Option<&mut AnalysisReport>,
+) -> Option<Vec<Interval>> {
+    if net.layers().is_empty() || net.layers()[0].input_dim() != input.len() {
+        return None;
+    }
+    let mut iv = input.to_vec();
+    for (li, layer) in net.layers().iter().enumerate() {
+        let z = pre_activation_interval(layer, &iv)?;
+        if let Some(report) = report.as_deref_mut() {
+            report_saturation(path, li, layer, &z, config, report);
+        }
+        iv = z
+            .iter()
+            .map(|&zi| layer.activation().apply_interval(zi))
+            .collect();
+    }
+    Some(iv)
+}
+
+/// Tightest interval extension of `W x + b` over a box, in centre/radius
+/// form (mirrors `Dense::forward_interval`).
+fn pre_activation_interval(layer: &Dense, input: &[Interval]) -> Option<Vec<Interval>> {
+    let w = layer.weights();
+    if w.cols() != input.len()
+        || w.as_slice().len() != w.rows() * w.cols()
+        || layer.biases().len() != w.rows()
+    {
+        return None;
+    }
+    let centre: Vec<f64> = input.iter().map(Interval::mid).collect();
+    let radius: Vec<f64> = input.iter().map(Interval::radius).collect();
+    Some(
+        (0..w.rows())
+            .map(|r| {
+                let mut zc = layer.biases()[r];
+                let mut zr = 0.0;
+                for c in 0..w.cols() {
+                    zc += w[(r, c)] * centre[c];
+                    zr += w[(r, c)].abs() * radius[c];
+                }
+                Interval::new(zc - zr, zc + zr)
+            })
+            .collect(),
+    )
+}
+
+/// Is the activation provably flat (constant output) on the whole
+/// pre-activation interval?
+fn unit_saturated(activation: Activation, z: Interval, margin: f64) -> bool {
+    match activation {
+        // tanh(±4) is within 7e-4 of ±1; past the margin the unit is a
+        // constant for all practical purposes
+        Activation::Tanh => z.lo() >= margin || z.hi() <= -margin,
+        // sigmoid flattens about twice as slowly as tanh
+        Activation::Sigmoid => z.lo() >= 2.0 * margin || z.hi() <= -2.0 * margin,
+        // a ReLU that never sees positive input is exactly dead
+        Activation::Relu => z.hi() <= 0.0,
+        // identity / leaky-relu / softplus never flatten to a constant
+        Activation::Identity | Activation::LeakyRelu { .. } | Activation::Softplus => false,
+    }
+}
+
+fn report_saturation(
+    path: &str,
+    li: usize,
+    layer: &Dense,
+    z: &[Interval],
+    config: &AnalysisConfig,
+    report: &mut AnalysisReport,
+) {
+    let saturated = z
+        .iter()
+        .filter(|&&zi| unit_saturated(layer.activation(), zi, config.saturation_margin))
+        .count();
+    if saturated == 0 {
+        return;
+    }
+    if saturated == z.len() {
+        report.push(Diagnostic::warn(
+            PASS,
+            "saturated-layer",
+            format!(
+                "{path} layer {li}: all {saturated} {:?} units are saturated over the whole \
+                 verification domain — the layer computes a constant and the controller \
+                 cannot react to the state",
+                layer.activation()
+            ),
+        ));
+    } else {
+        report.push(Diagnostic::info(
+            PASS,
+            "saturated-units",
+            format!(
+                "{path} layer {li}: {saturated}/{} {:?} units saturated over the domain",
+                z.len(),
+                layer.activation()
+            ),
+        ));
+    }
+}
+
+fn render_box(ivs: &[Interval]) -> String {
+    let dims: Vec<String> = ivs
+        .iter()
+        .map(|iv| format!("[{:.4}, {:.4}]", iv.lo(), iv.hi()))
+        .collect();
+    dims.join(" x ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocktail_nn::MlpBuilder;
+
+    #[test]
+    fn pre_activation_matches_dense_forward_interval_post_activation() {
+        let net = MlpBuilder::new(2)
+            .hidden(5, Activation::Tanh)
+            .output(1, Activation::Identity)
+            .seed(3)
+            .build();
+        let domain = BoxRegion::cube(2, -1.5, 1.5);
+        // the whole-network propagation must agree with the existing IBP
+        let ours = net_interval(
+            &net,
+            "t",
+            domain.intervals(),
+            &AnalysisConfig::default(),
+            None,
+        )
+        .expect("well-formed");
+        let theirs = net.bounds(&domain);
+        for (a, b) in ours.iter().zip(&theirs) {
+            assert!((a.lo() - b.lo()).abs() < 1e-12 && (a.hi() - b.hi()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dead_relu_layer_is_flagged() {
+        let mut report = AnalysisReport::new();
+        // one ReLU unit with a large negative bias: dead on [-1, 1]^2
+        let layer = Dense::from_parts(
+            cocktail_math::Matrix::from_rows(vec![vec![0.1, 0.1]]),
+            vec![-10.0],
+            Activation::Relu,
+        );
+        let z = pre_activation_interval(&layer, BoxRegion::cube(2, -1.0, 1.0).intervals())
+            .expect("well-formed");
+        report_saturation("t", 0, &layer, &z, &AnalysisConfig::default(), &mut report);
+        assert!(report.has_code("saturated-layer"), "{report}");
+    }
+
+    #[test]
+    fn identity_layers_never_saturate() {
+        assert!(!unit_saturated(
+            Activation::Identity,
+            Interval::new(100.0, 200.0),
+            4.0
+        ));
+        assert!(unit_saturated(
+            Activation::Tanh,
+            Interval::new(4.5, 9.0),
+            4.0
+        ));
+        assert!(unit_saturated(
+            Activation::Tanh,
+            Interval::new(-9.0, -4.5),
+            4.0
+        ));
+        assert!(!unit_saturated(
+            Activation::Tanh,
+            Interval::new(-1.0, 1.0),
+            4.0
+        ));
+    }
+}

@@ -3,6 +3,12 @@
 //! (reachable sets): Bernstein certification, grid-fixpoint invariance and
 //! both reachability modes, at reduced sizes.
 
+#![allow(
+    clippy::expect_used,
+    clippy::unwrap_used,
+    reason = "experiment harness code aborts on failure by design"
+)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use cocktail_core::experts::reference_laws;
@@ -26,8 +32,14 @@ fn bench_fig2_trace(c: &mut Criterion) {
     let attack = AttackModel::scaled_to(&sys.verification_domain(), 0.12, true);
     c.bench_function("fig2/attacked_signal_trace", |b| {
         b.iter(|| {
-            signal_trace(sys.as_ref(), black_box(&controller), &[1.5, 1.5], &attack, 42)
-        })
+            signal_trace(
+                sys.as_ref(),
+                black_box(&controller),
+                &[1.5, 1.5],
+                &attack,
+                42,
+            )
+        });
     });
 }
 
@@ -51,7 +63,7 @@ fn bench_fig3_machinery(c: &mut Criterion) {
         b.iter(|| {
             BernsteinCertificate::build(black_box(&net), &[20.0], &domain, &cert_cfg)
                 .expect("fits budget")
-        })
+        });
     });
     let enc = LinearEnclosure::new(Matrix::from_rows(vec![vec![3.0, 4.0]]));
     group.bench_function("invariant_grid24_linear", |b| {
@@ -59,10 +71,13 @@ fn bench_fig3_machinery(c: &mut Criterion) {
             invariant_set(
                 sys.as_ref(),
                 black_box(&enc),
-                &InvariantConfig { grid: 24, max_iterations: 200 },
+                &InvariantConfig {
+                    grid: 24,
+                    max_iterations: 200,
+                },
             )
             .expect("dimensions agree")
-        })
+        });
     });
     group.finish();
 }
@@ -73,19 +88,25 @@ fn bench_fig4_machinery(c: &mut Criterion) {
     let x0 = BoxRegion::from_bounds(&[-0.11, 0.205, 0.1], &[-0.105, 0.21, 0.11]);
     let mut group = c.benchmark_group("fig4");
     group.sample_size(10);
-    for (name, mode) in
-        [("reach_paving_10", ReachMode::GridPaving), ("reach_subdivision_10", ReachMode::Subdivision)]
-    {
+    for (name, mode) in [
+        ("reach_paving_10", ReachMode::GridPaving),
+        ("reach_subdivision_10", ReachMode::Subdivision),
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 reach_analysis(
                     sys.as_ref(),
                     black_box(&enc),
                     &x0,
-                    &ReachConfig { steps: 10, split_width: 0.02, mode, ..Default::default() },
+                    &ReachConfig {
+                        steps: 10,
+                        split_width: 0.02,
+                        mode,
+                        ..Default::default()
+                    },
                 )
                 .expect("verifies")
-            })
+            });
         });
     }
     group.finish();
@@ -121,7 +142,7 @@ fn bench_verification_scaling(c: &mut Criterion) {
             b.iter(|| {
                 BernsteinCertificate::build(black_box(&net), &[20.0], &domain, &cfg)
                     .expect("budget suffices")
-            })
+            });
         });
     }
     group.finish();

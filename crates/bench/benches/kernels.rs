@@ -2,6 +2,12 @@
 //! on: linear algebra, network inference/backprop, interval dynamics and
 //! Bernstein evaluation.
 
+#![allow(
+    clippy::expect_used,
+    clippy::unwrap_used,
+    reason = "experiment harness code aborts on failure by design"
+)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use cocktail_env::systems::{CartPole, Poly3d, VanDerPol};
@@ -11,11 +17,19 @@ use cocktail_nn::{loss, Activation, GradStore, MlpBuilder};
 use cocktail_verify::bernstein::BernsteinApprox;
 
 fn bench_matrix(c: &mut Criterion) {
-    let a = Matrix::from_fn(32, 32, |r, cc| ((r * 31 + cc * 17) % 13) as f64 / 13.0 - 0.5);
+    let a = Matrix::from_fn(32, 32, |r, cc| {
+        ((r * 31 + cc * 17) % 13) as f64 / 13.0 - 0.5
+    });
     let x: Vec<f64> = (0..32).map(|i| (i as f64 / 32.0) - 0.5).collect();
-    c.bench_function("matrix/matvec_32x32", |b| b.iter(|| black_box(&a).matvec(black_box(&x))));
-    c.bench_function("matrix/spectral_norm_32x32", |b| b.iter(|| black_box(&a).spectral_norm()));
-    c.bench_function("matrix/matmul_32x32", |b| b.iter(|| black_box(&a).matmul(black_box(&a))));
+    c.bench_function("matrix/matvec_32x32", |b| {
+        b.iter(|| black_box(&a).matvec(black_box(&x)));
+    });
+    c.bench_function("matrix/spectral_norm_32x32", |b| {
+        b.iter(|| black_box(&a).spectral_norm());
+    });
+    c.bench_function("matrix/matmul_32x32", |b| {
+        b.iter(|| black_box(&a).matmul(black_box(&a)));
+    });
 }
 
 fn bench_network(c: &mut Criterion) {
@@ -26,7 +40,9 @@ fn bench_network(c: &mut Criterion) {
         .seed(0)
         .build();
     let x = [0.1, -0.2, 0.05, 0.3];
-    c.bench_function("nn/forward_4-32-32-1", |b| b.iter(|| black_box(&net).forward(black_box(&x))));
+    c.bench_function("nn/forward_4-32-32-1", |b| {
+        b.iter(|| black_box(&net).forward(black_box(&x)));
+    });
     c.bench_function("nn/backward_4-32-32-1", |b| {
         let mut grads = GradStore::zeros_like(&net);
         b.iter(|| {
@@ -34,14 +50,18 @@ fn bench_network(c: &mut Criterion) {
             let cache = net.forward_cached(black_box(&x));
             let g = loss::mse_gradient(cache.output(), &[0.5]);
             net.backward(&cache, &g, &mut grads, 1.0)
-        })
+        });
     });
     c.bench_function("nn/input_gradient", |b| {
-        b.iter(|| black_box(&net).input_gradient(black_box(&x), &[1.0]))
+        b.iter(|| black_box(&net).input_gradient(black_box(&x), &[1.0]));
     });
-    c.bench_function("nn/lipschitz_constant", |b| b.iter(|| black_box(&net).lipschitz_constant()));
+    c.bench_function("nn/lipschitz_constant", |b| {
+        b.iter(|| black_box(&net).lipschitz_constant());
+    });
     let region = BoxRegion::cube(4, -0.5, 0.5);
-    c.bench_function("nn/ibp_bounds", |b| b.iter(|| black_box(&net).bounds(black_box(&region))));
+    c.bench_function("nn/ibp_bounds", |b| {
+        b.iter(|| black_box(&net).bounds(black_box(&region)));
+    });
 }
 
 fn bench_dynamics(c: &mut Criterion) {
@@ -49,19 +69,37 @@ fn bench_dynamics(c: &mut Criterion) {
     let p3d = Poly3d::new();
     let cp = CartPole::new();
     c.bench_function("env/vdp_step", |b| {
-        b.iter(|| vdp.step(black_box(&[1.0, -0.5]), black_box(&[2.0]), black_box(&[0.01])))
+        b.iter(|| {
+            vdp.step(
+                black_box(&[1.0, -0.5]),
+                black_box(&[2.0]),
+                black_box(&[0.01]),
+            )
+        });
     });
     c.bench_function("env/poly3d_step", |b| {
-        b.iter(|| p3d.step(black_box(&[0.1, 0.2, 0.3]), black_box(&[-1.0]), black_box(&[])))
+        b.iter(|| {
+            p3d.step(
+                black_box(&[0.1, 0.2, 0.3]),
+                black_box(&[-1.0]),
+                black_box(&[]),
+            )
+        });
     });
     c.bench_function("env/cartpole_step", |b| {
-        b.iter(|| cp.step(black_box(&[0.0, 0.1, 0.05, -0.1]), black_box(&[1.0]), black_box(&[])))
+        b.iter(|| {
+            cp.step(
+                black_box(&[0.0, 0.1, 0.05, -0.1]),
+                black_box(&[1.0]),
+                black_box(&[]),
+            )
+        });
     });
     let s = [Interval::new(-0.1, 0.1), Interval::new(-0.1, 0.1)];
     let u = [Interval::new(-1.0, 1.0)];
     let w = [Interval::symmetric(0.05)];
     c.bench_function("env/vdp_step_interval", |b| {
-        b.iter(|| vdp.step_interval(black_box(&s), black_box(&u), black_box(&w)))
+        b.iter(|| vdp.step_interval(black_box(&s), black_box(&u), black_box(&w)));
     });
 }
 
@@ -74,12 +112,16 @@ fn bench_bernstein(c: &mut Criterion) {
     let domain = BoxRegion::cube(2, -1.0, 1.0);
     let f = |x: &[f64]| net.forward(x)[0];
     c.bench_function("bernstein/build_deg4_2d", |b| {
-        b.iter(|| BernsteinApprox::build(&f, black_box(&domain), 4))
+        b.iter(|| BernsteinApprox::build(&f, black_box(&domain), 4));
     });
     let poly = BernsteinApprox::build(&f, &domain, 4);
     let q = BoxRegion::cube(2, -0.1, 0.1);
-    c.bench_function("bernstein/eval", |b| b.iter(|| poly.eval(black_box(&[0.3, -0.4]))));
-    c.bench_function("bernstein/enclose_subbox", |b| b.iter(|| poly.enclose(black_box(&q))));
+    c.bench_function("bernstein/eval", |b| {
+        b.iter(|| poly.eval(black_box(&[0.3, -0.4])));
+    });
+    c.bench_function("bernstein/enclose_subbox", |b| {
+        b.iter(|| poly.enclose(black_box(&q)));
+    });
 }
 
 criterion_group! {

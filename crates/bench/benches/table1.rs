@@ -5,6 +5,12 @@
 //! The `table1` *binary* regenerates the paper's numbers; this bench
 //! measures how fast the underlying machinery runs.
 
+#![allow(
+    clippy::expect_used,
+    clippy::unwrap_used,
+    reason = "experiment harness code aborts on failure by design"
+)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use cocktail_core::experts::{cloned_experts, reference_laws};
@@ -25,9 +31,12 @@ fn bench_evaluation(c: &mut Criterion) {
                 evaluate(
                     sys.as_ref(),
                     black_box(&controller),
-                    &EvalConfig { samples: 50, ..Default::default() },
+                    &EvalConfig {
+                        samples: 50,
+                        ..Default::default()
+                    },
                 )
-            })
+            });
         });
     }
     group.finish();
@@ -44,7 +53,7 @@ fn bench_pipeline_stages(c: &mut Criterion) {
             Cocktail::new(sys_id, experts.clone())
                 .with_config(Preset::Smoke.config())
                 .run()
-        })
+        });
     });
     group.finish();
 
@@ -59,9 +68,13 @@ fn bench_pipeline_stages(c: &mut Criterion) {
         b.iter(|| {
             direct_distill(
                 black_box(&data),
-                &DistillConfig { epochs: 50, hidden: 16, ..Default::default() },
+                &DistillConfig {
+                    epochs: 50,
+                    hidden: 16,
+                    ..Default::default()
+                },
             )
-        })
+        });
     });
     group.finish();
 }

@@ -1,13 +1,18 @@
 //! Criterion benchmarks for the computations behind **Table II**: FGSM
 //! direction generation and attacked closed-loop evaluation.
 
+#![allow(
+    clippy::expect_used,
+    clippy::unwrap_used,
+    reason = "experiment harness code aborts on failure by design"
+)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use cocktail_core::experts::reference_laws;
 use cocktail_core::metrics::{evaluate, EvalConfig};
 use cocktail_core::SystemId;
 use cocktail_distill::{fgsm_direction, AttackModel};
-use cocktail_env::Dynamics;
 
 fn bench_fgsm(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2/fgsm_direction");
@@ -17,7 +22,7 @@ fn bench_fgsm(c: &mut Criterion) {
         let controller = law1.controller("bench");
         let s = sys.initial_set().center();
         group.bench_function(sys_id.label(), |b| {
-            b.iter(|| fgsm_direction(black_box(&controller), black_box(&s)))
+            b.iter(|| fgsm_direction(black_box(&controller), black_box(&s)));
         });
     }
     group.finish();
@@ -37,9 +42,13 @@ fn bench_attacked_evaluation(c: &mut Criterion) {
                     evaluate(
                         sys.as_ref(),
                         black_box(&controller),
-                        &EvalConfig { samples: 25, attack: attack.clone(), ..Default::default() },
+                        &EvalConfig {
+                            samples: 25,
+                            attack: attack.clone(),
+                            ..Default::default()
+                        },
                     )
-                })
+                });
             });
         }
     }

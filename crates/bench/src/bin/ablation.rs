@@ -13,10 +13,16 @@
 //! cargo run --release -p cocktail-bench --bin ablation
 //! ```
 
+#![allow(
+    clippy::expect_used,
+    clippy::unwrap_used,
+    reason = "experiment harness code aborts on failure by design"
+)]
+
 use cocktail_bench::save_artifact;
+use cocktail_core::experiment::pipeline_config;
 use cocktail_core::experts::cloned_experts;
 use cocktail_core::metrics::{evaluate, EvalConfig};
-use cocktail_core::experiment::pipeline_config;
 use cocktail_core::pipeline::{Cocktail, CocktailConfig, MixingAlgorithm};
 use cocktail_core::{Preset, SystemId};
 use cocktail_distill::{robust_distill, DistillConfig, TeacherDataset};
@@ -61,7 +67,10 @@ fn main() {
     let sys_id = SystemId::Oscillator;
     let sys = sys_id.dynamics();
     let experts = cloned_experts(sys_id, 0);
-    let eval_cfg = EvalConfig { samples: preset.eval_samples(), ..Default::default() };
+    let eval_cfg = EvalConfig {
+        samples: preset.eval_samples(),
+        ..Default::default()
+    };
 
     // ---- 1. PPO vs DDPG mixing (Remark 1)
     println!("== ablation 1: mixing algorithm (Remark 1) ==");
@@ -82,10 +91,17 @@ fn main() {
         ),
     ] {
         let result = Cocktail::new(sys_id, experts.clone())
-            .with_config(CocktailConfig { mixing: algo, ..pipeline_config(sys_id, preset, 0) })
+            .with_config(CocktailConfig {
+                mixing: algo,
+                ..pipeline_config(sys_id, preset, 0)
+            })
             .run();
         let eval = evaluate(sys.as_ref(), result.mixed.as_ref(), &eval_cfg);
-        println!("  {name:<5} A_W: S_r {:5.1}%  e {:6.1}", eval.safe_rate_percent(), eval.mean_energy);
+        println!(
+            "  {name:<5} A_W: S_r {:5.1}%  e {:6.1}",
+            eval.safe_rate_percent(),
+            eval.mean_energy
+        );
         mixing_rows.push(MixingRow {
             algorithm: name.to_owned(),
             safe_rate_percent: eval.safe_rate_percent(),
@@ -98,20 +114,32 @@ fn main() {
         .with_config(pipeline_config(sys_id, preset, 0))
         .run()
         .mixed;
-    let data = TeacherDataset::sample_uniform(
-        teacher.as_ref(),
-        &sys.verification_domain(),
-        1024,
-        11,
-    )
-    .merge(TeacherDataset::sample_on_policy(teacher.as_ref(), sys.as_ref(), 8, 13));
-    let base = DistillConfig { epochs: 120, hidden: 24, fgsm_prob: 0.6, ..Default::default() };
+    let data =
+        TeacherDataset::sample_uniform(teacher.as_ref(), &sys.verification_domain(), 1024, 11)
+            .merge(TeacherDataset::sample_on_policy(
+                teacher.as_ref(),
+                sys.as_ref(),
+                8,
+                13,
+            ));
+    let base = DistillConfig {
+        epochs: 120,
+        hidden: 24,
+        fgsm_prob: 0.6,
+        ..Default::default()
+    };
 
     // ---- 2. λ sweep
     println!("\n== ablation 2: robust-distillation λ ==");
     let mut lambda_rows = Vec::new();
     for lambda in [0.0, 1e-3, 1e-2, 5e-2, 1e-1] {
-        let student = robust_distill(&data, &DistillConfig { lambda, ..base.clone() });
+        let student = robust_distill(
+            &data,
+            &DistillConfig {
+                lambda,
+                ..base.clone()
+            },
+        );
         let eval = evaluate(sys.as_ref(), &student, &eval_cfg);
         println!(
             "  λ {lambda:7.4}: L {:6.1}  S_r {:5.1}%  e {:6.1}",
@@ -131,8 +159,14 @@ fn main() {
     println!("\n== ablation 3: FGSM probability p ==");
     let mut prob_rows = Vec::new();
     for p in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let student =
-            robust_distill(&data, &DistillConfig { fgsm_prob: p, lambda: 5e-2, ..base.clone() });
+        let student = robust_distill(
+            &data,
+            &DistillConfig {
+                fgsm_prob: p,
+                lambda: 5e-2,
+                ..base.clone()
+            },
+        );
         let eval = evaluate(sys.as_ref(), &student, &eval_cfg);
         println!(
             "  p {p:4.2}: L {:6.1}  S_r {:5.1}%  e {:6.1}",
@@ -150,9 +184,17 @@ fn main() {
 
     // ---- 4. Bernstein certificate vs IBP enclosure
     println!("\n== ablation 4: controller enclosure back-end ==");
-    let student =
-        robust_distill(&data, &DistillConfig { lambda: 5e-2, ..base });
-    let inv_cfg = InvariantConfig { grid: 60, max_iterations: 1000 };
+    let student = robust_distill(
+        &data,
+        &DistillConfig {
+            lambda: 5e-2,
+            ..base
+        },
+    );
+    let inv_cfg = InvariantConfig {
+        grid: 60,
+        max_iterations: 1000,
+    };
     let mut enclosure_rows = Vec::new();
 
     let t0 = Instant::now();

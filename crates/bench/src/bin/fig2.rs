@@ -8,6 +8,12 @@
 //! cargo run --release -p cocktail-bench --bin fig2
 //! ```
 
+#![allow(
+    clippy::expect_used,
+    clippy::unwrap_used,
+    reason = "experiment harness code aborts on failure by design"
+)]
+
 use cocktail_bench::{save_artifact, selected_systems};
 use cocktail_core::experiment::{build_controller_set, fig2_trace, Fig2Trace, Preset};
 use cocktail_core::report::sparkline;
@@ -22,7 +28,10 @@ fn main() {
     let preset = Preset::from_env(Preset::Full);
     let mut artifacts: Vec<Fig2Trace> = Vec::new();
     for sys_id in selected_systems() {
-        println!("== {} (preset {preset:?}, FGSM δ fraction = {ATTACK_FRACTION}) ==", sys_id.label());
+        println!(
+            "== {} (preset {preset:?}, FGSM δ fraction = {ATTACK_FRACTION}) ==",
+            sys_id.label()
+        );
         let set = build_controller_set(sys_id, preset, 0);
         let trace = fig2_trace(&set, ATTACK_FRACTION, 42);
         println!(

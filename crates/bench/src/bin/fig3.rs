@@ -12,10 +12,16 @@
 //! cargo run --release -p cocktail-bench --bin fig3
 //! ```
 
+#![allow(
+    clippy::expect_used,
+    clippy::unwrap_used,
+    reason = "experiment harness code aborts on failure by design"
+)]
+
 use cocktail_bench::save_artifact;
+use cocktail_control::{Controller, NnController};
 use cocktail_core::experiment::{build_controller_set, Preset};
 use cocktail_core::SystemId;
-use cocktail_control::{Controller, NnController};
 use cocktail_env::{rollout, RolloutConfig};
 use cocktail_verify::{
     invariant_set, BernsteinCertificate, CertificateConfig, InvariantConfig, VerifyError,
@@ -83,7 +89,10 @@ fn analyze(
                         .cells()
                         .iter()
                         .map(|c| {
-                            c.intervals().iter().map(|iv| (iv.lo(), iv.hi())).collect::<Vec<_>>()
+                            c.intervals()
+                                .iter()
+                                .map(|iv| (iv.lo(), iv.hi()))
+                                .collect::<Vec<_>>()
                         })
                         .collect();
                     (
@@ -131,7 +140,10 @@ fn main() {
         max_pieces: 1 << 18,
         error_samples_per_dim: 9,
     };
-    let inv_cfg = InvariantConfig { grid: 60, max_iterations: 1000 };
+    let inv_cfg = InvariantConfig {
+        grid: 60,
+        max_iterations: 1000,
+    };
 
     let kappa_star = set.kappa_star.as_ref();
     let kappa_d = set.kappa_d.as_ref();
@@ -147,7 +159,8 @@ fn main() {
             side.lipschitz,
             side.bernstein_pieces.map_or("-".into(), |p| p.to_string()),
             side.epsilon.map_or("-".into(), |e| format!("{e:.3}")),
-            side.invariant_fraction.map_or("-".into(), |f| format!("{:.1}%", 100.0 * f)),
+            side.invariant_fraction
+                .map_or("-".into(), |f| format!("{:.1}%", 100.0 * f)),
             side.verification_seconds,
             side.failure.as_deref().unwrap_or("ok"),
         );
@@ -172,13 +185,19 @@ fn main() {
                     &mut control,
                     &mut no_attack,
                     &s0,
-                    &RolloutConfig { horizon: Some(300), seed: i as u64, ..Default::default() },
+                    &RolloutConfig {
+                        horizon: Some(300),
+                        seed: i as u64,
+                        ..Default::default()
+                    },
                 );
                 if traj.is_safe() {
                     safe += 1;
                 }
             }
-            println!("simulation check: {safe}/{total} trajectories from X_I(kappa_star) stayed safe");
+            println!(
+                "simulation check: {safe}/{total} trajectories from X_I(kappa_star) stayed safe"
+            );
             (total, safe)
         }
         Some(_) => (0, 0),

@@ -12,10 +12,16 @@
 //! cargo run --release -p cocktail-bench --bin fig4
 //! ```
 
+#![allow(
+    clippy::expect_used,
+    clippy::unwrap_used,
+    reason = "experiment harness code aborts on failure by design"
+)]
+
 use cocktail_bench::save_artifact;
+use cocktail_control::NnController;
 use cocktail_core::experiment::{build_controller_set, Preset};
 use cocktail_core::SystemId;
-use cocktail_control::NnController;
 use cocktail_math::BoxRegion;
 use cocktail_verify::reach::ReachMode;
 use cocktail_verify::{reach_analysis, BernsteinCertificate, CertificateConfig, ReachConfig};
@@ -138,8 +144,14 @@ fn main() {
         &cert_cfg,
         &reach_cfg,
     );
-    let side_d =
-        analyze("kappa_D", set.kappa_d.as_ref(), sys.as_ref(), &x0, &cert_cfg, &reach_cfg);
+    let side_d = analyze(
+        "kappa_D",
+        set.kappa_d.as_ref(),
+        sys.as_ref(),
+        &x0,
+        &cert_cfg,
+        &reach_cfg,
+    );
 
     for side in [&side_star, &side_d] {
         println!(

@@ -7,6 +7,12 @@
 //! COCKTAIL_FAST=1 COCKTAIL_SYSTEMS=oscillator cargo run -p cocktail-bench --bin table1
 //! ```
 
+#![allow(
+    clippy::expect_used,
+    clippy::unwrap_used,
+    reason = "experiment harness code aborts on failure by design"
+)]
+
 use cocktail_bench::{save_artifact, selected_systems};
 use cocktail_core::experiment::{build_controller_set, table1_rows, Preset, Table1Row};
 use cocktail_core::report::render_table1_text;
@@ -29,7 +35,11 @@ fn main() {
         let set = build_controller_set(sys_id, preset, 0);
         let rows = table1_rows(&set, preset.eval_samples(), 42);
         print!("{}", render_table1_text(&rows));
-        println!("[{}] pipeline+eval in {:.1?}\n", sys_id.label(), started.elapsed());
+        println!(
+            "[{}] pipeline+eval in {:.1?}\n",
+            sys_id.label(),
+            started.elapsed()
+        );
         artifacts.push(Table1Artifact {
             system: sys_id.label().to_owned(),
             preset: format!("{preset:?}"),

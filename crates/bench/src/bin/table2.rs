@@ -6,6 +6,12 @@
 //! cargo run --release -p cocktail-bench --bin table2
 //! ```
 
+#![allow(
+    clippy::expect_used,
+    clippy::unwrap_used,
+    reason = "experiment harness code aborts on failure by design"
+)]
+
 use cocktail_bench::{save_artifact, selected_systems};
 use cocktail_core::experiment::{build_controller_set, table2_entries, Preset, Table2Entry};
 use cocktail_core::report::render_table2_text;
@@ -26,7 +32,10 @@ fn main() {
     let preset = Preset::from_env(Preset::Full);
     let mut artifacts = Vec::new();
     for sys_id in selected_systems() {
-        println!("== {} (preset {preset:?}, δ fraction = {ATTACK_FRACTION} of state bound) ==", sys_id.label());
+        println!(
+            "== {} (preset {preset:?}, δ fraction = {ATTACK_FRACTION} of state bound) ==",
+            sys_id.label()
+        );
         let set = build_controller_set(sys_id, preset, 0);
         let entries = table2_entries(&set, ATTACK_FRACTION, preset.eval_samples(), 42);
         print!("{}", render_table2_text(&entries));

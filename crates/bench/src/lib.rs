@@ -6,14 +6,20 @@
 //!
 //! | binary   | paper artifact |
 //! |----------|----------------|
-//! | `table1` | Table I (S_r / e / L for the six controllers, three systems) |
-//! | `table2` | Table II (κ_D vs κ* under FGSM attacks and measurement noise) |
+//! | `table1` | Table I (`S_r` / e / L for the six controllers, three systems) |
+//! | `table2` | Table II (`κ_D` vs κ* under FGSM attacks and measurement noise) |
 //! | `fig2`   | Fig. 2 (normalized control signal under attack) |
 //! | `fig3`   | Fig. 3 (oscillator invariant set + verification time) |
-//! | `fig4`   | Fig. 4 (3D-system reachable set; κ_D budget blow-up) |
+//! | `fig4`   | Fig. 4 (3D-system reachable set; `κ_D` budget blow-up) |
 //!
 //! Set `COCKTAIL_FAST=1` to downgrade the preset for smoke runs, and
 //! `COCKTAIL_SYSTEMS=oscillator,3d,cartpole` to restrict the system list.
+
+#![allow(
+    clippy::expect_used,
+    clippy::unwrap_used,
+    reason = "experiment harness code aborts on failure by design"
+)]
 
 use cocktail_core::SystemId;
 use serde::Serialize;

@@ -39,9 +39,9 @@ pub mod switching;
 pub use controller::Controller;
 pub use linear::LinearFeedbackController;
 pub use lqr::{dlqr, linearize, lqr_controller, Linearization, SynthesizeLqrError};
+pub use mixed::ConstantWeights;
 pub use mixed::{MixedController, TanhWeightPolicy, WeightPolicy};
 pub use mpc::{MpcConfig, MpcController};
 pub use neural::NnController;
 pub use polynomial::PolynomialController;
-pub use mixed::ConstantWeights;
 pub use switching::{FnSelector, GreedySelector, Selector, SwitchingController};

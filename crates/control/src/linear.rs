@@ -33,13 +33,21 @@ impl LinearFeedbackController {
     /// Creates `u = −gain · s` (no bias).
     pub fn new(gain: Matrix) -> Self {
         let bias = vec![0.0; gain.rows()];
-        Self { gain, bias, label: "linear-feedback".to_owned() }
+        Self {
+            gain,
+            bias,
+            label: "linear-feedback".to_owned(),
+        }
     }
 
     /// Creates the controller with a custom label.
     pub fn with_name(gain: Matrix, label: impl Into<String>) -> Self {
         let bias = vec![0.0; gain.rows()];
-        Self { gain, bias, label: label.into() }
+        Self {
+            gain,
+            bias,
+            label: label.into(),
+        }
     }
 
     /// Creates the biased law `u = −gain · s + bias`.
@@ -48,8 +56,16 @@ impl LinearFeedbackController {
     ///
     /// Panics if `bias.len() != gain.rows()`.
     pub fn with_bias(gain: Matrix, bias: Vec<f64>, label: impl Into<String>) -> Self {
-        assert_eq!(bias.len(), gain.rows(), "bias length must match control dimension");
-        Self { gain, bias, label: label.into() }
+        assert_eq!(
+            bias.len(),
+            gain.rows(),
+            "bias length must match control dimension"
+        );
+        Self {
+            gain,
+            bias,
+            label: label.into(),
+        }
     }
 
     /// The gain matrix `K`.
@@ -93,7 +109,8 @@ mod tests {
 
     #[test]
     fn control_is_negative_gain_product() {
-        let k = LinearFeedbackController::new(Matrix::from_rows(vec![vec![2.0, 0.0], vec![0.0, 3.0]]));
+        let k =
+            LinearFeedbackController::new(Matrix::from_rows(vec![vec![2.0, 0.0], vec![0.0, 3.0]]));
         assert_eq!(k.control(&[1.0, -1.0]), vec![-2.0, 3.0]);
         assert_eq!(k.state_dim(), 2);
         assert_eq!(k.control_dim(), 2);
@@ -102,7 +119,9 @@ mod tests {
     #[test]
     fn lipschitz_is_gain_spectral_norm() {
         let k = LinearFeedbackController::new(Matrix::from_rows(vec![vec![3.0, 4.0]]));
-        let l = k.lipschitz(&BoxRegion::cube(2, -1.0, 1.0)).expect("linear always bounded");
+        let l = k
+            .lipschitz(&BoxRegion::cube(2, -1.0, 1.0))
+            .expect("linear always bounded");
         assert!((l - 5.0).abs() < 1e-9);
     }
 

@@ -35,7 +35,10 @@ impl fmt::Display for SynthesizeLqrError {
                 f.write_str("riccati recursion hit a singular R + B'PB")
             }
             SynthesizeLqrError::NotConverged { residual } => {
-                write!(f, "riccati recursion did not converge (residual {residual:.3e})")
+                write!(
+                    f,
+                    "riccati recursion did not converge (residual {residual:.3e})"
+                )
             }
         }
     }
@@ -177,9 +180,7 @@ pub fn dlqr(a: &Matrix, b: &Matrix, q: &Matrix, r: &Matrix) -> Result<Matrix, Sy
             return Ok(inverse(&gram)?.matmul(&btp).matmul(a));
         }
     }
-    Err(SynthesizeLqrError::NotConverged {
-        residual: f64::NAN,
-    })
+    Err(SynthesizeLqrError::NotConverged { residual: f64::NAN })
 }
 
 /// Convenience: linearize `sys` at the origin and synthesize the LQR
@@ -199,10 +200,24 @@ pub fn lqr_controller(
     control_weights: &[f64],
     label: &str,
 ) -> Result<LinearFeedbackController, SynthesizeLqrError> {
-    assert_eq!(state_weights.len(), sys.state_dim(), "state weight length mismatch");
-    assert_eq!(control_weights.len(), sys.control_dim(), "control weight length mismatch");
-    assert!(state_weights.iter().all(|&w| w > 0.0), "state weights must be positive");
-    assert!(control_weights.iter().all(|&w| w > 0.0), "control weights must be positive");
+    assert_eq!(
+        state_weights.len(),
+        sys.state_dim(),
+        "state weight length mismatch"
+    );
+    assert_eq!(
+        control_weights.len(),
+        sys.control_dim(),
+        "control weight length mismatch"
+    );
+    assert!(
+        state_weights.iter().all(|&w| w > 0.0),
+        "state weights must be positive"
+    );
+    assert!(
+        control_weights.iter().all(|&w| w > 0.0),
+        "control weights must be positive"
+    );
     let s_eq = vec![0.0; sys.state_dim()];
     let u_eq = vec![0.0; sys.control_dim()];
     let lin = linearize(sys, &s_eq, &u_eq);
@@ -263,7 +278,10 @@ mod tests {
         let k = dlqr(&a, &b, &q, &r).expect("stabilizable");
         let mut a_cl = a.clone();
         a_cl.axpy(-1.0, &b.matmul(&k));
-        assert!(spectral_radius(&a_cl) < 1.0, "closed loop must be Schur stable");
+        assert!(
+            spectral_radius(&a_cl) < 1.0,
+            "closed loop must be Schur stable"
+        );
     }
 
     #[test]
@@ -288,7 +306,10 @@ mod tests {
             s = sys.step(&s, &u, &[]);
             assert!(sys.is_safe(&s), "LQR lost the pole at {s:?}");
         }
-        assert!(s[2].abs() < 0.05, "pole should be nearly upright, got {s:?}");
+        assert!(
+            s[2].abs() < 0.05,
+            "pole should be nearly upright, got {s:?}"
+        );
     }
 
     #[test]
@@ -300,7 +321,10 @@ mod tests {
             let u = sys.clip_control(&controller.control(&s));
             s = sys.step(&s, &u, &[0.0]);
         }
-        assert!(cocktail_math::vector::norm_2(&s) < 0.2, "VdP not regulated: {s:?}");
+        assert!(
+            cocktail_math::vector::norm_2(&s) < 0.2,
+            "VdP not regulated: {s:?}"
+        );
     }
 
     #[test]

@@ -67,7 +67,11 @@ impl TanhWeightPolicy {
 
 impl WeightPolicy for TanhWeightPolicy {
     fn weights(&self, s: &[f64]) -> Vec<f64> {
-        self.net.forward(s).iter().map(|a| self.bound * a.tanh()).collect()
+        self.net
+            .forward(s)
+            .iter()
+            .map(|a| self.bound * a.tanh())
+            .collect()
     }
 
     fn expert_count(&self) -> usize {
@@ -138,13 +142,25 @@ impl MixedController {
         let sd = experts[0].state_dim();
         let cd = experts[0].control_dim();
         assert!(
-            experts.iter().all(|e| e.state_dim() == sd && e.control_dim() == cd),
+            experts
+                .iter()
+                .all(|e| e.state_dim() == sd && e.control_dim() == cd),
             "expert dimensions mismatch"
         );
-        assert_eq!(policy.expert_count(), experts.len(), "policy/expert count mismatch");
+        assert_eq!(
+            policy.expert_count(),
+            experts.len(),
+            "policy/expert count mismatch"
+        );
         assert_eq!(u_inf.len(), cd, "u_inf length mismatch");
         assert_eq!(u_sup.len(), cd, "u_sup length mismatch");
-        Self { experts, policy, u_inf, u_sup, label: label.into() }
+        Self {
+            experts,
+            policy,
+            u_inf,
+            u_sup,
+            label: label.into(),
+        }
     }
 
     /// The experts being mixed.
@@ -208,8 +224,12 @@ mod tests {
 
     fn experts() -> Vec<Arc<dyn Controller>> {
         vec![
-            Arc::new(LinearFeedbackController::new(Matrix::from_rows(vec![vec![1.0, 0.0]]))),
-            Arc::new(LinearFeedbackController::new(Matrix::from_rows(vec![vec![0.0, 1.0]]))),
+            Arc::new(LinearFeedbackController::new(Matrix::from_rows(vec![
+                vec![1.0, 0.0],
+            ]))),
+            Arc::new(LinearFeedbackController::new(Matrix::from_rows(vec![
+                vec![0.0, 1.0],
+            ]))),
         ]
     }
 

@@ -111,17 +111,32 @@ impl MpcController {
         let state_weights = if config.state_weights.is_empty() {
             vec![1.0; sys.state_dim()]
         } else {
-            assert_eq!(config.state_weights.len(), sys.state_dim(), "state weight length");
+            assert_eq!(
+                config.state_weights.len(),
+                sys.state_dim(),
+                "state weight length"
+            );
             config.state_weights.clone()
         };
         let control_weights = if config.control_weights.is_empty() {
             vec![0.1; sys.control_dim()]
         } else {
-            assert_eq!(config.control_weights.len(), sys.control_dim(), "control weight length");
+            assert_eq!(
+                config.control_weights.len(),
+                sys.control_dim(),
+                "control weight length"
+            );
             config.control_weights.clone()
         };
         let rng = Mutex::new(cocktail_math::rng::seeded(config.seed));
-        Self { sys, config, state_weights, control_weights, label: label.into(), rng }
+        Self {
+            sys,
+            config,
+            state_weights,
+            control_weights,
+            label: label.into(),
+            rng,
+        }
     }
 
     /// Stage cost of one planned step.
@@ -155,6 +170,10 @@ impl MpcController {
 }
 
 impl Controller for MpcController {
+    #[allow(
+        clippy::expect_used,
+        reason = "a poisoned rng mutex means a sibling thread already panicked, and the CEM loop always runs at least one iteration"
+    )]
     fn control(&self, s: &[f64]) -> Vec<f64> {
         use rand::SeedableRng;
         assert_eq!(s.len(), self.sys.state_dim(), "state dimension mismatch");
@@ -176,7 +195,12 @@ impl Controller for MpcController {
         // CEM over sequences: per-(step, dim) Gaussian mean/std
         let mut mean = vec![vec![0.0; m]; h];
         let mut std: Vec<Vec<f64>> = (0..h)
-            .map(|_| u_lo.iter().zip(&u_hi).map(|(&l, &hb)| 0.5 * (hb - l)).collect())
+            .map(|_| {
+                u_lo.iter()
+                    .zip(&u_hi)
+                    .map(|(&l, &hb)| 0.5 * (hb - l))
+                    .collect()
+            })
             .collect();
         let elites = ((self.config.samples as f64 * self.config.elite_fraction) as usize).max(2);
         let mut best_seq: Option<(f64, Vec<Vec<f64>>)> = None;
@@ -241,9 +265,16 @@ mod tests {
     use cocktail_env::systems::VanDerPol;
 
     fn mpc() -> MpcController {
+        // 5 CEM iterations: 3 is enough on average but leaves the
+        // closed-loop regulation test at the mercy of the sample stream.
         MpcController::new(
             Arc::new(VanDerPol::new()),
-            MpcConfig { horizon: 10, samples: 48, iterations: 3, ..Default::default() },
+            MpcConfig {
+                horizon: 10,
+                samples: 48,
+                iterations: 5,
+                ..Default::default()
+            },
         )
     }
 
@@ -287,7 +318,10 @@ mod tests {
             s = sys.step(&s, &u, &[0.0]);
             assert!(sys.is_safe(&s), "MPC left the safe region at {s:?}");
         }
-        assert!(cocktail_math::vector::norm_2(&s) < 0.6, "not regulated: {s:?}");
+        assert!(
+            cocktail_math::vector::norm_2(&s) < 0.6,
+            "not regulated: {s:?}"
+        );
     }
 
     #[test]

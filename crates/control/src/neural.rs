@@ -1,7 +1,7 @@
 //! Neural-network controllers.
 
 use crate::controller::Controller;
-use cocktail_math::{BoxRegion, vector};
+use cocktail_math::{vector, BoxRegion};
 use cocktail_nn::Mlp;
 use serde::{Deserialize, Serialize};
 
@@ -49,9 +49,17 @@ impl NnController {
     /// Panics if `scale.len() != net.output_dim()` or any scale is
     /// non-positive.
     pub fn with_name(net: Mlp, scale: Vec<f64>, label: impl Into<String>) -> Self {
-        assert_eq!(scale.len(), net.output_dim(), "scale length must match network output");
+        assert_eq!(
+            scale.len(),
+            net.output_dim(),
+            "scale length must match network output"
+        );
         assert!(scale.iter().all(|&s| s > 0.0), "scales must be positive");
-        Self { net, scale, label: label.into() }
+        Self {
+            net,
+            scale,
+            label: label.into(),
+        }
     }
 
     /// Wraps a network without scaling (`scale = 1`).
@@ -112,7 +120,10 @@ impl Controller for NnController {
 /// # Panics
 ///
 /// Panics if `domain.dim() != controller.state_dim()`.
-pub fn output_bounds(controller: &NnController, domain: &BoxRegion) -> Vec<cocktail_math::Interval> {
+pub fn output_bounds(
+    controller: &NnController,
+    domain: &BoxRegion,
+) -> Vec<cocktail_math::Interval> {
     controller
         .net
         .bounds(domain)
@@ -125,7 +136,12 @@ pub fn output_bounds(controller: &NnController, domain: &BoxRegion) -> Vec<cockt
 /// Maximum deviation `‖κ(a) − κ(b)‖₂ / ‖a − b‖₂` over sampled pairs —
 /// testing helper mirroring `cocktail_nn::lipschitz::empirical_lower_bound`
 /// but including the output scaling.
-pub fn empirical_slope(controller: &NnController, domain: &BoxRegion, samples: usize, seed: u64) -> f64 {
+pub fn empirical_slope(
+    controller: &NnController,
+    domain: &BoxRegion,
+    samples: usize,
+    seed: u64,
+) -> f64 {
     let mut rng = cocktail_math::rng::seeded(seed);
     let mut best: f64 = 0.0;
     for _ in 0..samples {
@@ -135,7 +151,10 @@ pub fn empirical_slope(controller: &NnController, domain: &BoxRegion, samples: u
         if dx < 1e-12 {
             continue;
         }
-        let dy = vector::norm_2(&vector::sub(&controller.control(&a), &controller.control(&b)));
+        let dy = vector::norm_2(&vector::sub(
+            &controller.control(&a),
+            &controller.control(&b),
+        ));
         best = best.max(dy / dx);
     }
     best

@@ -49,8 +49,14 @@ impl PolynomialController {
     pub fn with_name(polys: Vec<MultiPoly>, label: impl Into<String>) -> Self {
         assert!(!polys.is_empty(), "controller needs at least one output");
         let n = polys[0].nvars();
-        assert!(polys.iter().all(|p| p.nvars() == n), "polynomial arity mismatch");
-        Self { polys, label: label.into() }
+        assert!(
+            polys.iter().all(|p| p.nvars() == n),
+            "polynomial arity mismatch"
+        );
+        Self {
+            polys,
+            label: label.into(),
+        }
     }
 
     /// The component polynomials.
@@ -126,7 +132,11 @@ mod tests {
                 &k.control(&a),
                 &k.control(&b),
             ));
-            assert!(dy <= lb * dx * (1.0 + 1e-9), "slope {} > bound {lb}", dy / dx);
+            assert!(
+                dy <= lb * dx * (1.0 + 1e-9),
+                "slope {} > bound {lb}",
+                dy / dx
+            );
         }
     }
 
@@ -135,7 +145,9 @@ mod tests {
         // u = -3x ⇒ L = 3 on any domain
         let p = MultiPoly::from_terms(1, vec![(vec![1], -3.0)]);
         let k = PolynomialController::new(vec![p]);
-        let l = k.lipschitz(&BoxRegion::cube(1, -10.0, 10.0)).expect("computable");
+        let l = k
+            .lipschitz(&BoxRegion::cube(1, -10.0, 10.0))
+            .expect("computable");
         assert!((l - 3.0).abs() < 1e-12);
     }
 

@@ -55,7 +55,10 @@ impl GreedySelector {
     /// Panics if `lookahead == 0`.
     pub fn new(dynamics: Arc<dyn Dynamics>, lookahead: usize) -> Self {
         assert!(lookahead > 0, "lookahead must be at least one step");
-        Self { dynamics, lookahead }
+        Self {
+            dynamics,
+            lookahead,
+        }
     }
 
     /// Simulates `expert` from `s` and returns `(steps survived, energy)`.
@@ -76,10 +79,13 @@ impl GreedySelector {
 }
 
 impl Selector for GreedySelector {
+    #[allow(
+        clippy::expect_used,
+        reason = "probes is non-empty: an empty expert list is rejected on entry"
+    )]
     fn select(&self, s: &[f64], experts: &[Arc<dyn Controller>]) -> usize {
         assert!(!experts.is_empty(), "switching needs at least one expert");
-        let probes: Vec<(usize, f64)> =
-            experts.iter().map(|e| self.probe(s, e.as_ref())).collect();
+        let probes: Vec<(usize, f64)> = experts.iter().map(|e| self.probe(s, e.as_ref())).collect();
         let all_safe = probes.iter().all(|&(t, _)| t > self.lookahead);
         if all_safe {
             // cheapest expert
@@ -150,10 +156,16 @@ impl SwitchingController {
         let sd = experts[0].state_dim();
         let cd = experts[0].control_dim();
         assert!(
-            experts.iter().all(|e| e.state_dim() == sd && e.control_dim() == cd),
+            experts
+                .iter()
+                .all(|e| e.state_dim() == sd && e.control_dim() == cd),
             "expert dimensions mismatch"
         );
-        Self { experts, selector, label: label.into() }
+        Self {
+            experts,
+            selector,
+            label: label.into(),
+        }
     }
 
     /// The experts being switched among.

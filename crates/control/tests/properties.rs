@@ -13,8 +13,12 @@ use std::sync::Arc;
 
 fn experts(g1: f64, g2: f64) -> Vec<Arc<dyn Controller>> {
     vec![
-        Arc::new(LinearFeedbackController::new(Matrix::from_rows(vec![vec![g1, 0.5 * g1]]))),
-        Arc::new(LinearFeedbackController::new(Matrix::from_rows(vec![vec![0.3 * g2, g2]]))),
+        Arc::new(LinearFeedbackController::new(Matrix::from_rows(vec![
+            vec![g1, 0.5 * g1],
+        ]))),
+        Arc::new(LinearFeedbackController::new(Matrix::from_rows(vec![
+            vec![0.3 * g2, g2],
+        ]))),
     ]
 }
 

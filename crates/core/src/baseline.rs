@@ -37,8 +37,7 @@ pub fn switching_baseline(
     match kind {
         SwitchingKind::Learned(ppo) => {
             let mut mdp = SwitchingMdp::new(sys.clone(), experts.clone(), reward, seed);
-            let trained =
-                PpoTrainer::new(&ppo, sys.state_dim(), experts.len()).train(&mut mdp);
+            let trained = PpoTrainer::new(&ppo, sys.state_dim(), experts.len()).train(&mut mdp);
             SwitchingController::new(experts, Arc::new(PpoSelector::new(trained.policy)))
         }
         SwitchingKind::Greedy { lookahead } => {
@@ -65,7 +64,10 @@ mod tests {
             0,
         );
         let sys = sys_id.dynamics();
-        let cfg = EvalConfig { samples: 150, ..Default::default() };
+        let cfg = EvalConfig {
+            samples: 150,
+            ..Default::default()
+        };
         let sw = evaluate(sys.as_ref(), &a_s, &cfg);
         let weak = evaluate(sys.as_ref(), experts[1].as_ref(), &cfg);
         assert!(

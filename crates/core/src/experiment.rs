@@ -50,7 +50,11 @@ impl Preset {
                     hidden: 16,
                     ..Default::default()
                 },
-                distill: DistillConfig { epochs: 30, hidden: 16, ..Default::default() },
+                distill: DistillConfig {
+                    epochs: 30,
+                    hidden: 16,
+                    ..Default::default()
+                },
                 dataset_uniform: 256,
                 dataset_episodes: 2,
                 ..Default::default()
@@ -62,7 +66,13 @@ impl Preset {
                     hidden: 32,
                     ..Default::default()
                 },
-                distill: DistillConfig { epochs: 120, hidden: 24, lambda: 5e-2, fgsm_prob: 0.6, ..Default::default() },
+                distill: DistillConfig {
+                    epochs: 120,
+                    hidden: 24,
+                    lambda: 5e-2,
+                    fgsm_prob: 0.6,
+                    ..Default::default()
+                },
                 dataset_uniform: 1024,
                 dataset_episodes: 8,
                 ..Default::default()
@@ -74,7 +84,13 @@ impl Preset {
                     hidden: 48,
                     ..Default::default()
                 },
-                distill: DistillConfig { epochs: 250, hidden: 32, lambda: 5e-2, fgsm_prob: 0.6, ..Default::default() },
+                distill: DistillConfig {
+                    epochs: 250,
+                    hidden: 32,
+                    lambda: 5e-2,
+                    fgsm_prob: 0.6,
+                    ..Default::default()
+                },
                 dataset_uniform: 2048,
                 dataset_episodes: 16,
                 ..Default::default()
@@ -95,7 +111,10 @@ impl Preset {
     /// preset.
     pub fn switching_ppo(self) -> PpoConfig {
         let base = self.config().ppo;
-        PpoConfig { iterations: base.iterations / 2 + 1, ..base }
+        PpoConfig {
+            iterations: base.iterations / 2 + 1,
+            ..base
+        }
     }
 }
 
@@ -171,7 +190,10 @@ pub fn reward_overrides(sys_id: SystemId, reward: &mut cocktail_rl::RewardConfig
 /// (not `preset.config()` alone) whenever results should be comparable to
 /// the experiment harness.
 pub fn pipeline_config(sys_id: SystemId, preset: Preset, seed: u64) -> CocktailConfig {
-    let mut config = CocktailConfig { seed, ..preset.config() };
+    let mut config = CocktailConfig {
+        seed,
+        ..preset.config()
+    };
     distill_overrides(sys_id, &mut config.distill);
     reward_overrides(sys_id, &mut config.reward);
     config
@@ -183,7 +205,9 @@ pub fn build_controller_set(sys_id: SystemId, preset: Preset, seed: u64) -> Cont
     let experts = cloned_experts(sys_id, seed);
     let config = pipeline_config(sys_id, preset, seed);
     let reward = config.reward;
-    let result = Cocktail::new(sys_id, experts.clone()).with_config(config).run();
+    let result = Cocktail::new(sys_id, experts.clone())
+        .with_config(config)
+        .run();
     // default A_S: deterministic greedy lookahead (the learned variant is
     // available through `baseline::switching_baseline` but is less stable
     // at small training budgets)
@@ -228,7 +252,11 @@ pub fn table1_rows(set: &ControllerSet, samples: usize, seed: u64) -> Vec<Table1
             let eval = evaluate(
                 sys.as_ref(),
                 c.as_ref(),
-                &EvalConfig { samples, seed, ..Default::default() },
+                &EvalConfig {
+                    samples,
+                    seed,
+                    ..Default::default()
+                },
             );
             Table1Row {
                 controller: label.to_owned(),
@@ -265,9 +293,10 @@ pub fn table2_entries(
     let domain = sys.verification_domain();
     let mut out = Vec::with_capacity(4);
     for (threat, adversarial) in [("adversarial", true), ("noise", false)] {
-        for (label, c) in
-            [("kappa_D", set.kappa_d.clone()), ("kappa_star", set.kappa_star.clone())]
-        {
+        for (label, c) in [
+            ("kappa_D", set.kappa_d.clone()),
+            ("kappa_star", set.kappa_star.clone()),
+        ] {
             let eval = evaluate(
                 sys.as_ref(),
                 c.as_ref(),
@@ -313,11 +342,16 @@ pub fn fig2_trace(set: &ControllerSet, fraction: f64, seed: u64) -> Fig2Trace {
     };
     let (_, u_hi) = sys.control_bounds();
     let norm = u_hi[0];
-    let normalize =
-        |trace: Vec<f64>| trace.into_iter().map(|u| u / norm).collect::<Vec<f64>>();
+    let normalize = |trace: Vec<f64>| trace.into_iter().map(|u| u / norm).collect::<Vec<f64>>();
     Fig2Trace {
         system: set.system.label().to_owned(),
-        kappa_d: normalize(signal_trace(sys.as_ref(), set.kappa_d.as_ref(), &s0, &attack, seed)),
+        kappa_d: normalize(signal_trace(
+            sys.as_ref(),
+            set.kappa_d.as_ref(),
+            &s0,
+            &attack,
+            seed,
+        )),
         kappa_star: normalize(signal_trace(
             sys.as_ref(),
             set.kappa_star.as_ref(),
@@ -347,7 +381,10 @@ mod tests {
         let rows = table1_rows(set, 60, 1);
         assert_eq!(rows.len(), 6);
         let labels: Vec<&str> = rows.iter().map(|r| r.controller.as_str()).collect();
-        assert_eq!(labels, vec!["kappa1", "kappa2", "A_S", "A_W", "kappa_D", "kappa_star"]);
+        assert_eq!(
+            labels,
+            vec!["kappa1", "kappa2", "A_S", "A_W", "kappa_D", "kappa_star"]
+        );
         // Lipschitz: present for the neural/poly controllers, absent for A_S/A_W
         assert!(rows[0].lipschitz.is_some());
         assert!(rows[2].lipschitz.is_none());
@@ -360,7 +397,9 @@ mod tests {
         let set = oscillator_smoke_set();
         let entries = table2_entries(set, 0.1, 60, 1);
         assert_eq!(entries.len(), 4);
-        assert!(entries.iter().all(|e| (0.0..=100.0).contains(&e.safe_rate_percent)));
+        assert!(entries
+            .iter()
+            .all(|e| (0.0..=100.0).contains(&e.safe_rate_percent)));
     }
 
     #[test]

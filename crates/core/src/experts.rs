@@ -70,8 +70,14 @@ pub fn reference_laws(sys: SystemId) -> (ExpertLaw, ExpertLaw) {
             ExpertLaw::new(Matrix::from_rows(vec![vec![0.8, 1.6, 1.6]]), vec![-0.25]),
         ),
         SystemId::CartPole => (
-            ExpertLaw::new(Matrix::from_rows(vec![vec![-2.0, -4.0, -45.0, -10.0]]), vec![3.0]),
-            ExpertLaw::new(Matrix::from_rows(vec![vec![-0.5, -1.5, -25.0, -5.0]]), vec![-0.8]),
+            ExpertLaw::new(
+                Matrix::from_rows(vec![vec![-2.0, -4.0, -45.0, -10.0]]),
+                vec![3.0],
+            ),
+            ExpertLaw::new(
+                Matrix::from_rows(vec![vec![-0.5, -1.5, -25.0, -5.0]]),
+                vec![-0.8],
+            ),
         ),
     }
 }
@@ -88,15 +94,19 @@ fn clone_law(
     let teacher = law.controller(label);
     let (_, u_hi) = sys.control_bounds();
     // dataset: the verification domain plus the teacher's own trajectories
-    let uniform =
-        TeacherDataset::sample_uniform(&teacher, &sys.verification_domain(), 1024, seed);
+    let uniform = TeacherDataset::sample_uniform(&teacher, &sys.verification_domain(), 1024, seed);
     let on_policy = TeacherDataset::sample_on_policy(&teacher, sys, 8, seed.wrapping_add(1));
     let data = uniform.merge(on_policy);
     // targets are normalized into [-1, 1] for the tanh output
     let targets: Vec<Vec<f64>> = data
         .controls()
         .iter()
-        .map(|u| u.iter().zip(&u_hi).map(|(&v, &h)| (v / h).clamp(-1.0, 1.0)).collect())
+        .map(|u| {
+            u.iter()
+                .zip(&u_hi)
+                .map(|(&v, &h)| (v / h).clamp(-1.0, 1.0))
+                .collect()
+        })
         .collect();
     let mut net = MlpBuilder::new(sys.state_dim())
         .hidden(hidden, Activation::Tanh)
@@ -108,7 +118,12 @@ fn clone_law(
         &mut net,
         data.states(),
         &targets,
-        &TrainConfig { epochs: 60, learning_rate: 5e-3, seed, ..Default::default() },
+        &TrainConfig {
+            epochs: 60,
+            learning_rate: 5e-3,
+            seed,
+            ..Default::default()
+        },
     );
     NnController::with_name(net, u_hi, label)
 }
@@ -119,8 +134,13 @@ fn clone_law(
 pub fn cloned_experts(sys_id: SystemId, seed: u64) -> Vec<Arc<dyn Controller>> {
     let sys = sys_id.dynamics();
     let (law1, law2) = reference_laws(sys_id);
-    let kappa1: Arc<dyn Controller> =
-        Arc::new(clone_law(sys.as_ref(), &law1, 32, "kappa1", seed.wrapping_add(100)));
+    let kappa1: Arc<dyn Controller> = Arc::new(clone_law(
+        sys.as_ref(),
+        &law1,
+        32,
+        "kappa1",
+        seed.wrapping_add(100),
+    ));
     let kappa2: Arc<dyn Controller> = match sys_id {
         // the paper's 3D κ₂ is the model-based polynomial controller [25]
         SystemId::Poly3d => {
@@ -137,7 +157,13 @@ pub fn cloned_experts(sys_id: SystemId, seed: u64) -> Vec<Arc<dyn Controller>> {
                 .collect();
             Arc::new(PolynomialController::with_name(polys, "kappa2"))
         }
-        _ => Arc::new(clone_law(sys.as_ref(), &law2, 16, "kappa2", seed.wrapping_add(200))),
+        _ => Arc::new(clone_law(
+            sys.as_ref(),
+            &law2,
+            16,
+            "kappa2",
+            seed.wrapping_add(200),
+        )),
     };
     vec![kappa1, kappa2]
 }
@@ -150,8 +176,7 @@ pub fn ddpg_expert(sys_id: SystemId, config: &DdpgConfig, label: &str) -> NnCont
     let sys = sys_id.dynamics();
     let (_, u_hi) = sys.control_bounds();
     let mut mdp = DirectControlMdp::new(sys.clone(), RewardConfig::default(), config.seed);
-    let trained =
-        DdpgTrainer::new(config, sys.state_dim(), sys.control_dim()).train(&mut mdp);
+    let trained = DdpgTrainer::new(config, sys.state_dim(), sys.control_dim()).train(&mut mdp);
     NnController::with_name(trained.actor, u_hi, label)
 }
 
@@ -190,7 +215,11 @@ mod tests {
             let got = experts[0].control(&s);
             err_acc += (want[0] - got[0]).abs();
         }
-        assert!(err_acc / (n as f64) < 2.0, "mean cloning error {}", err_acc / n as f64);
+        assert!(
+            err_acc / (n as f64) < 2.0,
+            "mean cloning error {}",
+            err_acc / n as f64
+        );
     }
 
     #[test]
@@ -198,13 +227,24 @@ mod tests {
         let sys_id = SystemId::Oscillator;
         let sys = sys_id.dynamics();
         let experts = oscillator_experts();
-        let cfg = EvalConfig { samples: 200, ..Default::default() };
+        let cfg = EvalConfig {
+            samples: 200,
+            ..Default::default()
+        };
         let e1 = evaluate(sys.as_ref(), experts[0].as_ref(), &cfg);
         let e2 = evaluate(sys.as_ref(), experts[1].as_ref(), &cfg);
         // complementary flaws: both imperfect (well below 100 %), with κ₁
         // burning clearly more energy (its aggressive gain + larger bias)
-        assert!(e1.safe_rate > 0.5 && e1.safe_rate < 0.95, "κ1 S_r {}", e1.safe_rate);
-        assert!(e2.safe_rate > 0.5 && e2.safe_rate < 0.95, "κ2 S_r {}", e2.safe_rate);
+        assert!(
+            e1.safe_rate > 0.5 && e1.safe_rate < 0.95,
+            "κ1 S_r {}",
+            e1.safe_rate
+        );
+        assert!(
+            e2.safe_rate > 0.5 && e2.safe_rate < 0.95,
+            "κ2 S_r {}",
+            e2.safe_rate
+        );
         assert!(
             e1.mean_energy > 1.15 * e2.mean_energy,
             "κ1 e {} vs κ2 e {}",
@@ -231,7 +271,9 @@ mod tests {
         // the polynomial expert has a very small Lipschitz constant,
         // mirroring the paper's L = 0.72 for the 3D κ₂
         let domain = SystemId::Poly3d.dynamics().verification_domain();
-        let l = experts[1].lipschitz(&domain).expect("polynomial controller");
+        let l = experts[1]
+            .lipschitz(&domain)
+            .expect("polynomial controller");
         assert!(l < 5.0, "polynomial expert L = {l}");
     }
 }

@@ -50,6 +50,7 @@ pub mod policy;
 pub mod report;
 pub mod system;
 
+pub use cocktail_analysis::PreflightMode;
 pub use experiment::Preset;
 pub use metrics::{evaluate, EvalConfig, Evaluation};
 pub use pipeline::{Cocktail, CocktailConfig, CocktailResult, MixingAlgorithm};

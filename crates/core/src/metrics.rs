@@ -21,7 +21,12 @@ pub struct EvalConfig {
 
 impl Default for EvalConfig {
     fn default() -> Self {
-        Self { samples: 500, seed: 42, attack: AttackModel::None, horizon: None }
+        Self {
+            samples: 500,
+            seed: 42,
+            attack: AttackModel::None,
+            horizon: None,
+        }
     }
 }
 
@@ -61,7 +66,9 @@ fn evaluate_one(
     i: usize,
 ) -> Option<f64> {
     let mut control_fn = |s: &[f64]| controller.control(s);
-    let mut perturb = config.attack.perturbation(controller, config.seed ^ (i as u64) << 1);
+    let mut perturb = config
+        .attack
+        .perturbation(controller, config.seed ^ (i as u64) << 1);
     let traj = rollout(
         sys,
         &mut control_fn,
@@ -92,15 +99,26 @@ pub fn evaluate(
     config: &EvalConfig,
 ) -> Evaluation {
     assert!(config.samples > 0, "evaluation needs at least one sample");
-    assert_eq!(controller.state_dim(), sys.state_dim(), "controller state dim mismatch");
-    assert_eq!(controller.control_dim(), sys.control_dim(), "controller control dim mismatch");
+    assert_eq!(
+        controller.state_dim(),
+        sys.state_dim(),
+        "controller state dim mismatch"
+    );
+    assert_eq!(
+        controller.control_dim(),
+        sys.control_dim(),
+        "controller control dim mismatch"
+    );
     let x0 = sys.initial_set();
     // draw all initial states from one sequential stream (determinism)
     let mut rng = cocktail_math::rng::seeded(config.seed);
-    let starts: Vec<Vec<f64>> =
-        (0..config.samples).map(|_| cocktail_math::rng::uniform_in_box(&mut rng, &x0)).collect();
+    let starts: Vec<Vec<f64>> = (0..config.samples)
+        .map(|_| cocktail_math::rng::uniform_in_box(&mut rng, &x0))
+        .collect();
 
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let results: Vec<Option<f64>> = if workers <= 1 || config.samples < 8 {
         starts
             .iter()
@@ -153,7 +171,11 @@ pub fn signal_trace(
     attack: &AttackModel,
     seed: u64,
 ) -> Vec<f64> {
-    assert_eq!(sys.control_dim(), 1, "signal traces are for single-input plants");
+    assert_eq!(
+        sys.control_dim(),
+        1,
+        "signal traces are for single-input plants"
+    );
     let mut control_fn = |s: &[f64]| controller.control(s);
     let mut perturb = attack.perturbation(controller, seed);
     let traj = rollout(
@@ -161,7 +183,11 @@ pub fn signal_trace(
         &mut control_fn,
         &mut perturb,
         s0,
-        &RolloutConfig { seed: seed.wrapping_add(1), stop_on_violation: false, ..Default::default() },
+        &RolloutConfig {
+            seed: seed.wrapping_add(1),
+            stop_on_violation: false,
+            ..Default::default()
+        },
     );
     traj.controls.iter().map(|u| u[0]).collect()
 }
@@ -184,7 +210,14 @@ mod tests {
     #[test]
     fn good_controller_scores_high_safe_rate() {
         let sys = VanDerPol::new();
-        let eval = evaluate(&sys, &damped(), &EvalConfig { samples: 200, ..Default::default() });
+        let eval = evaluate(
+            &sys,
+            &damped(),
+            &EvalConfig {
+                samples: 200,
+                ..Default::default()
+            },
+        );
         assert!(eval.safe_rate > 0.8, "S_r {}", eval.safe_rate);
         assert!(eval.mean_energy > 0.0);
         assert_eq!(eval.samples, 200);
@@ -193,16 +226,31 @@ mod tests {
     #[test]
     fn zero_controller_scores_lower() {
         let sys = VanDerPol::new();
-        let cfg = EvalConfig { samples: 200, ..Default::default() };
+        let cfg = EvalConfig {
+            samples: 200,
+            ..Default::default()
+        };
         let good = evaluate(&sys, &damped(), &cfg);
         let bad = evaluate(&sys, &undamped(), &cfg);
-        assert!(bad.safe_rate < good.safe_rate, "bad {} good {}", bad.safe_rate, good.safe_rate);
+        assert!(
+            bad.safe_rate < good.safe_rate,
+            "bad {} good {}",
+            bad.safe_rate,
+            good.safe_rate
+        );
     }
 
     #[test]
     fn attack_degrades_or_matches_nominal() {
         let sys = VanDerPol::new();
-        let nominal = evaluate(&sys, &damped(), &EvalConfig { samples: 150, ..Default::default() });
+        let nominal = evaluate(
+            &sys,
+            &damped(),
+            &EvalConfig {
+                samples: 150,
+                ..Default::default()
+            },
+        );
         let attacked = evaluate(
             &sys,
             &damped(),
@@ -218,7 +266,11 @@ mod tests {
     #[test]
     fn evaluation_is_seed_deterministic() {
         let sys = VanDerPol::new();
-        let cfg = EvalConfig { samples: 50, seed: 9, ..Default::default() };
+        let cfg = EvalConfig {
+            samples: 50,
+            seed: 9,
+            ..Default::default()
+        };
         let a = evaluate(&sys, &damped(), &cfg);
         let b = evaluate(&sys, &damped(), &cfg);
         assert_eq!(a, b);
@@ -234,7 +286,12 @@ mod tests {
 
     #[test]
     fn safe_percent_scales() {
-        let e = Evaluation { safe_rate: 0.984, mean_energy: 1.0, safe_count: 492, samples: 500 };
+        let e = Evaluation {
+            safe_rate: 0.984,
+            mean_energy: 1.0,
+            safe_count: 492,
+            samples: 500,
+        };
         assert!((e.safe_rate_percent() - 98.4).abs() < 1e-12);
     }
 }

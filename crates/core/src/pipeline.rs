@@ -2,6 +2,7 @@
 
 use crate::policy::{DdpgWeightPolicy, PpoWeightPolicy};
 use crate::system::SystemId;
+use cocktail_analysis::{AnalysisReport, Analyzer, ControllerSpec, Diagnostic, PreflightMode};
 use cocktail_control::{Controller, MixedController, NnController, WeightPolicy};
 use cocktail_distill::{direct_distill, robust_distill, DistillConfig, TeacherDataset};
 use cocktail_rl::ddpg::{DdpgConfig, DdpgTrainer, EpisodeStats};
@@ -40,6 +41,11 @@ pub struct CocktailConfig {
     pub dataset_uniform: usize,
     /// On-policy teacher episodes added to the dataset.
     pub dataset_episodes: usize,
+    /// Static-analysis gate: expert shapes are checked before the RL
+    /// stage and the distilled students are linted before the run
+    /// returns. [`PreflightMode::Warn`] prints findings to stderr;
+    /// [`PreflightMode::Deny`] panics on error-level findings.
+    pub preflight: PreflightMode,
     /// Master seed.
     pub seed: u64,
 }
@@ -54,6 +60,7 @@ impl Default for CocktailConfig {
             distill: DistillConfig::default(),
             dataset_uniform: 2048,
             dataset_episodes: 16,
+            preflight: PreflightMode::default(),
             seed: 0,
         }
     }
@@ -99,7 +106,11 @@ impl Cocktail {
     /// Panics if `experts` is empty.
     pub fn new(system: SystemId, experts: Vec<Arc<dyn Controller>>) -> Self {
         assert!(!experts.is_empty(), "cocktail needs at least one expert");
-        Self { system, experts, config: CocktailConfig::default() }
+        Self {
+            system,
+            experts,
+            config: CocktailConfig::default(),
+        }
     }
 
     /// Overrides the configuration.
@@ -113,6 +124,16 @@ impl Cocktail {
     pub fn run(self) -> CocktailResult {
         let sys = self.system.dynamics();
         let cfg = &self.config;
+
+        // ---- pre-flight gate: expert shapes vs the plant, before any
+        // RL budget is spent on a run that cannot succeed
+        if cfg.preflight != PreflightMode::Off {
+            apply_gate(
+                cfg.preflight,
+                "pre-flight",
+                &self.expert_shape_report(sys.as_ref()),
+            );
+        }
 
         // ---- stage 1: RL-based adaptive mixing (Alg. 1 lines 2-10)
         let mut mdp = MixingMdp::new(
@@ -166,7 +187,104 @@ impl Cocktail {
         let kappa_d = Arc::new(direct_distill(&data, &cfg.distill));
         let kappa_star = Arc::new(robust_distill(&data, &cfg.distill));
 
-        CocktailResult { mixed, kappa_d, kappa_star, ppo_history, ddpg_history }
+        // ---- post-distillation gate: lint the students before handing
+        // them to evaluation / verification
+        if cfg.preflight != PreflightMode::Off {
+            let analyzer = Analyzer::new(sys.clone());
+            let mut report = AnalysisReport::new();
+            for (name, student) in [("kappa_d", &kappa_d), ("kappa_star", &kappa_star)] {
+                let spec = ControllerSpec::from_network(
+                    student.network().clone(),
+                    student.scale().to_vec(),
+                );
+                let mut student_report = AnalysisReport::new();
+                for d in analyzer.analyze(&spec).diagnostics() {
+                    student_report.push(Diagnostic {
+                        message: format!("{name}: {}", d.message),
+                        ..d.clone()
+                    });
+                }
+                report.merge(student_report);
+            }
+            apply_gate(cfg.preflight, "student", &report);
+        }
+
+        CocktailResult {
+            mixed,
+            kappa_d,
+            kappa_star,
+            ppo_history,
+            ddpg_history,
+        }
+    }
+
+    /// Shape checks the analyzer cannot do on opaque `dyn Controller`
+    /// experts: every expert must read the plant's states and emit its
+    /// controls, or the mixture `Σ aᵢκᵢ(s)` is undefined.
+    fn expert_shape_report(&self, sys: &dyn cocktail_env::Dynamics) -> AnalysisReport {
+        let mut report = AnalysisReport::new();
+        for (i, e) in self.experts.iter().enumerate() {
+            if e.state_dim() != sys.state_dim() {
+                report.push(Diagnostic::error(
+                    "preflight",
+                    "dim-mismatch",
+                    format!(
+                        "expert {i} (`{}`) reads {}-dimensional states but plant `{}` has {}",
+                        e.name(),
+                        e.state_dim(),
+                        sys.name(),
+                        sys.state_dim()
+                    ),
+                ));
+            }
+            if e.control_dim() != sys.control_dim() {
+                report.push(Diagnostic::error(
+                    "preflight",
+                    "dim-mismatch",
+                    format!(
+                        "expert {i} (`{}`) emits {}-dimensional controls but plant `{}` takes {}",
+                        e.name(),
+                        e.control_dim(),
+                        sys.name(),
+                        sys.control_dim()
+                    ),
+                ));
+            }
+        }
+        report
+    }
+}
+
+/// Applies the configured pre-flight policy to a report: `Warn` prints
+/// findings to stderr, `Deny` additionally panics on error findings.
+fn apply_gate(mode: PreflightMode, stage: &str, report: &AnalysisReport) {
+    if report.is_empty() {
+        return;
+    }
+    match mode {
+        PreflightMode::Off => {}
+        PreflightMode::Warn => {
+            if report.has_errors() || report.has_warnings() {
+                eprintln!(
+                    "cocktail {stage} analysis ({}):\n{report}",
+                    report.summary()
+                );
+            }
+        }
+        PreflightMode::Deny => {
+            if report.has_errors() || report.has_warnings() {
+                eprintln!(
+                    "cocktail {stage} analysis ({}):\n{report}",
+                    report.summary()
+                );
+            }
+            assert!(
+                !report.has_errors(),
+                "cocktail {stage} analysis failed ({}); set preflight to Warn or Off to \
+                 proceed anyway",
+                report.summary()
+            );
+        }
     }
 }
 
@@ -211,7 +329,11 @@ mod tests {
         }
         // clipped teacher outputs span ±20; a loose bound suffices for the
         // smoke preset
-        assert!(err / (n as f64) < 8.0, "mean teacher gap {}", err / n as f64);
+        assert!(
+            err / (n as f64) < 8.0,
+            "mean teacher gap {}",
+            err / n as f64
+        );
     }
 
     #[test]
@@ -236,13 +358,55 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "pre-flight analysis failed")]
+    fn deny_preflight_rejects_mismatched_experts_before_training() {
+        // a 3-state expert on the 2-state oscillator: under Deny the gate
+        // must fire before any RL budget is spent
+        let bad: Arc<dyn Controller> = Arc::new(cocktail_control::LinearFeedbackController::new(
+            cocktail_math::Matrix::from_rows(vec![vec![1.0, 0.0, 0.0]]),
+        ));
+        let config = CocktailConfig {
+            preflight: PreflightMode::Deny,
+            ..Preset::Smoke.config()
+        };
+        Cocktail::new(SystemId::Oscillator, vec![bad])
+            .with_config(config)
+            .run();
+    }
+
+    #[test]
+    fn warn_preflight_does_not_abort_a_healthy_run() {
+        // smoke_result() runs under the default Warn mode; reaching here
+        // with artifacts in hand is the assertion
+        let result = smoke_result();
+        assert_eq!(result.kappa_star.control_dim(), 1);
+    }
+
+    #[test]
+    fn expert_shape_report_flags_both_dimensions() {
+        let bad: Arc<dyn Controller> = Arc::new(cocktail_control::LinearFeedbackController::new(
+            cocktail_math::Matrix::from_rows(vec![vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]]),
+        ));
+        let run = Cocktail::new(SystemId::Oscillator, vec![bad]);
+        let report = run.expert_shape_report(SystemId::Oscillator.dynamics().as_ref());
+        assert_eq!(
+            report.count(cocktail_analysis::Severity::Error),
+            2,
+            "{report}"
+        );
+    }
+
+    #[test]
     fn smoke_students_remain_plausible_controllers() {
         let result = smoke_result();
         let sys = SystemId::Oscillator.dynamics();
         let eval = evaluate(
             sys.as_ref(),
             result.kappa_star.as_ref(),
-            &EvalConfig { samples: 100, ..Default::default() },
+            &EvalConfig {
+                samples: 100,
+                ..Default::default()
+            },
         );
         // even the smoke preset should stabilize a solid majority
         assert!(eval.safe_rate > 0.5, "S_r {}", eval.safe_rate);

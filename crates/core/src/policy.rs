@@ -96,9 +96,17 @@ impl PpoSelector {
 }
 
 impl Selector for PpoSelector {
+    #[allow(
+        clippy::expect_used,
+        reason = "scores is non-empty: its length equals the expert count"
+    )]
     fn select(&self, s: &[f64], experts: &[Arc<dyn Controller>]) -> usize {
         let scores = self.policy.mean(s);
-        assert_eq!(scores.len(), experts.len(), "selector/expert count mismatch");
+        assert_eq!(
+            scores.len(),
+            experts.len(),
+            "selector/expert count mismatch"
+        );
         scores
             .iter()
             .enumerate()

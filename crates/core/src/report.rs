@@ -45,7 +45,11 @@ pub fn fmt_energy(e: f64) -> String {
 /// ```
 pub fn render_table1_text(rows: &[Table1Row]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<12} {:>8} {:>10} {:>8}", "controller", "S_r (%)", "e", "L");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>8} {:>10} {:>8}",
+        "controller", "S_r (%)", "e", "L"
+    );
     for row in rows {
         let _ = writeln!(
             out,
@@ -80,7 +84,11 @@ pub fn render_table1_markdown(system: &str, rows: &[Table1Row]) -> String {
 /// Renders Table II entries as an aligned plain-text table.
 pub fn render_table2_text(entries: &[Table2Entry]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<12} {:<12} {:>8} {:>10}", "controller", "threat", "S_r (%)", "e");
+    let _ = writeln!(
+        out,
+        "{:<12} {:<12} {:>8} {:>10}",
+        "controller", "threat", "S_r (%)", "e"
+    );
     for e in entries {
         let _ = writeln!(
             out,

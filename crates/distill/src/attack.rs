@@ -64,6 +64,10 @@ pub fn pgd_perturbation(
     delta
 }
 
+/// A materialized per-step perturbation closure `(t, s) ↦ δ`, as consumed
+/// by `cocktail_env::rollout`.
+pub type Perturbation<'c> = Box<dyn FnMut(usize, &[f64]) -> Vec<f64> + 'c>;
+
 /// A per-step perturbation `δ(t)` applied to the controller's observation.
 ///
 /// The paper evaluates at noise/attack amplitudes of 10–15 % of the state
@@ -99,7 +103,11 @@ impl AttackModel {
         if fraction == 0.0 {
             return AttackModel::None;
         }
-        let amp: Vec<f64> = domain.intervals().iter().map(|iv| fraction * iv.radius()).collect();
+        let amp: Vec<f64> = domain
+            .intervals()
+            .iter()
+            .map(|iv| fraction * iv.radius())
+            .collect();
         if adversarial {
             AttackModel::Fgsm(amp)
         } else {
@@ -109,11 +117,7 @@ impl AttackModel {
 
     /// Materializes the perturbation closure for a rollout against
     /// `controller`. Each call site gets an independent seeded RNG.
-    pub fn perturbation<'c>(
-        &self,
-        controller: &'c dyn Controller,
-        seed: u64,
-    ) -> Box<dyn FnMut(usize, &[f64]) -> Vec<f64> + 'c> {
+    pub fn perturbation<'c>(&self, controller: &'c dyn Controller, seed: u64) -> Perturbation<'c> {
         match self.clone() {
             AttackModel::None => Box::new(|_t, s: &[f64]| vec![0.0; s.len()]),
             AttackModel::UniformNoise(amp) => {
@@ -121,7 +125,13 @@ impl AttackModel {
                 Box::new(move |_t, s: &[f64]| {
                     assert_eq!(s.len(), amp.len(), "amplitude dimension mismatch");
                     amp.iter()
-                        .map(|&a| if a > 0.0 { rng::uniform_symmetric(&mut r, 1, a)[0] } else { 0.0 })
+                        .map(|&a| {
+                            if a > 0.0 {
+                                rng::uniform_symmetric(&mut r, 1, a)[0]
+                            } else {
+                                0.0
+                            }
+                        })
                         .collect()
                 })
             }
@@ -130,9 +140,9 @@ impl AttackModel {
                 let dir = fgsm_direction(controller, s);
                 dir.iter().zip(&bound).map(|(d, b)| d * b).collect()
             }),
-            AttackModel::Pgd { bound, steps } => Box::new(move |_t, s: &[f64]| {
-                pgd_perturbation(controller, s, &bound, steps)
-            }),
+            AttackModel::Pgd { bound, steps } => {
+                Box::new(move |_t, s: &[f64]| pgd_perturbation(controller, s, &bound, steps))
+            }
         }
     }
 }
@@ -205,7 +215,12 @@ mod tests {
             let u = c.control(&cocktail_math::vector::add(&s, d));
             u[0] * u[0]
         };
-        assert!(obj(&pgd) >= obj(&fgsm) - 1e-9, "pgd {} fgsm {}", obj(&pgd), obj(&fgsm));
+        assert!(
+            obj(&pgd) >= obj(&fgsm) - 1e-9,
+            "pgd {} fgsm {}",
+            obj(&pgd),
+            obj(&fgsm)
+        );
     }
 
     #[test]
@@ -232,6 +247,9 @@ mod tests {
             AttackModel::Fgsm(amp) => assert!((amp[0] - 0.3).abs() < 1e-12),
             other => panic!("expected FGSM, got {other:?}"),
         }
-        assert_eq!(AttackModel::scaled_to(&domain, 0.0, true), AttackModel::None);
+        assert_eq!(
+            AttackModel::scaled_to(&domain, 0.0, true),
+            AttackModel::None
+        );
     }
 }

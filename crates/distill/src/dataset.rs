@@ -19,7 +19,11 @@ impl TeacherDataset {
     /// Panics if the vectors are empty or their lengths differ.
     pub fn new(states: Vec<Vec<f64>>, controls: Vec<Vec<f64>>) -> Self {
         assert!(!states.is_empty(), "dataset is empty");
-        assert_eq!(states.len(), controls.len(), "states/controls length mismatch");
+        assert_eq!(
+            states.len(),
+            controls.len(),
+            "states/controls length mismatch"
+        );
         Self { states, controls }
     }
 
@@ -60,7 +64,10 @@ impl TeacherDataset {
                 &mut control_fn,
                 &mut no_attack,
                 &s0,
-                &RolloutConfig { seed: seed.wrapping_add(ep as u64), ..Default::default() },
+                &RolloutConfig {
+                    seed: seed.wrapping_add(ep as u64),
+                    ..Default::default()
+                },
             );
             for s in &traj.states {
                 states.push(s.clone());
@@ -76,8 +83,16 @@ impl TeacherDataset {
     ///
     /// Panics if the dimensions disagree.
     pub fn merge(mut self, other: TeacherDataset) -> Self {
-        assert_eq!(self.states[0].len(), other.states[0].len(), "state dimension mismatch");
-        assert_eq!(self.controls[0].len(), other.controls[0].len(), "control dimension mismatch");
+        assert_eq!(
+            self.states[0].len(),
+            other.states[0].len(),
+            "state dimension mismatch"
+        );
+        assert_eq!(
+            self.controls[0].len(),
+            other.controls[0].len(),
+            "control dimension mismatch"
+        );
         self.states.extend(other.states);
         self.controls.extend(other.controls);
         self

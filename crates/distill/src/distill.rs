@@ -63,7 +63,11 @@ fn student_arch(data: &TeacherDataset, config: &DistillConfig) -> cocktail_nn::M
 /// state spread.
 fn resolve_fgsm_bound(data: &TeacherDataset, config: &DistillConfig) -> Vec<f64> {
     if !config.fgsm_bound.is_empty() {
-        assert_eq!(config.fgsm_bound.len(), data.state_dim(), "fgsm_bound dimension mismatch");
+        assert_eq!(
+            config.fgsm_bound.len(),
+            data.state_dim(),
+            "fgsm_bound dimension mismatch"
+        );
         return config.fgsm_bound.clone();
     }
     let dim = data.state_dim();
@@ -75,7 +79,10 @@ fn resolve_fgsm_bound(data: &TeacherDataset, config: &DistillConfig) -> Vec<f64>
             hi[i] = hi[i].max(s[i]);
         }
     }
-    lo.iter().zip(&hi).map(|(&l, &h)| config.fgsm_fraction * 0.5 * (h - l)).collect()
+    lo.iter()
+        .zip(&hi)
+        .map(|(&l, &h)| config.fgsm_fraction * 0.5 * (h - l))
+        .collect()
 }
 
 /// Direct distillation (`κ_D`): plain MSE regression of the teacher map,
@@ -173,7 +180,13 @@ mod tests {
     #[test]
     fn direct_distillation_fits_teacher() {
         let data = dataset();
-        let student = direct_distill(&data, &DistillConfig { epochs: 250, ..Default::default() });
+        let student = direct_distill(
+            &data,
+            &DistillConfig {
+                epochs: 250,
+                ..Default::default()
+            },
+        );
         let t = teacher();
         let mut worst: f64 = 0.0;
         for s in data.states().iter().take(50) {
@@ -186,7 +199,13 @@ mod tests {
     #[test]
     fn robust_distillation_fits_teacher() {
         let data = dataset();
-        let student = robust_distill(&data, &DistillConfig { epochs: 250, ..Default::default() });
+        let student = robust_distill(
+            &data,
+            &DistillConfig {
+                epochs: 250,
+                ..Default::default()
+            },
+        );
         let t = teacher();
         let mut worst: f64 = 0.0;
         for s in data.states().iter().take(50) {
@@ -199,11 +218,18 @@ mod tests {
     #[test]
     fn robust_student_has_smaller_lipschitz_constant() {
         let data = dataset();
-        let cfg = DistillConfig { epochs: 200, ..Default::default() };
+        let cfg = DistillConfig {
+            epochs: 200,
+            ..Default::default()
+        };
         let kd = direct_distill(&data, &cfg);
         let ks = robust_distill(
             &data,
-            &DistillConfig { lambda: 1e-3, fgsm_prob: 0.5, ..cfg },
+            &DistillConfig {
+                lambda: 1e-3,
+                fgsm_prob: 0.5,
+                ..cfg
+            },
         );
         assert!(
             ks.lipschitz_constant() < kd.lipschitz_constant(),
@@ -216,17 +242,26 @@ mod tests {
     #[test]
     fn fgsm_bound_resolution() {
         let data = dataset();
-        let explicit = DistillConfig { fgsm_bound: vec![0.3, 0.4], ..Default::default() };
+        let explicit = DistillConfig {
+            fgsm_bound: vec![0.3, 0.4],
+            ..Default::default()
+        };
         assert_eq!(resolve_fgsm_bound(&data, &explicit), vec![0.3, 0.4]);
         let derived = resolve_fgsm_bound(&data, &DistillConfig::default());
         // states span ≈[-1,1] per dim ⇒ bound ≈ 0.1 at the default fraction
-        assert!(derived.iter().all(|&b| (0.05..0.15).contains(&b)), "{derived:?}");
+        assert!(
+            derived.iter().all(|&b| (0.05..0.15).contains(&b)),
+            "{derived:?}"
+        );
     }
 
     #[test]
     fn distillation_is_seed_deterministic() {
         let data = dataset();
-        let cfg = DistillConfig { epochs: 30, ..Default::default() };
+        let cfg = DistillConfig {
+            epochs: 30,
+            ..Default::default()
+        };
         let a = robust_distill(&data, &cfg);
         let b = robust_distill(&data, &cfg);
         assert_eq!(a.network(), b.network());

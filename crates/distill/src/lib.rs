@@ -36,6 +36,6 @@ pub mod attack;
 pub mod dataset;
 pub mod distill;
 
-pub use attack::{fgsm_direction, pgd_perturbation, AttackModel};
+pub use attack::{fgsm_direction, pgd_perturbation, AttackModel, Perturbation};
 pub use dataset::TeacherDataset;
 pub use distill::{direct_distill, robust_distill, DistillConfig};

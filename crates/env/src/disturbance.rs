@@ -15,9 +15,10 @@ use serde::{Deserialize, Serialize};
 /// let w = model.sample(&mut rng);
 /// assert!(w[0].abs() <= 0.05);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub enum DisturbanceModel {
     /// No disturbance; produces an empty vector.
+    #[default]
     None,
     /// Component `i` is uniform in `[-amp[i], amp[i]]` — the paper's model.
     Uniform(Vec<f64>),
@@ -53,12 +54,6 @@ impl DisturbanceModel {
     }
 }
 
-impl Default for DisturbanceModel {
-    fn default() -> Self {
-        DisturbanceModel::None
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,8 +80,14 @@ mod tests {
 
     #[test]
     fn from_amplitude_collapses_zero() {
-        assert_eq!(DisturbanceModel::from_amplitude(vec![]), DisturbanceModel::None);
-        assert_eq!(DisturbanceModel::from_amplitude(vec![0.0]), DisturbanceModel::None);
+        assert_eq!(
+            DisturbanceModel::from_amplitude(vec![]),
+            DisturbanceModel::None
+        );
+        assert_eq!(
+            DisturbanceModel::from_amplitude(vec![0.0]),
+            DisturbanceModel::None
+        );
         assert_eq!(
             DisturbanceModel::from_amplitude(vec![0.05]),
             DisturbanceModel::Uniform(vec![0.05])

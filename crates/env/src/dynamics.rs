@@ -98,7 +98,11 @@ mod tests {
     use crate::systems::{CartPole, Poly3d, VanDerPol};
 
     fn all_systems() -> Vec<Box<dyn Dynamics>> {
-        vec![Box::new(VanDerPol::new()), Box::new(Poly3d::new()), Box::new(CartPole::new())]
+        vec![
+            Box::new(VanDerPol::new()),
+            Box::new(Poly3d::new()),
+            Box::new(CartPole::new()),
+        ]
     }
 
     #[test]

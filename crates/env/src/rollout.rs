@@ -44,8 +44,14 @@ impl Trajectory {
     }
 
     /// The final state.
+    #[allow(
+        clippy::expect_used,
+        reason = "a trajectory always holds at least the initial state"
+    )]
     pub fn last_state(&self) -> &[f64] {
-        self.states.last().expect("trajectory always holds the initial state")
+        self.states
+            .last()
+            .expect("trajectory always holds the initial state")
     }
 }
 
@@ -66,7 +72,12 @@ pub struct RolloutConfig {
 
 impl Default for RolloutConfig {
     fn default() -> Self {
-        Self { horizon: None, disturbance: None, seed: 0, stop_on_violation: true }
+        Self {
+            horizon: None,
+            disturbance: None,
+            seed: 0,
+            stop_on_violation: true,
+        }
     }
 }
 
@@ -102,7 +113,11 @@ pub fn rollout(
     s0: &[f64],
     config: &RolloutConfig,
 ) -> Trajectory {
-    assert_eq!(s0.len(), sys.state_dim(), "initial state dimension mismatch");
+    assert_eq!(
+        s0.len(),
+        sys.state_dim(),
+        "initial state dimension mismatch"
+    );
     let horizon = config.horizon.unwrap_or_else(|| sys.horizon());
     let disturbance = config
         .disturbance
@@ -116,7 +131,11 @@ pub fn rollout(
     states.push(s0.to_vec());
 
     if first_violation.is_some() && config.stop_on_violation {
-        return Trajectory { states, controls, first_violation };
+        return Trajectory {
+            states,
+            controls,
+            first_violation,
+        };
     }
 
     let mut s = s0.to_vec();
@@ -125,8 +144,22 @@ pub fn rollout(
         assert_eq!(delta.len(), s.len(), "perturbation dimension mismatch");
         let observed = vector::add(&s, &delta);
         let u_raw = controller(&observed);
-        assert_eq!(u_raw.len(), sys.control_dim(), "controller output dimension mismatch");
+        assert_eq!(
+            u_raw.len(),
+            sys.control_dim(),
+            "controller output dimension mismatch"
+        );
         let u = sys.clip_control(&u_raw);
+        // Only police finiteness while the trajectory is still in-spec:
+        // after a violation (with stop_on_violation off) systems with
+        // superlinear dynamics such as Poly3d legitimately diverge to
+        // infinity within a few steps.
+        debug_assert!(
+            first_violation.is_some()
+                || !observed.iter().all(|v| v.is_finite())
+                || u.iter().all(|v| v.is_finite()),
+            "controller produced a non-finite control at step {t} from a finite observation"
+        );
         let mut omega = disturbance.sample(&mut rng);
         omega.truncate(sys.disturbance_dim());
         if omega.len() < sys.disturbance_dim() {
@@ -141,8 +174,17 @@ pub fn rollout(
                 break;
             }
         }
+        debug_assert!(
+            first_violation.is_some() || s.iter().all(|v| v.is_finite()),
+            "dynamics produced a non-finite state at step {} before any safety violation",
+            t + 1
+        );
     }
-    Trajectory { states, controls, first_violation }
+    Trajectory {
+        states,
+        controls,
+        first_violation,
+    }
 }
 
 #[cfg(test)]
@@ -181,7 +223,13 @@ mod tests {
         let sys = CartPole::new();
         let mut c = |_: &[f64]| vec![0.0];
         let mut p = zero_perturbation;
-        let traj = rollout(&sys, &mut c, &mut p, &[0.0, 0.0, 0.15, 0.0], &RolloutConfig::default());
+        let traj = rollout(
+            &sys,
+            &mut c,
+            &mut p,
+            &[0.0, 0.0, 0.15, 0.0],
+            &RolloutConfig::default(),
+        );
         assert!(!traj.is_safe());
         let v = traj.first_violation.expect("must violate");
         assert!(v < 200);
@@ -209,7 +257,10 @@ mod tests {
                 &mut c,
                 &mut p,
                 &[1.0, -1.0],
-                &RolloutConfig { seed, ..Default::default() },
+                &RolloutConfig {
+                    seed,
+                    ..Default::default()
+                },
             )
         };
         assert_eq!(run(5), run(5));
@@ -256,7 +307,10 @@ mod tests {
             &mut c,
             &mut p,
             &[0.0, 0.0],
-            &RolloutConfig { horizon: Some(3), ..Default::default() },
+            &RolloutConfig {
+                horizon: Some(3),
+                ..Default::default()
+            },
         );
         assert!(traj.controls.iter().all(|u| u[0] == 20.0));
     }
@@ -271,7 +325,10 @@ mod tests {
             &mut c,
             &mut p,
             &[0.0, 0.0],
-            &RolloutConfig { horizon: Some(5), ..Default::default() },
+            &RolloutConfig {
+                horizon: Some(5),
+                ..Default::default()
+            },
         );
         assert_eq!(traj.energy(), 10.0);
     }

@@ -245,7 +245,13 @@ pub struct CartPole {
 impl CartPole {
     /// Creates the cartpole with the paper's parameters.
     pub fn new() -> Self {
-        Self { tau: 0.02, m_cart: 1.0, m_pole: 0.1, gravity: 9.8, length: 1.0 }
+        Self {
+            tau: 0.02,
+            m_cart: 1.0,
+            m_pole: 0.1,
+            gravity: 9.8,
+            length: 1.0,
+        }
     }
 
     /// The sampling period.
@@ -318,8 +324,7 @@ impl Dynamics for CartPole {
         let cos3 = s3.cos();
         let psi = (u[0] + ml * s4.square() * sin3) / m_t;
         let denom = Interval::point(self.length)
-            * (Interval::point(4.0 / 3.0)
-                - cos3.square() * Interval::point(self.m_pole) / m_t);
+            * (Interval::point(4.0 / 3.0) - cos3.square() * Interval::point(self.m_pole) / m_t);
         let theta_acc = (g * sin3 - cos3 * psi) / denom;
         let s_acc = psi - ml * cos3 * theta_acc / m_t;
         vec![
@@ -427,29 +432,40 @@ mod tests {
     fn cartpole_gravity_accelerates_fall() {
         let sys = CartPole::new();
         let (_, ta) = sys.accelerations(&[0.0, 0.0, 0.1, 0.0], 0.0);
-        assert!(ta > 0.0, "positive angle should accelerate positively under gravity");
+        assert!(
+            ta > 0.0,
+            "positive angle should accelerate positively under gravity"
+        );
         let (_, ta_neg) = sys.accelerations(&[0.0, 0.0, -0.1, 0.0], 0.0);
         assert!(ta_neg < 0.0);
     }
 
     #[test]
     fn interval_step_contains_concrete_steps() {
-        let systems: Vec<Box<dyn Dynamics>> =
-            vec![Box::new(VanDerPol::new()), Box::new(Poly3d::new()), Box::new(CartPole::new())];
+        let systems: Vec<Box<dyn Dynamics>> = vec![
+            Box::new(VanDerPol::new()),
+            Box::new(Poly3d::new()),
+            Box::new(CartPole::new()),
+        ];
         let mut r = rng::seeded(11);
         for sys in &systems {
             let region = sys.initial_set();
             let (ulo, uhi) = sys.control_bounds();
-            let ubox: Vec<Interval> =
-                ulo.iter().zip(&uhi).map(|(&l, &h)| Interval::new(l / 10.0, h / 10.0)).collect();
+            let ubox: Vec<Interval> = ulo
+                .iter()
+                .zip(&uhi)
+                .map(|(&l, &h)| Interval::new(l / 10.0, h / 10.0))
+                .collect();
             let wamp = sys.disturbance_amplitude();
             let wbox: Vec<Interval> = wamp.iter().map(|&a| Interval::symmetric(a)).collect();
             let sbox: Vec<Interval> = region.intervals().to_vec();
             let bounds = sys.step_interval(&sbox, &ubox, &wbox);
             for _ in 0..200 {
                 let s = rng::uniform_in_box(&mut r, &region);
-                let u: Vec<f64> =
-                    ubox.iter().map(|iv| iv.lo() + (iv.hi() - iv.lo()) * 0.37).collect();
+                let u: Vec<f64> = ubox
+                    .iter()
+                    .map(|iv| iv.lo() + (iv.hi() - iv.lo()) * 0.37)
+                    .collect();
                 let w: Vec<f64> = wamp.iter().map(|&a| a * 0.5).collect();
                 let next = sys.step(&s, &u, &w);
                 for (ni, bi) in next.iter().zip(&bounds) {

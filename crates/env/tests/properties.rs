@@ -7,7 +7,11 @@ use cocktail_math::{rng, BoxRegion, Interval};
 use proptest::prelude::*;
 
 fn systems() -> Vec<Box<dyn Dynamics>> {
-    vec![Box::new(VanDerPol::new()), Box::new(Poly3d::new()), Box::new(CartPole::new())]
+    vec![
+        Box::new(VanDerPol::new()),
+        Box::new(Poly3d::new()),
+        Box::new(CartPole::new()),
+    ]
 }
 
 /// Builds a random sub-box of the initial set from unit coordinates.

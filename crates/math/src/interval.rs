@@ -135,7 +135,7 @@ impl Interval {
         match n {
             0 => Interval::point(1.0),
             1 => *self,
-            _ if n % 2 == 0 => {
+            _ if n.is_multiple_of(2) => {
                 let even = self.square();
                 even.pow_monotone(n / 2)
             }
@@ -184,7 +184,7 @@ impl Interval {
         Interval::new(s(self.lo), s(self.hi))
     }
 
-    /// Interval image of `max(0, x)` (ReLU, monotone).
+    /// Interval image of `max(0, x)` (`ReLU`, monotone).
     pub fn relu(&self) -> Interval {
         Interval::new(self.lo.max(0.0), self.hi.max(0.0))
     }
@@ -242,7 +242,12 @@ impl Mul for Interval {
     type Output = Interval;
 
     fn mul(self, o: Interval) -> Interval {
-        let c = [self.lo * o.lo, self.lo * o.hi, self.hi * o.lo, self.hi * o.hi];
+        let c = [
+            self.lo * o.lo,
+            self.lo * o.hi,
+            self.hi * o.lo,
+            self.hi * o.hi,
+        ];
         let lo = c.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = c.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         Interval::new(lo, hi)
@@ -268,7 +273,10 @@ impl Div for Interval {
     ///
     /// Panics if the divisor contains zero.
     fn div(self, o: Interval) -> Interval {
-        assert!(!o.contains(0.0), "interval division by interval containing zero");
+        assert!(
+            !o.contains(0.0),
+            "interval division by interval containing zero"
+        );
         self * Interval::new(1.0 / o.hi, 1.0 / o.lo)
     }
 }
@@ -320,7 +328,12 @@ impl BoxRegion {
     /// inverted.
     pub fn from_bounds(lo: &[f64], hi: &[f64]) -> Self {
         assert_eq!(lo.len(), hi.len(), "bound length mismatch");
-        Self::new(lo.iter().zip(hi).map(|(&l, &h)| Interval::new(l, h)).collect())
+        Self::new(
+            lo.iter()
+                .zip(hi)
+                .map(|(&l, &h)| Interval::new(l, h))
+                .collect(),
+        )
     }
 
     /// Number of dimensions.
@@ -374,7 +387,10 @@ impl BoxRegion {
     /// Panics if dimensions differ.
     pub fn contains_box(&self, other: &BoxRegion) -> bool {
         assert_eq!(self.dim(), other.dim(), "box dimension mismatch");
-        self.dims.iter().zip(&other.dims).all(|(a, b)| a.contains_interval(b))
+        self.dims
+            .iter()
+            .zip(&other.dims)
+            .all(|(a, b)| a.contains_interval(b))
     }
 
     /// Intersection, or `None` when disjoint in any dimension.
@@ -384,8 +400,12 @@ impl BoxRegion {
     /// Panics if dimensions differ.
     pub fn intersect(&self, other: &BoxRegion) -> Option<BoxRegion> {
         assert_eq!(self.dim(), other.dim(), "box dimension mismatch");
-        let dims: Option<Vec<_>> =
-            self.dims.iter().zip(&other.dims).map(|(a, b)| a.intersect(b)).collect();
+        let dims: Option<Vec<_>> = self
+            .dims
+            .iter()
+            .zip(&other.dims)
+            .map(|(a, b)| a.intersect(b))
+            .collect();
         dims.map(BoxRegion::new)
     }
 
@@ -396,7 +416,13 @@ impl BoxRegion {
     /// Panics if dimensions differ.
     pub fn hull(&self, other: &BoxRegion) -> BoxRegion {
         assert_eq!(self.dim(), other.dim(), "box dimension mismatch");
-        BoxRegion::new(self.dims.iter().zip(&other.dims).map(|(a, b)| a.hull(b)).collect())
+        BoxRegion::new(
+            self.dims
+                .iter()
+                .zip(&other.dims)
+                .map(|(a, b)| a.hull(b))
+                .collect(),
+        )
     }
 
     /// Widest dimension's width.
@@ -410,6 +436,10 @@ impl BoxRegion {
     }
 
     /// Splits the box in half along its widest dimension.
+    #[allow(
+        clippy::expect_used,
+        reason = "a BoxRegion always has at least one dimension"
+    )]
     pub fn bisect(&self) -> (BoxRegion, BoxRegion) {
         let (axis, _) = self
             .dims
@@ -452,9 +482,16 @@ impl BoxRegion {
                 .map(|i| {
                     let d = self.dims[i];
                     let w = d.width() / k as f64;
-                    let lo = if idx[i] == 0 { d.lo() } else { d.lo() + idx[i] as f64 * w };
-                    let hi =
-                        if idx[i] + 1 == k { d.hi() } else { d.lo() + (idx[i] + 1) as f64 * w };
+                    let lo = if idx[i] == 0 {
+                        d.lo()
+                    } else {
+                        d.lo() + idx[i] as f64 * w
+                    };
+                    let hi = if idx[i] + 1 == k {
+                        d.hi()
+                    } else {
+                        d.lo() + (idx[i] + 1) as f64 * w
+                    };
                     // guard against rounding making lo > hi on tiny cells
                     Interval::new(lo.min(hi), hi.max(lo))
                 })
@@ -492,7 +529,11 @@ impl BoxRegion {
     /// Panics if `t.len() != self.dim()`.
     pub fn lerp(&self, t: &[f64]) -> Vec<f64> {
         assert_eq!(t.len(), self.dim(), "lerp dimension mismatch");
-        self.dims.iter().zip(t).map(|(d, &ti)| d.lo() + ti * d.width()).collect()
+        self.dims
+            .iter()
+            .zip(t)
+            .map(|(d, &ti)| d.lo() + ti * d.width())
+            .collect()
     }
 
     /// Maps a point of the box into unit-cube coordinates. Degenerate
@@ -506,7 +547,13 @@ impl BoxRegion {
         self.dims
             .iter()
             .zip(p)
-            .map(|(d, &v)| if d.width() > 0.0 { (v - d.lo()) / d.width() } else { 0.0 })
+            .map(|(d, &v)| {
+                if d.width() > 0.0 {
+                    (v - d.lo()) / d.width()
+                } else {
+                    0.0
+                }
+            })
             .collect()
     }
 
@@ -516,7 +563,13 @@ impl BoxRegion {
         (0..(1usize << n))
             .map(|mask| {
                 (0..n)
-                    .map(|i| if mask & (1 << i) != 0 { self.dims[i].hi() } else { self.dims[i].lo() })
+                    .map(|i| {
+                        if mask & (1 << i) != 0 {
+                            self.dims[i].hi()
+                        } else {
+                            self.dims[i].lo()
+                        }
+                    })
                     .collect()
             })
             .collect()

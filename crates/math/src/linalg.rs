@@ -21,6 +21,21 @@ impl fmt::Display for SingularMatrixError {
 
 impl Error for SingularMatrixError {}
 
+/// Row with the largest absolute value in `col`, scanning rows
+/// `col..n`. Total for every `col < n`, so pivot selection cannot fail.
+fn partial_pivot(m: &Matrix, col: usize, n: usize) -> (usize, f64) {
+    let mut pivot_row = col;
+    let mut pivot_val = m[(col, col)].abs();
+    for r in col + 1..n {
+        let v = m[(r, col)].abs();
+        if v > pivot_val {
+            pivot_row = r;
+            pivot_val = v;
+        }
+    }
+    (pivot_row, pivot_val)
+}
+
 /// Inverts a square matrix by Gauss–Jordan elimination with partial
 /// pivoting.
 ///
@@ -60,11 +75,7 @@ pub fn inverse(a: &Matrix) -> Result<Matrix, SingularMatrixError> {
         }
     });
     for col in 0..n {
-        // partial pivot
-        let (pivot_row, pivot_val) = (col..n)
-            .map(|r| (r, m[(r, col)].abs()))
-            .max_by(|x, y| x.1.total_cmp(&y.1))
-            .expect("non-empty range");
+        let (pivot_row, pivot_val) = partial_pivot(&m, col, n);
         if pivot_val < 1e-12 {
             return Err(SingularMatrixError);
         }
@@ -121,10 +132,7 @@ pub fn determinant(a: &Matrix) -> f64 {
     let mut m = a.clone();
     let mut det = 1.0;
     for col in 0..n {
-        let (pivot_row, pivot_val) = (col..n)
-            .map(|r| (r, m[(r, col)].abs()))
-            .max_by(|x, y| x.1.total_cmp(&y.1))
-            .expect("non-empty range");
+        let (pivot_row, pivot_val) = partial_pivot(&m, col, n);
         if pivot_val == 0.0 {
             return 0.0;
         }

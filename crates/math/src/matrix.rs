@@ -37,7 +37,11 @@ impl Matrix {
     /// Panics if either dimension is zero.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows × cols` matrix with every entry set to `value`.
@@ -78,7 +82,12 @@ impl Matrix {
         assert!(cols > 0, "matrix needs at least one column");
         assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
         let data = rows.into_iter().flatten().collect();
-        Self { rows: 0, cols, data }.with_rows_from_len()
+        Self {
+            rows: 0,
+            cols,
+            data,
+        }
+        .with_rows_from_len()
     }
 
     fn with_rows_from_len(mut self) -> Self {
@@ -165,13 +174,13 @@ impl Matrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, o) in out.iter_mut().enumerate() {
             let row = self.row(r);
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(x) {
                 acc += a * b;
             }
-            out[r] = acc;
+            *o = acc;
         }
         out
     }
@@ -184,9 +193,8 @@ impl Matrix {
     pub fn matvec_transposed(&self, y: &[f64]) -> Vec<f64> {
         assert_eq!(y.len(), self.rows, "matvec_transposed dimension mismatch");
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
+        for (r, &yr) in y.iter().enumerate() {
             let row = self.row(r);
-            let yr = y[r];
             for (o, a) in out.iter_mut().zip(row) {
                 *o += a * yr;
             }
@@ -230,7 +238,11 @@ impl Matrix {
 
     /// Applies `f` to every entry, returning a new matrix.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
-        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
     }
 
     /// Applies `f` to every entry in place.
@@ -339,8 +351,17 @@ impl Add for &Matrix {
 
     fn add(self, other: &Matrix) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "add shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 
@@ -349,8 +370,17 @@ impl Sub for &Matrix {
 
     fn sub(self, other: &Matrix) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "sub shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 

@@ -42,7 +42,10 @@ impl MultiPoly {
     /// Panics if `nvars == 0`.
     pub fn zero(nvars: usize) -> Self {
         assert!(nvars > 0, "polynomial needs at least one variable");
-        Self { nvars, terms: BTreeMap::new() }
+        Self {
+            nvars,
+            terms: BTreeMap::new(),
+        }
     }
 
     /// The constant polynomial `c`.
@@ -127,7 +130,11 @@ impl MultiPoly {
         self.terms
             .iter()
             .map(|(e, c)| {
-                c * e.iter().zip(x).map(|(&p, &xi)| xi.powi(p as i32)).product::<f64>()
+                c * e
+                    .iter()
+                    .zip(x)
+                    .map(|(&p, &xi)| xi.powi(p as i32))
+                    .product::<f64>()
             })
             .sum()
     }
@@ -277,7 +284,9 @@ mod tests {
         // (x + 1)(x - 1) = x² - 1
         let n = 1;
         let x = MultiPoly::var(n, 0);
-        let p = x.add(&MultiPoly::constant(n, 1.0)).mul(&x.sub(&MultiPoly::constant(n, 1.0)));
+        let p = x
+            .add(&MultiPoly::constant(n, 1.0))
+            .mul(&x.sub(&MultiPoly::constant(n, 1.0)));
         assert_eq!(p.eval(&[3.0]), 8.0);
         assert_eq!(p.degree(), 2);
     }
@@ -309,7 +318,10 @@ mod tests {
             for j in 0..=4 {
                 let x = -1.0 + 3.0 * i as f64 / 4.0;
                 let y = j as f64 / 4.0;
-                assert!(bounds.contains(p.eval(&[x, y])), "p({x},{y}) escapes {bounds}");
+                assert!(
+                    bounds.contains(p.eval(&[x, y])),
+                    "p({x},{y}) escapes {bounds}"
+                );
             }
         }
     }

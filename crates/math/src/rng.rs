@@ -59,7 +59,9 @@ pub fn uniform_symmetric<R: Rng + ?Sized>(rng: &mut R, dim: usize, amplitude: f6
     if amplitude == 0.0 {
         return vec![0.0; dim];
     }
-    (0..dim).map(|_| rng.gen_range(-amplitude..=amplitude)).collect()
+    (0..dim)
+        .map(|_| rng.gen_range(-amplitude..=amplitude))
+        .collect()
 }
 
 /// Samples a vector of iid Gaussians `N(0, std²)`.
@@ -67,8 +69,15 @@ pub fn uniform_symmetric<R: Rng + ?Sized>(rng: &mut R, dim: usize, amplitude: f6
 /// # Panics
 ///
 /// Panics if `std < 0` or is not finite.
+#[allow(
+    clippy::expect_used,
+    reason = "std is validated finite and positive just above"
+)]
 pub fn gaussian_vector<R: Rng + ?Sized>(rng: &mut R, dim: usize, std: f64) -> Vec<f64> {
-    assert!(std >= 0.0 && std.is_finite(), "std must be finite and non-negative");
+    assert!(
+        std >= 0.0 && std.is_finite(),
+        "std must be finite and non-negative"
+    );
     if std == 0.0 {
         return vec![0.0; dim];
     }

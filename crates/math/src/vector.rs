@@ -142,7 +142,10 @@ pub fn sign(a: &[f64]) -> Vec<f64> {
 /// Panics if the lengths differ.
 pub fn lerp(a: &[f64], b: &[f64], t: f64) -> Vec<f64> {
     assert_eq!(a.len(), b.len(), "lerp length mismatch");
-    a.iter().zip(b).map(|(x, y)| (1.0 - t) * x + t * y).collect()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (1.0 - t) * x + t * y)
+        .collect()
 }
 
 #[cfg(test)]

@@ -35,7 +35,7 @@ pub enum Activation {
         /// Negative-side slope.
         alpha: f64,
     },
-    /// `f(x) = ln(1 + eˣ)`, a smooth ReLU.
+    /// `f(x) = ln(1 + eˣ)`, a smooth `ReLU`.
     Softplus,
 }
 
@@ -67,7 +67,7 @@ impl Activation {
 
     /// Derivative at pre-activation `x`.
     ///
-    /// The ReLU derivative at exactly 0 is taken as 0 (sub-gradient choice).
+    /// The `ReLU` derivative at exactly 0 is taken as 0 (sub-gradient choice).
     pub fn derivative(self, x: f64) -> f64 {
         match self {
             Activation::Identity => 1.0,
@@ -105,13 +105,12 @@ impl Activation {
     }
 
     /// Global Lipschitz factor contributed by this activation, per the
-    /// paper's footnote 1: ReLU and Tanh contribute 1, Sigmoid ¼.
+    /// paper's footnote 1: `ReLU` and Tanh contribute 1, Sigmoid ¼.
     pub fn lipschitz_factor(self) -> f64 {
         match self {
-            Activation::Identity
-            | Activation::Relu
-            | Activation::Tanh
-            | Activation::Softplus => 1.0,
+            Activation::Identity | Activation::Relu | Activation::Tanh | Activation::Softplus => {
+                1.0
+            }
             Activation::Sigmoid => 0.25,
             Activation::LeakyRelu { alpha } => alpha.abs().max(1.0),
         }

@@ -33,8 +33,16 @@ impl Dense {
     ///
     /// Panics if `biases.len() != weights.rows()`.
     pub fn from_parts(weights: Matrix, biases: Vec<f64>, activation: Activation) -> Self {
-        assert_eq!(biases.len(), weights.rows(), "bias length must equal output width");
-        Self { weights, biases, activation }
+        assert_eq!(
+            biases.len(),
+            weights.rows(),
+            "bias length must equal output width"
+        );
+        Self {
+            weights,
+            biases,
+            activation,
+        }
     }
 
     /// Input width.
@@ -107,8 +115,16 @@ impl Dense {
         grad_output: &[f64],
     ) -> (Matrix, Vec<f64>, Vec<f64>) {
         assert_eq!(x.len(), self.input_dim(), "input dimension mismatch");
-        assert_eq!(z.len(), self.output_dim(), "pre-activation dimension mismatch");
-        assert_eq!(grad_output.len(), self.output_dim(), "gradient dimension mismatch");
+        assert_eq!(
+            z.len(),
+            self.output_dim(),
+            "pre-activation dimension mismatch"
+        );
+        assert_eq!(
+            grad_output.len(),
+            self.output_dim(),
+            "gradient dimension mismatch"
+        );
         // δ = grad_output ⊙ σ'(z)
         let delta: Vec<f64> = grad_output
             .iter()
@@ -200,10 +216,18 @@ mod tests {
                 let mut lm = l.clone();
                 lm.weights_mut()[(r, c)] -= h;
                 let fd = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * h);
-                assert!((fd - gw[(r, c)]).abs() < 1e-5, "w[{r}{c}]: {fd} vs {}", gw[(r, c)]);
+                assert!(
+                    (fd - gw[(r, c)]).abs() < 1e-5,
+                    "w[{r}{c}]: {fd} vs {}",
+                    gw[(r, c)]
+                );
             }
         }
         // bias gradients
+        #[allow(
+            clippy::needless_range_loop,
+            reason = "i indexes three parallel structures"
+        )]
         for i in 0..2 {
             let mut lp = l.clone();
             lp.biases_mut()[i] += h;
@@ -230,10 +254,7 @@ mod tests {
         let bounds = l.forward_interval(&box_in);
         for i in 0..=8 {
             for j in 0..=8 {
-                let x = [
-                    -0.5 + i as f64 / 8.0,
-                    j as f64 / 8.0,
-                ];
+                let x = [-0.5 + i as f64 / 8.0, j as f64 / 8.0];
                 let (_, a) = l.forward(&x);
                 for (ai, bi) in a.iter().zip(&bounds) {
                     assert!(bi.inflate(1e-12).contains(*ai));

@@ -1,10 +1,10 @@
 //! Feed-forward neural networks with backpropagation, input gradients,
 //! optimizers and Lipschitz analysis.
 //!
-//! This crate replaces PyTorch for the Cocktail reproduction. It provides
+//! This crate replaces `PyTorch` for the Cocktail reproduction. It provides
 //! exactly what the paper's pipeline needs:
 //!
-//! * [`Mlp`] — a multi-layer perceptron over `f64` with ReLU / Tanh /
+//! * [`Mlp`] — a multi-layer perceptron over `f64` with `ReLU` / Tanh /
 //!   Sigmoid / Identity activations, a cached forward pass, full
 //!   backpropagation for parameter gradients **and input gradients** (the
 //!   FGSM step of Algorithm 1 needs `∇_s ℓ(κ*(s), u)`);

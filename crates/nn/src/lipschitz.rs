@@ -112,11 +112,8 @@ mod tests {
     #[test]
     fn sigmoid_quarter_factor_applies() {
         // single sigmoid layer with identity weights: bound must be 1/4
-        let l = crate::layer::Dense::from_parts(
-            Matrix::identity(3),
-            vec![0.0; 3],
-            Activation::Sigmoid,
-        );
+        let l =
+            crate::layer::Dense::from_parts(Matrix::identity(3), vec![0.0; 3], Activation::Sigmoid);
         let n = Mlp::from_layers(vec![l]);
         assert!((upper_bound(&n, NormKind::Spectral) - 0.25).abs() < 1e-9);
     }

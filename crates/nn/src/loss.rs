@@ -25,10 +25,18 @@ pub fn mse(prediction: &[f64], target: &[f64]) -> f64 {
 ///
 /// Panics if slices differ in length or are empty.
 pub fn mse_gradient(prediction: &[f64], target: &[f64]) -> Vec<f64> {
-    assert_eq!(prediction.len(), target.len(), "mse gradient length mismatch");
+    assert_eq!(
+        prediction.len(),
+        target.len(),
+        "mse gradient length mismatch"
+    );
     assert!(!prediction.is_empty(), "mse gradient of empty slices");
     let n = prediction.len() as f64;
-    prediction.iter().zip(target).map(|(p, t)| 2.0 * (p - t) / n).collect()
+    prediction
+        .iter()
+        .zip(target)
+        .map(|(p, t)| 2.0 * (p - t) / n)
+        .collect()
 }
 
 /// Huber (smooth-L1) loss with threshold `delta`, summed over components.
@@ -60,7 +68,11 @@ pub fn huber(prediction: &[f64], target: &[f64], delta: f64) -> f64 {
 ///
 /// Panics if slices differ in length or `delta <= 0`.
 pub fn huber_gradient(prediction: &[f64], target: &[f64], delta: f64) -> Vec<f64> {
-    assert_eq!(prediction.len(), target.len(), "huber gradient length mismatch");
+    assert_eq!(
+        prediction.len(),
+        target.len(),
+        "huber gradient length mismatch"
+    );
     assert!(delta > 0.0, "huber delta must be positive");
     prediction
         .iter()

@@ -45,8 +45,14 @@ pub struct ForwardCache {
 
 impl ForwardCache {
     /// The network output (last activation).
+    #[allow(
+        clippy::expect_used,
+        reason = "the cache always holds the input activation"
+    )]
     pub fn output(&self) -> &[f64] {
-        self.activations.last().expect("cache always holds the input")
+        self.activations
+            .last()
+            .expect("cache always holds the input")
     }
 }
 
@@ -74,6 +80,10 @@ impl Mlp {
     }
 
     /// Output dimension.
+    #[allow(
+        clippy::expect_used,
+        reason = "Mlp construction rejects empty layer lists"
+    )]
     pub fn output_dim(&self) -> usize {
         self.layers.last().expect("non-empty").output_dim()
     }
@@ -93,15 +103,37 @@ impl Mlp {
         self.layers.iter().map(Dense::param_count).sum()
     }
 
+    /// True when every weight and bias of `layer` is finite. Used by the
+    /// debug finiteness guards: diverged training legitimately drives
+    /// parameters to NaN, and such layers are exempt from the
+    /// finite-in-finite-out invariant.
+    fn layer_params_finite(layer: &Dense) -> bool {
+        layer.weights().as_slice().iter().all(|v| v.is_finite())
+            && layer.biases().iter().all(|v| v.is_finite())
+    }
+
     /// Plain forward pass.
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != self.input_dim()`.
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        // RL exploration legitimately evaluates policies on diverged
+        // (non-finite) states, and diverged training legitimately breaks
+        // weights, so the blow-up guard only fires when both the input
+        // and the layer's own parameters are finite. The parameter scan
+        // is behind the (normally true) activation check, so healthy
+        // debug runs never pay for it.
+        let input_finite = x.iter().all(|v| v.is_finite());
         let mut a = x.to_vec();
-        for layer in &self.layers {
+        for (i, layer) in self.layers.iter().enumerate() {
             a = layer.forward(&a).1;
+            debug_assert!(
+                !input_finite
+                    || a.iter().all(|v| v.is_finite())
+                    || !Self::layer_params_finite(layer),
+                "layer {i} produced a non-finite activation from finite input and parameters: {a:?}"
+            );
         }
         a
     }
@@ -111,16 +143,30 @@ impl Mlp {
     /// # Panics
     ///
     /// Panics if `x.len() != self.input_dim()`.
+    #[allow(
+        clippy::expect_used,
+        reason = "the input activation is pushed before the loop"
+    )]
     pub fn forward_cached(&self, x: &[f64]) -> ForwardCache {
         let mut activations = Vec::with_capacity(self.layers.len() + 1);
         let mut pre_activations = Vec::with_capacity(self.layers.len());
+        let input_finite = x.iter().all(|v| v.is_finite());
         activations.push(x.to_vec());
-        for layer in &self.layers {
+        for (i, layer) in self.layers.iter().enumerate() {
             let (z, a) = layer.forward(activations.last().expect("pushed above"));
+            debug_assert!(
+                !input_finite
+                    || a.iter().all(|v| v.is_finite())
+                    || !Self::layer_params_finite(layer),
+                "layer {i} produced a non-finite activation from finite input and parameters: {a:?}"
+            );
             pre_activations.push(z);
             activations.push(a);
         }
-        ForwardCache { activations, pre_activations }
+        ForwardCache {
+            activations,
+            pre_activations,
+        }
     }
 
     /// Backpropagates `grad_output` (the loss gradient at the network
@@ -140,9 +186,19 @@ impl Mlp {
         grads: &mut GradStore,
         scale: f64,
     ) -> Vec<f64> {
-        assert_eq!(grad_output.len(), self.output_dim(), "output gradient dimension mismatch");
-        assert_eq!(cache.pre_activations.len(), self.layers.len(), "cache layer count mismatch");
+        assert_eq!(
+            grad_output.len(),
+            self.output_dim(),
+            "output gradient dimension mismatch"
+        );
+        assert_eq!(
+            cache.pre_activations.len(),
+            self.layers.len(),
+            "cache layer count mismatch"
+        );
         assert!(grads.matches(self), "gradient store shape mismatch");
+        let boundary_finite = grad_output.iter().all(|v| v.is_finite())
+            && cache.activations[0].iter().all(|v| v.is_finite());
         let mut grad = grad_output.to_vec();
         for (i, layer) in self.layers.iter().enumerate().rev() {
             let x = &cache.activations[i];
@@ -150,6 +206,12 @@ impl Mlp {
             let (gw, gb, gx) = layer.backward(x, z, &grad);
             grads.accumulate(i, &gw, &gb, scale);
             grad = gx;
+            debug_assert!(
+                !boundary_finite
+                    || grad.iter().all(|v| v.is_finite())
+                    || !Self::layer_params_finite(layer),
+                "layer {i} produced a non-finite input gradient from finite boundary values"
+            );
         }
         grad
     }
@@ -165,7 +227,8 @@ impl Mlp {
         let cache = self.forward_cached(x);
         let mut grad = grad_output.to_vec();
         for (i, layer) in self.layers.iter().enumerate().rev() {
-            let (_, _, gx) = layer.backward(&cache.activations[i], &cache.pre_activations[i], &grad);
+            let (_, _, gx) =
+                layer.backward(&cache.activations[i], &cache.pre_activations[i], &grad);
             grad = gx;
         }
         grad
@@ -264,7 +327,12 @@ impl MlpBuilder {
     /// Panics if `input_dim == 0`.
     pub fn new(input_dim: usize) -> Self {
         assert!(input_dim > 0, "input dimension must be positive");
-        Self { input_dim, spec: Vec::new(), seed: 0, init_scale: 1.0 }
+        Self {
+            input_dim,
+            spec: Vec::new(),
+            seed: 0,
+            init_scale: 1.0,
+        }
     }
 
     /// Appends a hidden layer of `width` units.
@@ -314,8 +382,7 @@ impl MlpBuilder {
         let mut fan_in = self.input_dim;
         for (width, activation) in self.spec {
             let bound = self.init_scale * (6.0 / (fan_in + width) as f64).sqrt();
-            let weights =
-                Matrix::from_fn(width, fan_in, |_, _| rng.gen_range(-bound..=bound));
+            let weights = Matrix::from_fn(width, fan_in, |_, _| rng.gen_range(-bound..=bound));
             let biases = vec![0.0; width];
             layers.push(Dense::from_parts(weights, biases, activation));
             fan_in = width;

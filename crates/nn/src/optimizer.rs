@@ -31,7 +31,11 @@ impl GradStore {
             .iter()
             .map(|l| Matrix::zeros(l.weights().rows(), l.weights().cols()))
             .collect();
-        let biases = net.layers().iter().map(|l| vec![0.0; l.biases().len()]).collect();
+        let biases = net
+            .layers()
+            .iter()
+            .map(|l| vec![0.0; l.biases().len()])
+            .collect();
         Self { weights, biases }
     }
 
@@ -178,7 +182,11 @@ impl Sgd {
     /// Panics if `lr <= 0`.
     pub fn new(lr: f64) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        Self { lr, momentum: 0.0, velocity: None }
+        Self {
+            lr,
+            momentum: 0.0,
+            velocity: None,
+        }
     }
 
     /// Creates SGD with momentum `mu ∈ [0, 1)`.
@@ -189,7 +197,11 @@ impl Sgd {
     pub fn with_momentum(lr: f64, mu: f64) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&mu), "momentum must be in [0, 1)");
-        Self { lr, momentum: mu, velocity: None }
+        Self {
+            lr,
+            momentum: mu,
+            velocity: None,
+        }
     }
 }
 
@@ -251,7 +263,15 @@ impl Adam {
     /// Panics if `lr <= 0`.
     pub fn new(lr: f64) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: None, v: None }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: None,
+            v: None,
+        }
     }
 }
 
@@ -322,7 +342,11 @@ mod tests {
     use crate::mlp::MlpBuilder;
 
     fn tiny_net(seed: u64) -> Mlp {
-        MlpBuilder::new(1).hidden(8, Activation::Tanh).output(1, Activation::Identity).seed(seed).build()
+        MlpBuilder::new(1)
+            .hidden(8, Activation::Tanh)
+            .output(1, Activation::Identity)
+            .seed(seed)
+            .build()
     }
 
     fn train_step(net: &mut Mlp, opt: &mut dyn Optimizer, x: &[f64], t: &[f64]) -> f64 {
@@ -403,7 +427,12 @@ mod tests {
         grads.add_weight_decay(&net, 0.1);
         // gradient of λ‖q‖² is 2λq: same sign as the parameter
         for (i, layer) in net.layers().iter().enumerate() {
-            for (g, w) in grads.weight(i).as_slice().iter().zip(layer.weights().as_slice()) {
+            for (g, w) in grads
+                .weight(i)
+                .as_slice()
+                .iter()
+                .zip(layer.weights().as_slice())
+            {
                 assert_eq!(g.signum(), (2.0 * 0.1 * w).signum());
             }
         }

@@ -79,7 +79,7 @@ pub struct TrainReport {
 /// let xs = vec![vec![-1.0], vec![0.0], vec![1.0]];
 /// let ys = vec![vec![1.0], vec![0.0], vec![1.0]]; // y = x²
 /// let final_loss = fit_regression(&mut net, &xs, &ys,
-///     &TrainConfig { epochs: 300, ..TrainConfig::default() });
+///     &TrainConfig { epochs: 600, ..TrainConfig::default() });
 /// assert!(final_loss < 0.05);
 /// ```
 pub fn fit_regression(
@@ -108,7 +108,11 @@ pub fn fit_regression_with_report(
     config: &TrainConfig,
 ) -> TrainReport {
     assert!(!inputs.is_empty(), "training set is empty");
-    assert_eq!(inputs.len(), targets.len(), "inputs/targets length mismatch");
+    assert_eq!(
+        inputs.len(),
+        targets.len(),
+        "inputs/targets length mismatch"
+    );
     assert!(
         (0.0..=0.9).contains(&config.validation_fraction),
         "validation fraction must be in [0, 0.9]"
@@ -120,7 +124,10 @@ pub fn fit_regression_with_report(
     split.shuffle(&mut rng);
     let val_count = (inputs.len() as f64 * config.validation_fraction) as usize;
     let (val_idx, train_idx) = split.split_at(val_count);
-    assert!(!train_idx.is_empty(), "validation split left no training data");
+    assert!(
+        !train_idx.is_empty(),
+        "validation split left no training data"
+    );
 
     let mut opt = Adam::new(config.learning_rate);
     let mut grads = GradStore::zeros_like(net);
@@ -163,16 +170,19 @@ pub fn fit_regression_with_report(
                 .map(|&i| loss::mse(&net.forward(&inputs[i]), &targets[i]))
                 .sum::<f64>()
                 / val_idx.len() as f64;
-            match &best_val {
-                Some((best, _)) if val_loss >= *best => {
-                    stale_epochs += 1;
-                    if stale_epochs >= config.patience.max(1) {
-                        break;
-                    }
-                }
-                _ => {
-                    best_val = Some((val_loss, net.clone()));
-                    stale_epochs = 0;
+            // a non-finite validation loss is divergence, never an
+            // improvement: without the finiteness guard, NaN compares
+            // false against the incumbent and would be recorded as a new
+            // best (and its weights restored) every epoch
+            let improved =
+                val_loss.is_finite() && best_val.as_ref().is_none_or(|(best, _)| val_loss < *best);
+            if improved {
+                best_val = Some((val_loss, net.clone()));
+                stale_epochs = 0;
+            } else {
+                stale_epochs += 1;
+                if stale_epochs >= config.patience.max(1) {
+                    break;
                 }
             }
         }
@@ -181,7 +191,11 @@ pub fn fit_regression_with_report(
         *net = best_net;
         v
     });
-    TrainReport { final_train_loss: last_epoch_loss, best_validation_loss, epochs_run }
+    TrainReport {
+        final_train_loss: last_epoch_loss,
+        best_validation_loss,
+        epochs_run,
+    }
 }
 
 /// Mean MSE of `net` over a dataset (validation helper).
@@ -191,7 +205,11 @@ pub fn fit_regression_with_report(
 /// Panics if the dataset is empty or lengths mismatch.
 pub fn evaluate_mse(net: &Mlp, inputs: &[Vec<f64>], targets: &[Vec<f64>]) -> f64 {
     assert!(!inputs.is_empty(), "evaluation set is empty");
-    assert_eq!(inputs.len(), targets.len(), "inputs/targets length mismatch");
+    assert_eq!(
+        inputs.len(),
+        targets.len(),
+        "inputs/targets length mismatch"
+    );
     inputs
         .iter()
         .zip(targets)
@@ -207,7 +225,9 @@ mod tests {
     use crate::mlp::MlpBuilder;
 
     fn dataset(f: impl Fn(f64) -> f64, n: usize) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
-        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![2.0 * i as f64 / n as f64 - 1.0]).collect();
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![2.0 * i as f64 / n as f64 - 1.0])
+            .collect();
         let ys = xs.iter().map(|x| vec![f(x[0])]).collect();
         (xs, ys)
     }
@@ -220,7 +240,15 @@ mod tests {
             .output(1, Activation::Identity)
             .seed(11)
             .build();
-        let l = fit_regression(&mut net, &xs, &ys, &TrainConfig { epochs: 300, ..Default::default() });
+        let l = fit_regression(
+            &mut net,
+            &xs,
+            &ys,
+            &TrainConfig {
+                epochs: 300,
+                ..Default::default()
+            },
+        );
         assert!(l < 1e-2, "final loss {l}");
         assert!(evaluate_mse(&net, &xs, &ys) < 1e-2);
     }
@@ -238,7 +266,11 @@ mod tests {
             &mut net,
             &xs,
             &ys,
-            &TrainConfig { epochs: 400, learning_rate: 5e-3, ..Default::default() },
+            &TrainConfig {
+                epochs: 400,
+                learning_rate: 5e-3,
+                ..Default::default()
+            },
         );
         assert!(l < 2e-2, "final loss {l}");
     }
@@ -255,13 +287,19 @@ mod tests {
         };
         let mut free = make();
         let mut decayed = make();
-        let cfg = TrainConfig { epochs: 200, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 200,
+            ..Default::default()
+        };
         fit_regression(&mut free, &xs, &ys, &cfg);
         fit_regression(
             &mut decayed,
             &xs,
             &ys,
-            &TrainConfig { weight_decay: 0.01, ..cfg },
+            &TrainConfig {
+                weight_decay: 0.01,
+                ..cfg
+            },
         );
         assert!(decayed.weight_norm_sq() < free.weight_norm_sq());
     }
@@ -275,7 +313,15 @@ mod tests {
                 .output(1, Activation::Identity)
                 .seed(14)
                 .build();
-            fit_regression(&mut net, &xs, &ys, &TrainConfig { epochs: 50, ..Default::default() });
+            fit_regression(
+                &mut net,
+                &xs,
+                &ys,
+                &TrainConfig {
+                    epochs: 50,
+                    ..Default::default()
+                },
+            );
             net
         };
         assert_eq!(run(), run());
@@ -301,7 +347,9 @@ mod tests {
             },
         );
         assert!(report.epochs_run < 2000, "early stopping never fired");
-        let best = report.best_validation_loss.expect("validation split active");
+        let best = report
+            .best_validation_loss
+            .expect("validation split active");
         assert!(best < 0.1, "best validation loss {best}");
         // restored weights reproduce the recorded best validation loss
         let mut split: Vec<usize> = (0..xs.len()).collect();
@@ -314,29 +362,65 @@ mod tests {
             .map(|&i| crate::loss::mse(&net.forward(&xs[i]), &ys[i]))
             .sum::<f64>()
             / val_count as f64;
-        assert!((recomputed - best).abs() < 1e-9, "restored {recomputed} vs best {best}");
+        assert!(
+            (recomputed - best).abs() < 1e-9,
+            "restored {recomputed} vs best {best}"
+        );
     }
 
     #[test]
     fn zero_validation_fraction_disables_early_stopping() {
         let (xs, ys) = dataset(|x| x, 16);
-        let mut net =
-            MlpBuilder::new(1).hidden(4, Activation::Tanh).output(1, Activation::Identity).build();
+        let mut net = MlpBuilder::new(1)
+            .hidden(4, Activation::Tanh)
+            .output(1, Activation::Identity)
+            .build();
         let report = fit_regression_with_report(
             &mut net,
             &xs,
             &ys,
-            &TrainConfig { epochs: 25, ..Default::default() },
+            &TrainConfig {
+                epochs: 25,
+                ..Default::default()
+            },
         );
         assert_eq!(report.epochs_run, 25);
         assert!(report.best_validation_loss.is_none());
     }
 
     #[test]
+    fn nan_targets_never_become_the_best_validation_weights() {
+        // divergence guard: a NaN validation loss must count as stale,
+        // not as a new best, so early stopping still terminates and no
+        // NaN snapshot is restored
+        let (xs, ys) = dataset(|_| f64::NAN, 32);
+        let mut net = MlpBuilder::new(1)
+            .hidden(4, Activation::Tanh)
+            .output(1, Activation::Identity)
+            .seed(15)
+            .build();
+        let report = fit_regression_with_report(
+            &mut net,
+            &xs,
+            &ys,
+            &TrainConfig {
+                epochs: 50,
+                validation_fraction: 0.25,
+                patience: 3,
+                ..Default::default()
+            },
+        );
+        assert!(report.best_validation_loss.is_none());
+        assert_eq!(
+            report.epochs_run, 3,
+            "early stopping must fire on stale NaN epochs"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "empty")]
     fn empty_dataset_panics() {
-        let mut net =
-            MlpBuilder::new(1).output(1, Activation::Identity).build();
+        let mut net = MlpBuilder::new(1).output(1, Activation::Identity).build();
         fit_regression(&mut net, &[], &[], &TrainConfig::default());
     }
 }

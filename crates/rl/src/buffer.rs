@@ -50,7 +50,10 @@ impl ReplayBuffer {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        Self { capacity, data: VecDeque::with_capacity(capacity.min(1 << 20)) }
+        Self {
+            capacity,
+            data: VecDeque::with_capacity(capacity.min(1 << 20)),
+        }
     }
 
     /// Appends a transition, evicting the oldest when full.
@@ -79,7 +82,9 @@ impl ReplayBuffer {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<&Transition> {
         assert!(!self.data.is_empty(), "cannot sample from an empty buffer");
         assert!(n > 0, "sample size must be positive");
-        (0..n).map(|_| &self.data[rng.gen_range(0..self.data.len())]).collect()
+        (0..n)
+            .map(|_| &self.data[rng.gen_range(0..self.data.len())])
+            .collect()
     }
 
     /// Uniformly samples `min(n, len)` distinct transitions.
@@ -106,7 +111,13 @@ mod tests {
     use super::*;
 
     fn t(v: f64) -> Transition {
-        Transition { state: vec![v], action: vec![0.0], reward: v, next_state: vec![v], done: false }
+        Transition {
+            state: vec![v],
+            action: vec![0.0],
+            reward: v,
+            next_state: vec![v],
+            done: false,
+        }
     }
 
     #[test]
@@ -118,7 +129,10 @@ mod tests {
         assert_eq!(b.len(), 3);
         let mut rng = cocktail_math::rng::seeded(0);
         let sampled = b.sample(&mut rng, 50);
-        assert!(sampled.iter().all(|tr| tr.reward >= 2.0), "old entries evicted");
+        assert!(
+            sampled.iter().all(|tr| tr.reward >= 2.0),
+            "old entries evicted"
+        );
     }
 
     #[test]

@@ -119,13 +119,25 @@ impl DdpgTrainer {
             .output(1, Activation::Identity)
             .seed(config.seed.wrapping_add(1))
             .build();
-        Self { config: config.clone(), actor, critic }
+        Self {
+            config: config.clone(),
+            actor,
+            critic,
+        }
     }
 
     /// Runs the training loop, consuming the trainer.
     pub fn train(mut self, mdp: &mut dyn Mdp) -> TrainedActor {
-        assert_eq!(mdp.state_dim(), self.actor.input_dim(), "state dim mismatch");
-        assert_eq!(mdp.action_dim(), self.actor.output_dim(), "action dim mismatch");
+        assert_eq!(
+            mdp.state_dim(),
+            self.actor.input_dim(),
+            "state dim mismatch"
+        );
+        assert_eq!(
+            mdp.action_dim(),
+            self.actor.output_dim(),
+            "action dim mismatch"
+        );
         let bound = mdp.action_bound();
         let mut rng = cocktail_math::rng::seeded(self.config.seed.wrapping_add(2));
         let mut buffer = ReplayBuffer::new(self.config.buffer_capacity);
@@ -181,9 +193,16 @@ impl DdpgTrainer {
                 }
             }
             noise *= self.config.noise_decay;
-            history.push(EpisodeStats { episode_return, length });
+            history.push(EpisodeStats {
+                episode_return,
+                length,
+            });
         }
-        TrainedActor { actor: self.actor, critic: self.critic, history }
+        TrainedActor {
+            actor: self.actor,
+            critic: self.critic,
+            history,
+        }
     }
 
     fn learn(
@@ -226,9 +245,9 @@ impl DdpgTrainer {
             let mut q_in = t.state.clone();
             q_in.extend_from_slice(&a);
             let dq_dinput = self.critic.input_gradient(&q_in, &[1.0]);
-            let dloss_da: Vec<f64> =
-                dq_dinput[state_dim..].iter().map(|g| -g).collect();
-            self.actor.backward(&acache, &dloss_da, &mut actor_grads, scale);
+            let dloss_da: Vec<f64> = dq_dinput[state_dim..].iter().map(|g| -g).collect();
+            self.actor
+                .backward(&acache, &dloss_da, &mut actor_grads, scale);
         }
         actor_grads.clip_global_norm(5.0);
         actor_opt.step(&mut self.actor, &actor_grads);
@@ -269,7 +288,11 @@ mod tests {
             let act = a[0].clamp(-1.0, 1.0);
             self.x += 0.2 * act;
             self.t += 1;
-            (vec![self.x], -self.x * self.x - 0.01 * act * act, self.t >= 25)
+            (
+                vec![self.x],
+                -self.x * self.x - 0.01 * act * act,
+                self.t >= 25,
+            )
         }
     }
 
@@ -284,8 +307,11 @@ mod tests {
         };
         let mut mdp = PointMdp { x: 0.0, t: 0 };
         let trained = DdpgTrainer::new(&config, 1, 1).train(&mut mdp);
-        let early: f64 =
-            trained.history[..8].iter().map(|s| s.episode_return).sum::<f64>() / 8.0;
+        let early: f64 = trained.history[..8]
+            .iter()
+            .map(|s| s.episode_return)
+            .sum::<f64>()
+            / 8.0;
         let late: f64 = trained.history[trained.history.len() - 8..]
             .iter()
             .map(|s| s.episode_return)
@@ -301,8 +327,14 @@ mod tests {
 
     #[test]
     fn soft_update_interpolates() {
-        let a = MlpBuilder::new(1).output(1, Activation::Identity).seed(1).build();
-        let b = MlpBuilder::new(1).output(1, Activation::Identity).seed(2).build();
+        let a = MlpBuilder::new(1)
+            .output(1, Activation::Identity)
+            .seed(1)
+            .build();
+        let b = MlpBuilder::new(1)
+            .output(1, Activation::Identity)
+            .seed(2)
+            .build();
         let mut t = a.clone();
         soft_update(&mut t, &b, 1.0);
         assert_eq!(t, b, "τ=1 copies the source");
@@ -317,7 +349,14 @@ mod tests {
 
     #[test]
     fn actor_outputs_are_bounded() {
-        let trainer = DdpgTrainer::new(&DdpgConfig { hidden: 8, ..Default::default() }, 2, 1);
+        let trainer = DdpgTrainer::new(
+            &DdpgConfig {
+                hidden: 8,
+                ..Default::default()
+            },
+            2,
+            1,
+        );
         for s in [[0.0, 0.0], [100.0, -100.0]] {
             let a = trainer.actor.forward(&s);
             assert!(a[0].abs() <= 1.0);
@@ -337,7 +376,10 @@ mod tests {
         let mut mdp = PointMdp { x: 0.0, t: 0 };
         let trained = DdpgTrainer::new(&config, 1, 1).train(&mut mdp);
         let a_pos = trained.actor.forward(&[0.8])[0];
-        assert!(a_pos < 0.0, "OU-trained policy should push x=0.8 down, got {a_pos}");
+        assert!(
+            a_pos < 0.0,
+            "OU-trained policy should push x=0.8 down, got {a_pos}"
+        );
     }
 
     #[test]

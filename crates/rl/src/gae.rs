@@ -25,7 +25,11 @@
 /// ```
 pub fn gae(rewards: &[f64], values: &[f64], gamma: f64, lambda: f64) -> (Vec<f64>, Vec<f64>) {
     assert!(!rewards.is_empty(), "empty episode");
-    assert_eq!(values.len(), rewards.len() + 1, "values must include the bootstrap entry");
+    assert_eq!(
+        values.len(),
+        rewards.len() + 1,
+        "values must include the bootstrap entry"
+    );
     assert!(gamma > 0.0 && gamma <= 1.0, "gamma must be in (0, 1]");
     assert!(lambda > 0.0 && lambda <= 1.0, "lambda must be in (0, 1]");
     let n = rewards.len();

@@ -76,6 +76,10 @@ pub fn grad_log_std(action: &[f64], mean: &[f64], log_std: &[f64]) -> Vec<f64> {
 /// # Panics
 ///
 /// Panics if the slice lengths differ.
+#[allow(
+    clippy::expect_used,
+    reason = "exp(log_std) is always a valid positive standard deviation"
+)]
 pub fn sample<R: Rng + ?Sized>(rng: &mut R, mean: &[f64], log_std: &[f64]) -> Vec<f64> {
     assert_eq!(mean.len(), log_std.len(), "length mismatch");
     mean.iter()

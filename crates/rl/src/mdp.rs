@@ -57,6 +57,10 @@ impl PlantEpisode {
         }
     }
 
+    #[allow(
+        clippy::expect_used,
+        reason = "StdRng::from_rng is infallible for non-erroring sources"
+    )]
     fn reset(&mut self, rng: &mut dyn RngCore) -> Vec<f64> {
         let mut r = rand::rngs::StdRng::from_rng(rng).expect("rng never fails");
         self.state = cocktail_math::rng::uniform_in_box(&mut r, &self.sys.initial_set());
@@ -93,8 +97,15 @@ impl DirectControlMdp {
     /// control bound.
     pub fn new(sys: Arc<dyn Dynamics>, reward: RewardConfig, seed: u64) -> Self {
         let (lo, hi) = sys.control_bounds();
-        let u_scale = lo.iter().zip(&hi).map(|(&l, &h)| 0.5 * (h - l).abs().max(l.abs().max(h.abs()))).collect();
-        Self { episode: PlantEpisode::new(sys, reward, seed), u_scale }
+        let u_scale = lo
+            .iter()
+            .zip(&hi)
+            .map(|(&l, &h)| 0.5 * (h - l).abs().max(l.abs().max(h.abs())))
+            .collect();
+        Self {
+            episode: PlantEpisode::new(sys, reward, seed),
+            u_scale,
+        }
     }
 
     /// The wrapped plant.
@@ -160,7 +171,11 @@ impl MixingMdp {
     ) -> Self {
         assert!(!experts.is_empty(), "mixing needs at least one expert");
         assert!(weight_bound >= 1.0, "weight bound must be at least 1");
-        Self { episode: PlantEpisode::new(sys, reward, seed), experts, weight_bound }
+        Self {
+            episode: PlantEpisode::new(sys, reward, seed),
+            experts,
+            weight_bound,
+        }
     }
 
     /// The experts being mixed.
@@ -228,10 +243,16 @@ impl SwitchingMdp {
         reward: RewardConfig,
         seed: u64,
     ) -> Self {
-        Self { inner: MixingMdp::new(sys, experts, 1.0, reward, seed) }
+        Self {
+            inner: MixingMdp::new(sys, experts, 1.0, reward, seed),
+        }
     }
 
     /// Index of the expert an action vector activates.
+    #[allow(
+        clippy::expect_used,
+        reason = "action vectors from this MDP are never empty"
+    )]
     pub fn chosen_expert(action: &[f64]) -> usize {
         action
             .iter()
@@ -277,8 +298,12 @@ mod tests {
     fn vdp_experts() -> (Arc<dyn Dynamics>, Vec<Arc<dyn Controller>>) {
         let sys: Arc<dyn Dynamics> = Arc::new(VanDerPol::new());
         let experts: Vec<Arc<dyn Controller>> = vec![
-            Arc::new(LinearFeedbackController::new(Matrix::from_rows(vec![vec![1.0, 1.5]]))),
-            Arc::new(LinearFeedbackController::new(Matrix::from_rows(vec![vec![4.0, 4.0]]))),
+            Arc::new(LinearFeedbackController::new(Matrix::from_rows(vec![
+                vec![1.0, 1.5],
+            ]))),
+            Arc::new(LinearFeedbackController::new(Matrix::from_rows(vec![
+                vec![4.0, 4.0],
+            ]))),
         ];
         (sys, experts)
     }

@@ -9,9 +9,10 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Which exploration-noise process DDPG uses.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum NoiseKind {
     /// Independent `N(0, σ²)` per step.
+    #[default]
     Gaussian,
     /// Ornstein–Uhlenbeck: `x ← x + θ(μ − x) + σ ε`, temporally
     /// correlated with mean reversion to `μ = 0`.
@@ -19,12 +20,6 @@ pub enum NoiseKind {
         /// Mean-reversion rate `θ ∈ (0, 1]`.
         theta: f64,
     },
-}
-
-impl Default for NoiseKind {
-    fn default() -> Self {
-        NoiseKind::Gaussian
-    }
 }
 
 /// A stateful exploration-noise generator.
@@ -56,13 +51,18 @@ impl ExplorationNoise {
         if let NoiseKind::OrnsteinUhlenbeck { theta } = kind {
             assert!(theta > 0.0 && theta <= 1.0, "theta must be in (0, 1]");
         }
-        Self { kind, state: vec![0.0; dim] }
+        Self {
+            kind,
+            state: vec![0.0; dim],
+        }
     }
 
     /// Draws the next noise vector at amplitude `sigma`.
     pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R, sigma: f64) -> Vec<f64> {
         match self.kind {
-            NoiseKind::Gaussian => cocktail_math::rng::gaussian_vector(rng, self.state.len(), sigma),
+            NoiseKind::Gaussian => {
+                cocktail_math::rng::gaussian_vector(rng, self.state.len(), sigma)
+            }
             NoiseKind::OrnsteinUhlenbeck { theta } => {
                 let eps = cocktail_math::rng::gaussian_vector(rng, self.state.len(), sigma);
                 for (x, e) in self.state.iter_mut().zip(&eps) {
@@ -87,7 +87,9 @@ mod tests {
     fn gaussian_noise_is_uncorrelated() {
         let mut noise = ExplorationNoise::new(NoiseKind::Gaussian, 1);
         let mut rng = cocktail_math::rng::seeded(1);
-        let xs: Vec<f64> = (0..20_000).map(|_| noise.sample(&mut rng, 1.0)[0]).collect();
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| noise.sample(&mut rng, 1.0)[0])
+            .collect();
         // lag-1 autocorrelation ≈ 0
         let mean = cocktail_math::stats::mean(&xs);
         let var = cocktail_math::stats::variance(&xs);
@@ -96,14 +98,20 @@ mod tests {
             .map(|w| (w[0] - mean) * (w[1] - mean))
             .sum::<f64>()
             / (xs.len() - 1) as f64;
-        assert!((autocov / var).abs() < 0.05, "gaussian autocorrelation {}", autocov / var);
+        assert!(
+            (autocov / var).abs() < 0.05,
+            "gaussian autocorrelation {}",
+            autocov / var
+        );
     }
 
     #[test]
     fn ou_noise_is_positively_correlated() {
         let mut noise = ExplorationNoise::new(NoiseKind::OrnsteinUhlenbeck { theta: 0.1 }, 1);
         let mut rng = cocktail_math::rng::seeded(2);
-        let xs: Vec<f64> = (0..20_000).map(|_| noise.sample(&mut rng, 0.3)[0]).collect();
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| noise.sample(&mut rng, 0.3)[0])
+            .collect();
         let mean = cocktail_math::stats::mean(&xs);
         let var = cocktail_math::stats::variance(&xs);
         let autocov: f64 = xs
@@ -120,7 +128,9 @@ mod tests {
     fn ou_mean_reverts_to_zero() {
         let mut noise = ExplorationNoise::new(NoiseKind::OrnsteinUhlenbeck { theta: 0.2 }, 1);
         let mut rng = cocktail_math::rng::seeded(3);
-        let xs: Vec<f64> = (0..50_000).map(|_| noise.sample(&mut rng, 0.2)[0]).collect();
+        let xs: Vec<f64> = (0..50_000)
+            .map(|_| noise.sample(&mut rng, 0.2)[0])
+            .collect();
         assert!(cocktail_math::stats::mean(&xs).abs() < 0.05);
     }
 

@@ -81,14 +81,23 @@ pub struct GaussianPolicy {
 
 impl GaussianPolicy {
     /// Creates a policy with a fresh mean network.
-    pub fn new(state_dim: usize, action_dim: usize, hidden: usize, init_log_std: f64, seed: u64) -> Self {
+    pub fn new(
+        state_dim: usize,
+        action_dim: usize,
+        hidden: usize,
+        init_log_std: f64,
+        seed: u64,
+    ) -> Self {
         let mean_net = MlpBuilder::new(state_dim)
             .hidden(hidden, Activation::Tanh)
             .hidden(hidden, Activation::Tanh)
             .output(action_dim, Activation::Identity)
             .seed(seed)
             .build();
-        Self { mean_net, log_std: vec![init_log_std; action_dim] }
+        Self {
+            mean_net,
+            log_std: vec![init_log_std; action_dim],
+        }
     }
 
     /// The mean network.
@@ -113,7 +122,10 @@ impl GaussianPolicy {
 
     /// Deterministic deployment action: `clip(μ(s), ±bound)`.
     pub fn deterministic(&self, s: &[f64], bound: f64) -> Vec<f64> {
-        self.mean(s).iter().map(|m| m.clamp(-bound, bound)).collect()
+        self.mean(s)
+            .iter()
+            .map(|m| m.clamp(-bound, bound))
+            .collect()
     }
 }
 
@@ -160,7 +172,12 @@ struct VecAdam {
 
 impl VecAdam {
     fn new(lr: f64, dim: usize) -> Self {
-        Self { lr, t: 0, m: vec![0.0; dim], v: vec![0.0; dim] }
+        Self {
+            lr,
+            t: 0,
+            m: vec![0.0; dim],
+            v: vec![0.0; dim],
+        }
     }
 
     fn step(&mut self, params: &mut [f64], grads: &[f64]) {
@@ -200,13 +217,25 @@ impl PpoTrainer {
             .output(1, Activation::Identity)
             .seed(config.seed.wrapping_add(1))
             .build();
-        Self { config: config.clone(), policy, value }
+        Self {
+            config: config.clone(),
+            policy,
+            value,
+        }
     }
 
     /// Runs the full training loop, consuming the trainer.
     pub fn train(mut self, mdp: &mut dyn Mdp) -> TrainedPolicy {
-        assert_eq!(mdp.state_dim(), self.policy.mean_net.input_dim(), "state dim mismatch");
-        assert_eq!(mdp.action_dim(), self.policy.mean_net.output_dim(), "action dim mismatch");
+        assert_eq!(
+            mdp.state_dim(),
+            self.policy.mean_net.input_dim(),
+            "state dim mismatch"
+        );
+        assert_eq!(
+            mdp.action_dim(),
+            self.policy.mean_net.output_dim(),
+            "action dim mismatch"
+        );
         let mut rng = cocktail_math::rng::seeded(self.config.seed.wrapping_add(2));
         let mut policy_opt = Adam::new(self.config.policy_lr);
         let mut value_opt = Adam::new(self.config.value_lr);
@@ -216,9 +245,19 @@ impl PpoTrainer {
         for _ in 0..self.config.iterations {
             let (samples, stats) = self.collect(mdp, &mut rng);
             history.push(stats);
-            self.update(&samples, &mut policy_opt, &mut value_opt, &mut log_std_opt, &mut rng);
+            self.update(
+                &samples,
+                &mut policy_opt,
+                &mut value_opt,
+                &mut log_std_opt,
+                &mut rng,
+            );
         }
-        TrainedPolicy { policy: self.policy, value: self.value, history }
+        TrainedPolicy {
+            policy: self.policy,
+            value: self.value,
+            history,
+        }
     }
 
     fn collect(
@@ -258,8 +297,7 @@ impl PpoTrainer {
             // the horizon as the true episode end (finite-horizon objective,
             // Eq. of Section III-A), so 0 is the correct terminal value.
             let _ = &mut truncated_bootstrap;
-            let mut values: Vec<f64> =
-                states.iter().map(|st| self.value.forward(st)[0]).collect();
+            let mut values: Vec<f64> = states.iter().map(|st| self.value.forward(st)[0]).collect();
             values.push(truncated_bootstrap);
             let (advantages, rets) = gae(&rewards, &values, self.config.gamma, self.config.lambda);
             let episode_return: f64 = rewards.iter().sum();
@@ -270,8 +308,7 @@ impl PpoTrainer {
             returns.push(episode_return);
             lengths.push(rewards.len() as f64);
             for i in 0..states.len() {
-                let log_prob_old =
-                    gaussian::log_prob(&actions[i], &means[i], &self.policy.log_std);
+                let log_prob_old = gaussian::log_prob(&actions[i], &means[i], &self.policy.log_std);
                 samples.push(Sample {
                     state: states[i].clone(),
                     action: actions[i].clone(),
@@ -334,20 +371,27 @@ impl PpoTrainer {
                     let clipped_ratio =
                         ratio.clamp(1.0 - self.config.clip_ratio, 1.0 + self.config.clip_ratio);
                     let surrogate_active = ratio * s.advantage <= clipped_ratio * s.advantage;
-                    let coeff = if surrogate_active { ratio * s.advantage } else { 0.0 };
+                    let coeff = if surrogate_active {
+                        ratio * s.advantage
+                    } else {
+                        0.0
+                    };
 
                     // ∂(-L)/∂μ = -coeff·∂logπ/∂μ + β·∂KL/∂μ
                     let glp_mean = gaussian::grad_mean(&s.action, &mean_new, &self.policy.log_std);
-                    let mut grad_mean_total: Vec<f64> = glp_mean
-                        .iter()
-                        .map(|g| -coeff * g)
-                        .collect();
+                    let mut grad_mean_total: Vec<f64> =
+                        glp_mean.iter().map(|g| -coeff * g).collect();
                     // KL(old‖new) gradient wrt new mean: (μn−μo)/σn²
                     for (k, gi) in grad_mean_total.iter_mut().enumerate() {
                         let gap = mean_new[k] - s.mean_old[k];
                         *gi += self.config.kl_beta * gap / (2.0 * self.policy.log_std[k]).exp();
                     }
-                    self.policy.mean_net.backward(&cache, &grad_mean_total, &mut policy_grads, scale);
+                    self.policy.mean_net.backward(
+                        &cache,
+                        &grad_mean_total,
+                        &mut policy_grads,
+                        scale,
+                    );
 
                     // log_std gradients: surrogate + KL + entropy bonus
                     let glp_ls = gaussian::grad_log_std(&s.action, &mean_new, &self.policy.log_std);
@@ -432,16 +476,28 @@ mod tests {
         };
         let mut mdp = PointMdp { x: 0.0, t: 0 };
         let trained = PpoTrainer::new(&config, 1, 1).train(&mut mdp);
-        let early: f64 = trained.history[..5].iter().map(|s| s.mean_return).sum::<f64>() / 5.0;
-        let late: f64 =
-            trained.history[trained.history.len() - 5..].iter().map(|s| s.mean_return).sum::<f64>()
-                / 5.0;
+        let early: f64 = trained.history[..5]
+            .iter()
+            .map(|s| s.mean_return)
+            .sum::<f64>()
+            / 5.0;
+        let late: f64 = trained.history[trained.history.len() - 5..]
+            .iter()
+            .map(|s| s.mean_return)
+            .sum::<f64>()
+            / 5.0;
         assert!(late > early, "no improvement: early {early} late {late}");
         // the learned deterministic policy should push x towards 0
         let a_pos = trained.policy.deterministic(&[0.8], 1.0)[0];
         let a_neg = trained.policy.deterministic(&[-0.8], 1.0)[0];
-        assert!(a_pos < 0.0, "at x=0.8 action should be negative, got {a_pos}");
-        assert!(a_neg > 0.0, "at x=-0.8 action should be positive, got {a_neg}");
+        assert!(
+            a_pos < 0.0,
+            "at x=0.8 action should be negative, got {a_pos}"
+        );
+        assert!(
+            a_neg > 0.0,
+            "at x=-0.8 action should be positive, got {a_neg}"
+        );
     }
 
     #[test]
@@ -456,7 +512,9 @@ mod tests {
         let p = GaussianPolicy::new(1, 1, 8, -2.0, 1);
         let mut rng = cocktail_math::rng::seeded(2);
         let m = p.mean(&[0.3])[0];
-        let xs: Vec<f64> = (0..2000).map(|_| p.sample(&mut rng, &[0.3])[0] - m).collect();
+        let xs: Vec<f64> = (0..2000)
+            .map(|_| p.sample(&mut rng, &[0.3])[0] - m)
+            .collect();
         let std = cocktail_math::stats::std_dev(&xs);
         assert!((std - (-2.0_f64).exp()).abs() < 0.02, "std {std}");
     }

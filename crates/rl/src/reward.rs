@@ -28,7 +28,12 @@ pub struct RewardConfig {
 
 impl Default for RewardConfig {
     fn default() -> Self {
-        Self { punish: -100.0, alive_bonus: 1.0, energy_scale: 0.05, state_scale: 0.25 }
+        Self {
+            punish: -100.0,
+            alive_bonus: 1.0,
+            energy_scale: 0.05,
+            state_scale: 0.25,
+        }
     }
 }
 

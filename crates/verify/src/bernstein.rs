@@ -1,6 +1,6 @@
 //! Bernstein-polynomial over-approximation of neural controllers.
 //!
-//! Following ReachNN \[21\] and the paper's Section III-C, a network
+//! Following `ReachNN` \[21\] and the paper's Section III-C, a network
 //! `κ: X → R` is replaced by `B_d(x) ± ε` where `B_d` is the degree-`d`
 //! tensor-product Bernstein approximant and `ε` a *rigorous* error bound.
 //! The classical modulus-of-continuity estimate gives, per dimension of
@@ -71,7 +71,11 @@ impl BernsteinApprox {
                 *item = 0;
             }
         }
-        Self { domain: domain.clone(), degree, coeffs }
+        Self {
+            domain: domain.clone(),
+            degree,
+            coeffs,
+        }
     }
 
     /// The approximation domain.
@@ -98,11 +102,7 @@ impl BernsteinApprox {
             .iter()
             .map(|&ti| {
                 (0..=d)
-                    .map(|k| {
-                        binomial(d, k)
-                            * ti.powi(k as i32)
-                            * (1.0 - ti).powi((d - k) as i32)
-                    })
+                    .map(|k| binomial(d, k) * ti.powi(k as i32) * (1.0 - ti).powi((d - k) as i32))
                     .collect()
             })
             .collect();
@@ -130,7 +130,11 @@ impl BernsteinApprox {
     /// polynomial lies within the range of its coefficients.
     pub fn coefficient_range(&self) -> Interval {
         let lo = self.coeffs.iter().copied().fold(f64::INFINITY, f64::min);
-        let hi = self.coeffs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let hi = self
+            .coeffs
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
         Interval::new(lo, hi)
     }
 
@@ -163,8 +167,8 @@ impl BernsteinApprox {
             .sum::<f64>()
             .sqrt();
         let centre = self.eval(&q.center());
-        let mean_value = Interval::symmetric(self.lipschitz_bound() * radius)
-            + Interval::point(centre);
+        let mean_value =
+            Interval::symmetric(self.lipschitz_bound() * radius) + Interval::point(centre);
         bound.intersect(&mean_value).unwrap_or(bound)
     }
 
@@ -307,7 +311,12 @@ pub struct CertificateConfig {
 
 impl Default for CertificateConfig {
     fn default() -> Self {
-        Self { degree: 4, tolerance: 0.5, max_pieces: 2048, error_samples_per_dim: 5 }
+        Self {
+            degree: 4,
+            tolerance: 0.5,
+            max_pieces: 2048,
+            error_samples_per_dim: 5,
+        }
     }
 }
 
@@ -337,7 +346,7 @@ impl BernsteinCertificate {
     ///
     /// Returns [`VerifyError::ResourceExhausted`] when more than
     /// `config.max_pieces` pieces would be needed — high-Lipschitz networks
-    /// hit this budget, which is the paper's κ_D failure mode.
+    /// hit this budget, which is the paper's `κ_D` failure mode.
     ///
     /// # Panics
     ///
@@ -384,9 +393,18 @@ impl BernsteinCertificate {
                 queue.push(b);
                 continue;
             }
-            pieces.push(CertPiece { region, polys, epsilon });
+            pieces.push(CertPiece {
+                region,
+                polys,
+                epsilon,
+            });
         }
-        Ok(Self { pieces, domain: domain.clone(), output_dim: scale.len(), lipschitz })
+        Ok(Self {
+            pieces,
+            domain: domain.clone(),
+            output_dim: scale.len(),
+            lipschitz,
+        })
     }
 
     /// Number of partition pieces — the paper's verification-cost driver.
@@ -411,7 +429,9 @@ impl BernsteinCertificate {
 
     /// The pieces intersecting `q` (used by the analyses).
     fn pieces_covering<'a>(&'a self, q: &'a BoxRegion) -> impl Iterator<Item = &'a CertPiece> {
-        self.pieces.iter().filter(move |p| p.region.intersect(q).is_some())
+        self.pieces
+            .iter()
+            .filter(move |p| p.region.intersect(q).is_some())
     }
 
     /// Evaluates the certified approximation at a point (mid-value, no
@@ -420,6 +440,10 @@ impl BernsteinCertificate {
     /// # Panics
     ///
     /// Panics if `x` lies outside the certified domain.
+    #[allow(
+        clippy::expect_used,
+        reason = "the out-of-domain panic is documented above"
+    )]
     pub fn eval(&self, x: &[f64]) -> Vec<f64> {
         let piece = self
             .pieces
@@ -439,6 +463,10 @@ impl ControlEnclosure for BernsteinCertificate {
         self.output_dim
     }
 
+    #[allow(
+        clippy::expect_used,
+        reason = "pieces_covering yields only intersecting pieces, and the partition covers the domain"
+    )]
     fn enclose(&self, q: &BoxRegion) -> Vec<Interval> {
         let mut out: Vec<Option<Interval>> = vec![None; self.output_dim];
         for piece in self.pieces_covering(q) {
@@ -549,7 +577,10 @@ mod tests {
             &net,
             &[5.0],
             &domain,
-            &CertificateConfig { tolerance: 0.4, ..Default::default() },
+            &CertificateConfig {
+                tolerance: 0.4,
+                ..Default::default()
+            },
         )
         .expect("budget suffices");
         let mut rng = cocktail_math::rng::seeded(3);
@@ -557,14 +588,16 @@ mod tests {
             let x = cocktail_math::rng::uniform_in_box(&mut rng, &domain);
             let truth = 5.0 * net.forward(&x)[0];
             // enclose a tiny box around x
-            let q = BoxRegion::from_bounds(
-                &[x[0] - 1e-6, x[1] - 1e-6],
-                &[x[0] + 1e-6, x[1] + 1e-6],
-            )
-            .intersect(&domain)
-            .expect("inside");
+            let q =
+                BoxRegion::from_bounds(&[x[0] - 1e-6, x[1] - 1e-6], &[x[0] + 1e-6, x[1] + 1e-6])
+                    .intersect(&domain)
+                    .expect("inside");
             let iv = cert.enclose(&q);
-            assert!(iv[0].inflate(1e-6).contains(truth), "{truth} escapes {}", iv[0]);
+            assert!(
+                iv[0].inflate(1e-6).contains(truth),
+                "{truth} escapes {}",
+                iv[0]
+            );
         }
     }
 
@@ -576,7 +609,11 @@ mod tests {
             l.weights_mut().scale_inplace(0.5);
         }
         let domain = BoxRegion::cube(2, -1.0, 1.0);
-        let cfg = CertificateConfig { tolerance: 0.3, max_pieces: 1 << 14, ..Default::default() };
+        let cfg = CertificateConfig {
+            tolerance: 0.3,
+            max_pieces: 1 << 14,
+            ..Default::default()
+        };
         let big = BernsteinCertificate::build(&net, &[10.0], &domain, &cfg).expect("fits");
         let small = BernsteinCertificate::build(&shrunk, &[10.0], &domain, &cfg).expect("fits");
         assert!(
@@ -596,7 +633,11 @@ mod tests {
             &net,
             &[100.0],
             &domain,
-            &CertificateConfig { tolerance: 1e-3, max_pieces: 8, ..Default::default() },
+            &CertificateConfig {
+                tolerance: 1e-3,
+                max_pieces: 8,
+                ..Default::default()
+            },
         )
         .expect_err("tiny budget must blow up");
         assert!(matches!(err, VerifyError::ResourceExhausted { .. }));
@@ -606,8 +647,9 @@ mod tests {
     fn eval_matches_network_within_epsilon() {
         let net = small_net(8);
         let domain = BoxRegion::cube(2, -1.0, 1.0);
-        let cert = BernsteinCertificate::build(&net, &[1.0], &domain, &CertificateConfig::default())
-            .expect("fits");
+        let cert =
+            BernsteinCertificate::build(&net, &[1.0], &domain, &CertificateConfig::default())
+                .expect("fits");
         let x = [0.2, -0.4];
         let approx = cert.eval(&x)[0];
         let truth = net.forward(&x)[0];

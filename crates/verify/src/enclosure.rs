@@ -136,8 +136,7 @@ mod tests {
 
     #[test]
     fn trait_is_object_safe() {
-        let enc: Box<dyn ControlEnclosure> =
-            Box::new(LinearEnclosure::new(Matrix::identity(2)));
+        let enc: Box<dyn ControlEnclosure> = Box::new(LinearEnclosure::new(Matrix::identity(2)));
         assert_eq!(enc.state_dim(), 2);
         assert_eq!(enc.control_dim(), 2);
     }

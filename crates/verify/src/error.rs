@@ -43,10 +43,16 @@ impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VerifyError::ResourceExhausted { resource, budget } => {
-                write!(f, "verification budget exhausted: {resource} exceeded {budget}")
+                write!(
+                    f,
+                    "verification budget exhausted: {resource} exceeded {budget}"
+                )
             }
             VerifyError::DomainEscape { step } => {
-                write!(f, "reachable set escaped the certificate domain at step {step}")
+                write!(
+                    f,
+                    "reachable set escaped the certificate domain at step {step}"
+                )
             }
             VerifyError::Unsafe { step } => {
                 write!(f, "safety violation proven at step {step}")
@@ -66,7 +72,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = VerifyError::ResourceExhausted { resource: "bernstein partitions", budget: 4096 };
+        let e = VerifyError::ResourceExhausted {
+            resource: "bernstein partitions",
+            budget: 4096,
+        };
         let s = e.to_string();
         assert!(s.contains("4096") && s.contains("partitions"));
         assert!(!VerifyError::DomainEscape { step: 3 }.to_string().is_empty());
@@ -75,8 +84,9 @@ mod tests {
 
     #[test]
     fn error_trait_object() {
-        let e: Box<dyn Error> =
-            Box::new(VerifyError::DimensionMismatch { detail: "2 vs 3".into() });
+        let e: Box<dyn Error> = Box::new(VerifyError::DimensionMismatch {
+            detail: "2 vs 3".into(),
+        });
         assert!(e.to_string().contains("2 vs 3"));
     }
 }

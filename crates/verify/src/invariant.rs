@@ -24,7 +24,10 @@ pub struct InvariantConfig {
 
 impl Default for InvariantConfig {
     fn default() -> Self {
-        Self { grid: 32, max_iterations: 200 }
+        Self {
+            grid: 32,
+            max_iterations: 200,
+        }
     }
 }
 
@@ -74,19 +77,23 @@ impl InvariantResult {
     /// The surviving cells as boxes (for plotting Fig. 3).
     pub fn cells(&self) -> Vec<BoxRegion> {
         let all = self.domain.subdivide(self.grid);
-        all.into_iter().zip(&self.alive).filter(|(_, &a)| a).map(|(c, _)| c).collect()
+        all.into_iter()
+            .zip(&self.alive)
+            .filter(|(_, &a)| a)
+            .map(|(c, _)| c)
+            .collect()
     }
 
     fn cell_index(&self, p: &[f64]) -> Option<usize> {
         let n = self.domain.dim();
         let mut index = 0usize;
         let mut stride = 1usize;
-        for i in 0..n {
+        for (i, &pi) in p.iter().enumerate().take(n) {
             let iv = self.domain.interval(i);
             if iv.width() == 0.0 {
                 return None;
             }
-            let mut k = ((p[i] - iv.lo()) / iv.width() * self.grid as f64).floor() as isize;
+            let mut k = ((pi - iv.lo()) / iv.width() * self.grid as f64).floor() as isize;
             if k == self.grid as isize {
                 k -= 1; // upper boundary belongs to the last cell
             }
@@ -111,7 +118,8 @@ impl InvariantResult {
                 return None;
             }
             let w = dom.width() / self.grid as f64;
-            let lo = (((cell.lo() - dom.lo()) / w).floor() as isize).clamp(0, self.grid as isize - 1);
+            let lo =
+                (((cell.lo() - dom.lo()) / w).floor() as isize).clamp(0, self.grid as isize - 1);
             let hi_raw = ((cell.hi() - dom.lo()) / w).ceil() as isize;
             let hi = (hi_raw - 1).clamp(lo, self.grid as isize - 1);
             ranges.push((lo as usize, hi as usize));
@@ -137,8 +145,7 @@ pub fn invariant_set(
     config: &InvariantConfig,
 ) -> Result<InvariantResult, VerifyError> {
     assert!(config.grid > 0, "grid must be positive");
-    if controller.state_dim() != sys.state_dim() || controller.control_dim() != sys.control_dim()
-    {
+    if controller.state_dim() != sys.state_dim() || controller.control_dim() != sys.control_dim() {
         return Err(VerifyError::DimensionMismatch {
             detail: format!(
                 "enclosure {}→{} vs plant {}→{}",
@@ -155,8 +162,11 @@ pub fn invariant_set(
     let cells = domain.subdivide(grid);
     let total = cells.len();
     let (u_lo, u_hi) = sys.control_bounds();
-    let omega: Vec<Interval> =
-        sys.disturbance_amplitude().iter().map(|&a| Interval::symmetric(a)).collect();
+    let omega: Vec<Interval> = sys
+        .disturbance_amplitude()
+        .iter()
+        .map(|&a| Interval::symmetric(a))
+        .collect();
 
     // precompute each cell's one-step image box
     let images: Vec<BoxRegion> = cells
@@ -182,11 +192,11 @@ pub fn invariant_set(
 
     for iteration in 1..=config.max_iterations {
         let mut removed = false;
-        for i in 0..total {
+        for (i, image) in images.iter().enumerate() {
             if !result.alive[i] {
                 continue;
             }
-            let keep = match result.cell_range(&images[i]) {
+            let keep = match result.cell_range(image) {
                 None => false, // image leaves X
                 Some(ranges) => {
                     // every overlapped cell must still be alive
@@ -250,10 +260,20 @@ mod tests {
     fn stable_loop_has_nonempty_invariant_set() {
         let sys = VanDerPol::new();
         let enc = damped_enclosure();
-        let result =
-            invariant_set(&sys, &enc, &InvariantConfig { grid: 24, ..Default::default() })
-                .expect("dimensions agree");
-        assert!(result.alive_fraction() > 0.05, "fraction {}", result.alive_fraction());
+        let result = invariant_set(
+            &sys,
+            &enc,
+            &InvariantConfig {
+                grid: 24,
+                ..Default::default()
+            },
+        )
+        .expect("dimensions agree");
+        assert!(
+            result.alive_fraction() > 0.05,
+            "fraction {}",
+            result.alive_fraction()
+        );
         assert!(result.contains(&[0.0, 0.0]), "origin must be invariant");
         assert!(result.iterations > 0);
     }
@@ -262,11 +282,18 @@ mod tests {
     fn invariant_cells_are_actually_invariant_under_simulation() {
         let sys = VanDerPol::new();
         let enc = damped_enclosure();
-        let result =
-            invariant_set(&sys, &enc, &InvariantConfig { grid: 24, ..Default::default() })
-                .expect("dimensions agree");
-        let controller =
-            cocktail_control::LinearFeedbackController::new(Matrix::from_rows(vec![vec![3.0, 4.0]]));
+        let result = invariant_set(
+            &sys,
+            &enc,
+            &InvariantConfig {
+                grid: 24,
+                ..Default::default()
+            },
+        )
+        .expect("dimensions agree");
+        let controller = cocktail_control::LinearFeedbackController::new(Matrix::from_rows(vec![
+            vec![3.0, 4.0],
+        ]));
         use cocktail_control::Controller;
         let mut rng = cocktail_math::rng::seeded(13);
         let cells = result.cells();
@@ -291,18 +318,35 @@ mod tests {
         let sys = VanDerPol::new();
         // positive feedback pushes everything out
         let enc = LinearEnclosure::new(Matrix::from_rows(vec![vec![-10.0, -10.0]]));
-        let result =
-            invariant_set(&sys, &enc, &InvariantConfig { grid: 16, ..Default::default() })
-                .expect("dimensions agree");
-        assert!(result.alive_fraction() < 0.05, "fraction {}", result.alive_fraction());
+        let result = invariant_set(
+            &sys,
+            &enc,
+            &InvariantConfig {
+                grid: 16,
+                ..Default::default()
+            },
+        )
+        .expect("dimensions agree");
+        assert!(
+            result.alive_fraction() < 0.05,
+            "fraction {}",
+            result.alive_fraction()
+        );
     }
 
     #[test]
     fn contains_rejects_outside_domain() {
         let sys = VanDerPol::new();
         let enc = damped_enclosure();
-        let result = invariant_set(&sys, &enc, &InvariantConfig { grid: 8, ..Default::default() })
-            .expect("dimensions agree");
+        let result = invariant_set(
+            &sys,
+            &enc,
+            &InvariantConfig {
+                grid: 8,
+                ..Default::default()
+            },
+        )
+        .expect("dimensions agree");
         assert!(!result.contains(&[5.0, 5.0]));
     }
 
@@ -310,8 +354,8 @@ mod tests {
     fn dimension_mismatch_is_error() {
         let sys = VanDerPol::new();
         let enc = LinearEnclosure::new(Matrix::identity(3));
-        let err = invariant_set(&sys, &enc, &InvariantConfig::default())
-            .expect_err("3 != 2 must fail");
+        let err =
+            invariant_set(&sys, &enc, &InvariantConfig::default()).expect_err("3 != 2 must fail");
         assert!(matches!(err, VerifyError::DimensionMismatch { .. }));
     }
 
@@ -319,10 +363,24 @@ mod tests {
     fn finer_grid_does_not_shrink_fraction_catastrophically() {
         let sys = VanDerPol::new();
         let enc = damped_enclosure();
-        let coarse = invariant_set(&sys, &enc, &InvariantConfig { grid: 12, ..Default::default() })
-            .expect("ok");
-        let fine = invariant_set(&sys, &enc, &InvariantConfig { grid: 24, ..Default::default() })
-            .expect("ok");
+        let coarse = invariant_set(
+            &sys,
+            &enc,
+            &InvariantConfig {
+                grid: 12,
+                ..Default::default()
+            },
+        )
+        .expect("ok");
+        let fine = invariant_set(
+            &sys,
+            &enc,
+            &InvariantConfig {
+                grid: 24,
+                ..Default::default()
+            },
+        )
+        .expect("ok");
         // finer grids reduce conservatism: the invariant fraction should not collapse
         assert!(fine.alive_fraction() >= 0.5 * coarse.alive_fraction());
     }

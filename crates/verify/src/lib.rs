@@ -60,6 +60,8 @@ pub use bernstein::{BernsteinApprox, BernsteinCertificate, CertificateConfig};
 pub use enclosure::ControlEnclosure;
 pub use error::VerifyError;
 pub use invariant::{invariant_set, InvariantConfig, InvariantResult};
-pub use lyapunov::{solve_discrete_lyapunov, verify_ellipsoid_invariant, EllipsoidCheck, QuadraticForm};
+pub use lyapunov::{
+    solve_discrete_lyapunov, verify_ellipsoid_invariant, EllipsoidCheck, QuadraticForm,
+};
 pub use reach::{reach_analysis, ReachConfig, ReachMode, ReachResult};
 pub use report::{certify_safety, SafetyReport, SafetyVerdict};

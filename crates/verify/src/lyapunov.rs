@@ -62,7 +62,10 @@ pub fn solve_discrete_lyapunov(a: &Matrix, q: &Matrix) -> Result<Matrix, VerifyE
             return Ok(p);
         }
     }
-    Err(VerifyError::ResourceExhausted { resource: "lyapunov iterations", budget: 20_000 })
+    Err(VerifyError::ResourceExhausted {
+        resource: "lyapunov iterations",
+        budget: 20_000,
+    })
 }
 
 /// The quadratic form `V(x) = xᵀPx` with helpers for sound evaluation.
@@ -182,8 +185,7 @@ pub fn verify_ellipsoid_invariant(
     grid: usize,
 ) -> Result<EllipsoidCheck, VerifyError> {
     assert!(grid > 0, "grid must be positive");
-    if controller.state_dim() != sys.state_dim() || controller.control_dim() != sys.control_dim()
-    {
+    if controller.state_dim() != sys.state_dim() || controller.control_dim() != sys.control_dim() {
         return Err(VerifyError::DimensionMismatch {
             detail: "enclosure/plant dimensions".to_owned(),
         });
@@ -191,15 +193,20 @@ pub fn verify_ellipsoid_invariant(
     let start = Instant::now();
     let bbox = form
         .sublevel_bounding_box(c)
-        .map_err(|_| VerifyError::DimensionMismatch { detail: "singular P".to_owned() })?;
+        .map_err(|_| VerifyError::DimensionMismatch {
+            detail: "singular P".to_owned(),
+        })?;
     // the ellipsoid must live inside the certified domain
     let domain = sys.verification_domain();
     if !domain.contains_box(&bbox) {
         return Err(VerifyError::DomainEscape { step: 0 });
     }
     let (u_lo, u_hi) = sys.control_bounds();
-    let omega: Vec<Interval> =
-        sys.disturbance_amplitude().iter().map(|&a| Interval::symmetric(a)).collect();
+    let omega: Vec<Interval> = sys
+        .disturbance_amplitude()
+        .iter()
+        .map(|&a| Interval::symmetric(a))
+        .collect();
 
     // adaptive check: cells failing at the current resolution are bisected
     // (boundary cells carry the most over-approximation slop); a cell that
@@ -207,8 +214,11 @@ pub fn verify_ellipsoid_invariant(
     const MAX_DEPTH: usize = 11;
     let mut cells_checked = 0usize;
     let mut worst_ratio: f64 = 0.0;
-    let mut queue: Vec<(BoxRegion, usize)> =
-        bbox.subdivide(grid).into_iter().map(|cell| (cell, 0)).collect();
+    let mut queue: Vec<(BoxRegion, usize)> = bbox
+        .subdivide(grid)
+        .into_iter()
+        .map(|cell| (cell, 0))
+        .collect();
     while let Some((cell, depth)) = queue.pop() {
         let v_cell = form.eval_interval(&cell);
         if v_cell.lo() > c {
@@ -240,7 +250,12 @@ pub fn verify_ellipsoid_invariant(
         }
         worst_ratio = worst_ratio.max(ratio);
     }
-    Ok(EllipsoidCheck { invariant: true, cells_checked, worst_ratio, duration: start.elapsed() })
+    Ok(EllipsoidCheck {
+        invariant: true,
+        cells_checked,
+        worst_ratio,
+        duration: start.elapsed(),
+    })
 }
 
 #[cfg(test)]
@@ -335,7 +350,11 @@ mod tests {
         }
         let (radius, check) = verified.expect("some level must be provably invariant");
         assert!(check.cells_checked > 0);
-        assert!(check.worst_ratio <= 1.0, "radius {radius}: ratio {}", check.worst_ratio);
+        assert!(
+            check.worst_ratio <= 1.0,
+            "radius {radius}: ratio {}",
+            check.worst_ratio
+        );
     }
 
     #[test]
@@ -350,8 +369,7 @@ mod tests {
         let max_diag = (0..2).map(|i| p_inv[(i, i)]).fold(0.0_f64, f64::max);
         // bounding-box radius ≈ 0.02: smaller than one noise step
         let c = 0.0004 / max_diag;
-        let check =
-            verify_ellipsoid_invariant(&sys, &enc, &form, c, 12).expect("well-posed check");
+        let check = verify_ellipsoid_invariant(&sys, &enc, &form, c, 12).expect("well-posed check");
         assert!(!check.invariant);
         assert!(check.worst_ratio > 1.0);
     }

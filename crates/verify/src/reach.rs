@@ -9,7 +9,7 @@
 //! grid bounds the wrapping effect and keeps the cell count finite.
 //!
 //! The cell budget is explicit: exceeding it returns
-//! [`VerifyError::ResourceExhausted`], which is how the paper's "κ_D could
+//! [`VerifyError::ResourceExhausted`], which is how the paper's "`κ_D` could
 //! not be verified (segmentation fault after 12 reachable-set steps)"
 //! manifests here.
 
@@ -82,6 +82,10 @@ pub struct ReachResult {
 
 impl ReachResult {
     /// The tightest single box containing the final frame.
+    #[allow(
+        clippy::expect_used,
+        reason = "a reach result always records the initial frame"
+    )]
     pub fn final_hull(&self) -> BoxRegion {
         let last = self.frames.last().expect("at least the initial frame");
         let mut hull = last[0].clone();
@@ -211,8 +215,16 @@ pub fn reach_analysis(
     config: &ReachConfig,
 ) -> Result<ReachResult, VerifyError> {
     assert_eq!(x0.dim(), sys.state_dim(), "initial box dimension mismatch");
-    assert_eq!(controller.state_dim(), sys.state_dim(), "enclosure dimension mismatch");
-    assert_eq!(controller.control_dim(), sys.control_dim(), "control dimension mismatch");
+    assert_eq!(
+        controller.state_dim(),
+        sys.state_dim(),
+        "enclosure dimension mismatch"
+    );
+    assert_eq!(
+        controller.control_dim(),
+        sys.control_dim(),
+        "control dimension mismatch"
+    );
     assert!(config.split_width > 0.0, "split width must be positive");
     if config.mode == ReachMode::Subdivision {
         return reach_by_subdivision(sys, controller, x0, config);
@@ -220,8 +232,11 @@ pub fn reach_analysis(
     let start = Instant::now();
     let grid = Grid::new(sys.verification_domain(), config.split_width);
     let (u_lo, u_hi) = sys.control_bounds();
-    let omega: Vec<Interval> =
-        sys.disturbance_amplitude().iter().map(|&a| Interval::symmetric(a)).collect();
+    let omega: Vec<Interval> = sys
+        .disturbance_amplitude()
+        .iter()
+        .map(|&a| Interval::symmetric(a))
+        .collect();
 
     let mut occupied = BTreeSet::new();
     let (init_ranges, init_clipped) = grid
@@ -283,11 +298,19 @@ pub fn reach_analysis(
         occupied = next;
     }
 
-    Ok(ReachResult { frames, verified_safe, duration: start.elapsed(), peak_boxes: peak })
+    Ok(ReachResult {
+        frames,
+        verified_safe,
+        duration: start.elapsed(),
+        peak_boxes: peak,
+    })
 }
 
 fn cells_to_boxes(grid: &Grid, cells: &BTreeSet<usize>) -> Vec<BoxRegion> {
-    cells.iter().map(|&f| grid.cell_box(&grid.unflat(f))).collect()
+    cells
+        .iter()
+        .map(|&f| grid.cell_box(&grid.unflat(f)))
+        .collect()
 }
 
 /// [`ReachMode::Subdivision`] implementation: exact boxes, bisected to the
@@ -301,8 +324,11 @@ fn reach_by_subdivision(
     let start = Instant::now();
     let safe_box = sys.verification_domain();
     let (u_lo, u_hi) = sys.control_bounds();
-    let omega: Vec<Interval> =
-        sys.disturbance_amplitude().iter().map(|&a| Interval::symmetric(a)).collect();
+    let omega: Vec<Interval> = sys
+        .disturbance_amplitude()
+        .iter()
+        .map(|&a| Interval::symmetric(a))
+        .collect();
 
     let mut current = vec![x0.clone()];
     let mut verified_safe = safe_box.contains_box(x0);
@@ -370,7 +396,12 @@ fn reach_by_subdivision(
         current = next;
     }
 
-    Ok(ReachResult { frames, verified_safe, duration: start.elapsed(), peak_boxes: peak })
+    Ok(ReachResult {
+        frames,
+        verified_safe,
+        duration: start.elapsed(),
+        peak_boxes: peak,
+    })
 }
 
 /// Merges boxes whose centers fall into the same half-split-width bucket
@@ -381,8 +412,11 @@ fn coalesce(boxes: Vec<BoxRegion>, split_width: f64) -> Vec<BoxRegion> {
     let key_width = 0.5 * split_width;
     let mut buckets: BTreeMap<Vec<i64>, BoxRegion> = BTreeMap::new();
     for b in boxes {
-        let key: Vec<i64> =
-            b.center().iter().map(|c| (c / key_width).floor() as i64).collect();
+        let key: Vec<i64> = b
+            .center()
+            .iter()
+            .map(|c| (c / key_width).floor() as i64)
+            .collect();
         buckets
             .entry(key)
             .and_modify(|acc| *acc = acc.hull(&b))
@@ -407,7 +441,11 @@ mod tests {
             &sys,
             &enc,
             &x0,
-            &ReachConfig { steps: 20, split_width: 0.05, ..Default::default() },
+            &ReachConfig {
+                steps: 20,
+                split_width: 0.05,
+                ..Default::default()
+            },
         )
         .expect("must verify");
         assert!(result.verified_safe);
@@ -425,7 +463,11 @@ mod tests {
             &sys,
             &enc,
             &x0,
-            &ReachConfig { steps: 15, split_width: 0.02, ..Default::default() },
+            &ReachConfig {
+                steps: 15,
+                split_width: 0.02,
+                ..Default::default()
+            },
         )
         .expect("must verify");
         // simulate concrete trajectories and check frame membership
@@ -454,7 +496,12 @@ mod tests {
             &sys,
             &enc,
             &x0,
-            &ReachConfig { steps: 5, split_width: 0.01, max_boxes: 16, ..Default::default() },
+            &ReachConfig {
+                steps: 5,
+                split_width: 0.01,
+                max_boxes: 16,
+                ..Default::default()
+            },
         )
         .expect_err("budget too small");
         assert!(matches!(err, VerifyError::ResourceExhausted { .. }));
@@ -470,7 +517,11 @@ mod tests {
             &sys,
             &enc,
             &x0,
-            &ReachConfig { steps: 30, split_width: 0.1, ..Default::default() },
+            &ReachConfig {
+                steps: 30,
+                split_width: 0.1,
+                ..Default::default()
+            },
         );
         match result {
             Ok(r) => assert!(!r.verified_safe),
@@ -498,7 +549,10 @@ mod tests {
             },
         )
         .expect_err("must fail");
-        assert!(matches!(err, VerifyError::Unsafe { .. } | VerifyError::DomainEscape { .. }));
+        assert!(matches!(
+            err,
+            VerifyError::Unsafe { .. } | VerifyError::DomainEscape { .. }
+        ));
     }
 
     #[test]
@@ -510,7 +564,11 @@ mod tests {
             &sys,
             &enc,
             &x0,
-            &ReachConfig { steps: 10, split_width: 0.05, ..Default::default() },
+            &ReachConfig {
+                steps: 10,
+                split_width: 0.05,
+                ..Default::default()
+            },
         )
         .expect("verifies");
         let hull = r.final_hull();
@@ -529,7 +587,11 @@ mod tests {
             &sys,
             &enc,
             &x0,
-            &ReachConfig { steps: 10, split_width: 0.02, ..Default::default() },
+            &ReachConfig {
+                steps: 10,
+                split_width: 0.02,
+                ..Default::default()
+            },
         )
         .expect("paving verifies");
         let subdivision = reach_analysis(

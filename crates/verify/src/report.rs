@@ -53,7 +53,7 @@ pub struct SafetyReport {
 ///
 /// Propagates [`VerifyError`] from the certificate construction or the
 /// reachability analysis (budget exhaustion, domain escape) — the paper's
-/// κ_D failure mode surfaces here as `ResourceExhausted`.
+/// `κ_D` failure mode surfaces here as `ResourceExhausted`.
 ///
 /// # Panics
 ///
@@ -92,7 +92,11 @@ pub fn certify_safety(
     let cert = BernsteinCertificate::build(net, scale, &sys.verification_domain(), cert_config)?;
     let result: ReachResult = reach_analysis(sys, &cert, x0, reach_config)?;
     Ok(SafetyReport {
-        verdict: if result.verified_safe { SafetyVerdict::Safe } else { SafetyVerdict::NotProven },
+        verdict: if result.verified_safe {
+            SafetyVerdict::Safe
+        } else {
+            SafetyVerdict::NotProven
+        },
         lipschitz: cert.lipschitz(),
         bernstein_pieces: cert.piece_count(),
         epsilon: cert.epsilon(),
@@ -129,7 +133,15 @@ mod tests {
             .output(1, Activation::Tanh)
             .seed(4)
             .build();
-        fit_regression(&mut net, &states, &targets, &TrainConfig { epochs: 120, ..Default::default() });
+        fit_regression(
+            &mut net,
+            &states,
+            &targets,
+            &TrainConfig {
+                epochs: 120,
+                ..Default::default()
+            },
+        );
         net
     }
 

@@ -9,6 +9,12 @@
 //! under (a) no perturbation, (b) uniform measurement noise, and (c) FGSM
 //! adversarial attacks at 12 % of the state bound.
 
+#![allow(
+    clippy::expect_used,
+    clippy::unwrap_used,
+    reason = "examples abort on failure by design"
+)]
+
 use cocktail_core::experiment::{build_controller_set, Preset};
 use cocktail_core::metrics::{evaluate, EvalConfig};
 use cocktail_core::SystemId;
@@ -28,20 +34,34 @@ fn main() {
         set.kappa_star.lipschitz_constant()
     );
 
-    println!("\n{:<14} {:<22} {:>8} {:>10}", "controller", "threat", "S_r (%)", "energy");
+    println!(
+        "\n{:<14} {:<22} {:>8} {:>10}",
+        "controller", "threat", "S_r (%)", "energy"
+    );
     let threats = [
         ("none", AttackModel::None),
-        ("uniform noise 12%", AttackModel::scaled_to(&domain, 0.12, false)),
-        ("FGSM attack 12%", AttackModel::scaled_to(&domain, 0.12, true)),
+        (
+            "uniform noise 12%",
+            AttackModel::scaled_to(&domain, 0.12, false),
+        ),
+        (
+            "FGSM attack 12%",
+            AttackModel::scaled_to(&domain, 0.12, true),
+        ),
     ];
     for (threat_name, attack) in threats {
-        for (name, student) in
-            [("kappa_D", set.kappa_d.clone()), ("kappa_star", set.kappa_star.clone())]
-        {
+        for (name, student) in [
+            ("kappa_D", set.kappa_d.clone()),
+            ("kappa_star", set.kappa_star.clone()),
+        ] {
             let eval = evaluate(
                 sys.as_ref(),
                 student.as_ref(),
-                &EvalConfig { samples: 250, attack: attack.clone(), ..Default::default() },
+                &EvalConfig {
+                    samples: 250,
+                    attack: attack.clone(),
+                    ..Default::default()
+                },
             );
             println!(
                 "{:<14} {:<22} {:>8.1} {:>10.1}",

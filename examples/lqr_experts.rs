@@ -11,6 +11,12 @@
 //! family end-to-end: `cocktail_control::lqr` derives the gains, the
 //! pipeline mixes and distills them.
 
+#![allow(
+    clippy::expect_used,
+    clippy::unwrap_used,
+    reason = "examples abort on failure by design"
+)]
+
 use cocktail_control::lqr::{linearize, lqr_controller};
 use cocktail_control::{Controller, LinearFeedbackController, NnController};
 use cocktail_core::metrics::{evaluate, EvalConfig};
@@ -34,7 +40,12 @@ fn clone_into_network(
     let targets: Vec<Vec<f64>> = data
         .controls()
         .iter()
-        .map(|u| u.iter().zip(&u_hi).map(|(&v, &h)| (v / h).clamp(-1.0, 1.0)).collect())
+        .map(|u| {
+            u.iter()
+                .zip(&u_hi)
+                .map(|(&v, &h)| (v / h).clamp(-1.0, 1.0))
+                .collect()
+        })
         .collect();
     let mut net = MlpBuilder::new(sys.state_dim())
         .hidden(24, Activation::Tanh)
@@ -42,7 +53,15 @@ fn clone_into_network(
         .output(sys.control_dim(), Activation::Tanh)
         .seed(seed)
         .build();
-    fit_regression(&mut net, data.states(), &targets, &TrainConfig { epochs: 80, ..Default::default() });
+    fit_regression(
+        &mut net,
+        data.states(),
+        &targets,
+        &TrainConfig {
+            epochs: 80,
+            ..Default::default()
+        },
+    );
     NnController::with_name(net, u_hi, label)
 }
 
@@ -54,7 +73,10 @@ fn main() {
     let lin = linearize(sys.as_ref(), &[0.0; 4], &[0.0]);
     println!("linearized cartpole at the upright equilibrium:");
     println!("  A row 3 (pole dynamics): {:?}", lin.a.row(3));
-    println!("  drift norm: {:.2e} (true equilibrium)", vector::norm_2(&lin.drift));
+    println!(
+        "  drift norm: {:.2e} (true equilibrium)",
+        vector::norm_2(&lin.drift)
+    );
 
     // ---- two LQR designs with different weightings
     let cheap = lqr_controller(sys.as_ref(), &[0.5, 0.5, 5.0, 0.5], &[1.0], "lqr-cheap")
@@ -65,10 +87,18 @@ fn main() {
     println!("  cheap (R=1):    {:?}", cheap.gain().row(0));
     println!("  tight (R=0.05): {:?}", tight.gain().row(0));
 
-    let cfg = EvalConfig { samples: 250, ..Default::default() };
+    let cfg = EvalConfig {
+        samples: 250,
+        ..Default::default()
+    };
     for law in [&cheap, &tight] {
         let eval = evaluate(sys.as_ref(), law, &cfg);
-        println!("  {}: S_r {:.1}%, e {:.1}", law.name(), eval.safe_rate_percent(), eval.mean_energy);
+        println!(
+            "  {}: S_r {:.1}%, e {:.1}",
+            law.name(),
+            eval.safe_rate_percent(),
+            eval.mean_energy
+        );
     }
 
     // ---- clone into neural experts and run the Cocktail pipeline
@@ -85,7 +115,10 @@ fn main() {
         ))
         .run();
 
-    println!("\n{:<16} {:>8} {:>10} {:>8}", "controller", "S_r (%)", "energy", "L");
+    println!(
+        "\n{:<16} {:>8} {:>10} {:>8}",
+        "controller", "S_r (%)", "energy", "L"
+    );
     let domain = sys.verification_domain();
     let lineup: Vec<(&str, &dyn Controller)> = vec![
         ("nn-lqr-cheap", experts[0].as_ref()),
@@ -95,7 +128,9 @@ fn main() {
     ];
     for (name, c) in lineup {
         let eval = evaluate(sys.as_ref(), c, &cfg);
-        let l = c.lipschitz(&domain).map_or("-".to_owned(), |v| format!("{v:.1}"));
+        let l = c
+            .lipschitz(&domain)
+            .map_or("-".to_owned(), |v| format!("{v:.1}"));
         println!(
             "{:<16} {:>8.1} {:>10.1} {:>8}",
             name,

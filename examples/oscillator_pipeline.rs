@@ -6,6 +6,12 @@
 //! cargo run --release --example oscillator_pipeline
 //! ```
 
+#![allow(
+    clippy::expect_used,
+    clippy::unwrap_used,
+    reason = "examples abort on failure by design"
+)]
+
 use cocktail_core::experts::{cloned_experts, reference_laws};
 use cocktail_core::metrics::{evaluate, EvalConfig};
 use cocktail_core::pipeline::Cocktail;
@@ -15,12 +21,23 @@ use cocktail_verify::{invariant_set, BernsteinCertificate, CertificateConfig, In
 fn main() {
     let sys_id = SystemId::Oscillator;
     let sys = sys_id.dynamics();
-    let cfg = EvalConfig { samples: 250, ..Default::default() };
+    let cfg = EvalConfig {
+        samples: 250,
+        ..Default::default()
+    };
 
     // ---- stage 0: the reference laws behind the experts
     let (law1, law2) = reference_laws(sys_id);
-    println!("expert laws: u1 = -{:?} s + {:?}", law1.gain.row(0), law1.bias);
-    println!("             u2 = -{:?} s + {:?}", law2.gain.row(0), law2.bias);
+    println!(
+        "expert laws: u1 = -{:?} s + {:?}",
+        law1.gain.row(0),
+        law1.bias
+    );
+    println!(
+        "             u2 = -{:?} s + {:?}",
+        law2.gain.row(0),
+        law2.bias
+    );
 
     // ---- stage 1: behavior-cloned neural experts
     let experts = cloned_experts(sys_id, 0);
@@ -31,7 +48,8 @@ fn main() {
             e.name(),
             eval.safe_rate_percent(),
             eval.mean_energy,
-            e.lipschitz(&sys.verification_domain()).expect("neural expert")
+            e.lipschitz(&sys.verification_domain())
+                .expect("neural expert")
         );
     }
 
@@ -54,7 +72,11 @@ fn main() {
         );
     }
     let mixed = evaluate(sys.as_ref(), result.mixed.as_ref(), &cfg);
-    println!("A_W: S_r {:.1}%, e {:.1}", mixed.safe_rate_percent(), mixed.mean_energy);
+    println!(
+        "A_W: S_r {:.1}%, e {:.1}",
+        mixed.safe_rate_percent(),
+        mixed.mean_energy
+    );
 
     // example of the state-dependent weights
     for s in [[0.0, 0.0], [1.5, 1.5], [-1.8, 0.5]] {
@@ -63,9 +85,10 @@ fn main() {
 
     // ---- stage 3: the two distillation variants
     println!("\ndistillation:");
-    for (name, student) in
-        [("kappa_D", result.kappa_d.as_ref()), ("kappa_star", result.kappa_star.as_ref())]
-    {
+    for (name, student) in [
+        ("kappa_D", result.kappa_d.as_ref()),
+        ("kappa_star", result.kappa_star.as_ref()),
+    ] {
         let eval = evaluate(sys.as_ref(), student, &cfg);
         println!(
             "{name}: S_r {:.1}%, e {:.1}, L {:.1}",
@@ -98,7 +121,10 @@ fn main() {
     let inv = invariant_set(
         sys.as_ref(),
         &cert,
-        &InvariantConfig { grid: 60, max_iterations: 1000 },
+        &InvariantConfig {
+            grid: 60,
+            max_iterations: 1000,
+        },
     )
     .expect("dimensions agree");
     println!(

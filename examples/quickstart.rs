@@ -10,6 +10,12 @@
 //! prints the three paper metrics (safe control rate, control energy,
 //! Lipschitz constant) for every controller along the way.
 
+#![allow(
+    clippy::expect_used,
+    clippy::unwrap_used,
+    reason = "examples abort on failure by design"
+)]
+
 use cocktail_control::Controller;
 use cocktail_core::experts::cloned_experts;
 use cocktail_core::metrics::{evaluate, EvalConfig};
@@ -19,7 +25,11 @@ use cocktail_core::{Preset, SystemId};
 fn main() {
     let sys_id = SystemId::Oscillator;
     let sys = sys_id.dynamics();
-    println!("system: {} (T = {}, X = X0 = [-2,2]^2)", sys_id.label(), sys.horizon());
+    println!(
+        "system: {} (T = {}, X = X0 = [-2,2]^2)",
+        sys_id.label(),
+        sys.horizon()
+    );
 
     // 1. two experts with complementary flaws
     println!("\n[1/3] building experts ...");
@@ -43,7 +53,10 @@ fn main() {
 
     // 3. evaluate everything
     println!("[3/3] evaluating (250 initial states) ...\n");
-    let cfg = EvalConfig { samples: 250, ..Default::default() };
+    let cfg = EvalConfig {
+        samples: 250,
+        ..Default::default()
+    };
     let domain = sys.verification_domain();
     let lineup: Vec<(&str, &dyn Controller)> = vec![
         ("kappa1 (expert)", experts[0].as_ref()),
@@ -52,7 +65,10 @@ fn main() {
         ("kappa_D (direct)", result.kappa_d.as_ref()),
         ("kappa* (robust)", result.kappa_star.as_ref()),
     ];
-    println!("{:<22} {:>8} {:>10} {:>8}", "controller", "S_r (%)", "energy", "L");
+    println!(
+        "{:<22} {:>8} {:>10} {:>8}",
+        "controller", "S_r (%)", "energy", "L"
+    );
     for (name, c) in lineup {
         let eval = evaluate(sys.as_ref(), c, &cfg);
         let l = c
@@ -66,6 +82,9 @@ fn main() {
             l
         );
     }
-    println!("\nkappa* is a single {}-parameter MLP:", result.kappa_star.network().param_count());
+    println!(
+        "\nkappa* is a single {}-parameter MLP:",
+        result.kappa_star.network().param_count()
+    );
     println!("  {}", result.kappa_star.network());
 }

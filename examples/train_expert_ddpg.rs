@@ -10,6 +10,12 @@
 //! behavior-cloned expert factory (the pipeline default) but fully
 //! self-contained — no reference law involved.
 
+#![allow(
+    clippy::expect_used,
+    clippy::unwrap_used,
+    reason = "examples abort on failure by design"
+)]
+
 use cocktail_core::experts::ddpg_expert;
 use cocktail_core::metrics::{evaluate, EvalConfig};
 use cocktail_core::SystemId;
@@ -43,7 +49,10 @@ fn main() {
         let eval = evaluate(
             sys.as_ref(),
             &expert,
-            &EvalConfig { samples: 250, ..Default::default() },
+            &EvalConfig {
+                samples: 250,
+                ..Default::default()
+            },
         );
         println!(
             "{name}: S_r {:.1}%, e {:.1}, L {:.1}",

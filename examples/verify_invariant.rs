@@ -7,6 +7,12 @@
 //! cargo run --release --example verify_invariant
 //! ```
 
+#![allow(
+    clippy::expect_used,
+    clippy::unwrap_used,
+    reason = "examples abort on failure by design"
+)]
+
 use cocktail_control::{Controller, LinearFeedbackController, NnController};
 use cocktail_core::SystemId;
 use cocktail_distill::TeacherDataset;
@@ -28,21 +34,38 @@ fn neural_controller(sys: &dyn Dynamics) -> NnController {
     let targets: Vec<Vec<f64>> = data
         .controls()
         .iter()
-        .map(|u| u.iter().zip(&u_hi).map(|(&v, &h)| (v / h).clamp(-1.0, 1.0)).collect())
+        .map(|u| {
+            u.iter()
+                .zip(&u_hi)
+                .map(|(&v, &h)| (v / h).clamp(-1.0, 1.0))
+                .collect()
+        })
         .collect();
     let mut net = MlpBuilder::new(2)
         .hidden(16, Activation::Tanh)
         .output(1, Activation::Tanh)
         .seed(7)
         .build();
-    fit_regression(&mut net, data.states(), &targets, &TrainConfig { epochs: 150, ..Default::default() });
+    fit_regression(
+        &mut net,
+        data.states(),
+        &targets,
+        &TrainConfig {
+            epochs: 150,
+            ..Default::default()
+        },
+    );
     NnController::with_name(net, u_hi, "cloned-damping")
 }
 
 fn main() {
     let sys = SystemId::Oscillator.dynamics();
     let controller = neural_controller(sys.as_ref());
-    println!("controller: {} with L = {:.1}", controller.name(), controller.lipschitz_constant());
+    println!(
+        "controller: {} with L = {:.1}",
+        controller.name(),
+        controller.lipschitz_constant()
+    );
 
     // ---- 1. Bernstein certification
     let cert = BernsteinCertificate::build(
@@ -67,7 +90,10 @@ fn main() {
     let inv = invariant_set(
         sys.as_ref(),
         &cert,
-        &InvariantConfig { grid: 60, max_iterations: 1000 },
+        &InvariantConfig {
+            grid: 60,
+            max_iterations: 1000,
+        },
     )
     .expect("dimensions agree");
     println!(
@@ -79,14 +105,20 @@ fn main() {
 
     // ---- 3. reachability from a corner of X0 (Fig. 4 machinery)
     let x0 = BoxRegion::from_bounds(&[1.0, 1.0], &[1.1, 1.1]);
-    for (name, mode) in
-        [("grid paving", ReachMode::GridPaving), ("subdivision", ReachMode::Subdivision)]
-    {
+    for (name, mode) in [
+        ("grid paving", ReachMode::GridPaving),
+        ("subdivision", ReachMode::Subdivision),
+    ] {
         let reach = reach_analysis(
             sys.as_ref(),
             &cert,
             &x0,
-            &ReachConfig { steps: 40, split_width: 0.05, mode, ..Default::default() },
+            &ReachConfig {
+                steps: 40,
+                split_width: 0.05,
+                mode,
+                ..Default::default()
+            },
         )
         .expect("verifies");
         let hull = reach.final_hull();

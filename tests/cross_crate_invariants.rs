@@ -2,19 +2,17 @@
 //! control, RL and distillation crates that no single crate can test
 //! alone.
 
-use cocktail_control::{
-    ConstantWeights, Controller, LinearFeedbackController, MixedController,
-};
+use cocktail_control::{ConstantWeights, Controller, LinearFeedbackController, MixedController};
 use cocktail_core::experts::reference_laws;
 use cocktail_core::metrics::{evaluate, signal_trace, EvalConfig};
 use cocktail_core::SystemId;
 use cocktail_distill::{AttackModel, TeacherDataset};
-use cocktail_env::{rollout, Dynamics, RolloutConfig};
+use cocktail_env::{rollout, RolloutConfig};
 use cocktail_math::Matrix;
 use cocktail_rl::{Mdp, MixingMdp, RewardConfig};
 use std::sync::Arc;
 
-/// The mixing MDP's plant input must equal the MixedController's output
+/// The mixing MDP's plant input must equal the `MixedController`'s output
 /// for the same weights (Eq. 4 implemented twice must agree).
 #[test]
 fn mixing_mdp_agrees_with_mixed_controller() {
@@ -48,7 +46,12 @@ fn mixing_mdp_agrees_with_mixed_controller() {
         &mut control_fn,
         &mut no_attack,
         &s0,
-        &RolloutConfig { horizon: Some(20), seed: 9, stop_on_violation: false, ..Default::default() },
+        &RolloutConfig {
+            horizon: Some(20),
+            seed: 9,
+            stop_on_violation: false,
+            ..Default::default()
+        },
     );
 
     let mut mdp_states = vec![s0.clone()];
@@ -77,11 +80,14 @@ fn fgsm_bound_respected_in_closed_loop() {
     let controller = law1.controller("victim");
     let domain = sys.verification_domain();
     let attack = AttackModel::scaled_to(&domain, 0.15, true);
-    let bound: Vec<f64> =
-        domain.intervals().iter().map(|iv| 0.15 * iv.radius()).collect();
+    let bound: Vec<f64> = domain
+        .intervals()
+        .iter()
+        .map(|iv| 0.15 * iv.radius())
+        .collect();
 
     let mut perturb = attack.perturbation(&controller, 3);
-    let mut max_seen = vec![0.0_f64; 2];
+    let mut max_seen = [0.0_f64; 2];
     let mut control_fn = |s: &[f64]| controller.control(s);
     let mut checked_perturb = |t: usize, s: &[f64]| {
         let d = perturb(t, s);
@@ -98,7 +104,10 @@ fn fgsm_bound_respected_in_closed_loop() {
         &RolloutConfig::default(),
     );
     for (seen, b) in max_seen.iter().zip(&bound) {
-        assert!(seen <= &(b + 1e-12), "perturbation {seen} exceeds bound {b}");
+        assert!(
+            seen <= &(b + 1e-12),
+            "perturbation {seen} exceeds bound {b}"
+        );
         assert!(*seen > 0.0, "FGSM must actually perturb");
     }
 }
@@ -109,7 +118,11 @@ fn fgsm_bound_respected_in_closed_loop() {
 fn evaluation_energy_matches_manual_recomputation() {
     let sys = SystemId::Oscillator.dynamics();
     let controller = LinearFeedbackController::new(Matrix::from_rows(vec![vec![3.0, 4.0]]));
-    let cfg = EvalConfig { samples: 40, seed: 21, ..Default::default() };
+    let cfg = EvalConfig {
+        samples: 40,
+        seed: 21,
+        ..Default::default()
+    };
     let eval = evaluate(sys.as_ref(), &controller, &cfg);
 
     // manual: same seeds, same sampling protocol
@@ -182,7 +195,10 @@ fn dyn_dispatch_does_not_change_behaviour() {
             &mut control_fn,
             &mut no_attack,
             &[1.0, 1.0],
-            &RolloutConfig { seed: 2, ..Default::default() },
+            &RolloutConfig {
+                seed: 2,
+                ..Default::default()
+            },
         )
     };
     assert_eq!(run(&concrete).states, run(dynamic.as_ref()).states);

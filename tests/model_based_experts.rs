@@ -18,7 +18,11 @@ fn lqr_gains_schur_stabilize_every_system() {
         let sw = vec![1.0; sys.state_dim()];
         let cw = vec![0.5; sys.control_dim()];
         let k = lqr_controller(sys.as_ref(), &sw, &cw, "lqr").expect("stabilizable");
-        let lin = linearize(sys.as_ref(), &vec![0.0; sys.state_dim()], &vec![0.0; sys.control_dim()]);
+        let lin = linearize(
+            sys.as_ref(),
+            &vec![0.0; sys.state_dim()],
+            &vec![0.0; sys.control_dim()],
+        );
         let mut a_cl = lin.a.clone();
         a_cl.axpy(-1.0, &lin.b.matmul(k.gain()));
         let rho = spectral_radius(&a_cl);
@@ -36,10 +40,15 @@ fn lqr_expert_pair_feeds_the_pipeline() {
     // recovering already-strong experts needs a real (if modest) PPO
     // budget; the Smoke preset's 4 iterations are not enough
     let mut config = pipeline_config(sys_id, Preset::Smoke, 0);
-    config.ppo.iterations = 20;
+    config.ppo.iterations = 40;
     config.ppo.episodes_per_iteration = 8;
-    let result = Cocktail::new(sys_id, experts.clone()).with_config(config).run();
-    let cfg = EvalConfig { samples: 120, ..Default::default() };
+    let result = Cocktail::new(sys_id, experts.clone())
+        .with_config(config)
+        .run();
+    let cfg = EvalConfig {
+        samples: 120,
+        ..Default::default()
+    };
     let mixed = evaluate(sys.as_ref(), result.mixed.as_ref(), &cfg);
     let best_expert = experts
         .iter()
@@ -60,31 +69,43 @@ fn mpc_expert_controls_and_can_be_distilled() {
     let sys = sys_id.dynamics();
     let mpc = MpcController::new(
         sys.clone(),
-        MpcConfig { horizon: 8, samples: 32, iterations: 2, ..Default::default() },
+        MpcConfig {
+            horizon: 8,
+            samples: 32,
+            iterations: 2,
+            ..Default::default()
+        },
     );
     // MPC is slow per step; evaluate with a small budget
     let eval = evaluate(
         sys.as_ref(),
         &mpc,
-        &EvalConfig { samples: 25, horizon: Some(40), ..Default::default() },
+        &EvalConfig {
+            samples: 25,
+            horizon: Some(40),
+            ..Default::default()
+        },
     );
     assert!(eval.safe_rate > 0.7, "MPC S_r {}", eval.safe_rate);
 
     // distill the MPC expert into a fast student network
-    let data = cocktail_distill::TeacherDataset::sample_uniform(
-        &mpc,
-        &sys.verification_domain(),
-        256,
-        0,
-    );
+    let data =
+        cocktail_distill::TeacherDataset::sample_uniform(&mpc, &sys.verification_domain(), 256, 0);
     let student = cocktail_distill::direct_distill(
         &data,
-        &cocktail_distill::DistillConfig { epochs: 60, hidden: 16, ..Default::default() },
+        &cocktail_distill::DistillConfig {
+            epochs: 60,
+            hidden: 16,
+            ..Default::default()
+        },
     );
     let student_eval = evaluate(
         sys.as_ref(),
         &student,
-        &EvalConfig { samples: 60, ..Default::default() },
+        &EvalConfig {
+            samples: 60,
+            ..Default::default()
+        },
     );
     assert!(
         student_eval.safe_rate > 0.5,

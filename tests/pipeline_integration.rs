@@ -52,7 +52,11 @@ fn students_are_nontrivial_controllers_everywhere() {
             assert_eq!(u.len(), sys.control_dim());
             // students are unclipped MLPs; outputs may exceed U slightly,
             // the rollout clips — but they must stay within 3x the bound
-            assert!(u[0].abs() <= 3.0 * hi[0].max(-lo[0]), "{}: wild output {u:?}", sys_id);
+            assert!(
+                u[0].abs() <= 3.0 * hi[0].max(-lo[0]),
+                "{}: wild output {u:?}",
+                sys_id
+            );
             outputs.push(u[0]);
         }
         let spread = cocktail_math::stats::std_dev(&outputs);
@@ -118,7 +122,9 @@ fn pipeline_is_reproducible_from_the_seed() {
     let sys_id = SystemId::Oscillator;
     let run = || {
         let experts = cloned_experts(sys_id, 3);
-        Cocktail::new(sys_id, experts).with_config(Preset::Smoke.config()).run()
+        Cocktail::new(sys_id, experts)
+            .with_config(Preset::Smoke.config())
+            .run()
     };
     let a = run();
     let b = run();
@@ -133,7 +139,10 @@ fn evaluation_sample_count_controls_result_granularity() {
     let small = evaluate(
         sys.as_ref(),
         set.kappa_star.as_ref(),
-        &EvalConfig { samples: 10, ..Default::default() },
+        &EvalConfig {
+            samples: 10,
+            ..Default::default()
+        },
     );
     assert_eq!(small.samples, 10);
     assert!(small.safe_count <= 10);

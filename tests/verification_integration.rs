@@ -2,15 +2,17 @@
 //! students: the certificates must be sound for the *actual* networks the
 //! framework emits, and the analyses must agree with simulation.
 
+#![allow(clippy::expect_used, clippy::unwrap_used)] // test helpers panic on setup failure by design
+
 use cocktail_control::Controller;
 use cocktail_core::experiment::{build_controller_set, ControllerSet, Preset};
 use cocktail_core::SystemId;
-use cocktail_env::{rollout, Dynamics, RolloutConfig};
+use cocktail_env::{rollout, RolloutConfig};
 use cocktail_math::BoxRegion;
-use cocktail_verify::reach::ReachMode;
 use cocktail_verify::lyapunov::{
     solve_discrete_lyapunov, verify_ellipsoid_invariant, QuadraticForm,
 };
+use cocktail_verify::reach::ReachMode;
 use cocktail_verify::{
     invariant_set, reach_analysis, BernsteinCertificate, CertificateConfig, ControlEnclosure,
     InvariantConfig, ReachConfig, VerifyError,
@@ -48,11 +50,15 @@ fn certificate_is_sound_for_pipeline_students() {
         for _ in 0..200 {
             let s = cocktail_math::rng::uniform_in_box(&mut rng, &sys.verification_domain());
             let truth = student.control(&s)[0];
-            let tiny = BoxRegion::from_bounds(&[s[0] - 1e-9, s[1] - 1e-9], &[s[0] + 1e-9, s[1] + 1e-9])
-                .intersect(&sys.verification_domain())
-                .expect("inside");
+            let tiny =
+                BoxRegion::from_bounds(&[s[0] - 1e-9, s[1] - 1e-9], &[s[0] + 1e-9, s[1] + 1e-9])
+                    .intersect(&sys.verification_domain())
+                    .expect("inside");
             let bound = cert.enclose(&tiny)[0];
-            assert!(bound.inflate(1e-6).contains(truth), "{truth} escapes {bound}");
+            assert!(
+                bound.inflate(1e-6).contains(truth),
+                "{truth} escapes {bound}"
+            );
         }
     }
 }
@@ -65,7 +71,10 @@ fn certified_invariant_cells_are_safe_under_simulation() {
     let inv = invariant_set(
         sys.as_ref(),
         &cert,
-        &InvariantConfig { grid: 50, max_iterations: 500 },
+        &InvariantConfig {
+            grid: 50,
+            max_iterations: 500,
+        },
     )
     .expect("dimensions agree");
     // the smoke student may or may not admit a non-empty grid-invariant
@@ -84,9 +93,16 @@ fn certified_invariant_cells_are_safe_under_simulation() {
             &mut control,
             &mut no_attack,
             &s0,
-            &RolloutConfig { horizon: Some(500), seed: i as u64, ..Default::default() },
+            &RolloutConfig {
+                horizon: Some(500),
+                seed: i as u64,
+                ..Default::default()
+            },
         );
-        assert!(traj.is_safe(), "invariant cell {cell} produced unsafe trajectory");
+        assert!(
+            traj.is_safe(),
+            "invariant cell {cell} produced unsafe trajectory"
+        );
     }
 }
 
@@ -134,7 +150,12 @@ fn tighter_budgets_fail_gracefully_not_catastrophically() {
         set.kappa_d.network(),
         set.kappa_d.scale(),
         &sys.verification_domain(),
-        &CertificateConfig { degree: 4, tolerance: 1e-4, max_pieces: 64, error_samples_per_dim: 5 },
+        &CertificateConfig {
+            degree: 4,
+            tolerance: 1e-4,
+            max_pieces: 64,
+            error_samples_per_dim: 5,
+        },
     );
     assert!(matches!(result, Err(VerifyError::ResourceExhausted { .. })));
 }

@@ -1,0 +1,429 @@
+//! Offline mini property-testing harness under the `proptest` name.
+//!
+//! Supports the subset this workspace's test suites use: the `proptest!`
+//! macro (with an optional `#![proptest_config(..)]` header), range and
+//! tuple strategies, `prop_map`, `collection::vec`, `Just`, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros. Each test
+//! runs `cases` deterministic iterations seeded from the test name, so
+//! failures reproduce without a persistence file. There is **no input
+//! shrinking** — the failure message reports the case index and seed
+//! instead.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SampleRange, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+
+pub mod prelude {
+    //! The glob-imported surface, mirroring `proptest::prelude`.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// Deterministic RNG handed to strategies.
+pub struct TestRng(pub StdRng);
+
+impl TestRng {
+    /// Draws from a range (strategy support).
+    pub fn sample_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        self.0.gen_range(range)
+    }
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per test.
+    pub cases: u32,
+    /// Seed offset, letting a failing case be replayed in isolation.
+    pub seed: u64,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` iterations.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64, seed: 0 }
+    }
+}
+
+/// A failed or rejected test case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property does not hold; the message explains why.
+    Fail(String),
+    /// The inputs were rejected by `prop_assume!`; the case is retried.
+    Reject(String),
+}
+
+/// Generators of test-case inputs.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates with an inner strategy derived from this one's output.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.sample_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.sample_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(f64, i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A.0, B.1);
+tuple_strategy!(A.0, B.1, C.2);
+tuple_strategy!(A.0, B.1, C.2, D.3);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+/// Executes `cases` iterations of a property; called by the `proptest!`
+/// expansion, not directly.
+///
+/// # Panics
+///
+/// Panics (failing the surrounding `#[test]`) when a case fails.
+pub fn run_cases(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let base = fnv1a(name).wrapping_add(config.seed);
+    let mut passed = 0u32;
+    let mut attempts = 0u64;
+    let max_attempts = u64::from(config.cases) * 16;
+    while passed < config.cases {
+        assert!(
+            attempts < max_attempts,
+            "proptest `{name}`: too many rejected cases ({attempts} attempts for {passed} passes)"
+        );
+        let seed = base.wrapping_add(attempts);
+        let mut rng = TestRng(StdRng::seed_from_u64(seed));
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest `{name}` failed at case {passed} (seed {seed}): {msg}");
+            }
+        }
+        attempts += 1;
+    }
+}
+
+/// Types with a canonical whole-domain strategy — the stand-in for
+/// `proptest`'s `Arbitrary`, used by the `name: Type` parameter form.
+pub trait Arbitrary: Sized {
+    /// Draws one value spanning the type's full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.0.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.0.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite values only: verification code under test treats NaN as a
+        // diagnostic condition, which dedicated fixtures cover explicitly.
+        Strategy::generate(&(-1.0e6..1.0e6f64), rng)
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The `proptest! { ... }` block macro.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(&__config, stringify!($name), |__rng| {
+                $crate::__proptest_bind! { __rng; $($params)* }
+                let __case = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    Ok(())
+                };
+                __case()
+            });
+        }
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+}
+
+/// Internal parameter binder for [`proptest!`]: each parameter is either
+/// `pattern in strategy` or `name: Type` (drawn via [`Arbitrary`]).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $pat:pat_param in $strat:expr $(, $($rest:tt)*)?) => {
+        let $pat = $crate::Strategy::generate(&$strat, $rng);
+        $($crate::__proptest_bind! { $rng; $($rest)* })?
+    };
+    ($rng:ident; $name:ident : $ty:ty $(, $($rest:tt)*)?) => {
+        let $name: $ty = $crate::Arbitrary::arbitrary($rng);
+        $($crate::__proptest_bind! { $rng; $($rest)* })?
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        // the negation must see the caller's expression verbatim, so the
+        // neg-cmp lint is silenced here rather than at every call site
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        let holds = $cond;
+        if !holds {
+            return ::std::result::Result::Err(
+                $crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `{:?}` == `{:?}`", __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `{:?}` == `{:?}`: {}", __l, __r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l != __r,
+            "assertion failed: `{:?}` != `{:?}`", __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l != __r,
+            "assertion failed: `{:?}` != `{:?}`: {}", __l, __r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Rejects the current case (retried with fresh inputs) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        let holds = $cond;
+        if !holds {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in -3.0..7.0f64, n in 1usize..10) {
+            prop_assert!((-3.0..7.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn tuples_and_map_compose(pair in (0.0..1.0f64, 0.0..1.0f64).prop_map(|(a, b)| a + b)) {
+            prop_assert!((0.0..2.0).contains(&pair));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0.0..1.0f64) {
+            prop_assume!(x > 0.25);
+            prop_assert!(x > 0.25);
+        }
+
+        #[test]
+        fn vec_strategy_obeys_length_range(v in crate::collection::vec(-1.0..1.0f64, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_case_info() {
+        let result = std::panic::catch_unwind(|| {
+            crate::run_cases(&ProptestConfig::with_cases(8), "always_fails", |_| {
+                Err(TestCaseError::Fail("boom".to_string()))
+            });
+        });
+        let msg = *result
+            .unwrap_err()
+            .downcast::<String>()
+            .expect("string panic");
+        assert!(msg.contains("always_fails") && msg.contains("boom") && msg.contains("seed"));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for out in [&mut first, &mut second] {
+            crate::run_cases(&ProptestConfig::with_cases(5), "det", |rng| {
+                out.push(crate::Strategy::generate(&(0.0..1.0f64), rng));
+                Ok(())
+            });
+        }
+        assert_eq!(first, second);
+    }
+}

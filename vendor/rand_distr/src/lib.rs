@@ -1,0 +1,100 @@
+//! Offline stand-in for `rand_distr`: the [`Distribution`] trait and the
+//! [`Normal`] distribution (Box–Muller), which is all this workspace uses.
+
+use rand::{RngCore, StandardSample};
+use std::fmt;
+
+/// Types that sample values of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error returned by [`Normal::new`] for invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NormalError;
+
+impl fmt::Display for NormalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("standard deviation must be finite and non-negative")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal distribution `N(mean, std_dev²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates `N(mean, std_dev²)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NormalError`] if `std_dev` is negative or not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if std_dev < 0.0 || !std_dev.is_finite() || !mean.is_finite() {
+            return Err(NormalError);
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// The mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; u1 is mapped to (0, 1] so the log never sees zero.
+        let u1 = 1.0 - f64::standard_sample(&mut *rng);
+        let u2 = f64::standard_sample(&mut *rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::NAN).is_err());
+        assert!(Normal::new(f64::INFINITY, 1.0).is_err());
+        assert!(Normal::new(1.5, 0.0).is_ok());
+    }
+
+    #[test]
+    fn moments_are_plausible() {
+        let n = Normal::new(3.0, 2.0).expect("valid");
+        let mut rng = StdRng::seed_from_u64(11);
+        let samples: Vec<f64> = (0..50_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / (samples.len() - 1) as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn samples_are_finite() {
+        let n = Normal::new(0.0, 1.0).expect("valid");
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..10_000 {
+            assert!(n.sample(&mut rng).is_finite());
+        }
+    }
+}

@@ -1,0 +1,411 @@
+//! Offline stand-in for `serde`.
+//!
+//! The registry is unreachable in this build environment, so the workspace
+//! vendors a *value-based* serialization framework under the `serde` name:
+//! [`Serialize`] lowers a type to a [`Value`] tree and [`Deserialize`]
+//! rebuilds it. `#[derive(Serialize, Deserialize)]` is provided by the
+//! companion `serde_derive` proc-macro (enabled through the `derive`
+//! feature, exactly like upstream) and follows upstream serde's data model
+//! for the shapes this workspace uses: named-field structs, unit structs,
+//! tuple structs, and externally-tagged enums.
+//!
+//! This is intentionally *not* upstream serde: there is no `Serializer` /
+//! `Deserializer` zero-copy core, no `#[serde(...)]` attributes, and no
+//! lifetime-generic `Deserialize<'de>`. The workspace only ever round-trips
+//! its own artifacts through `serde_json`, which the sibling shim provides
+//! over the same [`Value`] tree.
+
+pub mod value;
+
+pub use value::{Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// Deserialization error: a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can lower themselves to a [`Value`] tree.
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self`, or explains why the tree has the wrong shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the value tree does not match `Self`.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Looks up a struct field in a map value (derive-macro support).
+///
+/// # Errors
+///
+/// Returns [`DeError`] when the field is absent.
+pub fn __field<'a>(fields: &'a [(String, Value)], name: &str) -> Result<&'a Value, DeError> {
+    fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::custom(format!("missing field `{name}`")))
+}
+
+// ---- primitive impls ------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(Number::I(*self as i64))
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| DeError::custom(format!(
+                        "expected integer, got {}", v.kind())))?;
+                <$t>::try_from(n).map_err(|_| DeError::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(Number::U(*self as u64))
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| DeError::custom(format!(
+                        "expected unsigned integer, got {}", v.kind())))?;
+                <$t>::try_from(n).map_err(|_| DeError::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Num(Number::F(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .ok_or_else(|| DeError::custom(format!("expected number, got {}", v.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Num(Number::F(f64::from(*self)))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = String::from_value(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::custom("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::custom(format!(
+                "expected sequence, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($len:expr; $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Seq(items) if items.len() == $len => {
+                        Ok(($($t::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::custom(format!(
+                        "expected {}-tuple, got {}", $len, other.kind()))),
+                }
+            }
+        }
+    };
+}
+
+impl_tuple!(2; A.0, B.1);
+impl_tuple!(3; A.0, B.1, C.2);
+impl_tuple!(4; A.0, B.1, C.2, D.3);
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Keys are arbitrary types, so a map lowers to a sequence of
+        // [key, value] pairs rather than a string-keyed object.
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items
+                .iter()
+                .map(|pair| match pair {
+                    Value::Seq(kv) if kv.len() == 2 => {
+                        Ok((K::from_value(&kv[0])?, V::from_value(&kv[1])?))
+                    }
+                    other => Err(DeError::custom(format!(
+                        "expected [key, value] pair, got {}",
+                        other.kind()
+                    ))),
+                })
+                .collect(),
+            other => Err(DeError::custom(format!(
+                "expected sequence, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        // Upstream serde encodes Duration as {secs, nanos}.
+        Value::Map(vec![
+            ("secs".to_string(), Value::Num(Number::U(self.as_secs()))),
+            (
+                "nanos".to_string(),
+                Value::Num(Number::U(u64::from(self.subsec_nanos()))),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Map(fields) => {
+                let secs = u64::from_value(__field(fields, "secs")?)?;
+                let nanos = u32::from_value(__field(fields, "nanos")?)?;
+                Ok(std::time::Duration::new(secs, nanos))
+            }
+            other => Err(DeError::custom(format!(
+                "expected map, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(u64::from_value(&7u64.to_value()), Ok(7));
+        assert_eq!(i32::from_value(&(-3i32).to_value()), Ok(-3));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn float_accepts_integer_values() {
+        assert_eq!(f64::from_value(&Value::Num(Number::I(4))), Ok(4.0));
+        assert_eq!(f64::from_value(&Value::Num(Number::U(4))), Ok(4.0));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1.0f64, 2.0, 3.0];
+        assert_eq!(Vec::<f64>::from_value(&v.to_value()), Ok(v));
+        let o: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&o.to_value()), Ok(None));
+        let t = (1u32, "x".to_string());
+        assert_eq!(<(u32, String)>::from_value(&t.to_value()), Ok(t));
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        assert!(bool::from_value(&Value::Null).is_err());
+        assert!(u32::from_value(&Value::Num(Number::I(-1))).is_err());
+        assert!(Vec::<f64>::from_value(&Value::Bool(true)).is_err());
+        let missing = __field(&[], "weights");
+        assert!(missing.unwrap_err().message().contains("weights"));
+    }
+}

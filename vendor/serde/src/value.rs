@@ -1,0 +1,116 @@
+//! The value tree both `serde` traits and the `serde_json` shim share.
+
+/// A JSON-shaped number. Integers keep full precision; floats carry
+/// whatever `f64` carries (including non-finite values, which the JSON
+//  layer prints as `NaN` / `Infinity` literals).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Signed integer.
+    I(i64),
+    /// Unsigned integer (used when the value exceeds `i64::MAX`).
+    U(u64),
+    /// Floating point.
+    F(f64),
+}
+
+/// A dynamically-typed value tree. Maps preserve insertion order so
+/// serialized artifacts are byte-stable across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Num(Number),
+    /// JSON string.
+    Str(String),
+    /// JSON array.
+    Seq(Vec<Value>),
+    /// JSON object (ordered).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A short noun for error messages ("map", "sequence", …).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+
+    /// The numeric value as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(Number::I(n)) => Some(*n as f64),
+            Value::Num(Number::U(n)) => Some(*n as f64),
+            Value::Num(Number::F(x)) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `i64`, if it is an integer that fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(Number::I(n)) => Some(*n),
+            Value::Num(Number::U(n)) => i64::try_from(*n).ok(),
+            Value::Num(Number::F(x)) if x.fract() == 0.0 && x.abs() < 9.0e15 => Some(*x as i64),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(Number::U(n)) => Some(*n),
+            Value::Num(Number::I(n)) => u64::try_from(*n).ok(),
+            Value::Num(Number::F(x)) if x.fract() == 0.0 && *x >= 0.0 && *x < 1.9e19 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence items, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_coercions() {
+        assert_eq!(Value::Num(Number::U(5)).as_i64(), Some(5));
+        assert_eq!(Value::Num(Number::I(-5)).as_u64(), None);
+        assert_eq!(Value::Num(Number::F(2.0)).as_i64(), Some(2));
+        assert_eq!(Value::Num(Number::F(2.5)).as_i64(), None);
+        assert_eq!(Value::Num(Number::U(u64::MAX)).as_i64(), None);
+    }
+
+    #[test]
+    fn accessors_reject_other_kinds() {
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+        assert_eq!(Value::Null.as_map(), None);
+        assert_eq!(Value::Bool(true).as_seq(), None);
+        assert_eq!(Value::Seq(vec![]).kind(), "sequence");
+    }
+}

@@ -1,0 +1,427 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored `serde` shim.
+//!
+//! Parses the item's token stream directly (no `syn`/`quote` — the
+//! registry is unreachable) and emits value-tree conversions following
+//! upstream serde's data model for the shapes this workspace uses:
+//!
+//! - named-field structs  → map of fields
+//! - unit structs         → null
+//! - newtype structs      → the inner value
+//! - tuple structs        → sequence
+//! - enums (externally tagged): unit variants → the variant name as a
+//!   string; newtype variants → `{"Variant": value}`; tuple variants →
+//!   `{"Variant": [..]}`; struct variants → `{"Variant": {..}}`
+//!
+//! Generic parameters and `#[serde(...)]` attributes are unsupported and
+//! rejected with a compile error naming the offending item.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+/// The shape of a struct body or an enum variant's payload.
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error tokens parse"),
+    }
+}
+
+// ---- parsing --------------------------------------------------------------
+
+type Iter = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut it: Iter = input.into_iter().peekable();
+    let keyword = loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next(); // the attribute's bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // optional restriction: pub(crate) etc.
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break id.to_string();
+            }
+            Some(other) => return Err(format!("unexpected token `{other}` before item keyword")),
+            None => return Err("empty derive input".to_string()),
+        }
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive: generic item `{name}` is unsupported"
+        ));
+    }
+    let kind = if keyword == "struct" {
+        Kind::Struct(parse_struct_body(&mut it, &name)?)
+    } else {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream(), &name)?)
+            }
+            other => return Err(format!("expected enum body for `{name}`, found {other:?}")),
+        }
+    };
+    Ok(Item { name, kind })
+}
+
+fn parse_struct_body(it: &mut Iter, name: &str) -> Result<Fields, String> {
+    match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Ok(Fields::Named(parse_named_fields(g.stream())?))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok(Fields::Tuple(count_tuple_fields(g.stream())))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Fields::Unit),
+        other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+    }
+}
+
+/// Field names of `{ a: T, pub b: U, ... }`. Types are skipped with
+/// angle-bracket awareness (generic arguments contain top-level commas).
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut it: Iter = body.into_iter().peekable();
+    loop {
+        // skip attributes and visibility
+        loop {
+            match it.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                    it.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    it.next();
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tt) = it.next() else { break };
+        let TokenTree::Ident(field) = tt else {
+            return Err(format!("expected field name, found `{tt}`"));
+        };
+        fields.push(field.to_string());
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field, found {other:?}")),
+        }
+        // consume the type up to the next top-level comma
+        let mut angle_depth = 0i32;
+        for tt in it.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(fields)
+}
+
+/// Arity of a tuple body `(A, B, ...)`.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    for tt in body {
+        saw_tokens = true;
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // `(A, B)` has one separator; `(A, B,)` would double-count, but the
+    // trailing element after the last comma is what `saw_tokens` covers —
+    // recount conservatively below.
+    if saw_tokens {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(body: TokenStream, enum_name: &str) -> Result<Vec<(String, Fields)>, String> {
+    let mut variants = Vec::new();
+    let mut it: Iter = body.into_iter().peekable();
+    loop {
+        while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            it.next();
+            it.next();
+        }
+        let Some(tt) = it.next() else { break };
+        let TokenTree::Ident(variant) = tt else {
+            return Err(format!(
+                "expected variant name in `{enum_name}`, found `{tt}`"
+            ));
+        };
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                it.next();
+                Fields::Named(parse_named_fields(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                it.next();
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // skip an explicit discriminant, then the separating comma
+        let mut angle_depth = 0i32;
+        while let Some(tt) = it.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    it.next();
+                    break;
+                }
+                _ => {}
+            }
+            it.next();
+        }
+        variants.push((variant.to_string(), fields));
+    }
+    Ok(variants)
+}
+
+// ---- code generation ------------------------------------------------------
+
+fn tuple_bindings(arity: usize) -> Vec<String> {
+    (0..arity).map(|i| format!("__f{i}")).collect()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Fields::Named(fields)) => gen_named_to_map(fields, "self.", ""),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    Fields::Unit => format!(
+                        "Self::{v} => ::serde::Value::Str({v:?}.to_string()),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds = tuple_bindings(*n);
+                        let inner = if *n == 1 {
+                            format!("::serde::Serialize::to_value({})", binds[0])
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "Self::{v}({}) => ::serde::Value::Map(vec![({v:?}.to_string(), {inner})]),",
+                            binds.join(", ")
+                        )
+                    }
+                    Fields::Named(fields) => {
+                        let pat = fields.join(", ");
+                        let map = gen_named_to_map(fields, "", "");
+                        format!(
+                            "Self::{v} {{ {pat} }} => ::serde::Value::Map(vec![({v:?}.to_string(), {map})]),"
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// `Value::Map` construction from named fields; `prefix` is `self.` for
+/// structs and empty for enum-variant bindings.
+fn gen_named_to_map(fields: &[String], prefix: &str, _unused: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&{prefix}{f}))"))
+        .collect();
+    format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Unit) => format!("Ok({name})"),
+        Kind::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Seq(__items) if __items.len() == {n} => \
+                         Ok({name}({items})),\n\
+                     __other => Err(::serde::DeError::custom(format!(\
+                         \"expected {n}-element sequence for `{name}`, got {{}}\", __other.kind()))),\n\
+                 }}",
+                items = items.join(", ")
+            )
+        }
+        Kind::Struct(Fields::Named(fields)) => {
+            let inits = gen_named_from_map(name, fields);
+            format!(
+                "match __v {{\n\
+                     ::serde::Value::Map(__fields) => Ok({name} {{ {inits} }}),\n\
+                     __other => Err(::serde::DeError::custom(format!(\
+                         \"expected map for `{name}`, got {{}}\", __other.kind()))),\n\
+                 }}"
+            )
+        }
+        Kind::Enum(variants) => gen_enum_from_value(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_named_from_map(name: &str, fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(::serde::__field(__fields, {f:?})\
+                 .map_err(|e| ::serde::DeError::custom(format!(\"in `{name}`: {{e}}\")))?)?,"
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn gen_enum_from_value(name: &str, variants: &[(String, Fields)]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, f)| matches!(f, Fields::Unit))
+        .map(|(v, _)| format!("{v:?} => Ok(Self::{v}),"))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|(v, fields)| match fields {
+            Fields::Unit => None,
+            Fields::Tuple(1) => Some(format!(
+                "{v:?} => Ok(Self::{v}(::serde::Deserialize::from_value(__inner)?)),"
+            )),
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                Some(format!(
+                    "{v:?} => match __inner {{\n\
+                         ::serde::Value::Seq(__items) if __items.len() == {n} => \
+                             Ok(Self::{v}({items})),\n\
+                         __other => Err(::serde::DeError::custom(format!(\
+                             \"expected {n}-element sequence for `{name}::{v}`, got {{}}\", \
+                             __other.kind()))),\n\
+                     }},",
+                    items = items.join(", ")
+                ))
+            }
+            Fields::Named(fs) => {
+                let inits = gen_named_from_map(name, fs);
+                Some(format!(
+                    "{v:?} => match __inner {{\n\
+                         ::serde::Value::Map(__fields) => Ok(Self::{v} {{ {inits} }}),\n\
+                         __other => Err(::serde::DeError::custom(format!(\
+                             \"expected map for `{name}::{v}`, got {{}}\", __other.kind()))),\n\
+                     }},",
+                ))
+            }
+        })
+        .collect();
+    format!(
+        "match __v {{\n\
+             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {units}\n\
+                 __other => Err(::serde::DeError::custom(format!(\
+                     \"unknown unit variant `{{__other}}` for `{name}`\"))),\n\
+             }},\n\
+             ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__m[0];\n\
+                 match __tag.as_str() {{\n\
+                     {tagged}\n\
+                     __other => Err(::serde::DeError::custom(format!(\
+                         \"unknown variant `{{__other}}` for `{name}`\"))),\n\
+                 }}\n\
+             }}\n\
+             __other => Err(::serde::DeError::custom(format!(\
+                 \"expected variant string or single-key map for `{name}`, got {{}}\", \
+                 __other.kind()))),\n\
+         }}",
+        units = unit_arms.join("\n"),
+        tagged = tagged_arms.join("\n"),
+    )
+}

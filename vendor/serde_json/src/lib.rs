@@ -1,0 +1,484 @@
+//! Offline stand-in for `serde_json` over the vendored [`serde::Value`]
+//! tree: `to_string`, `to_string_pretty`, `from_str`, and `to_value` /
+//! `from_value`.
+//!
+//! Deviations from upstream, both deliberate: non-finite floats are
+//! written as the literals `NaN` / `Infinity` / `-Infinity` (and accepted
+//! back), so serialized models survive round-trips *verbatim* and the
+//! static analyzer — not the serializer — decides what to do about them;
+//! upstream instead silently flattens them to `null`. Floats use Rust's
+//! shortest-round-trip `Display`, which is what upstream's
+//! `float_roundtrip` feature guarantees.
+
+use serde::{DeError, Deserialize, Number, Serialize, Value};
+use std::fmt;
+
+/// JSON error (serialization or parsing), with a byte position for parse
+/// errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Self::new(e.message())
+    }
+}
+
+/// Serializes `value` to a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails for the vendored value model; the `Result` mirrors the
+/// upstream signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` with two-space indentation.
+///
+/// # Errors
+///
+/// Never fails for the vendored value model.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Lowers `value` to a [`Value`] tree.
+///
+/// # Errors
+///
+/// Never fails for the vendored value model.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Rebuilds a `T` from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns an error when the tree does not match `T`.
+pub fn from_value<T: Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_value(&value).map_err(Error::from)
+}
+
+/// Parses JSON text into a `T`.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or a shape mismatch.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse_value(s)?;
+    T::from_value(&v).map_err(Error::from)
+}
+
+// ---- writer ---------------------------------------------------------------
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Num(n) => write_number(*n, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => {
+            write_delimited(out, indent, level, '[', ']', items.len(), |out, i| {
+                write_value(&items[i], out, indent, level + 1);
+            })
+        }
+        Value::Map(fields) => {
+            write_delimited(out, indent, level, '{', '}', fields.len(), |out, i| {
+                write_string(&fields[i].0, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(&fields[i].1, out, indent, level + 1);
+            })
+        }
+    }
+}
+
+fn write_delimited(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut write_item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', w * (level + 1)));
+        }
+        write_item(out, i);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * level));
+    }
+    out.push(close);
+}
+
+fn write_number(n: Number, out: &mut String) {
+    match n {
+        Number::I(i) => out.push_str(&i.to_string()),
+        Number::U(u) => out.push_str(&u.to_string()),
+        Number::F(f) if f.is_nan() => out.push_str("NaN"),
+        Number::F(f) if f.is_infinite() => {
+            out.push_str(if f > 0.0 { "Infinity" } else { "-Infinity" });
+        }
+        Number::F(f) => {
+            // Rust's Display is shortest-round-trip; integral floats print
+            // without a fraction ("2"), which re-parses as an integer — the
+            // numeric coercions in `serde::Value` absorb that.
+            out.push_str(&f.to_string());
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parser ---------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'N') if self.eat_keyword("NaN") => Ok(Value::Num(Number::F(f64::NAN))),
+            Some(b'I') if self.eat_keyword("Infinity") => Ok(Value::Num(Number::F(f64::INFINITY))),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.seq(),
+            Some(b'{') => self.map(),
+            Some(b'-') if self.bytes[self.pos..].starts_with(b"-Infinity") => {
+                self.pos += "-Infinity".len();
+                Ok(Value::Num(Number::F(f64::NEG_INFINITY)))
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn seq(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn map(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut s = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            s.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid utf-8"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'b' => s.push('\u{0008}'),
+                        b'f' => s.push('\u{000C}'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                // surrogate pair
+                                if !(self.eat(b'\\').is_ok() && self.eat(b'u').is_ok()) {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                let low = self.hex4()?;
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(code)
+                            };
+                            s.push(c.ok_or_else(|| self.err("invalid unicode escape"))?);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let hex = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| self.err("truncated unicode escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid hex digits"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid utf-8 in number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Num(Number::I(i)));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Num(Number::U(u)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Num(Number::F(f)))
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for json in ["null", "true", "false", "0", "-17", "3.25", "\"hi\""] {
+            let v: Value = from_str(json).expect("parses");
+            assert_eq!(to_string(&v).expect("writes"), json);
+        }
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let json = r#"{"a":[1,2.5,null],"b":{"c":"x\ny"},"d":[]}"#;
+        let v: Value = from_str(json).expect("parses");
+        assert_eq!(to_string(&v).expect("writes"), json);
+    }
+
+    #[test]
+    fn float_shortest_round_trip() {
+        let x = 0.1f64 + 0.2;
+        let s = to_string(&x).expect("writes");
+        let back: f64 = from_str(&s).expect("parses");
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn non_finite_literals_round_trip() {
+        let v = vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY];
+        let s = to_string(&v).expect("writes");
+        assert_eq!(s, "[NaN,Infinity,-Infinity]");
+        let back: Vec<f64> = from_str(&s).expect("parses");
+        assert!(back[0].is_nan());
+        assert_eq!(back[1], f64::INFINITY);
+        assert_eq!(back[2], f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn big_u64_survives() {
+        let n = u64::MAX;
+        let s = to_string(&n).expect("writes");
+        let back: u64 = from_str(&s).expect("parses");
+        assert_eq!(back, n);
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let v: String = from_str(r#""aA😀b""#).expect("parses");
+        assert_eq!(v, "aA😀b");
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_reparses() {
+        let json = r#"{"a":[1,2],"b":true}"#;
+        let v: Value = from_str(json).expect("parses");
+        let pretty = to_string_pretty(&v).expect("writes");
+        assert!(pretty.contains("\n  \"a\": [\n    1,"));
+        let back: Value = from_str(&pretty).expect("reparses");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        let err = from_str::<Value>("{\"a\": }").unwrap_err();
+        assert!(err.to_string().contains("at byte"));
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+    }
+}
