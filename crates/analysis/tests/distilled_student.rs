@@ -1,0 +1,54 @@
+//! Fixture test closing the loop between the batched distillation pipeline
+//! and the static linter: a student produced by `robust_distill` (batched
+//! forward/backward kernels, parallel dataset generation) must clear the
+//! `lint-model` pre-flight gate.
+
+#![allow(clippy::expect_used, clippy::unwrap_used)] // test helpers panic on setup failure by design
+
+use std::process::Command;
+
+use cocktail_control::LinearFeedbackController;
+use cocktail_distill::{robust_distill, DistillConfig, TeacherDataset};
+use cocktail_env::systems::VanDerPol;
+use cocktail_env::Dynamics;
+use cocktail_math::Matrix;
+
+#[test]
+fn distilled_student_passes_the_preflight_lint() {
+    // Teacher: a stabilizing linear gain on the Van der Pol oscillator.
+    let teacher = LinearFeedbackController::new(Matrix::from_rows(vec![vec![3.0, 4.0]]));
+    let domain = VanDerPol::new().verification_domain();
+
+    // Batched pipeline: parallel uniform sampling + batched robust distill.
+    let data = TeacherDataset::sample_uniform_with_workers(&teacher, &domain, 256, 7, 2);
+    let student = robust_distill(
+        &data,
+        &DistillConfig {
+            epochs: 20,
+            hidden: 12,
+            seed: 5,
+            ..DistillConfig::default()
+        },
+    );
+
+    // Serialize the student's network as lint-model consumes it (a bare
+    // Mlp file is wrapped with the student's unit output scale).
+    assert_eq!(student.scale(), &[1.0], "distilled students are unscaled");
+    let dir = std::env::temp_dir().join("cocktail-analysis-distilled-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("distilled_student.json");
+    std::fs::write(&path, student.network().to_json().expect("serializable")).expect("write model");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_lint-model"))
+        .args([path.to_str().unwrap(), "--system", "oscillator"])
+        .output()
+        .expect("lint-model runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{stdout}{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("PASSED"), "{stdout}");
+}

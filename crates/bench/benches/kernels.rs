@@ -13,7 +13,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use cocktail_env::systems::{CartPole, Poly3d, VanDerPol};
 use cocktail_env::Dynamics;
 use cocktail_math::{BoxRegion, Interval, Matrix};
-use cocktail_nn::{loss, Activation, GradStore, MlpBuilder};
+use cocktail_nn::{loss, Activation, BatchCache, GradStore, MlpBuilder};
 use cocktail_verify::bernstein::BernsteinApprox;
 
 fn bench_matrix(c: &mut Criterion) {
@@ -61,6 +61,50 @@ fn bench_network(c: &mut Criterion) {
     let region = BoxRegion::cube(4, -0.5, 0.5);
     c.bench_function("nn/ibp_bounds", |b| {
         b.iter(|| black_box(&net).bounds(black_box(&region)));
+    });
+}
+
+fn bench_batched(c: &mut Criterion) {
+    // the Table-1 student shape (2-24-24-1): batched forward at batch 64
+    // versus 64 per-sample calls — the kernel the distillation loop and
+    // the Lipschitz/IBP sweeps run on
+    let net = MlpBuilder::new(2)
+        .hidden(24, Activation::Tanh)
+        .hidden(24, Activation::Tanh)
+        .output(1, Activation::Identity)
+        .seed(2)
+        .build();
+    let xs: Vec<Vec<f64>> = (0..64)
+        .map(|i| {
+            (0..2)
+                .map(|d| ((i * 7 + d * 13) % 23) as f64 / 11.5 - 1.0)
+                .collect()
+        })
+        .collect();
+    let x = Matrix::from_rows(xs.clone());
+    c.bench_function("nn/forward_per_sample_64x_2-24-24-1", |b| {
+        b.iter(|| {
+            for row in &xs {
+                black_box(net.forward(black_box(row)));
+            }
+        });
+    });
+    let mut cache = BatchCache::new();
+    c.bench_function("nn/forward_batch_64_2-24-24-1", |b| {
+        b.iter(|| net.forward_batch_cached(black_box(&x), &mut cache));
+    });
+    let mut grads = GradStore::zeros_like(&net);
+    c.bench_function("nn/backward_batch_64_2-24-24-1", |b| {
+        b.iter(|| {
+            grads.reset();
+            net.forward_batch_cached(black_box(&x), &mut cache);
+            let mut g = Matrix::zeros(64, 1);
+            for r in 0..64 {
+                g.row_mut(r)
+                    .copy_from_slice(&loss::mse_gradient(cache.output().row(r), &[0.5]));
+            }
+            net.backward_batch(&cache, &g, &mut grads, 1.0 / 64.0)
+        });
     });
 }
 
@@ -127,6 +171,6 @@ fn bench_bernstein(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_matrix, bench_network, bench_dynamics, bench_bernstein
+    targets = bench_matrix, bench_network, bench_batched, bench_dynamics, bench_bernstein
 }
 criterion_main!(benches);

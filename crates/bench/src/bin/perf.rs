@@ -1,0 +1,68 @@
+//! Perf harness: measures the batched/parallel kernels and writes the
+//! machine-readable baseline (`BENCH_pr2.json`).
+//!
+//! ```text
+//! cargo run --release -p cocktail-bench --bin perf [-- <output-path>]
+//! ```
+//!
+//! Set `COCKTAIL_FAST=1` for a reduced smoke run (CI). The written file is
+//! read back and schema-validated before the process exits.
+
+#![allow(
+    clippy::expect_used,
+    clippy::unwrap_used,
+    reason = "perf harness aborts on failure by design"
+)]
+
+use cocktail_bench::perf::{run, validate, PerfConfig, PerfReport};
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr2.json".to_string());
+    let fast = std::env::var("COCKTAIL_FAST").is_ok_and(|v| v == "1");
+    let config = if fast {
+        PerfConfig::fast()
+    } else {
+        PerfConfig::full()
+    };
+    eprintln!(
+        "perf: forward_reps={} rollout_episodes={} (fast={fast})",
+        config.forward_reps, config.rollout_episodes
+    );
+
+    let report = run(&config);
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json).expect("baseline must be writable");
+
+    // round-trip the file on disk: the schema check CI relies on
+    let parsed: PerfReport =
+        serde_json::from_str(&std::fs::read_to_string(&out).expect("baseline readable"))
+            .expect("baseline deserializes");
+    validate(&parsed).expect("baseline validates");
+
+    println!(
+        "forward  {:>12.0} samples/s per-sample | {:>12.0} samples/s batched ({:.2}x)",
+        report.forward.per_sample_samples_per_sec,
+        report.forward.batched_samples_per_sec,
+        report.forward.speedup
+    );
+    println!(
+        "train    {:>12.0} samples/s per-sample | {:>12.0} samples/s batched ({:.2}x)",
+        report.train_step.per_sample_samples_per_sec,
+        report.train_step.batched_samples_per_sec,
+        report.train_step.speedup
+    );
+    println!(
+        "rollout  {:>12.1} ep/s serial      | {:>12.1} ep/s x{} workers ({:.2}x)",
+        report.rollout.serial_episodes_per_sec,
+        report.rollout.parallel_episodes_per_sec,
+        report.rollout.workers,
+        report.rollout.speedup
+    );
+    println!(
+        "pipeline {:>12.0} ms smoke end-to-end",
+        report.end_to_end.wall_ms
+    );
+    println!("[artifact] {out}");
+}

@@ -1,0 +1,373 @@
+//! The tracked performance baseline behind `BENCH_pr2.json`.
+//!
+//! Three measurements, chosen to cover the layers the batched/parallel
+//! kernels rewrote:
+//!
+//! 1. **Forward throughput** — per-sample [`cocktail_nn::Mlp::forward`]
+//!    versus [`cocktail_nn::Mlp::forward_batch_cached`] at batch 64 on the
+//!    Table-1 student shape (2-24-24-1), in samples/second;
+//! 2. **Rollout throughput** — Monte-Carlo evaluation of a stabilizing
+//!    controller on the Van der Pol oscillator with 1 worker versus the
+//!    machine's full worker count, in episodes/second;
+//! 3. **End-to-end wall time** — one smoke-preset Cocktail pipeline run
+//!    (PPO mixing + dataset + both distillations) on the oscillator.
+//!
+//! The `perf` binary writes the report as JSON; re-reading it through
+//! [`PerfReport`] is the schema check CI runs.
+
+use cocktail_control::LinearFeedbackController;
+use cocktail_core::experiment::Preset;
+use cocktail_core::metrics::{evaluate_with_workers, EvalConfig};
+use cocktail_core::pipeline::Cocktail;
+use cocktail_core::SystemId;
+use cocktail_math::{parallel, Matrix};
+use cocktail_nn::{Activation, BatchCache, MlpBuilder};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Schema version of [`PerfReport`]; bump on any shape change.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Batched-versus-per-sample forward throughput.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ForwardBench {
+    /// Network shape, e.g. `"2-24-24-1"`.
+    pub shape: String,
+    /// Rows per batched call.
+    pub batch: usize,
+    /// Per-sample `forward` throughput in samples/second.
+    pub per_sample_samples_per_sec: f64,
+    /// `forward_batch_cached` throughput in samples/second.
+    pub batched_samples_per_sec: f64,
+    /// Batched over per-sample throughput.
+    pub speedup: f64,
+}
+
+/// Batched-versus-per-sample training-step (forward + backward) throughput.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainStepBench {
+    /// Network shape, e.g. `"2-24-24-1"`.
+    pub shape: String,
+    /// Rows per batched step.
+    pub batch: usize,
+    /// Per-sample `forward_cached` + `backward` throughput in samples/second.
+    pub per_sample_samples_per_sec: f64,
+    /// `forward_batch_cached` + `backward_batch` throughput in samples/second.
+    pub batched_samples_per_sec: f64,
+    /// Batched over per-sample throughput.
+    pub speedup: f64,
+}
+
+/// Serial-versus-parallel Monte-Carlo rollout throughput.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RolloutBench {
+    /// Evaluated episodes per configuration.
+    pub episodes: usize,
+    /// Worker count of the parallel configuration.
+    pub workers: usize,
+    /// Single-worker throughput in episodes/second.
+    pub serial_episodes_per_sec: f64,
+    /// Full-worker throughput in episodes/second.
+    pub parallel_episodes_per_sec: f64,
+    /// Parallel over serial throughput.
+    pub speedup: f64,
+}
+
+/// Wall time of one full pipeline run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EndToEndBench {
+    /// Benchmark system.
+    pub system: String,
+    /// Pipeline preset.
+    pub preset: String,
+    /// Wall-clock milliseconds.
+    pub wall_ms: f64,
+}
+
+/// The full machine-readable perf baseline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Must equal [`SCHEMA_VERSION`].
+    pub schema_version: u32,
+    /// Forward-kernel measurement.
+    pub forward: ForwardBench,
+    /// Training-step measurement.
+    pub train_step: TrainStepBench,
+    /// Rollout-throughput measurement.
+    pub rollout: RolloutBench,
+    /// End-to-end pipeline measurement.
+    pub end_to_end: EndToEndBench,
+}
+
+/// Knobs for a perf run; `fast` shrinks everything for CI smoke runs.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfConfig {
+    /// Repetitions of the forward measurement loops.
+    pub forward_reps: usize,
+    /// Episodes per rollout configuration.
+    pub rollout_episodes: usize,
+}
+
+impl PerfConfig {
+    /// Full-fidelity settings for the committed baseline.
+    pub fn full() -> Self {
+        Self {
+            forward_reps: 20_000,
+            rollout_episodes: 400,
+        }
+    }
+
+    /// Reduced settings for CI smoke runs (seconds, not minutes).
+    pub fn fast() -> Self {
+        Self {
+            forward_reps: 500,
+            rollout_episodes: 40,
+        }
+    }
+}
+
+/// Measures per-sample versus batched forward throughput at batch 64 on
+/// the Table-1 student shape.
+pub fn bench_forward(config: &PerfConfig) -> ForwardBench {
+    let net = MlpBuilder::new(2)
+        .hidden(24, Activation::Tanh)
+        .hidden(24, Activation::Tanh)
+        .output(1, Activation::Identity)
+        .seed(2)
+        .build();
+    let batch = 64;
+    let xs: Vec<Vec<f64>> = (0..batch)
+        .map(|i| {
+            (0..2)
+                .map(|d| ((i * 7 + d * 13) % 23) as f64 / 11.5 - 1.0)
+                .collect()
+        })
+        .collect();
+    let x = Matrix::from_rows(xs.clone());
+    let reps = config.forward_reps.max(1);
+    let samples = (reps * batch) as f64;
+
+    // warm-up so neither path pays first-touch costs inside the timing
+    let mut cache = BatchCache::new();
+    net.forward_batch_cached(&x, &mut cache);
+    let mut sink = 0.0;
+    for row in &xs {
+        sink += net.forward(row)[0];
+    }
+
+    let t = Instant::now();
+    for _ in 0..reps {
+        for row in &xs {
+            sink += net.forward(row)[0];
+        }
+    }
+    let per_sample = samples / t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    for _ in 0..reps {
+        net.forward_batch_cached(&x, &mut cache);
+        sink += cache.output().row(0)[0];
+    }
+    let batched = samples / t.elapsed().as_secs_f64();
+    assert!(sink.is_finite(), "benchmark outputs must stay finite");
+
+    ForwardBench {
+        shape: "2-24-24-1".to_string(),
+        batch,
+        per_sample_samples_per_sec: per_sample,
+        batched_samples_per_sec: batched,
+        speedup: batched / per_sample,
+    }
+}
+
+/// Measures per-sample versus batched training-step throughput (forward
+/// plus backward with gradient accumulation) at batch 64 on the Table-1
+/// student shape.
+pub fn bench_train_step(config: &PerfConfig) -> TrainStepBench {
+    use cocktail_nn::{loss, GradStore};
+    let net = MlpBuilder::new(2)
+        .hidden(24, Activation::Tanh)
+        .hidden(24, Activation::Tanh)
+        .output(1, Activation::Identity)
+        .seed(3)
+        .build();
+    let batch = 64;
+    let xs: Vec<Vec<f64>> = (0..batch)
+        .map(|i| {
+            (0..2)
+                .map(|d| ((i * 5 + d * 11) % 19) as f64 / 9.5 - 1.0)
+                .collect()
+        })
+        .collect();
+    let x = Matrix::from_rows(xs.clone());
+    let reps = (config.forward_reps / 4).max(1);
+    let samples = (reps * batch) as f64;
+    let scale = 1.0 / batch as f64;
+    let mut grads = GradStore::zeros_like(&net);
+
+    let t = Instant::now();
+    for _ in 0..reps {
+        grads.reset();
+        for row in &xs {
+            let cache = net.forward_cached(row);
+            let g = loss::mse_gradient(cache.output(), &[0.5]);
+            net.backward(&cache, &g, &mut grads, scale);
+        }
+    }
+    let per_sample = samples / t.elapsed().as_secs_f64();
+
+    let mut cache = BatchCache::new();
+    let t = Instant::now();
+    for _ in 0..reps {
+        grads.reset();
+        net.forward_batch_cached(&x, &mut cache);
+        let mut g = Matrix::zeros(batch, 1);
+        for r in 0..batch {
+            g.row_mut(r)
+                .copy_from_slice(&loss::mse_gradient(cache.output().row(r), &[0.5]));
+        }
+        net.backward_batch(&cache, &g, &mut grads, scale);
+    }
+    let batched = samples / t.elapsed().as_secs_f64();
+
+    TrainStepBench {
+        shape: "2-24-24-1".to_string(),
+        batch,
+        per_sample_samples_per_sec: per_sample,
+        batched_samples_per_sec: batched,
+        speedup: batched / per_sample,
+    }
+}
+
+/// Measures Monte-Carlo rollout throughput with 1 worker versus the full
+/// worker count on the Van der Pol oscillator.
+pub fn bench_rollout(config: &PerfConfig) -> RolloutBench {
+    let sys = cocktail_env::systems::VanDerPol::new();
+    let controller = LinearFeedbackController::new(Matrix::from_rows(vec![vec![3.0, 4.0]]));
+    let episodes = config.rollout_episodes.max(1);
+    let eval_cfg = EvalConfig {
+        samples: episodes,
+        seed: 7,
+        ..Default::default()
+    };
+    let workers = parallel::default_workers();
+
+    let t = Instant::now();
+    let serial = evaluate_with_workers(&sys, &controller, &eval_cfg, 1);
+    let serial_rate = episodes as f64 / t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let par = evaluate_with_workers(&sys, &controller, &eval_cfg, workers);
+    let parallel_rate = episodes as f64 / t.elapsed().as_secs_f64();
+
+    assert_eq!(serial, par, "parallel evaluation must be bit-identical");
+    RolloutBench {
+        episodes,
+        workers,
+        serial_episodes_per_sec: serial_rate,
+        parallel_episodes_per_sec: parallel_rate,
+        speedup: parallel_rate / serial_rate,
+    }
+}
+
+/// Times one smoke-preset pipeline run on the oscillator.
+pub fn bench_end_to_end() -> EndToEndBench {
+    let sys = SystemId::Oscillator;
+    let experts = cocktail_core::experts::cloned_experts(sys, 0);
+    let t = Instant::now();
+    let result = Cocktail::new(sys, experts)
+        .with_config(Preset::Smoke.config())
+        .run();
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert!(result.kappa_star.lipschitz_constant().is_finite());
+    EndToEndBench {
+        system: "oscillator".to_string(),
+        preset: "smoke".to_string(),
+        wall_ms,
+    }
+}
+
+/// Runs all three measurements.
+pub fn run(config: &PerfConfig) -> PerfReport {
+    PerfReport {
+        schema_version: SCHEMA_VERSION,
+        forward: bench_forward(config),
+        train_step: bench_train_step(config),
+        rollout: bench_rollout(config),
+        end_to_end: bench_end_to_end(),
+    }
+}
+
+/// Structural validity of a (re-)parsed report: right schema version,
+/// finite positive throughputs.
+pub fn validate(report: &PerfReport) -> Result<(), String> {
+    if report.schema_version != SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {} != expected {SCHEMA_VERSION}",
+            report.schema_version
+        ));
+    }
+    let positive = [
+        (
+            "forward.per_sample",
+            report.forward.per_sample_samples_per_sec,
+        ),
+        ("forward.batched", report.forward.batched_samples_per_sec),
+        ("forward.speedup", report.forward.speedup),
+        (
+            "train_step.per_sample",
+            report.train_step.per_sample_samples_per_sec,
+        ),
+        (
+            "train_step.batched",
+            report.train_step.batched_samples_per_sec,
+        ),
+        ("train_step.speedup", report.train_step.speedup),
+        ("rollout.serial", report.rollout.serial_episodes_per_sec),
+        ("rollout.parallel", report.rollout.parallel_episodes_per_sec),
+        ("rollout.speedup", report.rollout.speedup),
+        ("end_to_end.wall_ms", report.end_to_end.wall_ms),
+    ];
+    for (name, v) in positive {
+        if !(v.is_finite() && v > 0.0) {
+            return Err(format!("{name} must be finite and positive, got {v}"));
+        }
+    }
+    if report.forward.batch == 0 || report.rollout.episodes == 0 {
+        return Err("batch and episode counts must be positive".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_perf_run_produces_a_valid_report() {
+        let report = run(&PerfConfig {
+            forward_reps: 20,
+            rollout_episodes: 8,
+        });
+        validate(&report).expect("fresh report validates");
+        assert_eq!(report.forward.batch, 64);
+    }
+
+    #[test]
+    fn committed_baseline_parses_and_validates() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr2.json");
+        let json = std::fs::read_to_string(path).expect("committed BENCH_pr2.json exists");
+        let report: PerfReport = serde_json::from_str(&json).expect("baseline deserializes");
+        validate(&report).expect("baseline validates");
+    }
+
+    #[test]
+    fn validate_rejects_wrong_schema_version() {
+        let mut report = run(&PerfConfig {
+            forward_reps: 5,
+            rollout_episodes: 4,
+        });
+        report.schema_version = 99;
+        assert!(validate(&report).is_err());
+    }
+}

@@ -19,6 +19,16 @@ pub trait Controller: Send + Sync {
     /// Implementations panic if `s.len() != self.state_dim()`.
     fn control(&self, s: &[f64]) -> Vec<f64>;
 
+    /// Computes the control for a block of states at once.
+    ///
+    /// The default loops over [`Controller::control`]; neural controllers
+    /// override it with a batched network forward. Either way each result
+    /// row is identical to the per-state call, so callers may batch freely
+    /// without changing any numbers.
+    fn control_batch(&self, states: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        states.iter().map(|s| self.control(s)).collect()
+    }
+
     /// Expected state dimension.
     fn state_dim(&self) -> usize;
 

@@ -97,6 +97,25 @@ impl Controller for NnController {
         raw.iter().zip(&self.scale).map(|(r, sc)| r * sc).collect()
     }
 
+    fn control_batch(&self, states: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        if states.is_empty() {
+            return Vec::new();
+        }
+        // one batched forward; rows are bit-identical to per-state calls
+        let out = self
+            .net
+            .forward_batch(&cocktail_math::Matrix::from_rows(states.to_vec()));
+        (0..out.rows())
+            .map(|r| {
+                out.row(r)
+                    .iter()
+                    .zip(&self.scale)
+                    .map(|(y, sc)| y * sc)
+                    .collect()
+            })
+            .collect()
+    }
+
     fn state_dim(&self) -> usize {
         self.net.input_dim()
     }

@@ -52,7 +52,7 @@ pub mod system;
 
 pub use cocktail_analysis::PreflightMode;
 pub use experiment::Preset;
-pub use metrics::{evaluate, EvalConfig, Evaluation};
+pub use metrics::{evaluate, evaluate_with_workers, EvalConfig, Evaluation};
 pub use pipeline::{Cocktail, CocktailConfig, CocktailResult, MixingAlgorithm};
 pub use system::SystemId;
 

@@ -98,6 +98,27 @@ pub fn evaluate(
     controller: &dyn Controller,
     config: &EvalConfig,
 ) -> Evaluation {
+    evaluate_with_workers(
+        sys,
+        controller,
+        config,
+        cocktail_math::parallel::default_workers(),
+    )
+}
+
+/// [`evaluate`] with an explicit worker count. The result is bit-identical
+/// for every `workers >= 1`.
+///
+/// # Panics
+///
+/// Panics if `config.samples == 0` or the controller's dimensions disagree
+/// with the plant.
+pub fn evaluate_with_workers(
+    sys: &dyn Dynamics,
+    controller: &dyn Controller,
+    config: &EvalConfig,
+    workers: usize,
+) -> Evaluation {
     assert!(config.samples > 0, "evaluation needs at least one sample");
     assert_eq!(
         controller.state_dim(),
@@ -116,31 +137,10 @@ pub fn evaluate(
         .map(|_| cocktail_math::rng::uniform_in_box(&mut rng, &x0))
         .collect();
 
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let results: Vec<Option<f64>> = if workers <= 1 || config.samples < 8 {
-        starts
-            .iter()
-            .enumerate()
-            .map(|(i, s0)| evaluate_one(sys, controller, config, s0, i))
-            .collect()
-    } else {
-        let chunk = config.samples.div_ceil(workers);
-        let mut results = vec![None; config.samples];
-        std::thread::scope(|scope| {
-            for (w, out) in results.chunks_mut(chunk).enumerate() {
-                let starts = &starts;
-                scope.spawn(move || {
-                    for (j, slot) in out.iter_mut().enumerate() {
-                        let i = w * chunk + j;
-                        *slot = evaluate_one(sys, controller, config, &starts[i], i);
-                    }
-                });
-            }
+    let results: Vec<Option<f64>> =
+        cocktail_math::parallel::map_indexed_with_workers(&starts, workers, |i, s0| {
+            evaluate_one(sys, controller, config, s0, i)
         });
-        results
-    };
 
     let energies: Vec<f64> = results.iter().filter_map(|r| *r).collect();
     let safe = energies.len();
@@ -274,6 +274,21 @@ mod tests {
         let a = evaluate(&sys, &damped(), &cfg);
         let b = evaluate(&sys, &damped(), &cfg);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn evaluation_is_worker_count_invariant() {
+        let sys = VanDerPol::new();
+        let cfg = EvalConfig {
+            samples: 60,
+            seed: 11,
+            ..Default::default()
+        };
+        let reference = evaluate_with_workers(&sys, &damped(), &cfg, 1);
+        for workers in [2, 8] {
+            let got = evaluate_with_workers(&sys, &damped(), &cfg, workers);
+            assert_eq!(got, reference, "workers = {workers}");
+        }
     }
 
     #[test]

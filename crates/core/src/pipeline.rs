@@ -7,7 +7,7 @@ use cocktail_control::{Controller, MixedController, NnController, WeightPolicy};
 use cocktail_distill::{direct_distill, robust_distill, DistillConfig, TeacherDataset};
 use cocktail_rl::ddpg::{DdpgConfig, DdpgTrainer, EpisodeStats};
 use cocktail_rl::ppo::{IterationStats, PpoConfig, PpoTrainer};
-use cocktail_rl::{MixingMdp, RewardConfig};
+use cocktail_rl::{Mdp, MixingMdp, RewardConfig};
 use std::sync::Arc;
 
 /// Which RL algorithm learns the adaptive mixing weights. The paper's
@@ -136,23 +136,35 @@ impl Cocktail {
         }
 
         // ---- stage 1: RL-based adaptive mixing (Alg. 1 lines 2-10)
-        let mut mdp = MixingMdp::new(
-            sys.clone(),
-            self.experts.clone(),
-            cfg.weight_bound,
-            cfg.reward,
-            cfg.seed,
-        );
         let mut ppo_history = Vec::new();
         let mut ddpg_history = Vec::new();
         let weight_policy: Arc<dyn WeightPolicy> = match &cfg.mixing {
             MixingAlgorithm::Ppo => {
-                let trained =
-                    PpoTrainer::new(&cfg.ppo, sys.state_dim(), self.experts.len()).train(&mut mdp);
+                // episodes are collected in parallel: each worker gets a
+                // fresh MixingMdp seeded per episode, so the outcome does
+                // not depend on the worker count
+                let factory = |seed: u64| -> Box<dyn Mdp> {
+                    Box::new(MixingMdp::new(
+                        sys.clone(),
+                        self.experts.clone(),
+                        cfg.weight_bound,
+                        cfg.reward,
+                        seed,
+                    ))
+                };
+                let trained = PpoTrainer::new(&cfg.ppo, sys.state_dim(), self.experts.len())
+                    .train_episodes(&factory);
                 ppo_history = trained.history;
                 Arc::new(PpoWeightPolicy::new(trained.policy, cfg.weight_bound))
             }
             MixingAlgorithm::Ddpg(ddpg) => {
+                let mut mdp = MixingMdp::new(
+                    sys.clone(),
+                    self.experts.clone(),
+                    cfg.weight_bound,
+                    cfg.reward,
+                    cfg.seed,
+                );
                 let trained =
                     DdpgTrainer::new(ddpg, sys.state_dim(), self.experts.len()).train(&mut mdp);
                 ddpg_history = trained.history;
@@ -394,6 +406,57 @@ mod tests {
             2,
             "{report}"
         );
+    }
+
+    #[test]
+    fn final_metrics_are_worker_count_invariant() {
+        // the full distill-and-evaluate tail of the pipeline, once per
+        // worker count: dataset generation, robust distillation and
+        // Monte-Carlo evaluation must agree bit-for-bit
+        let result = smoke_result();
+        let sys = SystemId::Oscillator.dynamics();
+        let run = |workers: usize| {
+            let data = TeacherDataset::sample_uniform_with_workers(
+                result.mixed.as_ref(),
+                &sys.verification_domain(),
+                256,
+                21,
+                workers,
+            );
+            let student = robust_distill(
+                &data,
+                &DistillConfig {
+                    epochs: 10,
+                    hidden: 12,
+                    ..Default::default()
+                },
+            );
+            let eval = crate::metrics::evaluate_with_workers(
+                sys.as_ref(),
+                &student,
+                &EvalConfig {
+                    samples: 60,
+                    seed: 23,
+                    ..Default::default()
+                },
+                workers,
+            );
+            let loss: f64 = data
+                .states()
+                .iter()
+                .zip(data.controls())
+                .map(|(s, u)| {
+                    let d = student.control(s)[0] - u[0];
+                    d * d
+                })
+                .sum::<f64>()
+                / data.len() as f64;
+            (eval.safe_rate, eval.mean_energy.to_bits(), loss.to_bits())
+        };
+        let reference = run(1);
+        for workers in [2, 8] {
+            assert_eq!(run(workers), reference, "workers = {workers}");
+        }
     }
 
     #[test]

@@ -13,26 +13,34 @@ use serde::{Deserialize, Serialize};
 /// controller toward its most aggressive response — exactly the failure
 /// signature Table II shows for `κ_D` (energy blow-up, lost safety).
 ///
+/// All `2·dim` probe states are evaluated through one
+/// [`Controller::control_batch`] call, so neural controllers pay a single
+/// batched forward per direction; the result is identical to probing one
+/// state at a time.
+///
 /// # Panics
 ///
 /// Panics if `s.len() != controller.state_dim()`.
 pub fn fgsm_direction(controller: &dyn Controller, s: &[f64]) -> Vec<f64> {
     assert_eq!(s.len(), controller.state_dim(), "state dimension mismatch");
     let h = 1e-5;
-    let objective = |x: &[f64]| -> f64 {
-        let u = controller.control(x);
-        vector::dot(&u, &u)
-    };
-    let mut grad = vec![0.0; s.len()];
-    let mut xp = s.to_vec();
-    let mut xm = s.to_vec();
+    let mut probes = Vec::with_capacity(2 * s.len());
     for i in 0..s.len() {
+        let mut xp = s.to_vec();
         xp[i] += h;
+        probes.push(xp);
+        let mut xm = s.to_vec();
         xm[i] -= h;
-        grad[i] = (objective(&xp) - objective(&xm)) / (2.0 * h);
-        xp[i] = s[i];
-        xm[i] = s[i];
+        probes.push(xm);
     }
+    let us = controller.control_batch(&probes);
+    let grad: Vec<f64> = (0..s.len())
+        .map(|i| {
+            let op = vector::dot(&us[2 * i], &us[2 * i]);
+            let om = vector::dot(&us[2 * i + 1], &us[2 * i + 1]);
+            (op - om) / (2.0 * h)
+        })
+        .collect();
     vector::sign(&grad)
 }
 

@@ -2,7 +2,7 @@
 
 use cocktail_control::Controller;
 use cocktail_env::{rollout, Dynamics, RolloutConfig};
-use cocktail_math::{rng, BoxRegion};
+use cocktail_math::{parallel, rng, BoxRegion};
 
 /// A set of `(state, teacher control)` pairs.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,51 +28,90 @@ impl TeacherDataset {
     }
 
     /// Labels `count` uniformly-sampled states of `domain` with the
-    /// teacher's control.
+    /// teacher's control. Labeling runs on [`parallel::default_workers`]
+    /// threads; the result is identical for any worker count.
     pub fn sample_uniform(
         teacher: &dyn Controller,
         domain: &BoxRegion,
         count: usize,
         seed: u64,
     ) -> Self {
+        Self::sample_uniform_with_workers(teacher, domain, count, seed, parallel::default_workers())
+    }
+
+    /// [`Self::sample_uniform`] with an explicit worker count.
+    pub fn sample_uniform_with_workers(
+        teacher: &dyn Controller,
+        domain: &BoxRegion,
+        count: usize,
+        seed: u64,
+        workers: usize,
+    ) -> Self {
         assert!(count > 0, "dataset needs at least one sample");
         let mut r = rng::seeded(seed);
         let states = rng::sample_box(&mut r, domain, count);
-        let controls = states.iter().map(|s| teacher.control(s)).collect();
+        let controls =
+            parallel::map_indexed_with_workers(&states, workers, |_, s| teacher.control(s));
         Self { states, controls }
     }
 
     /// Labels the states visited by the teacher's own closed-loop
     /// trajectories from `episodes` random initial states — the
-    /// distribution the student will actually be queried on.
+    /// distribution the student will actually be queried on. Episodes
+    /// roll out on [`parallel::default_workers`] threads; the result is
+    /// identical for any worker count.
     pub fn sample_on_policy(
         teacher: &dyn Controller,
         sys: &dyn Dynamics,
         episodes: usize,
         seed: u64,
     ) -> Self {
+        Self::sample_on_policy_with_workers(
+            teacher,
+            sys,
+            episodes,
+            seed,
+            parallel::default_workers(),
+        )
+    }
+
+    /// [`Self::sample_on_policy`] with an explicit worker count.
+    pub fn sample_on_policy_with_workers(
+        teacher: &dyn Controller,
+        sys: &dyn Dynamics,
+        episodes: usize,
+        seed: u64,
+        workers: usize,
+    ) -> Self {
         assert!(episodes > 0, "dataset needs at least one episode");
+        // Initial states come from one shared stream, drawn up front so
+        // the episodes themselves can run on any number of workers
+        // without changing what each one sees.
         let mut r = rng::seeded(seed);
-        let mut states = Vec::new();
-        let mut controls = Vec::new();
-        for ep in 0..episodes {
-            let s0 = rng::uniform_in_box(&mut r, &sys.initial_set());
+        let starts: Vec<Vec<f64>> = (0..episodes)
+            .map(|_| rng::uniform_in_box(&mut r, &sys.initial_set()))
+            .collect();
+        let episodes_data = parallel::map_indexed_with_workers(&starts, workers, |ep, s0| {
             let mut control_fn = |s: &[f64]| teacher.control(s);
             let mut no_attack = |_t: usize, s: &[f64]| vec![0.0; s.len()];
             let traj = rollout(
                 sys,
                 &mut control_fn,
                 &mut no_attack,
-                &s0,
+                s0,
                 &RolloutConfig {
                     seed: seed.wrapping_add(ep as u64),
                     ..Default::default()
                 },
             );
-            for s in &traj.states {
-                states.push(s.clone());
-                controls.push(teacher.control(s));
-            }
+            let controls: Vec<Vec<f64>> = traj.states.iter().map(|s| teacher.control(s)).collect();
+            (traj.states, controls)
+        });
+        let mut states = Vec::new();
+        let mut controls = Vec::new();
+        for (s, c) in episodes_data {
+            states.extend(s);
+            controls.extend(c);
         }
         Self::new(states, controls)
     }
@@ -171,6 +210,28 @@ mod tests {
         let b = TeacherDataset::sample_uniform(&t, &domain, 20, 2);
         let merged = a.merge(b);
         assert_eq!(merged.len(), 30);
+    }
+
+    #[test]
+    fn uniform_sampling_is_worker_count_invariant() {
+        let t = teacher();
+        let domain = BoxRegion::cube(2, -1.0, 1.0);
+        let reference = TeacherDataset::sample_uniform_with_workers(&t, &domain, 64, 9, 1);
+        for workers in [2, 8] {
+            let got = TeacherDataset::sample_uniform_with_workers(&t, &domain, 64, 9, workers);
+            assert_eq!(got, reference, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn on_policy_sampling_is_worker_count_invariant() {
+        let t = teacher();
+        let sys = VanDerPol::new();
+        let reference = TeacherDataset::sample_on_policy_with_workers(&t, &sys, 6, 4, 1);
+        for workers in [2, 8] {
+            let got = TeacherDataset::sample_on_policy_with_workers(&t, &sys, 6, 4, workers);
+            assert_eq!(got, reference, "workers = {workers}");
+        }
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use crate::dataset::TeacherDataset;
 use cocktail_control::NnController;
-use cocktail_math::vector;
-use cocktail_nn::{loss, Activation, Adam, GradStore, MlpBuilder, Optimizer};
+use cocktail_math::{vector, Matrix};
+use cocktail_nn::{loss, Activation, Adam, BatchCache, GradStore, MlpBuilder, Optimizer};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -127,32 +127,63 @@ pub fn robust_distill(data: &TeacherDataset, config: &DistillConfig) -> NnContro
     let mut grads = GradStore::zeros_like(&net);
     let mut order: Vec<usize> = (0..data.len()).collect();
     let batch = config.batch_size.max(1).min(data.len());
+    let in_dim = data.state_dim();
+    let out_dim = data.control_dim();
+    let mut cache = BatchCache::new();
+    let mut fgsm_cache = BatchCache::new();
 
     for _ in 0..config.epochs.max(1) {
         order.shuffle(&mut rng);
         for chunk in order.chunks(batch) {
             grads.reset();
             let scale = 1.0 / chunk.len() as f64;
-            for &i in chunk {
-                let s = &data.states()[i];
-                let u = &data.controls()[i];
-                // Algorithm 1 line 12-13: z ~ U[0,1]; adversarial input if z ≤ p
-                let z: f64 = rng.gen_range(0.0..=1.0);
-                let input = if z <= config.fgsm_prob {
-                    // δ = Δ·sign(∇_s ℓ(κ*(s;q), u)) via exact backprop
-                    let cache = net.forward_cached(s);
-                    let g_out = loss::mse_gradient(cache.output(), u);
-                    let g_in = net.input_gradient(s, &g_out);
-                    let dir = vector::sign(&g_in);
-                    let delta: Vec<f64> = dir.iter().zip(&bound).map(|(d, b)| d * b).collect();
-                    vector::add(s, &delta)
-                } else {
-                    s.clone()
-                };
-                let cache = net.forward_cached(&input);
-                let g = loss::mse_gradient(cache.output(), u);
-                net.backward(&cache, &g, &mut grads, scale);
+            // Algorithm 1 line 12-13: z ~ U[0,1] per sample, in chunk order
+            // (the draws happen up front so the batched FGSM below leaves
+            // the RNG stream identical to the historical per-sample loop);
+            // a sample becomes adversarial iff z ≤ p.
+            let zs: Vec<f64> = chunk.iter().map(|_| rng.gen_range(0.0..=1.0)).collect();
+            let adv_rows: Vec<usize> = (0..chunk.len())
+                .filter(|&r| zs[r] <= config.fgsm_prob)
+                .collect();
+
+            let mut x = Matrix::zeros(chunk.len(), in_dim);
+            for (r, &i) in chunk.iter().enumerate() {
+                x.row_mut(r).copy_from_slice(&data.states()[i]);
             }
+
+            // δ = Δ·sign(∇_s ℓ(κ*(s;q), u)) via one batched backprop over
+            // the adversarial subset
+            if !adv_rows.is_empty() {
+                let mut xa = Matrix::zeros(adv_rows.len(), in_dim);
+                for (rr, &r) in adv_rows.iter().enumerate() {
+                    xa.row_mut(rr).copy_from_slice(x.row(r));
+                }
+                net.forward_batch_cached(&xa, &mut fgsm_cache);
+                let mut g_out = Matrix::zeros(adv_rows.len(), out_dim);
+                for (rr, &r) in adv_rows.iter().enumerate() {
+                    let u = &data.controls()[chunk[r]];
+                    g_out
+                        .row_mut(rr)
+                        .copy_from_slice(&loss::mse_gradient(fgsm_cache.output().row(rr), u));
+                }
+                let g_in = net.input_gradient_batch(&fgsm_cache, &g_out);
+                for (rr, &r) in adv_rows.iter().enumerate() {
+                    let dir = vector::sign(g_in.row(rr));
+                    for (xi, (d, b)) in x.row_mut(r).iter_mut().zip(dir.iter().zip(&bound)) {
+                        *xi += d * b;
+                    }
+                }
+            }
+
+            net.forward_batch_cached(&x, &mut cache);
+            let mut g = Matrix::zeros(chunk.len(), out_dim);
+            for (r, &i) in chunk.iter().enumerate() {
+                let u = &data.controls()[i];
+                g.row_mut(r)
+                    .copy_from_slice(&loss::mse_gradient(cache.output().row(r), u));
+            }
+            net.backward_batch(&cache, &g, &mut grads, scale);
+
             if config.lambda > 0.0 {
                 grads.add_weight_decay(&net, config.lambda);
             }

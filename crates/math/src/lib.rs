@@ -12,7 +12,9 @@
 //! * [`poly::MultiPoly`] — sparse multivariate polynomials used by the
 //!   model-based expert of the 3D system and by Bernstein certificates;
 //! * [`stats`] — running statistics for reward normalization;
-//! * [`rng`] — seeded sampling helpers so every experiment is reproducible.
+//! * [`rng`] — seeded sampling helpers so every experiment is reproducible;
+//! * [`parallel`] — deterministic fork–join maps with per-task RNG seeding,
+//!   so parallel data generation is bit-identical for any worker count.
 //!
 //! # Examples
 //!
@@ -27,6 +29,7 @@
 pub mod interval;
 pub mod linalg;
 pub mod matrix;
+pub mod parallel;
 pub mod poly;
 pub mod rng;
 pub mod stats;

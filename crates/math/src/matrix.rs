@@ -204,21 +204,112 @@ impl Matrix {
 
     /// Matrix product `A B`.
     ///
+    /// Runs in i-k-j order: the output row and the `B` row are both walked
+    /// contiguously in the inner loop, so every access is sequential in the
+    /// row-major buffers.
+    ///
     /// # Panics
     ///
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
+        let n = other.cols;
         for r in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(r, k)];
-                if a == 0.0 {
-                    continue;
+            let arow = &self.data[r * self.cols..(r + 1) * self.cols];
+            let orow = &mut out.data[r * n..(r + 1) * n];
+            for (k, &a) in arow.iter().enumerate() {
+                let brow = &other.data[k * n..(k + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
                 }
-                let brow = other.row(k);
-                let orow = out.row_mut(r);
-                for (o, b) in orow.iter_mut().zip(brow) {
+            }
+        }
+        out
+    }
+
+    /// Matrix product with a transposed right factor, `A Bᵀ`.
+    ///
+    /// Entry `(r, j)` is the dot product of row `r` of `A` with row `j` of
+    /// `B`, accumulated left-to-right — exactly the accumulation order of
+    /// [`Matrix::matvec`], so batching rows through this product is
+    /// bit-identical to calling `matvec` per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()`.
+    pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_transpose_b_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_transpose_b`] writing into a caller-owned output,
+    /// so hot loops (batched NN forward passes) can reuse scratch matrices
+    /// instead of allocating per minibatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != other.cols()` or `out` is not
+    /// `self.rows() × other.rows()`.
+    pub fn matmul_transpose_b_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transpose_b dimension mismatch"
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.rows),
+            "matmul_transpose_b output shape mismatch"
+        );
+        // Materialize Bᵀ once so the inner loop runs over contiguous
+        // output columns (an axpy the compiler vectorizes), instead of
+        // strided dot products. Each output element still accumulates its
+        // `k` terms in ascending order, exactly like `matvec`, so the
+        // result is bit-identical to the naive row-dot-row form.
+        let n = other.cols;
+        let m = other.rows;
+        let mut bt = vec![0.0; n * m];
+        for (j, brow) in other.data.chunks_exact(n).enumerate() {
+            for (k, &b) in brow.iter().enumerate() {
+                bt[k * m + j] = b;
+            }
+        }
+        for r in 0..self.rows {
+            let arow = &self.data[r * self.cols..(r + 1) * self.cols];
+            let orow = &mut out.data[r * m..(r + 1) * m];
+            orow.fill(0.0);
+            for (&av, btrow) in arow.iter().zip(bt.chunks_exact(m)) {
+                for (o, &b) in orow.iter_mut().zip(btrow) {
+                    *o += av * b;
+                }
+            }
+        }
+    }
+
+    /// Matrix product with a transposed left factor, `Aᵀ B`.
+    ///
+    /// Accumulates rank-1 updates row by row: for each shared row `r`, adds
+    /// `A[r][i] * B.row(r)` into output row `i`. Both inner accesses are
+    /// contiguous; this is the natural shape for batched weight gradients
+    /// `deltaᵀ X`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows() != other.rows()`.
+    pub fn matmul_transpose_a(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_transpose_a dimension mismatch"
+        );
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        let n = other.cols;
+        for r in 0..self.rows {
+            let arow = &self.data[r * self.cols..(r + 1) * self.cols];
+            let brow = &other.data[r * n..(r + 1) * n];
+            for (i, &a) in arow.iter().enumerate() {
+                let orow = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in orow.iter_mut().zip(brow) {
                     *o += a * b;
                 }
             }
@@ -483,6 +574,66 @@ mod tests {
         let b = Matrix::from_rows(vec![vec![0.0, 1.0], vec![1.0, 0.0]]);
         let c = a.matmul(&b);
         assert_eq!(c, Matrix::from_rows(vec![vec![2.0, 1.0], vec![4.0, 3.0]]));
+    }
+
+    #[test]
+    fn matmul_transpose_b_matches_hand_computation() {
+        // A (2×3) · Bᵀ with B (2×3): out[r][j] = <A.row(r), B.row(j)>.
+        let a = Matrix::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(vec![vec![1.0, 0.0, -1.0], vec![2.0, 1.0, 0.0]]);
+        let c = a.matmul_transpose_b(&b);
+        // row 0: 1-3 = -2 ; 2+2 = 4.  row 1: 4-6 = -2 ; 8+5 = 13.
+        assert_eq!(
+            c,
+            Matrix::from_rows(vec![vec![-2.0, 4.0], vec![-2.0, 13.0]])
+        );
+    }
+
+    #[test]
+    fn matmul_transpose_b_matches_explicit_transpose() {
+        let a = Matrix::from_fn(3, 4, |r, c| (r * 7 + c) as f64 * 0.25 - 1.0);
+        let b = Matrix::from_fn(5, 4, |r, c| (r * 3 + c * 2) as f64 * 0.5 - 2.0);
+        assert_eq!(a.matmul_transpose_b(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn matmul_transpose_b_rows_match_matvec_bitwise() {
+        let a = Matrix::from_fn(4, 6, |r, c| ((r * 13 + c * 5) % 17) as f64 / 17.0 - 0.3);
+        let b = Matrix::from_fn(3, 6, |r, c| ((r * 11 + c * 7) % 19) as f64 / 19.0 - 0.4);
+        let out = a.matmul_transpose_b(&b);
+        for r in 0..4 {
+            let per_row = b.matvec(a.row(r));
+            assert_eq!(out.row(r), per_row.as_slice(), "row {r}");
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_a_matches_hand_computation() {
+        // Aᵀ (3×2) · B with A (2×3), B (2×2).
+        let a = Matrix::from_rows(vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(vec![vec![1.0, -1.0], vec![0.0, 2.0]]);
+        let c = a.matmul_transpose_a(&b);
+        // out[i][j] = A[0][i]*B[0][j] + A[1][i]*B[1][j]
+        assert_eq!(
+            c,
+            Matrix::from_rows(vec![vec![1.0, 7.0], vec![2.0, 8.0], vec![3.0, 9.0],])
+        );
+    }
+
+    #[test]
+    fn matmul_transpose_a_matches_explicit_transpose() {
+        let a = Matrix::from_fn(5, 3, |r, c| (r * 2 + c * 9) as f64 * 0.125 - 1.5);
+        let b = Matrix::from_fn(5, 4, |r, c| (r + c * 3) as f64 * 0.25 - 0.75);
+        assert_eq!(a.matmul_transpose_a(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn matmul_rectangular_hand_computation() {
+        // (1×3) · (3×2) exercises the i-k-j loop on non-square shapes.
+        let a = Matrix::from_rows(vec![vec![2.0, -1.0, 0.5]]);
+        let b = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(vec![vec![1.5, 3.0]]));
     }
 
     #[test]

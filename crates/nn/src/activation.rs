@@ -98,6 +98,41 @@ impl Activation {
         }
     }
 
+    /// Derivative at pre-activation `z`, reconstructed from the stored
+    /// *output* `a = f(z)` where possible.
+    ///
+    /// Bit-identical to [`Activation::derivative`]`(z)` for every variant:
+    /// Tanh/Sigmoid recompute `1 - a²` / `a(1 - a)` from the exact same
+    /// intermediate the derivative would recompute from `z`, the piecewise
+    /// linear variants recover the branch from `a`'s sign, and Softplus
+    /// (whose output does not determine the derivative cheaply) falls back
+    /// to `z`. Batched backward passes use this to skip the transcendental
+    /// re-evaluation that dominates `derivative(z)`.
+    pub fn derivative_from_output(self, z: f64, a: f64) -> f64 {
+        match self {
+            Activation::Identity => 1.0,
+            // a = max(0, z) is positive exactly when z is
+            Activation::Relu => {
+                if a > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - a * a,
+            Activation::Sigmoid => a * (1.0 - a),
+            // α ≥ 0 keeps sign(a) = sign(z) on the positive side
+            Activation::LeakyRelu { alpha } => {
+                if a > 0.0 {
+                    1.0
+                } else {
+                    alpha
+                }
+            }
+            Activation::Softplus => self.derivative(z),
+        }
+    }
+
     /// Applies the activation element-wise to a slice, returning a new
     /// vector.
     pub fn apply_vec(self, xs: &[f64]) -> Vec<f64> {
@@ -238,6 +273,21 @@ mod tests {
         assert!((a.apply(40.0) - 40.0).abs() < 1e-9);
         assert!(a.apply(-40.0) < 1e-12);
         assert!(a.apply(-40.0) >= 0.0);
+    }
+
+    #[test]
+    fn derivative_from_output_is_bit_identical() {
+        for act in ALL {
+            for i in -60..=60 {
+                let z = i as f64 / 7.0;
+                let a = act.apply(z);
+                assert_eq!(
+                    act.derivative_from_output(z, a).to_bits(),
+                    act.derivative(z).to_bits(),
+                    "{act} at {z}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -99,6 +99,101 @@ impl Dense {
         (z, a)
     }
 
+    /// Batched forward pass over a matrix of row-vector inputs.
+    ///
+    /// `x` is `batch × input_dim`; returns `(Z, A)`, both
+    /// `batch × output_dim`. Each output row is bit-identical to
+    /// [`Dense::forward`] on the corresponding input row: the underlying
+    /// `X Wᵀ` product accumulates in the same order as `matvec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.input_dim()`.
+    pub fn forward_batch(&self, x: &Matrix) -> (Matrix, Matrix) {
+        let batch = x.rows();
+        let mut z = Matrix::zeros(batch, self.output_dim());
+        let mut a = Matrix::zeros(batch, self.output_dim());
+        self.forward_batch_into(x, &mut z, &mut a);
+        (z, a)
+    }
+
+    /// [`Dense::forward_batch`] writing into caller-owned scratch matrices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.input_dim()` or the scratch shapes are
+    /// not `x.rows() × self.output_dim()`.
+    pub fn forward_batch_into(&self, x: &Matrix, z: &mut Matrix, a: &mut Matrix) {
+        assert_eq!(x.cols(), self.input_dim(), "input dimension mismatch");
+        x.matmul_transpose_b_into(&self.weights, z);
+        let width = self.output_dim();
+        for row in z.as_mut_slice().chunks_mut(width) {
+            for (zi, bi) in row.iter_mut().zip(&self.biases) {
+                *zi += bi;
+            }
+        }
+        assert_eq!(a.shape(), z.shape(), "activation scratch shape mismatch");
+        for (ai, &zi) in a.as_mut_slice().iter_mut().zip(z.as_slice()) {
+            *ai = self.activation.apply(zi);
+        }
+    }
+
+    /// Batched `δ = grad_output ⊙ σ'(z)`, the shared first step of the
+    /// batched backward pass. `a` is the layer's stored output `σ(z)`:
+    /// the derivative is reconstructed from it via
+    /// [`Activation::derivative_from_output`], skipping the transcendental
+    /// re-evaluation while staying bit-identical to `derivative(z)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn delta_batch(&self, z: &Matrix, a: &Matrix, grad_output: &Matrix) -> Matrix {
+        assert_eq!(z.shape(), grad_output.shape(), "delta shape mismatch");
+        assert_eq!(a.shape(), z.shape(), "activation shape mismatch");
+        let mut delta = grad_output.clone();
+        for ((d, &zi), &ai) in delta
+            .as_mut_slice()
+            .iter_mut()
+            .zip(z.as_slice())
+            .zip(a.as_slice())
+        {
+            *d *= self.activation.derivative_from_output(zi, ai);
+        }
+        delta
+    }
+
+    /// Batched backward pass.
+    ///
+    /// `x`, `z`, `a` and `grad_output` hold one sample per row (`a` is the
+    /// stored output `σ(z)`). Returns `(grad_weights, grad_biases,
+    /// grad_input)` where the parameter gradients are **summed** over the
+    /// batch (`grad_weights = δᵀ X`, `grad_biases` the column sums of `δ`)
+    /// and `grad_input` is per-row.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any dimension mismatch.
+    pub fn backward_batch(
+        &self,
+        x: &Matrix,
+        z: &Matrix,
+        a: &Matrix,
+        grad_output: &Matrix,
+    ) -> (Matrix, Vec<f64>, Matrix) {
+        assert_eq!(x.cols(), self.input_dim(), "input dimension mismatch");
+        assert_eq!(x.rows(), z.rows(), "batch size mismatch");
+        let delta = self.delta_batch(z, a, grad_output);
+        let grad_w = delta.matmul_transpose_a(x);
+        let mut grad_b = vec![0.0; self.output_dim()];
+        for row in delta.as_slice().chunks(self.output_dim()) {
+            for (g, d) in grad_b.iter_mut().zip(row) {
+                *g += d;
+            }
+        }
+        let grad_x = delta.matmul(&self.weights);
+        (grad_w, grad_b, grad_x)
+    }
+
     /// Backward pass for one sample.
     ///
     /// Given the loss gradient w.r.t. this layer's *activation* output,
@@ -244,6 +339,48 @@ mod tests {
             xm[i] -= h;
             let fd = (loss(&l, &xp) - loss(&l, &xm)) / (2.0 * h);
             assert!((fd - gx[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn forward_batch_rows_match_per_sample_bitwise() {
+        let l = layer();
+        let xs = vec![vec![0.3, -0.7], vec![1.2, 0.4], vec![-0.9, 0.0]];
+        let x = Matrix::from_rows(xs.clone());
+        let (z, a) = l.forward_batch(&x);
+        for (r, xr) in xs.iter().enumerate() {
+            let (zr, ar) = l.forward(xr);
+            assert_eq!(z.row(r), zr.as_slice(), "z row {r}");
+            assert_eq!(a.row(r), ar.as_slice(), "a row {r}");
+        }
+    }
+
+    #[test]
+    fn backward_batch_matches_per_sample_sums() {
+        let l = layer();
+        let xs = vec![vec![0.3, -0.7], vec![1.2, 0.4]];
+        let gs = vec![vec![1.0, -2.0], vec![0.5, 0.25]];
+        let x = Matrix::from_rows(xs.clone());
+        let (z, a) = l.forward_batch(&x);
+        let (gw, gb, gx) = l.backward_batch(&x, &z, &a, &Matrix::from_rows(gs.clone()));
+        let mut gw_ref = Matrix::zeros(2, 2);
+        let mut gb_ref = vec![0.0; 2];
+        for (r, (xr, gr)) in xs.iter().zip(&gs).enumerate() {
+            let (zr, _) = l.forward(xr);
+            let (gwr, gbr, gxr) = l.backward(xr, &zr, gr);
+            gw_ref.axpy(1.0, &gwr);
+            for (acc, v) in gb_ref.iter_mut().zip(&gbr) {
+                *acc += v;
+            }
+            for (batch, single) in gx.row(r).iter().zip(&gxr) {
+                assert!((batch - single).abs() < 1e-14, "gx row {r}");
+            }
+        }
+        for (batch, single) in gw.as_slice().iter().zip(gw_ref.as_slice()) {
+            assert!((batch - single).abs() < 1e-14);
+        }
+        for (batch, single) in gb.iter().zip(&gb_ref) {
+            assert!((batch - single).abs() < 1e-14);
         }
     }
 

@@ -46,5 +46,5 @@ pub mod train;
 
 pub use activation::Activation;
 pub use layer::Dense;
-pub use mlp::{Mlp, MlpBuilder};
+pub use mlp::{BatchCache, Mlp, MlpBuilder};
 pub use optimizer::{Adam, GradStore, Optimizer, Sgd};

@@ -64,15 +64,24 @@ pub fn empirical_lower_bound(net: &Mlp, region: &BoxRegion, samples: usize, seed
     assert!(samples > 0, "need at least one sample pair");
     assert_eq!(region.dim(), net.input_dim(), "region dimension mismatch");
     let mut rng = rng::seeded(seed);
-    let mut best: f64 = 0.0;
+    // Draw all pairs up front (preserving the historical a-then-b stream
+    // order), then push both endpoint sets through one batched forward —
+    // each output row is bit-identical to a per-sample `forward` call.
+    let mut pairs_a = Vec::with_capacity(samples);
+    let mut pairs_b = Vec::with_capacity(samples);
     for _ in 0..samples {
-        let a = rng::uniform_in_box(&mut rng, region);
-        let b = rng::uniform_in_box(&mut rng, region);
-        let dx = vector::norm_2(&vector::sub(&a, &b));
+        pairs_a.push(rng::uniform_in_box(&mut rng, region));
+        pairs_b.push(rng::uniform_in_box(&mut rng, region));
+    }
+    let ya = net.forward_batch(&Matrix::from_rows(pairs_a.clone()));
+    let yb = net.forward_batch(&Matrix::from_rows(pairs_b.clone()));
+    let mut best: f64 = 0.0;
+    for i in 0..samples {
+        let dx = vector::norm_2(&vector::sub(&pairs_a[i], &pairs_b[i]));
         if dx < 1e-12 {
             continue;
         }
-        let dy = vector::norm_2(&vector::sub(&net.forward(&a), &net.forward(&b)));
+        let dy = vector::norm_2(&vector::sub(ya.row(i), yb.row(i)));
         best = best.max(dy / dx);
     }
     best

@@ -56,6 +56,67 @@ impl ForwardCache {
     }
 }
 
+/// Cached per-layer values of a batched forward pass, consumed by
+/// [`Mlp::backward_batch`].
+///
+/// The cache owns its scratch matrices and reuses them across calls to
+/// [`Mlp::forward_batch_cached`] whenever the batch size is unchanged, so a
+/// training loop allocates the per-layer buffers once per batch *shape*
+/// rather than once per minibatch.
+#[derive(Debug, Clone, Default)]
+pub struct BatchCache {
+    /// Input and each layer's activation output (`layers.len() + 1` entries),
+    /// one sample per row.
+    pub activations: Vec<Matrix>,
+    /// Each layer's pre-activation (`layers.len()` entries), one sample per
+    /// row.
+    pub pre_activations: Vec<Matrix>,
+}
+
+impl BatchCache {
+    /// Creates an empty cache; buffers are allocated on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The network output block (last activation), one sample per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache has never been filled.
+    #[allow(
+        clippy::expect_used,
+        reason = "a filled cache always holds the input activation"
+    )]
+    pub fn output(&self) -> &Matrix {
+        self.activations.last().expect("cache is filled")
+    }
+
+    /// Ensures the buffer layout matches `net` at `batch` rows, reusing
+    /// existing allocations when the shapes already agree.
+    fn prepare(&mut self, net: &Mlp, batch: usize) {
+        let want_acts = net.layers.len() + 1;
+        let mut dims = Vec::with_capacity(want_acts);
+        dims.push(net.input_dim());
+        dims.extend(net.layers.iter().map(Dense::output_dim));
+        let fix = |bufs: &mut Vec<Matrix>, dims: &[usize]| {
+            bufs.truncate(dims.len());
+            for (i, &d) in dims.iter().enumerate() {
+                if bufs.get(i).map(Matrix::shape) != Some((batch, d)) {
+                    let m = Matrix::zeros(batch, d);
+                    if i < bufs.len() {
+                        bufs[i] = m;
+                    } else {
+                        bufs.push(m);
+                    }
+                }
+            }
+        };
+        fix(&mut self.activations, &dims);
+        fix(&mut self.pre_activations, &dims[1..]);
+    }
+}
+
 impl Mlp {
     /// Builds a network from explicit layers.
     ///
@@ -212,6 +273,120 @@ impl Mlp {
                     || !Self::layer_params_finite(layer),
                 "layer {i} produced a non-finite input gradient from finite boundary values"
             );
+        }
+        grad
+    }
+
+    /// Batched forward pass: one sample per row of `x`, one output per row
+    /// of the result. Each row is bit-identical to [`Mlp::forward`] on the
+    /// corresponding input row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.input_dim()`.
+    pub fn forward_batch(&self, x: &Matrix) -> Matrix {
+        let mut cache = BatchCache::new();
+        self.forward_batch_cached(x, &mut cache);
+        #[allow(clippy::expect_used, reason = "the cache was just filled")]
+        cache.activations.pop().expect("cache is filled")
+    }
+
+    /// Batched forward pass recording all intermediate blocks into `cache`
+    /// for [`Mlp::backward_batch`] / [`Mlp::input_gradient_batch`].
+    ///
+    /// Reuses the cache's scratch matrices when the batch size is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.input_dim()`.
+    pub fn forward_batch_cached(&self, x: &Matrix, cache: &mut BatchCache) {
+        assert_eq!(x.cols(), self.input_dim(), "input dimension mismatch");
+        cache.prepare(self, x.rows());
+        let input_finite = x.as_slice().iter().all(|v| v.is_finite());
+        cache.activations[0]
+            .as_mut_slice()
+            .copy_from_slice(x.as_slice());
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (head, tail) = cache.activations.split_at_mut(i + 1);
+            let a = &mut tail[0];
+            layer.forward_batch_into(&head[i], &mut cache.pre_activations[i], a);
+            debug_assert!(
+                !input_finite
+                    || a.as_slice().iter().all(|v| v.is_finite())
+                    || !Self::layer_params_finite(layer),
+                "layer {i} produced a non-finite activation from finite input and parameters"
+            );
+        }
+    }
+
+    /// Batched counterpart of [`Mlp::backward`]: backpropagates a block of
+    /// per-row output gradients through the cached batched forward pass.
+    ///
+    /// Parameter gradients are summed over the batch and accumulated into
+    /// `grads` scaled by `scale` (pass `1.0 / batch` for a minibatch mean).
+    /// Returns the per-row gradients with respect to the network input.
+    /// Agrees with per-sample [`Mlp::backward`] accumulation to floating-point
+    /// round-off (the batched path applies `scale` once to each summed
+    /// gradient instead of per sample).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache or gradient dimensions do not match this network.
+    pub fn backward_batch(
+        &self,
+        cache: &BatchCache,
+        grad_output: &Matrix,
+        grads: &mut GradStore,
+        scale: f64,
+    ) -> Matrix {
+        assert_eq!(
+            grad_output.cols(),
+            self.output_dim(),
+            "output gradient dimension mismatch"
+        );
+        assert_eq!(
+            cache.pre_activations.len(),
+            self.layers.len(),
+            "cache layer count mismatch"
+        );
+        assert!(grads.matches(self), "gradient store shape mismatch");
+        let mut grad = grad_output.clone();
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let (gw, gb, gx) = layer.backward_batch(
+                &cache.activations[i],
+                &cache.pre_activations[i],
+                &cache.activations[i + 1],
+                &grad,
+            );
+            grads.accumulate(i, &gw, &gb, scale);
+            grad = gx;
+        }
+        grad
+    }
+
+    /// Batched counterpart of [`Mlp::input_gradient`], reading the forward
+    /// pass from `cache` so FGSM-style callers pay for one forward only.
+    /// Skips the parameter-gradient products entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache or gradient dimensions do not match this network.
+    pub fn input_gradient_batch(&self, cache: &BatchCache, grad_output: &Matrix) -> Matrix {
+        assert_eq!(
+            grad_output.cols(),
+            self.output_dim(),
+            "output gradient dimension mismatch"
+        );
+        assert_eq!(
+            cache.pre_activations.len(),
+            self.layers.len(),
+            "cache layer count mismatch"
+        );
+        let mut grad = grad_output.clone();
+        for (i, layer) in self.layers.iter().enumerate().rev() {
+            let delta =
+                layer.delta_batch(&cache.pre_activations[i], &cache.activations[i + 1], &grad);
+            grad = delta.matmul(layer.weights());
         }
         grad
     }
@@ -437,6 +612,102 @@ mod tests {
             .seed(43)
             .build();
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn forward_batch_rows_match_per_sample_bitwise() {
+        let n = net();
+        let xs: Vec<Vec<f64>> = (0..7)
+            .map(|i| vec![i as f64 / 3.5 - 1.0, 0.8 - i as f64 / 4.0])
+            .collect();
+        let x = Matrix::from_rows(xs.clone());
+        let out = n.forward_batch(&x);
+        for (r, xr) in xs.iter().enumerate() {
+            assert_eq!(out.row(r), n.forward(xr).as_slice(), "row {r}");
+        }
+    }
+
+    #[test]
+    fn batch_cache_reuse_does_not_change_results() {
+        let n = net();
+        let x1 = Matrix::from_rows(vec![vec![0.1, -0.2], vec![0.5, 0.5]]);
+        let x2 = Matrix::from_rows(vec![vec![-0.7, 0.9], vec![0.0, 0.3]]);
+        let mut cache = BatchCache::new();
+        n.forward_batch_cached(&x1, &mut cache);
+        n.forward_batch_cached(&x2, &mut cache);
+        assert_eq!(cache.output(), &n.forward_batch(&x2));
+        // Changing the batch size reallocates cleanly.
+        let x3 = Matrix::from_rows(vec![vec![0.25, 0.75]]);
+        n.forward_batch_cached(&x3, &mut cache);
+        assert_eq!(cache.output().row(0), n.forward(&[0.25, 0.75]).as_slice());
+    }
+
+    #[test]
+    fn backward_batch_matches_per_sample_accumulation() {
+        let n = net();
+        let xs: Vec<Vec<f64>> = (0..5)
+            .map(|i| vec![(i as f64).sin(), (i as f64 * 0.7).cos()])
+            .collect();
+        let targets: Vec<Vec<f64>> = (0..5)
+            .map(|i| vec![0.1 * i as f64, -0.2 * i as f64])
+            .collect();
+        let scale = 1.0 / xs.len() as f64;
+
+        let mut ref_grads = GradStore::zeros_like(&n);
+        let mut ref_gx = Vec::new();
+        for (x, t) in xs.iter().zip(&targets) {
+            let cache = n.forward_cached(x);
+            let g = loss::mse_gradient(cache.output(), t);
+            ref_gx.push(n.backward(&cache, &g, &mut ref_grads, scale));
+        }
+
+        let x = Matrix::from_rows(xs.clone());
+        let mut cache = BatchCache::new();
+        n.forward_batch_cached(&x, &mut cache);
+        let mut g = Matrix::zeros(xs.len(), 2);
+        for (r, t) in targets.iter().enumerate() {
+            let gr = loss::mse_gradient(cache.output().row(r), t);
+            g.row_mut(r).copy_from_slice(&gr);
+        }
+        let mut batch_grads = GradStore::zeros_like(&n);
+        let gx = n.backward_batch(&cache, &g, &mut batch_grads, scale);
+
+        for li in 0..n.layers().len() {
+            for (a, b) in batch_grads
+                .weight(li)
+                .as_slice()
+                .iter()
+                .zip(ref_grads.weight(li).as_slice())
+            {
+                assert!((a - b).abs() < 1e-12, "layer {li} weight grad: {a} vs {b}");
+            }
+            for (a, b) in batch_grads.bias(li).iter().zip(ref_grads.bias(li)) {
+                assert!((a - b).abs() < 1e-12, "layer {li} bias grad: {a} vs {b}");
+            }
+        }
+        for (r, gxr) in ref_gx.iter().enumerate() {
+            for (a, b) in gx.row(r).iter().zip(gxr) {
+                assert!((a - b).abs() < 1e-12, "input grad row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn input_gradient_batch_matches_per_sample() {
+        let n = net();
+        let xs = vec![vec![0.4, 0.1], vec![-0.6, 0.9], vec![0.0, 0.0]];
+        let gs = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.5, -0.5]];
+        let x = Matrix::from_rows(xs.clone());
+        let mut cache = BatchCache::new();
+        n.forward_batch_cached(&x, &mut cache);
+        let g = Matrix::from_rows(gs.clone());
+        let gx = n.input_gradient_batch(&cache, &g);
+        for (r, (xr, gr)) in xs.iter().zip(&gs).enumerate() {
+            let single = n.input_gradient(xr, gr);
+            for (a, b) in gx.row(r).iter().zip(&single) {
+                assert!((a - b).abs() < 1e-12, "row {r}");
+            }
+        }
     }
 
     #[test]

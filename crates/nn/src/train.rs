@@ -6,9 +6,21 @@
 //! L2 weight decay.
 
 use crate::loss;
-use crate::mlp::Mlp;
+use crate::mlp::{BatchCache, Mlp};
 use crate::optimizer::{Adam, GradStore, Optimizer};
+use cocktail_math::Matrix;
 use rand::seq::SliceRandom;
+
+/// Copies dataset rows selected by `idx` into `batch`-major scratch
+/// matrices, reallocating only when the chunk size changes.
+fn fill_rows(buf: &mut Matrix, rows: &[Vec<f64>], idx: &[usize], width: usize) {
+    if buf.shape() != (idx.len(), width) {
+        *buf = Matrix::zeros(idx.len(), width);
+    }
+    for (r, &i) in idx.iter().enumerate() {
+        buf.row_mut(r).copy_from_slice(&rows[i]);
+    }
+}
 
 /// Configuration for [`fit_regression`].
 #[derive(Debug, Clone)]
@@ -134,6 +146,20 @@ pub fn fit_regression_with_report(
     let mut order: Vec<usize> = train_idx.to_vec();
     let batch = config.batch_size.max(1).min(order.len());
 
+    let in_dim = net.input_dim();
+    let out_dim = net.output_dim();
+    let mut cache = BatchCache::new();
+    let mut x = Matrix::zeros(batch, in_dim);
+    let mut t = Matrix::zeros(batch, out_dim);
+    let mut g = Matrix::zeros(batch, out_dim);
+    let mut val_cache = BatchCache::new();
+    let mut val_x = Matrix::zeros(1, 1);
+    let mut val_t = Matrix::zeros(1, 1);
+    if !val_idx.is_empty() {
+        fill_rows(&mut val_x, inputs, val_idx, in_dim);
+        fill_rows(&mut val_t, targets, val_idx, out_dim);
+    }
+
     let mut last_epoch_loss = f64::INFINITY;
     let mut best_val: Option<(f64, Mlp)> = None;
     let mut stale_epochs = 0usize;
@@ -147,13 +173,20 @@ pub fn fit_regression_with_report(
         for chunk in order.chunks(batch) {
             grads.reset();
             let scale = 1.0 / chunk.len() as f64;
-            for &i in chunk {
-                let cache = net.forward_cached(&inputs[i]);
-                epoch_loss += loss::mse(cache.output(), &targets[i]);
-                let g = loss::mse_gradient(cache.output(), &targets[i]);
-                net.backward(&cache, &g, &mut grads, scale);
-                samples += 1;
+            fill_rows(&mut x, inputs, chunk, in_dim);
+            fill_rows(&mut t, targets, chunk, out_dim);
+            if g.shape() != (chunk.len(), out_dim) {
+                g = Matrix::zeros(chunk.len(), out_dim);
             }
+            net.forward_batch_cached(&x, &mut cache);
+            let out = cache.output();
+            for r in 0..chunk.len() {
+                epoch_loss += loss::mse(out.row(r), t.row(r));
+                let gr = loss::mse_gradient(out.row(r), t.row(r));
+                g.row_mut(r).copy_from_slice(&gr);
+            }
+            samples += chunk.len();
+            net.backward_batch(&cache, &g, &mut grads, scale);
             if config.weight_decay > 0.0 {
                 grads.add_weight_decay(net, config.weight_decay);
             }
@@ -165,9 +198,10 @@ pub fn fit_regression_with_report(
         last_epoch_loss = epoch_loss / samples as f64;
 
         if !val_idx.is_empty() {
-            let val_loss = val_idx
-                .iter()
-                .map(|&i| loss::mse(&net.forward(&inputs[i]), &targets[i]))
+            net.forward_batch_cached(&val_x, &mut val_cache);
+            let out = val_cache.output();
+            let val_loss = (0..val_idx.len())
+                .map(|r| loss::mse(out.row(r), val_t.row(r)))
                 .sum::<f64>()
                 / val_idx.len() as f64;
             // a non-finite validation loss is divergence, never an
@@ -210,12 +244,19 @@ pub fn evaluate_mse(net: &Mlp, inputs: &[Vec<f64>], targets: &[Vec<f64>]) -> f64
         targets.len(),
         "inputs/targets length mismatch"
     );
-    inputs
-        .iter()
-        .zip(targets)
-        .map(|(x, t)| loss::mse(&net.forward(x), t))
-        .sum::<f64>()
-        / inputs.len() as f64
+    let mut cache = BatchCache::new();
+    let mut x = Matrix::zeros(1, 1);
+    let mut total = 0.0;
+    let idx: Vec<usize> = (0..inputs.len()).collect();
+    for chunk in idx.chunks(256) {
+        fill_rows(&mut x, inputs, chunk, net.input_dim());
+        net.forward_batch_cached(&x, &mut cache);
+        let out = cache.output();
+        for (r, &i) in chunk.iter().enumerate() {
+            total += loss::mse(out.row(r), &targets[i]);
+        }
+    }
+    total / inputs.len() as f64
 }
 
 #[cfg(test)]

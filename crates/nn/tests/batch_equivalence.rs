@@ -1,0 +1,95 @@
+//! Batched-vs-per-sample equivalence on the network shapes the three
+//! benchmark systems actually train (Table 1 students: state dim 2 for the
+//! oscillator, 3 for the polynomial system, 4 for cart-pole, each with two
+//! 24-unit tanh hidden layers and a 1-dimensional control output).
+
+use cocktail_math::Matrix;
+use cocktail_nn::mlp::BatchCache;
+use cocktail_nn::{loss, Activation, GradStore, MlpBuilder};
+
+const TOL: f64 = 1e-12;
+
+fn student(input_dim: usize, seed: u64) -> cocktail_nn::Mlp {
+    MlpBuilder::new(input_dim)
+        .hidden(24, Activation::Tanh)
+        .hidden(24, Activation::Tanh)
+        .output(1, Activation::Identity)
+        .seed(seed)
+        .build()
+}
+
+fn sample_inputs(dim: usize, n: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            (0..dim)
+                .map(|d| ((i * 7 + d * 13) % 23) as f64 / 11.5 - 1.0)
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn forward_batch_matches_per_sample_on_all_system_shapes() {
+    for (dim, seed) in [(2usize, 10u64), (3, 11), (4, 12)] {
+        let net = student(dim, seed);
+        let xs = sample_inputs(dim, 64);
+        let out = net.forward_batch(&Matrix::from_rows(xs.clone()));
+        for (r, xr) in xs.iter().enumerate() {
+            let single = net.forward(xr);
+            for (a, b) in out.row(r).iter().zip(&single) {
+                assert!(
+                    (a - b).abs() <= TOL,
+                    "dim {dim} row {r}: batched {a} vs per-sample {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn backward_batch_matches_per_sample_on_all_system_shapes() {
+    for (dim, seed) in [(2usize, 20u64), (3, 21), (4, 22)] {
+        let net = student(dim, seed);
+        let xs = sample_inputs(dim, 32);
+        let targets: Vec<Vec<f64>> = (0..32).map(|i| vec![(i as f64 * 0.37).sin()]).collect();
+        let scale = 1.0 / xs.len() as f64;
+
+        let mut ref_grads = GradStore::zeros_like(&net);
+        let mut ref_gx = Vec::new();
+        for (x, t) in xs.iter().zip(&targets) {
+            let cache = net.forward_cached(x);
+            let g = loss::mse_gradient(cache.output(), t);
+            ref_gx.push(net.backward(&cache, &g, &mut ref_grads, scale));
+        }
+
+        let x = Matrix::from_rows(xs.clone());
+        let mut cache = BatchCache::new();
+        net.forward_batch_cached(&x, &mut cache);
+        let mut g = Matrix::zeros(xs.len(), 1);
+        for (r, t) in targets.iter().enumerate() {
+            g.row_mut(r)
+                .copy_from_slice(&loss::mse_gradient(cache.output().row(r), t));
+        }
+        let mut batch_grads = GradStore::zeros_like(&net);
+        let gx = net.backward_batch(&cache, &g, &mut batch_grads, scale);
+
+        for li in 0..net.layers().len() {
+            for (a, b) in batch_grads
+                .weight(li)
+                .as_slice()
+                .iter()
+                .zip(ref_grads.weight(li).as_slice())
+            {
+                assert!((a - b).abs() <= TOL, "dim {dim} layer {li} weight grad");
+            }
+            for (a, b) in batch_grads.bias(li).iter().zip(ref_grads.bias(li)) {
+                assert!((a - b).abs() <= TOL, "dim {dim} layer {li} bias grad");
+            }
+        }
+        for (r, gxr) in ref_gx.iter().enumerate() {
+            for (a, b) in gx.row(r).iter().zip(gxr) {
+                assert!((a - b).abs() <= TOL, "dim {dim} input grad row {r}");
+            }
+        }
+    }
+}

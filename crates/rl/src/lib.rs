@@ -59,6 +59,6 @@ pub mod ppo;
 pub mod reward;
 
 pub use ddpg::{DdpgConfig, DdpgTrainer};
-pub use mdp::{DirectControlMdp, Mdp, MixingMdp, SwitchingMdp};
+pub use mdp::{DirectControlMdp, EpisodeFactory, Mdp, MixingMdp, SwitchingMdp};
 pub use ppo::{PpoConfig, PpoTrainer, TrainedPolicy};
 pub use reward::RewardConfig;

@@ -30,6 +30,57 @@ pub trait Mdp {
     fn step(&mut self, action: &[f64]) -> (Vec<f64>, f64, bool);
 }
 
+/// Constructs independent episodes of an MDP family from a seed.
+///
+/// [`Mdp`] is deliberately stateful (`reset`/`step` take `&mut self`), which
+/// makes a single instance unusable for parallel episode collection. A
+/// factory instead builds one fresh MDP per episode; the seed fully
+/// determines the episode's internal randomness (e.g. the disturbance
+/// stream), so collection driven by
+/// [`cocktail_math::parallel::task_seed`]-derived seeds is bit-identical for
+/// any worker count.
+///
+/// Any `Fn(u64) -> Box<dyn Mdp>` that is `Sync` is a factory:
+///
+/// ```
+/// use cocktail_rl::mdp::{EpisodeFactory, Mdp, MixingMdp};
+/// use cocktail_rl::RewardConfig;
+/// use cocktail_control::LinearFeedbackController;
+/// use cocktail_env::systems::VanDerPol;
+/// use cocktail_math::Matrix;
+/// use std::sync::Arc;
+///
+/// let sys: Arc<dyn cocktail_env::Dynamics> = Arc::new(VanDerPol::new());
+/// let experts: Vec<Arc<dyn cocktail_control::Controller>> = vec![Arc::new(
+///     LinearFeedbackController::new(Matrix::from_rows(vec![vec![1.0, 1.5]])),
+/// )];
+/// let factory = move |seed: u64| -> Box<dyn Mdp> {
+///     Box::new(MixingMdp::new(
+///         sys.clone(),
+///         experts.clone(),
+///         1.5,
+///         RewardConfig::default(),
+///         seed,
+///     ))
+/// };
+/// let episode = factory.make_episode(7);
+/// assert_eq!(episode.state_dim(), 2);
+/// ```
+pub trait EpisodeFactory: Sync {
+    /// Builds a fresh episode MDP whose internal randomness derives from
+    /// `seed`.
+    fn make_episode(&self, seed: u64) -> Box<dyn Mdp>;
+}
+
+impl<F> EpisodeFactory for F
+where
+    F: Fn(u64) -> Box<dyn Mdp> + Sync,
+{
+    fn make_episode(&self, seed: u64) -> Box<dyn Mdp> {
+        self(seed)
+    }
+}
+
 /// Shared plant-episode machinery for the concrete MDPs below.
 struct PlantEpisode {
     sys: Arc<dyn Dynamics>,

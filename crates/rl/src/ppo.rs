@@ -13,9 +13,9 @@
 
 use crate::gae::gae;
 use crate::gaussian;
-use crate::mdp::Mdp;
-use cocktail_math::stats;
-use cocktail_nn::{loss, Activation, Adam, GradStore, Mlp, MlpBuilder, Optimizer};
+use crate::mdp::{EpisodeFactory, Mdp};
+use cocktail_math::{parallel, stats, Matrix};
+use cocktail_nn::{loss, Activation, Adam, BatchCache, GradStore, Mlp, MlpBuilder, Optimizer};
 use serde::{Deserialize, Serialize};
 
 /// PPO hyperparameters.
@@ -160,6 +160,14 @@ struct Sample {
     mean_old: Vec<f64>,
 }
 
+/// Raw trajectory of one episode, before value/advantage post-processing.
+struct EpisodeData {
+    states: Vec<Vec<f64>>,
+    actions: Vec<Vec<f64>>,
+    rewards: Vec<f64>,
+    means: Vec<Vec<f64>>,
+}
+
 /// Adam state for the bare `log σ` vector (the mean net uses the full
 /// [`Adam`] optimizer; this mirrors it for a plain parameter vector).
 #[derive(Debug, Clone)]
@@ -260,62 +268,147 @@ impl PpoTrainer {
         }
     }
 
-    fn collect(
-        &self,
-        mdp: &mut dyn Mdp,
-        rng: &mut rand::rngs::StdRng,
-    ) -> (Vec<Sample>, IterationStats) {
+    /// Runs the full training loop with parallel episode collection, using
+    /// [`cocktail_math::parallel::default_workers`] worker threads.
+    ///
+    /// Unlike [`PpoTrainer::train`], which shares one RNG stream across a
+    /// single mutable MDP (and is therefore inherently sequential), this
+    /// path builds one fresh MDP and one fresh RNG per episode from
+    /// `(seed, episode_index)`, so the training trajectory is a pure
+    /// function of the configuration — bit-identical for any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factory's episodes disagree with the trainer's
+    /// state/action dimensions.
+    pub fn train_episodes(self, factory: &dyn EpisodeFactory) -> TrainedPolicy {
+        self.train_episodes_with_workers(factory, parallel::default_workers())
+    }
+
+    /// [`PpoTrainer::train_episodes`] with an explicit worker count
+    /// (exposed so determinism across worker counts is testable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the factory's episodes disagree with the trainer's
+    /// state/action dimensions.
+    pub fn train_episodes_with_workers(
+        mut self,
+        factory: &dyn EpisodeFactory,
+        workers: usize,
+    ) -> TrainedPolicy {
+        {
+            let probe = factory.make_episode(0);
+            assert_eq!(
+                probe.state_dim(),
+                self.policy.mean_net.input_dim(),
+                "state dim mismatch"
+            );
+            assert_eq!(
+                probe.action_dim(),
+                self.policy.mean_net.output_dim(),
+                "action dim mismatch"
+            );
+        }
+        let mut rng = cocktail_math::rng::seeded(self.config.seed.wrapping_add(2));
+        let mut policy_opt = Adam::new(self.config.policy_lr);
+        let mut value_opt = Adam::new(self.config.value_lr);
+        let mut log_std_opt = VecAdam::new(self.config.policy_lr, self.policy.log_std.len());
+        let mut history = Vec::with_capacity(self.config.iterations);
+
+        for iteration in 0..self.config.iterations {
+            let (samples, stats) = self.collect_parallel(factory, iteration, workers);
+            history.push(stats);
+            self.update(
+                &samples,
+                &mut policy_opt,
+                &mut value_opt,
+                &mut log_std_opt,
+                &mut rng,
+            );
+        }
+        TrainedPolicy {
+            policy: self.policy,
+            value: self.value,
+            history,
+        }
+    }
+
+    /// Rolls out one episode with the current stochastic policy. The RNG
+    /// drives the initial-state draw and every action sample, in episode
+    /// order — both the sequential and the parallel collection paths funnel
+    /// through here, so they differ only in how RNGs are provisioned.
+    fn run_episode(&self, mdp: &mut dyn Mdp, rng: &mut rand::rngs::StdRng) -> EpisodeData {
         let bound = mdp.action_bound();
+        let mut s = mdp.reset(rng);
+        let mut states = Vec::new();
+        let mut actions = Vec::new();
+        let mut rewards = Vec::new();
+        let mut means = Vec::new();
+        let mut done = false;
+        while !done {
+            let mean = self.policy.mean(&s);
+            let a = gaussian::sample(rng, &mean, &self.policy.log_std);
+            let a_env: Vec<f64> = a.iter().map(|x| x.clamp(-bound, bound)).collect();
+            let (next, r, d) = mdp.step(&a_env);
+            states.push(s.clone());
+            actions.push(a);
+            means.push(mean);
+            rewards.push(r);
+            s = next;
+            done = d;
+        }
+        EpisodeData {
+            states,
+            actions,
+            rewards,
+            means,
+        }
+    }
+
+    /// Turns raw episodes into advantage-standardized training samples plus
+    /// iteration statistics. Pure post-processing: independent of worker
+    /// count as long as the episode order is fixed.
+    fn assemble(&self, episodes: Vec<EpisodeData>) -> (Vec<Sample>, IterationStats) {
+        let episode_count = episodes.len();
         let mut samples = Vec::new();
         let mut returns = Vec::new();
         let mut lengths = Vec::new();
         let mut safe_episodes = 0usize;
 
-        for _ in 0..self.config.episodes_per_iteration {
-            let mut s = mdp.reset(rng);
-            let mut states = Vec::new();
-            let mut actions = Vec::new();
-            let mut rewards = Vec::new();
-            let mut means = Vec::new();
-            let mut done = false;
-            let mut truncated_bootstrap = 0.0;
-            while !done {
-                let mean = self.policy.mean(&s);
-                let a = gaussian::sample(rng, &mean, &self.policy.log_std);
-                let a_env: Vec<f64> = a.iter().map(|x| x.clamp(-bound, bound)).collect();
-                let (next, r, d) = mdp.step(&a_env);
-                states.push(s.clone());
-                actions.push(a);
-                means.push(mean);
-                rewards.push(r);
-                s = next;
-                done = d;
-            }
+        for ep in episodes {
             // bootstrap: terminal states get 0; the paper punishes violations
             // with R_pun which already encodes the termination value. A
             // horizon truncation would warrant V(s_T), but our MDPs treat
             // the horizon as the true episode end (finite-horizon objective,
             // Eq. of Section III-A), so 0 is the correct terminal value.
-            let _ = &mut truncated_bootstrap;
-            let mut values: Vec<f64> = states.iter().map(|st| self.value.forward(st)[0]).collect();
+            let truncated_bootstrap = 0.0;
+            let value_block = self
+                .value
+                .forward_batch(&Matrix::from_rows(ep.states.clone()));
+            let mut values: Vec<f64> = (0..ep.states.len())
+                .map(|i| value_block.row(i)[0])
+                .collect();
             values.push(truncated_bootstrap);
-            let (advantages, rets) = gae(&rewards, &values, self.config.gamma, self.config.lambda);
-            let episode_return: f64 = rewards.iter().sum();
-            let violated = rewards.last().is_some_and(|&r| r <= -50.0);
+            let (advantages, rets) =
+                gae(&ep.rewards, &values, self.config.gamma, self.config.lambda);
+            let episode_return: f64 = ep.rewards.iter().sum();
+            let violated = ep.rewards.last().is_some_and(|&r| r <= -50.0);
             if !violated {
                 safe_episodes += 1;
             }
             returns.push(episode_return);
-            lengths.push(rewards.len() as f64);
-            for i in 0..states.len() {
-                let log_prob_old = gaussian::log_prob(&actions[i], &means[i], &self.policy.log_std);
+            lengths.push(ep.rewards.len() as f64);
+            for i in 0..ep.states.len() {
+                let log_prob_old =
+                    gaussian::log_prob(&ep.actions[i], &ep.means[i], &self.policy.log_std);
                 samples.push(Sample {
-                    state: states[i].clone(),
-                    action: actions[i].clone(),
+                    state: ep.states[i].clone(),
+                    action: ep.actions[i].clone(),
                     advantage: advantages[i],
                     ret: rets[i],
                     log_prob_old,
-                    mean_old: means[i].clone(),
+                    mean_old: ep.means[i].clone(),
                 });
             }
         }
@@ -328,9 +421,41 @@ impl PpoTrainer {
         let stats = IterationStats {
             mean_return: stats::mean(&returns),
             mean_length: stats::mean(&lengths),
-            safe_fraction: safe_episodes as f64 / self.config.episodes_per_iteration as f64,
+            safe_fraction: safe_episodes as f64 / episode_count as f64,
         };
         (samples, stats)
+    }
+
+    fn collect(
+        &self,
+        mdp: &mut dyn Mdp,
+        rng: &mut rand::rngs::StdRng,
+    ) -> (Vec<Sample>, IterationStats) {
+        let episodes = (0..self.config.episodes_per_iteration)
+            .map(|_| self.run_episode(mdp, rng))
+            .collect();
+        self.assemble(episodes)
+    }
+
+    /// Collects one iteration's episodes in parallel: episode `e` of
+    /// iteration `iteration` gets a fresh MDP and a fresh action RNG, both
+    /// seeded from the global episode index, so the result is bit-identical
+    /// for any `workers` count.
+    fn collect_parallel(
+        &self,
+        factory: &dyn EpisodeFactory,
+        iteration: usize,
+        workers: usize,
+    ) -> (Vec<Sample>, IterationStats) {
+        let base = self.config.seed.wrapping_add(3);
+        let episodes =
+            parallel::map_range_with_workers(self.config.episodes_per_iteration, workers, |e| {
+                let g = (iteration * self.config.episodes_per_iteration + e) as u64;
+                let mut mdp = factory.make_episode(parallel::task_seed(base, 2 * g));
+                let mut rng = cocktail_math::rng::seeded(parallel::task_seed(base, 2 * g + 1));
+                self.run_episode(mdp.as_mut(), &mut rng)
+            });
+        self.assemble(episodes)
     }
 
     fn update(
@@ -348,6 +473,11 @@ impl PpoTrainer {
         let log_std_old = self.policy.log_std.clone();
         let mut order: Vec<usize> = (0..samples.len()).collect();
         let batch = self.config.minibatch_size.max(1);
+        let state_dim = self.policy.mean_net.input_dim();
+        let action_dim = self.policy.mean_net.output_dim();
+        let mut x = Matrix::zeros(batch.min(samples.len()), state_dim);
+        let mut policy_cache = BatchCache::new();
+        let mut value_cache = BatchCache::new();
 
         for _ in 0..self.config.update_epochs {
             order.shuffle(rng);
@@ -357,12 +487,25 @@ impl PpoTrainer {
                 let mut log_std_grad = vec![0.0; self.policy.log_std.len()];
                 let mut value_grads = GradStore::zeros_like(&self.value);
 
-                for &i in chunk {
+                // one batched forward per network for the whole minibatch
+                if x.shape() != (chunk.len(), state_dim) {
+                    x = Matrix::zeros(chunk.len(), state_dim);
+                }
+                for (r, &i) in chunk.iter().enumerate() {
+                    x.row_mut(r).copy_from_slice(&samples[i].state);
+                }
+                self.policy
+                    .mean_net
+                    .forward_batch_cached(&x, &mut policy_cache);
+                self.value.forward_batch_cached(&x, &mut value_cache);
+                let mut policy_g = Matrix::zeros(chunk.len(), action_dim);
+                let mut value_g = Matrix::zeros(chunk.len(), 1);
+
+                for (r, &i) in chunk.iter().enumerate() {
                     let s = &samples[i];
-                    let cache = self.policy.mean_net.forward_cached(&s.state);
-                    let mean_new = cache.output().to_vec();
+                    let mean_new = policy_cache.output().row(r);
                     let log_prob_new =
-                        gaussian::log_prob(&s.action, &mean_new, &self.policy.log_std);
+                        gaussian::log_prob(&s.action, mean_new, &self.policy.log_std);
                     let ratio = (log_prob_new - s.log_prob_old).exp();
 
                     // clipped-surrogate coefficient: derivative of
@@ -378,23 +521,17 @@ impl PpoTrainer {
                     };
 
                     // ∂(-L)/∂μ = -coeff·∂logπ/∂μ + β·∂KL/∂μ
-                    let glp_mean = gaussian::grad_mean(&s.action, &mean_new, &self.policy.log_std);
-                    let mut grad_mean_total: Vec<f64> =
-                        glp_mean.iter().map(|g| -coeff * g).collect();
-                    // KL(old‖new) gradient wrt new mean: (μn−μo)/σn²
-                    for (k, gi) in grad_mean_total.iter_mut().enumerate() {
+                    let glp_mean = gaussian::grad_mean(&s.action, mean_new, &self.policy.log_std);
+                    let grow = policy_g.row_mut(r);
+                    for (k, (gi, g)) in grow.iter_mut().zip(&glp_mean).enumerate() {
+                        *gi = -coeff * g;
+                        // KL(old‖new) gradient wrt new mean: (μn−μo)/σn²
                         let gap = mean_new[k] - s.mean_old[k];
                         *gi += self.config.kl_beta * gap / (2.0 * self.policy.log_std[k]).exp();
                     }
-                    self.policy.mean_net.backward(
-                        &cache,
-                        &grad_mean_total,
-                        &mut policy_grads,
-                        scale,
-                    );
 
                     // log_std gradients: surrogate + KL + entropy bonus
-                    let glp_ls = gaussian::grad_log_std(&s.action, &mean_new, &self.policy.log_std);
+                    let glp_ls = gaussian::grad_log_std(&s.action, mean_new, &self.policy.log_std);
                     for (k, g) in glp_ls.iter().enumerate() {
                         let mut total = -coeff * g;
                         // ∂KL/∂logσn = 1 − (σo² + (μo−μn)²)/σn²
@@ -408,10 +545,18 @@ impl PpoTrainer {
                     }
 
                     // value update
-                    let vcache = self.value.forward_cached(&s.state);
-                    let vg = loss::mse_gradient(vcache.output(), &[s.ret]);
-                    self.value.backward(&vcache, &vg, &mut value_grads, scale);
+                    let vg = loss::mse_gradient(value_cache.output().row(r), &[s.ret]);
+                    value_g.row_mut(r).copy_from_slice(&vg);
                 }
+
+                self.policy.mean_net.backward_batch(
+                    &policy_cache,
+                    &policy_g,
+                    &mut policy_grads,
+                    scale,
+                );
+                self.value
+                    .backward_batch(&value_cache, &value_g, &mut value_grads, scale);
 
                 policy_grads.clip_global_norm(5.0);
                 value_grads.clip_global_norm(10.0);
@@ -536,6 +681,27 @@ mod tests {
         let b = run();
         assert_eq!(a.policy, b.policy);
         assert_eq!(a.history, b.history);
+    }
+
+    #[test]
+    fn parallel_training_is_worker_count_invariant() {
+        let config = PpoConfig {
+            iterations: 3,
+            episodes_per_iteration: 6,
+            hidden: 8,
+            seed: 5,
+            ..Default::default()
+        };
+        let factory = |_seed: u64| -> Box<dyn Mdp> { Box::new(PointMdp { x: 0.0, t: 0 }) };
+        let run = |workers: usize| {
+            PpoTrainer::new(&config, 1, 1).train_episodes_with_workers(&factory, workers)
+        };
+        let reference = run(1);
+        for workers in [2usize, 8] {
+            let got = run(workers);
+            assert_eq!(reference.policy, got.policy, "workers = {workers}");
+            assert_eq!(reference.history, got.history, "workers = {workers}");
+        }
     }
 
     #[test]
