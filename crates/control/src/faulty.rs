@@ -1,0 +1,171 @@
+//! A fault-injecting wrapper around any expert controller.
+//!
+//! [`FaultyExpert`] decorates a [`Controller`] with a deterministic
+//! [`FaultInjector`]: sensor faults corrupt the state the inner expert
+//! observes, output faults corrupt what it returns. The injector's step
+//! clock is the wrapper's own call counter, so a fresh wrapper replays the
+//! same fault schedule on every episode.
+//!
+//! Determinism note: the wrapper carries mutable fault state (the call
+//! counter and stuck-at memory) behind a mutex. For parallel evaluation
+//! under the workspace's bit-for-bit worker-count-invariance contract,
+//! construct one `FaultyExpert` *per episode* — a wrapper shared across
+//! concurrently simulated episodes would interleave their call counters
+//! nondeterministically.
+
+use crate::controller::Controller;
+use cocktail_env::fault::{FaultInjector, FaultPlan};
+use cocktail_math::BoxRegion;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// An expert whose observations and outputs pass through a fault injector.
+pub struct FaultyExpert {
+    inner: Arc<dyn Controller>,
+    state: Mutex<(FaultInjector, usize)>,
+    label: String,
+}
+
+impl FaultyExpert {
+    /// Wraps `inner` with the fault schedule `plan`; `seed` drives the
+    /// sensor-spike randomness.
+    pub fn new(inner: Arc<dyn Controller>, plan: FaultPlan, seed: u64) -> Self {
+        let label = format!("faulty({})", inner.name());
+        Self {
+            inner,
+            state: Mutex::new((FaultInjector::new(plan, seed), 0)),
+            label,
+        }
+    }
+
+    /// The wrapped expert.
+    pub fn inner(&self) -> &Arc<dyn Controller> {
+        &self.inner
+    }
+
+    /// Calls served so far (the injector's step clock).
+    pub fn calls(&self) -> usize {
+        self.lock().1
+    }
+
+    /// Rewinds the fault schedule to step 0 and clears stuck-at memory
+    /// (start of a new episode when reusing a wrapper sequentially).
+    pub fn reset(&self) {
+        let mut guard = self.lock();
+        guard.0.reset();
+        guard.1 = 0;
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, (FaultInjector, usize)> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl Controller for FaultyExpert {
+    fn control(&self, s: &[f64]) -> Vec<f64> {
+        let mut guard = self.lock();
+        let (injector, t) = &mut *guard;
+        let observed = injector.sensor(*t, s);
+        let healthy = self.inner.control(&observed);
+        let out = injector.output(*t, &healthy);
+        *t += 1;
+        out
+    }
+
+    fn state_dim(&self) -> usize {
+        self.inner.state_dim()
+    }
+
+    fn control_dim(&self) -> usize {
+        self.inner.control_dim()
+    }
+
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn lipschitz(&self, _domain: &BoxRegion) -> Option<f64> {
+        // injected discontinuities (dropout, stuck-at, spikes) void any
+        // Lipschitz bound of the wrapped expert
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearFeedbackController;
+    use cocktail_env::fault::FaultKind;
+    use cocktail_math::Matrix;
+
+    fn expert() -> Arc<dyn Controller> {
+        Arc::new(LinearFeedbackController::new(Matrix::from_rows(vec![
+            vec![2.0, 1.0],
+        ])))
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let faulty = FaultyExpert::new(expert(), FaultPlan::none(), 0);
+        assert_eq!(faulty.control(&[1.0, 1.0]), expert().control(&[1.0, 1.0]));
+        assert_eq!(faulty.state_dim(), 2);
+        assert_eq!(faulty.control_dim(), 1);
+        assert!(faulty.name().starts_with("faulty("));
+        assert!(faulty.lipschitz(&BoxRegion::cube(2, -1.0, 1.0)).is_none());
+    }
+
+    #[test]
+    fn windowed_dropout_follows_the_call_clock() {
+        let faulty = FaultyExpert::new(
+            expert(),
+            FaultPlan::window(FaultKind::Dropout, 1, Some(2)),
+            0,
+        );
+        assert_ne!(faulty.control(&[1.0, 1.0]), vec![0.0]); // call 0 healthy
+        assert_eq!(faulty.control(&[1.0, 1.0]), vec![0.0]); // call 1 dropped
+        assert_ne!(faulty.control(&[1.0, 1.0]), vec![0.0]); // call 2 healthy
+        assert_eq!(faulty.calls(), 3);
+    }
+
+    #[test]
+    fn reset_replays_the_schedule() {
+        let faulty = FaultyExpert::new(
+            expert(),
+            FaultPlan::window(FaultKind::NanOutput, 0, Some(1)),
+            0,
+        );
+        assert!(faulty.control(&[1.0, 1.0])[0].is_nan());
+        assert!(!faulty.control(&[1.0, 1.0])[0].is_nan());
+        faulty.reset();
+        assert!(faulty.control(&[1.0, 1.0])[0].is_nan());
+    }
+
+    #[test]
+    fn sensor_spike_corrupts_what_the_expert_sees() {
+        let faulty = FaultyExpert::new(
+            expert(),
+            FaultPlan::permanent(FaultKind::SensorSpike { magnitude: 10.0 }),
+            5,
+        );
+        let healthy = expert().control(&[0.0, 0.0]);
+        let seen = faulty.control(&[0.0, 0.0]);
+        // -K(s+δ) with ‖δ‖=10 must differ from -K·s
+        assert_ne!(seen, healthy);
+    }
+
+    #[test]
+    fn same_plan_and_seed_replay_identically() {
+        let run = || {
+            let faulty = FaultyExpert::new(expert(), FaultPlan::random(9, 50, 4), 9);
+            (0..50)
+                .map(|i| {
+                    faulty
+                        .control(&[i as f64 * 0.01, -0.5])
+                        .iter()
+                        .map(|u| u.to_bits()) // NaN-safe bit-exact comparison
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

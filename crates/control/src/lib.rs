@@ -28,6 +28,8 @@
 //! ```
 
 pub mod controller;
+pub mod degradation;
+pub mod faulty;
 pub mod linear;
 pub mod lqr;
 pub mod mixed;
@@ -37,6 +39,8 @@ pub mod polynomial;
 pub mod switching;
 
 pub use controller::Controller;
+pub use degradation::{DegradationConfig, DegradationEvent, DegradationReason};
+pub use faulty::FaultyExpert;
 pub use linear::LinearFeedbackController;
 pub use lqr::{dlqr, linearize, lqr_controller, Linearization, SynthesizeLqrError};
 pub use mixed::ConstantWeights;

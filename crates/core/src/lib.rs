@@ -48,12 +48,14 @@ pub mod metrics;
 pub mod pipeline;
 pub mod policy;
 pub mod report;
+pub mod supervisor;
 pub mod system;
 
 pub use cocktail_analysis::PreflightMode;
 pub use experiment::Preset;
 pub use metrics::{evaluate, evaluate_with_workers, EvalConfig, Evaluation};
 pub use pipeline::{Cocktail, CocktailConfig, CocktailResult, MixingAlgorithm};
+pub use supervisor::{DivergenceConfig, PipelineError, SupervisorConfig};
 pub use system::SystemId;
 
 #[cfg(test)]

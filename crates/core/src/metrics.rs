@@ -2,7 +2,7 @@
 
 use cocktail_control::Controller;
 use cocktail_distill::AttackModel;
-use cocktail_env::{rollout, Dynamics, RolloutConfig};
+use cocktail_env::{rollout, try_rollout, Dynamics, RolloutConfig};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a sampling-based evaluation run.
@@ -69,7 +69,9 @@ fn evaluate_one(
     let mut perturb = config
         .attack
         .perturbation(controller, config.seed ^ (i as u64) << 1);
-    let traj = rollout(
+    // a controller that emits NaN/Inf (e.g. a faulted expert without
+    // quarantine) counts as unsafe rather than poisoning the aggregate
+    let traj = try_rollout(
         sys,
         &mut control_fn,
         &mut perturb,
@@ -79,7 +81,8 @@ fn evaluate_one(
             seed: config.seed.wrapping_add(1).wrapping_add(i as u64),
             ..Default::default()
         },
-    );
+    )
+    .ok()?;
     traj.is_safe().then(|| traj.energy())
 }
 

@@ -1,13 +1,21 @@
 //! The end-to-end Cocktail pipeline (Algorithm 1).
 
 use crate::policy::{DdpgWeightPolicy, PpoWeightPolicy};
+use crate::supervisor::{
+    load_checkpoint, save_checkpoint, DivergenceMonitor, MixingArtifact, PipelineCheckpoint,
+    PipelineError, StageCheckpoint, SupervisorConfig,
+};
 use crate::system::SystemId;
 use cocktail_analysis::{AnalysisReport, Analyzer, ControllerSpec, Diagnostic, PreflightMode};
 use cocktail_control::{Controller, MixedController, NnController, WeightPolicy};
-use cocktail_distill::{direct_distill, robust_distill, DistillConfig, TeacherDataset};
+use cocktail_distill::{
+    direct_distill, robust_distill, DistillConfig, RobustDistillSession, TeacherDataset,
+};
+use cocktail_env::Dynamics;
 use cocktail_rl::ddpg::{DdpgConfig, DdpgTrainer, EpisodeStats};
-use cocktail_rl::ppo::{IterationStats, PpoConfig, PpoTrainer};
+use cocktail_rl::ppo::{IterationStats, PpoConfig, PpoSession, PpoTrainer};
 use cocktail_rl::{Mdp, MixingMdp, RewardConfig};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Which RL algorithm learns the adaptive mixing weights. The paper's
@@ -121,19 +129,33 @@ impl Cocktail {
 
     /// Executes both stages: PPO adaptive mixing, then direct and robust
     /// distillation of the mixed teacher.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`PreflightMode::Deny`] gate finds error-level
+    /// diagnostics. Use [`Self::try_run`] for a typed error instead.
     pub fn run(self) -> CocktailResult {
+        self.try_run().unwrap_or_else(|err| panic!("{err}"))
+    }
+
+    /// [`Self::run`] with typed errors: a [`PreflightMode::Deny`] gate
+    /// yields [`PipelineError::PreflightDenied`] instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::PreflightDenied`] when a `Deny` gate finds
+    /// error-level diagnostics.
+    pub fn try_run(self) -> Result<CocktailResult, PipelineError> {
         let sys = self.system.dynamics();
         let cfg = &self.config;
 
         // ---- pre-flight gate: expert shapes vs the plant, before any
         // RL budget is spent on a run that cannot succeed
-        if cfg.preflight != PreflightMode::Off {
-            apply_gate(
-                cfg.preflight,
-                "pre-flight",
-                &self.expert_shape_report(sys.as_ref()),
-            );
-        }
+        apply_gate(
+            cfg.preflight,
+            "pre-flight",
+            &self.expert_shape_report(sys.as_ref()),
+        )?;
 
         // ---- stage 1: RL-based adaptive mixing (Alg. 1 lines 2-10)
         let mut ppo_history = Vec::new();
@@ -143,90 +165,435 @@ impl Cocktail {
                 // episodes are collected in parallel: each worker gets a
                 // fresh MixingMdp seeded per episode, so the outcome does
                 // not depend on the worker count
-                let factory = |seed: u64| -> Box<dyn Mdp> {
-                    Box::new(MixingMdp::new(
-                        sys.clone(),
-                        self.experts.clone(),
-                        cfg.weight_bound,
-                        cfg.reward,
-                        seed,
-                    ))
-                };
+                let factory = self.mixing_factory(&sys);
                 let trained = PpoTrainer::new(&cfg.ppo, sys.state_dim(), self.experts.len())
                     .train_episodes(&factory);
                 ppo_history = trained.history;
                 Arc::new(PpoWeightPolicy::new(trained.policy, cfg.weight_bound))
             }
             MixingAlgorithm::Ddpg(ddpg) => {
-                let mut mdp = MixingMdp::new(
-                    sys.clone(),
-                    self.experts.clone(),
-                    cfg.weight_bound,
-                    cfg.reward,
-                    cfg.seed,
-                );
-                let trained =
-                    DdpgTrainer::new(ddpg, sys.state_dim(), self.experts.len()).train(&mut mdp);
+                let trained = self.train_ddpg(ddpg, &sys);
                 ddpg_history = trained.history;
                 Arc::new(DdpgWeightPolicy::new(trained.actor, cfg.weight_bound))
             }
         };
+        let mixed = self.build_mixed(&sys, weight_policy);
+
+        // ---- stage 2: distillation (Alg. 1 lines 11-14)
+        let data = self.build_dataset(&sys, mixed.as_ref());
+        let kappa_d = Arc::new(direct_distill(&data, &cfg.distill));
+        let kappa_star = Arc::new(robust_distill(&data, &cfg.distill));
+
+        // ---- post-distillation gate: lint the students before handing
+        // them to evaluation / verification
+        self.lint_students(&sys, &kappa_d, &kappa_star)?;
+
+        Ok(CocktailResult {
+            mixed,
+            kappa_d,
+            kappa_star,
+            ppo_history,
+            ddpg_history,
+        })
+    }
+
+    /// Fault-tolerant variant of [`Self::try_run`]: wraps the PPO-mixing
+    /// and robust-distillation stages with periodic checkpoints, divergence
+    /// detection and bounded rewind/reseed/retry (see
+    /// [`crate::supervisor`]).
+    ///
+    /// With an empty checkpoint directory (or none at all) and no
+    /// divergence, the result is **bit-identical** to [`Self::run`]. When
+    /// `sup.checkpoint_dir` already holds a checkpoint stamped with this
+    /// config's seed, the run resumes from it — kill-and-resume reproduces
+    /// the uninterrupted run's artifacts exactly. The DDPG mixing variant
+    /// is supervised at stage granularity only (no mid-training rewind).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineError::PreflightDenied`] from a `Deny` gate,
+    /// [`PipelineError::Diverged`] when a stage exhausts its retry budget,
+    /// [`PipelineError::Interrupted`] at the configured interruption point,
+    /// and [`PipelineError::Checkpoint`] for unusable checkpoint files.
+    pub fn run_supervised(self, sup: &SupervisorConfig) -> Result<CocktailResult, PipelineError> {
+        let sys = self.system.dynamics();
+        let cfg = &self.config;
+        apply_gate(
+            cfg.preflight,
+            "pre-flight",
+            &self.expert_shape_report(sys.as_ref()),
+        )?;
+
+        let loaded = match &sup.checkpoint_dir {
+            Some(dir) => load_checkpoint(dir, cfg.seed)?,
+            None => None,
+        };
+        let mut units: u64 = 0; // stage units executed in THIS invocation
+
+        // ---- stage 1: mixing (resumable mid-training under PPO)
+        let (mixing, robust_resume) = match loaded.map(|c| c.stage) {
+            Some(StageCheckpoint::Robust {
+                mixing,
+                kappa_d,
+                distill,
+                losses,
+            }) => {
+                let algorithm_matches = matches!(
+                    (&mixing, &cfg.mixing),
+                    (MixingArtifact::Ppo { .. }, MixingAlgorithm::Ppo)
+                        | (MixingArtifact::Ddpg { .. }, MixingAlgorithm::Ddpg(_))
+                );
+                if !algorithm_matches {
+                    return Err(self.checkpoint_mismatch(sup, "mixing algorithm"));
+                }
+                (mixing, Some((kappa_d, distill, losses)))
+            }
+            Some(StageCheckpoint::Mixing { ppo }) => {
+                if !matches!(cfg.mixing, MixingAlgorithm::Ppo) {
+                    return Err(self.checkpoint_mismatch(sup, "mixing algorithm"));
+                }
+                let trained =
+                    self.supervise_ppo(PpoSession::from_checkpoint(ppo), &sys, sup, &mut units)?;
+                (
+                    MixingArtifact::Ppo {
+                        policy: trained.policy,
+                        history: trained.history,
+                    },
+                    None,
+                )
+            }
+            None => match &cfg.mixing {
+                MixingAlgorithm::Ppo => {
+                    let session = PpoSession::new(&cfg.ppo, sys.state_dim(), self.experts.len());
+                    let trained = self.supervise_ppo(session, &sys, sup, &mut units)?;
+                    (
+                        MixingArtifact::Ppo {
+                            policy: trained.policy,
+                            history: trained.history,
+                        },
+                        None,
+                    )
+                }
+                MixingAlgorithm::Ddpg(ddpg) => {
+                    let trained = self.train_ddpg(ddpg, &sys);
+                    units += 1;
+                    (
+                        MixingArtifact::Ddpg {
+                            actor: trained.actor,
+                            history: trained.history,
+                        },
+                        None,
+                    )
+                }
+            },
+        };
+
+        // ---- stage 2: robust distillation (resumable mid-epoch). The
+        // dataset is a pure function of (mixed, seed) and is regenerated
+        // rather than checkpointed.
+        let weight_policy: Arc<dyn WeightPolicy> = match &mixing {
+            MixingArtifact::Ppo { policy, .. } => {
+                Arc::new(PpoWeightPolicy::new(policy.clone(), cfg.weight_bound))
+            }
+            MixingArtifact::Ddpg { actor, .. } => {
+                Arc::new(DdpgWeightPolicy::new(actor.clone(), cfg.weight_bound))
+            }
+        };
+        let mixed = self.build_mixed(&sys, weight_policy);
+        let data = self.build_dataset(&sys, mixed.as_ref());
+        let (kappa_d, session, losses) = match robust_resume {
+            Some((kd_net, distill, losses)) => (
+                Arc::new(NnController::unscaled(kd_net, "kappa_D")),
+                RobustDistillSession::from_checkpoint(distill),
+                losses,
+            ),
+            None => (
+                Arc::new(direct_distill(&data, &cfg.distill)),
+                RobustDistillSession::new(&data, &cfg.distill),
+                Vec::new(),
+            ),
+        };
+        let kappa_star = Arc::new(
+            self.supervise_distill(session, &data, &mixing, &kappa_d, losses, sup, &mut units)?,
+        );
+
+        self.lint_students(&sys, &kappa_d, &kappa_star)?;
+
+        let (ppo_history, ddpg_history) = match mixing {
+            MixingArtifact::Ppo { history, .. } => (history, Vec::new()),
+            MixingArtifact::Ddpg { history, .. } => (Vec::new(), history),
+        };
+        Ok(CocktailResult {
+            mixed,
+            kappa_d,
+            kappa_star,
+            ppo_history,
+            ddpg_history,
+        })
+    }
+
+    /// Supervises the PPO mixing stage: step, watch the mean return,
+    /// checkpoint on cadence, rewind/reseed on divergence.
+    fn supervise_ppo(
+        &self,
+        mut session: PpoSession,
+        sys: &Arc<dyn Dynamics>,
+        sup: &SupervisorConfig,
+        units: &mut u64,
+    ) -> Result<cocktail_rl::TrainedPolicy, PipelineError> {
+        const STAGE: &str = "ppo-mixing";
+        let cfg = &self.config;
+        let factory = self.mixing_factory(sys);
+        let workers = cocktail_math::parallel::default_workers();
+        let mut monitor = DivergenceMonitor::new(sup.divergence.collapse_drop);
+        monitor.rewind_to(session.history().iter().map(|s| s.mean_return));
+        let mut last_good = session.checkpoint();
+        let mut retry: u32 = 0;
+
+        while !session.is_complete() {
+            let stats = session.step(&factory, workers);
+            *units += 1;
+            if let Some(reason) = monitor.observe(stats.mean_return) {
+                retry += 1;
+                if retry > sup.divergence.max_retries {
+                    return Err(PipelineError::Diverged {
+                        stage: STAGE.into(),
+                        attempts: retry,
+                        detail: reason,
+                    });
+                }
+                session = PpoSession::from_checkpoint(last_good.clone());
+                session.reseed_for_retry(u64::from(retry));
+                monitor = DivergenceMonitor::new(sup.divergence.collapse_drop);
+                monitor.rewind_to(session.history().iter().map(|s| s.mean_return));
+                continue;
+            }
+            if session.iteration().is_multiple_of(sup.cadence()) || session.is_complete() {
+                last_good = session.checkpoint();
+                if let Some(dir) = &sup.checkpoint_dir {
+                    save_checkpoint(
+                        dir,
+                        &PipelineCheckpoint::new(
+                            cfg.seed,
+                            StageCheckpoint::Mixing {
+                                ppo: last_good.clone(),
+                            },
+                        ),
+                    )?;
+                }
+            }
+            if sup.interrupt_after.is_some_and(|n| *units >= n) && !session.is_complete() {
+                let checkpoint = match &sup.checkpoint_dir {
+                    Some(dir) => save_checkpoint(
+                        dir,
+                        &PipelineCheckpoint::new(
+                            cfg.seed,
+                            StageCheckpoint::Mixing {
+                                ppo: session.checkpoint(),
+                            },
+                        ),
+                    )?,
+                    None => PathBuf::new(),
+                };
+                return Err(PipelineError::Interrupted {
+                    stage: STAGE.into(),
+                    checkpoint,
+                });
+            }
+        }
+        Ok(session.finish())
+    }
+
+    /// Supervises the robust-distillation stage: step one epoch, watch the
+    /// training loss, checkpoint on cadence, rewind/reseed on divergence.
+    #[allow(
+        clippy::too_many_arguments,
+        reason = "internal stage driver threading pipeline state through; a \
+                  struct would only relabel the same seven values"
+    )]
+    fn supervise_distill(
+        &self,
+        mut session: RobustDistillSession,
+        data: &TeacherDataset,
+        mixing: &MixingArtifact,
+        kappa_d: &NnController,
+        mut losses: Vec<f64>,
+        sup: &SupervisorConfig,
+        units: &mut u64,
+    ) -> Result<NnController, PipelineError> {
+        const STAGE: &str = "robust-distill";
+        let cfg = &self.config;
+        let robust_ckpt = |session: &RobustDistillSession, losses: &[f64]| {
+            PipelineCheckpoint::new(
+                cfg.seed,
+                StageCheckpoint::Robust {
+                    mixing: mixing.clone(),
+                    kappa_d: kappa_d.network().clone(),
+                    distill: session.checkpoint(),
+                    losses: losses.to_vec(),
+                },
+            )
+        };
+        // mark the stage transition on disk so a kill before the first
+        // epoch already resumes past mixing and κ_D
+        if let Some(dir) = &sup.checkpoint_dir {
+            save_checkpoint(dir, &robust_ckpt(&session, &losses))?;
+        }
+        let mut monitor = DivergenceMonitor::new(sup.divergence.collapse_drop);
+        monitor.rewind_to(losses.iter().map(|l| -l));
+        let mut last_good = (session.checkpoint(), losses.clone());
+        let mut retry: u32 = 0;
+
+        while !session.is_complete() {
+            let loss = session.step_epoch(data);
+            *units += 1;
+            // negated: the monitor treats higher as better
+            if let Some(reason) = monitor.observe(-loss) {
+                retry += 1;
+                if retry > sup.divergence.max_retries {
+                    return Err(PipelineError::Diverged {
+                        stage: STAGE.into(),
+                        attempts: retry,
+                        detail: reason,
+                    });
+                }
+                session = RobustDistillSession::from_checkpoint(last_good.0.clone());
+                session.reseed_for_retry(u64::from(retry));
+                losses.clone_from(&last_good.1);
+                monitor = DivergenceMonitor::new(sup.divergence.collapse_drop);
+                monitor.rewind_to(losses.iter().map(|l| -l));
+                continue;
+            }
+            losses.push(loss);
+            if session.epoch().is_multiple_of(sup.cadence()) || session.is_complete() {
+                last_good = (session.checkpoint(), losses.clone());
+                if let Some(dir) = &sup.checkpoint_dir {
+                    save_checkpoint(dir, &robust_ckpt(&session, &losses))?;
+                }
+            }
+            if sup.interrupt_after.is_some_and(|n| *units >= n) && !session.is_complete() {
+                let checkpoint = match &sup.checkpoint_dir {
+                    Some(dir) => save_checkpoint(dir, &robust_ckpt(&session, &losses))?,
+                    None => PathBuf::new(),
+                };
+                return Err(PipelineError::Interrupted {
+                    stage: STAGE.into(),
+                    checkpoint,
+                });
+            }
+        }
+        Ok(session.finish())
+    }
+
+    /// The per-episode MDP factory of the PPO mixing stage.
+    fn mixing_factory<'a>(
+        &'a self,
+        sys: &'a Arc<dyn Dynamics>,
+    ) -> impl Fn(u64) -> Box<dyn Mdp> + 'a {
+        let cfg = &self.config;
+        move |seed: u64| -> Box<dyn Mdp> {
+            Box::new(MixingMdp::new(
+                sys.clone(),
+                self.experts.clone(),
+                cfg.weight_bound,
+                cfg.reward,
+                seed,
+            ))
+        }
+    }
+
+    /// Runs the DDPG mixing variant to completion (Remark 1; supervised at
+    /// stage granularity only).
+    fn train_ddpg(
+        &self,
+        ddpg: &DdpgConfig,
+        sys: &Arc<dyn Dynamics>,
+    ) -> cocktail_rl::ddpg::TrainedActor {
+        let cfg = &self.config;
+        let mut mdp = MixingMdp::new(
+            sys.clone(),
+            self.experts.clone(),
+            cfg.weight_bound,
+            cfg.reward,
+            cfg.seed,
+        );
+        DdpgTrainer::new(ddpg, sys.state_dim(), self.experts.len()).train(&mut mdp)
+    }
+
+    /// Assembles the mixed teacher `A_W` from the learned weight policy.
+    fn build_mixed(
+        &self,
+        sys: &Arc<dyn Dynamics>,
+        weight_policy: Arc<dyn WeightPolicy>,
+    ) -> Arc<MixedController> {
         let (u_lo, u_hi) = sys.control_bounds();
-        let mixed = Arc::new(MixedController::new(
+        Arc::new(MixedController::new(
             self.experts.clone(),
             weight_policy,
             u_lo,
             u_hi,
-        ));
+        ))
+    }
 
-        // ---- stage 2: distillation (Alg. 1 lines 11-14)
+    /// Samples the distillation dataset from the mixed teacher — a pure
+    /// function of `(mixed, seed)`, so resumed runs regenerate it exactly.
+    fn build_dataset(&self, sys: &Arc<dyn Dynamics>, mixed: &MixedController) -> TeacherDataset {
+        let cfg = &self.config;
         let uniform = TeacherDataset::sample_uniform(
-            mixed.as_ref(),
+            mixed,
             &sys.verification_domain(),
             cfg.dataset_uniform,
             cfg.seed.wrapping_add(11),
         );
-        let data = if cfg.dataset_episodes > 0 {
+        if cfg.dataset_episodes > 0 {
             uniform.merge(TeacherDataset::sample_on_policy(
-                mixed.as_ref(),
+                mixed,
                 sys.as_ref(),
                 cfg.dataset_episodes,
                 cfg.seed.wrapping_add(13),
             ))
         } else {
             uniform
-        };
-        let kappa_d = Arc::new(direct_distill(&data, &cfg.distill));
-        let kappa_star = Arc::new(robust_distill(&data, &cfg.distill));
-
-        // ---- post-distillation gate: lint the students before handing
-        // them to evaluation / verification
-        if cfg.preflight != PreflightMode::Off {
-            let analyzer = Analyzer::new(sys.clone());
-            let mut report = AnalysisReport::new();
-            for (name, student) in [("kappa_d", &kappa_d), ("kappa_star", &kappa_star)] {
-                let spec = ControllerSpec::from_network(
-                    student.network().clone(),
-                    student.scale().to_vec(),
-                );
-                let mut student_report = AnalysisReport::new();
-                for d in analyzer.analyze(&spec).diagnostics() {
-                    student_report.push(Diagnostic {
-                        message: format!("{name}: {}", d.message),
-                        ..d.clone()
-                    });
-                }
-                report.merge(student_report);
-            }
-            apply_gate(cfg.preflight, "student", &report);
         }
+    }
 
-        CocktailResult {
-            mixed,
-            kappa_d,
-            kappa_star,
-            ppo_history,
-            ddpg_history,
+    /// Lints the distilled students through the static analyzer.
+    fn lint_students(
+        &self,
+        sys: &Arc<dyn Dynamics>,
+        kappa_d: &Arc<NnController>,
+        kappa_star: &Arc<NnController>,
+    ) -> Result<(), PipelineError> {
+        let cfg = &self.config;
+        if cfg.preflight == PreflightMode::Off {
+            return Ok(());
+        }
+        let analyzer = Analyzer::new(sys.clone());
+        let mut report = AnalysisReport::new();
+        for (name, student) in [("kappa_d", kappa_d), ("kappa_star", kappa_star)] {
+            let spec =
+                ControllerSpec::from_network(student.network().clone(), student.scale().to_vec());
+            let mut student_report = AnalysisReport::new();
+            for d in analyzer.analyze(&spec).diagnostics() {
+                student_report.push(Diagnostic {
+                    message: format!("{name}: {}", d.message),
+                    ..d.clone()
+                });
+            }
+            report.merge(student_report);
+        }
+        apply_gate(cfg.preflight, "student", &report)
+    }
+
+    fn checkpoint_mismatch(&self, sup: &SupervisorConfig, what: &str) -> PipelineError {
+        let path = sup
+            .checkpoint_dir
+            .as_deref()
+            .map(|d| d.join(crate::supervisor::CHECKPOINT_FILE))
+            .unwrap_or_default();
+        PipelineError::Checkpoint {
+            path,
+            detail: format!("{what} does not match the configured pipeline"),
         }
     }
 
@@ -268,36 +635,35 @@ impl Cocktail {
 }
 
 /// Applies the configured pre-flight policy to a report: `Warn` prints
-/// findings to stderr, `Deny` additionally panics on error findings.
-fn apply_gate(mode: PreflightMode, stage: &str, report: &AnalysisReport) {
+/// findings to stderr, `Deny` additionally rejects error findings with
+/// [`PipelineError::PreflightDenied`] (which [`Cocktail::run`] turns into
+/// a panic).
+fn apply_gate(
+    mode: PreflightMode,
+    stage: &str,
+    report: &AnalysisReport,
+) -> Result<(), PipelineError> {
     if report.is_empty() {
-        return;
+        return Ok(());
     }
     match mode {
         PreflightMode::Off => {}
-        PreflightMode::Warn => {
+        PreflightMode::Warn | PreflightMode::Deny => {
             if report.has_errors() || report.has_warnings() {
                 eprintln!(
                     "cocktail {stage} analysis ({}):\n{report}",
                     report.summary()
                 );
             }
-        }
-        PreflightMode::Deny => {
-            if report.has_errors() || report.has_warnings() {
-                eprintln!(
-                    "cocktail {stage} analysis ({}):\n{report}",
-                    report.summary()
-                );
+            if mode == PreflightMode::Deny && report.has_errors() {
+                return Err(PipelineError::PreflightDenied {
+                    stage: stage.to_string(),
+                    summary: report.summary(),
+                });
             }
-            assert!(
-                !report.has_errors(),
-                "cocktail {stage} analysis failed ({}); set preflight to Warn or Off to \
-                 proceed anyway",
-                report.summary()
-            );
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -1,0 +1,427 @@
+//! Fault-tolerant supervision of the training pipeline: typed errors,
+//! on-disk checkpoints, divergence detection and bounded rewind/retry.
+//!
+//! The supervised runner ([`crate::pipeline::Cocktail::run_supervised`])
+//! wraps the two resumable training stages — PPO mixing
+//! ([`cocktail_rl::PpoSession`]) and robust distillation
+//! ([`cocktail_distill::RobustDistillSession`]) — with:
+//!
+//! * **periodic checkpoints**: every [`SupervisorConfig::checkpoint_every`]
+//!   units (PPO iterations / distillation epochs) the complete training
+//!   state (networks, optimizer moments, RNG stream words, shuffled sample
+//!   order) is serialized to `<dir>/cocktail.ckpt.json` via a
+//!   write-to-temp-then-rename so a crash never leaves a torn file;
+//! * **divergence detection**: a non-finite mean return / training loss —
+//!   or, optionally, a collapse beyond
+//!   [`DivergenceConfig::collapse_drop`] below the best value seen — rolls
+//!   the stage back to its last good checkpoint and deterministically
+//!   reseeds the exploration streams;
+//! * **bounded retries**: after [`DivergenceConfig::max_retries`] failed
+//!   rewinds the run gives up with [`PipelineError::Diverged`] instead of
+//!   panicking or looping forever.
+//!
+//! Resume is bit-exact: killing a supervised run mid-stage and resuming
+//! from the checkpoint file reproduces the uninterrupted run's artifacts
+//! bit-for-bit (see `tests/fault_tolerance.rs`).
+
+use cocktail_distill::DistillCheckpoint;
+use cocktail_nn::Mlp;
+use cocktail_rl::ddpg::EpisodeStats;
+use cocktail_rl::ppo::{GaussianPolicy, IterationStats};
+use cocktail_rl::PpoCheckpoint;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// On-disk checkpoint format version; bumped on breaking layout changes.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// File name of the pipeline checkpoint inside the checkpoint directory.
+pub const CHECKPOINT_FILE: &str = "cocktail.ckpt.json";
+
+/// A typed pipeline failure (instead of a panic).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// A `PreflightMode::Deny` gate found error-level diagnostics.
+    PreflightDenied {
+        /// Which gate fired (`"pre-flight"` or `"student"`).
+        stage: String,
+        /// The report's severity summary.
+        summary: String,
+    },
+    /// A training stage kept diverging after all allowed rewinds.
+    Diverged {
+        /// Which stage diverged (`"ppo-mixing"` or `"robust-distill"`).
+        stage: String,
+        /// Rewind/reseed attempts consumed (including the initial run).
+        attempts: u32,
+        /// What the divergence monitor observed.
+        detail: String,
+    },
+    /// The run stopped at the configured interruption point after saving a
+    /// checkpoint (test/ops hook for kill-and-resume drills).
+    Interrupted {
+        /// The stage that was interrupted.
+        stage: String,
+        /// The checkpoint file the resumed run should load (empty when no
+        /// checkpoint directory was configured — nothing was persisted).
+        checkpoint: PathBuf,
+    },
+    /// Checkpoint I/O or validation failed (unreadable file, version or
+    /// seed mismatch, wrong mixing algorithm).
+    Checkpoint {
+        /// The offending file.
+        path: PathBuf,
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::PreflightDenied { stage, summary } => write!(
+                f,
+                "cocktail {stage} analysis failed ({summary}); set preflight to Warn or Off \
+                 to proceed anyway"
+            ),
+            Self::Diverged {
+                stage,
+                attempts,
+                detail,
+            } => write!(f, "{stage} diverged after {attempts} attempt(s): {detail}"),
+            Self::Interrupted { stage, checkpoint } => write!(
+                f,
+                "{stage} interrupted; resume from {}",
+                checkpoint.display()
+            ),
+            Self::Checkpoint { path, detail } => {
+                write!(f, "checkpoint {} unusable: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Divergence-detection policy for the supervised training stages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DivergenceConfig {
+    /// Rewind/reseed attempts before giving up with
+    /// [`PipelineError::Diverged`].
+    pub max_retries: u32,
+    /// Optional collapse threshold: a unit metric (mean return for PPO,
+    /// negated loss for distillation — higher is better for both) falling
+    /// more than this below the best value seen in the stage counts as
+    /// divergence. `None` (the default) only checks finiteness, which is
+    /// what keeps resume bit-exact even across retries.
+    pub collapse_drop: Option<f64>,
+}
+
+impl Default for DivergenceConfig {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            collapse_drop: None,
+        }
+    }
+}
+
+/// Configuration of [`crate::pipeline::Cocktail::run_supervised`].
+#[derive(Debug, Clone, Default)]
+pub struct SupervisorConfig {
+    /// Where to persist checkpoints. `None` keeps checkpoints in memory
+    /// only (divergence rewind still works; kill-and-resume does not).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Persist a checkpoint every this many completed units (PPO
+    /// iterations / distillation epochs). `0` is treated as `1`.
+    pub checkpoint_every: usize,
+    /// Divergence detection and retry budget.
+    pub divergence: DivergenceConfig,
+    /// Test/ops hook: stop with [`PipelineError::Interrupted`] after this
+    /// many units have executed *in this invocation*, saving a checkpoint
+    /// first. `None` runs to completion.
+    pub interrupt_after: Option<u64>,
+}
+
+impl SupervisorConfig {
+    /// Checkpoints to `dir` with all other settings at their defaults.
+    pub fn to_dir(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            checkpoint_dir: Some(dir.into()),
+            ..Self::default()
+        }
+    }
+
+    pub(crate) fn cadence(&self) -> usize {
+        self.checkpoint_every.max(1)
+    }
+}
+
+/// Watches a per-unit quality metric (higher is better) for non-finite
+/// values and optional collapse below the best value seen.
+#[derive(Debug, Clone)]
+pub struct DivergenceMonitor {
+    best: f64,
+    collapse_drop: Option<f64>,
+}
+
+impl DivergenceMonitor {
+    /// Creates a monitor with no history.
+    pub fn new(collapse_drop: Option<f64>) -> Self {
+        Self {
+            best: f64::NEG_INFINITY,
+            collapse_drop,
+        }
+    }
+
+    /// Re-seeds the monitor's best-seen value from past metrics (used when
+    /// resuming or rewinding a stage so the monitor state is a pure
+    /// function of the checkpointed history).
+    pub fn rewind_to(&mut self, past: impl IntoIterator<Item = f64>) {
+        self.best = past
+            .into_iter()
+            .filter(|m| m.is_finite())
+            .fold(f64::NEG_INFINITY, f64::max);
+    }
+
+    /// Feeds one unit's metric. Returns `Some(reason)` when the unit
+    /// counts as diverged (the metric is then *not* folded into `best`).
+    pub fn observe(&mut self, metric: f64) -> Option<String> {
+        if !metric.is_finite() {
+            return Some(format!("non-finite unit metric {metric}"));
+        }
+        if let Some(drop) = self.collapse_drop {
+            if self.best.is_finite() && self.best - metric > drop {
+                return Some(format!(
+                    "metric {metric} collapsed more than {drop} below best {}",
+                    self.best
+                ));
+            }
+        }
+        self.best = self.best.max(metric);
+        None
+    }
+}
+
+/// What the mixing stage produced, in checkpointable form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MixingArtifact {
+    /// PPO mixing: the trained Gaussian policy and its iteration history.
+    Ppo {
+        /// The trained weight policy.
+        policy: GaussianPolicy,
+        /// Per-iteration statistics.
+        history: Vec<IterationStats>,
+    },
+    /// DDPG mixing (Remark 1): the trained actor and its episode history.
+    Ddpg {
+        /// The trained actor network.
+        actor: Mlp,
+        /// Per-episode statistics.
+        history: Vec<EpisodeStats>,
+    },
+}
+
+/// Where the pipeline stands, with everything needed to resume bit-exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StageCheckpoint {
+    /// Mid-PPO-mixing.
+    Mixing {
+        /// The in-flight PPO training state.
+        ppo: PpoCheckpoint,
+    },
+    /// Mixing done (artifact frozen), mid-robust-distillation. The teacher
+    /// dataset and `κ_D` are *not* stored mid-epoch — the dataset is a pure
+    /// function of `(mixed, seed)` and is regenerated on resume.
+    Robust {
+        /// The frozen mixing artifact.
+        mixing: MixingArtifact,
+        /// The already-trained direct student network.
+        kappa_d: Mlp,
+        /// The in-flight robust-distillation state.
+        distill: DistillCheckpoint,
+        /// Per-epoch training losses so far (feeds the divergence monitor
+        /// deterministically on resume).
+        losses: Vec<f64>,
+    },
+}
+
+impl StageCheckpoint {
+    /// Human-readable stage name (matches [`PipelineError`] stages).
+    pub fn stage_name(&self) -> &'static str {
+        match self {
+            Self::Mixing { .. } => "ppo-mixing",
+            Self::Robust { .. } => "robust-distill",
+        }
+    }
+}
+
+/// The on-disk pipeline checkpoint: versioned, seed-stamped, one stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineCheckpoint {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// The pipeline master seed the checkpoint belongs to.
+    pub seed: u64,
+    /// The resumable stage state.
+    pub stage: StageCheckpoint,
+}
+
+impl PipelineCheckpoint {
+    /// Wraps a stage snapshot with the current version and seed stamp.
+    pub fn new(seed: u64, stage: StageCheckpoint) -> Self {
+        Self {
+            version: CHECKPOINT_VERSION,
+            seed,
+            stage,
+        }
+    }
+}
+
+/// Atomically persists `ckpt` as `<dir>/`[`CHECKPOINT_FILE`] (temp file +
+/// rename, so readers never observe a torn write). Creates `dir` if needed.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Checkpoint`] on any I/O failure.
+pub fn save_checkpoint(dir: &Path, ckpt: &PipelineCheckpoint) -> Result<PathBuf, PipelineError> {
+    let path = dir.join(CHECKPOINT_FILE);
+    let failed = |detail: String| PipelineError::Checkpoint {
+        path: path.clone(),
+        detail,
+    };
+    std::fs::create_dir_all(dir).map_err(|e| failed(format!("create dir: {e}")))?;
+    let json = serde_json::to_string(ckpt).map_err(|e| failed(format!("serialize: {e}")))?;
+    let tmp = dir.join(format!("{CHECKPOINT_FILE}.tmp"));
+    std::fs::write(&tmp, json).map_err(|e| failed(format!("write temp file: {e}")))?;
+    std::fs::rename(&tmp, &path).map_err(|e| failed(format!("rename into place: {e}")))?;
+    Ok(path)
+}
+
+/// Loads the checkpoint from `dir` if one exists, validating the format
+/// version and the seed stamp against `expected_seed`.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Checkpoint`] when the file exists but cannot
+/// be parsed, has a different version, or was produced by a different
+/// pipeline seed.
+pub fn load_checkpoint(
+    dir: &Path,
+    expected_seed: u64,
+) -> Result<Option<PipelineCheckpoint>, PipelineError> {
+    let path = dir.join(CHECKPOINT_FILE);
+    if !path.exists() {
+        return Ok(None);
+    }
+    let failed = |detail: String| PipelineError::Checkpoint {
+        path: path.clone(),
+        detail,
+    };
+    let json = std::fs::read_to_string(&path).map_err(|e| failed(format!("read: {e}")))?;
+    let ckpt: PipelineCheckpoint =
+        serde_json::from_str(&json).map_err(|e| failed(format!("parse: {e}")))?;
+    if ckpt.version != CHECKPOINT_VERSION {
+        return Err(failed(format!(
+            "version {} but this binary writes {CHECKPOINT_VERSION}",
+            ckpt.version
+        )));
+    }
+    if ckpt.seed != expected_seed {
+        return Err(failed(format!(
+            "stamped with seed {} but the pipeline runs seed {expected_seed}",
+            ckpt.seed
+        )));
+    }
+    Ok(Some(ckpt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocktail_rl::ppo::{PpoConfig, PpoSession};
+
+    #[test]
+    fn monitor_flags_non_finite_and_collapse() {
+        let mut m = DivergenceMonitor::new(Some(1.0));
+        assert!(m.observe(-5.0).is_none());
+        assert!(m.observe(-4.0).is_none());
+        assert!(m.observe(f64::NAN).is_some());
+        assert!(m.observe(-5.5).is_some(), "drop of 1.5 beyond best -4");
+        assert!(m.observe(-4.5).is_none(), "drop of 0.5 is tolerated");
+        // diverged observations must not move `best`
+        assert!(m.observe(-4.0).is_none());
+    }
+
+    #[test]
+    fn monitor_without_collapse_only_checks_finiteness() {
+        let mut m = DivergenceMonitor::new(None);
+        assert!(m.observe(100.0).is_none());
+        assert!(m.observe(-1.0e9).is_none());
+        assert!(m.observe(f64::INFINITY).is_some());
+    }
+
+    #[test]
+    fn monitor_rewind_restores_best_from_history() {
+        let mut m = DivergenceMonitor::new(Some(0.5));
+        m.rewind_to([-3.0, -2.0, f64::NAN, -4.0]);
+        assert!(m.observe(-2.4).is_none());
+        assert!(m.observe(-2.6).is_some(), "best is -2.0 from history");
+    }
+
+    #[test]
+    fn checkpoint_file_round_trip_and_validation() {
+        let dir = std::env::temp_dir().join(format!(
+            "cocktail-supervisor-test-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let session = PpoSession::new(
+            &PpoConfig {
+                iterations: 1,
+                episodes_per_iteration: 1,
+                hidden: 4,
+                seed: 5,
+                ..Default::default()
+            },
+            1,
+            1,
+        );
+        let ckpt = PipelineCheckpoint::new(
+            5,
+            StageCheckpoint::Mixing {
+                ppo: session.checkpoint(),
+            },
+        );
+        let path = save_checkpoint(&dir, &ckpt).expect("save");
+        assert!(path.ends_with(CHECKPOINT_FILE));
+        let back = load_checkpoint(&dir, 5).expect("load").expect("present");
+        assert_eq!(back, ckpt);
+        assert_eq!(back.stage.stage_name(), "ppo-mixing");
+
+        // wrong seed → typed error, not a silent wrong resume
+        let err = load_checkpoint(&dir, 6).expect_err("seed mismatch");
+        assert!(matches!(err, PipelineError::Checkpoint { .. }));
+        assert!(err.to_string().contains("seed"));
+
+        // empty dir → clean None
+        let empty = dir.join("nothing-here");
+        assert!(load_checkpoint(&empty, 5).expect("no file is ok").is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = PipelineError::PreflightDenied {
+            stage: "pre-flight".into(),
+            summary: "1 error".into(),
+        };
+        assert!(e.to_string().contains("pre-flight analysis failed"));
+        let d = PipelineError::Diverged {
+            stage: "robust-distill".into(),
+            attempts: 4,
+            detail: "non-finite unit metric NaN".into(),
+        };
+        assert!(d.to_string().contains("after 4 attempt(s)"));
+    }
+}

@@ -9,7 +9,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Distillation hyperparameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DistillConfig {
     /// Training epochs over the dataset.
     pub epochs: usize,
@@ -120,28 +120,165 @@ pub fn direct_distill(data: &TeacherDataset, config: &DistillConfig) -> NnContro
 ///
 /// Panics if the dataset is empty or configured bounds mismatch.
 pub fn robust_distill(data: &TeacherDataset, config: &DistillConfig) -> NnController {
-    let mut net = student_arch(data, config);
-    let bound = resolve_fgsm_bound(data, config);
-    let mut rng = cocktail_math::rng::seeded(config.seed.wrapping_add(17));
-    let mut opt = Adam::new(config.learning_rate);
-    let mut grads = GradStore::zeros_like(&net);
-    let mut order: Vec<usize> = (0..data.len()).collect();
-    let batch = config.batch_size.max(1).min(data.len());
-    let in_dim = data.state_dim();
-    let out_dim = data.control_dim();
-    let mut cache = BatchCache::new();
-    let mut fgsm_cache = BatchCache::new();
+    let mut session = RobustDistillSession::new(data, config);
+    while !session.is_complete() {
+        session.step_epoch(data);
+    }
+    session.finish()
+}
 
-    for _ in 0..config.epochs.max(1) {
-        order.shuffle(&mut rng);
-        for chunk in order.chunks(batch) {
+/// A serializable snapshot of an in-flight robust distillation.
+///
+/// Captures the student net, optimizer moments, the exact RNG stream
+/// position **and the shuffled sample order** (the permutation carries
+/// across epochs), so [`RobustDistillSession::from_checkpoint`] resumes
+/// bit-for-bit. The dataset itself is *not* stored — it is a pure function
+/// of the pipeline seed and is regenerated on resume. Construct via
+/// [`RobustDistillSession::checkpoint`]; the fields are deliberately opaque.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistillCheckpoint {
+    config: DistillConfig,
+    net: cocktail_nn::Mlp,
+    bound: Vec<f64>,
+    opt: Adam,
+    /// xoshiro256** words of the shuffle/FGSM RNG (length 4; a `Vec`
+    /// because the vendored serde shim does not serialize arrays).
+    rng_state: Vec<u64>,
+    order: Vec<usize>,
+    epoch: usize,
+}
+
+/// Resumable, checkpointable robust distillation.
+///
+/// [`robust_distill`] is a thin loop over this type, so driving a session
+/// manually (checkpointing between epochs) yields bit-identical students.
+pub struct RobustDistillSession {
+    config: DistillConfig,
+    net: cocktail_nn::Mlp,
+    bound: Vec<f64>,
+    opt: Adam,
+    rng: rand::rngs::StdRng,
+    order: Vec<usize>,
+    epoch: usize,
+}
+
+impl RobustDistillSession {
+    /// Starts a fresh session with a newly-initialized student.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or configured bounds mismatch.
+    pub fn new(data: &TeacherDataset, config: &DistillConfig) -> Self {
+        Self {
+            config: config.clone(),
+            net: student_arch(data, config),
+            bound: resolve_fgsm_bound(data, config),
+            opt: Adam::new(config.learning_rate),
+            rng: cocktail_math::rng::seeded(config.seed.wrapping_add(17)),
+            order: (0..data.len()).collect(),
+            epoch: 0,
+        }
+    }
+
+    /// Restores a session from a checkpoint, resuming the exact RNG stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's RNG state does not have exactly 4 words.
+    pub fn from_checkpoint(ckpt: DistillCheckpoint) -> Self {
+        assert_eq!(
+            ckpt.rng_state.len(),
+            4,
+            "distill checkpoint RNG state must have 4 words"
+        );
+        let words = [
+            ckpt.rng_state[0],
+            ckpt.rng_state[1],
+            ckpt.rng_state[2],
+            ckpt.rng_state[3],
+        ];
+        Self {
+            config: ckpt.config,
+            net: ckpt.net,
+            bound: ckpt.bound,
+            opt: ckpt.opt,
+            rng: rand::rngs::StdRng::from_state(words),
+            order: ckpt.order,
+            epoch: ckpt.epoch,
+        }
+    }
+
+    /// Snapshots the complete training state.
+    pub fn checkpoint(&self) -> DistillCheckpoint {
+        DistillCheckpoint {
+            config: self.config.clone(),
+            net: self.net.clone(),
+            bound: self.bound.clone(),
+            opt: self.opt.clone(),
+            rng_state: self.rng.state().to_vec(),
+            order: self.order.clone(),
+            epoch: self.epoch,
+        }
+    }
+
+    /// Epochs completed so far.
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// Whether all configured epochs have run.
+    pub fn is_complete(&self) -> bool {
+        self.epoch >= self.config.epochs.max(1)
+    }
+
+    /// Deterministically re-derives the shuffle/FGSM stream for divergence
+    /// retry `retry` (≥ 1).
+    pub fn reseed_for_retry(&mut self, retry: u64) {
+        self.rng = cocktail_math::rng::seeded(cocktail_math::parallel::task_seed(
+            self.config.seed.wrapping_add(17),
+            retry,
+        ));
+    }
+
+    /// Runs one epoch over `data` and returns the mean per-sample training
+    /// loss (MSE on the possibly-FGSM-perturbed inputs) — the signal the
+    /// pipeline supervisor watches for divergence. The loss is a pure
+    /// observation of values the update already computes, so enabling
+    /// supervision does not change a single weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session [`Self::is_complete`] or `data` does not have
+    /// the sample count the session was created with.
+    pub fn step_epoch(&mut self, data: &TeacherDataset) -> f64 {
+        assert!(!self.is_complete(), "distill session already complete");
+        assert_eq!(
+            data.len(),
+            self.order.len(),
+            "dataset size changed between resume and creation"
+        );
+        let config = &self.config;
+        let net = &mut self.net;
+        let mut grads = GradStore::zeros_like(net);
+        let batch = config.batch_size.max(1).min(data.len());
+        let in_dim = data.state_dim();
+        let out_dim = data.control_dim();
+        let mut cache = BatchCache::new();
+        let mut fgsm_cache = BatchCache::new();
+        let mut loss_sum = 0.0;
+
+        self.order.shuffle(&mut self.rng);
+        for chunk in self.order.chunks(batch) {
             grads.reset();
             let scale = 1.0 / chunk.len() as f64;
             // Algorithm 1 line 12-13: z ~ U[0,1] per sample, in chunk order
             // (the draws happen up front so the batched FGSM below leaves
             // the RNG stream identical to the historical per-sample loop);
             // a sample becomes adversarial iff z ≤ p.
-            let zs: Vec<f64> = chunk.iter().map(|_| rng.gen_range(0.0..=1.0)).collect();
+            let zs: Vec<f64> = chunk
+                .iter()
+                .map(|_| self.rng.gen_range(0.0..=1.0))
+                .collect();
             let adv_rows: Vec<usize> = (0..chunk.len())
                 .filter(|&r| zs[r] <= config.fgsm_prob)
                 .collect();
@@ -169,7 +306,7 @@ pub fn robust_distill(data: &TeacherDataset, config: &DistillConfig) -> NnContro
                 let g_in = net.input_gradient_batch(&fgsm_cache, &g_out);
                 for (rr, &r) in adv_rows.iter().enumerate() {
                     let dir = vector::sign(g_in.row(rr));
-                    for (xi, (d, b)) in x.row_mut(r).iter_mut().zip(dir.iter().zip(&bound)) {
+                    for (xi, (d, b)) in x.row_mut(r).iter_mut().zip(dir.iter().zip(&self.bound)) {
                         *xi += d * b;
                     }
                 }
@@ -179,19 +316,26 @@ pub fn robust_distill(data: &TeacherDataset, config: &DistillConfig) -> NnContro
             let mut g = Matrix::zeros(chunk.len(), out_dim);
             for (r, &i) in chunk.iter().enumerate() {
                 let u = &data.controls()[i];
+                loss_sum += loss::mse(cache.output().row(r), u);
                 g.row_mut(r)
                     .copy_from_slice(&loss::mse_gradient(cache.output().row(r), u));
             }
             net.backward_batch(&cache, &g, &mut grads, scale);
 
             if config.lambda > 0.0 {
-                grads.add_weight_decay(&net, config.lambda);
+                grads.add_weight_decay(net, config.lambda);
             }
             grads.clip_global_norm(10.0);
-            opt.step(&mut net, &grads);
+            self.opt.step(net, &grads);
         }
+        self.epoch += 1;
+        loss_sum / data.len() as f64
     }
-    NnController::unscaled(net, "kappa_star")
+
+    /// Finalizes the session into the robust student `κ*`.
+    pub fn finish(self) -> NnController {
+        NnController::unscaled(self.net, "kappa_star")
+    }
 }
 
 #[cfg(test)]
@@ -296,5 +440,59 @@ mod tests {
         let a = robust_distill(&data, &cfg);
         let b = robust_distill(&data, &cfg);
         assert_eq!(a.network(), b.network());
+    }
+
+    #[test]
+    fn checkpointed_session_resumes_bit_for_bit() {
+        let data = dataset();
+        let cfg = DistillConfig {
+            epochs: 20,
+            ..Default::default()
+        };
+        let uninterrupted = robust_distill(&data, &cfg);
+
+        // interrupt after 7 epochs, round-trip through JSON, resume
+        let mut first = RobustDistillSession::new(&data, &cfg);
+        for _ in 0..7 {
+            first.step_epoch(&data);
+        }
+        let json = serde_json::to_string(&first.checkpoint()).expect("checkpoint json");
+        drop(first);
+        let restored: DistillCheckpoint = serde_json::from_str(&json).expect("checkpoint back");
+        let mut resumed = RobustDistillSession::from_checkpoint(restored);
+        assert_eq!(resumed.epoch(), 7);
+        while !resumed.is_complete() {
+            resumed.step_epoch(&data);
+        }
+        assert_eq!(resumed.finish().network(), uninterrupted.network());
+    }
+
+    #[test]
+    fn epoch_loss_decreases_and_retry_reseed_diverges() {
+        let data = dataset();
+        let cfg = DistillConfig {
+            epochs: 40,
+            ..Default::default()
+        };
+        let mut session = RobustDistillSession::new(&data, &cfg);
+        let first = session.step_epoch(&data);
+        let mut last = first;
+        while !session.is_complete() {
+            last = session.step_epoch(&data);
+        }
+        assert!(last.is_finite() && last < first, "loss {first} -> {last}");
+
+        let run = |retry: Option<u64>| {
+            let mut s = RobustDistillSession::new(&data, &cfg);
+            if let Some(r) = retry {
+                s.reseed_for_retry(r);
+            }
+            for _ in 0..3 {
+                s.step_epoch(&data);
+            }
+            s.finish()
+        };
+        assert_ne!(run(Some(2)).network(), run(None).network());
+        assert_eq!(run(Some(2)).network(), run(Some(2)).network());
     }
 }

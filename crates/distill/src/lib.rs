@@ -38,4 +38,6 @@ pub mod distill;
 
 pub use attack::{fgsm_direction, pgd_perturbation, AttackModel, Perturbation};
 pub use dataset::TeacherDataset;
-pub use distill::{direct_distill, robust_distill, DistillConfig};
+pub use distill::{
+    direct_distill, robust_distill, DistillCheckpoint, DistillConfig, RobustDistillSession,
+};

@@ -55,6 +55,52 @@ impl Trajectory {
     }
 }
 
+/// Structured failure of a closed-loop simulation. Always-on: unlike a
+/// `debug_assert!`, these checks also protect release builds, where fault
+/// injection and buggy controllers are most likely to run.
+///
+/// Both variants only fire while the trajectory is still in-spec — after a
+/// safety violation (with `stop_on_violation` off) superlinear systems such
+/// as Poly3d legitimately diverge to infinity, which is not an error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RolloutError {
+    /// The controller returned a non-finite control from a finite
+    /// observation before any safety violation.
+    NonFiniteControl {
+        /// Step at which the control was produced.
+        step: usize,
+        /// The offending (clipped) control vector.
+        control: Vec<f64>,
+    },
+    /// The dynamics produced a non-finite state before any safety
+    /// violation.
+    NonFiniteState {
+        /// Step at which the state was produced.
+        step: usize,
+        /// The offending state vector.
+        state: Vec<f64>,
+    },
+}
+
+impl std::fmt::Display for RolloutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RolloutError::NonFiniteControl { step, control } => write!(
+                f,
+                "controller produced a non-finite control {control:?} at step {step} \
+                 from a finite observation"
+            ),
+            RolloutError::NonFiniteState { step, state } => write!(
+                f,
+                "dynamics produced a non-finite state {state:?} at step {step} \
+                 before any safety violation"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RolloutError {}
+
 /// Configuration for [`rollout`].
 #[derive(Debug, Clone)]
 pub struct RolloutConfig {
@@ -90,8 +136,10 @@ impl Default for RolloutConfig {
 ///
 /// # Panics
 ///
-/// Panics if `s0.len() != sys.state_dim()` or the controller returns a
-/// vector of the wrong dimension.
+/// Panics if `s0.len() != sys.state_dim()`, the controller returns a
+/// vector of the wrong dimension, or the closed loop produces non-finite
+/// numbers before the first safety violation (see [`try_rollout`] for the
+/// fallible variant used by fault-tolerant callers).
 ///
 /// # Examples
 ///
@@ -113,6 +161,38 @@ pub fn rollout(
     s0: &[f64],
     config: &RolloutConfig,
 ) -> Trajectory {
+    #[allow(
+        clippy::expect_used,
+        reason = "the panicking wrapper is the documented convenience API; \
+                  fallible callers use try_rollout"
+    )]
+    try_rollout(sys, controller, perturbation, s0, config)
+        .expect("rollout hit a non-finite control or state")
+}
+
+/// [`rollout`] with structured error reporting instead of a panic: a
+/// non-finite control (from a finite observation) or a non-finite state
+/// *before* the first safety violation aborts the simulation with a
+/// [`RolloutError`]. Post-violation divergence is still tolerated, since
+/// superlinear plants legitimately blow up once outside the safe region.
+///
+/// # Errors
+///
+/// Returns [`RolloutError`] when the closed loop produces non-finite
+/// numbers while the trajectory is still in-spec.
+///
+/// # Panics
+///
+/// Panics if `s0.len() != sys.state_dim()` or the controller returns a
+/// vector of the wrong dimension (those are caller bugs, not runtime
+/// faults).
+pub fn try_rollout(
+    sys: &dyn Dynamics,
+    controller: &mut dyn FnMut(&[f64]) -> Vec<f64>,
+    perturbation: &mut dyn FnMut(usize, &[f64]) -> Vec<f64>,
+    s0: &[f64],
+    config: &RolloutConfig,
+) -> Result<Trajectory, RolloutError> {
     assert_eq!(
         s0.len(),
         sys.state_dim(),
@@ -131,11 +211,11 @@ pub fn rollout(
     states.push(s0.to_vec());
 
     if first_violation.is_some() && config.stop_on_violation {
-        return Trajectory {
+        return Ok(Trajectory {
             states,
             controls,
             first_violation,
-        };
+        });
     }
 
     let mut s = s0.to_vec();
@@ -154,12 +234,15 @@ pub fn rollout(
         // after a violation (with stop_on_violation off) systems with
         // superlinear dynamics such as Poly3d legitimately diverge to
         // infinity within a few steps.
-        debug_assert!(
-            first_violation.is_some()
-                || !observed.iter().all(|v| v.is_finite())
-                || u.iter().all(|v| v.is_finite()),
-            "controller produced a non-finite control at step {t} from a finite observation"
-        );
+        if first_violation.is_none()
+            && observed.iter().all(|v| v.is_finite())
+            && !u.iter().all(|v| v.is_finite())
+        {
+            return Err(RolloutError::NonFiniteControl {
+                step: t,
+                control: u,
+            });
+        }
         let mut omega = disturbance.sample(&mut rng);
         omega.truncate(sys.disturbance_dim());
         if omega.len() < sys.disturbance_dim() {
@@ -174,17 +257,18 @@ pub fn rollout(
                 break;
             }
         }
-        debug_assert!(
-            first_violation.is_some() || s.iter().all(|v| v.is_finite()),
-            "dynamics produced a non-finite state at step {} before any safety violation",
-            t + 1
-        );
+        if first_violation.is_none() && !s.iter().all(|v| v.is_finite()) {
+            return Err(RolloutError::NonFiniteState {
+                step: t + 1,
+                state: s,
+            });
+        }
     }
-    Trajectory {
+    Ok(Trajectory {
         states,
         controls,
         first_violation,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -313,6 +397,70 @@ mod tests {
             },
         );
         assert!(traj.controls.iter().all(|u| u[0] == 20.0));
+    }
+
+    #[test]
+    fn nan_control_from_finite_observation_is_a_structured_error() {
+        let sys = VanDerPol::new();
+        let mut c = |_: &[f64]| vec![f64::NAN];
+        let mut p = zero_perturbation;
+        let err = try_rollout(&sys, &mut c, &mut p, &[0.5, 0.5], &RolloutConfig::default())
+            .expect_err("NaN control must be rejected");
+        match err {
+            RolloutError::NonFiniteControl { step, control } => {
+                assert_eq!(step, 0);
+                assert!(control[0].is_nan());
+            }
+            other => panic!("wrong error variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infinite_control_is_clipped_not_an_error() {
+        // +∞ clips into U_sup, so the loop stays finite and healthy
+        let sys = VanDerPol::new();
+        let mut c = |_: &[f64]| vec![f64::INFINITY];
+        let mut p = zero_perturbation;
+        let traj = try_rollout(
+            &sys,
+            &mut c,
+            &mut p,
+            &[0.0, 0.0],
+            &RolloutConfig {
+                horizon: Some(3),
+                ..Default::default()
+            },
+        )
+        .expect("clipped control is finite");
+        assert!(traj.controls.iter().all(|u| u[0] == 20.0));
+    }
+
+    #[test]
+    fn nan_control_from_nan_observation_is_tolerated() {
+        // a corrupted sensor (non-finite observation) excuses the
+        // controller; the NaN then surfaces as a state error or violation
+        let sys = VanDerPol::new();
+        let mut c = |s: &[f64]| vec![s[0]];
+        let mut p = |_t: usize, s: &[f64]| vec![f64::NAN; s.len()];
+        let result = try_rollout(&sys, &mut c, &mut p, &[0.5, 0.5], &RolloutConfig::default());
+        // the NaN control drives the state to NaN, which is_safe() rejects,
+        // so the run ends as a violation rather than an error
+        let traj = result.expect("NaN from NaN observation is not a controller bug");
+        assert!(!traj.is_safe());
+    }
+
+    #[test]
+    fn rollout_error_displays_step() {
+        let e = RolloutError::NonFiniteState {
+            step: 7,
+            state: vec![f64::NAN],
+        };
+        assert!(e.to_string().contains("step 7"));
+        let e = RolloutError::NonFiniteControl {
+            step: 3,
+            control: vec![f64::NAN],
+        };
+        assert!(e.to_string().contains("step 3"));
     }
 
     #[test]

@@ -60,5 +60,5 @@ pub mod reward;
 
 pub use ddpg::{DdpgConfig, DdpgTrainer};
 pub use mdp::{DirectControlMdp, EpisodeFactory, Mdp, MixingMdp, SwitchingMdp};
-pub use ppo::{PpoConfig, PpoTrainer, TrainedPolicy};
+pub use ppo::{PpoCheckpoint, PpoConfig, PpoSession, PpoTrainer, TrainedPolicy};
 pub use reward::RewardConfig;

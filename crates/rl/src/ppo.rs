@@ -19,7 +19,7 @@ use cocktail_nn::{loss, Activation, Adam, BatchCache, GradStore, Mlp, MlpBuilder
 use serde::{Deserialize, Serialize};
 
 /// PPO hyperparameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PpoConfig {
     /// Outer training iterations (the paper's epochs `N`).
     pub iterations: usize,
@@ -170,7 +170,8 @@ struct EpisodeData {
 
 /// Adam state for the bare `log σ` vector (the mean net uses the full
 /// [`Adam`] optimizer; this mirrors it for a plain parameter vector).
-#[derive(Debug, Clone)]
+/// Serializable so checkpoints capture the exploration-noise moments too.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct VecAdam {
     lr: f64,
     t: u64,
@@ -293,45 +294,15 @@ impl PpoTrainer {
     /// Panics if the factory's episodes disagree with the trainer's
     /// state/action dimensions.
     pub fn train_episodes_with_workers(
-        mut self,
+        self,
         factory: &dyn EpisodeFactory,
         workers: usize,
     ) -> TrainedPolicy {
-        {
-            let probe = factory.make_episode(0);
-            assert_eq!(
-                probe.state_dim(),
-                self.policy.mean_net.input_dim(),
-                "state dim mismatch"
-            );
-            assert_eq!(
-                probe.action_dim(),
-                self.policy.mean_net.output_dim(),
-                "action dim mismatch"
-            );
+        let mut session = PpoSession::from_trainer(self);
+        while !session.is_complete() {
+            session.step(factory, workers);
         }
-        let mut rng = cocktail_math::rng::seeded(self.config.seed.wrapping_add(2));
-        let mut policy_opt = Adam::new(self.config.policy_lr);
-        let mut value_opt = Adam::new(self.config.value_lr);
-        let mut log_std_opt = VecAdam::new(self.config.policy_lr, self.policy.log_std.len());
-        let mut history = Vec::with_capacity(self.config.iterations);
-
-        for iteration in 0..self.config.iterations {
-            let (samples, stats) = self.collect_parallel(factory, iteration, workers);
-            history.push(stats);
-            self.update(
-                &samples,
-                &mut policy_opt,
-                &mut value_opt,
-                &mut log_std_opt,
-                &mut rng,
-            );
-        }
-        TrainedPolicy {
-            policy: self.policy,
-            value: self.value,
-            history,
-        }
+        session.finish()
     }
 
     /// Rolls out one episode with the current stochastic policy. The RNG
@@ -440,14 +411,21 @@ impl PpoTrainer {
     /// Collects one iteration's episodes in parallel: episode `e` of
     /// iteration `iteration` gets a fresh MDP and a fresh action RNG, both
     /// seeded from the global episode index, so the result is bit-identical
-    /// for any `workers` count.
+    /// for any `workers` count. `salt = 0` reproduces the historical seed
+    /// schedule exactly; a non-zero salt (divergence retries) deterministically
+    /// re-derives every episode seed.
     fn collect_parallel(
         &self,
         factory: &dyn EpisodeFactory,
         iteration: usize,
         workers: usize,
+        salt: u64,
     ) -> (Vec<Sample>, IterationStats) {
-        let base = self.config.seed.wrapping_add(3);
+        let base = if salt == 0 {
+            self.config.seed.wrapping_add(3)
+        } else {
+            parallel::task_seed(self.config.seed.wrapping_add(3), salt)
+        };
         let episodes =
             parallel::map_range_with_workers(self.config.episodes_per_iteration, workers, |e| {
                 let g = (iteration * self.config.episodes_per_iteration + e) as u64;
@@ -568,6 +546,204 @@ impl PpoTrainer {
                 }
                 value_opt.step(&mut self.value, &value_grads);
             }
+        }
+    }
+}
+
+/// A serializable snapshot of an in-flight PPO training run.
+///
+/// Captures networks, optimizer moments, the exact update-RNG stream
+/// position and the iteration counter, so
+/// [`PpoSession::from_checkpoint`] resumes *bit-for-bit*: a run
+/// interrupted and resumed mid-training produces the same final policy,
+/// value net and history as the uninterrupted run. Construct via
+/// [`PpoSession::checkpoint`]; the fields are deliberately opaque.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PpoCheckpoint {
+    config: PpoConfig,
+    policy: GaussianPolicy,
+    value: Mlp,
+    policy_opt: Adam,
+    value_opt: Adam,
+    log_std_opt: VecAdam,
+    /// xoshiro256** words of the update RNG (length 4; a `Vec` because the
+    /// vendored serde shim does not serialize fixed-size arrays).
+    rng_state: Vec<u64>,
+    iteration: usize,
+    history: Vec<IterationStats>,
+    collect_salt: u64,
+}
+
+/// Resumable, checkpointable PPO training.
+///
+/// [`PpoTrainer::train_episodes_with_workers`] is a thin loop over this
+/// type, so driving a session manually yields bit-identical numbers:
+///
+/// ```text
+/// let mut session = PpoSession::new(&config, state_dim, action_dim);
+/// while !session.is_complete() {
+///     session.step(&factory, workers);
+///     save(session.checkpoint());      // kill-safe from here
+/// }
+/// let trained = session.finish();
+/// ```
+pub struct PpoSession {
+    trainer: PpoTrainer,
+    policy_opt: Adam,
+    value_opt: Adam,
+    log_std_opt: VecAdam,
+    rng: rand::rngs::StdRng,
+    iteration: usize,
+    history: Vec<IterationStats>,
+    /// Salts the episode-collection seed schedule; 0 is the historical
+    /// schedule, a divergence retry bumps it to re-derive fresh episodes.
+    collect_salt: u64,
+}
+
+impl PpoSession {
+    /// Starts a fresh session with newly-initialized networks.
+    pub fn new(config: &PpoConfig, state_dim: usize, action_dim: usize) -> Self {
+        Self::from_trainer(PpoTrainer::new(config, state_dim, action_dim))
+    }
+
+    /// Wraps an existing trainer (same optimizer/RNG setup as
+    /// [`PpoTrainer::train_episodes_with_workers`]).
+    pub fn from_trainer(trainer: PpoTrainer) -> Self {
+        let rng = cocktail_math::rng::seeded(trainer.config.seed.wrapping_add(2));
+        let policy_opt = Adam::new(trainer.config.policy_lr);
+        let value_opt = Adam::new(trainer.config.value_lr);
+        let log_std_opt = VecAdam::new(trainer.config.policy_lr, trainer.policy.log_std.len());
+        Self {
+            trainer,
+            policy_opt,
+            value_opt,
+            log_std_opt,
+            rng,
+            iteration: 0,
+            history: Vec::new(),
+            collect_salt: 0,
+        }
+    }
+
+    /// Restores a session from a checkpoint, resuming the exact RNG stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's RNG state does not have exactly 4 words
+    /// (a corrupted or hand-edited snapshot).
+    pub fn from_checkpoint(ckpt: PpoCheckpoint) -> Self {
+        assert_eq!(
+            ckpt.rng_state.len(),
+            4,
+            "PPO checkpoint RNG state must have 4 words"
+        );
+        let words = [
+            ckpt.rng_state[0],
+            ckpt.rng_state[1],
+            ckpt.rng_state[2],
+            ckpt.rng_state[3],
+        ];
+        Self {
+            trainer: PpoTrainer {
+                config: ckpt.config,
+                policy: ckpt.policy,
+                value: ckpt.value,
+            },
+            policy_opt: ckpt.policy_opt,
+            value_opt: ckpt.value_opt,
+            log_std_opt: ckpt.log_std_opt,
+            rng: rand::rngs::StdRng::from_state(words),
+            iteration: ckpt.iteration,
+            history: ckpt.history,
+            collect_salt: ckpt.collect_salt,
+        }
+    }
+
+    /// Snapshots the complete training state.
+    pub fn checkpoint(&self) -> PpoCheckpoint {
+        PpoCheckpoint {
+            config: self.trainer.config.clone(),
+            policy: self.trainer.policy.clone(),
+            value: self.trainer.value.clone(),
+            policy_opt: self.policy_opt.clone(),
+            value_opt: self.value_opt.clone(),
+            log_std_opt: self.log_std_opt.clone(),
+            rng_state: self.rng.state().to_vec(),
+            iteration: self.iteration,
+            history: self.history.clone(),
+            collect_salt: self.collect_salt,
+        }
+    }
+
+    /// Iterations completed so far.
+    pub fn iteration(&self) -> usize {
+        self.iteration
+    }
+
+    /// Whether all configured iterations have run.
+    pub fn is_complete(&self) -> bool {
+        self.iteration >= self.trainer.config.iterations
+    }
+
+    /// Per-iteration statistics so far, oldest first.
+    pub fn history(&self) -> &[IterationStats] {
+        &self.history
+    }
+
+    /// Deterministically re-derives the exploration streams for divergence
+    /// retry `retry` (≥ 1): both the episode seed schedule and the update
+    /// RNG change, so the retried run explores differently while remaining
+    /// a pure function of `(config, retry)`.
+    pub fn reseed_for_retry(&mut self, retry: u64) {
+        self.collect_salt = retry;
+        self.rng = cocktail_math::rng::seeded(parallel::task_seed(
+            self.trainer.config.seed.wrapping_add(2),
+            retry,
+        ));
+    }
+
+    /// Runs one training iteration (collect + update) and returns its stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session [`Self::is_complete`] or the factory's episodes
+    /// disagree with the trainer's state/action dimensions.
+    pub fn step(&mut self, factory: &dyn EpisodeFactory, workers: usize) -> IterationStats {
+        assert!(!self.is_complete(), "PPO session already complete");
+        {
+            let probe = factory.make_episode(0);
+            assert_eq!(
+                probe.state_dim(),
+                self.trainer.policy.mean_net.input_dim(),
+                "state dim mismatch"
+            );
+            assert_eq!(
+                probe.action_dim(),
+                self.trainer.policy.mean_net.output_dim(),
+                "action dim mismatch"
+            );
+        }
+        let (samples, stats) =
+            self.trainer
+                .collect_parallel(factory, self.iteration, workers, self.collect_salt);
+        self.history.push(stats);
+        self.trainer.update(
+            &samples,
+            &mut self.policy_opt,
+            &mut self.value_opt,
+            &mut self.log_std_opt,
+            &mut self.rng,
+        );
+        self.iteration += 1;
+        stats
+    }
+
+    /// Finalizes the session into the trained policy.
+    pub fn finish(self) -> TrainedPolicy {
+        TrainedPolicy {
+            policy: self.trainer.policy,
+            value: self.trainer.value,
+            history: self.history,
         }
     }
 }
@@ -702,6 +878,72 @@ mod tests {
             assert_eq!(reference.policy, got.policy, "workers = {workers}");
             assert_eq!(reference.history, got.history, "workers = {workers}");
         }
+    }
+
+    #[test]
+    fn checkpointed_session_resumes_bit_for_bit() {
+        let config = PpoConfig {
+            iterations: 4,
+            episodes_per_iteration: 4,
+            hidden: 8,
+            seed: 13,
+            ..Default::default()
+        };
+        let factory = |_seed: u64| -> Box<dyn Mdp> { Box::new(PointMdp { x: 0.0, t: 0 }) };
+
+        let uninterrupted = PpoTrainer::new(&config, 1, 1).train_episodes_with_workers(&factory, 2);
+
+        // interrupt after 2 iterations, round-trip the checkpoint through
+        // JSON (the on-disk format), resume in a fresh session
+        let mut first = PpoSession::new(&config, 1, 1);
+        first.step(&factory, 2);
+        first.step(&factory, 2);
+        let json = serde_json::to_string(&first.checkpoint()).expect("checkpoint json");
+        drop(first);
+        let restored: PpoCheckpoint = serde_json::from_str(&json).expect("checkpoint back");
+        let mut resumed = PpoSession::from_checkpoint(restored);
+        assert_eq!(resumed.iteration(), 2);
+        while !resumed.is_complete() {
+            resumed.step(&factory, 2);
+        }
+        let resumed = resumed.finish();
+
+        assert_eq!(resumed.policy, uninterrupted.policy);
+        assert_eq!(resumed.value, uninterrupted.value);
+        assert_eq!(resumed.history, uninterrupted.history);
+    }
+
+    #[test]
+    fn retry_reseed_changes_the_trajectory_deterministically() {
+        let config = PpoConfig {
+            iterations: 2,
+            episodes_per_iteration: 3,
+            hidden: 8,
+            seed: 21,
+            ..Default::default()
+        };
+        let factory = |_seed: u64| -> Box<dyn Mdp> { Box::new(PointMdp { x: 0.0, t: 0 }) };
+        let run = |retry: Option<u64>| {
+            let mut session = PpoSession::new(&config, 1, 1);
+            if let Some(r) = retry {
+                session.reseed_for_retry(r);
+            }
+            while !session.is_complete() {
+                session.step(&factory, 1);
+            }
+            session.finish()
+        };
+        let base = run(None);
+        let retried = run(Some(1));
+        let retried_again = run(Some(1));
+        assert_ne!(
+            base.policy, retried.policy,
+            "retry must explore differently"
+        );
+        assert_eq!(
+            retried.policy, retried_again.policy,
+            "retry must be deterministic"
+        );
     }
 
     #[test]

@@ -5,6 +5,11 @@
 //! ```text
 //! cargo run --release --example oscillator_pipeline
 //! ```
+//!
+//! Pass `--faults` to run the fault-injection drill instead: one expert
+//! is wrapped with a deterministic NaN fault and the mixed controller's
+//! graceful-degradation monitor quarantines it mid-flight, printing the
+//! degradation report.
 
 #![allow(
     clippy::expect_used,
@@ -25,6 +30,11 @@ fn main() {
         samples: 250,
         ..Default::default()
     };
+
+    if std::env::args().any(|a| a == "--faults") {
+        fault_drill(sys_id, &cfg);
+        return;
+    }
 
     // ---- stage 0: the reference laws behind the experts
     let (law1, law2) = reference_laws(sys_id);
@@ -133,4 +143,60 @@ fn main() {
         inv.duration,
         inv.iterations
     );
+}
+
+/// The `--faults` mode: inject a permanent NaN fault into one expert and
+/// show the degradation monitor quarantining it while the remaining
+/// experts keep the plant safe.
+fn fault_drill(sys_id: SystemId, cfg: &EvalConfig) {
+    use cocktail_control::{ConstantWeights, DegradationConfig, FaultyExpert, MixedController};
+    use cocktail_core::report::render_degradation_events;
+    use cocktail_env::fault::{FaultKind, FaultPlan};
+    use std::sync::Arc;
+
+    let sys = sys_id.dynamics();
+    let experts = cloned_experts(sys_id, 0);
+    let (u_lo, u_hi) = sys.control_bounds();
+    let weights = Arc::new(ConstantWeights(vec![0.5; experts.len()]));
+
+    let healthy =
+        MixedController::new(experts.clone(), weights.clone(), u_lo.clone(), u_hi.clone());
+    let healthy_eval = evaluate(sys.as_ref(), &healthy, cfg);
+    println!(
+        "all-healthy mixture: S_r {:.1}%",
+        healthy_eval.safe_rate_percent()
+    );
+
+    // expert 0 turns into a NaN source partway through every episode
+    let plan = FaultPlan::window(FaultKind::NanOutput, 10, None);
+    let mut faulted = experts.clone();
+    faulted[0] = Arc::new(FaultyExpert::new(experts[0].clone(), plan, 0));
+    println!(
+        "injecting: {} emits NaN from step 10 onwards",
+        faulted[0].name()
+    );
+
+    let unguarded =
+        MixedController::new(faulted.clone(), weights.clone(), u_lo.clone(), u_hi.clone());
+    let unguarded_eval = evaluate(sys.as_ref(), &unguarded, cfg);
+    println!(
+        "without quarantine:  S_r {:.1}% (NaN controls abort the rollout)",
+        unguarded_eval.safe_rate_percent()
+    );
+
+    let guarded = MixedController::new(faulted, weights, u_lo, u_hi)
+        .with_degradation(DegradationConfig::default());
+    let guarded_eval = evaluate(sys.as_ref(), &guarded, cfg);
+    println!(
+        "with quarantine:     S_r {:.1}%",
+        guarded_eval.safe_rate_percent()
+    );
+
+    let events = guarded.take_degradation_events();
+    println!(
+        "\ndegradation report ({} events, first 10 shown):",
+        events.len()
+    );
+    let shown: Vec<_> = events.iter().take(10).cloned().collect();
+    print!("{}", render_degradation_events(&shown));
 }
