@@ -1,12 +1,13 @@
 //! Perf harness: measures the batched/parallel kernels and writes the
-//! machine-readable baseline (`BENCH_pr2.json`).
+//! machine-readable baseline (`BENCH_pr4.json`).
 //!
 //! ```text
 //! cargo run --release -p cocktail-bench --bin perf [-- <output-path>]
 //! ```
 //!
 //! Set `COCKTAIL_FAST=1` for a reduced smoke run (CI). The written file is
-//! read back and schema-validated before the process exits.
+//! read back, schema-validated and gated on timing spread (< 30% across
+//! repeats) before the process exits.
 
 #![allow(
     clippy::expect_used,
@@ -14,12 +15,16 @@
     reason = "perf harness aborts on failure by design"
 )]
 
-use cocktail_bench::perf::{run, validate, PerfConfig, PerfReport};
+use cocktail_bench::perf::{check_spread, run, validate, Measurement, PerfConfig, PerfReport};
+
+fn fmt(m: Measurement) -> String {
+    format!("{:.0} ±{:.1}%", m.median, 100.0 * m.spread)
+}
 
 fn main() {
     let out = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_pr2.json".to_string());
+        .unwrap_or_else(|| "BENCH_pr4.json".to_string());
     let fast = std::env::var("COCKTAIL_FAST").is_ok_and(|v| v == "1");
     let config = if fast {
         PerfConfig::fast()
@@ -27,8 +32,8 @@ fn main() {
         PerfConfig::full()
     };
     eprintln!(
-        "perf: forward_reps={} rollout_episodes={} (fast={fast})",
-        config.forward_reps, config.rollout_episodes
+        "perf: forward_reps={} rollout_episodes={} distill_epochs={} repeats={} (fast={fast})",
+        config.forward_reps, config.rollout_episodes, config.distill_epochs, config.repeats
     );
 
     let report = run(&config);
@@ -40,29 +45,36 @@ fn main() {
         serde_json::from_str(&std::fs::read_to_string(&out).expect("baseline readable"))
             .expect("baseline deserializes");
     validate(&parsed).expect("baseline validates");
+    check_spread(&parsed, 0.30).expect("timing spread stays under 30%");
 
     println!(
-        "forward  {:>12.0} samples/s per-sample | {:>12.0} samples/s batched ({:.2}x)",
-        report.forward.per_sample_samples_per_sec,
-        report.forward.batched_samples_per_sec,
+        "forward  {:>18} samples/s per-sample | {:>18} samples/s batched ({:.2}x)",
+        fmt(report.forward.per_sample_samples_per_sec),
+        fmt(report.forward.batched_samples_per_sec),
         report.forward.speedup
     );
     println!(
-        "train    {:>12.0} samples/s per-sample | {:>12.0} samples/s batched ({:.2}x)",
-        report.train_step.per_sample_samples_per_sec,
-        report.train_step.batched_samples_per_sec,
+        "train    {:>18} samples/s per-sample | {:>18} samples/s batched ({:.2}x)",
+        fmt(report.train_step.per_sample_samples_per_sec),
+        fmt(report.train_step.batched_samples_per_sec),
         report.train_step.speedup
     );
     println!(
-        "rollout  {:>12.1} ep/s serial      | {:>12.1} ep/s x{} workers ({:.2}x)",
-        report.rollout.serial_episodes_per_sec,
-        report.rollout.parallel_episodes_per_sec,
+        "rollout  {:>18} ep/s serial      | {:>18} ep/s x{} workers ({:.2}x)",
+        fmt(report.rollout.serial_episodes_per_sec),
+        fmt(report.rollout.parallel_episodes_per_sec),
         report.rollout.workers,
         report.rollout.speedup
     );
     println!(
-        "pipeline {:>12.0} ms smoke end-to-end",
-        report.end_to_end.wall_ms
+        "pipeline {:>18} ms smoke end-to-end",
+        fmt(report.end_to_end.wall_ms)
+    );
+    println!(
+        "telemetry {:>17} ep/s null sink   | {:>18} ep/s recording ({:.2}x)",
+        fmt(report.telemetry.null_epochs_per_sec),
+        fmt(report.telemetry.recording_epochs_per_sec),
+        report.telemetry.overhead_ratio
     );
     println!("[artifact] {out}");
 }

@@ -7,6 +7,7 @@ use crate::degradation::{
 };
 use cocktail_math::{vector, BoxRegion};
 use cocktail_nn::Mlp;
+use cocktail_obs::{Event, NullSink, Telemetry};
 use std::sync::Arc;
 
 /// Produces the per-expert weight vector `a(s) ∈ [-A_B, A_B]ⁿ` for a state.
@@ -112,6 +113,7 @@ pub struct MixedController {
     u_sup: Vec<f64>,
     label: String,
     monitor: Option<DegradationMonitor>,
+    tel: Arc<dyn Telemetry>,
 }
 
 impl MixedController {
@@ -166,7 +168,24 @@ impl MixedController {
             u_sup,
             label: label.into(),
             monitor: None,
+            tel: Arc::new(NullSink),
         }
+    }
+
+    /// Attaches a telemetry sink: every quarantine fires a
+    /// `quarantine.events` counter and a `quarantine.fired` point naming
+    /// the expert and reason.
+    ///
+    /// Only attach a sink to controllers driven *sequentially* (an
+    /// interactive drill, a single rollout). Controllers shared across
+    /// parallel evaluation workers must stay on the default [`NullSink`]
+    /// and report via the drained [`Self::degradation_events`] log instead,
+    /// or the event stream becomes scheduling-dependent (see the
+    /// `cocktail_obs` determinism contract).
+    #[must_use]
+    pub fn with_telemetry(mut self, tel: Arc<dyn Telemetry>) -> Self {
+        self.tel = tel;
+        self
     }
 
     /// Enables graceful degradation: at control time each expert's output is
@@ -249,6 +268,20 @@ impl MixedController {
                     })
             };
             if let Some(reason) = offense {
+                if self.tel.enabled() {
+                    self.tel.counter("quarantine.events", 1);
+                    let reason_label = match reason {
+                        DegradationReason::NonFinite => "non-finite",
+                        DegradationReason::OutOfRange { .. } => "out-of-range",
+                    };
+                    self.tel.record(
+                        Event::point("quarantine.fired")
+                            .with("call", call)
+                            .with("expert", i)
+                            .with("expert_name", expert.name())
+                            .with("reason", reason_label),
+                    );
+                }
                 monitor.quarantine(call, i, expert.name(), reason);
             } else {
                 healthy.push((*ai, out));
@@ -529,6 +562,35 @@ mod tests {
             DegradationReason::OutOfRange { value, bound } if value == -1.0e6 && bound == -60.0
         ));
         assert!(mixed.degradation_events().is_empty()); // drained
+    }
+
+    #[test]
+    fn quarantine_reports_through_telemetry() {
+        let sink = Arc::new(cocktail_obs::InMemorySink::new());
+        let mut experts = experts();
+        experts.push(Arc::new(NanExpert));
+        let mixed = MixedController::new(
+            experts,
+            Arc::new(ConstantWeights(vec![1.0, 1.0, 1.0])),
+            vec![-20.0],
+            vec![20.0],
+        )
+        .with_degradation(DegradationConfig {
+            margin_factor: 1.0,
+            cooldown: 100,
+        })
+        .with_telemetry(sink.clone());
+        mixed.control(&[1.0, 2.0]);
+        mixed.control(&[1.0, 2.0]); // quarantined: no fresh offense
+        assert_eq!(sink.counter_total("quarantine.events"), 1);
+        let fired: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter(|e| e.name == "quarantine.fired")
+            .collect();
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].field("expert"), Some(&2usize.into()));
+        assert_eq!(fired[0].field("reason"), Some(&"non-finite".into()));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use cocktail_control::Controller;
 use cocktail_distill::AttackModel;
 use cocktail_env::{rollout, try_rollout, Dynamics, RolloutConfig};
+use cocktail_obs::{Event, NullSink, Span, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a sampling-based evaluation run.
@@ -35,7 +36,7 @@ impl Default for EvalConfig {
 /// Mirrors Table I/II rows: `safe_rate` is the paper's `S_r` and
 /// `mean_energy` its `e` (Eq. 3, averaged over the trajectories that stay
 /// inside the safe region for the entire horizon).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Evaluation {
     /// Fraction of sampled initial states whose trajectory stays safe.
     pub safe_rate: f64,
@@ -54,24 +55,74 @@ impl Evaluation {
     }
 }
 
-/// Simulates sample `i` of an evaluation run; returns `Some(energy)` when
-/// the trajectory stays safe. Initial states are drawn from a single
-/// sequential stream computed up-front so the parallel and sequential
-/// paths are bit-identical.
+// Hand-written rather than derived: `mean_energy` is documented NaN when
+// no trajectory is safe, and upstream serde_json flattens a NaN f64 to
+// `null`, which the derived Deserialize then rejects — a saved report
+// with a zero-safe row would not round-trip. NaN is therefore encoded
+// *as* `null` on purpose (strict-JSON friendly) and decoded back to NaN.
+impl Serialize for Evaluation {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("safe_rate".to_string(), self.safe_rate.to_value()),
+            (
+                "mean_energy".to_string(),
+                if self.mean_energy.is_nan() {
+                    serde::Value::Null
+                } else {
+                    self.mean_energy.to_value()
+                },
+            ),
+            ("safe_count".to_string(), self.safe_count.to_value()),
+            ("samples".to_string(), self.samples.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Evaluation {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let fields = v
+            .as_map()
+            .ok_or_else(|| serde::DeError::custom("Evaluation: expected a map"))?;
+        let mean_energy = match serde::__field(fields, "mean_energy")? {
+            serde::Value::Null => f64::NAN,
+            other => f64::from_value(other)?,
+        };
+        Ok(Self {
+            safe_rate: f64::from_value(serde::__field(fields, "safe_rate")?)?,
+            mean_energy,
+            safe_count: usize::from_value(serde::__field(fields, "safe_count")?)?,
+            samples: usize::from_value(serde::__field(fields, "samples")?)?,
+        })
+    }
+}
+
+/// Per-sample outcome of [`evaluate_one`]: safe (with its energy), unsafe,
+/// or aborted on non-finite numbers. The distinction lets the parallel
+/// evaluation merge per-worker counters deterministically after the join.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SampleOutcome {
+    Safe(f64),
+    Unsafe,
+    Aborted,
+}
+
+/// Simulates sample `i` of an evaluation run. Initial states are drawn
+/// from a single sequential stream computed up-front so the parallel and
+/// sequential paths are bit-identical.
 fn evaluate_one(
     sys: &dyn Dynamics,
     controller: &dyn Controller,
     config: &EvalConfig,
     s0: &[f64],
     i: usize,
-) -> Option<f64> {
+) -> SampleOutcome {
     let mut control_fn = |s: &[f64]| controller.control(s);
     let mut perturb = config
         .attack
         .perturbation(controller, config.seed ^ (i as u64) << 1);
     // a controller that emits NaN/Inf (e.g. a faulted expert without
     // quarantine) counts as unsafe rather than poisoning the aggregate
-    let traj = try_rollout(
+    match try_rollout(
         sys,
         &mut control_fn,
         &mut perturb,
@@ -81,9 +132,11 @@ fn evaluate_one(
             seed: config.seed.wrapping_add(1).wrapping_add(i as u64),
             ..Default::default()
         },
-    )
-    .ok()?;
-    traj.is_safe().then(|| traj.energy())
+    ) {
+        Ok(traj) if traj.is_safe() => SampleOutcome::Safe(traj.energy()),
+        Ok(_) => SampleOutcome::Unsafe,
+        Err(_) => SampleOutcome::Aborted,
+    }
 }
 
 /// Estimates the safe control rate and control energy of a controller by
@@ -122,6 +175,31 @@ pub fn evaluate_with_workers(
     config: &EvalConfig,
     workers: usize,
 ) -> Evaluation {
+    evaluate_with_telemetry(sys, controller, config, workers, &NullSink)
+}
+
+/// [`evaluate_with_workers`] with telemetry: opens an `evaluate` span named
+/// after the controller and reports `eval.samples`, `eval.safe`,
+/// `rollout.unsafe` and `rollout.nan_detected` counters plus an
+/// `eval.result` point.
+///
+/// The rollouts themselves run inside parallel workers, which must not
+/// touch the sink (the event stream would become scheduling-dependent);
+/// each sample instead reports a [`SampleOutcome`] and the counters are
+/// merged in sample order after the join, so the stream is bit-identical
+/// for every worker count.
+///
+/// # Panics
+///
+/// Panics if `config.samples == 0` or the controller's dimensions disagree
+/// with the plant.
+pub fn evaluate_with_telemetry(
+    sys: &dyn Dynamics,
+    controller: &dyn Controller,
+    config: &EvalConfig,
+    workers: usize,
+    tel: &dyn Telemetry,
+) -> Evaluation {
     assert!(config.samples > 0, "evaluation needs at least one sample");
     assert_eq!(
         controller.state_dim(),
@@ -133,6 +211,11 @@ pub fn evaluate_with_workers(
         sys.control_dim(),
         "controller control dim mismatch"
     );
+    let _span = Span::enter_with(
+        tel,
+        "evaluate",
+        vec![("controller".to_string(), controller.name().into())],
+    );
     let x0 = sys.initial_set();
     // draw all initial states from one sequential stream (determinism)
     let mut rng = cocktail_math::rng::seeded(config.seed);
@@ -140,14 +223,20 @@ pub fn evaluate_with_workers(
         .map(|_| cocktail_math::rng::uniform_in_box(&mut rng, &x0))
         .collect();
 
-    let results: Vec<Option<f64>> =
+    let results: Vec<SampleOutcome> =
         cocktail_math::parallel::map_indexed_with_workers(&starts, workers, |i, s0| {
             evaluate_one(sys, controller, config, s0, i)
         });
 
-    let energies: Vec<f64> = results.iter().filter_map(|r| *r).collect();
+    let energies: Vec<f64> = results
+        .iter()
+        .filter_map(|r| match r {
+            SampleOutcome::Safe(e) => Some(*e),
+            _ => None,
+        })
+        .collect();
     let safe = energies.len();
-    Evaluation {
+    let evaluation = Evaluation {
         safe_rate: safe as f64 / config.samples as f64,
         mean_energy: if energies.is_empty() {
             f64::NAN
@@ -156,7 +245,29 @@ pub fn evaluate_with_workers(
         },
         safe_count: safe,
         samples: config.samples,
+    };
+    if tel.enabled() {
+        // post-join merge, in sample order: deterministic for any worker count
+        let aborted = results
+            .iter()
+            .filter(|r| matches!(r, SampleOutcome::Aborted))
+            .count() as u64;
+        let unsafe_count = results
+            .iter()
+            .filter(|r| matches!(r, SampleOutcome::Unsafe))
+            .count() as u64;
+        tel.counter("eval.samples", config.samples as u64);
+        tel.counter("eval.safe", safe as u64);
+        tel.counter("rollout.unsafe", unsafe_count + aborted);
+        tel.counter("rollout.nan_detected", aborted);
+        tel.record(
+            Event::point("eval.result")
+                .with("controller", controller.name())
+                .with("safe_rate", evaluation.safe_rate)
+                .with("mean_energy", evaluation.mean_energy),
+        );
     }
+    evaluation
 }
 
 /// The control signal `u(t)` of one closed-loop run under a perturbation
@@ -311,5 +422,82 @@ mod tests {
             samples: 500,
         };
         assert!((e.safe_rate_percent() - 98.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_safe_evaluation_round_trips_as_strict_json() {
+        // an uncontrolled cartpole from a tilted pole never stays safe, so
+        // mean_energy is the documented NaN
+        let sys = cocktail_env::systems::CartPole::new();
+        let eval = evaluate(
+            &sys,
+            &cocktail_control::LinearFeedbackController::new(Matrix::from_rows(vec![vec![
+                0.0, 0.0, 0.0, 0.0,
+            ]])),
+            &EvalConfig {
+                samples: 20,
+                ..Default::default()
+            },
+        );
+        assert_eq!(eval.safe_count, 0, "cartpole must fall uncontrolled");
+        assert!(eval.mean_energy.is_nan());
+
+        let json = serde_json::to_string(&eval).expect("serialize");
+        assert!(
+            json.contains("\"mean_energy\":null"),
+            "NaN must encode as null, got {json}"
+        );
+        assert!(!json.contains("NaN"), "no bare NaN literal: {json}");
+        let back: Evaluation = serde_json::from_str(&json).expect("round-trip");
+        assert!(back.mean_energy.is_nan());
+        assert_eq!(back.safe_count, eval.safe_count);
+        assert_eq!(back.samples, eval.samples);
+        assert_eq!(back.safe_rate, eval.safe_rate);
+    }
+
+    #[test]
+    fn finite_evaluation_round_trips_bit_for_bit() {
+        let e = Evaluation {
+            safe_rate: 0.75,
+            mean_energy: 123.456,
+            safe_count: 15,
+            samples: 20,
+        };
+        let back: Evaluation = serde_json::from_str(&serde_json::to_string(&e).expect("serialize"))
+            .expect("round-trip");
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn telemetry_evaluation_merges_counters_deterministically() {
+        let sys = VanDerPol::new();
+        let cfg = EvalConfig {
+            samples: 40,
+            seed: 11,
+            ..Default::default()
+        };
+        let run = |workers: usize| {
+            let sink = cocktail_obs::InMemorySink::new();
+            let eval = evaluate_with_telemetry(&sys, &damped(), &cfg, workers, &sink);
+            (
+                eval,
+                sink.take()
+                    .into_iter()
+                    .map(cocktail_obs::Event::without_duration)
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let (reference_eval, reference_events) = run(1);
+        assert!(!reference_events.is_empty());
+        for workers in [2, 8] {
+            let (eval, events) = run(workers);
+            assert_eq!(eval, reference_eval, "workers = {workers}");
+            assert_eq!(events, reference_events, "workers = {workers}");
+        }
+        // instrumented and plain paths agree numerically
+        assert_eq!(
+            evaluate_with_workers(&sys, &damped(), &cfg, 2),
+            reference_eval
+        );
     }
 }

@@ -8,12 +8,11 @@ use crate::supervisor::{
 use crate::system::SystemId;
 use cocktail_analysis::{AnalysisReport, Analyzer, ControllerSpec, Diagnostic, PreflightMode};
 use cocktail_control::{Controller, MixedController, NnController, WeightPolicy};
-use cocktail_distill::{
-    direct_distill, robust_distill, DistillConfig, RobustDistillSession, TeacherDataset,
-};
+use cocktail_distill::{direct_distill, DistillConfig, RobustDistillSession, TeacherDataset};
 use cocktail_env::Dynamics;
+use cocktail_obs::{Event, NullSink, Span, Telemetry};
 use cocktail_rl::ddpg::{DdpgConfig, DdpgTrainer, EpisodeStats};
-use cocktail_rl::ppo::{IterationStats, PpoConfig, PpoSession, PpoTrainer};
+use cocktail_rl::ppo::{IterationStats, PpoConfig, PpoSession};
 use cocktail_rl::{Mdp, MixingMdp, RewardConfig};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -104,6 +103,8 @@ pub struct Cocktail {
     system: SystemId,
     experts: Vec<Arc<dyn Controller>>,
     config: CocktailConfig,
+    tel: Arc<dyn Telemetry>,
+    workers: Option<usize>,
 }
 
 impl Cocktail {
@@ -118,6 +119,8 @@ impl Cocktail {
             system,
             experts,
             config: CocktailConfig::default(),
+            tel: Arc::new(NullSink),
+            workers: None,
         }
     }
 
@@ -125,6 +128,41 @@ impl Cocktail {
     pub fn with_config(mut self, config: CocktailConfig) -> Self {
         self.config = config;
         self
+    }
+
+    /// Attaches a telemetry sink. Every stage of the run emits spans,
+    /// counters and structured events through it; the default
+    /// [`NullSink`] makes instrumentation free. Telemetry is observational
+    /// only: event payloads are a pure function of the seed and config, so
+    /// attaching a sink never perturbs the trained artifacts.
+    pub fn with_telemetry(mut self, tel: Arc<dyn Telemetry>) -> Self {
+        self.tel = tel;
+        self
+    }
+
+    /// Overrides the worker count used by the parallel sections (episode
+    /// collection, dataset sampling). Results are bit-identical for any
+    /// count; the default is [`cocktail_math::parallel::default_workers`].
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    fn worker_count(&self) -> usize {
+        self.workers
+            .unwrap_or_else(cocktail_math::parallel::default_workers)
+    }
+
+    /// Pre-flight gate under its own span: expert shapes vs the plant,
+    /// before any RL budget is spent on a run that cannot succeed.
+    fn preflight_experts(&self, sys: &dyn Dynamics) -> Result<(), PipelineError> {
+        let _span = Span::enter(&*self.tel, "pipeline/preflight");
+        apply_gate(
+            &*self.tel,
+            self.config.preflight,
+            "pre-flight",
+            &self.expert_shape_report(sys),
+        )
     }
 
     /// Executes both stages: PPO adaptive mixing, then direct and robust
@@ -148,14 +186,16 @@ impl Cocktail {
     pub fn try_run(self) -> Result<CocktailResult, PipelineError> {
         let sys = self.system.dynamics();
         let cfg = &self.config;
+        let _pipeline = Span::enter_with(
+            &*self.tel,
+            "pipeline",
+            vec![
+                ("system".to_string(), sys.name().into()),
+                ("seed".to_string(), cfg.seed.into()),
+            ],
+        );
 
-        // ---- pre-flight gate: expert shapes vs the plant, before any
-        // RL budget is spent on a run that cannot succeed
-        apply_gate(
-            cfg.preflight,
-            "pre-flight",
-            &self.expert_shape_report(sys.as_ref()),
-        )?;
+        self.preflight_experts(sys.as_ref())?;
 
         // ---- stage 1: RL-based adaptive mixing (Alg. 1 lines 2-10)
         let mut ppo_history = Vec::new();
@@ -165,13 +205,20 @@ impl Cocktail {
                 // episodes are collected in parallel: each worker gets a
                 // fresh MixingMdp seeded per episode, so the outcome does
                 // not depend on the worker count
+                let _stage = Span::enter(&*self.tel, "pipeline/ppo-mixing");
                 let factory = self.mixing_factory(&sys);
-                let trained = PpoTrainer::new(&cfg.ppo, sys.state_dim(), self.experts.len())
-                    .train_episodes(&factory);
+                let mut session = PpoSession::new(&cfg.ppo, sys.state_dim(), self.experts.len())
+                    .with_telemetry(self.tel.clone());
+                let workers = self.worker_count();
+                while !session.is_complete() {
+                    session.step(&factory, workers);
+                }
+                let trained = session.finish();
                 ppo_history = trained.history;
                 Arc::new(PpoWeightPolicy::new(trained.policy, cfg.weight_bound))
             }
             MixingAlgorithm::Ddpg(ddpg) => {
+                let _stage = Span::enter(&*self.tel, "pipeline/ddpg-mixing");
                 let trained = self.train_ddpg(ddpg, &sys);
                 ddpg_history = trained.history;
                 Arc::new(DdpgWeightPolicy::new(trained.actor, cfg.weight_bound))
@@ -181,8 +228,21 @@ impl Cocktail {
 
         // ---- stage 2: distillation (Alg. 1 lines 11-14)
         let data = self.build_dataset(&sys, mixed.as_ref());
-        let kappa_d = Arc::new(direct_distill(&data, &cfg.distill));
-        let kappa_star = Arc::new(robust_distill(&data, &cfg.distill));
+        let kappa_d = {
+            let _stage = Span::enter(&*self.tel, "pipeline/direct-distill");
+            Arc::new(direct_distill(&data, &cfg.distill))
+        };
+        let kappa_star = {
+            // same loop as `robust_distill`, with the session reporting
+            // per-epoch telemetry as it goes
+            let _stage = Span::enter(&*self.tel, "pipeline/robust-distill");
+            let mut session =
+                RobustDistillSession::new(&data, &cfg.distill).with_telemetry(self.tel.clone());
+            while !session.is_complete() {
+                session.step_epoch(&data);
+            }
+            Arc::new(session.finish())
+        };
 
         // ---- post-distillation gate: lint the students before handing
         // them to evaluation / verification
@@ -218,11 +278,16 @@ impl Cocktail {
     pub fn run_supervised(self, sup: &SupervisorConfig) -> Result<CocktailResult, PipelineError> {
         let sys = self.system.dynamics();
         let cfg = &self.config;
-        apply_gate(
-            cfg.preflight,
-            "pre-flight",
-            &self.expert_shape_report(sys.as_ref()),
-        )?;
+        let _pipeline = Span::enter_with(
+            &*self.tel,
+            "pipeline",
+            vec![
+                ("system".to_string(), sys.name().into()),
+                ("seed".to_string(), cfg.seed.into()),
+                ("supervised".to_string(), true.into()),
+            ],
+        );
+        self.preflight_experts(sys.as_ref())?;
 
         let loaded = match &sup.checkpoint_dir {
             Some(dir) => load_checkpoint(dir, cfg.seed)?,
@@ -275,6 +340,7 @@ impl Cocktail {
                     )
                 }
                 MixingAlgorithm::Ddpg(ddpg) => {
+                    let _stage = Span::enter(&*self.tel, "pipeline/ddpg-mixing");
                     let trained = self.train_ddpg(ddpg, &sys);
                     units += 1;
                     (
@@ -307,11 +373,17 @@ impl Cocktail {
                 RobustDistillSession::from_checkpoint(distill),
                 losses,
             ),
-            None => (
-                Arc::new(direct_distill(&data, &cfg.distill)),
-                RobustDistillSession::new(&data, &cfg.distill),
-                Vec::new(),
-            ),
+            None => {
+                let kd = {
+                    let _stage = Span::enter(&*self.tel, "pipeline/direct-distill");
+                    Arc::new(direct_distill(&data, &cfg.distill))
+                };
+                (
+                    kd,
+                    RobustDistillSession::new(&data, &cfg.distill),
+                    Vec::new(),
+                )
+            }
         };
         let kappa_star = Arc::new(
             self.supervise_distill(session, &data, &mixing, &kappa_d, losses, sup, &mut units)?,
@@ -343,8 +415,10 @@ impl Cocktail {
     ) -> Result<cocktail_rl::TrainedPolicy, PipelineError> {
         const STAGE: &str = "ppo-mixing";
         let cfg = &self.config;
+        let _stage = Span::enter(&*self.tel, "pipeline/ppo-mixing");
+        session.set_telemetry(self.tel.clone());
         let factory = self.mixing_factory(sys);
-        let workers = cocktail_math::parallel::default_workers();
+        let workers = self.worker_count();
         let mut monitor = DivergenceMonitor::new(sup.divergence.collapse_drop);
         monitor.rewind_to(session.history().iter().map(|s| s.mean_return));
         let mut last_good = session.checkpoint();
@@ -362,7 +436,9 @@ impl Cocktail {
                         detail: reason,
                     });
                 }
+                self.report_rewind(STAGE, retry, &reason);
                 session = PpoSession::from_checkpoint(last_good.clone());
+                session.set_telemetry(self.tel.clone());
                 session.reseed_for_retry(u64::from(retry));
                 monitor = DivergenceMonitor::new(sup.divergence.collapse_drop);
                 monitor.rewind_to(session.history().iter().map(|s| s.mean_return));
@@ -380,6 +456,7 @@ impl Cocktail {
                             },
                         ),
                     )?;
+                    self.tel.counter("supervisor.checkpoints", 1);
                 }
             }
             if sup.interrupt_after.is_some_and(|n| *units >= n) && !session.is_complete() {
@@ -423,6 +500,8 @@ impl Cocktail {
     ) -> Result<NnController, PipelineError> {
         const STAGE: &str = "robust-distill";
         let cfg = &self.config;
+        let _stage = Span::enter(&*self.tel, "pipeline/robust-distill");
+        session.set_telemetry(self.tel.clone());
         let robust_ckpt = |session: &RobustDistillSession, losses: &[f64]| {
             PipelineCheckpoint::new(
                 cfg.seed,
@@ -438,6 +517,7 @@ impl Cocktail {
         // epoch already resumes past mixing and κ_D
         if let Some(dir) = &sup.checkpoint_dir {
             save_checkpoint(dir, &robust_ckpt(&session, &losses))?;
+            self.tel.counter("supervisor.checkpoints", 1);
         }
         let mut monitor = DivergenceMonitor::new(sup.divergence.collapse_drop);
         monitor.rewind_to(losses.iter().map(|l| -l));
@@ -457,7 +537,9 @@ impl Cocktail {
                         detail: reason,
                     });
                 }
+                self.report_rewind(STAGE, retry, &reason);
                 session = RobustDistillSession::from_checkpoint(last_good.0.clone());
+                session.set_telemetry(self.tel.clone());
                 session.reseed_for_retry(u64::from(retry));
                 losses.clone_from(&last_good.1);
                 monitor = DivergenceMonitor::new(sup.divergence.collapse_drop);
@@ -469,6 +551,7 @@ impl Cocktail {
                 last_good = (session.checkpoint(), losses.clone());
                 if let Some(dir) = &sup.checkpoint_dir {
                     save_checkpoint(dir, &robust_ckpt(&session, &losses))?;
+                    self.tel.counter("supervisor.checkpoints", 1);
                 }
             }
             if sup.interrupt_after.is_some_and(|n| *units >= n) && !session.is_complete() {
@@ -483,6 +566,19 @@ impl Cocktail {
             }
         }
         Ok(session.finish())
+    }
+
+    /// Reports a divergence-triggered rewind through telemetry.
+    fn report_rewind(&self, stage: &str, retry: u32, reason: &str) {
+        if self.tel.enabled() {
+            self.tel.counter("supervisor.rewinds", 1);
+            self.tel.record(
+                Event::point("supervisor.diverged")
+                    .with("stage", stage)
+                    .with("retry", u64::from(retry))
+                    .with("reason", reason),
+            );
+        }
     }
 
     /// The per-episode MDP factory of the PPO mixing stage.
@@ -539,18 +635,29 @@ impl Cocktail {
     /// function of `(mixed, seed)`, so resumed runs regenerate it exactly.
     fn build_dataset(&self, sys: &Arc<dyn Dynamics>, mixed: &MixedController) -> TeacherDataset {
         let cfg = &self.config;
-        let uniform = TeacherDataset::sample_uniform(
+        let _stage = Span::enter_with(
+            &*self.tel,
+            "pipeline/dataset",
+            vec![
+                ("uniform".to_string(), cfg.dataset_uniform.into()),
+                ("episodes".to_string(), cfg.dataset_episodes.into()),
+            ],
+        );
+        let workers = self.worker_count();
+        let uniform = TeacherDataset::sample_uniform_with_workers(
             mixed,
             &sys.verification_domain(),
             cfg.dataset_uniform,
             cfg.seed.wrapping_add(11),
+            workers,
         );
         if cfg.dataset_episodes > 0 {
-            uniform.merge(TeacherDataset::sample_on_policy(
+            uniform.merge(TeacherDataset::sample_on_policy_with_workers(
                 mixed,
                 sys.as_ref(),
                 cfg.dataset_episodes,
                 cfg.seed.wrapping_add(13),
+                workers,
             ))
         } else {
             uniform
@@ -568,6 +675,7 @@ impl Cocktail {
         if cfg.preflight == PreflightMode::Off {
             return Ok(());
         }
+        let _stage = Span::enter(&*self.tel, "pipeline/student-lint");
         let analyzer = Analyzer::new(sys.clone());
         let mut report = AnalysisReport::new();
         for (name, student) in [("kappa_d", kappa_d), ("kappa_star", kappa_star)] {
@@ -582,7 +690,7 @@ impl Cocktail {
             }
             report.merge(student_report);
         }
-        apply_gate(cfg.preflight, "student", &report)
+        apply_gate(&*self.tel, cfg.preflight, "student", &report)
     }
 
     fn checkpoint_mismatch(&self, sup: &SupervisorConfig, what: &str) -> PipelineError {
@@ -634,11 +742,15 @@ impl Cocktail {
     }
 }
 
-/// Applies the configured pre-flight policy to a report: `Warn` prints
-/// findings to stderr, `Deny` additionally rejects error findings with
+/// Applies the configured pre-flight policy to a report. With a live
+/// telemetry sink the findings become structured `analysis.diagnostic`
+/// events (one per finding, plus an `analysis.summary`); with the default
+/// [`NullSink`] the `Warn` mode keeps its historical behaviour and prints
+/// to stderr. `Deny` additionally rejects error findings with
 /// [`PipelineError::PreflightDenied`] (which [`Cocktail::run`] turns into
 /// a panic).
 fn apply_gate(
+    tel: &dyn Telemetry,
     mode: PreflightMode,
     stage: &str,
     report: &AnalysisReport,
@@ -650,10 +762,28 @@ fn apply_gate(
         PreflightMode::Off => {}
         PreflightMode::Warn | PreflightMode::Deny => {
             if report.has_errors() || report.has_warnings() {
-                eprintln!(
-                    "cocktail {stage} analysis ({}):\n{report}",
-                    report.summary()
-                );
+                if tel.enabled() {
+                    for d in report.diagnostics() {
+                        tel.record(
+                            Event::point("analysis.diagnostic")
+                                .with("stage", stage)
+                                .with("severity", d.severity.to_string())
+                                .with("code", d.code)
+                                .with("pass", d.pass)
+                                .with("message", d.message.as_str()),
+                        );
+                    }
+                    tel.record(
+                        Event::point("analysis.summary")
+                            .with("stage", stage)
+                            .with("summary", report.summary()),
+                    );
+                } else {
+                    eprintln!(
+                        "cocktail {stage} analysis ({}):\n{report}",
+                        report.summary()
+                    );
+                }
             }
             if mode == PreflightMode::Deny && report.has_errors() {
                 return Err(PipelineError::PreflightDenied {
@@ -672,6 +802,7 @@ mod tests {
     use crate::experiment::Preset;
     use crate::metrics::{evaluate, EvalConfig};
     use crate::testutil::oscillator_experts;
+    use cocktail_distill::robust_distill;
     use std::sync::OnceLock;
 
     fn smoke_result() -> &'static CocktailResult {
@@ -758,6 +889,28 @@ mod tests {
         // with artifacts in hand is the assertion
         let result = smoke_result();
         assert_eq!(result.kappa_star.control_dim(), 1);
+    }
+
+    #[test]
+    fn warn_gate_reports_through_telemetry_instead_of_stderr() {
+        let bad: Arc<dyn Controller> = Arc::new(cocktail_control::LinearFeedbackController::new(
+            cocktail_math::Matrix::from_rows(vec![vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]]),
+        ));
+        let run = Cocktail::new(SystemId::Oscillator, vec![bad]);
+        let report = run.expert_shape_report(SystemId::Oscillator.dynamics().as_ref());
+        let sink = cocktail_obs::InMemorySink::new();
+        apply_gate(&sink, PreflightMode::Warn, "pre-flight", &report).expect("warn never rejects");
+        let events = sink.events();
+        let diagnostics: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "analysis.diagnostic")
+            .collect();
+        assert_eq!(diagnostics.len(), 2, "one event per finding");
+        for d in &diagnostics {
+            assert_eq!(d.field("stage"), Some(&"pre-flight".into()));
+            assert_eq!(d.field("severity"), Some(&"error".into()));
+        }
+        assert!(events.iter().any(|e| e.name == "analysis.summary"));
     }
 
     #[test]

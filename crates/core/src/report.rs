@@ -151,6 +151,68 @@ pub fn render_degradation_events(events: &[cocktail_control::DegradationEvent]) 
     out
 }
 
+/// Renders an aggregated telemetry stream ([`cocktail_obs::summarize`])
+/// as an aligned plain-text report: spans with completion counts and
+/// total wall-clock time, then counter totals, then histogram ranges.
+///
+/// # Examples
+///
+/// ```
+/// use cocktail_core::report::render_telemetry_summary;
+/// use cocktail_obs::{summarize, Event, EventKind};
+///
+/// let events = vec![Event::counter("ppo.iterations", 3)];
+/// let out = render_telemetry_summary(&summarize(&events));
+/// assert!(out.contains("ppo.iterations") && out.contains('3'));
+/// ```
+pub fn render_telemetry_summary(summary: &cocktail_obs::StreamSummary) -> String {
+    let mut out = String::new();
+    if !summary.spans.is_empty() {
+        let _ = writeln!(out, "{:<28} {:>6} {:>12}", "span", "count", "total ms");
+        for (name, count, total_us) in &summary.spans {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>6} {:>12.1}",
+                name,
+                count,
+                *total_us as f64 / 1000.0
+            );
+        }
+    }
+    if !summary.counters.is_empty() {
+        if !out.is_empty() {
+            let _ = writeln!(out, "---");
+        }
+        let _ = writeln!(out, "{:<28} {:>10}", "counter", "total");
+        for (name, total) in &summary.counters {
+            let _ = writeln!(out, "{name:<28} {total:>10}");
+        }
+    }
+    if !summary.histograms.is_empty() {
+        if !out.is_empty() {
+            let _ = writeln!(out, "---");
+        }
+        let _ = writeln!(
+            out,
+            "{:<28} {:>6} {:>12} {:>12}",
+            "histogram", "count", "min", "max"
+        );
+        for (name, count, lo, hi) in &summary.histograms {
+            let _ = writeln!(out, "{name:<28} {count:>6} {lo:>12.4} {hi:>12.4}");
+        }
+    }
+    if summary.points > 0 {
+        if !out.is_empty() {
+            let _ = writeln!(out, "---");
+        }
+        let _ = writeln!(out, "point events: {}", summary.points);
+    }
+    if out.is_empty() {
+        out.push_str("no telemetry recorded\n");
+    }
+    out
+}
+
 /// Renders a normalized signal series as a Unicode sparkline (Fig. 2's
 /// terminal form). Values are clamped into `[-1, 1]`.
 pub fn sparkline(series: &[f64]) -> String {
@@ -251,6 +313,29 @@ mod tests {
         assert_eq!(
             render_degradation_events(&[]),
             "no experts were quarantined\n"
+        );
+    }
+
+    #[test]
+    fn telemetry_summary_renders_all_sections() {
+        use cocktail_obs::{summarize, Event, EventKind};
+        let mut span_end = Event::new(EventKind::SpanEnd, "pipeline/ppo-mixing");
+        span_end.duration_us = Some(2500);
+        let events = vec![
+            span_end,
+            Event::counter("ppo.iterations", 4),
+            Event::histogram("ppo.mean_return", -3.25),
+            Event::point("ppo.iteration"),
+        ];
+        let out = render_telemetry_summary(&summarize(&events));
+        assert!(out.contains("pipeline/ppo-mixing"), "{out}");
+        assert!(out.contains("2.5"), "span total in ms: {out}");
+        assert!(out.contains("ppo.iterations"), "{out}");
+        assert!(out.contains("-3.2500"), "{out}");
+        assert!(out.contains("point events: 1"), "{out}");
+        assert_eq!(
+            render_telemetry_summary(&summarize(&[])),
+            "no telemetry recorded\n"
         );
     }
 

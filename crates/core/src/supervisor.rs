@@ -278,13 +278,22 @@ impl PipelineCheckpoint {
     }
 }
 
-/// Atomically persists `ckpt` as `<dir>/`[`CHECKPOINT_FILE`] (temp file +
-/// rename, so readers never observe a torn write). Creates `dir` if needed.
+/// Atomically and *durably* persists `ckpt` as
+/// `<dir>/`[`CHECKPOINT_FILE`]. Creates `dir` if needed.
+///
+/// Write-to-temp-then-rename alone only protects against torn writes from
+/// the process crashing; on a power loss common filesystems may persist
+/// the rename before the temp file's *data*, surfacing an empty or
+/// truncated checkpoint. The temp file is therefore `fsync`ed before the
+/// rename, and the parent directory after it, so the on-disk file is
+/// always either the complete old version or the complete new one.
 ///
 /// # Errors
 ///
 /// Returns [`PipelineError::Checkpoint`] on any I/O failure.
 pub fn save_checkpoint(dir: &Path, ckpt: &PipelineCheckpoint) -> Result<PathBuf, PipelineError> {
+    use std::io::Write;
+
     let path = dir.join(CHECKPOINT_FILE);
     let failed = |detail: String| PipelineError::Checkpoint {
         path: path.clone(),
@@ -293,8 +302,26 @@ pub fn save_checkpoint(dir: &Path, ckpt: &PipelineCheckpoint) -> Result<PathBuf,
     std::fs::create_dir_all(dir).map_err(|e| failed(format!("create dir: {e}")))?;
     let json = serde_json::to_string(ckpt).map_err(|e| failed(format!("serialize: {e}")))?;
     let tmp = dir.join(format!("{CHECKPOINT_FILE}.tmp"));
-    std::fs::write(&tmp, json).map_err(|e| failed(format!("write temp file: {e}")))?;
+    {
+        let mut f =
+            std::fs::File::create(&tmp).map_err(|e| failed(format!("create temp file: {e}")))?;
+        f.write_all(json.as_bytes())
+            .map_err(|e| failed(format!("write temp file: {e}")))?;
+        // data must be on the platter before the rename publishes the name
+        f.sync_all()
+            .map_err(|e| failed(format!("fsync temp file: {e}")))?;
+    }
     std::fs::rename(&tmp, &path).map_err(|e| failed(format!("rename into place: {e}")))?;
+    // the rename itself lives in the directory entry; fsync the directory
+    // so a power loss cannot roll the publish back (POSIX directories open
+    // read-only for this; other platforms rely on the rename's own
+    // durability semantics)
+    #[cfg(unix)]
+    {
+        let d = std::fs::File::open(dir).map_err(|e| failed(format!("open dir: {e}")))?;
+        d.sync_all()
+            .map_err(|e| failed(format!("fsync dir: {e}")))?;
+    }
     Ok(path)
 }
 
@@ -407,6 +434,60 @@ mod tests {
         // empty dir → clean None
         let empty = dir.join("nothing-here");
         assert!(load_checkpoint(&empty, 5).expect("no file is ok").is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_on_disk_is_always_a_complete_version() {
+        // overwrite the same checkpoint repeatedly; after every save the
+        // on-disk file must parse as a complete checkpoint equal to the
+        // version just written (never a torn or half-renamed state), and
+        // no temp file may linger
+        let dir = std::env::temp_dir().join(format!(
+            "cocktail-supervisor-test-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let make = |seed: u64| {
+            let session = PpoSession::new(
+                &PpoConfig {
+                    iterations: 1,
+                    episodes_per_iteration: 1,
+                    hidden: 4,
+                    seed,
+                    ..Default::default()
+                },
+                1,
+                1,
+            );
+            PipelineCheckpoint::new(
+                seed,
+                StageCheckpoint::Mixing {
+                    ppo: session.checkpoint(),
+                },
+            )
+        };
+        for seed in 0..4u64 {
+            let ckpt = make(seed);
+            let path = save_checkpoint(&dir, &ckpt).expect("save");
+            let on_disk: PipelineCheckpoint =
+                serde_json::from_str(&std::fs::read_to_string(&path).expect("checkpoint readable"))
+                    .expect("on-disk file is complete JSON");
+            assert_eq!(on_disk, ckpt, "seed {seed}");
+            assert!(
+                !dir.join(format!("{CHECKPOINT_FILE}.tmp")).exists(),
+                "temp file must not outlive the save"
+            );
+        }
+        // a stale temp file from a crashed writer must not break the next
+        // save or leak into the published checkpoint
+        std::fs::write(dir.join(format!("{CHECKPOINT_FILE}.tmp")), b"{torn")
+            .expect("plant stale temp");
+        let ckpt = make(99);
+        save_checkpoint(&dir, &ckpt).expect("save over stale temp");
+        let back = load_checkpoint(&dir, 99).expect("load").expect("present");
+        assert_eq!(back, ckpt);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -4,9 +4,11 @@ use crate::dataset::TeacherDataset;
 use cocktail_control::NnController;
 use cocktail_math::{vector, Matrix};
 use cocktail_nn::{loss, Activation, Adam, BatchCache, GradStore, MlpBuilder, Optimizer};
+use cocktail_obs::{Event, NullSink, Span, Telemetry};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Distillation hyperparameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -160,6 +162,9 @@ pub struct RobustDistillSession {
     rng: rand::rngs::StdRng,
     order: Vec<usize>,
     epoch: usize,
+    /// Telemetry sink; never serialized — a restored session starts on the
+    /// [`NullSink`] until the caller re-attaches one.
+    tel: Arc<dyn Telemetry>,
 }
 
 impl RobustDistillSession {
@@ -177,7 +182,23 @@ impl RobustDistillSession {
             rng: cocktail_math::rng::seeded(config.seed.wrapping_add(17)),
             order: (0..data.len()).collect(),
             epoch: 0,
+            tel: Arc::new(NullSink),
         }
+    }
+
+    /// Attaches a telemetry sink (builder-style). Telemetry never enters
+    /// the checkpoint and never perturbs the update: every event payload is
+    /// derived from values the epoch already computes.
+    #[must_use]
+    pub fn with_telemetry(mut self, tel: Arc<dyn Telemetry>) -> Self {
+        self.tel = tel;
+        self
+    }
+
+    /// Attaches a telemetry sink to an existing session (e.g. one restored
+    /// from a checkpoint).
+    pub fn set_telemetry(&mut self, tel: Arc<dyn Telemetry>) {
+        self.tel = tel;
     }
 
     /// Restores a session from a checkpoint, resuming the exact RNG stream.
@@ -205,6 +226,7 @@ impl RobustDistillSession {
             rng: rand::rngs::StdRng::from_state(words),
             order: ckpt.order,
             epoch: ckpt.epoch,
+            tel: Arc::new(NullSink),
         }
     }
 
@@ -257,6 +279,11 @@ impl RobustDistillSession {
             self.order.len(),
             "dataset size changed between resume and creation"
         );
+        let _span = Span::enter_with(
+            &*self.tel,
+            "robust-distill/epoch",
+            vec![("epoch".to_string(), self.epoch.into())],
+        );
         let config = &self.config;
         let net = &mut self.net;
         let mut grads = GradStore::zeros_like(net);
@@ -266,6 +293,8 @@ impl RobustDistillSession {
         let mut cache = BatchCache::new();
         let mut fgsm_cache = BatchCache::new();
         let mut loss_sum = 0.0;
+        let mut fgsm_applied = 0u64;
+        let mut minibatches = 0u64;
 
         self.order.shuffle(&mut self.rng);
         for chunk in self.order.chunks(batch) {
@@ -282,6 +311,8 @@ impl RobustDistillSession {
             let adv_rows: Vec<usize> = (0..chunk.len())
                 .filter(|&r| zs[r] <= config.fgsm_prob)
                 .collect();
+            fgsm_applied += adv_rows.len() as u64;
+            minibatches += 1;
 
             let mut x = Matrix::zeros(chunk.len(), in_dim);
             for (r, &i) in chunk.iter().enumerate() {
@@ -329,7 +360,19 @@ impl RobustDistillSession {
             self.opt.step(net, &grads);
         }
         self.epoch += 1;
-        loss_sum / data.len() as f64
+        let mean_loss = loss_sum / data.len() as f64;
+        if self.tel.enabled() {
+            self.tel.counter("distill.epochs", 1);
+            self.tel.counter("distill.minibatch_updates", minibatches);
+            self.tel.counter("distill.fgsm_applied", fgsm_applied);
+            self.tel.record(
+                Event::point("distill.epoch")
+                    .with("epoch", self.epoch - 1)
+                    .with("mean_loss", mean_loss),
+            );
+            self.tel.observe("distill.mean_loss", mean_loss);
+        }
+        mean_loss
     }
 
     /// Finalizes the session into the robust student `κ*`.

@@ -45,4 +45,6 @@ pub mod systems;
 pub use disturbance::DisturbanceModel;
 pub use dynamics::Dynamics;
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultWindow};
-pub use rollout::{rollout, try_rollout, RolloutConfig, RolloutError, Trajectory};
+pub use rollout::{
+    rollout, try_rollout, try_rollout_observed, RolloutConfig, RolloutError, Trajectory,
+};

@@ -9,6 +9,7 @@
 use crate::disturbance::DisturbanceModel;
 use crate::dynamics::Dynamics;
 use cocktail_math::vector;
+use cocktail_obs::{Event, Telemetry};
 use serde::{Deserialize, Serialize};
 
 /// A simulated closed-loop trajectory.
@@ -271,6 +272,54 @@ pub fn try_rollout(
     })
 }
 
+/// [`try_rollout`] with telemetry: reports the episode's outcome on `tel`
+/// as counters (`rollout.completed`, `rollout.unsafe`,
+/// `rollout.nan_detected`) plus a `rollout.abort` point carrying the step
+/// and reason when the closed loop produced non-finite numbers.
+///
+/// Telemetry is emitted once per episode (never per step), so the
+/// instrumented path costs one `enabled()` check on top of the plain
+/// rollout. Do **not** call this from inside a parallel worker closure —
+/// collect outcomes and emit after the join (crate `cocktail_obs`
+/// documents the determinism contract).
+///
+/// # Errors
+///
+/// Exactly as [`try_rollout`].
+pub fn try_rollout_observed(
+    sys: &dyn Dynamics,
+    controller: &mut dyn FnMut(&[f64]) -> Vec<f64>,
+    perturbation: &mut dyn FnMut(usize, &[f64]) -> Vec<f64>,
+    s0: &[f64],
+    config: &RolloutConfig,
+    tel: &dyn Telemetry,
+) -> Result<Trajectory, RolloutError> {
+    let result = try_rollout(sys, controller, perturbation, s0, config);
+    if tel.enabled() {
+        match &result {
+            Ok(traj) => {
+                tel.counter("rollout.completed", 1);
+                if !traj.is_safe() {
+                    tel.counter("rollout.unsafe", 1);
+                }
+            }
+            Err(err) => {
+                tel.counter("rollout.nan_detected", 1);
+                let (step, reason) = match err {
+                    RolloutError::NonFiniteControl { step, .. } => (*step, "non-finite control"),
+                    RolloutError::NonFiniteState { step, .. } => (*step, "non-finite state"),
+                };
+                tel.record(
+                    Event::point("rollout.abort")
+                        .with("step", step)
+                        .with("reason", reason),
+                );
+            }
+        }
+    }
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -461,6 +510,40 @@ mod tests {
             control: vec![f64::NAN],
         };
         assert!(e.to_string().contains("step 3"));
+    }
+
+    #[test]
+    fn observed_rollout_reports_outcome_counters() {
+        let sink = cocktail_obs::InMemorySink::new();
+        let sys = VanDerPol::new();
+        let mut p = zero_perturbation;
+
+        let mut healthy = |s: &[f64]| vec![-2.0 * s[0] - 2.0 * s[1]];
+        try_rollout_observed(
+            &sys,
+            &mut healthy,
+            &mut p,
+            &[0.5, 0.5],
+            &RolloutConfig::default(),
+            &sink,
+        )
+        .expect("healthy loop");
+        assert_eq!(sink.counter_total("rollout.completed"), 1);
+        assert_eq!(sink.counter_total("rollout.nan_detected"), 0);
+
+        let mut nan = |_: &[f64]| vec![f64::NAN];
+        try_rollout_observed(
+            &sys,
+            &mut nan,
+            &mut p,
+            &[0.5, 0.5],
+            &RolloutConfig::default(),
+            &sink,
+        )
+        .expect_err("NaN control");
+        assert_eq!(sink.counter_total("rollout.nan_detected"), 1);
+        assert!(sink.events().iter().any(|e| e.name == "rollout.abort"
+            && e.field("reason") == Some(&"non-finite control".into())));
     }
 
     #[test]

@@ -29,10 +29,16 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 
 /// Standardizes a slice to zero mean / unit variance in place; a slice with
 /// (near-)zero variance is only centered.
+///
+/// The degeneracy floor is *relative* to the data's magnitude: a batch
+/// sitting at `1e6` with spread `1e-4` is near-constant in every sense
+/// that matters, and dividing by that spread would manufacture O(1)
+/// "signal" out of rounding noise.
 pub fn standardize(xs: &mut [f64]) {
     let m = mean(xs);
     let s = std_dev(xs);
-    let denom = if s > 1e-8 { s } else { 1.0 };
+    let floor = 1e-8 * m.abs().max(1.0);
+    let denom = if s > floor { s } else { 1.0 };
     for x in xs.iter_mut() {
         *x = (*x - m) / denom;
     }
@@ -137,6 +143,20 @@ mod tests {
         let mut xs = vec![5.0, 5.0, 5.0];
         standardize(&mut xs);
         assert!(xs.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn standardize_large_magnitude_near_constant_slice_centers_only() {
+        // std here is ~3e-8 — above the old absolute 1e-8 floor, but five
+        // orders of magnitude below any meaningful spread at |mean| = 1e6.
+        // Dividing by it would blow rounding noise up to O(1); the relative
+        // floor (1e-8 * 1e6 = 1e-2) must refuse and only center.
+        let mut xs: Vec<f64> = (0..8).map(|i| 1.0e6 + f64::from(i) * 1e-8).collect();
+        standardize(&mut xs);
+        assert!(
+            xs.iter().all(|&x| x.abs() < 1e-6),
+            "near-constant batch must not be inflated: {xs:?}"
+        );
     }
 
     #[test]

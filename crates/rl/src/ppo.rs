@@ -16,7 +16,9 @@ use crate::gaussian;
 use crate::mdp::{EpisodeFactory, Mdp};
 use cocktail_math::{parallel, stats, Matrix};
 use cocktail_nn::{loss, Activation, Adam, BatchCache, GradStore, Mlp, MlpBuilder, Optimizer};
+use cocktail_obs::{Event, NullSink, Span, Telemetry};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// PPO hyperparameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -598,6 +600,9 @@ pub struct PpoSession {
     /// Salts the episode-collection seed schedule; 0 is the historical
     /// schedule, a divergence retry bumps it to re-derive fresh episodes.
     collect_salt: u64,
+    /// Telemetry sink; never serialized — a restored session starts on the
+    /// [`NullSink`] until the caller re-attaches one.
+    tel: Arc<dyn Telemetry>,
 }
 
 impl PpoSession {
@@ -622,7 +627,24 @@ impl PpoSession {
             iteration: 0,
             history: Vec::new(),
             collect_salt: 0,
+            tel: Arc::new(NullSink),
         }
+    }
+
+    /// Attaches a telemetry sink (builder-style). Telemetry never enters
+    /// the checkpoint: event payloads are derived from deterministic
+    /// iteration statistics, so an instrumented run and a bare run produce
+    /// bit-identical training results.
+    #[must_use]
+    pub fn with_telemetry(mut self, tel: Arc<dyn Telemetry>) -> Self {
+        self.tel = tel;
+        self
+    }
+
+    /// Attaches a telemetry sink to an existing session (e.g. one restored
+    /// from a checkpoint).
+    pub fn set_telemetry(&mut self, tel: Arc<dyn Telemetry>) {
+        self.tel = tel;
     }
 
     /// Restores a session from a checkpoint, resuming the exact RNG stream.
@@ -656,6 +678,7 @@ impl PpoSession {
             iteration: ckpt.iteration,
             history: ckpt.history,
             collect_salt: ckpt.collect_salt,
+            tel: Arc::new(NullSink),
         }
     }
 
@@ -723,6 +746,11 @@ impl PpoSession {
                 "action dim mismatch"
             );
         }
+        let _span = Span::enter_with(
+            &*self.tel,
+            "ppo-mixing/iteration",
+            vec![("iteration".to_string(), self.iteration.into())],
+        );
         let (samples, stats) =
             self.trainer
                 .collect_parallel(factory, self.iteration, workers, self.collect_salt);
@@ -735,6 +763,28 @@ impl PpoSession {
             &mut self.rng,
         );
         self.iteration += 1;
+        if self.tel.enabled() {
+            // episode collection ran in parallel workers; everything
+            // reported here is the deterministic post-join aggregate
+            let batch = self.trainer.config.minibatch_size.max(1);
+            let minibatches = if samples.is_empty() {
+                0
+            } else {
+                self.trainer.config.update_epochs * samples.len().div_ceil(batch)
+            };
+            self.tel.counter("ppo.iterations", 1);
+            self.tel
+                .counter("ppo.minibatch_updates", minibatches as u64);
+            self.tel.counter("ppo.samples", samples.len() as u64);
+            self.tel.record(
+                Event::point("ppo.iteration")
+                    .with("iteration", self.iteration - 1)
+                    .with("mean_return", stats.mean_return)
+                    .with("safe_fraction", stats.safe_fraction)
+                    .with("mean_length", stats.mean_length),
+            );
+            self.tel.observe("ppo.mean_return", stats.mean_return);
+        }
         stats
     }
 
@@ -911,6 +961,46 @@ mod tests {
         assert_eq!(resumed.policy, uninterrupted.policy);
         assert_eq!(resumed.value, uninterrupted.value);
         assert_eq!(resumed.history, uninterrupted.history);
+    }
+
+    #[test]
+    fn telemetry_reports_iterations_without_perturbing_training() {
+        let config = PpoConfig {
+            iterations: 3,
+            episodes_per_iteration: 4,
+            hidden: 8,
+            seed: 9,
+            ..Default::default()
+        };
+        let factory = |_seed: u64| -> Box<dyn Mdp> { Box::new(PointMdp { x: 0.0, t: 0 }) };
+
+        let bare = {
+            let mut s = PpoSession::new(&config, 1, 1);
+            while !s.is_complete() {
+                s.step(&factory, 2);
+            }
+            s.finish()
+        };
+
+        let sink = Arc::new(cocktail_obs::InMemorySink::new());
+        let mut instrumented =
+            PpoSession::new(&config, 1, 1).with_telemetry(sink.clone() as Arc<dyn Telemetry>);
+        while !instrumented.is_complete() {
+            instrumented.step(&factory, 2);
+        }
+        let instrumented = instrumented.finish();
+
+        assert_eq!(bare.policy, instrumented.policy, "telemetry must be inert");
+        assert_eq!(sink.counter_total("ppo.iterations"), 3);
+        assert!(sink.counter_total("ppo.minibatch_updates") > 0);
+        let spans = sink
+            .events()
+            .iter()
+            .filter(|e| {
+                e.kind == cocktail_obs::EventKind::SpanEnd && e.name == "ppo-mixing/iteration"
+            })
+            .count();
+        assert_eq!(spans, 3);
     }
 
     #[test]

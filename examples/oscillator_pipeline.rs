@@ -10,6 +10,10 @@
 //! is wrapped with a deterministic NaN fault and the mixed controller's
 //! graceful-degradation monitor quarantines it mid-flight, printing the
 //! degradation report.
+//!
+//! Pass `--telemetry <path>` to stream structured JSONL telemetry (stage
+//! spans, counters, per-iteration events) to `<path>`; the run prints an
+//! aggregate summary of the stream at the end.
 
 #![allow(
     clippy::expect_used,
@@ -18,10 +22,25 @@
 )]
 
 use cocktail_core::experts::{cloned_experts, reference_laws};
-use cocktail_core::metrics::{evaluate, EvalConfig};
+use cocktail_core::metrics::{evaluate, evaluate_with_telemetry, EvalConfig};
 use cocktail_core::pipeline::Cocktail;
+use cocktail_core::report::render_telemetry_summary;
+use cocktail_core::supervisor::SupervisorConfig;
 use cocktail_core::{Preset, SystemId};
+use cocktail_obs::{read_jsonl, summarize, JsonlSink, NullSink, Telemetry};
 use cocktail_verify::{invariant_set, BernsteinCertificate, CertificateConfig, InvariantConfig};
+use std::sync::Arc;
+
+/// `--telemetry <path>` from the command line, if present.
+fn telemetry_path() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--telemetry" {
+            return Some(args.next().expect("--telemetry needs a path").into());
+        }
+    }
+    None
+}
 
 fn main() {
     let sys_id = SystemId::Oscillator;
@@ -35,6 +54,13 @@ fn main() {
         fault_drill(sys_id, &cfg);
         return;
     }
+
+    let tel_path = telemetry_path();
+    let tel: Arc<dyn Telemetry> = match &tel_path {
+        Some(path) => Arc::new(JsonlSink::create(path).expect("telemetry file is writable")),
+        None => Arc::new(NullSink),
+    };
+    let workers = cocktail_math::parallel::default_workers();
 
     // ---- stage 0: the reference laws behind the experts
     let (law1, law2) = reference_laws(sys_id);
@@ -52,7 +78,7 @@ fn main() {
     // ---- stage 1: behavior-cloned neural experts
     let experts = cloned_experts(sys_id, 0);
     for e in &experts {
-        let eval = evaluate(sys.as_ref(), e.as_ref(), &cfg);
+        let eval = evaluate_with_telemetry(sys.as_ref(), e.as_ref(), &cfg, workers, &*tel);
         println!(
             "{}: S_r {:.1}%, e {:.1}, L {:.1}",
             e.name(),
@@ -63,7 +89,8 @@ fn main() {
         );
     }
 
-    // ---- stage 2: PPO adaptive mixing
+    // ---- stage 2: PPO adaptive mixing, under the checkpointing
+    // supervisor (bit-identical to the plain run when nothing diverges)
     println!("\ntraining the adaptive mixing policy (PPO) ...");
     let result = Cocktail::new(sys_id, experts)
         .with_config(cocktail_core::experiment::pipeline_config(
@@ -71,7 +98,9 @@ fn main() {
             Preset::from_env(Preset::Fast),
             0,
         ))
-        .run();
+        .with_telemetry(tel.clone())
+        .run_supervised(&SupervisorConfig::default())
+        .expect("supervised pipeline run succeeds");
     println!("PPO return trend (every 5th iteration):");
     for (i, stats) in result.ppo_history.iter().enumerate().step_by(5) {
         println!(
@@ -81,7 +110,7 @@ fn main() {
             stats.mean_length
         );
     }
-    let mixed = evaluate(sys.as_ref(), result.mixed.as_ref(), &cfg);
+    let mixed = evaluate_with_telemetry(sys.as_ref(), result.mixed.as_ref(), &cfg, workers, &*tel);
     println!(
         "A_W: S_r {:.1}%, e {:.1}",
         mixed.safe_rate_percent(),
@@ -99,7 +128,7 @@ fn main() {
         ("kappa_D", result.kappa_d.as_ref()),
         ("kappa_star", result.kappa_star.as_ref()),
     ] {
-        let eval = evaluate(sys.as_ref(), student, &cfg);
+        let eval = evaluate_with_telemetry(sys.as_ref(), student, &cfg, workers, &*tel);
         println!(
             "{name}: S_r {:.1}%, e {:.1}, L {:.1}",
             eval.safe_rate_percent(),
@@ -143,6 +172,17 @@ fn main() {
         inv.duration,
         inv.iterations
     );
+
+    // ---- telemetry: read the stream back and print the aggregate view
+    if let Some(path) = tel_path {
+        let events = read_jsonl(&path).expect("telemetry stream parses back");
+        println!(
+            "\ntelemetry: {} events written to {}",
+            events.len(),
+            path.display()
+        );
+        print!("{}", render_telemetry_summary(&summarize(&events)));
+    }
 }
 
 /// The `--faults` mode: inject a permanent NaN fault into one expert and

@@ -218,6 +218,47 @@ fn quarantine_keeps_a_nan_expert_safe() {
 }
 
 #[test]
+fn telemetry_streams_are_deterministic_and_worker_count_invariant() {
+    use cocktail_obs::InMemorySink;
+    // same seed, same config: the event stream (durations excluded — wall
+    // clock is the one non-deterministic field, and it lives outside the
+    // payload) must be byte-identical run over run and for any worker count
+    let run = |workers: usize| -> String {
+        let sink = Arc::new(InMemorySink::new());
+        let result = Cocktail::new(SystemId::Oscillator, oscillator_experts().clone())
+            .with_config(tiny_config())
+            .with_telemetry(sink.clone())
+            .with_workers(workers)
+            .run_supervised(&SupervisorConfig::default())
+            .expect("healthy run");
+        // attaching a sink must not perturb the trained artifacts either
+        assert_eq!(&fingerprint(&result), reference_fingerprint());
+        let sanitized: Vec<_> = sink
+            .take()
+            .into_iter()
+            .map(cocktail_obs::Event::without_duration)
+            .collect();
+        serde_json::to_string(&sanitized).expect("events serialize")
+    };
+    let reference = run(1);
+    for name in [
+        "pipeline/preflight",
+        "pipeline/ppo-mixing",
+        "pipeline/dataset",
+        "pipeline/direct-distill",
+        "pipeline/robust-distill",
+        "ppo.minibatch_updates",
+        "distill.fgsm_applied",
+    ] {
+        assert!(reference.contains(name), "stream must mention {name}");
+    }
+    assert_eq!(run(1), reference, "same seed must replay the same stream");
+    for workers in [2, 8] {
+        assert_eq!(run(workers), reference, "workers = {workers}");
+    }
+}
+
+#[test]
 fn unsupervised_and_supervised_runs_agree_bit_for_bit() {
     // no checkpoint dir, no divergence: the supervised runner must be a
     // numeric no-op wrapper around the plain pipeline
