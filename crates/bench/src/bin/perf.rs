@@ -1,5 +1,5 @@
-//! Perf harness: measures the batched/parallel kernels and writes the
-//! machine-readable baseline (`BENCH_pr4.json`).
+//! Perf harness: measures the batched/parallel kernels plus the serving
+//! runtime and writes the machine-readable baseline (`BENCH_pr5.json`).
 //!
 //! ```text
 //! cargo run --release -p cocktail-bench --bin perf [-- <output-path>]
@@ -24,7 +24,7 @@ fn fmt(m: Measurement) -> String {
 fn main() {
     let out = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_pr4.json".to_string());
+        .unwrap_or_else(|| "BENCH_pr5.json".to_string());
     let fast = std::env::var("COCKTAIL_FAST").is_ok_and(|v| v == "1");
     let config = if fast {
         PerfConfig::fast()
@@ -75,6 +75,18 @@ fn main() {
         fmt(report.telemetry.null_epochs_per_sec),
         fmt(report.telemetry.recording_epochs_per_sec),
         report.telemetry.overhead_ratio
+    );
+    println!(
+        "serve    {:>18} ms admission    | p50 {:.1} us single-request",
+        fmt(report.serve.admission_ms),
+        report.serve.single_p50_latency_us.median
+    );
+    println!(
+        "serve    {:>18} req/s x1        | {:>18} req/s x8 | {:>18} req/s x32 ({:.2}x)",
+        fmt(report.serve.batch1_requests_per_sec),
+        fmt(report.serve.batch8_requests_per_sec),
+        fmt(report.serve.batch32_requests_per_sec),
+        report.serve.batch_speedup
     );
     println!("[artifact] {out}");
 }

@@ -1,4 +1,4 @@
-//! The tracked performance baseline behind `BENCH_pr4.json`.
+//! The tracked performance baseline behind `BENCH_pr5.json`.
 //!
 //! Four measurements, chosen to cover the layers the batched/parallel
 //! kernels rewrote plus the telemetry layer:
@@ -13,10 +13,15 @@
 //!    (PPO mixing + dataset + both distillations) on the oscillator;
 //! 4. **Telemetry overhead** — robust-distillation epoch throughput under
 //!    the zero-cost [`cocktail_obs::NullSink`] versus a recording
-//!    [`cocktail_obs::InMemorySink`].
+//!    [`cocktail_obs::InMemorySink`];
+//! 5. **Serving** — bundle admission wall time, single-request p50
+//!    latency through the micro-batching engine, and sustained in-process
+//!    throughput with 1, 8 and 32 concurrent submitters.
 //!
 //! Every timed section runs once untimed (warm-up) and then
-//! [`PerfConfig::repeats`] times; the report carries the **median**
+//! [`PerfConfig::repeats`] times, each repeat keeping the best of a few
+//! back-to-back trials (preemption on shared hosts only ever slows a
+//! trial down, never speeds it up); the report carries the **median**
 //! throughput and the relative **spread** `(max - min) / median` so noisy
 //! hosts are visible in the artifact instead of silently skewing a single
 //! sample. [`check_spread`] is the CI gate on that noise.
@@ -41,7 +46,9 @@ use std::time::Instant;
 ///
 /// v2: scalar throughputs became [`Measurement`] (median + spread over
 /// warm-started repeats) and the `telemetry` section was added.
-pub const SCHEMA_VERSION: u32 = 2;
+/// v3: the `serve` section (admission time, serving latency/throughput)
+/// was added.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// One repeated timing: the median across repeats and the relative
 /// spread `(max - min) / median`.
@@ -83,11 +90,40 @@ impl Measurement {
     }
 }
 
+/// Back-to-back trials folded into one recorded repeat. On shared
+/// hosts, scheduler preemption and steal time only ever make a trial
+/// *slower*, so keeping the best of a few trials per repeat estimates
+/// the machine's unloaded speed and keeps the spread gate (< 30%)
+/// about the harness rather than about neighbor tenants.
+const TRIALS_PER_REPEAT: usize = 3;
+
 /// Runs `once` a single untimed warm-up pass, then `repeats` timed
-/// passes, and aggregates whatever `once` returns (a throughput).
+/// repeats, each recording the best (highest) of [`TRIALS_PER_REPEAT`]
+/// back-to-back trials. `once` must return a throughput — for
+/// time-valued samples use [`measure_time`].
 fn measure(repeats: usize, mut once: impl FnMut() -> f64) -> Measurement {
     let _warmup = once();
-    let samples: Vec<f64> = (0..repeats.max(1)).map(|_| once()).collect();
+    let samples: Vec<f64> = (0..repeats.max(1))
+        .map(|_| {
+            (0..TRIALS_PER_REPEAT)
+                .map(|_| once())
+                .fold(f64::MIN, f64::max)
+        })
+        .collect();
+    Measurement::from_samples(&samples)
+}
+
+/// [`measure`] for time-valued samples (wall milliseconds, latencies):
+/// the best of [`TRIALS_PER_REPEAT`] trials is the *minimum*.
+fn measure_time(repeats: usize, mut once: impl FnMut() -> f64) -> Measurement {
+    let _warmup = once();
+    let samples: Vec<f64> = (0..repeats.max(1))
+        .map(|_| {
+            (0..TRIALS_PER_REPEAT)
+                .map(|_| once())
+                .fold(f64::MAX, f64::min)
+        })
+        .collect();
     Measurement::from_samples(&samples)
 }
 
@@ -163,6 +199,28 @@ pub struct TelemetryBench {
     pub overhead_ratio: f64,
 }
 
+/// Serving-runtime measurements: how long admission takes, what one
+/// request costs, and what the micro-batcher sustains under concurrency.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeBench {
+    /// Requests per throughput repeat.
+    pub requests: usize,
+    /// Wall time of one full admission (validation + fresh lint run +
+    /// certificate recomputation + empirical sweep), in milliseconds.
+    pub admission_ms: Measurement,
+    /// p50 latency of sequential single requests through the engine
+    /// (`max_batch` 1, zero deadline), in microseconds.
+    pub single_p50_latency_us: Measurement,
+    /// Throughput with 1 blocking submitter, requests/second.
+    pub batch1_requests_per_sec: Measurement,
+    /// Throughput with 8 concurrent blocking submitters.
+    pub batch8_requests_per_sec: Measurement,
+    /// Throughput with 32 concurrent blocking submitters.
+    pub batch32_requests_per_sec: Measurement,
+    /// 32-submitter over 1-submitter median throughput.
+    pub batch_speedup: f64,
+}
+
 /// The full machine-readable perf baseline.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PerfReport {
@@ -178,6 +236,8 @@ pub struct PerfReport {
     pub end_to_end: EndToEndBench,
     /// Telemetry-sink overhead measurement.
     pub telemetry: TelemetryBench,
+    /// Serving-runtime measurement.
+    pub serve: ServeBench,
 }
 
 /// Knobs for a perf run; `fast` shrinks everything for CI smoke runs.
@@ -189,6 +249,8 @@ pub struct PerfConfig {
     pub rollout_episodes: usize,
     /// Distillation epochs per telemetry repeat.
     pub distill_epochs: usize,
+    /// Requests per serving-throughput repeat.
+    pub serve_requests: usize,
     /// Timed repeats per section (after one untimed warm-up).
     pub repeats: usize,
 }
@@ -200,6 +262,7 @@ impl PerfConfig {
             forward_reps: 20_000,
             rollout_episodes: 400,
             distill_epochs: 30,
+            serve_requests: 4_000,
             repeats: 5,
         }
     }
@@ -210,6 +273,7 @@ impl PerfConfig {
             forward_reps: 2_000,
             rollout_episodes: 60,
             distill_epochs: 10,
+            serve_requests: 800,
             repeats: 3,
         }
     }
@@ -374,7 +438,7 @@ pub fn bench_rollout(config: &PerfConfig) -> RolloutBench {
 pub fn bench_end_to_end(config: &PerfConfig) -> EndToEndBench {
     let sys = SystemId::Oscillator;
     let experts = cocktail_core::experts::cloned_experts(sys, 0);
-    let wall_ms = measure(config.repeats, || {
+    let wall_ms = measure_time(config.repeats, || {
         let t = Instant::now();
         let result = Cocktail::new(sys, experts.clone())
             .with_config(Preset::Smoke.config())
@@ -446,6 +510,119 @@ pub fn bench_telemetry(config: &PerfConfig) -> TelemetryBench {
     }
 }
 
+/// Measures the serving runtime: admission wall time, single-request p50
+/// latency, and sustained throughput with 1, 8 and 32 blocking
+/// submitters feeding the micro-batcher.
+///
+/// # Panics
+///
+/// Panics if the benchmark student fails packaging or admission, or if
+/// any served request errors — the bench doubles as a smoke test.
+pub fn bench_serve(config: &PerfConfig) -> ServeBench {
+    use cocktail_obs::NullSink;
+    use cocktail_serve::bundle::{fnv1a_64, ControllerBundle, Provenance};
+    use cocktail_serve::{admit, loadgen, Engine, EngineConfig};
+    use std::time::Duration;
+
+    let net = MlpBuilder::new(2)
+        .hidden(24, Activation::Tanh)
+        .hidden(24, Activation::Tanh)
+        .output(1, Activation::Tanh)
+        .seed(4)
+        .build();
+    let bundle = ControllerBundle::package(
+        SystemId::Oscillator,
+        net,
+        vec![20.0],
+        Provenance {
+            seed: 4,
+            config_hash: fnv1a_64(b"bench-serve"),
+            crate_version: env!("CARGO_PKG_VERSION").to_string(),
+        },
+    )
+    .expect("benchmark student packages");
+    let requests = config.serve_requests.max(32);
+    let states = loadgen::generate_states(&bundle, requests, 0xBE7C);
+
+    let admission_ms = measure_time(config.repeats, || {
+        let t = Instant::now();
+        admit(bundle.clone()).expect("benchmark bundle admits");
+        t.elapsed().as_secs_f64() * 1e3
+    });
+    let admitted = admit(bundle).expect("benchmark bundle admits");
+
+    // single-request p50: no batching window, sequential submits
+    let single = Engine::start_with(
+        &admitted,
+        EngineConfig {
+            max_batch: 1,
+            batch_deadline: Duration::ZERO,
+            ..EngineConfig::default()
+        },
+        None,
+        Arc::new(NullSink),
+    )
+    .expect("engine starts");
+    let handle = single.handle();
+    let single_p50_latency_us = measure_time(config.repeats, || {
+        let mut latencies: Vec<f64> = states
+            .iter()
+            .map(|s| {
+                let t = Instant::now();
+                handle.submit(s).expect("request serves");
+                t.elapsed().as_secs_f64() * 1e6
+            })
+            .collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        latencies[latencies.len() / 2]
+    });
+    drop(single);
+
+    let throughput_with = |submitters: usize| -> Measurement {
+        let engine = Engine::start_with(
+            &admitted,
+            EngineConfig {
+                max_batch: submitters.max(1),
+                batch_deadline: Duration::from_micros(200),
+                queue_capacity: 4 * submitters.max(1),
+                ..EngineConfig::default()
+            },
+            None,
+            Arc::new(NullSink),
+        )
+        .expect("engine starts");
+        let handle = engine.handle();
+        measure(config.repeats, || {
+            let t = Instant::now();
+            std::thread::scope(|scope| {
+                for w in 0..submitters {
+                    let handle = &handle;
+                    let states = &states;
+                    scope.spawn(move || {
+                        for s in states.iter().skip(w).step_by(submitters) {
+                            handle.submit(s).expect("request serves");
+                        }
+                    });
+                }
+            });
+            states.len() as f64 / t.elapsed().as_secs_f64()
+        })
+    };
+    let batch1 = throughput_with(1);
+    let batch8 = throughput_with(8);
+    let batch32 = throughput_with(32);
+
+    ServeBench {
+        requests,
+        admission_ms,
+        single_p50_latency_us,
+        batch_speedup: batch32.median / batch1.median,
+        batch1_requests_per_sec: batch1,
+        batch8_requests_per_sec: batch8,
+        batch32_requests_per_sec: batch32,
+    }
+}
+
 /// Runs all measurements.
 pub fn run(config: &PerfConfig) -> PerfReport {
     PerfReport {
@@ -455,6 +632,7 @@ pub fn run(config: &PerfConfig) -> PerfReport {
         rollout: bench_rollout(config),
         end_to_end: bench_end_to_end(config),
         telemetry: bench_telemetry(config),
+        serve: bench_serve(config),
     }
 }
 
@@ -482,6 +660,11 @@ fn measurements(report: &PerfReport) -> Vec<(&'static str, Measurement)> {
             "telemetry.recording",
             report.telemetry.recording_epochs_per_sec,
         ),
+        ("serve.admission_ms", report.serve.admission_ms),
+        ("serve.single_p50", report.serve.single_p50_latency_us),
+        ("serve.batch1", report.serve.batch1_requests_per_sec),
+        ("serve.batch8", report.serve.batch8_requests_per_sec),
+        ("serve.batch32", report.serve.batch32_requests_per_sec),
     ]
 }
 
@@ -513,13 +696,18 @@ pub fn validate(report: &PerfReport) -> Result<(), String> {
         ("train_step.speedup", report.train_step.speedup),
         ("rollout.speedup", report.rollout.speedup),
         ("telemetry.overhead_ratio", report.telemetry.overhead_ratio),
+        ("serve.batch_speedup", report.serve.batch_speedup),
     ] {
         if !(v.is_finite() && v > 0.0) {
             return Err(format!("{name} must be finite and positive, got {v}"));
         }
     }
-    if report.forward.batch == 0 || report.rollout.episodes == 0 || report.telemetry.epochs == 0 {
-        return Err("batch, episode and epoch counts must be positive".to_string());
+    if report.forward.batch == 0
+        || report.rollout.episodes == 0
+        || report.telemetry.epochs == 0
+        || report.serve.requests == 0
+    {
+        return Err("batch, episode, epoch and request counts must be positive".to_string());
     }
     Ok(())
 }
@@ -552,6 +740,7 @@ mod tests {
             forward_reps: 20,
             rollout_episodes: 8,
             distill_epochs: 4,
+            serve_requests: 32,
             repeats: 3,
         }
     }
@@ -565,8 +754,8 @@ mod tests {
 
     #[test]
     fn committed_baseline_parses_validates_and_is_stable() {
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr4.json");
-        let json = std::fs::read_to_string(path).expect("committed BENCH_pr4.json exists");
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr5.json");
+        let json = std::fs::read_to_string(path).expect("committed BENCH_pr5.json exists");
         let report: PerfReport = serde_json::from_str(&json).expect("baseline deserializes");
         validate(&report).expect("baseline validates");
         // the committed baseline must come from a quiet machine: CI's

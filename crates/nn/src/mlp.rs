@@ -445,9 +445,20 @@ impl Mlp {
     ///
     /// # Errors
     ///
-    /// Returns an error if serialization fails (it cannot for this type,
-    /// but the signature stays honest).
+    /// Returns an error when any weight or bias is non-finite: the JSON
+    /// writer would emit bare `NaN` / `Infinity` literals that strict JSON
+    /// consumers (and the artifact-bundle loader) reject, so the refusal
+    /// happens here, where the offending layer can still be named.
     pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        for (i, layer) in self.layers.iter().enumerate() {
+            if !Self::layer_params_finite(layer) {
+                return Err(serde::DeError::custom(format!(
+                    "layer {i} holds a non-finite weight or bias; refusing to emit \
+                     unparseable bare NaN/Infinity JSON literals"
+                ))
+                .into());
+            }
+        }
         serde_json::to_string(self)
     }
 
@@ -812,6 +823,26 @@ mod tests {
     #[test]
     fn weight_norm_sq_is_positive_for_random_net() {
         assert!(net().weight_norm_sq() > 0.0);
+    }
+
+    #[test]
+    fn to_json_refuses_non_finite_parameters() {
+        // A NaN weight must be an explicit error, not a bare NaN literal
+        // that only fails later in a strict parser.
+        let mut broken = net();
+        broken.layers_mut()[1].weights_mut()[(0, 0)] = f64::NAN;
+        let err = broken.to_json().expect_err("NaN weight rejected");
+        assert!(err.to_string().contains("layer 1"), "{err}");
+
+        let mut inf_bias = net();
+        inf_bias.layers_mut()[0].biases_mut()[2] = f64::INFINITY;
+        assert!(inf_bias.to_json().is_err());
+
+        // the healthy network still round-trips exactly
+        let n = net();
+        let back = Mlp::from_json(&n.to_json().expect("finite net serializes"))
+            .expect("round trip parses");
+        assert_eq!(n, back);
     }
 
     #[test]

@@ -1,0 +1,374 @@
+//! The admission gate: nothing serves traffic until it passes here.
+//!
+//! Admission re-derives everything the bundle claims instead of trusting
+//! it: the static analyzer runs afresh against the target plant (under the
+//! usual Off/Warn/Deny [`PreflightMode`]), the product-form Lipschitz
+//! bound is recomputed from the shipped weights and compared against the
+//! bundle's claim, and a fresh seeded empirical sweep over the bundle's
+//! input domain checks that the claim actually dominates observed slopes.
+//! A bundle that fails any of these never reaches the engine.
+
+use crate::bundle::{BundleError, ControllerBundle};
+use cocktail_analysis::{AnalysisReport, Analyzer, PreflightMode};
+use cocktail_nn::lipschitz;
+use cocktail_obs::{Event, NullSink, Span, Telemetry};
+use std::fmt;
+
+/// Tuning knobs of the admission gate.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// How lint findings gate admission. [`PreflightMode::Deny`] (the
+    /// serving default — stricter than the pipeline's `Warn`) refuses any
+    /// error-level finding; `Warn` reports and admits; `Off` skips the
+    /// analyzer entirely. The Lipschitz checks run in every mode.
+    pub mode: PreflightMode,
+    /// Sample pairs of the fresh empirical Lipschitz sweep.
+    pub sweep_samples: usize,
+    /// Seed of the sweep (fixed so admission is deterministic).
+    pub sweep_seed: u64,
+    /// Relative tolerance when comparing the recomputed certified bound
+    /// against the bundle's claim (absorbs cross-platform libm jitter).
+    pub claim_tolerance: f64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            mode: PreflightMode::Deny,
+            sweep_samples: 2000,
+            sweep_seed: 0x5eed,
+            claim_tolerance: 1e-6,
+        }
+    }
+}
+
+/// Why a bundle was refused.
+#[derive(Debug, Clone)]
+pub enum AdmissionError {
+    /// The bundle itself is malformed (see [`BundleError`]).
+    Bundle(BundleError),
+    /// Deny-mode lint gate: error-level analyzer findings.
+    LintDenied {
+        /// One-line totals of the fresh report.
+        summary: String,
+        /// Full rendered findings.
+        rendered: String,
+    },
+    /// The recomputed certified bound disagrees with the bundle's claim —
+    /// the weights or the claim were altered after export.
+    ClaimMismatch {
+        /// What the bundle claims.
+        claimed: f64,
+        /// What the shipped weights certify to.
+        recomputed: f64,
+    },
+    /// The fresh empirical sweep observed a slope above the claim — the
+    /// claim cannot be a valid upper bound.
+    ClaimViolated {
+        /// What the bundle claims.
+        claimed: f64,
+        /// Largest observed slope.
+        observed: f64,
+    },
+    /// The controller cannot be served against this plant (wrong family,
+    /// dimension mismatch, envelope outside the actuator range).
+    Unservable(String),
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::Bundle(e) => write!(f, "{e}"),
+            AdmissionError::LintDenied { summary, rendered } => {
+                write!(f, "lint gate denied admission ({summary}):\n{rendered}")
+            }
+            AdmissionError::ClaimMismatch {
+                claimed,
+                recomputed,
+            } => write!(
+                f,
+                "Lipschitz certificate mismatch: bundle claims {claimed}, shipped \
+                 weights certify to {recomputed}"
+            ),
+            AdmissionError::ClaimViolated { claimed, observed } => write!(
+                f,
+                "Lipschitz claim violated: fresh sweep observed slope {observed} \
+                 above the claimed bound {claimed}"
+            ),
+            AdmissionError::Unservable(msg) => write!(f, "unservable bundle: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+impl From<BundleError> for AdmissionError {
+    fn from(e: BundleError) -> Self {
+        AdmissionError::Bundle(e)
+    }
+}
+
+/// A bundle that passed admission, with the evidence gathered on the way.
+#[derive(Debug, Clone)]
+pub struct Admitted {
+    /// The admitted bundle.
+    pub bundle: ControllerBundle,
+    /// The fresh analyzer report (empty in [`PreflightMode::Off`]).
+    pub report: AnalysisReport,
+    /// Certified bound recomputed from the shipped weights.
+    pub recomputed_bound: f64,
+    /// Largest slope the fresh empirical sweep observed.
+    pub sweep_lower_bound: f64,
+}
+
+/// Runs the admission gate with the default config and no telemetry.
+///
+/// # Errors
+///
+/// See [`admit_with`].
+pub fn admit(bundle: ControllerBundle) -> Result<Admitted, AdmissionError> {
+    admit_with(bundle, &AdmissionConfig::default(), &NullSink)
+}
+
+/// Runs the full admission gate.
+///
+/// # Errors
+///
+/// Returns an [`AdmissionError`] describing the first failed check; the
+/// bundle never serves in that case.
+pub fn admit_with(
+    bundle: ControllerBundle,
+    config: &AdmissionConfig,
+    tel: &dyn Telemetry,
+) -> Result<Admitted, AdmissionError> {
+    let _span = Span::enter(tel, "serve/admission");
+    let result = run_checks(bundle, config, tel);
+    if tel.enabled() {
+        match &result {
+            Ok(_) => tel.record(Event::counter("serve.admissions", 1)),
+            Err(e) => {
+                tel.record(
+                    Event::counter("serve.admission_refusals", 1).with("reason", kind_of(e)),
+                );
+            }
+        }
+    }
+    result
+}
+
+fn kind_of(e: &AdmissionError) -> &'static str {
+    match e {
+        AdmissionError::Bundle(_) => "bundle",
+        AdmissionError::LintDenied { .. } => "lint-denied",
+        AdmissionError::ClaimMismatch { .. } => "claim-mismatch",
+        AdmissionError::ClaimViolated { .. } => "claim-violated",
+        AdmissionError::Unservable(_) => "unservable",
+    }
+}
+
+fn run_checks(
+    bundle: ControllerBundle,
+    config: &AdmissionConfig,
+    tel: &dyn Telemetry,
+) -> Result<Admitted, AdmissionError> {
+    bundle.validate()?;
+    let sys = bundle.system.dynamics();
+
+    // ---- servability: family, dimensions, actuator envelope
+    let (net, scale) = bundle.network()?;
+    if net.input_dim() != sys.state_dim() {
+        return Err(AdmissionError::Unservable(format!(
+            "controller reads {} state dimensions, plant `{}` has {}",
+            net.input_dim(),
+            sys.name(),
+            sys.state_dim()
+        )));
+    }
+    if net.output_dim() != sys.control_dim() || scale.len() != sys.control_dim() {
+        return Err(AdmissionError::Unservable(format!(
+            "controller emits {} control dimensions (scale arity {}), plant `{}` \
+             expects {}",
+            net.output_dim(),
+            scale.len(),
+            sys.name(),
+            sys.control_dim()
+        )));
+    }
+    let (plant_lo, plant_hi) = sys.control_bounds();
+    for (i, ((lo, hi), (plo, phi))) in bundle
+        .u_inf
+        .iter()
+        .zip(&bundle.u_sup)
+        .zip(plant_lo.iter().zip(&plant_hi))
+        .enumerate()
+    {
+        if lo < plo || hi > phi {
+            return Err(AdmissionError::Unservable(format!(
+                "clip range [{lo}, {hi}] of control dimension {i} exceeds the \
+                 plant's actuator range [{plo}, {phi}]"
+            )));
+        }
+    }
+
+    // ---- lint gate: a fresh analyzer run, never the shipped findings
+    let report = if config.mode == PreflightMode::Off {
+        AnalysisReport::new()
+    } else {
+        let report = Analyzer::new(sys).analyze(&bundle.spec);
+        if tel.enabled() {
+            for d in report.diagnostics() {
+                tel.record(
+                    Event::point("serve.admission.diagnostic")
+                        .with("severity", d.severity.to_string())
+                        .with("code", d.code)
+                        .with("message", d.message.clone()),
+                );
+            }
+        }
+        if config.mode == PreflightMode::Deny && report.has_errors() {
+            return Err(AdmissionError::LintDenied {
+                summary: report.summary(),
+                rendered: report.render(),
+            });
+        }
+        report
+    };
+
+    // ---- Lipschitz certificate: recompute, then challenge with a sweep
+    let spec = &bundle.spec;
+    let recomputed = cocktail_analysis::certified_bound(spec).ok_or_else(|| {
+        AdmissionError::Unservable("controller has no product-form Lipschitz bound".into())
+    })?;
+    let tol = config.claim_tolerance.max(0.0);
+    let rel = (recomputed - bundle.lipschitz_claim).abs() / bundle.lipschitz_claim.abs().max(1.0);
+    if rel > tol {
+        return Err(AdmissionError::ClaimMismatch {
+            claimed: bundle.lipschitz_claim,
+            recomputed,
+        });
+    }
+    let (net, scale) = bundle.network()?;
+    let max_scale = scale.iter().copied().fold(0.0_f64, f64::max);
+    let sweep = max_scale
+        * lipschitz::empirical_lower_bound(
+            net,
+            &bundle.input_domain,
+            config.sweep_samples.max(1),
+            config.sweep_seed,
+        );
+    if sweep > bundle.lipschitz_claim * (1.0 + tol) {
+        return Err(AdmissionError::ClaimViolated {
+            claimed: bundle.lipschitz_claim,
+            observed: sweep,
+        });
+    }
+
+    Ok(Admitted {
+        bundle,
+        report,
+        recomputed_bound: recomputed,
+        sweep_lower_bound: sweep,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::{fnv1a_64, Provenance};
+    use cocktail_analysis::ControllerSpec;
+    use cocktail_core::SystemId;
+    use cocktail_nn::{Activation, MlpBuilder};
+    use cocktail_obs::InMemorySink;
+
+    fn healthy_bundle() -> ControllerBundle {
+        let net = MlpBuilder::new(2)
+            .hidden(8, Activation::Tanh)
+            .output(1, Activation::Tanh)
+            .seed(3)
+            .build();
+        ControllerBundle::package(
+            SystemId::Oscillator,
+            net,
+            vec![20.0],
+            Provenance {
+                seed: 3,
+                config_hash: fnv1a_64(b"admission-test"),
+                crate_version: env!("CARGO_PKG_VERSION").to_string(),
+            },
+        )
+        .expect("healthy student packages")
+    }
+
+    #[test]
+    fn healthy_bundle_is_admitted_with_evidence() {
+        let tel = InMemorySink::new();
+        let admitted = admit_with(healthy_bundle(), &AdmissionConfig::default(), &tel)
+            .expect("healthy bundle admitted");
+        assert!(!admitted.report.has_errors());
+        assert!(admitted.sweep_lower_bound <= admitted.bundle.lipschitz_claim);
+        assert!(
+            (admitted.recomputed_bound - admitted.bundle.lipschitz_claim).abs()
+                < 1e-9 * admitted.bundle.lipschitz_claim.max(1.0)
+        );
+        assert_eq!(tel.counter_total("serve.admissions"), 1);
+        assert_eq!(tel.counter_total("serve.admission_refusals"), 0);
+    }
+
+    #[test]
+    fn nan_weight_is_lint_denied() {
+        let mut b = healthy_bundle();
+        if let ControllerSpec::Mlp { net, .. } = &mut b.spec {
+            net.layers_mut()[0].weights_mut()[(0, 0)] = f64::NAN;
+        }
+        // validate() itself already refuses non-finite weights; the lint
+        // gate is the second line of defence, so bypass validate by
+        // checking the error kind only
+        let tel = InMemorySink::new();
+        let err = admit_with(b, &AdmissionConfig::default(), &tel).expect_err("refused");
+        assert!(
+            matches!(err, AdmissionError::Bundle(BundleError::NonFinite(_))),
+            "{err}"
+        );
+        assert_eq!(tel.counter_total("serve.admission_refusals"), 1);
+    }
+
+    #[test]
+    fn tampered_claim_is_a_certificate_mismatch() {
+        let mut b = healthy_bundle();
+        b.lipschitz_claim *= 0.5;
+        let err = admit(b).expect_err("refused");
+        assert!(matches!(err, AdmissionError::ClaimMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn tampered_weights_are_a_certificate_mismatch() {
+        let mut b = healthy_bundle();
+        if let ControllerSpec::Mlp { net, .. } = &mut b.spec {
+            // finite tampering: scale one weight up so the certified bound
+            // moves but every hygiene check still passes
+            net.layers_mut()[0].weights_mut()[(0, 0)] *= 4.0;
+        }
+        let err = admit(b).expect_err("refused");
+        assert!(matches!(err, AdmissionError::ClaimMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn wrong_plant_is_unservable() {
+        let mut b = healthy_bundle();
+        b.system = SystemId::CartPole; // 4 state dims; the net reads 2
+        let err = admit(b).expect_err("refused");
+        assert!(matches!(err, AdmissionError::Unservable(_)), "{err}");
+    }
+
+    #[test]
+    fn off_mode_still_verifies_the_certificate() {
+        let mut b = healthy_bundle();
+        b.lipschitz_claim *= 2.0;
+        let cfg = AdmissionConfig {
+            mode: PreflightMode::Off,
+            ..AdmissionConfig::default()
+        };
+        let err = admit_with(b, &cfg, &NullSink).expect_err("refused");
+        assert!(matches!(err, AdmissionError::ClaimMismatch { .. }), "{err}");
+    }
+}

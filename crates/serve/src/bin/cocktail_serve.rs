@@ -1,0 +1,232 @@
+//! `cocktail-serve` — the controller-serving CLI.
+//!
+//! ```text
+//! cocktail-serve check   --bundle student.bundle.json
+//! cocktail-serve serve   --bundle student.bundle.json --addr 127.0.0.1:7501
+//! cocktail-serve loadgen --bundle student.bundle.json --addr 127.0.0.1:7501
+//! cocktail-serve smoke   --bundle student.bundle.json --telemetry tel.jsonl
+//! ```
+//!
+//! `check` runs admission and prints the evidence; `serve` admits then
+//! serves over TCP until killed; `loadgen` drives an already-running
+//! server and verifies every response bit-for-bit; `smoke` does
+//! admit + serve + loadgen in one process on an ephemeral port and exits
+//! non-zero on any fallback, mismatch, rejection, or error — the CI entry
+//! point.
+
+use cocktail_obs::{JsonlSink, NullSink, Telemetry};
+use cocktail_serve::loadgen::{self, LoadGenConfig, LoadReport};
+use cocktail_serve::{admit, ControllerBundle, Engine, EngineConfig, Server};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let key = raw[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected a --flag, got `{}`", raw[i]))?;
+            let value = raw
+                .get(i + 1)
+                .ok_or_else(|| format!("--{key} needs a value"))?;
+            flags.push((key.to_string(), value.clone()));
+            i += 2;
+        }
+        Ok(Self { flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn required(&self, key: &str) -> Result<&str, String> {
+        self.get(key).ok_or_else(|| format!("--{key} is required"))
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} got unparseable value `{v}`")),
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: cocktail-serve <check|serve|loadgen|smoke> --bundle <path> [options]\n\
+     \n\
+     check   --bundle <path>\n\
+     serve   --bundle <path> --addr <ip:port> [--max-batch N] [--deadline-us N]\n\
+             [--capacity N] [--telemetry <jsonl>]\n\
+     loadgen --bundle <path> --addr <ip:port> [--requests N] [--connections N] [--seed N]\n\
+     smoke   --bundle <path> [--requests N] [--connections N] [--seed N]\n\
+             [--telemetry <jsonl>] [--max-batch N] [--deadline-us N] [--capacity N]"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = raw.first().cloned() else {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    };
+    let result = match Args::parse(&raw[1..]) {
+        Err(e) => Err(e),
+        Ok(args) => match command.as_str() {
+            "check" => cmd_check(&args),
+            "serve" => cmd_serve(&args),
+            "loadgen" => cmd_loadgen(&args),
+            "smoke" => cmd_smoke(&args),
+            other => Err(format!("unknown command `{other}`\n{}", usage())),
+        },
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("cocktail-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load_bundle(args: &Args) -> Result<ControllerBundle, String> {
+    let path = PathBuf::from(args.required("bundle")?);
+    ControllerBundle::load(&path).map_err(|e| e.to_string())
+}
+
+fn telemetry_of(args: &Args) -> Result<Arc<dyn Telemetry>, String> {
+    match args.get("telemetry") {
+        None => Ok(Arc::new(NullSink)),
+        Some(path) => Ok(Arc::new(
+            JsonlSink::create(Path::new(path)).map_err(|e| format!("telemetry sink: {e}"))?,
+        )),
+    }
+}
+
+fn engine_config(args: &Args) -> Result<EngineConfig, String> {
+    let defaults = EngineConfig::default();
+    Ok(EngineConfig {
+        max_batch: args.parsed("max-batch", defaults.max_batch)?,
+        batch_deadline: Duration::from_micros(args.parsed(
+            "deadline-us",
+            u64::try_from(defaults.batch_deadline.as_micros()).unwrap_or(200),
+        )?),
+        queue_capacity: args.parsed("capacity", defaults.queue_capacity)?,
+        start_paused: false,
+    })
+}
+
+fn loadgen_config(args: &Args) -> Result<LoadGenConfig, String> {
+    let defaults = LoadGenConfig::default();
+    Ok(LoadGenConfig {
+        requests: args.parsed("requests", defaults.requests)?,
+        connections: args.parsed("connections", defaults.connections)?,
+        seed: args.parsed("seed", defaults.seed)?,
+    })
+}
+
+fn print_report(report: &LoadReport) {
+    println!(
+        "loadgen: sent={} completed={} rejected={} fallbacks={} mismatches={} errors={} \
+         p50_latency_us={:.1} throughput_rps={:.0}",
+        report.sent,
+        report.completed,
+        report.rejected,
+        report.fallbacks,
+        report.mismatches,
+        report.errors,
+        report.p50_latency_us,
+        report.throughput_rps
+    );
+}
+
+fn cmd_check(args: &Args) -> Result<ExitCode, String> {
+    let bundle = load_bundle(args)?;
+    match admit(bundle.clone()) {
+        Ok(admitted) => {
+            println!(
+                "ADMITTED: {} controller for {} (claim {:.6}, recomputed {:.6}, \
+                 sweep lower bound {:.6}, {} findings)",
+                bundle.spec.kind(),
+                bundle.system.label(),
+                bundle.lipschitz_claim,
+                admitted.recomputed_bound,
+                admitted.sweep_lower_bound,
+                admitted.report.diagnostics().len()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(e) => {
+            eprintln!("REFUSED: {e}");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn cmd_serve(args: &Args) -> Result<ExitCode, String> {
+    let bundle = load_bundle(args)?;
+    let tel = telemetry_of(args)?;
+    let admitted = admit(bundle.clone()).map_err(|e| format!("admission refused: {e}"))?;
+    let engine = Engine::start_with(&admitted, engine_config(args)?, None, tel)
+        .map_err(|e| e.to_string())?;
+    let server =
+        Server::bind(args.required("addr")?, engine.handle()).map_err(|e| format!("bind: {e}"))?;
+    println!(
+        "serving {} on {}",
+        bundle.system.label(),
+        server.local_addr()
+    );
+    // serve until killed
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn cmd_loadgen(args: &Args) -> Result<ExitCode, String> {
+    let bundle = load_bundle(args)?;
+    let addr = args
+        .required("addr")?
+        .parse()
+        .map_err(|e| format!("--addr: {e}"))?;
+    let report =
+        loadgen::run_tcp(&bundle, addr, &loadgen_config(args)?).map_err(|e| e.to_string())?;
+    print_report(&report);
+    Ok(if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_smoke(args: &Args) -> Result<ExitCode, String> {
+    let bundle = load_bundle(args)?;
+    let tel = telemetry_of(args)?;
+    let admitted = admit(bundle.clone()).map_err(|e| format!("admission refused: {e}"))?;
+    let engine = Engine::start_with(&admitted, engine_config(args)?, None, tel)
+        .map_err(|e| e.to_string())?;
+    let server = Server::bind("127.0.0.1:0", engine.handle()).map_err(|e| format!("bind: {e}"))?;
+    let report = loadgen::run_tcp(&bundle, server.local_addr(), &loadgen_config(args)?)
+        .map_err(|e| e.to_string())?;
+    server.shutdown();
+    engine.shutdown();
+    print_report(&report);
+    if report.is_clean() {
+        println!("smoke: clean (every response bit-identical to the per-sample reference)");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!("smoke: NOT clean");
+        Ok(ExitCode::FAILURE)
+    }
+}

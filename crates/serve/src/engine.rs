@@ -1,0 +1,712 @@
+//! The micro-batching inference engine.
+//!
+//! Concurrent control requests are coalesced into one
+//! [`Mlp::forward_batch_cached`] call by a single worker thread: the first
+//! queued request opens a batch window, the worker then waits up to
+//! [`EngineConfig::batch_deadline`] (or until
+//! [`EngineConfig::max_batch`] requests are queued) before running the
+//! batch. Each row of the batched forward is bit-identical to a per-sample
+//! [`Mlp::forward`], and scaling/clipping are applied per request exactly
+//! as `NnController::control` + `Dynamics::clip_control` would — so the
+//! served output is invariant under the batch schedule.
+//!
+//! Two runtime guardrails:
+//!
+//! * **Backpressure**: the queue is bounded; a submit against a full queue
+//!   fails *immediately* with [`ServeError::Backpressure`]. A control loop
+//!   must never block on its controller — a stale command it can handle, a
+//!   stalled plant it cannot.
+//! * **Non-finite guard**: if a (scaled) output row is non-finite — or
+//!   the network's own internal finiteness assertion panics mid-batch —
+//!   the request is answered by the configured fallback expert (the same
+//!   degradation idea as `MixedController`'s quarantine, reduced to one
+//!   request) and `serve.fallbacks` is incremented; with no fallback the
+//!   request fails with [`ServeError::NonFiniteOutput`]. A healthy
+//!   admitted bundle never triggers this — CI asserts exactly that.
+
+use crate::admission::Admitted;
+use cocktail_control::Controller;
+use cocktail_math::{vector, Matrix};
+use cocktail_nn::{BatchCache, Mlp};
+use cocktail_obs::{Event, NullSink, Span, Telemetry};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Scheduler knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Largest number of requests folded into one batched forward.
+    pub max_batch: usize,
+    /// How long the worker holds an open batch for more requests. Zero
+    /// means "serve whatever is queued immediately".
+    pub batch_deadline: Duration,
+    /// Bounded queue capacity; submits beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Start with the scheduler paused (deterministic batch composition
+    /// for tests: queue requests, then [`Engine::resume`]).
+    pub start_paused: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 16,
+            batch_deadline: Duration::from_micros(200),
+            queue_capacity: 256,
+            start_paused: false,
+        }
+    }
+}
+
+/// Why a request failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded queue is full; the request was rejected without
+    /// blocking. `depth` is the queue depth observed at rejection.
+    Backpressure {
+        /// Queue depth at the moment of rejection.
+        depth: usize,
+    },
+    /// The request itself is malformed (wrong dimension, non-finite
+    /// state).
+    BadRequest(String),
+    /// The network produced a non-finite output and no fallback expert is
+    /// configured.
+    NonFiniteOutput,
+    /// The engine shut down before answering.
+    Shutdown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Backpressure { depth } => {
+                write!(f, "queue full ({depth} requests pending); request rejected")
+            }
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::NonFiniteOutput => {
+                write!(f, "non-finite controller output and no fallback expert")
+            }
+            ServeError::Shutdown => write!(f, "engine shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One answered control request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlResponse {
+    /// The clipped control vector.
+    pub control: Vec<f64>,
+    /// Whether the fallback expert answered (non-finite primary output).
+    pub served_by_fallback: bool,
+}
+
+struct Request {
+    state: Vec<f64>,
+    tx: mpsc::SyncSender<Result<ControlResponse, ServeError>>,
+}
+
+struct EngineState {
+    queue: VecDeque<Request>,
+    paused: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<EngineState>,
+    wake: Condvar,
+    state_dim: usize,
+    control_dim: usize,
+    queue_capacity: usize,
+    tel: Arc<dyn Telemetry>,
+}
+
+/// A cloneable submission handle; this is what transports and in-process
+/// clients hold.
+#[derive(Clone)]
+pub struct EngineHandle {
+    shared: Arc<Shared>,
+}
+
+/// An in-flight request; [`Ticket::wait`] blocks until the batch worker
+/// answers.
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<ControlResponse, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the response arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns the per-request [`ServeError`], or [`ServeError::Shutdown`]
+    /// when the engine died first.
+    pub fn wait(self) -> Result<ControlResponse, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Shutdown))
+    }
+}
+
+impl EngineHandle {
+    /// State (input) dimension served by this engine.
+    pub fn state_dim(&self) -> usize {
+        self.shared.state_dim
+    }
+
+    /// Control (output) dimension served by this engine.
+    pub fn control_dim(&self) -> usize {
+        self.shared.control_dim
+    }
+
+    /// Enqueues a request without blocking; never waits for capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Backpressure`] on a full queue,
+    /// [`ServeError::BadRequest`] on a malformed state,
+    /// [`ServeError::Shutdown`] after shutdown.
+    pub fn try_submit(&self, state: &[f64]) -> Result<Ticket, ServeError> {
+        if state.len() != self.shared.state_dim {
+            return Err(ServeError::BadRequest(format!(
+                "state dimension {} != expected {}",
+                state.len(),
+                self.shared.state_dim
+            )));
+        }
+        if !state.iter().all(|v| v.is_finite()) {
+            return Err(ServeError::BadRequest("non-finite state component".into()));
+        }
+        let (tx, rx) = mpsc::sync_channel(1);
+        #[allow(
+            clippy::expect_used,
+            reason = "a poisoned engine mutex means a worker panic; propagating is correct"
+        )]
+        let mut guard = self.shared.state.lock().expect("engine mutex poisoned");
+        if guard.shutdown {
+            return Err(ServeError::Shutdown);
+        }
+        if guard.queue.len() >= self.shared.queue_capacity {
+            let depth = guard.queue.len();
+            drop(guard);
+            self.shared.tel.counter("serve.rejections", 1);
+            return Err(ServeError::Backpressure { depth });
+        }
+        guard.queue.push_back(Request {
+            state: state.to_vec(),
+            tx,
+        });
+        drop(guard);
+        self.shared.wake.notify_all();
+        Ok(Ticket { rx })
+    }
+
+    /// Submits and waits for the answer — the in-process client call.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::try_submit`] and [`Ticket::wait`].
+    pub fn submit(&self, state: &[f64]) -> Result<ControlResponse, ServeError> {
+        self.try_submit(state)?.wait()
+    }
+}
+
+/// The engine: owns the batch worker thread. Dropping it shuts the worker
+/// down after draining the queue.
+pub struct Engine {
+    shared: Arc<Shared>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Engine {
+    /// Starts an engine serving an admitted bundle, with no fallback and
+    /// no telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`crate::bundle::BundleError`] message when the
+    /// admitted spec is not servable (cannot happen for bundles that went
+    /// through [`crate::admission::admit`]).
+    pub fn start(admitted: &Admitted, config: EngineConfig) -> Result<Self, ServeError> {
+        Self::start_with(admitted, config, None, Arc::new(NullSink))
+    }
+
+    /// Starts an engine with an optional fallback expert and telemetry.
+    ///
+    /// The fallback must match the bundle's dimensions; it answers any
+    /// request whose primary output is non-finite.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] when the spec is not the `Mlp` family or
+    /// the fallback dimensions disagree with the bundle.
+    pub fn start_with(
+        admitted: &Admitted,
+        config: EngineConfig,
+        fallback: Option<Arc<dyn Controller>>,
+        tel: Arc<dyn Telemetry>,
+    ) -> Result<Self, ServeError> {
+        let (net, scale) = admitted
+            .bundle
+            .network()
+            .map_err(|e| ServeError::BadRequest(e.to_string()))?;
+        Self::from_parts(
+            net.clone(),
+            scale.to_vec(),
+            admitted.bundle.u_inf.clone(),
+            admitted.bundle.u_sup.clone(),
+            config,
+            fallback,
+            tel,
+        )
+    }
+
+    /// Starts an engine from raw parts, bypassing admission. Exists for
+    /// the fault drills (serving a deliberately overflowing network to
+    /// exercise the fallback path) and the perf harness; production
+    /// callers go through [`crate::admission::admit`] + [`Self::start`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] on any dimension inconsistency.
+    pub fn from_parts(
+        net: Mlp,
+        scale: Vec<f64>,
+        u_inf: Vec<f64>,
+        u_sup: Vec<f64>,
+        config: EngineConfig,
+        fallback: Option<Arc<dyn Controller>>,
+        tel: Arc<dyn Telemetry>,
+    ) -> Result<Self, ServeError> {
+        let control_dim = net.output_dim();
+        if scale.len() != control_dim || u_inf.len() != control_dim || u_sup.len() != control_dim {
+            return Err(ServeError::BadRequest(format!(
+                "scale/clip arity ({}, {}, {}) != control dimension {control_dim}",
+                scale.len(),
+                u_inf.len(),
+                u_sup.len()
+            )));
+        }
+        if let Some(fb) = &fallback {
+            if fb.state_dim() != net.input_dim() || fb.control_dim() != control_dim {
+                return Err(ServeError::BadRequest(format!(
+                    "fallback expert `{}` dimensions ({}, {}) != bundle dimensions ({}, {})",
+                    fb.name(),
+                    fb.state_dim(),
+                    fb.control_dim(),
+                    net.input_dim(),
+                    control_dim
+                )));
+            }
+        }
+        let shared = Arc::new(Shared {
+            state: Mutex::new(EngineState {
+                queue: VecDeque::new(),
+                paused: config.start_paused,
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            state_dim: net.input_dim(),
+            control_dim,
+            queue_capacity: config.queue_capacity.max(1),
+            tel,
+        });
+        let worker_shared = shared.clone();
+        let max_batch = config.max_batch.max(1);
+        let deadline = config.batch_deadline;
+        let worker = std::thread::Builder::new()
+            .name("cocktail-serve-batcher".into())
+            .spawn(move || {
+                batch_worker(
+                    &worker_shared,
+                    &net,
+                    &scale,
+                    &u_inf,
+                    &u_sup,
+                    max_batch,
+                    deadline,
+                    fallback.as_deref(),
+                );
+            })
+            .map_err(|e| ServeError::BadRequest(format!("spawn worker: {e}")))?;
+        Ok(Self {
+            shared,
+            worker: Some(worker),
+        })
+    }
+
+    /// A cloneable submission handle.
+    pub fn handle(&self) -> EngineHandle {
+        EngineHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Pauses the scheduler: requests keep queueing (and keep being
+    /// rejected once the queue is full) but no batch runs.
+    pub fn pause(&self) {
+        self.set_paused(true);
+    }
+
+    /// Resumes a paused scheduler.
+    pub fn resume(&self) {
+        self.set_paused(false);
+    }
+
+    fn set_paused(&self, paused: bool) {
+        #[allow(
+            clippy::expect_used,
+            reason = "a poisoned engine mutex means a worker panic; propagating is correct"
+        )]
+        let mut guard = self.shared.state.lock().expect("engine mutex poisoned");
+        guard.paused = paused;
+        drop(guard);
+        self.shared.wake.notify_all();
+    }
+
+    /// Shuts the worker down after draining the queue.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        {
+            #[allow(
+                clippy::expect_used,
+                reason = "a poisoned engine mutex means a worker panic; propagating is correct"
+            )]
+            let mut guard = self.shared.state.lock().expect("engine mutex poisoned");
+            guard.shutdown = true;
+            // a paused engine must still drain on shutdown
+            guard.paused = false;
+        }
+        self.shared.wake.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[allow(
+    clippy::too_many_arguments,
+    reason = "private worker entry point; bundling these into a struct would only rename the arguments"
+)]
+fn batch_worker(
+    shared: &Shared,
+    net: &Mlp,
+    scale: &[f64],
+    u_inf: &[f64],
+    u_sup: &[f64],
+    max_batch: usize,
+    deadline: Duration,
+    fallback: Option<&dyn Controller>,
+) {
+    let tel = shared.tel.as_ref();
+    let mut cache = BatchCache::new();
+    loop {
+        #[allow(
+            clippy::expect_used,
+            reason = "a poisoned engine mutex means a submitter panicked mid-push; nothing to salvage"
+        )]
+        let mut guard = shared.state.lock().expect("engine mutex poisoned");
+        // wait for work (or shutdown with an empty queue)
+        loop {
+            if guard.queue.is_empty() || guard.paused {
+                if guard.shutdown && guard.queue.is_empty() {
+                    return;
+                }
+                #[allow(
+                    clippy::expect_used,
+                    reason = "condvar wait fails only on a poisoned mutex"
+                )]
+                {
+                    guard = shared.wake.wait(guard).expect("engine mutex poisoned");
+                }
+            } else {
+                break;
+            }
+        }
+        // batch window: hold for up to `deadline` or `max_batch` requests
+        if !deadline.is_zero() {
+            let window_end = Instant::now() + deadline;
+            while guard.queue.len() < max_batch && !guard.shutdown && !guard.paused {
+                let now = Instant::now();
+                if now >= window_end {
+                    break;
+                }
+                #[allow(
+                    clippy::expect_used,
+                    reason = "condvar wait fails only on a poisoned mutex"
+                )]
+                let (g, timeout) = shared
+                    .wake
+                    .wait_timeout(guard, window_end - now)
+                    .expect("engine mutex poisoned");
+                guard = g;
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+        }
+        if guard.paused && !guard.shutdown {
+            continue; // drop the guard, go back to waiting
+        }
+        let depth = guard.queue.len();
+        let take = depth.min(max_batch);
+        let batch: Vec<Request> = guard.queue.drain(..take).collect();
+        drop(guard);
+
+        run_batch(
+            tel, &mut cache, net, scale, u_inf, u_sup, depth, &batch, fallback,
+        );
+    }
+}
+
+#[allow(
+    clippy::too_many_arguments,
+    reason = "private helper split out of the worker loop for readability"
+)]
+fn run_batch(
+    tel: &dyn Telemetry,
+    cache: &mut BatchCache,
+    net: &Mlp,
+    scale: &[f64],
+    u_inf: &[f64],
+    u_sup: &[f64],
+    depth: usize,
+    batch: &[Request],
+    fallback: Option<&dyn Controller>,
+) {
+    let span = Span::enter_with(
+        tel,
+        "serve/batch",
+        vec![
+            ("batch".to_string(), batch.len().into()),
+            ("queue_depth".to_string(), depth.into()),
+        ],
+    );
+    tel.observe("serve.batch_size", batch.len() as f64);
+    tel.observe("serve.queue_depth", depth as f64);
+
+    let x = Matrix::from_rows(batch.iter().map(|r| r.state.clone()).collect());
+    // the network asserts its own activations are finite and panics
+    // otherwise; catch that so one poisoned batch degrades to the
+    // fallback expert instead of killing the worker thread
+    let forwarded = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        net.forward_batch_cached(&x, cache);
+    }))
+    .is_ok();
+    let out = forwarded.then(|| cache.output());
+    let mut fallbacks = 0u64;
+    for (r, request) in batch.iter().enumerate() {
+        // identical arithmetic to NnController::control followed by the
+        // plant clip: y[i] * scale[i], then clamp — bit-for-bit what the
+        // per-sample path produces
+        let scaled: Vec<f64> = out.map_or_else(Vec::new, |m| {
+            m.row(r).iter().zip(scale).map(|(y, sc)| y * sc).collect()
+        });
+        let response = if out.is_some() && scaled.iter().all(|v| v.is_finite()) {
+            Ok(ControlResponse {
+                control: vector::clip(&scaled, u_inf, u_sup),
+                served_by_fallback: false,
+            })
+        } else if let Some(fb) = fallback {
+            fallbacks += 1;
+            let u = fb.control(&request.state);
+            if u.iter().all(|v| v.is_finite()) {
+                Ok(ControlResponse {
+                    control: vector::clip(&u, u_inf, u_sup),
+                    served_by_fallback: true,
+                })
+            } else {
+                Err(ServeError::NonFiniteOutput)
+            }
+        } else {
+            Err(ServeError::NonFiniteOutput)
+        };
+        // a dropped ticket (client gone) is not an engine error
+        let _ = request.tx.send(response);
+    }
+    tel.counter("serve.requests", batch.len() as u64);
+    tel.counter("serve.fallbacks", fallbacks);
+    if fallbacks > 0 && tel.enabled() {
+        tel.record(
+            Event::point("serve.degradation")
+                .with("reason", "non-finite-output")
+                .with("requests", fallbacks),
+        );
+    }
+    drop(span);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocktail_control::LinearFeedbackController;
+    use cocktail_nn::{Activation, MlpBuilder};
+    use cocktail_obs::InMemorySink;
+
+    fn small_net() -> Mlp {
+        MlpBuilder::new(2)
+            .hidden(6, Activation::Tanh)
+            .output(1, Activation::Identity)
+            .seed(5)
+            .build()
+    }
+
+    fn engine_with(config: EngineConfig) -> Engine {
+        Engine::from_parts(
+            small_net(),
+            vec![2.0],
+            vec![-5.0],
+            vec![5.0],
+            config,
+            None,
+            Arc::new(NullSink),
+        )
+        .expect("engine starts")
+    }
+
+    #[test]
+    fn serves_a_request_end_to_end() {
+        let engine = engine_with(EngineConfig::default());
+        let resp = engine.handle().submit(&[0.3, -0.4]).expect("served");
+        let expected = vector::clip(
+            &[small_net().forward(&[0.3, -0.4])[0] * 2.0],
+            &[-5.0],
+            &[5.0],
+        );
+        assert_eq!(resp.control, expected);
+        assert!(!resp.served_by_fallback);
+    }
+
+    #[test]
+    fn rejects_malformed_requests_immediately() {
+        let engine = engine_with(EngineConfig::default());
+        let h = engine.handle();
+        assert!(matches!(h.submit(&[1.0]), Err(ServeError::BadRequest(_))));
+        assert!(matches!(
+            h.submit(&[f64::NAN, 0.0]),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn paused_engine_rejects_above_capacity_deterministically() {
+        let engine = engine_with(EngineConfig {
+            queue_capacity: 3,
+            start_paused: true,
+            ..EngineConfig::default()
+        });
+        let h = engine.handle();
+        let tickets: Vec<Ticket> = (0..3)
+            .map(|i| h.try_submit(&[0.1 * f64::from(i), 0.0]).expect("queued"))
+            .collect();
+        for _ in 0..5 {
+            assert_eq!(
+                h.try_submit(&[0.9, 0.9]).err(),
+                Some(ServeError::Backpressure { depth: 3 })
+            );
+        }
+        engine.resume();
+        for t in tickets {
+            assert!(t.wait().expect("served after resume").control[0].is_finite());
+        }
+    }
+
+    #[test]
+    fn fallback_answers_non_finite_outputs() {
+        // identity-activation net with an overflowing weight: finite
+        // parameters, non-finite output at a large input — exactly the
+        // case admission cannot rule out and the runtime guard must catch
+        let net = MlpBuilder::new(2)
+            .hidden(4, Activation::Identity)
+            .output(1, Activation::Identity)
+            .seed(1)
+            .build();
+        let mut net = net;
+        for layer in net.layers_mut() {
+            for v in layer.weights_mut().as_mut_slice() {
+                *v = 1e300;
+            }
+        }
+        let fallback = Arc::new(LinearFeedbackController::new(Matrix::from_rows(vec![
+            vec![1.0, 1.0],
+        ])));
+        let tel = Arc::new(InMemorySink::new());
+        let engine = Engine::from_parts(
+            net,
+            vec![1.0],
+            vec![-5.0],
+            vec![5.0],
+            EngineConfig::default(),
+            Some(fallback),
+            tel.clone(),
+        )
+        .expect("engine starts");
+        let resp = engine
+            .handle()
+            .submit(&[2.0, 2.0])
+            .expect("fallback serves");
+        assert!(resp.served_by_fallback);
+        assert_eq!(resp.control, vec![-4.0]); // clip(-(2+2)) at [-5, 5]
+        drop(engine);
+        assert_eq!(tel.counter_total("serve.fallbacks"), 1);
+        assert_eq!(tel.counter_total("serve.requests"), 1);
+    }
+
+    #[test]
+    fn no_fallback_means_an_explicit_error() {
+        // tanh layers would keep the output finite; identity ones overflow
+        let mut net = MlpBuilder::new(2)
+            .hidden(4, Activation::Identity)
+            .output(1, Activation::Identity)
+            .seed(1)
+            .build();
+        for layer in net.layers_mut() {
+            for v in layer.weights_mut().as_mut_slice() {
+                *v = 1e300;
+            }
+        }
+        let engine = Engine::from_parts(
+            net,
+            vec![1.0],
+            vec![-5.0],
+            vec![5.0],
+            EngineConfig::default(),
+            None,
+            Arc::new(NullSink),
+        )
+        .expect("engine starts");
+        assert_eq!(
+            engine.handle().submit(&[2.0, 2.0]).err(),
+            Some(ServeError::NonFiniteOutput)
+        );
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests() {
+        let engine = engine_with(EngineConfig {
+            start_paused: true,
+            ..EngineConfig::default()
+        });
+        let h = engine.handle();
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|i| h.try_submit(&[0.05 * f64::from(i), 0.1]).expect("queued"))
+            .collect();
+        engine.shutdown();
+        for t in tickets {
+            assert!(t.wait().is_ok(), "queued work drains on shutdown");
+        }
+        assert_eq!(h.submit(&[0.0, 0.0]).err(), Some(ServeError::Shutdown));
+    }
+}

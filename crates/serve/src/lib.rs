@@ -1,0 +1,37 @@
+//! `cocktail-serve`: a controller-serving runtime for distilled students.
+//!
+//! The pipeline crates end at a trained, verified student network. This
+//! crate is the deployment story for that artifact, in four layers:
+//!
+//! 1. **Bundle** ([`bundle`]): a versioned, self-describing JSON artifact
+//!    packaging the student network with its operating envelope (input
+//!    domain, control clip range), its measured Lipschitz certificate,
+//!    the static-analysis findings it shipped with, and provenance (seed,
+//!    config hash, crate version). Writes are atomic and fsync'd.
+//! 2. **Admission** ([`admission`]): nothing serves on trust. Loading a
+//!    bundle re-runs the `cocktail-analysis` gate against the *current*
+//!    linter and re-derives the Lipschitz bound; a stale claim, a Deny
+//!    finding, or a certificate violation refuses admission.
+//! 3. **Engine** ([`engine`]): a micro-batching scheduler that coalesces
+//!    concurrent requests into single batched forwards, clips every
+//!    output to the bundle envelope, answers non-finite outputs from a
+//!    fallback expert, and rejects (never blocks) under overload.
+//! 4. **Transport + harness** ([`transport`], [`loadgen`]): a
+//!    length-prefixed JSON-over-TCP server, matching client, and a
+//!    deterministic load generator that doubles as the correctness
+//!    oracle — every served output is checked bit-for-bit against the
+//!    per-sample reference path.
+//!
+//! The crate is std-only, like the rest of the workspace.
+
+pub mod admission;
+pub mod bundle;
+pub mod engine;
+pub mod loadgen;
+pub mod transport;
+
+pub use admission::{admit, admit_with, AdmissionConfig, AdmissionError, Admitted};
+pub use bundle::{BundleError, ControllerBundle, Provenance, BUNDLE_VERSION};
+pub use engine::{ControlResponse, Engine, EngineConfig, EngineHandle, ServeError, Ticket};
+pub use loadgen::{LoadGenConfig, LoadReport};
+pub use transport::{ControlClient, Server, TcpClient};

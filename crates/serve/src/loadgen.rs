@@ -1,0 +1,268 @@
+//! A deterministic load generator that is also a correctness oracle.
+//!
+//! States are drawn from the bundle's own input domain with a single
+//! seeded RNG stream, so a given `(bundle, seed, requests)` triple always
+//! produces the same request sequence. Every response is compared
+//! bit-for-bit against [`expected_control`] — the per-sample reference
+//! path (`forward`, scale, clip) the batching engine promises to match —
+//! which turns any scheduler-induced numeric drift into a counted
+//! `mismatch` instead of a silent perf artifact.
+
+use crate::bundle::{BundleError, ControllerBundle};
+use crate::engine::{EngineHandle, ServeError};
+use crate::transport::{ControlClient, TcpClient};
+use cocktail_math::{rng, vector};
+use std::net::SocketAddr;
+use std::time::Instant;
+
+/// Load-drill shape.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Total requests across all connections.
+    pub requests: usize,
+    /// Concurrent connections (threads); requests are dealt round-robin.
+    pub connections: usize,
+    /// Seed for the state stream.
+    pub seed: u64,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        Self {
+            requests: 512,
+            connections: 4,
+            seed: 0x10ad,
+        }
+    }
+}
+
+/// What the drill observed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// Requests issued.
+    pub sent: usize,
+    /// Requests answered successfully.
+    pub completed: usize,
+    /// Requests refused with backpressure.
+    pub rejected: usize,
+    /// Responses answered by the fallback expert.
+    pub fallbacks: usize,
+    /// Responses that differed bitwise from the per-sample reference.
+    pub mismatches: usize,
+    /// Other errors (transport, bad request, shutdown).
+    pub errors: usize,
+    /// Median per-request latency in microseconds.
+    pub p50_latency_us: f64,
+    /// Completed requests per wall-clock second.
+    pub throughput_rps: f64,
+}
+
+impl LoadReport {
+    /// A drill is clean when every request was answered by the primary
+    /// network with the bit-exact reference output.
+    pub fn is_clean(&self) -> bool {
+        self.completed == self.sent
+            && self.rejected == 0
+            && self.fallbacks == 0
+            && self.mismatches == 0
+            && self.errors == 0
+    }
+}
+
+/// The deterministic request stream for a bundle: `requests` states drawn
+/// uniformly from the bundle's input domain.
+pub fn generate_states(bundle: &ControllerBundle, requests: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut r = rng::seeded(seed);
+    (0..requests)
+        .map(|_| rng::uniform_in_box(&mut r, &bundle.input_domain))
+        .collect()
+}
+
+/// The per-sample reference output the engine must reproduce bit-exactly:
+/// `clip(scale ⊙ net.forward(state))`.
+///
+/// # Errors
+///
+/// [`BundleError`] when the bundle does not hold an `Mlp`-family spec.
+pub fn expected_control(bundle: &ControllerBundle, state: &[f64]) -> Result<Vec<f64>, BundleError> {
+    let (net, scale) = bundle.network()?;
+    let raw = net.forward(state);
+    let scaled: Vec<f64> = raw.iter().zip(scale).map(|(y, sc)| y * sc).collect();
+    Ok(vector::clip(&scaled, &bundle.u_inf, &bundle.u_sup))
+}
+
+/// Runs the drill over TCP with one connection per thread.
+///
+/// # Errors
+///
+/// [`BundleError`] when the bundle is not `Mlp`-family; individual
+/// connect/request failures are counted in the report, not returned.
+pub fn run_tcp(
+    bundle: &ControllerBundle,
+    addr: SocketAddr,
+    cfg: &LoadGenConfig,
+) -> Result<LoadReport, BundleError> {
+    run_with(bundle, cfg, |_| {
+        TcpClient::connect(addr).map_err(|e| ServeError::BadRequest(format!("connect: {e}")))
+    })
+}
+
+/// Runs the drill in-process against an engine handle (no sockets).
+///
+/// # Errors
+///
+/// [`BundleError`] when the bundle is not `Mlp`-family.
+pub fn run_in_process(
+    bundle: &ControllerBundle,
+    handle: &EngineHandle,
+    cfg: &LoadGenConfig,
+) -> Result<LoadReport, BundleError> {
+    run_with(bundle, cfg, |_| Ok(handle.clone()))
+}
+
+fn run_with<C, F>(
+    bundle: &ControllerBundle,
+    cfg: &LoadGenConfig,
+    make_client: F,
+) -> Result<LoadReport, BundleError>
+where
+    C: ControlClient + Send,
+    F: Fn(usize) -> Result<C, ServeError> + Sync,
+{
+    let states = generate_states(bundle, cfg.requests, cfg.seed);
+    let expected: Vec<Vec<f64>> = states
+        .iter()
+        .map(|s| expected_control(bundle, s))
+        .collect::<Result<_, _>>()?;
+    let connections = cfg.connections.max(1);
+
+    struct Tally {
+        completed: usize,
+        rejected: usize,
+        fallbacks: usize,
+        mismatches: usize,
+        errors: usize,
+        latencies_us: Vec<f64>,
+    }
+
+    let started = Instant::now();
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                let states = &states;
+                let expected = &expected;
+                let make_client = &make_client;
+                scope.spawn(move || {
+                    let mut tally = Tally {
+                        completed: 0,
+                        rejected: 0,
+                        fallbacks: 0,
+                        mismatches: 0,
+                        errors: 0,
+                        latencies_us: Vec::new(),
+                    };
+                    let Ok(mut client) = make_client(c) else {
+                        // count every request this connection owned as an
+                        // error rather than silently shrinking the drill
+                        tally.errors = (c..states.len()).step_by(connections).count();
+                        return tally;
+                    };
+                    for i in (c..states.len()).step_by(connections) {
+                        let t0 = Instant::now();
+                        match client.control(&states[i]) {
+                            Ok(resp) => {
+                                tally.latencies_us.push(t0.elapsed().as_secs_f64() * 1.0e6);
+                                tally.completed += 1;
+                                if resp.served_by_fallback {
+                                    tally.fallbacks += 1;
+                                }
+                                if resp.control != expected[i] {
+                                    tally.mismatches += 1;
+                                }
+                            }
+                            Err(ServeError::Backpressure { .. }) => tally.rejected += 1,
+                            Err(_) => tally.errors += 1,
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(t) => t,
+                Err(_) => Tally {
+                    completed: 0,
+                    rejected: 0,
+                    fallbacks: 0,
+                    mismatches: 0,
+                    errors: 0,
+                    latencies_us: Vec::new(),
+                },
+            })
+            .collect()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<f64> = tallies
+        .iter()
+        .flat_map(|t| t.latencies_us.clone())
+        .collect();
+    latencies.sort_by(f64::total_cmp);
+    let p50 = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies[latencies.len() / 2]
+    };
+    let completed: usize = tallies.iter().map(|t| t.completed).sum();
+    Ok(LoadReport {
+        sent: states.len(),
+        completed,
+        rejected: tallies.iter().map(|t| t.rejected).sum(),
+        fallbacks: tallies.iter().map(|t| t.fallbacks).sum(),
+        mismatches: tallies.iter().map(|t| t.mismatches).sum(),
+        errors: tallies.iter().map(|t| t.errors).sum(),
+        p50_latency_us: p50,
+        #[allow(
+            clippy::cast_precision_loss,
+            reason = "request counts are far below 2^52"
+        )]
+        throughput_rps: if elapsed > 0.0 {
+            completed as f64 / elapsed
+        } else {
+            0.0
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_stream_is_deterministic_and_in_domain() {
+        let bundle = crate::bundle::tests_support::healthy_bundle();
+        let a = generate_states(&bundle, 64, 7);
+        let b = generate_states(&bundle, 64, 7);
+        let c = generate_states(&bundle, 64, 8);
+        assert_eq!(a, b, "same seed, same stream");
+        assert_ne!(a, c, "different seed, different stream");
+        for s in &a {
+            for (v, iv) in s.iter().zip(bundle.input_domain.intervals()) {
+                assert!(*v >= iv.lo() && *v <= iv.hi());
+            }
+        }
+    }
+
+    #[test]
+    fn expected_control_respects_the_envelope() {
+        let bundle = crate::bundle::tests_support::healthy_bundle();
+        for s in generate_states(&bundle, 32, 3) {
+            let u = expected_control(&bundle, &s).expect("mlp bundle");
+            for ((v, lo), hi) in u.iter().zip(&bundle.u_inf).zip(&bundle.u_sup) {
+                assert!(*v >= *lo && *v <= *hi);
+            }
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Length-prefixed JSON over TCP.
+//!
+//! Frame format: a 4-byte big-endian length followed by that many bytes
+//! of JSON. Requests carry `{id, state}`; responses always carry all of
+//! `{id, control, fallback, error}` — an empty `error` string means
+//! success, a non-empty one explains the refusal (the vendored serde shim
+//! has no `Option` sugar, and a fixed shape keeps foreign clients
+//! trivial). One connection may pipeline many requests; each connection
+//! is served by its own thread feeding the shared micro-batcher, so
+//! cross-connection concurrency is what actually fills batches.
+
+use crate::engine::{ControlResponse, EngineHandle, ServeError};
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Refuse frames above this size; a control request is a few dozen
+/// numbers, so anything near this is a protocol error, not a workload.
+pub const MAX_FRAME_BYTES: u32 = 1 << 20;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct WireRequest {
+    id: u64,
+    state: Vec<f64>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct WireResponse {
+    id: u64,
+    control: Vec<f64>,
+    fallback: bool,
+    error: String,
+}
+
+/// Anything that can answer a control request — the in-process engine
+/// handle or a TCP client. The load generator is written against this so
+/// the same drill runs in-process and over the wire.
+pub trait ControlClient {
+    /// Computes the clipped control for `state`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the server-side [`ServeError`].
+    fn control(&mut self, state: &[f64]) -> Result<ControlResponse, ServeError>;
+}
+
+impl ControlClient for EngineHandle {
+    fn control(&mut self, state: &[f64]) -> Result<ControlResponse, ServeError> {
+        self.submit(state)
+    }
+}
+
+fn write_frame(stream: &mut TcpStream, body: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(body.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame too large",
+        ));
+    }
+    stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+fn read_frame(stream: &mut TcpStream) -> io::Result<Vec<u8>> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    stream.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// A serving endpoint: accept loop plus one thread per connection, all
+/// feeding the shared engine handle.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/spawn failures.
+    pub fn bind<A: ToSocketAddrs>(addr: A, handle: EngineHandle) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = stop.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("cocktail-serve-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let conn_handle = handle.clone();
+                    // connection threads are detached: they exit when the
+                    // peer hangs up or the engine shuts down
+                    let _ = std::thread::Builder::new()
+                        .name("cocktail-serve-conn".into())
+                        .spawn(move || serve_connection(stream, &conn_handle));
+                }
+            })?;
+        Ok(Self {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting new connections and joins the accept loop.
+    /// In-flight connections finish on their own.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // the accept loop only observes `stop` between connections; poke
+        // it with a throwaway connect so it wakes up and exits
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, handle: &EngineHandle) {
+    loop {
+        let Ok(body) = read_frame(&mut stream) else {
+            return; // peer hung up or sent garbage framing
+        };
+        let parsed = std::str::from_utf8(&body)
+            .map_err(|e| e.to_string())
+            .and_then(|text| serde_json::from_str::<WireRequest>(text).map_err(|e| e.to_string()));
+        let response = match parsed {
+            Ok(req) => {
+                let (control, fallback, error) = match handle.submit(&req.state) {
+                    Ok(resp) => (resp.control, resp.served_by_fallback, String::new()),
+                    Err(e) => (Vec::new(), false, e.to_string()),
+                };
+                WireResponse {
+                    id: req.id,
+                    control,
+                    fallback,
+                    error,
+                }
+            }
+            Err(e) => WireResponse {
+                id: 0,
+                control: Vec::new(),
+                fallback: false,
+                error: format!("unparseable request: {e}"),
+            },
+        };
+        let Ok(encoded) = serde_json::to_string(&response) else {
+            return;
+        };
+        if write_frame(&mut stream, encoded.as_bytes()).is_err() {
+            return;
+        }
+    }
+}
+
+/// A blocking client speaking the framed-JSON protocol.
+pub struct TcpClient {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl TcpClient {
+    /// Connects to a [`Server`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream, next_id: 1 })
+    }
+}
+
+impl ControlClient for TcpClient {
+    fn control(&mut self, state: &[f64]) -> Result<ControlResponse, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = WireRequest {
+            id,
+            state: state.to_vec(),
+        };
+        let encoded = serde_json::to_string(&request)
+            .map_err(|e| ServeError::BadRequest(format!("encode request: {e}")))?;
+        write_frame(&mut self.stream, encoded.as_bytes())
+            .map_err(|e| ServeError::BadRequest(format!("send request: {e}")))?;
+        let body = read_frame(&mut self.stream)
+            .map_err(|e| ServeError::BadRequest(format!("read response: {e}")))?;
+        let text = std::str::from_utf8(&body)
+            .map_err(|e| ServeError::BadRequest(format!("non-UTF-8 response: {e}")))?;
+        let response: WireResponse = serde_json::from_str(text)
+            .map_err(|e| ServeError::BadRequest(format!("decode response: {e}")))?;
+        if response.id != id {
+            return Err(ServeError::BadRequest(format!(
+                "response id {} != request id {id}",
+                response.id
+            )));
+        }
+        if response.error.is_empty() {
+            Ok(ControlResponse {
+                control: response.control,
+                served_by_fallback: response.fallback,
+            })
+        } else if response.error.starts_with("queue full") {
+            Err(ServeError::Backpressure { depth: 0 })
+        } else if response.error.contains("non-finite controller output") {
+            Err(ServeError::NonFiniteOutput)
+        } else if response.error.contains("engine shut down") {
+            Err(ServeError::Shutdown)
+        } else {
+            Err(ServeError::BadRequest(response.error))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineConfig};
+    use cocktail_math::vector;
+    use cocktail_nn::{Activation, MlpBuilder};
+    use cocktail_obs::NullSink;
+
+    fn test_engine() -> Engine {
+        let net = MlpBuilder::new(2)
+            .hidden(6, Activation::Tanh)
+            .output(1, Activation::Identity)
+            .seed(11)
+            .build();
+        Engine::from_parts(
+            net,
+            vec![1.5],
+            vec![-4.0],
+            vec![4.0],
+            EngineConfig::default(),
+            None,
+            std::sync::Arc::new(NullSink),
+        )
+        .expect("engine starts")
+    }
+
+    #[test]
+    fn tcp_round_trip_matches_in_process_answer() {
+        let engine = test_engine();
+        let server = Server::bind("127.0.0.1:0", engine.handle()).expect("bind");
+        let mut client = TcpClient::connect(server.local_addr()).expect("connect");
+        let state = [0.2, -0.7];
+        let over_wire = client.control(&state).expect("served");
+        let in_process = engine.handle().submit(&state).expect("served");
+        assert_eq!(over_wire, in_process);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_state_travels_back_as_an_error() {
+        let engine = test_engine();
+        let server = Server::bind("127.0.0.1:0", engine.handle()).expect("bind");
+        let mut client = TcpClient::connect(server.local_addr()).expect("connect");
+        let err = client.control(&[1.0, 2.0, 3.0]).expect_err("wrong dim");
+        assert!(matches!(err, ServeError::BadRequest(_)));
+        // the connection survives a refused request
+        assert!(client.control(&[0.0, 0.0]).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_keep_their_ids_straight() {
+        let engine = test_engine();
+        let server = Server::bind("127.0.0.1:0", engine.handle()).expect("bind");
+        let mut client = TcpClient::connect(server.local_addr()).expect("connect");
+        for i in 0..20 {
+            let s = [f64::from(i) * 0.05, -0.1];
+            let got = client.control(&s).expect("served");
+            let raw = engine.handle().submit(&s).expect("served");
+            assert_eq!(got, raw);
+            assert_eq!(
+                got.control,
+                vector::clip(&got.control, &[-4.0], &[4.0]),
+                "wire output respects the clip envelope"
+            );
+        }
+        server.shutdown();
+    }
+}

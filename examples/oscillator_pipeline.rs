@@ -14,6 +14,11 @@
 //! Pass `--telemetry <path>` to stream structured JSONL telemetry (stage
 //! spans, counters, per-iteration events) to `<path>`; the run prints an
 //! aggregate summary of the stream at the end.
+//!
+//! Pass `--export-bundle <path>` to package the robust student `κ*` as a
+//! `cocktail-serve` controller bundle after verification, then read it
+//! back through the serving admission gate as a self-check. The exported
+//! file is what `cocktail-serve serve --bundle <path>` consumes.
 
 #![allow(
     clippy::expect_used,
@@ -31,15 +36,56 @@ use cocktail_obs::{read_jsonl, summarize, JsonlSink, NullSink, Telemetry};
 use cocktail_verify::{invariant_set, BernsteinCertificate, CertificateConfig, InvariantConfig};
 use std::sync::Arc;
 
-/// `--telemetry <path>` from the command line, if present.
-fn telemetry_path() -> Option<std::path::PathBuf> {
+/// The path following `flag` on the command line, if present.
+fn flag_path(flag: &str) -> Option<std::path::PathBuf> {
     let mut args = std::env::args();
     while let Some(a) = args.next() {
-        if a == "--telemetry" {
-            return Some(args.next().expect("--telemetry needs a path").into());
+        if a == flag {
+            return Some(
+                args.next()
+                    .unwrap_or_else(|| panic!("{flag} needs a path"))
+                    .into(),
+            );
         }
     }
     None
+}
+
+/// `--export-bundle <path>`: package `κ*` as a serving bundle, then load
+/// it back through the admission gate so the example proves the artifact
+/// it just wrote is actually servable.
+fn export_bundle(
+    path: &std::path::Path,
+    sys_id: SystemId,
+    result: &cocktail_core::pipeline::CocktailResult,
+    config: &cocktail_core::pipeline::CocktailConfig,
+) {
+    use cocktail_serve::bundle::{fnv1a_64, ControllerBundle, Provenance};
+
+    let provenance = Provenance {
+        seed: config.seed,
+        config_hash: fnv1a_64(format!("{config:?}").as_bytes()),
+        crate_version: env!("CARGO_PKG_VERSION").to_string(),
+    };
+    let bundle = ControllerBundle::package(
+        sys_id,
+        result.kappa_star.network().clone(),
+        result.kappa_star.scale().to_vec(),
+        provenance,
+    )
+    .expect("verified student packages");
+    bundle.save(path).expect("bundle saves");
+    println!("\nexported controller bundle to {}", path.display());
+
+    let reloaded = ControllerBundle::load(path).expect("bundle loads back");
+    match cocktail_serve::admit(reloaded) {
+        Ok(admitted) => println!(
+            "admission self-check: ADMITTED (claim {:.4}, recomputed {:.4}, \
+             sweep lower bound {:.4})",
+            admitted.bundle.lipschitz_claim, admitted.recomputed_bound, admitted.sweep_lower_bound
+        ),
+        Err(e) => panic!("exported bundle failed its own admission gate: {e}"),
+    }
 }
 
 fn main() {
@@ -55,7 +101,7 @@ fn main() {
         return;
     }
 
-    let tel_path = telemetry_path();
+    let tel_path = flag_path("--telemetry");
     let tel: Arc<dyn Telemetry> = match &tel_path {
         Some(path) => Arc::new(JsonlSink::create(path).expect("telemetry file is writable")),
         None => Arc::new(NullSink),
@@ -92,12 +138,10 @@ fn main() {
     // ---- stage 2: PPO adaptive mixing, under the checkpointing
     // supervisor (bit-identical to the plain run when nothing diverges)
     println!("\ntraining the adaptive mixing policy (PPO) ...");
+    let pipeline_cfg =
+        cocktail_core::experiment::pipeline_config(sys_id, Preset::from_env(Preset::Fast), 0);
     let result = Cocktail::new(sys_id, experts)
-        .with_config(cocktail_core::experiment::pipeline_config(
-            sys_id,
-            Preset::from_env(Preset::Fast),
-            0,
-        ))
+        .with_config(pipeline_cfg.clone())
         .with_telemetry(tel.clone())
         .run_supervised(&SupervisorConfig::default())
         .expect("supervised pipeline run succeeds");
@@ -172,6 +216,11 @@ fn main() {
         inv.duration,
         inv.iterations
     );
+
+    // ---- optional: export the verified student as a serving bundle
+    if let Some(path) = flag_path("--export-bundle") {
+        export_bundle(&path, sys_id, &result, &pipeline_cfg);
+    }
 
     // ---- telemetry: read the stream back and print the aggregate view
     if let Some(path) = tel_path {
