@@ -1,5 +1,5 @@
 //! Perf harness: measures the batched/parallel kernels plus the serving
-//! runtime and writes the machine-readable baseline (`BENCH_pr5.json`).
+//! runtime and writes the machine-readable baseline (`BENCH_pr7.json`).
 //!
 //! ```text
 //! cargo run --release -p cocktail-bench --bin perf [-- <output-path>]
@@ -24,7 +24,7 @@ fn fmt(m: Measurement) -> String {
 fn main() {
     let out = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_pr5.json".to_string());
+        .unwrap_or_else(|| "BENCH_pr7.json".to_string());
     let fast = std::env::var("COCKTAIL_FAST").is_ok_and(|v| v == "1");
     let config = if fast {
         PerfConfig::fast()
@@ -82,11 +82,22 @@ fn main() {
         report.serve.single_p50_latency_us.median
     );
     println!(
+        "serve    loaded tails p99 {:.1} us | p999 {:.1} us (32 connections)",
+        report.serve.loaded_p99_latency_us.median, report.serve.loaded_p999_latency_us.median
+    );
+    println!(
         "serve    {:>18} req/s x1        | {:>18} req/s x8 | {:>18} req/s x32 ({:.2}x)",
         fmt(report.serve.batch1_requests_per_sec),
         fmt(report.serve.batch8_requests_per_sec),
         fmt(report.serve.batch32_requests_per_sec),
         report.serve.batch_speedup
+    );
+    println!(
+        "serve    {:>18} req/s 1 shard   | {:>18} req/s 4 shards ({:.2}x on {} cores)",
+        fmt(report.serve.shard1_requests_per_sec),
+        fmt(report.serve.shard4_requests_per_sec),
+        report.serve.shard_speedup,
+        report.serve.cores
     );
     println!("[artifact] {out}");
 }

@@ -1,4 +1,4 @@
-//! The tracked performance baseline behind `BENCH_pr5.json`.
+//! The tracked performance baseline behind `BENCH_pr7.json`.
 //!
 //! Four measurements, chosen to cover the layers the batched/parallel
 //! kernels rewrote plus the telemetry layer:
@@ -15,8 +15,10 @@
 //!    the zero-cost [`cocktail_obs::NullSink`] versus a recording
 //!    [`cocktail_obs::InMemorySink`];
 //! 5. **Serving** — bundle admission wall time, single-request p50
-//!    latency through the micro-batching engine, and sustained in-process
-//!    throughput with 1, 8 and 32 concurrent submitters.
+//!    latency through the micro-batching engine, loaded tail latency
+//!    (p99/p999) under 32 concurrent submitters, sustained in-process
+//!    throughput with 1, 8 and 32 concurrent submitters, and aggregate
+//!    throughput across 1 versus 4 engine shards.
 //!
 //! Every timed section runs once untimed (warm-up) and then
 //! [`PerfConfig::repeats`] times, each repeat keeping the best of a few
@@ -48,7 +50,11 @@ use std::time::Instant;
 /// warm-started repeats) and the `telemetry` section was added.
 /// v3: the `serve` section (admission time, serving latency/throughput)
 /// was added.
-pub const SCHEMA_VERSION: u32 = 3;
+/// v4: the `serve` section grew `cores`, loaded tail latencies
+/// (p99/p999), and the 1-versus-4 shard aggregate throughputs with
+/// `shard_speedup`; serving throughput moved to the zero-deadline
+/// batching policy.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// One repeated timing: the median across repeats and the relative
 /// spread `(max - min) / median`.
@@ -97,34 +103,44 @@ impl Measurement {
 /// about the harness rather than about neighbor tenants.
 const TRIALS_PER_REPEAT: usize = 3;
 
+/// Long-running sections (the rollout loops take hundreds of
+/// milliseconds per trial) integrate over more scheduler interference
+/// per trial, so they need more chances at an unloaded run: the PR-5
+/// baseline's `rollout.serial` spread hit 0.27 with best-of-3, a hair
+/// under the 0.30 gate. Best-of-5 keeps those sections comfortably
+/// inside it.
+const SLOW_TRIALS_PER_REPEAT: usize = 5;
+
 /// Runs `once` a single untimed warm-up pass, then `repeats` timed
-/// repeats, each recording the best (highest) of [`TRIALS_PER_REPEAT`]
-/// back-to-back trials. `once` must return a throughput — for
-/// time-valued samples use [`measure_time`].
-fn measure(repeats: usize, mut once: impl FnMut() -> f64) -> Measurement {
+/// repeats, each recording the best (highest) of `trials` back-to-back
+/// trials. `once` must return a throughput — for time-valued samples use
+/// [`measure_time_with`].
+fn measure_with(repeats: usize, trials: usize, mut once: impl FnMut() -> f64) -> Measurement {
     let _warmup = once();
     let samples: Vec<f64> = (0..repeats.max(1))
-        .map(|_| {
-            (0..TRIALS_PER_REPEAT)
-                .map(|_| once())
-                .fold(f64::MIN, f64::max)
-        })
+        .map(|_| (0..trials.max(1)).map(|_| once()).fold(f64::MIN, f64::max))
         .collect();
     Measurement::from_samples(&samples)
 }
 
-/// [`measure`] for time-valued samples (wall milliseconds, latencies):
-/// the best of [`TRIALS_PER_REPEAT`] trials is the *minimum*.
-fn measure_time(repeats: usize, mut once: impl FnMut() -> f64) -> Measurement {
+/// [`measure_with`] at the default [`TRIALS_PER_REPEAT`].
+fn measure(repeats: usize, once: impl FnMut() -> f64) -> Measurement {
+    measure_with(repeats, TRIALS_PER_REPEAT, once)
+}
+
+/// [`measure_with`] for time-valued samples (wall milliseconds,
+/// latencies): the best of `trials` is the *minimum*.
+fn measure_time_with(repeats: usize, trials: usize, mut once: impl FnMut() -> f64) -> Measurement {
     let _warmup = once();
     let samples: Vec<f64> = (0..repeats.max(1))
-        .map(|_| {
-            (0..TRIALS_PER_REPEAT)
-                .map(|_| once())
-                .fold(f64::MAX, f64::min)
-        })
+        .map(|_| (0..trials.max(1)).map(|_| once()).fold(f64::MAX, f64::min))
         .collect();
     Measurement::from_samples(&samples)
+}
+
+/// [`measure_time_with`] at the default [`TRIALS_PER_REPEAT`].
+fn measure_time(repeats: usize, once: impl FnMut() -> f64) -> Measurement {
+    measure_time_with(repeats, TRIALS_PER_REPEAT, once)
 }
 
 /// Batched-versus-per-sample forward throughput.
@@ -200,17 +216,31 @@ pub struct TelemetryBench {
 }
 
 /// Serving-runtime measurements: how long admission takes, what one
-/// request costs, and what the micro-batcher sustains under concurrency.
+/// request costs, what the micro-batcher sustains under concurrency, and
+/// how aggregate throughput scales across engine shards.
+///
+/// Shard scaling is only expected to show on multi-core hosts — each
+/// shard is one worker thread, so on a single hardware core the 4-shard
+/// configuration measures context-switch overhead, not parallelism.
+/// `cores` records what the benchmark machine offered so the artifact is
+/// interpretable.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ServeBench {
     /// Requests per throughput repeat.
     pub requests: usize,
+    /// Hardware threads available to the benchmark process.
+    pub cores: usize,
     /// Wall time of one full admission (validation + fresh lint run +
     /// certificate recomputation + empirical sweep), in milliseconds.
     pub admission_ms: Measurement,
     /// p50 latency of sequential single requests through the engine
     /// (`max_batch` 1, zero deadline), in microseconds.
     pub single_p50_latency_us: Measurement,
+    /// p99 per-request latency under 32 concurrent in-process
+    /// connections, in microseconds.
+    pub loaded_p99_latency_us: Measurement,
+    /// p999 per-request latency under the same loaded drill.
+    pub loaded_p999_latency_us: Measurement,
     /// Throughput with 1 blocking submitter, requests/second.
     pub batch1_requests_per_sec: Measurement,
     /// Throughput with 8 concurrent blocking submitters.
@@ -219,6 +249,12 @@ pub struct ServeBench {
     pub batch32_requests_per_sec: Measurement,
     /// 32-submitter over 1-submitter median throughput.
     pub batch_speedup: f64,
+    /// Aggregate throughput of 32 submitters over 1 engine shard.
+    pub shard1_requests_per_sec: Measurement,
+    /// Aggregate throughput of the same 32 submitters over 4 shards.
+    pub shard4_requests_per_sec: Measurement,
+    /// 4-shard over 1-shard median throughput.
+    pub shard_speedup: f64,
 }
 
 /// The full machine-readable perf baseline.
@@ -408,14 +444,14 @@ pub fn bench_rollout(config: &PerfConfig) -> RolloutBench {
     let workers = parallel::default_workers();
 
     let mut serial_eval = None;
-    let serial = measure(config.repeats, || {
+    let serial = measure_with(config.repeats, SLOW_TRIALS_PER_REPEAT, || {
         let t = Instant::now();
         serial_eval = Some(evaluate_with_workers(&sys, &controller, &eval_cfg, 1));
         episodes as f64 / t.elapsed().as_secs_f64()
     });
 
     let mut par_eval = None;
-    let par = measure(config.repeats, || {
+    let par = measure_with(config.repeats, SLOW_TRIALS_PER_REPEAT, || {
         let t = Instant::now();
         par_eval = Some(evaluate_with_workers(&sys, &controller, &eval_cfg, workers));
         episodes as f64 / t.elapsed().as_secs_f64()
@@ -511,16 +547,24 @@ pub fn bench_telemetry(config: &PerfConfig) -> TelemetryBench {
 }
 
 /// Measures the serving runtime: admission wall time, single-request p50
-/// latency, and sustained throughput with 1, 8 and 32 blocking
-/// submitters feeding the micro-batcher.
+/// latency, loaded tail latency (p99/p999) under 32 in-process
+/// connections, sustained throughput with 1, 8 and 32 blocking
+/// submitters feeding the micro-batcher, and the aggregate throughput of
+/// 32 submitters over 1 versus 4 engine shards.
 ///
 /// # Panics
 ///
 /// Panics if the benchmark student fails packaging or admission, or if
-/// any served request errors — the bench doubles as a smoke test.
+/// any served request errors or mismatches the per-sample reference —
+/// the bench doubles as a smoke test.
+#[allow(
+    clippy::too_many_lines,
+    reason = "one measurement block per ServeBench field; splitting would scatter the shared engine setup"
+)]
 pub fn bench_serve(config: &PerfConfig) -> ServeBench {
     use cocktail_obs::NullSink;
     use cocktail_serve::bundle::{fnv1a_64, ControllerBundle, Provenance};
+    use cocktail_serve::loadgen::LoadGenConfig;
     use cocktail_serve::{admit, loadgen, Engine, EngineConfig};
     use std::time::Duration;
 
@@ -543,15 +587,16 @@ pub fn bench_serve(config: &PerfConfig) -> ServeBench {
     .expect("benchmark student packages");
     let requests = config.serve_requests.max(32);
     let states = loadgen::generate_states(&bundle, requests, 0xBE7C);
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
 
     let admission_ms = measure_time(config.repeats, || {
         let t = Instant::now();
         admit(bundle.clone()).expect("benchmark bundle admits");
         t.elapsed().as_secs_f64() * 1e3
     });
-    let admitted = admit(bundle).expect("benchmark bundle admits");
+    let admitted = admit(bundle.clone()).expect("benchmark bundle admits");
 
-    // single-request p50: no batching window, sequential submits
+    // single-request p50: no batching, sequential submits
     let single = Engine::start_with(
         &admitted,
         EngineConfig {
@@ -578,13 +623,16 @@ pub fn bench_serve(config: &PerfConfig) -> ServeBench {
     });
     drop(single);
 
-    let throughput_with = |submitters: usize| -> Measurement {
+    // sustained throughput: zero-deadline serve-what-is-queued batching,
+    // submitters shard-pinned the way TCP connections are
+    let throughput_with = |submitters: usize, shards: usize| -> Measurement {
         let engine = Engine::start_with(
             &admitted,
             EngineConfig {
                 max_batch: submitters.max(1),
-                batch_deadline: Duration::from_micros(200),
+                batch_deadline: Duration::ZERO,
                 queue_capacity: 4 * submitters.max(1),
+                shards,
                 ..EngineConfig::default()
             },
             None,
@@ -596,30 +644,86 @@ pub fn bench_serve(config: &PerfConfig) -> ServeBench {
             let t = Instant::now();
             std::thread::scope(|scope| {
                 for w in 0..submitters {
-                    let handle = &handle;
+                    let pinned = handle.pinned(w as u64);
                     let states = &states;
                     scope.spawn(move || {
                         for s in states.iter().skip(w).step_by(submitters) {
-                            handle.submit(s).expect("request serves");
+                            pinned.submit(s).expect("request serves");
                         }
                     });
                 }
             });
-            states.len() as f64 / t.elapsed().as_secs_f64()
+            #[allow(
+                clippy::cast_precision_loss,
+                reason = "request counts are far below 2^52"
+            )]
+            {
+                states.len() as f64 / t.elapsed().as_secs_f64()
+            }
         })
     };
-    let batch1 = throughput_with(1);
-    let batch8 = throughput_with(8);
-    let batch32 = throughput_with(32);
+    let batch1 = throughput_with(1, 1);
+    let batch8 = throughput_with(8, 1);
+    let batch32 = throughput_with(32, 1);
+    // the 1-shard arm of the shard comparison IS the 32-submitter run:
+    // same submitters, same engine config, shards is the only variable
+    let shard1 = batch32;
+    let shard4 = throughput_with(32, 4);
+
+    // loaded tails: the loadgen drill doubles as a correctness oracle, so
+    // a mismatch or fallback here fails the bench outright
+    let loaded = Engine::start_with(
+        &admitted,
+        EngineConfig {
+            queue_capacity: 4 * 32,
+            ..EngineConfig::default()
+        },
+        None,
+        Arc::new(NullSink),
+    )
+    .expect("engine starts");
+    let loaded_handle = loaded.handle();
+    let drill_cfg = LoadGenConfig {
+        requests,
+        connections: 32,
+        seed: 0xBE7C,
+        ..LoadGenConfig::default()
+    };
+    let drill = || {
+        let report = loadgen::run_in_process(&bundle, &loaded_handle, &drill_cfg)
+            .expect("mlp bundle drills");
+        assert!(report.is_clean(), "loaded drill must be clean: {report:?}");
+        (report.p99_latency_us, report.p999_latency_us)
+    };
+    let _warmup = drill();
+    let mut p99s = Vec::with_capacity(config.repeats.max(1));
+    let mut p999s = Vec::with_capacity(config.repeats.max(1));
+    for _ in 0..config.repeats.max(1) {
+        let (mut best99, mut best999) = (f64::MAX, f64::MAX);
+        for _ in 0..TRIALS_PER_REPEAT {
+            let (p99, p999) = drill();
+            best99 = best99.min(p99);
+            best999 = best999.min(p999);
+        }
+        p99s.push(best99);
+        p999s.push(best999);
+    }
+    drop(loaded);
 
     ServeBench {
         requests,
+        cores,
         admission_ms,
         single_p50_latency_us,
+        loaded_p99_latency_us: Measurement::from_samples(&p99s),
+        loaded_p999_latency_us: Measurement::from_samples(&p999s),
         batch_speedup: batch32.median / batch1.median,
+        shard_speedup: shard4.median / shard1.median,
         batch1_requests_per_sec: batch1,
         batch8_requests_per_sec: batch8,
         batch32_requests_per_sec: batch32,
+        shard1_requests_per_sec: shard1,
+        shard4_requests_per_sec: shard4,
     }
 }
 
@@ -662,11 +766,22 @@ fn measurements(report: &PerfReport) -> Vec<(&'static str, Measurement)> {
         ),
         ("serve.admission_ms", report.serve.admission_ms),
         ("serve.single_p50", report.serve.single_p50_latency_us),
+        ("serve.loaded_p99", report.serve.loaded_p99_latency_us),
+        ("serve.loaded_p999", report.serve.loaded_p999_latency_us),
         ("serve.batch1", report.serve.batch1_requests_per_sec),
         ("serve.batch8", report.serve.batch8_requests_per_sec),
         ("serve.batch32", report.serve.batch32_requests_per_sec),
+        ("serve.shard1", report.serve.shard1_requests_per_sec),
+        ("serve.shard4", report.serve.shard4_requests_per_sec),
     ]
 }
+
+/// Measurements [`check_spread`] does not gate: tail percentiles are
+/// extreme order statistics of a deliberately loaded drill, so their
+/// run-to-run spread reflects scheduler jitter by construction, not
+/// harness instability. They stay in the artifact (and in [`validate`])
+/// for trend-watching; gating them would make every CI run a coin flip.
+const SPREAD_EXEMPT: &[&str] = &["serve.loaded_p99", "serve.loaded_p999"];
 
 /// Structural validity of a (re-)parsed report: right schema version,
 /// finite positive medians, finite non-negative spreads, positive ratios.
@@ -697,6 +812,7 @@ pub fn validate(report: &PerfReport) -> Result<(), String> {
         ("rollout.speedup", report.rollout.speedup),
         ("telemetry.overhead_ratio", report.telemetry.overhead_ratio),
         ("serve.batch_speedup", report.serve.batch_speedup),
+        ("serve.shard_speedup", report.serve.shard_speedup),
     ] {
         if !(v.is_finite() && v > 0.0) {
             return Err(format!("{name} must be finite and positive, got {v}"));
@@ -706,19 +822,21 @@ pub fn validate(report: &PerfReport) -> Result<(), String> {
         || report.rollout.episodes == 0
         || report.telemetry.epochs == 0
         || report.serve.requests == 0
+        || report.serve.cores == 0
     {
-        return Err("batch, episode, epoch and request counts must be positive".to_string());
+        return Err("batch, episode, epoch, request and core counts must be positive".to_string());
     }
     Ok(())
 }
 
 /// The timing-stability gate: every measurement's spread must stay below
-/// `max_spread` (CI uses 0.30). Kept separate from [`validate`] so tiny
-/// in-test configs can check structure without flaking on timer noise.
+/// `max_spread` (CI uses 0.30), except the [`SPREAD_EXEMPT`] tail
+/// percentiles. Kept separate from [`validate`] so tiny in-test configs
+/// can check structure without flaking on timer noise.
 pub fn check_spread(report: &PerfReport, max_spread: f64) -> Result<(), String> {
     let noisy: Vec<String> = measurements(report)
         .into_iter()
-        .filter(|(_, m)| m.spread >= max_spread)
+        .filter(|(name, m)| !SPREAD_EXEMPT.contains(name) && m.spread >= max_spread)
         .map(|(name, m)| format!("{name} spread {:.3}", m.spread))
         .collect();
     if noisy.is_empty() {
@@ -754,8 +872,8 @@ mod tests {
 
     #[test]
     fn committed_baseline_parses_validates_and_is_stable() {
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr5.json");
-        let json = std::fs::read_to_string(path).expect("committed BENCH_pr5.json exists");
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr7.json");
+        let json = std::fs::read_to_string(path).expect("committed BENCH_pr7.json exists");
         let report: PerfReport = serde_json::from_str(&json).expect("baseline deserializes");
         validate(&report).expect("baseline validates");
         // the committed baseline must come from a quiet machine: CI's
@@ -787,6 +905,44 @@ mod tests {
         report.rollout.serial_episodes_per_sec.spread = 0.9;
         let err = check_spread(&report, 0.30).expect_err("noisy spread rejected");
         assert!(err.contains("rollout.serial"), "{err}");
+    }
+
+    #[test]
+    fn spread_gate_exempts_loaded_tail_percentiles() {
+        let mut report = run(&tiny_config());
+        // force every gated measurement quiet, then make only the tails
+        // noisy: the gate must still pass
+        report.rollout.serial_episodes_per_sec.spread = 0.0;
+        report.serve.loaded_p99_latency_us.spread = 5.0;
+        report.serve.loaded_p999_latency_us.spread = 5.0;
+        if let Err(err) = check_spread(&report, 0.30) {
+            assert!(
+                !err.contains("loaded_p99"),
+                "tails must not be gated: {err}"
+            );
+        }
+        let mut quiet = report.clone();
+        for m in [
+            &mut quiet.forward.per_sample_samples_per_sec,
+            &mut quiet.forward.batched_samples_per_sec,
+            &mut quiet.train_step.per_sample_samples_per_sec,
+            &mut quiet.train_step.batched_samples_per_sec,
+            &mut quiet.rollout.serial_episodes_per_sec,
+            &mut quiet.rollout.parallel_episodes_per_sec,
+            &mut quiet.end_to_end.wall_ms,
+            &mut quiet.telemetry.null_epochs_per_sec,
+            &mut quiet.telemetry.recording_epochs_per_sec,
+            &mut quiet.serve.admission_ms,
+            &mut quiet.serve.single_p50_latency_us,
+            &mut quiet.serve.batch1_requests_per_sec,
+            &mut quiet.serve.batch8_requests_per_sec,
+            &mut quiet.serve.batch32_requests_per_sec,
+            &mut quiet.serve.shard1_requests_per_sec,
+            &mut quiet.serve.shard4_requests_per_sec,
+        ] {
+            m.spread = 0.0;
+        }
+        check_spread(&quiet, 0.30).expect("only-exempt-noisy report passes the gate");
     }
 
     #[test]

@@ -253,6 +253,22 @@ impl Matrix {
     /// Panics if `self.cols() != other.cols()` or `out` is not
     /// `self.rows() × other.rows()`.
     pub fn matmul_transpose_b_into(&self, other: &Matrix, out: &mut Matrix) {
+        self.matmul_transpose_b_into_with(other, out, &mut Vec::new());
+    }
+
+    /// [`Matrix::matmul_transpose_b_into`] with a caller-owned scratch
+    /// buffer for the materialized `Bᵀ`: once the scratch has grown to
+    /// `other`'s element count, repeated calls are allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// As [`Matrix::matmul_transpose_b_into`].
+    pub fn matmul_transpose_b_into_with(
+        &self,
+        other: &Matrix,
+        out: &mut Matrix,
+        bt: &mut Vec<f64>,
+    ) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_transpose_b dimension mismatch"
@@ -269,7 +285,8 @@ impl Matrix {
         // result is bit-identical to the naive row-dot-row form.
         let n = other.cols;
         let m = other.rows;
-        let mut bt = vec![0.0; n * m];
+        bt.clear();
+        bt.resize(n * m, 0.0);
         for (j, brow) in other.data.chunks_exact(n).enumerate() {
             for (k, &b) in brow.iter().enumerate() {
                 bt[k * m + j] = b;

@@ -124,8 +124,24 @@ impl Dense {
     /// Panics if `x.cols() != self.input_dim()` or the scratch shapes are
     /// not `x.rows() × self.output_dim()`.
     pub fn forward_batch_into(&self, x: &Matrix, z: &mut Matrix, a: &mut Matrix) {
+        self.forward_batch_into_with(x, z, a, &mut Vec::new());
+    }
+
+    /// [`Dense::forward_batch_into`] with a caller-owned transpose scratch
+    /// buffer, so a warmed steady-state forward touches no allocator.
+    ///
+    /// # Panics
+    ///
+    /// As [`Dense::forward_batch_into`].
+    pub fn forward_batch_into_with(
+        &self,
+        x: &Matrix,
+        z: &mut Matrix,
+        a: &mut Matrix,
+        scratch: &mut Vec<f64>,
+    ) {
         assert_eq!(x.cols(), self.input_dim(), "input dimension mismatch");
-        x.matmul_transpose_b_into(&self.weights, z);
+        x.matmul_transpose_b_into_with(&self.weights, z, scratch);
         let width = self.output_dim();
         for row in z.as_mut_slice().chunks_mut(width) {
             for (zi, bi) in row.iter_mut().zip(&self.biases) {

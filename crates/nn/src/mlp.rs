@@ -71,6 +71,9 @@ pub struct BatchCache {
     /// Each layer's pre-activation (`layers.len()` entries), one sample per
     /// row.
     pub pre_activations: Vec<Matrix>,
+    /// Transposed-weight scratch for the matmul inside the forward pass,
+    /// reused across layers and calls.
+    weight_scratch: Vec<f64>,
 }
 
 impl BatchCache {
@@ -94,8 +97,23 @@ impl BatchCache {
 
     /// Ensures the buffer layout matches `net` at `batch` rows, reusing
     /// existing allocations when the shapes already agree.
+    ///
+    /// When the layout already matches this is allocation-free — the
+    /// serving hot loop relies on that (a steady-state batch must not
+    /// touch the heap at all).
     fn prepare(&mut self, net: &Mlp, batch: usize) {
-        let want_acts = net.layers.len() + 1;
+        let n = net.layers.len();
+        let matches = self.activations.len() == n + 1
+            && self.pre_activations.len() == n
+            && self.activations[0].shape() == (batch, net.input_dim())
+            && net.layers.iter().enumerate().all(|(i, layer)| {
+                let want = (batch, layer.output_dim());
+                self.activations[i + 1].shape() == want && self.pre_activations[i].shape() == want
+            });
+        if matches {
+            return;
+        }
+        let want_acts = n + 1;
         let mut dims = Vec::with_capacity(want_acts);
         dims.push(net.input_dim());
         dims.extend(net.layers.iter().map(Dense::output_dim));
@@ -309,7 +327,12 @@ impl Mlp {
         for (i, layer) in self.layers.iter().enumerate() {
             let (head, tail) = cache.activations.split_at_mut(i + 1);
             let a = &mut tail[0];
-            layer.forward_batch_into(&head[i], &mut cache.pre_activations[i], a);
+            layer.forward_batch_into_with(
+                &head[i],
+                &mut cache.pre_activations[i],
+                a,
+                &mut cache.weight_scratch,
+            );
             debug_assert!(
                 !input_finite
                     || a.as_slice().iter().all(|v| v.is_finite())

@@ -13,10 +13,16 @@
 //! admit + serve + loadgen in one process on an ephemeral port and exits
 //! non-zero on any fallback, mismatch, rejection, or error — the CI entry
 //! point.
+//!
+//! Serving commands take `--shards N` (engine shards) and `--transport
+//! reactor|threaded` (epoll reactor on Linux, thread-per-connection
+//! anywhere; the default picks the reactor where it exists). Drill
+//! commands take `--wire json|binary` to pick the frame format.
 
 use cocktail_obs::{JsonlSink, NullSink, Telemetry};
-use cocktail_serve::loadgen::{self, LoadGenConfig, LoadReport};
-use cocktail_serve::{admit, ControllerBundle, Engine, EngineConfig, Server};
+use cocktail_serve::loadgen::{self, LoadGenConfig, LoadReport, WireProtocol};
+use cocktail_serve::{admit, ControllerBundle, Engine, EngineConfig, EngineHandle, Server};
+use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -69,10 +75,12 @@ fn usage() -> String {
      \n\
      check   --bundle <path>\n\
      serve   --bundle <path> --addr <ip:port> [--max-batch N] [--deadline-us N]\n\
-             [--capacity N] [--telemetry <jsonl>]\n\
+             [--capacity N] [--shards N] [--transport reactor|threaded] [--telemetry <jsonl>]\n\
      loadgen --bundle <path> --addr <ip:port> [--requests N] [--connections N] [--seed N]\n\
-     smoke   --bundle <path> [--requests N] [--connections N] [--seed N]\n\
-             [--telemetry <jsonl>] [--max-batch N] [--deadline-us N] [--capacity N]"
+             [--wire json|binary]\n\
+     smoke   --bundle <path> [--requests N] [--connections N] [--seed N] [--wire json|binary]\n\
+             [--telemetry <jsonl>] [--max-batch N] [--deadline-us N] [--capacity N]\n\
+             [--shards N] [--transport reactor|threaded]"
         .to_string()
 }
 
@@ -121,11 +129,20 @@ fn engine_config(args: &Args) -> Result<EngineConfig, String> {
         max_batch: args.parsed("max-batch", defaults.max_batch)?,
         batch_deadline: Duration::from_micros(args.parsed(
             "deadline-us",
-            u64::try_from(defaults.batch_deadline.as_micros()).unwrap_or(200),
+            u64::try_from(defaults.batch_deadline.as_micros()).unwrap_or(0),
         )?),
         queue_capacity: args.parsed("capacity", defaults.queue_capacity)?,
         start_paused: false,
+        shards: args.parsed("shards", defaults.shards)?,
     })
+}
+
+fn wire_of(args: &Args) -> Result<WireProtocol, String> {
+    match args.get("wire").unwrap_or("json") {
+        "json" => Ok(WireProtocol::Json),
+        "binary" => Ok(WireProtocol::Binary),
+        other => Err(format!("--wire must be json or binary, got `{other}`")),
+    }
 }
 
 fn loadgen_config(args: &Args) -> Result<LoadGenConfig, String> {
@@ -134,13 +151,69 @@ fn loadgen_config(args: &Args) -> Result<LoadGenConfig, String> {
         requests: args.parsed("requests", defaults.requests)?,
         connections: args.parsed("connections", defaults.connections)?,
         seed: args.parsed("seed", defaults.seed)?,
+        wire: wire_of(args)?,
     })
+}
+
+/// Either serving transport behind one face: the epoll reactor (Linux)
+/// or the portable thread-per-connection server.
+enum AnyServer {
+    Threaded(Server),
+    #[cfg(target_os = "linux")]
+    Reactor(cocktail_serve::ReactorServer),
+}
+
+impl AnyServer {
+    fn bind(args: &Args, addr: &str, handle: EngineHandle) -> Result<Self, String> {
+        let default_transport = if cfg!(target_os = "linux") {
+            "reactor"
+        } else {
+            "threaded"
+        };
+        match args.get("transport").unwrap_or(default_transport) {
+            "threaded" => Ok(Self::Threaded(
+                Server::bind(addr, handle).map_err(|e| format!("bind: {e}"))?,
+            )),
+            #[cfg(target_os = "linux")]
+            "reactor" => Ok(Self::Reactor(
+                cocktail_serve::ReactorServer::bind(addr, handle)
+                    .map_err(|e| format!("bind: {e}"))?,
+            )),
+            other => Err(format!(
+                "--transport `{other}` is not available on this platform"
+            )),
+        }
+    }
+
+    fn local_addr(&self) -> SocketAddr {
+        match self {
+            Self::Threaded(s) => s.local_addr(),
+            #[cfg(target_os = "linux")]
+            Self::Reactor(s) => s.local_addr(),
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            Self::Threaded(_) => "threaded",
+            #[cfg(target_os = "linux")]
+            Self::Reactor(_) => "reactor",
+        }
+    }
+
+    fn shutdown(self) {
+        match self {
+            Self::Threaded(s) => s.shutdown(),
+            #[cfg(target_os = "linux")]
+            Self::Reactor(s) => s.shutdown(),
+        }
+    }
 }
 
 fn print_report(report: &LoadReport) {
     println!(
         "loadgen: sent={} completed={} rejected={} fallbacks={} mismatches={} errors={} \
-         p50_latency_us={:.1} throughput_rps={:.0}",
+         p50_latency_us={:.1} p99_latency_us={:.1} p999_latency_us={:.1} throughput_rps={:.0}",
         report.sent,
         report.completed,
         report.rejected,
@@ -148,6 +221,8 @@ fn print_report(report: &LoadReport) {
         report.mismatches,
         report.errors,
         report.p50_latency_us,
+        report.p99_latency_us,
+        report.p999_latency_us,
         report.throughput_rps
     );
 }
@@ -179,14 +254,15 @@ fn cmd_serve(args: &Args) -> Result<ExitCode, String> {
     let bundle = load_bundle(args)?;
     let tel = telemetry_of(args)?;
     let admitted = admit(bundle.clone()).map_err(|e| format!("admission refused: {e}"))?;
-    let engine = Engine::start_with(&admitted, engine_config(args)?, None, tel)
-        .map_err(|e| e.to_string())?;
-    let server =
-        Server::bind(args.required("addr")?, engine.handle()).map_err(|e| format!("bind: {e}"))?;
+    let config = engine_config(args)?;
+    let engine = Engine::start_with(&admitted, config, None, tel).map_err(|e| e.to_string())?;
+    let server = AnyServer::bind(args, args.required("addr")?, engine.handle())?;
     println!(
-        "serving {} on {}",
+        "serving {} on {} ({} transport, {} shards)",
         bundle.system.label(),
-        server.local_addr()
+        server.local_addr(),
+        server.label(),
+        config.shards.max(1)
     );
     // serve until killed
     loop {
@@ -214,16 +290,21 @@ fn cmd_smoke(args: &Args) -> Result<ExitCode, String> {
     let bundle = load_bundle(args)?;
     let tel = telemetry_of(args)?;
     let admitted = admit(bundle.clone()).map_err(|e| format!("admission refused: {e}"))?;
-    let engine = Engine::start_with(&admitted, engine_config(args)?, None, tel)
-        .map_err(|e| e.to_string())?;
-    let server = Server::bind("127.0.0.1:0", engine.handle()).map_err(|e| format!("bind: {e}"))?;
+    let config = engine_config(args)?;
+    let engine = Engine::start_with(&admitted, config, None, tel).map_err(|e| e.to_string())?;
+    let server = AnyServer::bind(args, "127.0.0.1:0", engine.handle())?;
+    let transport = server.label();
     let report = loadgen::run_tcp(&bundle, server.local_addr(), &loadgen_config(args)?)
         .map_err(|e| e.to_string())?;
     server.shutdown();
     engine.shutdown();
     print_report(&report);
     if report.is_clean() {
-        println!("smoke: clean (every response bit-identical to the per-sample reference)");
+        println!(
+            "smoke: clean over the {transport} transport with {} shards \
+             (every response bit-identical to the per-sample reference)",
+            config.shards.max(1)
+        );
         Ok(ExitCode::SUCCESS)
     } else {
         eprintln!("smoke: NOT clean");

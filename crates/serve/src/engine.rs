@@ -1,36 +1,52 @@
-//! The micro-batching inference engine.
+//! The sharded micro-batching inference engine.
 //!
-//! Concurrent control requests are coalesced into one
-//! [`Mlp::forward_batch_cached`] call by a single worker thread: the first
-//! queued request opens a batch window, the worker then waits up to
-//! [`EngineConfig::batch_deadline`] (or until
-//! [`EngineConfig::max_batch`] requests are queued) before running the
-//! batch. Each row of the batched forward is bit-identical to a per-sample
-//! [`Mlp::forward`], and scaling/clipping are applied per request exactly
-//! as `NnController::control` + `Dynamics::clip_control` would — so the
-//! served output is invariant under the batch schedule.
+//! Concurrent control requests are spread across N **shards** — each shard
+//! owns its own bounded queue, its own worker thread, and its own reusable
+//! batch scratch — and coalesced into [`Mlp::forward_batch_cached`] calls.
+//! Shard assignment is a deterministic hash of the submitting connection
+//! id ([`EngineHandle::pinned`]), so a given client always lands on the
+//! same queue and a drill is replayable. Each row of a batched forward is
+//! bit-identical to a per-sample [`Mlp::forward`], and scaling/clipping
+//! are applied per request exactly as `NnController::control` +
+//! `Dynamics::clip_control` would — so the served output is invariant
+//! under both the batch schedule *and* the shard count.
 //!
-//! Two runtime guardrails:
+//! The worker's steady-state loop performs **zero heap allocations per
+//! request** on the outbox (binary-wire) reply path: request state buffers
+//! are pooled per shard, batch scratch (input matrix + [`BatchCache`]) is
+//! kept per batch-size class, and responses are fixed-size
+//! [`ResponseRec`]s pushed into a capacity-reusing ring. CI asserts this
+//! with a counting allocator.
 //!
-//! * **Backpressure**: the queue is bounded; a submit against a full queue
-//!   fails *immediately* with [`ServeError::Backpressure`]. A control loop
-//!   must never block on its controller — a stale command it can handle, a
-//!   stalled plant it cannot.
+//! Batching policy: by default the worker serves *whatever is queued* the
+//! moment it is free (`batch_deadline` zero). Under concurrent load,
+//! batches form naturally while the previous batch is being computed —
+//! deadline-waiting for a fuller batch only ever adds latency when the
+//! submitters are blocking on their replies (this inversion is exactly
+//! what the PR-5 baseline measured). A nonzero deadline remains available
+//! for sparse open-loop traffic.
+//!
+//! Two runtime guardrails, unchanged from the single-queue engine:
+//!
+//! * **Backpressure**: every shard queue is bounded; a submit against a
+//!   full queue fails *immediately* with [`ServeError::Backpressure`]. A
+//!   control loop must never block on its controller.
 //! * **Non-finite guard**: if a (scaled) output row is non-finite — or
 //!   the network's own internal finiteness assertion panics mid-batch —
-//!   the request is answered by the configured fallback expert (the same
-//!   degradation idea as `MixedController`'s quarantine, reduced to one
-//!   request) and `serve.fallbacks` is incremented; with no fallback the
-//!   request fails with [`ServeError::NonFiniteOutput`]. A healthy
-//!   admitted bundle never triggers this — CI asserts exactly that.
+//!   the request is answered by the configured fallback expert and
+//!   `serve.fallbacks` is incremented; with no fallback the request fails
+//!   with [`ServeError::NonFiniteOutput`].
 
 use crate::admission::Admitted;
+use crate::bundle::fnv1a_64;
+use crate::wire::{self, ResponseRec, MAX_WIRE_CONTROL_DIM};
 use cocktail_control::Controller;
-use cocktail_math::{vector, Matrix};
+use cocktail_math::Matrix;
 use cocktail_nn::{BatchCache, Mlp};
 use cocktail_obs::{Event, NullSink, Span, Telemetry};
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -40,23 +56,30 @@ use std::time::{Duration, Instant};
 pub struct EngineConfig {
     /// Largest number of requests folded into one batched forward.
     pub max_batch: usize,
-    /// How long the worker holds an open batch for more requests. Zero
-    /// means "serve whatever is queued immediately".
+    /// How long a shard worker holds an open batch for more requests.
+    /// Zero (the default) means "serve whatever is queued immediately";
+    /// under load batches still form naturally while the previous batch
+    /// computes.
     pub batch_deadline: Duration,
-    /// Bounded queue capacity; submits beyond it are rejected.
+    /// Bounded queue capacity **per shard**; submits beyond it are
+    /// rejected.
     pub queue_capacity: usize,
     /// Start with the scheduler paused (deterministic batch composition
     /// for tests: queue requests, then [`Engine::resume`]).
     pub start_paused: bool,
+    /// Engine shards: independent queue + worker + scratch, ideally one
+    /// per core. Connection ids hash onto shards deterministically.
+    pub shards: usize,
 }
 
 impl Default for EngineConfig {
     fn default() -> Self {
         Self {
             max_batch: 16,
-            batch_deadline: Duration::from_micros(200),
+            batch_deadline: Duration::ZERO,
             queue_capacity: 256,
             start_paused: false,
+            shards: 1,
         }
     }
 }
@@ -64,8 +87,8 @@ impl Default for EngineConfig {
 /// Why a request failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
-    /// The bounded queue is full; the request was rejected without
-    /// blocking. `depth` is the queue depth observed at rejection.
+    /// The shard's bounded queue is full; the request was rejected
+    /// without blocking. `depth` is the queue depth observed at rejection.
     Backpressure {
         /// Queue depth at the moment of rejection.
         depth: usize,
@@ -106,34 +129,198 @@ pub struct ControlResponse {
     pub served_by_fallback: bool,
 }
 
-struct Request {
-    state: Vec<f64>,
-    tx: mpsc::SyncSender<Result<ControlResponse, ServeError>>,
+/// The allocation-free reply ring the reactor transport drains.
+///
+/// Shard workers push fixed-size [`ResponseRec`]s; the consumer drains
+/// them into its own reused buffer. An optional waker runs after every
+/// push so an event loop blocked in `epoll_wait` can be poked (the waker
+/// must be cheap and must not panic). Blocking consumers (tests, the
+/// threaded transport) can instead [`Outbox::wait_nonempty`].
+pub struct Outbox {
+    queue: Mutex<VecDeque<ResponseRec>>,
+    ready: Condvar,
+    waker: Option<Box<dyn Fn() + Send + Sync>>,
 }
 
-struct EngineState {
+impl Outbox {
+    /// An outbox with no waker (consumers poll or block on
+    /// [`Outbox::wait_nonempty`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            queue: Mutex::new(VecDeque::with_capacity(64)),
+            ready: Condvar::new(),
+            waker: None,
+        }
+    }
+
+    /// An outbox that runs `waker` after each push (e.g. write one byte
+    /// to a reactor's wake pipe).
+    #[must_use]
+    pub fn with_waker(waker: impl Fn() + Send + Sync + 'static) -> Self {
+        Self {
+            queue: Mutex::new(VecDeque::with_capacity(64)),
+            ready: Condvar::new(),
+            waker: Some(Box::new(waker)),
+        }
+    }
+
+    /// Enqueues a record and runs the waker. Shard workers use this for
+    /// answers; transports may also push synchronous-rejection records so
+    /// one connection's replies stay in submission order.
+    pub fn push(&self, rec: ResponseRec) {
+        if let Ok(mut q) = self.queue.lock() {
+            q.push_back(rec);
+        }
+        self.ready.notify_all();
+        if let Some(waker) = &self.waker {
+            waker();
+        }
+    }
+
+    /// Moves every queued record into `out` (appending; capacity of both
+    /// buffers is reused). Returns how many were drained.
+    pub fn drain_into(&self, out: &mut Vec<ResponseRec>) -> usize {
+        let Ok(mut q) = self.queue.lock() else {
+            return 0;
+        };
+        let n = q.len();
+        out.extend(q.drain(..));
+        n
+    }
+
+    /// Blocks until the outbox is non-empty or `timeout` passes; returns
+    /// whether records are available.
+    pub fn wait_nonempty(&self, timeout: Duration) -> bool {
+        let Ok(mut q) = self.queue.lock() else {
+            return false;
+        };
+        let deadline = Instant::now() + timeout;
+        while q.is_empty() {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            match self.ready.wait_timeout(q, deadline - now) {
+                Ok((guard, _)) => q = guard,
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+}
+
+impl Default for Outbox {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+enum Reply {
+    /// One-shot channel feeding a [`Ticket`] (in-process and threaded
+    /// transport clients).
+    Channel(mpsc::SyncSender<Result<ControlResponse, ServeError>>),
+    /// Fixed-size record pushed onto a shared reply ring (reactor /
+    /// binary-wire clients). Allocation-free on the worker side.
+    Outbox { outbox: Arc<Outbox>, id: u64 },
+}
+
+struct Request {
+    state: Vec<f64>,
+    reply: Reply,
+}
+
+struct ShardState {
     queue: VecDeque<Request>,
+    /// Pooled state buffers: submits pop one instead of allocating, the
+    /// worker returns them after each batch.
+    free: Vec<Vec<f64>>,
     paused: bool,
     shutdown: bool,
 }
 
-struct Shared {
-    state: Mutex<EngineState>,
+struct Shard {
+    state: Mutex<ShardState>,
     wake: Condvar,
+}
+
+struct Shared {
+    shards: Vec<Shard>,
+    rr: AtomicUsize,
     state_dim: usize,
     control_dim: usize,
     queue_capacity: usize,
     tel: Arc<dyn Telemetry>,
 }
 
+impl Shared {
+    fn shard_for(&self, conn_id: u64) -> usize {
+        #[allow(
+            clippy::cast_possible_truncation,
+            reason = "modulo shard count, far below 2^32"
+        )]
+        {
+            (fnv1a_64(&conn_id.to_le_bytes()) % self.shards.len() as u64) as usize
+        }
+    }
+
+    fn submit(&self, shard_idx: usize, state: &[f64], reply: Reply) -> Result<(), ServeError> {
+        if state.len() != self.state_dim {
+            return Err(ServeError::BadRequest(format!(
+                "state dimension {} != expected {}",
+                state.len(),
+                self.state_dim
+            )));
+        }
+        if !state.iter().all(|v| v.is_finite()) {
+            return Err(ServeError::BadRequest("non-finite state component".into()));
+        }
+        let shard = &self.shards[shard_idx];
+        #[allow(
+            clippy::expect_used,
+            reason = "a poisoned engine mutex means a worker panic; propagating is correct"
+        )]
+        let mut guard = shard.state.lock().expect("engine mutex poisoned");
+        if guard.shutdown {
+            return Err(ServeError::Shutdown);
+        }
+        if guard.queue.len() >= self.queue_capacity {
+            let depth = guard.queue.len();
+            drop(guard);
+            self.tel.counter("serve.rejections", 1);
+            return Err(ServeError::Backpressure { depth });
+        }
+        let mut buf = guard
+            .free
+            .pop()
+            .unwrap_or_else(|| Vec::with_capacity(self.state_dim));
+        buf.clear();
+        buf.extend_from_slice(state);
+        guard.queue.push_back(Request { state: buf, reply });
+        drop(guard);
+        shard.wake.notify_all();
+        Ok(())
+    }
+}
+
 /// A cloneable submission handle; this is what transports and in-process
-/// clients hold.
+/// clients hold. Unpinned submits round-robin across shards; transports
+/// should [`EngineHandle::pinned`] each connection instead.
 #[derive(Clone)]
 pub struct EngineHandle {
     shared: Arc<Shared>,
 }
 
-/// An in-flight request; [`Ticket::wait`] blocks until the batch worker
+/// A handle pinned to the shard a connection id hashes to. All requests
+/// from one connection share a queue, which keeps rejection patterns and
+/// batch composition replayable.
+#[derive(Clone)]
+pub struct PinnedHandle {
+    shared: Arc<Shared>,
+    shard: usize,
+}
+
+/// An in-flight request; [`Ticket::wait`] blocks until a shard worker
 /// answers.
 pub struct Ticket {
     rx: mpsc::Receiver<Result<ControlResponse, ServeError>>,
@@ -162,46 +349,32 @@ impl EngineHandle {
         self.shared.control_dim
     }
 
-    /// Enqueues a request without blocking; never waits for capacity.
+    /// Number of engine shards.
+    pub fn shard_count(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// The handle pinned to the shard `conn_id` hashes to
+    /// (FNV-1a(conn_id) mod shards — deterministic, evenly spread for
+    /// sequential ids).
+    #[must_use]
+    pub fn pinned(&self, conn_id: u64) -> PinnedHandle {
+        PinnedHandle {
+            shard: self.shared.shard_for(conn_id),
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Enqueues a request without blocking, on a round-robin shard.
     ///
     /// # Errors
     ///
-    /// [`ServeError::Backpressure`] on a full queue,
+    /// [`ServeError::Backpressure`] on a full shard queue,
     /// [`ServeError::BadRequest`] on a malformed state,
     /// [`ServeError::Shutdown`] after shutdown.
     pub fn try_submit(&self, state: &[f64]) -> Result<Ticket, ServeError> {
-        if state.len() != self.shared.state_dim {
-            return Err(ServeError::BadRequest(format!(
-                "state dimension {} != expected {}",
-                state.len(),
-                self.shared.state_dim
-            )));
-        }
-        if !state.iter().all(|v| v.is_finite()) {
-            return Err(ServeError::BadRequest("non-finite state component".into()));
-        }
-        let (tx, rx) = mpsc::sync_channel(1);
-        #[allow(
-            clippy::expect_used,
-            reason = "a poisoned engine mutex means a worker panic; propagating is correct"
-        )]
-        let mut guard = self.shared.state.lock().expect("engine mutex poisoned");
-        if guard.shutdown {
-            return Err(ServeError::Shutdown);
-        }
-        if guard.queue.len() >= self.shared.queue_capacity {
-            let depth = guard.queue.len();
-            drop(guard);
-            self.shared.tel.counter("serve.rejections", 1);
-            return Err(ServeError::Backpressure { depth });
-        }
-        guard.queue.push_back(Request {
-            state: state.to_vec(),
-            tx,
-        });
-        drop(guard);
-        self.shared.wake.notify_all();
-        Ok(Ticket { rx })
+        let shard = self.shared.rr.fetch_add(1, Ordering::Relaxed) % self.shared.shards.len();
+        submit_ticket(&self.shared, shard, state)
     }
 
     /// Submits and waits for the answer — the in-process client call.
@@ -214,11 +387,83 @@ impl EngineHandle {
     }
 }
 
-/// The engine: owns the batch worker thread. Dropping it shuts the worker
-/// down after draining the queue.
+impl PinnedHandle {
+    /// State (input) dimension served by this engine.
+    pub fn state_dim(&self) -> usize {
+        self.shared.state_dim
+    }
+
+    /// Control (output) dimension served by this engine.
+    pub fn control_dim(&self) -> usize {
+        self.shared.control_dim
+    }
+
+    /// The shard index this handle is pinned to.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Enqueues a request on the pinned shard without blocking.
+    ///
+    /// # Errors
+    ///
+    /// See [`EngineHandle::try_submit`].
+    pub fn try_submit(&self, state: &[f64]) -> Result<Ticket, ServeError> {
+        submit_ticket(&self.shared, self.shard, state)
+    }
+
+    /// Submits and waits for the answer.
+    ///
+    /// # Errors
+    ///
+    /// See [`EngineHandle::submit`].
+    pub fn submit(&self, state: &[f64]) -> Result<ControlResponse, ServeError> {
+        self.try_submit(state)?.wait()
+    }
+
+    /// Enqueues a request whose answer is pushed onto `outbox` as a
+    /// fixed-size [`ResponseRec`] carrying `id` — the allocation-free
+    /// reply path the reactor transport uses.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::try_submit`], plus [`ServeError::BadRequest`] when the
+    /// engine's control dimension exceeds the wire limit
+    /// ([`MAX_WIRE_CONTROL_DIM`]).
+    pub fn try_submit_outbox(
+        &self,
+        id: u64,
+        state: &[f64],
+        outbox: &Arc<Outbox>,
+    ) -> Result<(), ServeError> {
+        if self.shared.control_dim > MAX_WIRE_CONTROL_DIM {
+            return Err(ServeError::BadRequest(format!(
+                "control dimension {} exceeds the binary-wire limit {MAX_WIRE_CONTROL_DIM}",
+                self.shared.control_dim
+            )));
+        }
+        self.shared.submit(
+            self.shard,
+            state,
+            Reply::Outbox {
+                outbox: outbox.clone(),
+                id,
+            },
+        )
+    }
+}
+
+fn submit_ticket(shared: &Arc<Shared>, shard: usize, state: &[f64]) -> Result<Ticket, ServeError> {
+    let (tx, rx) = mpsc::sync_channel(1);
+    shared.submit(shard, state, Reply::Channel(tx))?;
+    Ok(Ticket { rx })
+}
+
+/// The engine: owns the shard worker threads. Dropping it shuts the
+/// workers down after draining every queue.
 pub struct Engine {
     shared: Arc<Shared>,
-    worker: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl Engine {
@@ -272,6 +517,10 @@ impl Engine {
     /// # Errors
     ///
     /// [`ServeError::BadRequest`] on any dimension inconsistency.
+    #[allow(
+        clippy::needless_pass_by_value,
+        reason = "callers hand over ownership; every shard worker clones its own copy, so nothing is left to give back"
+    )]
     pub fn from_parts(
         net: Mlp,
         scale: Vec<f64>,
@@ -302,40 +551,58 @@ impl Engine {
                 )));
             }
         }
+        let n_shards = config.shards.max(1);
+        let queue_capacity = config.queue_capacity.max(1);
+        let shards = (0..n_shards)
+            .map(|_| Shard {
+                state: Mutex::new(ShardState {
+                    queue: VecDeque::with_capacity(queue_capacity),
+                    free: Vec::with_capacity(queue_capacity),
+                    paused: config.start_paused,
+                    shutdown: false,
+                }),
+                wake: Condvar::new(),
+            })
+            .collect();
         let shared = Arc::new(Shared {
-            state: Mutex::new(EngineState {
-                queue: VecDeque::new(),
-                paused: config.start_paused,
-                shutdown: false,
-            }),
-            wake: Condvar::new(),
+            shards,
+            rr: AtomicUsize::new(0),
             state_dim: net.input_dim(),
             control_dim,
-            queue_capacity: config.queue_capacity.max(1),
+            queue_capacity,
             tel,
         });
-        let worker_shared = shared.clone();
         let max_batch = config.max_batch.max(1);
         let deadline = config.batch_deadline;
-        let worker = std::thread::Builder::new()
-            .name("cocktail-serve-batcher".into())
-            .spawn(move || {
-                batch_worker(
-                    &worker_shared,
-                    &net,
-                    &scale,
-                    &u_inf,
-                    &u_sup,
-                    max_batch,
-                    deadline,
-                    fallback.as_deref(),
-                );
-            })
-            .map_err(|e| ServeError::BadRequest(format!("spawn worker: {e}")))?;
-        Ok(Self {
-            shared,
-            worker: Some(worker),
-        })
+        let mut workers = Vec::with_capacity(n_shards);
+        for shard_idx in 0..n_shards {
+            let worker_shared = shared.clone();
+            let net = net.clone();
+            let scale = scale.clone();
+            let u_inf = u_inf.clone();
+            let u_sup = u_sup.clone();
+            let fallback = fallback.clone();
+            let worker = std::thread::Builder::new()
+                .name(format!("cocktail-serve-shard-{shard_idx}"))
+                .spawn(move || {
+                    shard_worker(
+                        &worker_shared,
+                        shard_idx,
+                        &ShardParams {
+                            net,
+                            scale,
+                            u_inf,
+                            u_sup,
+                            max_batch,
+                            deadline,
+                            fallback,
+                        },
+                    );
+                })
+                .map_err(|e| ServeError::BadRequest(format!("spawn worker: {e}")))?;
+            workers.push(worker);
+        }
+        Ok(Self { shared, workers })
     }
 
     /// A cloneable submission handle.
@@ -345,8 +612,8 @@ impl Engine {
         }
     }
 
-    /// Pauses the scheduler: requests keep queueing (and keep being
-    /// rejected once the queue is full) but no batch runs.
+    /// Pauses every shard scheduler: requests keep queueing (and keep
+    /// being rejected once a queue is full) but no batch runs.
     pub fn pause(&self) {
         self.set_paused(true);
     }
@@ -357,34 +624,37 @@ impl Engine {
     }
 
     fn set_paused(&self, paused: bool) {
-        #[allow(
-            clippy::expect_used,
-            reason = "a poisoned engine mutex means a worker panic; propagating is correct"
-        )]
-        let mut guard = self.shared.state.lock().expect("engine mutex poisoned");
-        guard.paused = paused;
-        drop(guard);
-        self.shared.wake.notify_all();
+        for shard in &self.shared.shards {
+            #[allow(
+                clippy::expect_used,
+                reason = "a poisoned engine mutex means a worker panic; propagating is correct"
+            )]
+            let mut guard = shard.state.lock().expect("engine mutex poisoned");
+            guard.paused = paused;
+            drop(guard);
+            shard.wake.notify_all();
+        }
     }
 
-    /// Shuts the worker down after draining the queue.
+    /// Shuts every shard worker down after draining its queue.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
 
     fn shutdown_inner(&mut self) {
-        {
+        for shard in &self.shared.shards {
             #[allow(
                 clippy::expect_used,
                 reason = "a poisoned engine mutex means a worker panic; propagating is correct"
             )]
-            let mut guard = self.shared.state.lock().expect("engine mutex poisoned");
+            let mut guard = shard.state.lock().expect("engine mutex poisoned");
             guard.shutdown = true;
             // a paused engine must still drain on shutdown
             guard.paused = false;
+            drop(guard);
+            shard.wake.notify_all();
         }
-        self.shared.wake.notify_all();
-        if let Some(worker) = self.worker.take() {
+        for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
     }
@@ -396,28 +666,59 @@ impl Drop for Engine {
     }
 }
 
-#[allow(
-    clippy::too_many_arguments,
-    reason = "private worker entry point; bundling these into a struct would only rename the arguments"
-)]
-fn batch_worker(
-    shared: &Shared,
-    net: &Mlp,
-    scale: &[f64],
-    u_inf: &[f64],
-    u_sup: &[f64],
+/// Immutable per-shard worker parameters (one clone per shard).
+struct ShardParams {
+    net: Mlp,
+    scale: Vec<f64>,
+    u_inf: Vec<f64>,
+    u_sup: Vec<f64>,
     max_batch: usize,
     deadline: Duration,
-    fallback: Option<&dyn Controller>,
-) {
+    fallback: Option<Arc<dyn Controller>>,
+}
+
+/// Per-shard reusable scratch. `inputs[k]`/`caches[k]` are the staging
+/// matrix and forward cache for batch-size class `k`; each class is
+/// allocated on first use and reused forever after, so a steady-state
+/// batch touches no allocator no matter how batch sizes fluctuate.
+struct ShardScratch {
+    batch: Vec<Request>,
+    spent: Vec<Vec<f64>>,
+    inputs: Vec<Option<Matrix>>,
+    caches: Vec<Option<BatchCache>>,
+    scaled: Vec<f64>,
+}
+
+impl ShardScratch {
+    fn new(max_batch: usize, control_dim: usize, capacity: usize) -> Self {
+        Self {
+            batch: Vec::with_capacity(max_batch),
+            spent: Vec::with_capacity(capacity + max_batch),
+            inputs: (0..=max_batch).map(|_| None).collect(),
+            caches: (0..=max_batch).map(|_| None).collect(),
+            scaled: vec![0.0; control_dim],
+        }
+    }
+}
+
+fn shard_worker(shared: &Shared, shard_idx: usize, params: &ShardParams) {
     let tel = shared.tel.as_ref();
-    let mut cache = BatchCache::new();
+    let shard = &shared.shards[shard_idx];
+    let mut scratch =
+        ShardScratch::new(params.max_batch, shared.control_dim, shared.queue_capacity);
     loop {
         #[allow(
             clippy::expect_used,
             reason = "a poisoned engine mutex means a submitter panicked mid-push; nothing to salvage"
         )]
-        let mut guard = shared.state.lock().expect("engine mutex poisoned");
+        let mut guard = shard.state.lock().expect("engine mutex poisoned");
+        // return the previous batch's state buffers to the submit pool
+        while let Some(mut buf) = scratch.spent.pop() {
+            if guard.free.len() < shared.queue_capacity + params.max_batch {
+                buf.clear();
+                guard.free.push(buf);
+            }
+        }
         // wait for work (or shutdown with an empty queue)
         loop {
             if guard.queue.is_empty() || guard.paused {
@@ -429,16 +730,16 @@ fn batch_worker(
                     reason = "condvar wait fails only on a poisoned mutex"
                 )]
                 {
-                    guard = shared.wake.wait(guard).expect("engine mutex poisoned");
+                    guard = shard.wake.wait(guard).expect("engine mutex poisoned");
                 }
             } else {
                 break;
             }
         }
-        // batch window: hold for up to `deadline` or `max_batch` requests
-        if !deadline.is_zero() {
-            let window_end = Instant::now() + deadline;
-            while guard.queue.len() < max_batch && !guard.shutdown && !guard.paused {
+        // optional batch window: hold for up to `deadline` or `max_batch`
+        if !params.deadline.is_zero() {
+            let window_end = Instant::now() + params.deadline;
+            while guard.queue.len() < params.max_batch && !guard.shutdown && !guard.paused {
                 let now = Instant::now();
                 if now >= window_end {
                     break;
@@ -447,7 +748,7 @@ fn batch_worker(
                     clippy::expect_used,
                     reason = "condvar wait fails only on a poisoned mutex"
                 )]
-                let (g, timeout) = shared
+                let (g, timeout) = shard
                     .wake
                     .wait_timeout(guard, window_end - now)
                     .expect("engine mutex poisoned");
@@ -461,89 +762,138 @@ fn batch_worker(
             continue; // drop the guard, go back to waiting
         }
         let depth = guard.queue.len();
-        let take = depth.min(max_batch);
-        let batch: Vec<Request> = guard.queue.drain(..take).collect();
+        let take = depth.min(params.max_batch);
+        scratch.batch.clear();
+        for _ in 0..take {
+            #[allow(
+                clippy::expect_used,
+                reason = "take <= queue length under the lock just taken"
+            )]
+            scratch
+                .batch
+                .push(guard.queue.pop_front().expect("take <= len"));
+        }
         drop(guard);
 
-        run_batch(
-            tel, &mut cache, net, scale, u_inf, u_sup, depth, &batch, fallback,
-        );
+        run_batch(tel, shard_idx, &mut scratch, params, depth);
     }
 }
 
-#[allow(
-    clippy::too_many_arguments,
-    reason = "private helper split out of the worker loop for readability"
-)]
 fn run_batch(
     tel: &dyn Telemetry,
-    cache: &mut BatchCache,
-    net: &Mlp,
-    scale: &[f64],
-    u_inf: &[f64],
-    u_sup: &[f64],
+    shard_idx: usize,
+    scratch: &mut ShardScratch,
+    params: &ShardParams,
     depth: usize,
-    batch: &[Request],
-    fallback: Option<&dyn Controller>,
 ) {
-    let span = Span::enter_with(
-        tel,
-        "serve/batch",
-        vec![
-            ("batch".to_string(), batch.len().into()),
-            ("queue_depth".to_string(), depth.into()),
-        ],
-    );
-    tel.observe("serve.batch_size", batch.len() as f64);
-    tel.observe("serve.queue_depth", depth as f64);
+    let n = scratch.batch.len();
+    let span = if tel.enabled() {
+        Some(Span::enter_with(
+            tel,
+            "serve/batch",
+            vec![
+                ("batch".to_string(), n.into()),
+                ("queue_depth".to_string(), depth.into()),
+                ("shard".to_string(), shard_idx.into()),
+            ],
+        ))
+    } else {
+        None
+    };
 
-    let x = Matrix::from_rows(batch.iter().map(|r| r.state.clone()).collect());
+    // stage the batch into this size class's input matrix
+    let input = scratch.inputs[n].get_or_insert_with(|| Matrix::zeros(n, params.net.input_dim()));
+    for (r, req) in scratch.batch.iter().enumerate() {
+        input.row_mut(r).copy_from_slice(&req.state);
+    }
+    let cache = scratch.caches[n].get_or_insert_with(BatchCache::new);
     // the network asserts its own activations are finite and panics
     // otherwise; catch that so one poisoned batch degrades to the
-    // fallback expert instead of killing the worker thread
+    // fallback expert instead of killing the shard worker
     let forwarded = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        net.forward_batch_cached(&x, cache);
+        params.net.forward_batch_cached(input, cache);
     }))
     .is_ok();
-    let out = forwarded.then(|| cache.output());
+
     let mut fallbacks = 0u64;
-    for (r, request) in batch.iter().enumerate() {
+    for (r, req) in scratch.batch.drain(..).enumerate() {
         // identical arithmetic to NnController::control followed by the
         // plant clip: y[i] * scale[i], then clamp — bit-for-bit what the
         // per-sample path produces
-        let scaled: Vec<f64> = out.map_or_else(Vec::new, |m| {
-            m.row(r).iter().zip(scale).map(|(y, sc)| y * sc).collect()
-        });
-        let response = if out.is_some() && scaled.iter().all(|v| v.is_finite()) {
-            Ok(ControlResponse {
-                control: vector::clip(&scaled, u_inf, u_sup),
-                served_by_fallback: false,
-            })
-        } else if let Some(fb) = fallback {
+        let mut finite = forwarded;
+        if forwarded {
+            let row = cache.output().row(r);
+            for ((dst, y), sc) in scratch.scaled.iter_mut().zip(row).zip(&params.scale) {
+                *dst = y * sc;
+                finite &= dst.is_finite();
+            }
+        }
+        let outcome: Result<(&[f64], bool), ServeError> = if finite {
+            for ((v, lo), hi) in scratch
+                .scaled
+                .iter_mut()
+                .zip(&params.u_inf)
+                .zip(&params.u_sup)
+            {
+                // same clamp as cocktail_math::vector::clip
+                *v = v.clamp(*lo, *hi);
+            }
+            Ok((scratch.scaled.as_slice(), false))
+        } else if let Some(fb) = params.fallback.as_deref() {
             fallbacks += 1;
-            let u = fb.control(&request.state);
+            let u = fb.control(&req.state);
             if u.iter().all(|v| v.is_finite()) {
-                Ok(ControlResponse {
-                    control: vector::clip(&u, u_inf, u_sup),
-                    served_by_fallback: true,
-                })
+                for (((dst, v), lo), hi) in scratch
+                    .scaled
+                    .iter_mut()
+                    .zip(&u)
+                    .zip(&params.u_inf)
+                    .zip(&params.u_sup)
+                {
+                    *dst = v.clamp(*lo, *hi);
+                }
+                Ok((scratch.scaled.as_slice(), true))
             } else {
                 Err(ServeError::NonFiniteOutput)
             }
         } else {
             Err(ServeError::NonFiniteOutput)
         };
-        // a dropped ticket (client gone) is not an engine error
-        let _ = request.tx.send(response);
+        match req.reply {
+            Reply::Channel(tx) => {
+                let response = outcome.map(|(control, served_by_fallback)| ControlResponse {
+                    control: control.to_vec(),
+                    served_by_fallback,
+                });
+                // a dropped ticket (client gone) is not an engine error
+                let _ = tx.send(response);
+            }
+            Reply::Outbox { outbox, id } => {
+                let rec = match outcome {
+                    Ok((control, fallback)) => ResponseRec::ok(id, control, fallback),
+                    Err(e) => ResponseRec::err(id, wire::status_of_error(&e)),
+                };
+                outbox.push(rec);
+            }
+        }
+        scratch.spent.push(req.state);
     }
-    tel.counter("serve.requests", batch.len() as u64);
+
+    tel.observe("serve.batch_size", n as f64);
+    tel.observe("serve.queue_depth", depth as f64);
+    tel.counter("serve.requests", n as u64);
     tel.counter("serve.fallbacks", fallbacks);
-    if fallbacks > 0 && tel.enabled() {
-        tel.record(
-            Event::point("serve.degradation")
-                .with("reason", "non-finite-output")
-                .with("requests", fallbacks),
-        );
+    if tel.enabled() {
+        tel.record(Event::histogram("serve.shard.depth", depth as f64).with("shard", shard_idx));
+        tel.record(Event::counter("serve.shard.batches", 1).with("shard", shard_idx));
+        if fallbacks > 0 {
+            tel.record(
+                Event::point("serve.degradation")
+                    .with("reason", "non-finite-output")
+                    .with("shard", shard_idx)
+                    .with("requests", fallbacks),
+            );
+        }
     }
     drop(span);
 }
@@ -580,13 +930,59 @@ mod tests {
     fn serves_a_request_end_to_end() {
         let engine = engine_with(EngineConfig::default());
         let resp = engine.handle().submit(&[0.3, -0.4]).expect("served");
-        let expected = vector::clip(
+        let expected = cocktail_math::vector::clip(
             &[small_net().forward(&[0.3, -0.4])[0] * 2.0],
             &[-5.0],
             &[5.0],
         );
         assert_eq!(resp.control, expected);
         assert!(!resp.served_by_fallback);
+    }
+
+    #[test]
+    fn every_shard_serves_the_same_bits() {
+        let per_sample = |s: &[f64]| {
+            cocktail_math::vector::clip(&[small_net().forward(s)[0] * 2.0], &[-5.0], &[5.0])
+        };
+        for shards in [1usize, 2, 8] {
+            let engine = engine_with(EngineConfig {
+                shards,
+                ..EngineConfig::default()
+            });
+            let h = engine.handle();
+            assert_eq!(h.shard_count(), shards);
+            for conn in 0..16u64 {
+                let pinned = h.pinned(conn);
+                assert!(pinned.shard() < shards);
+                let s = [0.05 * conn as f64 - 0.3, 0.1];
+                assert_eq!(
+                    pinned.submit(&s).expect("served").control,
+                    per_sample(&s),
+                    "shard {} of {shards} must match the per-sample path",
+                    pinned.shard()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pinning_is_deterministic_and_spread() {
+        let engine = engine_with(EngineConfig {
+            shards: 4,
+            ..EngineConfig::default()
+        });
+        let h = engine.handle();
+        let mut counts = [0usize; 4];
+        for conn in 0..32u64 {
+            let a = h.pinned(conn).shard();
+            let b = h.pinned(conn).shard();
+            assert_eq!(a, b, "same connection id, same shard");
+            counts[a] += 1;
+        }
+        assert!(
+            counts.iter().all(|&c| c > 0),
+            "sequential connection ids must touch every shard: {counts:?}"
+        );
     }
 
     #[test]
@@ -621,6 +1017,25 @@ mod tests {
         for t in tickets {
             assert!(t.wait().expect("served after resume").control[0].is_finite());
         }
+    }
+
+    #[test]
+    fn outbox_replies_carry_the_same_bits_as_tickets() {
+        let engine = engine_with(EngineConfig::default());
+        let h = engine.handle();
+        let pinned = h.pinned(3);
+        let outbox = Arc::new(Outbox::new());
+        let state = [0.2, -0.6];
+        let via_ticket = h.submit(&state).expect("served");
+        pinned
+            .try_submit_outbox(41, &state, &outbox)
+            .expect("queued");
+        assert!(outbox.wait_nonempty(Duration::from_secs(5)));
+        let mut recs = Vec::new();
+        assert_eq!(outbox.drain_into(&mut recs), 1);
+        assert_eq!(recs[0].id, 41);
+        assert!(recs[0].is_ok());
+        assert_eq!(recs[0].control(), via_ticket.control.as_slice());
     }
 
     #[test]
@@ -662,6 +1077,7 @@ mod tests {
         drop(engine);
         assert_eq!(tel.counter_total("serve.fallbacks"), 1);
         assert_eq!(tel.counter_total("serve.requests"), 1);
+        assert_eq!(tel.counter_total("serve.shard.batches"), 1);
     }
 
     #[test]
@@ -694,14 +1110,19 @@ mod tests {
     }
 
     #[test]
-    fn shutdown_drains_queued_requests() {
+    fn shutdown_drains_queued_requests_on_every_shard() {
         let engine = engine_with(EngineConfig {
             start_paused: true,
+            shards: 3,
             ..EngineConfig::default()
         });
         let h = engine.handle();
-        let tickets: Vec<Ticket> = (0..4)
-            .map(|i| h.try_submit(&[0.05 * f64::from(i), 0.1]).expect("queued"))
+        let tickets: Vec<Ticket> = (0..12u32)
+            .map(|i| {
+                h.pinned(u64::from(i))
+                    .try_submit(&[0.05 * f64::from(i), 0.1])
+                    .expect("queued")
+            })
             .collect();
         engine.shutdown();
         for t in tickets {

@@ -1,7 +1,7 @@
 //! `cocktail-serve`: a controller-serving runtime for distilled students.
 //!
 //! The pipeline crates end at a trained, verified student network. This
-//! crate is the deployment story for that artifact, in four layers:
+//! crate is the deployment story for that artifact, in five layers:
 //!
 //! 1. **Bundle** ([`bundle`]): a versioned, self-describing JSON artifact
 //!    packaging the student network with its operating envelope (input
@@ -12,15 +12,23 @@
 //!    bundle re-runs the `cocktail-analysis` gate against the *current*
 //!    linter and re-derives the Lipschitz bound; a stale claim, a Deny
 //!    finding, or a certificate violation refuses admission.
-//! 3. **Engine** ([`engine`]): a micro-batching scheduler that coalesces
-//!    concurrent requests into single batched forwards, clips every
-//!    output to the bundle envelope, answers non-finite outputs from a
-//!    fallback expert, and rejects (never blocks) under overload.
-//! 4. **Transport + harness** ([`transport`], [`loadgen`]): a
-//!    length-prefixed JSON-over-TCP server, matching client, and a
-//!    deterministic load generator that doubles as the correctness
-//!    oracle — every served output is checked bit-for-bit against the
-//!    per-sample reference path.
+//! 3. **Engine** ([`engine`]): a sharded micro-batching scheduler — N
+//!    independent queue+worker shards, deterministic connection-to-shard
+//!    hashing, reusable batch scratch (zero steady-state allocations on
+//!    the binary reply path) — that coalesces concurrent requests into
+//!    batched forwards, clips every output to the bundle envelope,
+//!    answers non-finite outputs from a fallback expert, and rejects
+//!    (never blocks) under overload.
+//! 4. **Wire + transport** ([`wire`], [`transport`], [`reactor`]): a
+//!    compact fixed-layout binary frame format negotiated by a hello
+//!    byte alongside the original length-prefixed JSON; served either by
+//!    the portable thread-per-connection server or (on Linux) by an
+//!    epoll-backed nonblocking reactor that multiplexes every connection
+//!    on one thread.
+//! 5. **Harness** ([`loadgen`]): a deterministic load generator that
+//!    doubles as the correctness oracle — every served output is checked
+//!    bit-for-bit against the per-sample reference path, on both wire
+//!    formats, with p50/p99/p999 latency accounting.
 //!
 //! The crate is std-only, like the rest of the workspace.
 
@@ -28,10 +36,17 @@ pub mod admission;
 pub mod bundle;
 pub mod engine;
 pub mod loadgen;
+#[cfg(target_os = "linux")]
+pub mod reactor;
 pub mod transport;
+pub mod wire;
 
 pub use admission::{admit, admit_with, AdmissionConfig, AdmissionError, Admitted};
 pub use bundle::{BundleError, ControllerBundle, Provenance, BUNDLE_VERSION};
-pub use engine::{ControlResponse, Engine, EngineConfig, EngineHandle, ServeError, Ticket};
-pub use loadgen::{LoadGenConfig, LoadReport};
-pub use transport::{ControlClient, Server, TcpClient};
+pub use engine::{
+    ControlResponse, Engine, EngineConfig, EngineHandle, Outbox, PinnedHandle, ServeError, Ticket,
+};
+pub use loadgen::{LoadGenConfig, LoadReport, WireProtocol};
+#[cfg(target_os = "linux")]
+pub use reactor::ReactorServer;
+pub use transport::{BinaryTcpClient, ControlClient, Server, TcpClient};

@@ -6,14 +6,26 @@
 //! bit-for-bit against [`expected_control`] — the per-sample reference
 //! path (`forward`, scale, clip) the batching engine promises to match —
 //! which turns any scheduler-induced numeric drift into a counted
-//! `mismatch` instead of a silent perf artifact.
+//! `mismatch` instead of a silent perf artifact. The drill speaks either
+//! wire protocol ([`WireProtocol`]) and reports tail latencies
+//! (p50/p99/p999) alongside aggregate throughput.
 
 use crate::bundle::{BundleError, ControllerBundle};
 use crate::engine::{EngineHandle, ServeError};
-use crate::transport::{ControlClient, TcpClient};
+use crate::transport::{BinaryTcpClient, ControlClient, TcpClient};
 use cocktail_math::{rng, vector};
 use std::net::SocketAddr;
 use std::time::Instant;
+
+/// Which frame format a TCP drill speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WireProtocol {
+    /// Length-prefixed JSON (the portable default).
+    #[default]
+    Json,
+    /// The fixed-layout binary format in [`crate::wire`].
+    Binary,
+}
 
 /// Load-drill shape.
 #[derive(Debug, Clone)]
@@ -24,6 +36,8 @@ pub struct LoadGenConfig {
     pub connections: usize,
     /// Seed for the state stream.
     pub seed: u64,
+    /// Frame format for TCP drills (in-process drills ignore it).
+    pub wire: WireProtocol,
 }
 
 impl Default for LoadGenConfig {
@@ -32,6 +46,7 @@ impl Default for LoadGenConfig {
             requests: 512,
             connections: 4,
             seed: 0x10ad,
+            wire: WireProtocol::Json,
         }
     }
 }
@@ -53,6 +68,10 @@ pub struct LoadReport {
     pub errors: usize,
     /// Median per-request latency in microseconds.
     pub p50_latency_us: f64,
+    /// 99th-percentile per-request latency in microseconds.
+    pub p99_latency_us: f64,
+    /// 99.9th-percentile per-request latency in microseconds.
+    pub p999_latency_us: f64,
     /// Completed requests per wall-clock second.
     pub throughput_rps: f64,
 }
@@ -91,7 +110,8 @@ pub fn expected_control(bundle: &ControllerBundle, state: &[f64]) -> Result<Vec<
     Ok(vector::clip(&scaled, &bundle.u_inf, &bundle.u_sup))
 }
 
-/// Runs the drill over TCP with one connection per thread.
+/// Runs the drill over TCP with one connection per thread, speaking the
+/// configured wire protocol.
 ///
 /// # Errors
 ///
@@ -102,12 +122,26 @@ pub fn run_tcp(
     addr: SocketAddr,
     cfg: &LoadGenConfig,
 ) -> Result<LoadReport, BundleError> {
-    run_with(bundle, cfg, |_| {
-        TcpClient::connect(addr).map_err(|e| ServeError::BadRequest(format!("connect: {e}")))
-    })
+    let wire = cfg.wire;
+    run_with(
+        bundle,
+        cfg,
+        |_| -> Result<Box<dyn ControlClient + Send>, ServeError> {
+            match wire {
+                WireProtocol::Json => TcpClient::connect(addr)
+                    .map(|c| Box::new(c) as Box<dyn ControlClient + Send>)
+                    .map_err(|e| ServeError::BadRequest(format!("connect: {e}"))),
+                WireProtocol::Binary => BinaryTcpClient::connect(addr)
+                    .map(|c| Box::new(c) as Box<dyn ControlClient + Send>)
+                    .map_err(|e| ServeError::BadRequest(format!("connect: {e}"))),
+            }
+        },
+    )
 }
 
-/// Runs the drill in-process against an engine handle (no sockets).
+/// Runs the drill in-process against an engine handle (no sockets). Each
+/// drill connection gets a shard-pinned handle, mirroring what the TCP
+/// transports do per connection.
 ///
 /// # Errors
 ///
@@ -117,10 +151,17 @@ pub fn run_in_process(
     handle: &EngineHandle,
     cfg: &LoadGenConfig,
 ) -> Result<LoadReport, BundleError> {
-    run_with(bundle, cfg, |_| Ok(handle.clone()))
+    run_with(bundle, cfg, |c| Ok(handle.pinned(c as u64)))
 }
 
-fn run_with<C, F>(
+/// Runs the drill with caller-supplied clients — the generic core behind
+/// [`run_tcp`] and [`run_in_process`], public so the perf harness can
+/// drive custom client mixes.
+///
+/// # Errors
+///
+/// [`BundleError`] when the bundle is not `Mlp`-family.
+pub fn run_with<C, F>(
     bundle: &ControllerBundle,
     cfg: &LoadGenConfig,
     make_client: F,
@@ -210,11 +251,6 @@ where
         .flat_map(|t| t.latencies_us.clone())
         .collect();
     latencies.sort_by(f64::total_cmp);
-    let p50 = if latencies.is_empty() {
-        0.0
-    } else {
-        latencies[latencies.len() / 2]
-    };
     let completed: usize = tallies.iter().map(|t| t.completed).sum();
     Ok(LoadReport {
         sent: states.len(),
@@ -223,7 +259,9 @@ where
         fallbacks: tallies.iter().map(|t| t.fallbacks).sum(),
         mismatches: tallies.iter().map(|t| t.mismatches).sum(),
         errors: tallies.iter().map(|t| t.errors).sum(),
-        p50_latency_us: p50,
+        p50_latency_us: percentile(&latencies, 0.50),
+        p99_latency_us: percentile(&latencies, 0.99),
+        p999_latency_us: percentile(&latencies, 0.999),
         #[allow(
             clippy::cast_precision_loss,
             reason = "request counts are far below 2^52"
@@ -234,6 +272,22 @@ where
             0.0
         },
     })
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample (0 when
+/// empty). `q` in `[0, 1]`.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss,
+        reason = "sample counts are far below 2^52 and q is in [0, 1]"
+    )]
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
 }
 
 #[cfg(test)]
@@ -264,5 +318,16 @@ mod tests {
                 assert!(*v >= *lo && *v <= *hi);
             }
         }
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<f64> = (1..=1000).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 0.50), 500.0);
+        assert_eq!(percentile(&sorted, 0.99), 990.0);
+        assert_eq!(percentile(&sorted, 0.999), 999.0);
+        assert_eq!(percentile(&sorted, 1.0), 1000.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[42.0], 0.999), 42.0);
     }
 }

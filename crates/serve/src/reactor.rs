@@ -1,0 +1,625 @@
+//! The nonblocking serving reactor (Linux only).
+//!
+//! One thread multiplexes every connection over `epoll`: the listener,
+//! a self-wake pipe, and all client sockets sit in one interest list,
+//! and the loop reacts to readiness instead of parking a thread per
+//! socket. Requests are fed to the engine's shard queues through
+//! [`PinnedHandle::try_submit_outbox`], which never blocks; answers come
+//! back through each connection's [`Outbox`], whose waker pokes the
+//! reactor's wake pipe, so the loop never waits on the engine either.
+//! Both wire protocols of [`crate::transport`] are spoken — the hello
+//! byte (`0xC1`) selects the binary format, anything else is a framed
+//! JSON length — and replies per connection stay in submission order
+//! because every reply (including synchronous rejections) goes through
+//! the connection's outbox.
+//!
+//! The epoll shim is a minimal `extern "C"` declaration of the three
+//! syscall wrappers std already links from libc — no new dependency. On
+//! non-Linux targets this module does not exist and callers fall back to
+//! the threaded [`crate::transport::Server`].
+
+use crate::engine::{EngineHandle, Outbox, PinnedHandle};
+use crate::transport::MAX_FRAME_BYTES;
+use crate::wire::{self, ResponseRec, WIRE_HELLO};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::{AsRawFd, FromRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0o2_000_000;
+
+/// Matches the kernel's `struct epoll_event`; packed on x86-64, where the
+/// kernel ABI has no padding between the two fields.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+}
+
+struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    fn new() -> io::Result<Self> {
+        // SAFETY: epoll_create1 takes no pointers; a negative return is an
+        // error reported through errno
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Self { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: token,
+        };
+        // SAFETY: `ev` outlives the call; the kernel copies it before
+        // returning. DEL ignores the event pointer on modern kernels but
+        // passing a valid one is always correct.
+        let rc = unsafe { epoll_ctl(self.fd, op, fd, &raw mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        // SAFETY: the buffer pointer and capacity describe a live slice
+        // for the duration of the call
+        let rc = unsafe {
+            epoll_wait(
+                self.fd,
+                events.as_mut_ptr(),
+                #[allow(
+                    clippy::cast_possible_truncation,
+                    clippy::cast_possible_wrap,
+                    reason = "event buffer is a small fixed size"
+                )]
+                {
+                    events.len() as i32
+                },
+                timeout_ms,
+            )
+        };
+        if rc < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(e);
+        }
+        #[allow(clippy::cast_sign_loss, reason = "rc checked non-negative above")]
+        Ok(rc as usize)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: we own the fd; wrapping transfers ownership to a File
+        // whose drop closes it exactly once
+        drop(unsafe { std::fs::File::from_raw_fd(self.fd) });
+    }
+}
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKE: u64 = 1;
+const TOKEN_CONN_BASE: u64 = 2;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Proto {
+    Pending,
+    Json,
+    Binary,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct JsonRequest {
+    id: u64,
+    state: Vec<f64>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct JsonResponse {
+    id: u64,
+    control: Vec<f64>,
+    fallback: bool,
+    error: String,
+}
+
+struct Conn {
+    stream: TcpStream,
+    pinned: PinnedHandle,
+    outbox: Arc<Outbox>,
+    proto: Proto,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    want_write: bool,
+    state_scratch: Vec<f64>,
+}
+
+/// The reactor's JSON rendering of a wire status — compatible with the
+/// error-string matching in [`crate::transport::TcpClient`].
+fn json_error_of_status(status: u8) -> String {
+    match status {
+        wire::STATUS_OK | wire::STATUS_OK_FALLBACK => String::new(),
+        wire::STATUS_BACKPRESSURE => "queue full; request rejected".to_string(),
+        wire::STATUS_NON_FINITE => {
+            "non-finite controller output and no fallback expert".to_string()
+        }
+        wire::STATUS_SHUTDOWN => "engine shut down".to_string(),
+        _ => "bad request: refused by the server".to_string(),
+    }
+}
+
+/// An epoll-backed serving endpoint: every connection, both wire
+/// protocols, one event-loop thread.
+pub struct ReactorServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    wake_tx: Arc<UnixStream>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ReactorServer {
+    /// Binds `addr` (port 0 for ephemeral) and starts the event loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind, epoll-setup, and spawn failures.
+    pub fn bind<A: ToSocketAddrs>(addr: A, handle: EngineHandle) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let (wake_rx, wake_tx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        wake_tx.set_nonblocking(true)?;
+        let wake_tx = Arc::new(wake_tx);
+        let stop = Arc::new(AtomicBool::new(false));
+        let loop_stop = stop.clone();
+        let loop_wake = wake_tx.clone();
+        let epoll = Epoll::new()?;
+        epoll.ctl(EPOLL_CTL_ADD, listener.as_raw_fd(), EPOLLIN, TOKEN_LISTENER)?;
+        epoll.ctl(EPOLL_CTL_ADD, wake_rx.as_raw_fd(), EPOLLIN, TOKEN_WAKE)?;
+        let thread = std::thread::Builder::new()
+            .name("cocktail-serve-reactor".into())
+            .spawn(move || {
+                reactor_loop(&epoll, &listener, &wake_rx, &loop_wake, &handle, &loop_stop);
+            })?;
+        Ok(Self {
+            addr,
+            stop,
+            wake_tx,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the event loop; open connections are dropped.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = (&*self.wake_tx).write(&[1]);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ReactorServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+#[allow(
+    clippy::too_many_lines,
+    reason = "the event loop reads best as one linear dispatch"
+)]
+fn reactor_loop(
+    epoll: &Epoll,
+    listener: &TcpListener,
+    wake_rx: &UnixStream,
+    wake_tx: &Arc<UnixStream>,
+    handle: &EngineHandle,
+    stop: &AtomicBool,
+) {
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let dirty: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut next_conn: u64 = 0;
+    let mut events = [EpollEvent { events: 0, data: 0 }; 64];
+    let mut chunk = [0u8; 16 * 1024];
+    let mut recs: Vec<ResponseRec> = Vec::with_capacity(64);
+    let mut dirty_tokens: Vec<u64> = Vec::new();
+    let mut closed: Vec<u64> = Vec::new();
+
+    loop {
+        // a bounded timeout keeps the stop flag observable even if a wake
+        // byte is ever lost
+        let n = match epoll.wait(&mut events, 250) {
+            Ok(n) => n,
+            Err(_) => return,
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        for ev in &events[..n] {
+            let token = ev.data;
+            let bits = ev.events;
+            match token {
+                TOKEN_LISTENER => loop {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            if stream.set_nonblocking(true).is_err()
+                                || stream.set_nodelay(true).is_err()
+                            {
+                                continue;
+                            }
+                            let conn_id = next_conn;
+                            next_conn += 1;
+                            let token = TOKEN_CONN_BASE + conn_id;
+                            let waker_dirty = dirty.clone();
+                            let waker_pipe = wake_tx.clone();
+                            let outbox = Arc::new(Outbox::with_waker(move || {
+                                if let Ok(mut d) = waker_dirty.lock() {
+                                    d.push(token);
+                                }
+                                // a full pipe still wakes the reactor; the
+                                // byte is a doorbell, not a message
+                                let _ = (&*waker_pipe).write(&[1]);
+                            }));
+                            if epoll
+                                .ctl(EPOLL_CTL_ADD, stream.as_raw_fd(), EPOLLIN, token)
+                                .is_err()
+                            {
+                                continue;
+                            }
+                            conns.insert(
+                                token,
+                                Conn {
+                                    stream,
+                                    pinned: handle.pinned(conn_id),
+                                    outbox,
+                                    proto: Proto::Pending,
+                                    rbuf: Vec::with_capacity(4096),
+                                    wbuf: Vec::with_capacity(4096),
+                                    wpos: 0,
+                                    want_write: false,
+                                    state_scratch: Vec::with_capacity(handle.state_dim()),
+                                },
+                            );
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                        Err(_) => break,
+                    }
+                },
+                TOKEN_WAKE => {
+                    // drain the doorbell, then service every dirty outbox
+                    loop {
+                        match (&*wake_rx).read(&mut chunk) {
+                            Ok(0) => break,
+                            Ok(_) => {}
+                            Err(_) => break,
+                        }
+                    }
+                    dirty_tokens.clear();
+                    if let Ok(mut d) = dirty.lock() {
+                        dirty_tokens.append(&mut d);
+                    }
+                    dirty_tokens.sort_unstable();
+                    dirty_tokens.dedup();
+                    for &t in &dirty_tokens {
+                        if let Some(conn) = conns.get_mut(&t) {
+                            let alive = drain_outbox(conn, &mut recs) && flush(epoll, conn, t);
+                            if !alive {
+                                closed.push(t);
+                            }
+                        }
+                    }
+                }
+                _ => {
+                    let Some(conn) = conns.get_mut(&token) else {
+                        continue;
+                    };
+                    let mut alive = bits & (EPOLLERR | EPOLLHUP) == 0;
+                    if alive && bits & EPOLLIN != 0 {
+                        alive = read_ready(conn, &mut chunk);
+                        alive = alive && drain_outbox(conn, &mut recs);
+                    }
+                    if alive {
+                        alive = flush(epoll, conn, token);
+                    }
+                    if !alive {
+                        closed.push(token);
+                    }
+                }
+            }
+        }
+        for token in closed.drain(..) {
+            if let Some(conn) = conns.remove(&token) {
+                let _ = epoll.ctl(EPOLL_CTL_DEL, conn.stream.as_raw_fd(), 0, token);
+            }
+        }
+    }
+}
+
+/// Reads everything available and submits every complete frame. Returns
+/// `false` when the connection must close.
+fn read_ready(conn: &mut Conn, chunk: &mut [u8]) -> bool {
+    loop {
+        match conn.stream.read(chunk) {
+            Ok(0) => return false, // orderly hangup
+            Ok(n) => conn.rbuf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    if conn.proto == Proto::Pending && !conn.rbuf.is_empty() {
+        if conn.rbuf[0] == WIRE_HELLO {
+            conn.proto = Proto::Binary;
+            conn.rbuf.copy_within(1.., 0);
+            conn.rbuf.truncate(conn.rbuf.len() - 1);
+        } else {
+            conn.proto = Proto::Json;
+        }
+    }
+    match conn.proto {
+        Proto::Pending => true,
+        Proto::Binary => process_binary(conn),
+        Proto::Json => process_json(conn),
+    }
+}
+
+fn process_binary(conn: &mut Conn) -> bool {
+    let mut consumed = 0usize;
+    loop {
+        match wire::decode_request(&conn.rbuf[consumed..], &mut conn.state_scratch) {
+            Ok(Some((id, used))) => {
+                consumed += used;
+                if let Err(e) = conn
+                    .pinned
+                    .try_submit_outbox(id, &conn.state_scratch, &conn.outbox)
+                {
+                    // synchronous rejection: reply through the outbox so
+                    // this connection's replies stay in submission order
+                    conn.outbox
+                        .push(ResponseRec::err(id, wire::status_of_error(&e)));
+                }
+            }
+            Ok(None) => break,
+            Err(_) => return false, // framing violation: drop the conn
+        }
+    }
+    if consumed > 0 {
+        conn.rbuf.copy_within(consumed.., 0);
+        conn.rbuf.truncate(conn.rbuf.len() - consumed);
+    }
+    true
+}
+
+fn process_json(conn: &mut Conn) -> bool {
+    let mut consumed = 0usize;
+    loop {
+        let rest = &conn.rbuf[consumed..];
+        if rest.len() < 4 {
+            break;
+        }
+        let len = u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]);
+        if len > MAX_FRAME_BYTES {
+            return false;
+        }
+        let total = 4 + len as usize;
+        if rest.len() < total {
+            break;
+        }
+        let body = &rest[4..total];
+        let parsed = std::str::from_utf8(body)
+            .ok()
+            .and_then(|text| serde_json::from_str::<JsonRequest>(text).ok());
+        match parsed {
+            Some(req) => {
+                if let Err(e) = conn
+                    .pinned
+                    .try_submit_outbox(req.id, &req.state, &conn.outbox)
+                {
+                    conn.outbox
+                        .push(ResponseRec::err(req.id, wire::status_of_error(&e)));
+                }
+            }
+            None => {
+                // matches the threaded server: an unparseable frame gets
+                // an id-0 error reply and the connection survives
+                conn.outbox
+                    .push(ResponseRec::err(0, wire::STATUS_BAD_REQUEST));
+            }
+        }
+        consumed += total;
+    }
+    if consumed > 0 {
+        conn.rbuf.copy_within(consumed.., 0);
+        conn.rbuf.truncate(conn.rbuf.len() - consumed);
+    }
+    true
+}
+
+/// Moves every queued outbox record into the connection's write buffer in
+/// its wire protocol's encoding. Returns `false` on an encode failure.
+fn drain_outbox(conn: &mut Conn, recs: &mut Vec<ResponseRec>) -> bool {
+    recs.clear();
+    if conn.outbox.drain_into(recs) == 0 {
+        return true;
+    }
+    for rec in recs.iter() {
+        match conn.proto {
+            Proto::Binary => wire::encode_response_into(rec, &mut conn.wbuf),
+            Proto::Json | Proto::Pending => {
+                let resp = JsonResponse {
+                    id: rec.id,
+                    control: rec.control().to_vec(),
+                    fallback: rec.status == wire::STATUS_OK_FALLBACK,
+                    error: json_error_of_status(rec.status),
+                };
+                let Ok(encoded) = serde_json::to_string(&resp) else {
+                    return false;
+                };
+                #[allow(
+                    clippy::cast_possible_truncation,
+                    reason = "a control response is far below 4 GiB"
+                )]
+                let len = (encoded.len() as u32).to_be_bytes();
+                conn.wbuf.extend_from_slice(&len);
+                conn.wbuf.extend_from_slice(encoded.as_bytes());
+            }
+        }
+    }
+    true
+}
+
+/// Writes as much of the pending buffer as the socket accepts, toggling
+/// `EPOLLOUT` interest across partial writes. Returns `false` when the
+/// connection must close.
+fn flush(epoll: &Epoll, conn: &mut Conn, token: u64) -> bool {
+    while conn.wpos < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => return false,
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if !conn.want_write {
+                    conn.want_write = true;
+                    return epoll
+                        .ctl(
+                            EPOLL_CTL_MOD,
+                            conn.stream.as_raw_fd(),
+                            EPOLLIN | EPOLLOUT,
+                            token,
+                        )
+                        .is_ok();
+                }
+                return true;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+    conn.wbuf.clear();
+    conn.wpos = 0;
+    if conn.want_write {
+        conn.want_write = false;
+        return epoll
+            .ctl(EPOLL_CTL_MOD, conn.stream.as_raw_fd(), EPOLLIN, token)
+            .is_ok();
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineConfig};
+    use crate::transport::{BinaryTcpClient, ControlClient, TcpClient};
+    use cocktail_nn::{Activation, MlpBuilder};
+    use cocktail_obs::NullSink;
+
+    fn test_engine(shards: usize) -> Engine {
+        let net = MlpBuilder::new(2)
+            .hidden(6, Activation::Tanh)
+            .output(1, Activation::Identity)
+            .seed(11)
+            .build();
+        Engine::from_parts(
+            net,
+            vec![1.5],
+            vec![-4.0],
+            vec![4.0],
+            EngineConfig {
+                shards,
+                ..EngineConfig::default()
+            },
+            None,
+            std::sync::Arc::new(NullSink),
+        )
+        .expect("engine starts")
+    }
+
+    #[test]
+    fn reactor_serves_both_protocols_bit_identically() {
+        let engine = test_engine(2);
+        let server = ReactorServer::bind("127.0.0.1:0", engine.handle()).expect("bind");
+        let mut json = TcpClient::connect(server.local_addr()).expect("connect");
+        let mut binary = BinaryTcpClient::connect(server.local_addr()).expect("connect");
+        for i in 0..48 {
+            let s = [f64::from(i) * 0.03 - 0.7, 0.2];
+            let reference = engine.handle().submit(&s).expect("served");
+            assert_eq!(json.control(&s).expect("served"), reference);
+            assert_eq!(binary.control(&s).expect("served"), reference);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn reactor_reports_errors_on_both_protocols() {
+        let engine = test_engine(1);
+        let server = ReactorServer::bind("127.0.0.1:0", engine.handle()).expect("bind");
+        let mut json = TcpClient::connect(server.local_addr()).expect("connect");
+        let mut binary = BinaryTcpClient::connect(server.local_addr()).expect("connect");
+        for client in [&mut json as &mut dyn ControlClient, &mut binary] {
+            let err = client.control(&[1.0, 2.0, 3.0]).expect_err("wrong dim");
+            assert!(matches!(err, crate::engine::ServeError::BadRequest(_)));
+            // the connection survives a refused request
+            assert!(client.control(&[0.1, 0.1]).is_ok());
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn reactor_survives_many_connections() {
+        let engine = test_engine(2);
+        let server = ReactorServer::bind("127.0.0.1:0", engine.handle()).expect("bind");
+        let mut clients: Vec<BinaryTcpClient> = (0..16)
+            .map(|_| BinaryTcpClient::connect(server.local_addr()).expect("connect"))
+            .collect();
+        for round in 0..4 {
+            for (c, client) in clients.iter_mut().enumerate() {
+                let s = [
+                    f64::from(round) * 0.1,
+                    f64::from(u32::try_from(c).unwrap()) * 0.01,
+                ];
+                let got = client.control(&s).expect("served");
+                let want = engine.handle().submit(&s).expect("served");
+                assert_eq!(got, want);
+            }
+        }
+        drop(clients);
+        server.shutdown();
+    }
+}

@@ -1,19 +1,33 @@
-//! Length-prefixed JSON over TCP.
+//! The portable TCP transport: framed JSON and the binary wire protocol
+//! on one port, one thread per connection.
 //!
-//! Frame format: a 4-byte big-endian length followed by that many bytes
-//! of JSON. Requests carry `{id, state}`; responses always carry all of
-//! `{id, control, fallback, error}` — an empty `error` string means
-//! success, a non-empty one explains the refusal (the vendored serde shim
-//! has no `Option` sugar, and a fixed shape keeps foreign clients
-//! trivial). One connection may pipeline many requests; each connection
-//! is served by its own thread feeding the shared micro-batcher, so
-//! cross-connection concurrency is what actually fills batches.
+//! JSON frame format: a 4-byte big-endian length followed by that many
+//! bytes of JSON. Requests carry `{id, state}`; responses always carry
+//! all of `{id, control, fallback, error}` — an empty `error` string
+//! means success, a non-empty one explains the refusal (the vendored
+//! serde shim has no `Option` sugar, and a fixed shape keeps foreign
+//! clients trivial).
+//!
+//! A client may instead send the [`WIRE_HELLO`] byte (`0xC1`) as its very
+//! first byte, switching the connection to the fixed-layout binary
+//! format in [`crate::wire`]. A JSON frame's first byte is the high byte
+//! of a length capped at 1 MiB — always `0x00` — so the two protocols
+//! are unambiguous without a handshake round trip.
+//!
+//! Every connection is pinned to an engine shard by its accept-order
+//! connection id ([`EngineHandle::pinned`]), so a given connection's
+//! requests always land on the same queue. One connection may pipeline
+//! many requests; cross-connection concurrency is what actually fills
+//! batches. This thread-per-connection server is the portable fallback;
+//! on Linux the epoll reactor ([`crate::reactor`]) serves the same two
+//! protocols without a thread per socket.
 
-use crate::engine::{ControlResponse, EngineHandle, ServeError};
+use crate::engine::{ControlResponse, EngineHandle, PinnedHandle, ServeError};
+use crate::wire::{self, ResponseRec, WIRE_HELLO};
 use serde::{Deserialize, Serialize};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Refuse frames above this size; a control request is a few dozen
@@ -52,6 +66,18 @@ impl ControlClient for EngineHandle {
     }
 }
 
+impl ControlClient for PinnedHandle {
+    fn control(&mut self, state: &[f64]) -> Result<ControlResponse, ServeError> {
+        self.submit(state)
+    }
+}
+
+impl ControlClient for Box<dyn ControlClient + Send> {
+    fn control(&mut self, state: &[f64]) -> Result<ControlResponse, ServeError> {
+        (**self).control(state)
+    }
+}
+
 fn write_frame(stream: &mut TcpStream, body: &[u8]) -> io::Result<()> {
     let len = u32::try_from(body.len())
         .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
@@ -69,6 +95,10 @@ fn write_frame(stream: &mut TcpStream, body: &[u8]) -> io::Result<()> {
 fn read_frame(stream: &mut TcpStream) -> io::Result<Vec<u8>> {
     let mut len_buf = [0u8; 4];
     stream.read_exact(&mut len_buf)?;
+    read_frame_after_len(stream, len_buf)
+}
+
+fn read_frame_after_len(stream: &mut TcpStream, len_buf: [u8; 4]) -> io::Result<Vec<u8>> {
     let len = u32::from_be_bytes(len_buf);
     if len > MAX_FRAME_BYTES {
         return Err(io::Error::new(
@@ -82,7 +112,7 @@ fn read_frame(stream: &mut TcpStream) -> io::Result<Vec<u8>> {
 }
 
 /// A serving endpoint: accept loop plus one thread per connection, all
-/// feeding the shared engine handle.
+/// feeding shard-pinned handles of the shared engine.
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -104,17 +134,19 @@ impl Server {
         let accept_thread = std::thread::Builder::new()
             .name("cocktail-serve-accept".into())
             .spawn(move || {
+                let next_conn = AtomicU64::new(0);
                 for conn in listener.incoming() {
                     if accept_stop.load(Ordering::SeqCst) {
                         break;
                     }
                     let Ok(stream) = conn else { continue };
-                    let conn_handle = handle.clone();
+                    let conn_id = next_conn.fetch_add(1, Ordering::Relaxed);
+                    let pinned = handle.pinned(conn_id);
                     // connection threads are detached: they exit when the
                     // peer hangs up or the engine shuts down
                     let _ = std::thread::Builder::new()
                         .name("cocktail-serve-conn".into())
-                        .spawn(move || serve_connection(stream, &conn_handle));
+                        .spawn(move || serve_connection(stream, &pinned));
                 }
             })?;
         Ok(Self {
@@ -152,9 +184,34 @@ impl Drop for Server {
     }
 }
 
-fn serve_connection(mut stream: TcpStream, handle: &EngineHandle) {
+fn serve_connection(mut stream: TcpStream, handle: &PinnedHandle) {
+    // protocol sniff: 0xC1 switches to the binary wire format; anything
+    // else is the first byte of a JSON frame length
+    let mut first = [0u8; 1];
+    if stream.read_exact(&mut first).is_err() {
+        return;
+    }
+    if first[0] == WIRE_HELLO {
+        serve_binary_connection(stream, handle);
+    } else {
+        serve_json_connection(stream, handle, first[0]);
+    }
+}
+
+fn serve_json_connection(mut stream: TcpStream, handle: &PinnedHandle, first_len_byte: u8) {
+    let mut sniffed = Some(first_len_byte);
     loop {
-        let Ok(body) = read_frame(&mut stream) else {
+        let body = match sniffed.take() {
+            Some(b0) => {
+                let mut rest = [0u8; 3];
+                if stream.read_exact(&mut rest).is_err() {
+                    return;
+                }
+                read_frame_after_len(&mut stream, [b0, rest[0], rest[1], rest[2]])
+            }
+            None => read_frame(&mut stream),
+        };
+        let Ok(body) = body else {
             return; // peer hung up or sent garbage framing
         };
         let parsed = std::str::from_utf8(&body)
@@ -184,6 +241,45 @@ fn serve_connection(mut stream: TcpStream, handle: &EngineHandle) {
             return;
         };
         if write_frame(&mut stream, encoded.as_bytes()).is_err() {
+            return;
+        }
+    }
+}
+
+fn serve_binary_connection(mut stream: TcpStream, handle: &PinnedHandle) {
+    let mut rbuf: Vec<u8> = Vec::with_capacity(4096);
+    let mut wbuf: Vec<u8> = Vec::with_capacity(4096);
+    let mut state: Vec<f64> = Vec::with_capacity(handle.state_dim());
+    let mut chunk = [0u8; 4096];
+    loop {
+        let Ok(n) = stream.read(&mut chunk) else {
+            return;
+        };
+        if n == 0 {
+            return; // orderly hangup
+        }
+        rbuf.extend_from_slice(&chunk[..n]);
+        wbuf.clear();
+        let mut consumed = 0usize;
+        loop {
+            match wire::decode_request(&rbuf[consumed..], &mut state) {
+                Ok(Some((id, used))) => {
+                    consumed += used;
+                    let rec = match handle.submit(&state) {
+                        Ok(resp) => ResponseRec::ok(id, &resp.control, resp.served_by_fallback),
+                        Err(e) => ResponseRec::err(id, wire::status_of_error(&e)),
+                    };
+                    wire::encode_response_into(&rec, &mut wbuf);
+                }
+                Ok(None) => break,
+                Err(_) => return, // unrecoverable framing violation
+            }
+        }
+        if consumed > 0 {
+            rbuf.copy_within(consumed.., 0);
+            rbuf.truncate(rbuf.len() - consumed);
+        }
+        if !wbuf.is_empty() && (stream.write_all(&wbuf).is_err() || stream.flush().is_err()) {
             return;
         }
     }
@@ -249,6 +345,87 @@ impl ControlClient for TcpClient {
     }
 }
 
+/// A blocking client speaking the binary wire protocol (hello byte, then
+/// fixed-layout frames). Its buffers are reused across requests, so a
+/// steady-state request performs no client-side allocation either.
+pub struct BinaryTcpClient {
+    stream: TcpStream,
+    next_id: u64,
+    rbuf: Vec<u8>,
+    frame: Vec<u8>,
+    filled: usize,
+}
+
+impl BinaryTcpClient {
+    /// Connects and sends the protocol hello byte.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/write failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.write_all(&[WIRE_HELLO])?;
+        Ok(Self {
+            stream,
+            next_id: 1,
+            rbuf: vec![0u8; 4096],
+            frame: Vec::with_capacity(256),
+            filled: 0,
+        })
+    }
+}
+
+impl ControlClient for BinaryTcpClient {
+    fn control(&mut self, state: &[f64]) -> Result<ControlResponse, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.frame.clear();
+        wire::encode_request_into(id, state, &mut self.frame);
+        self.stream
+            .write_all(&self.frame)
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| ServeError::BadRequest(format!("send request: {e}")))?;
+        let mut rec = ResponseRec::err(0, wire::STATUS_BAD_REQUEST);
+        loop {
+            match wire::decode_response(&self.rbuf[..self.filled], &mut rec) {
+                Ok(Some(used)) => {
+                    self.rbuf.copy_within(used..self.filled, 0);
+                    self.filled -= used;
+                    break;
+                }
+                Ok(None) => {
+                    if self.filled == self.rbuf.len() {
+                        self.rbuf.resize(self.rbuf.len() * 2, 0);
+                    }
+                    let n = self
+                        .stream
+                        .read(&mut self.rbuf[self.filled..])
+                        .map_err(|e| ServeError::BadRequest(format!("read response: {e}")))?;
+                    if n == 0 {
+                        return Err(ServeError::Shutdown);
+                    }
+                    self.filled += n;
+                }
+                Err(e) => return Err(ServeError::BadRequest(e.to_string())),
+            }
+        }
+        if rec.id != id {
+            return Err(ServeError::BadRequest(format!(
+                "response id {} != request id {id}",
+                rec.id
+            )));
+        }
+        match wire::error_of_status(rec.status) {
+            None => Ok(ControlResponse {
+                control: rec.control().to_vec(),
+                served_by_fallback: rec.status == wire::STATUS_OK_FALLBACK,
+            }),
+            Some(e) => Err(e),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +435,10 @@ mod tests {
     use cocktail_obs::NullSink;
 
     fn test_engine() -> Engine {
+        test_engine_sharded(1)
+    }
+
+    fn test_engine_sharded(shards: usize) -> Engine {
         let net = MlpBuilder::new(2)
             .hidden(6, Activation::Tanh)
             .output(1, Activation::Identity)
@@ -268,7 +449,10 @@ mod tests {
             vec![1.5],
             vec![-4.0],
             vec![4.0],
-            EngineConfig::default(),
+            EngineConfig {
+                shards,
+                ..EngineConfig::default()
+            },
             None,
             std::sync::Arc::new(NullSink),
         )
@@ -284,6 +468,33 @@ mod tests {
         let over_wire = client.control(&state).expect("served");
         let in_process = engine.handle().submit(&state).expect("served");
         assert_eq!(over_wire, in_process);
+        server.shutdown();
+    }
+
+    #[test]
+    fn binary_round_trip_matches_json_bit_for_bit() {
+        let engine = test_engine_sharded(2);
+        let server = Server::bind("127.0.0.1:0", engine.handle()).expect("bind");
+        let mut json = TcpClient::connect(server.local_addr()).expect("connect");
+        let mut binary = BinaryTcpClient::connect(server.local_addr()).expect("connect");
+        for i in 0..32 {
+            let s = [f64::from(i) * 0.04 - 0.6, 0.3];
+            let via_json = json.control(&s).expect("served");
+            let via_binary = binary.control(&s).expect("served");
+            assert_eq!(via_json, via_binary, "wire formats must agree bitwise");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn binary_errors_travel_as_status_codes() {
+        let engine = test_engine();
+        let server = Server::bind("127.0.0.1:0", engine.handle()).expect("bind");
+        let mut client = BinaryTcpClient::connect(server.local_addr()).expect("connect");
+        let err = client.control(&[1.0, 2.0, 3.0]).expect_err("wrong dim");
+        assert!(matches!(err, ServeError::BadRequest(_)));
+        // the connection survives a refused request
+        assert!(client.control(&[0.0, 0.0]).is_ok());
         server.shutdown();
     }
 

@@ -1,0 +1,394 @@
+//! The compact binary wire format (wire v1).
+//!
+//! The JSON transport spends most of its per-request budget formatting and
+//! parsing decimal floats. This module defines a fixed-layout
+//! little-endian alternative that decodes into **reused buffers** — the
+//! steady-state serving path performs zero heap allocations per frame.
+//!
+//! A connection opts in by sending a single [`WIRE_HELLO`] byte (`0xC1`)
+//! before its first frame. A JSON connection's first byte is the high
+//! byte of a big-endian `u32` frame length capped at 1 MiB, which is
+//! always `0x00`, so the hello byte is unambiguous and the two protocols
+//! share one listening port.
+//!
+//! Frame layouts (all integers little-endian, all floats IEEE-754 `f64`
+//! little-endian bit patterns — bit-exact round trips by construction):
+//!
+//! ```text
+//! request:  0x01 | id: u64 | dim: u8 | state: dim × f64
+//! response: 0x02 | id: u64 | status: u8 | dim: u8 | control: dim × f64
+//! ```
+//!
+//! `status` 0 is success, 1 is success-served-by-fallback; anything else
+//! is a [`ServeError`] code and carries `dim = 0`. Dimensions are capped
+//! ([`MAX_WIRE_STATE_DIM`], [`MAX_WIRE_CONTROL_DIM`]) so a frame header
+//! can never request an unbounded read and response records stay
+//! fixed-size (inline arrays, no allocation).
+
+use crate::engine::ServeError;
+
+/// Protocol-negotiation byte a binary client sends once after connecting.
+pub const WIRE_HELLO: u8 = 0xC1;
+
+/// Frame tag of a control request.
+pub const TAG_REQUEST: u8 = 0x01;
+
+/// Frame tag of a control response.
+pub const TAG_RESPONSE: u8 = 0x02;
+
+/// Largest state dimension a binary request may carry.
+pub const MAX_WIRE_STATE_DIM: usize = 64;
+
+/// Largest control dimension a binary response may carry. Response
+/// records embed the control vector inline at this arity so the reply
+/// path never allocates.
+pub const MAX_WIRE_CONTROL_DIM: usize = 8;
+
+/// `status`: the request was served by the primary network.
+pub const STATUS_OK: u8 = 0;
+/// `status`: the request was served by the fallback expert.
+pub const STATUS_OK_FALLBACK: u8 = 1;
+/// `status`: rejected, the shard queue was full.
+pub const STATUS_BACKPRESSURE: u8 = 2;
+/// `status`: the request was malformed.
+pub const STATUS_BAD_REQUEST: u8 = 3;
+/// `status`: non-finite output and no fallback expert.
+pub const STATUS_NON_FINITE: u8 = 4;
+/// `status`: the engine shut down before answering.
+pub const STATUS_SHUTDOWN: u8 = 5;
+
+const REQUEST_HEADER: usize = 1 + 8 + 1;
+const RESPONSE_HEADER: usize = 1 + 8 + 1 + 1;
+
+/// A framing violation; the connection that produced it must be closed
+/// (byte streams cannot resynchronise after a malformed fixed frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireError(pub &'static str);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed wire frame: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One answered request in fixed-size form — what shard workers push onto
+/// a reply [`crate::engine::Outbox`]. `Copy` and inline-array backed, so
+/// queueing one reuses ring capacity instead of allocating.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResponseRec {
+    /// Echo of the request id.
+    pub id: u64,
+    /// One of the `STATUS_*` codes.
+    pub status: u8,
+    /// Arity of the control payload (0 for errors).
+    pub dim: u8,
+    /// The clipped control vector, in `control[..dim]`.
+    pub control: [f64; MAX_WIRE_CONTROL_DIM],
+}
+
+impl ResponseRec {
+    /// A success record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `control.len() > MAX_WIRE_CONTROL_DIM`; the engine
+    /// rejects outbox submissions for wider controllers up front.
+    #[must_use]
+    pub fn ok(id: u64, control: &[f64], fallback: bool) -> Self {
+        assert!(control.len() <= MAX_WIRE_CONTROL_DIM);
+        let mut rec = Self {
+            id,
+            status: if fallback {
+                STATUS_OK_FALLBACK
+            } else {
+                STATUS_OK
+            },
+            #[allow(
+                clippy::cast_possible_truncation,
+                reason = "dim is asserted <= MAX_WIRE_CONTROL_DIM (8)"
+            )]
+            dim: control.len() as u8,
+            control: [0.0; MAX_WIRE_CONTROL_DIM],
+        };
+        rec.control[..control.len()].copy_from_slice(control);
+        rec
+    }
+
+    /// An error record for the given status code.
+    #[must_use]
+    pub fn err(id: u64, status: u8) -> Self {
+        Self {
+            id,
+            status,
+            dim: 0,
+            control: [0.0; MAX_WIRE_CONTROL_DIM],
+        }
+    }
+
+    /// The control payload slice.
+    #[must_use]
+    pub fn control(&self) -> &[f64] {
+        &self.control[..usize::from(self.dim)]
+    }
+
+    /// Whether the record is a success (primary or fallback).
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        self.status == STATUS_OK || self.status == STATUS_OK_FALLBACK
+    }
+}
+
+/// The status code a failed submission maps to.
+#[must_use]
+pub fn status_of_error(error: &ServeError) -> u8 {
+    match error {
+        ServeError::Backpressure { .. } => STATUS_BACKPRESSURE,
+        ServeError::BadRequest(_) => STATUS_BAD_REQUEST,
+        ServeError::NonFiniteOutput => STATUS_NON_FINITE,
+        ServeError::Shutdown => STATUS_SHUTDOWN,
+    }
+}
+
+/// The [`ServeError`] a non-success status decodes to (`None` for the two
+/// success statuses). Backpressure depth does not travel over the wire,
+/// matching the JSON client.
+#[must_use]
+pub fn error_of_status(status: u8) -> Option<ServeError> {
+    match status {
+        STATUS_OK | STATUS_OK_FALLBACK => None,
+        STATUS_BACKPRESSURE => Some(ServeError::Backpressure { depth: 0 }),
+        STATUS_NON_FINITE => Some(ServeError::NonFiniteOutput),
+        STATUS_SHUTDOWN => Some(ServeError::Shutdown),
+        STATUS_BAD_REQUEST => Some(ServeError::BadRequest(
+            "request refused by the server".to_string(),
+        )),
+        other => Some(ServeError::BadRequest(format!(
+            "unknown wire status {other}"
+        ))),
+    }
+}
+
+/// Appends an encoded request frame to `out` (capacity is reused across
+/// calls — clear `out` yourself if you want exactly one frame in it).
+///
+/// # Panics
+///
+/// Panics if `state.len() > MAX_WIRE_STATE_DIM`.
+pub fn encode_request_into(id: u64, state: &[f64], out: &mut Vec<u8>) {
+    assert!(state.len() <= MAX_WIRE_STATE_DIM, "state too wide for wire");
+    out.push(TAG_REQUEST);
+    out.extend_from_slice(&id.to_le_bytes());
+    #[allow(
+        clippy::cast_possible_truncation,
+        reason = "dim is asserted <= MAX_WIRE_STATE_DIM (64)"
+    )]
+    out.push(state.len() as u8);
+    for v in state {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Appends an encoded response frame to `out`.
+pub fn encode_response_into(rec: &ResponseRec, out: &mut Vec<u8>) {
+    out.push(TAG_RESPONSE);
+    out.extend_from_slice(&rec.id.to_le_bytes());
+    out.push(rec.status);
+    out.push(rec.dim);
+    for v in rec.control() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn read_u64_le(buf: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[at..at + 8]);
+    u64::from_le_bytes(b)
+}
+
+fn read_f64_le(buf: &[u8], at: usize) -> f64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[at..at + 8]);
+    f64::from_le_bytes(b)
+}
+
+/// Decodes one request frame from the front of `buf` into the reused
+/// `state` buffer (cleared, then filled — no allocation once its capacity
+/// has grown to the state arity).
+///
+/// Returns `Ok(None)` when `buf` holds only a partial frame, and
+/// `Ok(Some((id, consumed_bytes)))` on success.
+///
+/// # Errors
+///
+/// [`WireError`] on a wrong tag or an over-limit dimension; the caller
+/// must drop the connection.
+pub fn decode_request(buf: &[u8], state: &mut Vec<f64>) -> Result<Option<(u64, usize)>, WireError> {
+    if buf.len() < REQUEST_HEADER {
+        return Ok(None);
+    }
+    if buf[0] != TAG_REQUEST {
+        return Err(WireError("expected request tag"));
+    }
+    let dim = usize::from(buf[9]);
+    if dim > MAX_WIRE_STATE_DIM {
+        return Err(WireError("state dimension over wire limit"));
+    }
+    let total = REQUEST_HEADER + 8 * dim;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let id = read_u64_le(buf, 1);
+    state.clear();
+    for i in 0..dim {
+        state.push(read_f64_le(buf, REQUEST_HEADER + 8 * i));
+    }
+    Ok(Some((id, total)))
+}
+
+/// Decodes one response frame from the front of `buf` into `rec`.
+///
+/// Returns `Ok(None)` for a partial frame, `Ok(Some(consumed_bytes))` on
+/// success.
+///
+/// # Errors
+///
+/// [`WireError`] on a wrong tag or an over-limit dimension.
+pub fn decode_response(buf: &[u8], rec: &mut ResponseRec) -> Result<Option<usize>, WireError> {
+    if buf.len() < RESPONSE_HEADER {
+        return Ok(None);
+    }
+    if buf[0] != TAG_RESPONSE {
+        return Err(WireError("expected response tag"));
+    }
+    let dim = usize::from(buf[10]);
+    if dim > MAX_WIRE_CONTROL_DIM {
+        return Err(WireError("control dimension over wire limit"));
+    }
+    let total = RESPONSE_HEADER + 8 * dim;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    rec.id = read_u64_le(buf, 1);
+    rec.status = buf[9];
+    #[allow(
+        clippy::cast_possible_truncation,
+        reason = "dim was read from a u8 and bounds-checked above"
+    )]
+    {
+        rec.dim = dim as u8;
+    }
+    for i in 0..dim {
+        rec.control[i] = read_f64_le(buf, RESPONSE_HEADER + 8 * i);
+    }
+    Ok(Some(total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_bit_exactly() {
+        let state = [0.25, -3.5e-11, f64::MIN_POSITIVE, 1.0 / 3.0];
+        let mut frame = Vec::new();
+        encode_request_into(77, &state, &mut frame);
+        let mut decoded = Vec::new();
+        let (id, used) = decode_request(&frame, &mut decoded)
+            .expect("valid frame")
+            .expect("complete frame");
+        assert_eq!(id, 77);
+        assert_eq!(used, frame.len());
+        assert_eq!(decoded, state, "f64 bit patterns survive the wire");
+    }
+
+    #[test]
+    fn response_round_trips_and_reports_status() {
+        let rec = ResponseRec::ok(9, &[1.5, -2.25], true);
+        let mut frame = Vec::new();
+        encode_response_into(&rec, &mut frame);
+        let mut got = ResponseRec::err(0, STATUS_SHUTDOWN);
+        let used = decode_response(&frame, &mut got)
+            .expect("valid frame")
+            .expect("complete frame");
+        assert_eq!(used, frame.len());
+        assert_eq!(got, rec);
+        assert!(got.is_ok());
+        assert_eq!(got.control(), &[1.5, -2.25]);
+
+        let err = ResponseRec::err(10, STATUS_BACKPRESSURE);
+        let mut frame = Vec::new();
+        encode_response_into(&err, &mut frame);
+        let mut got = ResponseRec::err(0, STATUS_OK);
+        decode_response(&frame, &mut got)
+            .expect("valid")
+            .expect("complete");
+        assert!(!got.is_ok());
+        assert!(matches!(
+            error_of_status(got.status),
+            Some(ServeError::Backpressure { .. })
+        ));
+    }
+
+    #[test]
+    fn partial_frames_ask_for_more_bytes() {
+        let mut frame = Vec::new();
+        encode_request_into(1, &[0.5, 0.25], &mut frame);
+        let mut state = Vec::new();
+        for cut in 0..frame.len() {
+            assert_eq!(
+                decode_request(&frame[..cut], &mut state).expect("prefix is not malformed"),
+                None,
+                "prefix of {cut} bytes must be recognised as partial"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected() {
+        let mut state = Vec::new();
+        // wrong tag
+        let bad_tag = [0x7Fu8; 16];
+        assert!(decode_request(&bad_tag, &mut state).is_err());
+        // over-limit dimension
+        let mut frame = Vec::new();
+        encode_request_into(1, &[0.0], &mut frame);
+        frame[9] = 200;
+        assert!(decode_request(&frame, &mut state).is_err());
+        let mut rec = ResponseRec::err(0, STATUS_OK);
+        let mut resp = Vec::new();
+        encode_response_into(&ResponseRec::ok(1, &[0.0], false), &mut resp);
+        resp[10] = 99;
+        assert!(decode_response(&resp, &mut rec).is_err());
+    }
+
+    #[test]
+    fn decode_reuses_the_state_buffer() {
+        let mut frame = Vec::new();
+        encode_request_into(1, &[1.0, 2.0, 3.0], &mut frame);
+        let mut state = Vec::with_capacity(8);
+        let ptr_before = state.as_ptr();
+        decode_request(&frame, &mut state)
+            .expect("valid")
+            .expect("complete");
+        assert_eq!(state, vec![1.0, 2.0, 3.0]);
+        assert_eq!(ptr_before, state.as_ptr(), "capacity was reused");
+    }
+
+    #[test]
+    fn status_codes_map_to_serve_errors_and_back() {
+        for e in [
+            ServeError::Backpressure { depth: 3 },
+            ServeError::BadRequest("x".into()),
+            ServeError::NonFiniteOutput,
+            ServeError::Shutdown,
+        ] {
+            let status = status_of_error(&e);
+            let back = error_of_status(status).expect("errors stay errors");
+            assert_eq!(std::mem::discriminant(&back), std::mem::discriminant(&e));
+        }
+        assert_eq!(error_of_status(STATUS_OK), None);
+        assert_eq!(error_of_status(STATUS_OK_FALLBACK), None);
+    }
+}

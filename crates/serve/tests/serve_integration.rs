@@ -10,14 +10,15 @@
 
 use cocktail_control::{Controller, NnController};
 use cocktail_core::SystemId;
-use cocktail_math::vector;
+use cocktail_math::{rng, vector};
 use cocktail_nn::{Activation, Mlp, MlpBuilder};
 use cocktail_obs::NullSink;
 use cocktail_serve::bundle::{fnv1a_64, ControllerBundle, Provenance};
-use cocktail_serve::loadgen::{self, LoadGenConfig};
+use cocktail_serve::loadgen::{self, LoadGenConfig, WireProtocol};
 use cocktail_serve::{
     admit, AdmissionError, BundleError, Engine, EngineConfig, ServeError, Server, Ticket,
 };
+use rand::Rng;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -64,6 +65,7 @@ fn batched_outputs_are_bit_identical_across_schedules() {
                 batch_deadline: Duration::from_micros(100),
                 queue_capacity: 256,
                 start_paused: true,
+                shards: 1,
             },
             None,
             Arc::new(NullSink),
@@ -189,6 +191,7 @@ fn tcp_smoke_serves_the_reference_bit_for_bit() {
             requests: 96,
             connections: 4,
             seed: 0x57E4,
+            wire: WireProtocol::Json,
         },
     )
     .expect("drill runs");
@@ -197,6 +200,140 @@ fn tcp_smoke_serves_the_reference_bit_for_bit() {
     assert_eq!(report.completed, 96);
     assert_eq!(report.fallbacks, 0);
     assert_eq!(report.mismatches, 0);
+}
+
+#[test]
+fn shard_counts_are_invariant_under_randomized_batch_schedules() {
+    // the oracle: NnController::control + clip, per sample. Whatever the
+    // shard count and however batches happen to form, every reply must
+    // reproduce these bits.
+    let b = bundle();
+    let admitted = admit(b.clone()).expect("admitted");
+    let states = loadgen::generate_states(&b, 96, 0x5AD5);
+    let expected: Vec<Vec<f64>> = states.iter().map(|s| reference(&b, s)).collect();
+
+    let mut schedule_rng = rng::seeded(0x5C4ED);
+    for shards in [1usize, 2, 8] {
+        let engine = Engine::start_with(
+            &admitted,
+            EngineConfig {
+                max_batch: 8,
+                start_paused: true,
+                shards,
+                ..EngineConfig::default()
+            },
+            None,
+            Arc::new(NullSink),
+        )
+        .expect("engine starts");
+        let h = engine.handle();
+        // randomized schedule: requests arrive on random connections (so
+        // random shards) in random pause/resume bursts — batch
+        // composition varies wildly run to run, replies must not
+        let mut tickets: Vec<(usize, Ticket)> = Vec::new();
+        let mut i = 0usize;
+        while i < states.len() {
+            let burst = schedule_rng.gen_range(1..=16usize).min(states.len() - i);
+            for _ in 0..burst {
+                let conn: u64 = schedule_rng.gen_range(0..64u64);
+                let t = h.pinned(conn).try_submit(&states[i]).expect("queued");
+                tickets.push((i, t));
+                i += 1;
+            }
+            if schedule_rng.gen_range(0..2u32) == 0 {
+                engine.resume();
+                engine.pause();
+            }
+        }
+        engine.resume();
+        for (idx, ticket) in tickets {
+            let got = ticket.wait().expect("served");
+            assert!(!got.served_by_fallback);
+            assert_eq!(
+                got.control, expected[idx],
+                "shards={shards} request {idx} must match the per-sample oracle bitwise"
+            );
+        }
+    }
+}
+
+#[test]
+fn json_and_binary_wire_formats_serve_identical_bits() {
+    let b = bundle();
+    let admitted = admit(b.clone()).expect("admitted");
+    let engine = Engine::start_with(
+        &admitted,
+        EngineConfig {
+            shards: 2,
+            ..EngineConfig::default()
+        },
+        None,
+        Arc::new(NullSink),
+    )
+    .expect("engine starts");
+    let server = Server::bind("127.0.0.1:0", engine.handle()).expect("bind");
+    for wire in [WireProtocol::Json, WireProtocol::Binary] {
+        let report = loadgen::run_tcp(
+            &b,
+            server.local_addr(),
+            &LoadGenConfig {
+                requests: 96,
+                connections: 4,
+                seed: 0x3B1A,
+                wire,
+            },
+        )
+        .expect("drill runs");
+        // zero mismatches against the shared per-sample oracle means the
+        // two formats agree with the reference — and so with each other
+        assert!(
+            report.is_clean(),
+            "{wire:?} drill must be clean: {report:?}"
+        );
+        assert_eq!(report.completed, 96);
+    }
+    server.shutdown();
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn reactor_smoke_serves_the_reference_on_both_wires_and_shard_counts() {
+    use cocktail_serve::ReactorServer;
+    let b = bundle();
+    let admitted = admit(b.clone()).expect("admitted");
+    for shards in [1usize, 4] {
+        let engine = Engine::start_with(
+            &admitted,
+            EngineConfig {
+                shards,
+                ..EngineConfig::default()
+            },
+            None,
+            Arc::new(NullSink),
+        )
+        .expect("engine starts");
+        let server = ReactorServer::bind("127.0.0.1:0", engine.handle()).expect("bind");
+        for wire in [WireProtocol::Json, WireProtocol::Binary] {
+            let report = loadgen::run_tcp(
+                &b,
+                server.local_addr(),
+                &LoadGenConfig {
+                    requests: 128,
+                    connections: 8,
+                    seed: 0xEAC7,
+                    wire,
+                },
+            )
+            .expect("drill runs");
+            assert!(
+                report.is_clean(),
+                "reactor {wire:?} shards={shards} must be clean: {report:?}"
+            );
+            assert!(report.p999_latency_us >= report.p99_latency_us);
+            assert!(report.p99_latency_us >= report.p50_latency_us);
+        }
+        server.shutdown();
+    }
 }
 
 #[test]
