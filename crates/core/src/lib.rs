@@ -55,7 +55,7 @@ pub use cocktail_analysis::PreflightMode;
 pub use experiment::Preset;
 pub use metrics::{evaluate, evaluate_with_workers, EvalConfig, Evaluation};
 pub use pipeline::{Cocktail, CocktailConfig, CocktailResult, MixingAlgorithm};
-pub use supervisor::{DivergenceConfig, PipelineError, SupervisorConfig};
+pub use supervisor::{DivergenceConfig, PipelineError, RetrainRequest, SupervisorConfig};
 pub use system::SystemId;
 
 #[cfg(test)]

@@ -325,6 +325,88 @@ pub fn save_checkpoint(dir: &Path, ckpt: &PipelineCheckpoint) -> Result<PathBuf,
     Ok(path)
 }
 
+/// File name of a serving-side retraining demand inside a quarantine
+/// directory (see [`save_retrain_request`]).
+pub const RETRAIN_REQUEST_FILE: &str = "retrain.request.json";
+
+/// A retraining demand raised by the serving fleet — typically the serve
+/// crate's drift detector flagging that the served-output distribution
+/// has moved away from its baseline. The pipeline side picks these up
+/// with [`load_retrain_request`] and decides whether to kick off a new
+/// distillation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetrainRequest {
+    /// Which plant/system the drifting controller serves.
+    pub system: String,
+    /// Human-readable cause.
+    pub reason: String,
+    /// The observed statistic that crossed the line (e.g. a
+    /// total-variation distance).
+    pub observed: f64,
+    /// The threshold it crossed.
+    pub threshold: f64,
+    /// Which component raised the demand.
+    pub source: String,
+}
+
+/// Atomically and durably persists `req` as
+/// `<dir>/`[`RETRAIN_REQUEST_FILE`], using the same
+/// fsync-temp-then-rename discipline as [`save_checkpoint`], so a
+/// half-written demand can never be picked up.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Checkpoint`] on any I/O failure.
+pub fn save_retrain_request(dir: &Path, req: &RetrainRequest) -> Result<PathBuf, PipelineError> {
+    use std::io::Write;
+
+    let path = dir.join(RETRAIN_REQUEST_FILE);
+    let failed = |detail: String| PipelineError::Checkpoint {
+        path: path.clone(),
+        detail,
+    };
+    std::fs::create_dir_all(dir).map_err(|e| failed(format!("create dir: {e}")))?;
+    let json = serde_json::to_string(req).map_err(|e| failed(format!("serialize: {e}")))?;
+    let tmp = dir.join(format!("{RETRAIN_REQUEST_FILE}.tmp"));
+    {
+        let mut f =
+            std::fs::File::create(&tmp).map_err(|e| failed(format!("create temp file: {e}")))?;
+        f.write_all(json.as_bytes())
+            .map_err(|e| failed(format!("write temp file: {e}")))?;
+        f.sync_all()
+            .map_err(|e| failed(format!("fsync temp file: {e}")))?;
+    }
+    std::fs::rename(&tmp, &path).map_err(|e| failed(format!("rename into place: {e}")))?;
+    #[cfg(unix)]
+    {
+        let d = std::fs::File::open(dir).map_err(|e| failed(format!("open dir: {e}")))?;
+        d.sync_all()
+            .map_err(|e| failed(format!("fsync dir: {e}")))?;
+    }
+    Ok(path)
+}
+
+/// Loads a pending retraining demand from `dir` if one exists.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Checkpoint`] when the file exists but cannot
+/// be read or parsed.
+pub fn load_retrain_request(dir: &Path) -> Result<Option<RetrainRequest>, PipelineError> {
+    let path = dir.join(RETRAIN_REQUEST_FILE);
+    if !path.exists() {
+        return Ok(None);
+    }
+    let failed = |detail: String| PipelineError::Checkpoint {
+        path: path.clone(),
+        detail,
+    };
+    let json = std::fs::read_to_string(&path).map_err(|e| failed(format!("read: {e}")))?;
+    let req: RetrainRequest =
+        serde_json::from_str(&json).map_err(|e| failed(format!("parse: {e}")))?;
+    Ok(Some(req))
+}
+
 /// Loads the checkpoint from `dir` if one exists, validating the format
 /// version and the seed stamp against `expected_seed`.
 ///
@@ -386,6 +468,44 @@ mod tests {
         assert!(m.observe(100.0).is_none());
         assert!(m.observe(-1.0e9).is_none());
         assert!(m.observe(f64::INFINITY).is_some());
+    }
+
+    #[test]
+    fn retrain_request_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!(
+            "cocktail-retrain-request-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(
+            load_retrain_request(&dir)
+                .expect("missing file is ok")
+                .is_none(),
+            "no demand pending in an empty dir"
+        );
+        let req = RetrainRequest {
+            system: "oscillator".to_string(),
+            reason: "served-output drift on control dim 0".to_string(),
+            observed: 0.41,
+            threshold: 0.25,
+            source: "cocktail-serve drift detector".to_string(),
+        };
+        let path = save_retrain_request(&dir, &req).expect("save");
+        assert!(path.ends_with(RETRAIN_REQUEST_FILE));
+        assert!(
+            !dir.join(format!("{RETRAIN_REQUEST_FILE}.tmp")).exists(),
+            "temp file never outlives the publish"
+        );
+        let back = load_retrain_request(&dir).expect("load").expect("present");
+        assert_eq!(back, req);
+        // a torn file is a typed error, not a panic
+        std::fs::write(&path, b"{torn").expect("corrupt");
+        assert!(matches!(
+            load_retrain_request(&dir),
+            Err(PipelineError::Checkpoint { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -349,6 +349,15 @@ impl InMemorySink {
             .unwrap_or_default()
     }
 
+    /// The recorded events with the given name, in order.
+    #[must_use]
+    pub fn events_named(&self, name: &str) -> Vec<Event> {
+        self.events
+            .lock()
+            .map(|e| e.iter().filter(|ev| ev.name == name).cloned().collect())
+            .unwrap_or_default()
+    }
+
     /// The sum of all increments of the named counter.
     #[must_use]
     pub fn counter_total(&self, name: &str) -> u64 {

@@ -156,6 +156,34 @@ pub fn admit_with(
     result
 }
 
+/// Runs the full admission gate on a *rollout candidate*: everything
+/// [`admit_with`] checks, plus compatibility with the dimensions the
+/// running engine serves (a candidate may be plant-servable yet disagree
+/// with the incumbent it must shadow).
+///
+/// # Errors
+///
+/// As [`admit_with`], plus [`AdmissionError::Unservable`] on an
+/// engine-dimension mismatch.
+pub fn admit_candidate(
+    bundle: ControllerBundle,
+    state_dim: usize,
+    control_dim: usize,
+    config: &AdmissionConfig,
+    tel: &dyn Telemetry,
+) -> Result<Admitted, AdmissionError> {
+    let admitted = admit_with(bundle, config, tel)?;
+    let (net, _) = admitted.bundle.network()?;
+    if net.input_dim() != state_dim || net.output_dim() != control_dim {
+        return Err(AdmissionError::Unservable(format!(
+            "candidate dimensions ({} -> {}) != running engine ({state_dim} -> {control_dim})",
+            net.input_dim(),
+            net.output_dim()
+        )));
+    }
+    Ok(admitted)
+}
+
 fn kind_of(e: &AdmissionError) -> &'static str {
     match e {
         AdmissionError::Bundle(_) => "bundle",

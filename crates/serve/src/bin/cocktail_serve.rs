@@ -1,10 +1,12 @@
 //! `cocktail-serve` — the controller-serving CLI.
 //!
 //! ```text
-//! cocktail-serve check   --bundle student.bundle.json
-//! cocktail-serve serve   --bundle student.bundle.json --addr 127.0.0.1:7501
-//! cocktail-serve loadgen --bundle student.bundle.json --addr 127.0.0.1:7501
-//! cocktail-serve smoke   --bundle student.bundle.json --telemetry tel.jsonl
+//! cocktail-serve check         --bundle student.bundle.json
+//! cocktail-serve serve         --bundle student.bundle.json --addr 127.0.0.1:7501
+//! cocktail-serve loadgen       --bundle student.bundle.json --addr 127.0.0.1:7501
+//! cocktail-serve smoke         --bundle student.bundle.json --telemetry tel.jsonl
+//! cocktail-serve replay        --telemetry tel.jsonl --incumbent v1.json --candidate v2.json
+//! cocktail-serve rollout-drill --bundle student.bundle.json --telemetry tel.jsonl
 //! ```
 //!
 //! `check` runs admission and prints the evidence; `serve` admits then
@@ -12,16 +14,30 @@
 //! server and verifies every response bit-for-bit; `smoke` does
 //! admit + serve + loadgen in one process on an ephemeral port and exits
 //! non-zero on any fallback, mismatch, rejection, or error — the CI entry
-//! point.
+//! point. `replay` re-runs a recorded request stream (the `serve.request`
+//! captures in a telemetry log) through an incumbent and a candidate
+//! bundle offline and judges the divergence against a rollout budget.
+//! `rollout-drill` is the end-to-end fleet-operations drill: serve v1,
+//! refuse a tampered candidate, canary and promote a valid one, raise
+//! drift on shifted traffic, and prove a corrupted candidate auto-rolls
+//! back with zero escaped responses.
 //!
 //! Serving commands take `--shards N` (engine shards) and `--transport
 //! reactor|threaded` (epoll reactor on Linux, thread-per-connection
-//! anywhere; the default picks the reactor where it exists). Drill
-//! commands take `--wire json|binary` to pick the frame format.
+//! anywhere; the default picks the reactor where it exists), plus
+//! `--drift-window N` / `--drift-threshold X` to enable the served-output
+//! drift detector and `--retrain-dir <dir>` to persist a retraining
+//! demand when it fires. Drill commands take `--wire json|binary` to pick
+//! the frame format.
 
+use cocktail_core::supervisor::save_retrain_request;
 use cocktail_obs::{JsonlSink, NullSink, Telemetry};
 use cocktail_serve::loadgen::{self, LoadGenConfig, LoadReport, WireProtocol};
-use cocktail_serve::{admit, ControllerBundle, Engine, EngineConfig, EngineHandle, Server};
+use cocktail_serve::{
+    admit, load_recorded, shadow_replay, BinaryTcpClient, ControlClient, ControllerBundle,
+    DriftConfig, Engine, EngineConfig, EngineHandle, Provenance, RolloutAction, RolloutBudget,
+    RolloutConfig, RolloutError, Server,
+};
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -71,16 +87,22 @@ impl Args {
 }
 
 fn usage() -> String {
-    "usage: cocktail-serve <check|serve|loadgen|smoke> --bundle <path> [options]\n\
+    "usage: cocktail-serve <check|serve|loadgen|smoke|replay|rollout-drill> [options]\n\
      \n\
-     check   --bundle <path>\n\
-     serve   --bundle <path> --addr <ip:port> [--max-batch N] [--deadline-us N]\n\
-             [--capacity N] [--shards N] [--transport reactor|threaded] [--telemetry <jsonl>]\n\
-     loadgen --bundle <path> --addr <ip:port> [--requests N] [--connections N] [--seed N]\n\
-             [--wire json|binary]\n\
-     smoke   --bundle <path> [--requests N] [--connections N] [--seed N] [--wire json|binary]\n\
-             [--telemetry <jsonl>] [--max-batch N] [--deadline-us N] [--capacity N]\n\
-             [--shards N] [--transport reactor|threaded]"
+     check         --bundle <path>\n\
+     serve         --bundle <path> --addr <ip:port> [--max-batch N] [--deadline-us N]\n\
+                   [--capacity N] [--shards N] [--transport reactor|threaded]\n\
+                   [--telemetry <jsonl>] [--drift-window N] [--drift-threshold X]\n\
+                   [--retrain-dir <dir>]\n\
+     loadgen       --bundle <path> --addr <ip:port> [--requests N] [--connections N]\n\
+                   [--seed N] [--wire json|binary]\n\
+     smoke         --bundle <path> [--requests N] [--connections N] [--seed N]\n\
+                   [--wire json|binary] [--telemetry <jsonl>] [--max-batch N]\n\
+                   [--deadline-us N] [--capacity N] [--shards N] [--transport reactor|threaded]\n\
+     replay        --telemetry <jsonl> --incumbent <path> --candidate <path>\n\
+                   [--max-divergence X] [--max-envelope-violations N]\n\
+     rollout-drill --bundle <path> [--telemetry <jsonl>] [--retrain-dir <dir>]\n\
+                   [--shards N] [--transport reactor|threaded]"
         .to_string()
 }
 
@@ -97,6 +119,8 @@ fn main() -> ExitCode {
             "serve" => cmd_serve(&args),
             "loadgen" => cmd_loadgen(&args),
             "smoke" => cmd_smoke(&args),
+            "replay" => cmd_replay(&args),
+            "rollout-drill" => cmd_rollout_drill(&args),
             other => Err(format!("unknown command `{other}`\n{}", usage())),
         },
     };
@@ -125,6 +149,16 @@ fn telemetry_of(args: &Args) -> Result<Arc<dyn Telemetry>, String> {
 
 fn engine_config(args: &Args) -> Result<EngineConfig, String> {
     let defaults = EngineConfig::default();
+    let drift_defaults = DriftConfig::default();
+    let drift = if args.get("drift-window").is_some() || args.get("drift-threshold").is_some() {
+        Some(DriftConfig {
+            window: args.parsed("drift-window", drift_defaults.window)?,
+            bins: drift_defaults.bins,
+            threshold: args.parsed("drift-threshold", drift_defaults.threshold)?,
+        })
+    } else {
+        None
+    };
     Ok(EngineConfig {
         max_batch: args.parsed("max-batch", defaults.max_batch)?,
         batch_deadline: Duration::from_micros(args.parsed(
@@ -134,6 +168,7 @@ fn engine_config(args: &Args) -> Result<EngineConfig, String> {
         queue_capacity: args.parsed("capacity", defaults.queue_capacity)?,
         start_paused: false,
         shards: args.parsed("shards", defaults.shards)?,
+        drift,
     })
 }
 
@@ -213,13 +248,15 @@ impl AnyServer {
 fn print_report(report: &LoadReport) {
     println!(
         "loadgen: sent={} completed={} rejected={} fallbacks={} mismatches={} errors={} \
-         p50_latency_us={:.1} p99_latency_us={:.1} p999_latency_us={:.1} throughput_rps={:.0}",
+         reconnects={} p50_latency_us={:.1} p99_latency_us={:.1} p999_latency_us={:.1} \
+         throughput_rps={:.0}",
         report.sent,
         report.completed,
         report.rejected,
         report.fallbacks,
         report.mismatches,
         report.errors,
+        report.reconnects,
         report.p50_latency_us,
         report.p99_latency_us,
         report.p999_latency_us,
@@ -264,9 +301,26 @@ fn cmd_serve(args: &Args) -> Result<ExitCode, String> {
         server.label(),
         config.shards.max(1)
     );
-    // serve until killed
+    // serve until killed, surfacing drift alarms as they arrive
+    let retrain_dir = args.get("retrain-dir").map(PathBuf::from);
+    let mut reported = 0usize;
     loop {
-        std::thread::sleep(Duration::from_secs(3600));
+        std::thread::sleep(Duration::from_secs(5));
+        let reports = engine.drift_reports();
+        for r in &reports[reported.min(reports.len())..] {
+            eprintln!(
+                "drift: control dim {} moved total-variation {:.4} past {:.4} \
+                 over a {}-output window",
+                r.dim, r.distance, r.threshold, r.window
+            );
+            if let Some(dir) = &retrain_dir {
+                match save_retrain_request(dir, &r.to_retrain_request(bundle.system.label())) {
+                    Ok(p) => eprintln!("drift: retraining demand saved to {}", p.display()),
+                    Err(e) => eprintln!("drift: could not save retraining demand: {e}"),
+                }
+            }
+        }
+        reported = reports.len();
     }
 }
 
@@ -284,6 +338,244 @@ fn cmd_loadgen(args: &Args) -> Result<ExitCode, String> {
     } else {
         ExitCode::FAILURE
     })
+}
+
+fn cmd_replay(args: &Args) -> Result<ExitCode, String> {
+    let telemetry = PathBuf::from(args.required("telemetry")?);
+    let incumbent = ControllerBundle::load(Path::new(args.required("incumbent")?))
+        .map_err(|e| format!("incumbent: {e}"))?;
+    let candidate = ControllerBundle::load(Path::new(args.required("candidate")?))
+        .map_err(|e| format!("candidate: {e}"))?;
+    let requests = load_recorded(&telemetry)?;
+    if requests.is_empty() {
+        return Err(format!(
+            "{} holds no serve.request captures (serve with --telemetry to record them)",
+            telemetry.display()
+        ));
+    }
+    let defaults = RolloutBudget::default();
+    let budget = RolloutBudget {
+        max_divergence: args.parsed("max-divergence", defaults.max_divergence)?,
+        max_envelope_violations: args
+            .parsed("max-envelope-violations", defaults.max_envelope_violations)?,
+    };
+    let report = shadow_replay(&incumbent, &candidate, &requests)?;
+    println!("{}", report.render());
+    Ok(if report.within(&budget) {
+        println!("replay: candidate within budget");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("replay: candidate EXCEEDS budget");
+        ExitCode::FAILURE
+    })
+}
+
+/// The end-to-end fleet-operations drill (the CI rollout gate):
+///
+/// 1. serve the v1 bundle and verify a clean drill (this also freezes the
+///    drift baseline);
+/// 2. propose a tampered v2 — admission must refuse it;
+/// 3. propose a valid v2, drive traffic through the 250‰ canary, promote,
+///    and verify a clean drill against the v2 oracle;
+/// 4. drive distribution-shifted traffic until the drift detector fires
+///    (optionally persisting the retraining demand);
+/// 5. propose a NaN-weight v3 — admission refuses; force it past
+///    admission and prove the serving-side guard auto-rolls back with
+///    every response still bit-identical to the v2 oracle.
+#[allow(
+    clippy::too_many_lines,
+    reason = "the drill reads best as one linear script"
+)]
+fn cmd_rollout_drill(args: &Args) -> Result<ExitCode, String> {
+    let fail = |msg: String| -> Result<ExitCode, String> {
+        eprintln!("rollout-drill: FAIL: {msg}");
+        Ok(ExitCode::FAILURE)
+    };
+    let v1 = load_bundle(args)?;
+    let tel = telemetry_of(args)?;
+    let admitted = admit(v1.clone()).map_err(|e| format!("admission refused: {e}"))?;
+    let drift_window = 128usize;
+    let config = EngineConfig {
+        shards: args.parsed("shards", 2)?,
+        // threshold 0.6: same-distribution windows sit far below, the
+        // shifted phase far above — deterministic either way
+        drift: Some(DriftConfig {
+            window: drift_window,
+            bins: 8,
+            threshold: 0.6,
+        }),
+        ..EngineConfig::default()
+    };
+    let engine = Engine::start_with(&admitted, config, None, tel).map_err(|e| e.to_string())?;
+    let server = AnyServer::bind(args, "127.0.0.1:0", engine.handle())?;
+    let addr = server.local_addr();
+    let drill = |bundle: &ControllerBundle, seed: u64| {
+        loadgen::run_tcp(
+            bundle,
+            addr,
+            &LoadGenConfig {
+                requests: 256,
+                connections: 4,
+                seed,
+                wire: WireProtocol::Binary,
+            },
+        )
+        .map_err(|e| e.to_string())
+    };
+
+    // 1. incumbent serves clean
+    let r1 = drill(&v1, 0xD1)?;
+    print_report(&r1);
+    if !r1.is_clean() {
+        return fail(format!("v1 drill not clean: {r1:?}"));
+    }
+    println!(
+        "rollout-drill: v1 serving clean at epoch {}",
+        engine.model_epoch()
+    );
+
+    // 2. tampered candidate: understated Lipschitz claim
+    let mut tampered = v1.clone();
+    tampered.lipschitz_claim *= 0.5;
+    match engine.propose(tampered, &RolloutConfig::default()) {
+        Err(RolloutError::Refused(e)) => {
+            println!("rollout-drill: tampered candidate refused ({e})");
+        }
+        Ok(_) => return fail("tampered candidate was admitted".to_string()),
+        Err(e) => return fail(format!("tampered candidate: wrong refusal {e}")),
+    }
+
+    // 3. valid v2: a small genuine weight change, repackaged (admission
+    // recomputes its certificate) — canary, then promote
+    let (net, scale) = v1.network().map_err(|e| e.to_string())?;
+    let mut net2 = net.clone();
+    net2.layers_mut()[0].weights_mut()[(0, 0)] += 1.0e-3;
+    let v2 = ControllerBundle::package(
+        v1.system,
+        net2,
+        scale.to_vec(),
+        Provenance {
+            seed: v1.provenance.seed ^ 0xF00D,
+            config_hash: v1.provenance.config_hash,
+            crate_version: v1.provenance.crate_version.clone(),
+        },
+    )
+    .map_err(|e| format!("package v2: {e}"))?;
+    let canary_epoch = engine
+        .propose(
+            v2.clone(),
+            &RolloutConfig {
+                fraction_permille: 250,
+                budget: RolloutBudget::default(),
+            },
+        )
+        .map_err(|e| format!("propose v2: {e}"))?;
+    // canary-routed responses come from v2, so mismatches against the v1
+    // oracle ARE the measured divergence; fallbacks/errors must stay zero
+    let r2 = drill(&v1, 0xD2)?;
+    print_report(&r2);
+    if r2.fallbacks != 0 || r2.errors != 0 || r2.rejected != 0 || r2.completed != r2.sent {
+        return fail(format!("canary drill degraded: {r2:?}"));
+    }
+    let status = engine.rollout_status();
+    if status.canary_shadowed == 0 {
+        return fail("canary saw no traffic at 250/1000".to_string());
+    }
+    println!(
+        "rollout-drill: canary at epoch {canary_epoch} shadowed {} requests \
+         (divergence max {:.3e})",
+        status.canary_shadowed, status.divergence.max
+    );
+    let promoted_epoch = engine.promote().map_err(|e| format!("promote: {e}"))?;
+    let r3 = drill(&v2, 0xD3)?;
+    print_report(&r3);
+    if !r3.is_clean() {
+        return fail(format!("post-promote drill not clean: {r3:?}"));
+    }
+    println!("rollout-drill: promoted to epoch {promoted_epoch}, serving v2 clean");
+
+    // 4. distribution shift: constant corner-of-domain states collapse
+    // the served-output histogram into one bin — drift must fire
+    let corner: Vec<f64> = v1.input_domain.lower();
+    let mut client = BinaryTcpClient::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    for _ in 0..(3 * drift_window) {
+        client
+            .control(&corner)
+            .map_err(|e| format!("shifted request: {e}"))?;
+    }
+    let reports = engine.drift_reports();
+    let Some(first) = reports.first() else {
+        return fail("drift never fired under shifted traffic".to_string());
+    };
+    println!(
+        "rollout-drill: drift raised on control dim {} (total-variation {:.4} > {:.4})",
+        first.dim, first.distance, first.threshold
+    );
+    if let Some(dir) = args.get("retrain-dir") {
+        let path =
+            save_retrain_request(Path::new(dir), &first.to_retrain_request(v1.system.label()))
+                .map_err(|e| format!("save retraining demand: {e}"))?;
+        println!(
+            "rollout-drill: retraining demand saved to {}",
+            path.display()
+        );
+    }
+
+    // 5. corrupted v3: refused by admission, then forced past it to prove
+    // the serving-side guard
+    let mut v3 = v2.clone();
+    if let cocktail_analysis::ControllerSpec::Mlp { net, .. } = &mut v3.spec {
+        net.layers_mut()[0].weights_mut()[(0, 0)] = f64::NAN;
+    }
+    match engine.propose(v3, &RolloutConfig::default()) {
+        Err(RolloutError::Refused(e)) => {
+            println!("rollout-drill: corrupted candidate refused by admission ({e})");
+        }
+        Ok(_) => return fail("corrupted candidate was admitted".to_string()),
+        Err(e) => return fail(format!("corrupted candidate: wrong refusal {e}")),
+    }
+    let mut nan_net = net.clone();
+    nan_net.layers_mut()[0].weights_mut()[(0, 0)] = f64::NAN;
+    engine
+        .propose_parts(
+            nan_net,
+            scale.to_vec(),
+            v1.u_inf.clone(),
+            v1.u_sup.clone(),
+            &RolloutConfig {
+                fraction_permille: 500,
+                budget: RolloutBudget::default(),
+            },
+        )
+        .map_err(|e| format!("force-install v3: {e}"))?;
+    // every canary-routed row must be answered from the incumbent shadow:
+    // the drill stays bit-identical to the v2 oracle, zero escapes
+    let r4 = drill(&v2, 0xD4)?;
+    print_report(&r4);
+    if !r4.is_clean() {
+        return fail(format!(
+            "corrupted-candidate output escaped (drill vs v2 oracle): {r4:?}"
+        ));
+    }
+    let events = engine.rollout_events();
+    if !events
+        .iter()
+        .any(|e| matches!(e.action, RolloutAction::AutoRolledBack))
+    {
+        return fail("auto-rollback never fired on the NaN candidate".to_string());
+    }
+    let final_status = engine.rollout_status();
+    if final_status.canary_active {
+        return fail("canary still active after auto-rollback".to_string());
+    }
+    println!(
+        "rollout-drill: NaN candidate auto-rolled back at epoch {} with zero escaped responses",
+        final_status.epoch
+    );
+    server.shutdown();
+    engine.shutdown();
+    println!("rollout-drill: PASS");
+    Ok(ExitCode::SUCCESS)
 }
 
 fn cmd_smoke(args: &Args) -> Result<ExitCode, String> {

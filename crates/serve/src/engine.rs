@@ -16,7 +16,8 @@
 //! are pooled per shard, batch scratch (input matrix + [`BatchCache`]) is
 //! kept per batch-size class, and responses are fixed-size
 //! [`ResponseRec`]s pushed into a capacity-reusing ring. CI asserts this
-//! with a counting allocator.
+//! with a counting allocator — including across a mid-stream
+//! [`Engine::promote`].
 //!
 //! Batching policy: by default the worker serves *whatever is queued* the
 //! moment it is free (`batch_deadline` zero). Under concurrent load,
@@ -36,9 +37,32 @@
 //!   the request is answered by the configured fallback expert and
 //!   `serve.fallbacks` is incremented; with no fallback the request fails
 //!   with [`ServeError::NonFiniteOutput`].
+//!
+//! # Hot rollout
+//!
+//! The engine's models live in an **epoch-versioned
+//! [`Arc`]-swapped set**: [`Engine::propose`] installs an admitted
+//! candidate as a *canary* serving a deterministic fraction of traffic
+//! ([`routes_to_canary`], a pure function of the request id), while every
+//! canary answer is shadow-recomputed through the incumbent and the
+//! clipped divergence histogrammed. [`Engine::promote`] and
+//! [`Engine::rollback`] swap the set atomically; shard workers observe
+//! the new epoch at the next batch boundary (a `Relaxed`-free
+//! acquire/release handshake, so a request submitted after `promote`
+//! returns is always served by the new incumbent). A canary batch is
+//! answered **only after** the whole sub-batch passes three guards
+//! (finiteness, per-request divergence budget, cumulative envelope
+//! budget); a trip auto-rolls the engine back and answers the batch from
+//! the incumbent's shadow outputs, so zero candidate responses escape.
+//! See [`crate::rollout`] for the state machine and budgets.
 
-use crate::admission::Admitted;
-use crate::bundle::fnv1a_64;
+use crate::admission::{self, AdmissionConfig, Admitted};
+use crate::bundle::{fnv1a_64, ControllerBundle};
+use crate::replay::encode_state_bits;
+use crate::rollout::{
+    routes_to_canary, DriftConfig, DriftDetector, DriftReport, RolloutAction, RolloutBudget,
+    RolloutConfig, RolloutError, RolloutEvent, RolloutLog, RolloutStatus,
+};
 use crate::wire::{self, ResponseRec, MAX_WIRE_CONTROL_DIM};
 use cocktail_control::Controller;
 use cocktail_math::Matrix;
@@ -46,10 +70,15 @@ use cocktail_nn::{BatchCache, Mlp};
 use cocktail_obs::{Event, NullSink, Span, Telemetry};
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, MutexGuard};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// First request id handed out to ticket (in-process) submissions — far
+/// above the binary wire's practical id space, so internally-assigned ids
+/// never collide with client-chosen wire ids in a recorded stream.
+const INTERNAL_ID_BASE: u64 = 1 << 48;
 
 /// Scheduler knobs.
 #[derive(Debug, Clone, Copy)]
@@ -70,6 +99,9 @@ pub struct EngineConfig {
     /// Engine shards: independent queue + worker + scratch, ideally one
     /// per core. Connection ids hash onto shards deterministically.
     pub shards: usize,
+    /// Enable the served-output drift detector ([`crate::rollout`]) with
+    /// these knobs; `None` (the default) keeps the hot path free of it.
+    pub drift: Option<DriftConfig>,
 }
 
 impl Default for EngineConfig {
@@ -80,6 +112,7 @@ impl Default for EngineConfig {
             queue_capacity: 256,
             start_paused: false,
             shards: 1,
+            drift: None,
         }
     }
 }
@@ -226,8 +259,37 @@ enum Reply {
 }
 
 struct Request {
+    /// The canary-routing identity: the wire id for remote clients, an
+    /// engine-assigned id (from [`INTERNAL_ID_BASE`]) for tickets.
+    id: u64,
     state: Vec<f64>,
     reply: Reply,
+}
+
+/// One controller's servable parts: network plus its scale and clip
+/// envelope. Shared by [`Arc`] between the model set and shard workers —
+/// swapping controllers is a pointer swap, never a weight copy.
+struct ModelParams {
+    net: Mlp,
+    scale: Vec<f64>,
+    u_inf: Vec<f64>,
+    u_sup: Vec<f64>,
+}
+
+/// A canary candidate plus its traffic split and auto-rollback budget.
+struct CanarySlot {
+    params: Arc<ModelParams>,
+    fraction_permille: u32,
+    budget: RolloutBudget,
+}
+
+/// The epoch-versioned model set shard workers serve from. Immutable
+/// once published; every transition publishes a fresh `Arc<ModelSet>`
+/// and bumps the epoch counter workers poll at batch boundaries.
+struct ModelSet {
+    epoch: u64,
+    incumbent: Arc<ModelParams>,
+    canary: Option<CanarySlot>,
 }
 
 struct ShardState {
@@ -250,6 +312,18 @@ struct Shared {
     state_dim: usize,
     control_dim: usize,
     queue_capacity: usize,
+    /// The published model set; workers clone the `Arc` out (refcount
+    /// bump, no allocation) whenever `model_epoch` moves.
+    models: Mutex<Arc<ModelSet>>,
+    /// Epoch of the latest published set. Stored with `Release` after
+    /// the set is swapped; workers `Acquire`-load it per batch.
+    model_epoch: AtomicU64,
+    rollout: Mutex<RolloutLog>,
+    drift: Mutex<Option<DriftDetector>>,
+    /// Cached `drift.is_some()` so the hot path skips the lock entirely
+    /// when no detector is configured.
+    drift_enabled: bool,
+    next_req_id: AtomicU64,
     tel: Arc<dyn Telemetry>,
 }
 
@@ -264,7 +338,149 @@ impl Shared {
         }
     }
 
-    fn submit(&self, shard_idx: usize, state: &[f64], reply: Reply) -> Result<(), ServeError> {
+    fn lock_models(&self) -> MutexGuard<'_, Arc<ModelSet>> {
+        #[allow(
+            clippy::expect_used,
+            reason = "a poisoned model mutex means a rollout panic; propagating is correct"
+        )]
+        let guard = self.models.lock().expect("model mutex poisoned");
+        guard
+    }
+
+    fn lock_rollout(&self) -> MutexGuard<'_, RolloutLog> {
+        #[allow(
+            clippy::expect_used,
+            reason = "a poisoned rollout mutex means a worker panic; propagating is correct"
+        )]
+        let guard = self.rollout.lock().expect("rollout mutex poisoned");
+        guard
+    }
+
+    fn current_models(&self) -> Arc<ModelSet> {
+        self.lock_models().clone()
+    }
+
+    /// Appends to the structured trail and mirrors it as a
+    /// `serve.rollout` telemetry point.
+    fn push_event(&self, epoch: u64, action: RolloutAction, detail: &str) {
+        if self.tel.enabled() {
+            self.tel.record(
+                Event::point("serve.rollout")
+                    .with("epoch", epoch)
+                    .with("action", action.label())
+                    .with("detail", detail),
+            );
+        }
+        self.lock_rollout().events.push(RolloutEvent {
+            epoch,
+            action,
+            detail: detail.to_string(),
+        });
+    }
+
+    /// Installs `params` as a canary at `cfg`'s split; the epoch bumps so
+    /// every shard observes the candidate at its next batch boundary.
+    fn install_candidate(
+        &self,
+        params: ModelParams,
+        cfg: &RolloutConfig,
+    ) -> Result<u64, RolloutError> {
+        let fraction = cfg.fraction_permille.min(1000);
+        let mut models = self.lock_models();
+        if models.canary.is_some() {
+            return Err(RolloutError::CanaryInFlight);
+        }
+        let epoch = models.epoch + 1;
+        *models = Arc::new(ModelSet {
+            epoch,
+            incumbent: models.incumbent.clone(),
+            canary: Some(CanarySlot {
+                params: Arc::new(params),
+                fraction_permille: fraction,
+                budget: cfg.budget,
+            }),
+        });
+        self.model_epoch.store(epoch, Ordering::Release);
+        drop(models);
+        self.lock_rollout().reset_canary_counters();
+        self.push_event(
+            epoch,
+            RolloutAction::Proposed,
+            &format!("canary at {fraction}/1000 of traffic"),
+        );
+        self.tel.counter("serve.proposals", 1);
+        Ok(epoch)
+    }
+
+    fn promote(&self) -> Result<u64, RolloutError> {
+        let mut models = self.lock_models();
+        let Some(slot) = models.canary.as_ref() else {
+            return Err(RolloutError::NoCandidate);
+        };
+        let epoch = models.epoch + 1;
+        let incumbent = slot.params.clone();
+        *models = Arc::new(ModelSet {
+            epoch,
+            incumbent,
+            canary: None,
+        });
+        self.model_epoch.store(epoch, Ordering::Release);
+        drop(models);
+        self.push_event(
+            epoch,
+            RolloutAction::Promoted,
+            "candidate promoted to incumbent",
+        );
+        self.tel.counter("serve.promotions", 1);
+        Ok(epoch)
+    }
+
+    fn rollback(&self, detail: &str) -> Result<u64, RolloutError> {
+        let mut models = self.lock_models();
+        if models.canary.is_none() {
+            return Err(RolloutError::NoCandidate);
+        }
+        let epoch = models.epoch + 1;
+        *models = Arc::new(ModelSet {
+            epoch,
+            incumbent: models.incumbent.clone(),
+            canary: None,
+        });
+        self.model_epoch.store(epoch, Ordering::Release);
+        drop(models);
+        self.push_event(epoch, RolloutAction::RolledBack, detail);
+        self.tel.counter("serve.rollbacks", 1);
+        Ok(epoch)
+    }
+
+    /// A guard trip from a shard worker. Epoch-checked under the model
+    /// lock: when several shards trip the same canary concurrently, only
+    /// the first transition happens and the rest are no-ops (their
+    /// batches are still answered from shadow outputs locally).
+    fn auto_rollback(&self, observed_epoch: u64, reason: &'static str) {
+        let mut models = self.lock_models();
+        if models.epoch != observed_epoch || models.canary.is_none() {
+            return;
+        }
+        let epoch = models.epoch + 1;
+        *models = Arc::new(ModelSet {
+            epoch,
+            incumbent: models.incumbent.clone(),
+            canary: None,
+        });
+        self.model_epoch.store(epoch, Ordering::Release);
+        drop(models);
+        self.push_event(epoch, RolloutAction::AutoRolledBack, reason);
+        self.tel.counter("serve.rollbacks", 1);
+    }
+
+    fn submit(
+        &self,
+        shard_idx: usize,
+        id: u64,
+        state: &[f64],
+        reply: Reply,
+    ) -> Result<(), ServeError> {
         if state.len() != self.state_dim {
             return Err(ServeError::BadRequest(format!(
                 "state dimension {} != expected {}",
@@ -296,9 +512,22 @@ impl Shared {
             .unwrap_or_else(|| Vec::with_capacity(self.state_dim));
         buf.clear();
         buf.extend_from_slice(state);
-        guard.queue.push_back(Request { state: buf, reply });
+        guard.queue.push_back(Request {
+            id,
+            state: buf,
+            reply,
+        });
         drop(guard);
         shard.wake.notify_all();
+        if self.tel.enabled() {
+            // the capture that makes `cocktail-serve replay` possible:
+            // state components as exact bit patterns, never decimal
+            self.tel.record(
+                Event::point("serve.request")
+                    .with("id", id)
+                    .with("state_bits", encode_state_bits(state)),
+            );
+        }
         Ok(())
     }
 }
@@ -355,7 +584,7 @@ impl EngineHandle {
     }
 
     /// The handle pinned to the shard `conn_id` hashes to
-    /// (FNV-1a(conn_id) mod shards — deterministic, evenly spread for
+    /// (FNV-1a(`conn_id`) mod shards — deterministic, evenly spread for
     /// sequential ids).
     #[must_use]
     pub fn pinned(&self, conn_id: u64) -> PinnedHandle {
@@ -412,6 +641,20 @@ impl PinnedHandle {
         submit_ticket(&self.shared, self.shard, state)
     }
 
+    /// Enqueues a request with an explicit request id — the id canary
+    /// routing hashes ([`routes_to_canary`]), so tests and replay drive
+    /// exactly the traffic split a recorded stream saw.
+    ///
+    /// # Errors
+    ///
+    /// See [`EngineHandle::try_submit`].
+    pub fn try_submit_with_id(&self, id: u64, state: &[f64]) -> Result<Ticket, ServeError> {
+        let (tx, rx) = mpsc::sync_channel(1);
+        self.shared
+            .submit(self.shard, id, state, Reply::Channel(tx))?;
+        Ok(Ticket { rx })
+    }
+
     /// Submits and waits for the answer.
     ///
     /// # Errors
@@ -444,6 +687,7 @@ impl PinnedHandle {
         }
         self.shared.submit(
             self.shard,
+            id,
             state,
             Reply::Outbox {
                 outbox: outbox.clone(),
@@ -454,8 +698,9 @@ impl PinnedHandle {
 }
 
 fn submit_ticket(shared: &Arc<Shared>, shard: usize, state: &[f64]) -> Result<Ticket, ServeError> {
+    let id = shared.next_req_id.fetch_add(1, Ordering::Relaxed);
     let (tx, rx) = mpsc::sync_channel(1);
-    shared.submit(shard, state, Reply::Channel(tx))?;
+    shared.submit(shard, id, state, Reply::Channel(tx))?;
     Ok(Ticket { rx })
 }
 
@@ -519,7 +764,7 @@ impl Engine {
     /// [`ServeError::BadRequest`] on any dimension inconsistency.
     #[allow(
         clippy::needless_pass_by_value,
-        reason = "callers hand over ownership; every shard worker clones its own copy, so nothing is left to give back"
+        reason = "callers hand over ownership; the engine keeps the parts inside the shared model set"
     )]
     pub fn from_parts(
         net: Mlp,
@@ -564,12 +809,31 @@ impl Engine {
                 wake: Condvar::new(),
             })
             .collect();
+        let incumbent = Arc::new(ModelParams {
+            net,
+            scale,
+            u_inf,
+            u_sup,
+        });
+        let drift = config
+            .drift
+            .map(|cfg| DriftDetector::new(cfg, &incumbent.u_inf, &incumbent.u_sup));
         let shared = Arc::new(Shared {
             shards,
             rr: AtomicUsize::new(0),
-            state_dim: net.input_dim(),
+            state_dim: incumbent.net.input_dim(),
             control_dim,
             queue_capacity,
+            models: Mutex::new(Arc::new(ModelSet {
+                epoch: 1,
+                incumbent,
+                canary: None,
+            })),
+            model_epoch: AtomicU64::new(1),
+            rollout: Mutex::new(RolloutLog::default()),
+            drift_enabled: drift.is_some(),
+            drift: Mutex::new(drift),
+            next_req_id: AtomicU64::new(INTERNAL_ID_BASE),
             tel,
         });
         let max_batch = config.max_batch.max(1);
@@ -577,10 +841,6 @@ impl Engine {
         let mut workers = Vec::with_capacity(n_shards);
         for shard_idx in 0..n_shards {
             let worker_shared = shared.clone();
-            let net = net.clone();
-            let scale = scale.clone();
-            let u_inf = u_inf.clone();
-            let u_sup = u_sup.clone();
             let fallback = fallback.clone();
             let worker = std::thread::Builder::new()
                 .name(format!("cocktail-serve-shard-{shard_idx}"))
@@ -588,11 +848,7 @@ impl Engine {
                     shard_worker(
                         &worker_shared,
                         shard_idx,
-                        &ShardParams {
-                            net,
-                            scale,
-                            u_inf,
-                            u_sup,
+                        &WorkerParams {
                             max_batch,
                             deadline,
                             fallback,
@@ -609,6 +865,178 @@ impl Engine {
     pub fn handle(&self) -> EngineHandle {
         EngineHandle {
             shared: self.shared.clone(),
+        }
+    }
+
+    /// Proposes `bundle` as a canary: the full admission gate runs here,
+    /// off the hot path, then the candidate installs at `cfg`'s traffic
+    /// split. Returns the new model epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`RolloutError::Refused`] when admission refuses the bundle,
+    /// [`RolloutError::Incompatible`] on a dimension mismatch with the
+    /// running engine, [`RolloutError::CanaryInFlight`] when a canary is
+    /// already installed.
+    pub fn propose(
+        &self,
+        bundle: ControllerBundle,
+        cfg: &RolloutConfig,
+    ) -> Result<u64, RolloutError> {
+        let admitted = admission::admit_candidate(
+            bundle,
+            self.shared.state_dim,
+            self.shared.control_dim,
+            &AdmissionConfig::default(),
+            self.shared.tel.as_ref(),
+        )
+        .map_err(RolloutError::Refused)?;
+        self.propose_admitted(&admitted, cfg)
+    }
+
+    /// Installs an already-admitted candidate as a canary (callers that
+    /// ran [`crate::admission::admit_with`] themselves). Returns the new
+    /// model epoch.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::propose`] (minus [`RolloutError::Refused`]).
+    pub fn propose_admitted(
+        &self,
+        admitted: &Admitted,
+        cfg: &RolloutConfig,
+    ) -> Result<u64, RolloutError> {
+        let (net, scale) = admitted
+            .bundle
+            .network()
+            .map_err(|e| RolloutError::Incompatible(e.to_string()))?;
+        self.propose_parts(
+            net.clone(),
+            scale.to_vec(),
+            admitted.bundle.u_inf.clone(),
+            admitted.bundle.u_sup.clone(),
+            cfg,
+        )
+    }
+
+    /// Installs candidate parts as a canary, bypassing admission. Exists
+    /// for the fault drills (poisoned candidates that admission would
+    /// refuse, to exercise auto-rollback); production callers go through
+    /// [`Self::propose`]. Returns the new model epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`RolloutError::Incompatible`] on a dimension mismatch,
+    /// [`RolloutError::CanaryInFlight`] when a canary is already
+    /// installed.
+    #[allow(
+        clippy::needless_pass_by_value,
+        reason = "the canary slot takes ownership of the parts"
+    )]
+    pub fn propose_parts(
+        &self,
+        net: Mlp,
+        scale: Vec<f64>,
+        u_inf: Vec<f64>,
+        u_sup: Vec<f64>,
+        cfg: &RolloutConfig,
+    ) -> Result<u64, RolloutError> {
+        let (sd, cd) = (self.shared.state_dim, self.shared.control_dim);
+        if net.input_dim() != sd
+            || net.output_dim() != cd
+            || scale.len() != cd
+            || u_inf.len() != cd
+            || u_sup.len() != cd
+        {
+            return Err(RolloutError::Incompatible(format!(
+                "candidate dimensions ({} -> {}, scale {}, clip {}/{}) != engine ({sd} -> {cd})",
+                net.input_dim(),
+                net.output_dim(),
+                scale.len(),
+                u_inf.len(),
+                u_sup.len()
+            )));
+        }
+        self.shared.install_candidate(
+            ModelParams {
+                net,
+                scale,
+                u_inf,
+                u_sup,
+            },
+            cfg,
+        )
+    }
+
+    /// Atomically makes the canary the incumbent on every shard (observed
+    /// at the next batch boundary). Returns the new model epoch; any
+    /// request submitted after this returns is served by the promoted
+    /// controller.
+    ///
+    /// # Errors
+    ///
+    /// [`RolloutError::NoCandidate`] when no canary is in flight.
+    pub fn promote(&self) -> Result<u64, RolloutError> {
+        self.shared.promote()
+    }
+
+    /// Drops the canary and restores incumbent-only serving, recording
+    /// `detail` (e.g. `"operator"`) in the rollout trail. Returns the new
+    /// model epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`RolloutError::NoCandidate`] when no canary is in flight.
+    pub fn rollback(&self, detail: &str) -> Result<u64, RolloutError> {
+        self.shared.rollback(detail)
+    }
+
+    /// Current model epoch (bumps on propose/promote/rollback).
+    pub fn model_epoch(&self) -> u64 {
+        self.shared.model_epoch.load(Ordering::Acquire)
+    }
+
+    /// Point-in-time rollout snapshot: epoch, canary state, and the
+    /// shadow-comparison counters/histogram.
+    pub fn rollout_status(&self) -> RolloutStatus {
+        let models = self.shared.current_models();
+        let log = self.shared.lock_rollout();
+        RolloutStatus {
+            epoch: models.epoch,
+            canary_active: models.canary.is_some(),
+            canary_fraction_permille: models
+                .canary
+                .as_ref()
+                .map_or(0, |slot| slot.fraction_permille),
+            canary_served: log.canary_served,
+            canary_shadowed: log.canary_shadowed,
+            nonfinite_canary_outputs: log.nonfinite_canary_outputs,
+            envelope_violations: log.envelope_violations,
+            divergence: log.divergence,
+        }
+    }
+
+    /// The structured rollout trail, oldest first.
+    pub fn rollout_events(&self) -> Vec<RolloutEvent> {
+        self.shared.lock_rollout().events.clone()
+    }
+
+    /// Every drift alarm raised so far, oldest first.
+    pub fn drift_reports(&self) -> Vec<DriftReport> {
+        self.shared.lock_rollout().drift_reports.clone()
+    }
+
+    /// Drops the drift detector's frozen baseline (call after an
+    /// *intentional* behavior change, e.g. a promote). No-op when drift
+    /// detection is off.
+    pub fn rebaseline_drift(&self) {
+        #[allow(
+            clippy::expect_used,
+            reason = "a poisoned drift mutex means a worker panic; propagating is correct"
+        )]
+        let mut guard = self.shared.drift.lock().expect("drift mutex poisoned");
+        if let Some(det) = guard.as_mut() {
+            det.rebaseline();
         }
     }
 
@@ -666,26 +1094,39 @@ impl Drop for Engine {
     }
 }
 
-/// Immutable per-shard worker parameters (one clone per shard).
-struct ShardParams {
-    net: Mlp,
-    scale: Vec<f64>,
-    u_inf: Vec<f64>,
-    u_sup: Vec<f64>,
+/// Immutable per-shard worker parameters (the models travel separately,
+/// through the epoch-versioned [`ModelSet`]).
+struct WorkerParams {
     max_batch: usize,
     deadline: Duration,
     fallback: Option<Arc<dyn Controller>>,
 }
 
+/// Where one batched request is served from.
+#[derive(Clone, Copy)]
+enum Route {
+    /// Row index into the incumbent sub-batch.
+    Incumbent(usize),
+    /// Row index into the canary sub-batch.
+    Canary(usize),
+}
+
 /// Per-shard reusable scratch. `inputs[k]`/`caches[k]` are the staging
 /// matrix and forward cache for batch-size class `k`; each class is
 /// allocated on first use and reused forever after, so a steady-state
-/// batch touches no allocator no matter how batch sizes fluctuate.
+/// batch touches no allocator no matter how batch sizes fluctuate. The
+/// canary path keeps its own size classes (`can_*`, plus the shadow
+/// caches the incumbent recomputes canary rows into).
 struct ShardScratch {
     batch: Vec<Request>,
     spent: Vec<Vec<f64>>,
+    route: Vec<Route>,
     inputs: Vec<Option<Matrix>>,
     caches: Vec<Option<BatchCache>>,
+    can_inputs: Vec<Option<Matrix>>,
+    can_caches: Vec<Option<BatchCache>>,
+    shadow_caches: Vec<Option<BatchCache>>,
+    divs: Vec<f64>,
     scaled: Vec<f64>,
 }
 
@@ -694,16 +1135,22 @@ impl ShardScratch {
         Self {
             batch: Vec::with_capacity(max_batch),
             spent: Vec::with_capacity(capacity + max_batch),
+            route: Vec::with_capacity(max_batch),
             inputs: (0..=max_batch).map(|_| None).collect(),
             caches: (0..=max_batch).map(|_| None).collect(),
+            can_inputs: (0..=max_batch).map(|_| None).collect(),
+            can_caches: (0..=max_batch).map(|_| None).collect(),
+            shadow_caches: (0..=max_batch).map(|_| None).collect(),
+            divs: Vec::with_capacity(max_batch),
             scaled: vec![0.0; control_dim],
         }
     }
 }
 
-fn shard_worker(shared: &Shared, shard_idx: usize, params: &ShardParams) {
+fn shard_worker(shared: &Shared, shard_idx: usize, params: &WorkerParams) {
     let tel = shared.tel.as_ref();
     let shard = &shared.shards[shard_idx];
+    let mut models = shared.current_models();
     let mut scratch =
         ShardScratch::new(params.max_batch, shared.control_dim, shared.queue_capacity);
     loop {
@@ -775,15 +1222,30 @@ fn shard_worker(shared: &Shared, shard_idx: usize, params: &ShardParams) {
         }
         drop(guard);
 
-        run_batch(tel, shard_idx, &mut scratch, params, depth);
+        // observe rollout transitions at the batch boundary: the shard
+        // mutex above synchronizes-with every submit, and transitions
+        // Release-store the epoch before returning — so a request
+        // submitted after promote() returns is never served by the old
+        // set. Re-cloning the Arc is a refcount bump, not an allocation.
+        if shared.model_epoch.load(Ordering::Acquire) != models.epoch {
+            models = shared.current_models();
+        }
+
+        run_batch(tel, shard_idx, &mut scratch, shared, &models, params, depth);
     }
 }
 
+#[allow(
+    clippy::too_many_lines,
+    reason = "the batch hot path stays one function so the borrow structure (disjoint scratch fields) is visible at once"
+)]
 fn run_batch(
     tel: &dyn Telemetry,
     shard_idx: usize,
     scratch: &mut ShardScratch,
-    params: &ShardParams,
+    shared: &Shared,
+    models: &ModelSet,
+    params: &WorkerParams,
     depth: usize,
 ) {
     let n = scratch.batch.len();
@@ -801,29 +1263,214 @@ fn run_batch(
         None
     };
 
-    // stage the batch into this size class's input matrix
-    let input = scratch.inputs[n].get_or_insert_with(|| Matrix::zeros(n, params.net.input_dim()));
-    for (r, req) in scratch.batch.iter().enumerate() {
-        input.row_mut(r).copy_from_slice(&req.state);
-    }
-    let cache = scratch.caches[n].get_or_insert_with(BatchCache::new);
-    // the network asserts its own activations are finite and panics
-    // otherwise; catch that so one poisoned batch degrades to the
-    // fallback expert instead of killing the shard worker
-    let forwarded = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        params.net.forward_batch_cached(input, cache);
-    }))
-    .is_ok();
+    let inc = models.incumbent.as_ref();
 
+    // ---- route each request: a pure function of its id, so the split is
+    // identical for any shard count and batch composition
+    scratch.route.clear();
+    let (mut n_inc, mut n_can) = (0usize, 0usize);
+    for req in &scratch.batch {
+        let to_canary = models
+            .canary
+            .as_ref()
+            .is_some_and(|slot| routes_to_canary(req.id, slot.fraction_permille));
+        if to_canary {
+            scratch.route.push(Route::Canary(n_can));
+            n_can += 1;
+        } else {
+            scratch.route.push(Route::Incumbent(n_inc));
+            n_inc += 1;
+        }
+    }
+
+    // ---- incumbent sub-batch
+    let inc_ok = if n_inc > 0 {
+        let input =
+            scratch.inputs[n_inc].get_or_insert_with(|| Matrix::zeros(n_inc, inc.net.input_dim()));
+        for (req, route) in scratch.batch.iter().zip(&scratch.route) {
+            if let Route::Incumbent(j) = route {
+                input.row_mut(*j).copy_from_slice(&req.state);
+            }
+        }
+        let cache = scratch.caches[n_inc].get_or_insert_with(BatchCache::new);
+        // the network asserts its own activations are finite and panics
+        // otherwise; catch that so one poisoned batch degrades to the
+        // fallback expert instead of killing the shard worker
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            inc.net.forward_batch_cached(input, cache);
+        }))
+        .is_ok()
+    } else {
+        true
+    };
+
+    // ---- canary sub-batch: candidate forward + incumbent shadow, then
+    // ALL guards, before any canary reply leaves the shard
+    let (mut can_ok, mut shadow_ok) = (true, true);
+    let mut trip: Option<&'static str> = None;
+    if n_can > 0 {
+        #[allow(
+            clippy::expect_used,
+            reason = "requests route to the canary only when a slot is installed"
+        )]
+        let slot = models.canary.as_ref().expect("canary routed without slot");
+        let can = slot.params.as_ref();
+        let input = scratch.can_inputs[n_can]
+            .get_or_insert_with(|| Matrix::zeros(n_can, can.net.input_dim()));
+        for (req, route) in scratch.batch.iter().zip(&scratch.route) {
+            if let Route::Canary(j) = route {
+                input.row_mut(*j).copy_from_slice(&req.state);
+            }
+        }
+        let can_cache = scratch.can_caches[n_can].get_or_insert_with(BatchCache::new);
+        can_ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            can.net.forward_batch_cached(input, can_cache);
+        }))
+        .is_ok();
+        // shadow: the incumbent recomputes the very same staged rows;
+        // batched ≡ per-sample by the engine invariant, so the shadow is
+        // bit-identical to what the incumbent would have served
+        let shadow_cache = scratch.shadow_caches[n_can].get_or_insert_with(BatchCache::new);
+        shadow_ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            inc.net.forward_batch_cached(input, shadow_cache);
+        }))
+        .is_ok();
+
+        // guard pass over the whole canary sub-batch
+        scratch.divs.clear();
+        let mut nonfinite = 0u64;
+        let mut env_rows = 0u64;
+        let mut max_finite_div = 0.0_f64;
+        for j in 0..n_can {
+            if !can_ok {
+                nonfinite += 1;
+                scratch.divs.push(f64::NAN);
+                continue;
+            }
+            let can_row = can_cache.output().row(j);
+            let mut row_finite = true;
+            let mut row_escaped = false;
+            let mut shadow_finite = shadow_ok;
+            let mut d = 0.0_f64;
+            for (i, &y) in can_row.iter().enumerate() {
+                let c = y * can.scale[i];
+                if !c.is_finite() {
+                    row_finite = false;
+                }
+                if c < can.u_inf[i] || c > can.u_sup[i] {
+                    row_escaped = true;
+                }
+                let cc = c.clamp(can.u_inf[i], can.u_sup[i]);
+                if shadow_ok {
+                    let s = shadow_cache.output().row(j)[i] * inc.scale[i];
+                    if s.is_finite() {
+                        let sc = s.clamp(inc.u_inf[i], inc.u_sup[i]);
+                        // NaN-proof: f64::max ignores a NaN |cc - sc|
+                        d = d.max((cc - sc).abs());
+                    } else {
+                        shadow_finite = false;
+                    }
+                }
+            }
+            if !row_finite {
+                nonfinite += 1;
+                d = f64::NAN;
+            } else {
+                if row_escaped {
+                    env_rows += 1;
+                }
+                if !shadow_finite {
+                    d = f64::NAN; // incumbent broke, not the candidate
+                } else {
+                    max_finite_div = max_finite_div.max(d);
+                }
+            }
+            scratch.divs.push(d);
+        }
+
+        // account + evaluate the budgets under the engine-wide log lock
+        {
+            let mut log = shared.lock_rollout();
+            log.canary_shadowed += n_can as u64;
+            log.nonfinite_canary_outputs += nonfinite;
+            log.envelope_violations += env_rows;
+            for d in &scratch.divs {
+                log.divergence.record(*d);
+            }
+            if !can_ok || nonfinite > 0 {
+                trip = Some("non-finite canary output");
+            } else if max_finite_div > slot.budget.max_divergence {
+                trip = Some("canary divergence budget exceeded");
+            } else if log.envelope_violations > slot.budget.max_envelope_violations {
+                trip = Some("canary envelope-violation budget exceeded");
+            } else {
+                log.canary_served += n_can as u64;
+            }
+        }
+        if let Some(reason) = trip {
+            shared.auto_rollback(models.epoch, reason);
+        }
+        tel.counter("serve.canary.requests", n_can as u64);
+    }
+
+    let can_params = models.canary.as_ref().map(|slot| slot.params.as_ref());
+
+    // drift: one lock per batch, only when a detector is configured
+    let mut drift_guard = if shared.drift_enabled {
+        #[allow(
+            clippy::expect_used,
+            reason = "a poisoned drift mutex means a worker panic; propagating is correct"
+        )]
+        let guard = shared.drift.lock().expect("drift mutex poisoned");
+        Some(guard)
+    } else {
+        None
+    };
+    let mut drift_hits: Vec<DriftReport> = Vec::new();
+
+    // ---- reply pass, in original batch order
     let mut fallbacks = 0u64;
     for (r, req) in scratch.batch.drain(..).enumerate() {
+        let (model, row): (&ModelParams, Option<&[f64]>) = match scratch.route[r] {
+            Route::Incumbent(j) => {
+                let row = if inc_ok {
+                    scratch.caches[n_inc].as_ref().map(|c| c.output().row(j))
+                } else {
+                    None
+                };
+                (inc, row)
+            }
+            Route::Canary(j) => {
+                if trip.is_some() {
+                    // a tripped batch is answered entirely from the
+                    // incumbent's shadow outputs: zero candidate
+                    // responses escape
+                    let row = if shadow_ok {
+                        scratch.shadow_caches[n_can]
+                            .as_ref()
+                            .map(|c| c.output().row(j))
+                    } else {
+                        None
+                    };
+                    (inc, row)
+                } else {
+                    let row = if can_ok {
+                        scratch.can_caches[n_can]
+                            .as_ref()
+                            .map(|c| c.output().row(j))
+                    } else {
+                        None
+                    };
+                    (can_params.unwrap_or(inc), row)
+                }
+            }
+        };
         // identical arithmetic to NnController::control followed by the
         // plant clip: y[i] * scale[i], then clamp — bit-for-bit what the
         // per-sample path produces
-        let mut finite = forwarded;
-        if forwarded {
-            let row = cache.output().row(r);
-            for ((dst, y), sc) in scratch.scaled.iter_mut().zip(row).zip(&params.scale) {
+        let mut finite = row.is_some();
+        if let Some(row) = row {
+            for ((dst, y), sc) in scratch.scaled.iter_mut().zip(row).zip(&model.scale) {
                 *dst = y * sc;
                 finite &= dst.is_finite();
             }
@@ -832,8 +1479,8 @@ fn run_batch(
             for ((v, lo), hi) in scratch
                 .scaled
                 .iter_mut()
-                .zip(&params.u_inf)
-                .zip(&params.u_sup)
+                .zip(&model.u_inf)
+                .zip(&model.u_sup)
             {
                 // same clamp as cocktail_math::vector::clip
                 *v = v.clamp(*lo, *hi);
@@ -847,8 +1494,8 @@ fn run_batch(
                     .scaled
                     .iter_mut()
                     .zip(&u)
-                    .zip(&params.u_inf)
-                    .zip(&params.u_sup)
+                    .zip(&model.u_inf)
+                    .zip(&model.u_sup)
                 {
                     *dst = v.clamp(*lo, *hi);
                 }
@@ -859,6 +1506,13 @@ fn run_batch(
         } else {
             Err(ServeError::NonFiniteOutput)
         };
+        if let Some(det) = drift_guard.as_mut().and_then(|g| g.as_mut()) {
+            if let Ok((control, _)) = &outcome {
+                if let Some(report) = det.observe_row(control) {
+                    drift_hits.push(report);
+                }
+            }
+        }
         match req.reply {
             Reply::Channel(tx) => {
                 let response = outcome.map(|(control, served_by_fallback)| ControlResponse {
@@ -877,6 +1531,31 @@ fn run_batch(
             }
         }
         scratch.spent.push(req.state);
+    }
+    drop(drift_guard);
+
+    // drift alarms: rare, off the per-request path
+    for report in drift_hits {
+        if tel.enabled() {
+            tel.record(
+                Event::point("serve.drift")
+                    .with("dim", report.dim)
+                    .with("distance", report.distance)
+                    .with("threshold", report.threshold)
+                    .with("epoch", models.epoch),
+            );
+        }
+        tel.counter("serve.drift.alarms", 1);
+        let mut log = shared.lock_rollout();
+        log.events.push(RolloutEvent {
+            epoch: models.epoch,
+            action: RolloutAction::Drift,
+            detail: format!(
+                "served-output drift on dim {}: total-variation {:.4} > {:.4}",
+                report.dim, report.distance, report.threshold
+            ),
+        });
+        log.drift_reports.push(report);
     }
 
     tel.observe("serve.batch_size", n as f64);
@@ -1129,5 +1808,67 @@ mod tests {
             assert!(t.wait().is_ok(), "queued work drains on shutdown");
         }
         assert_eq!(h.submit(&[0.0, 0.0]).err(), Some(ServeError::Shutdown));
+    }
+
+    #[test]
+    fn promote_without_a_candidate_is_refused() {
+        let engine = engine_with(EngineConfig::default());
+        assert!(matches!(engine.promote(), Err(RolloutError::NoCandidate)));
+        assert!(matches!(
+            engine.rollback("operator"),
+            Err(RolloutError::NoCandidate)
+        ));
+        assert_eq!(engine.model_epoch(), 1);
+    }
+
+    #[test]
+    fn propose_rejects_incompatible_dimensions() {
+        let engine = engine_with(EngineConfig::default());
+        let wrong = MlpBuilder::new(3)
+            .hidden(4, Activation::Tanh)
+            .output(1, Activation::Identity)
+            .seed(9)
+            .build();
+        let err = engine
+            .propose_parts(
+                wrong,
+                vec![1.0],
+                vec![-5.0],
+                vec![5.0],
+                &RolloutConfig::default(),
+            )
+            .expect_err("3-input candidate on a 2-input engine");
+        assert!(matches!(err, RolloutError::Incompatible(_)), "{err}");
+    }
+
+    #[test]
+    fn second_propose_requires_promote_or_rollback_first() {
+        let engine = engine_with(EngineConfig::default());
+        let candidate = || {
+            MlpBuilder::new(2)
+                .hidden(6, Activation::Tanh)
+                .output(1, Activation::Identity)
+                .seed(77)
+                .build()
+        };
+        let cfg = RolloutConfig::default();
+        let epoch = engine
+            .propose_parts(candidate(), vec![2.0], vec![-5.0], vec![5.0], &cfg)
+            .expect("first propose installs");
+        assert_eq!(epoch, 2);
+        let err = engine
+            .propose_parts(candidate(), vec![2.0], vec![-5.0], vec![5.0], &cfg)
+            .expect_err("second propose refused");
+        assert!(matches!(err, RolloutError::CanaryInFlight), "{err}");
+        assert_eq!(engine.rollback("operator").expect("rollback"), 3);
+        let status = engine.rollout_status();
+        assert!(!status.canary_active);
+        assert_eq!(status.epoch, 3);
+        let actions: Vec<RolloutAction> =
+            engine.rollout_events().iter().map(|e| e.action).collect();
+        assert_eq!(
+            actions,
+            vec![RolloutAction::Proposed, RolloutAction::RolledBack]
+        );
     }
 }

@@ -29,6 +29,13 @@
 //!    doubles as the correctness oracle — every served output is checked
 //!    bit-for-bit against the per-sample reference path, on both wire
 //!    formats, with p50/p99/p999 latency accounting.
+//! 6. **Rollout** ([`rollout`], [`replay`]): fleet operations — a
+//!    propose/canary/promote/rollback state machine over an
+//!    epoch-versioned model set, deterministic canary routing by request
+//!    id, shadow comparison with divergence histograms and auto-rollback
+//!    budgets, a served-output drift detector feeding the supervisor's
+//!    retraining loop, and offline shadow replay of recorded request
+//!    streams.
 //!
 //! The crate is std-only, like the rest of the workspace.
 
@@ -38,15 +45,28 @@ pub mod engine;
 pub mod loadgen;
 #[cfg(target_os = "linux")]
 pub mod reactor;
+pub mod replay;
+pub mod rollout;
 pub mod transport;
 pub mod wire;
 
-pub use admission::{admit, admit_with, AdmissionConfig, AdmissionError, Admitted};
+pub use admission::{
+    admit, admit_candidate, admit_with, AdmissionConfig, AdmissionError, Admitted,
+};
 pub use bundle::{BundleError, ControllerBundle, Provenance, BUNDLE_VERSION};
 pub use engine::{
     ControlResponse, Engine, EngineConfig, EngineHandle, Outbox, PinnedHandle, ServeError, Ticket,
 };
 pub use loadgen::{LoadGenConfig, LoadReport, WireProtocol};
 #[cfg(target_os = "linux")]
-pub use reactor::ReactorServer;
-pub use transport::{BinaryTcpClient, ControlClient, Server, TcpClient};
+pub use reactor::{ReactorConfig, ReactorServer};
+pub use replay::{
+    decode_state_bits, encode_state_bits, load_recorded, requests_of_events, shadow_replay,
+    RecordedRequest, ReplayReport,
+};
+pub use rollout::{
+    routes_to_canary, total_variation, DivergenceHistogram, DriftConfig, DriftDetector,
+    DriftReport, RolloutAction, RolloutBudget, RolloutConfig, RolloutError, RolloutEvent,
+    RolloutStatus,
+};
+pub use transport::{BinaryTcpClient, ClientConfig, ControlClient, Server, TcpClient};

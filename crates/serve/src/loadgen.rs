@@ -66,6 +66,9 @@ pub struct LoadReport {
     pub mismatches: usize,
     /// Other errors (transport, bad request, shutdown).
     pub errors: usize,
+    /// Times drill connections re-established a dropped connection
+    /// (recoverable, so not part of [`LoadReport::is_clean`]).
+    pub reconnects: u64,
     /// Median per-request latency in microseconds.
     pub p50_latency_us: f64,
     /// 99th-percentile per-request latency in microseconds.
@@ -183,6 +186,7 @@ where
         fallbacks: usize,
         mismatches: usize,
         errors: usize,
+        reconnects: u64,
         latencies_us: Vec<f64>,
     }
 
@@ -200,6 +204,7 @@ where
                         fallbacks: 0,
                         mismatches: 0,
                         errors: 0,
+                        reconnects: 0,
                         latencies_us: Vec::new(),
                     };
                     let Ok(mut client) = make_client(c) else {
@@ -225,6 +230,7 @@ where
                             Err(_) => tally.errors += 1,
                         }
                     }
+                    tally.reconnects = client.reconnects();
                     tally
                 })
             })
@@ -239,6 +245,7 @@ where
                     fallbacks: 0,
                     mismatches: 0,
                     errors: 0,
+                    reconnects: 0,
                     latencies_us: Vec::new(),
                 },
             })
@@ -259,6 +266,7 @@ where
         fallbacks: tallies.iter().map(|t| t.fallbacks).sum(),
         mismatches: tallies.iter().map(|t| t.mismatches).sum(),
         errors: tallies.iter().map(|t| t.errors).sum(),
+        reconnects: tallies.iter().map(|t| t.reconnects).sum(),
         p50_latency_us: percentile(&latencies, 0.50),
         p99_latency_us: percentile(&latencies, 0.99),
         p999_latency_us: percentile(&latencies, 0.999),

@@ -29,6 +29,28 @@ use std::os::unix::io::{AsRawFd, FromRawFd, RawFd};
 use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Abuse-hardening knobs for the reactor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReactorConfig {
+    /// Close connections with no inbound bytes for this long (`None`:
+    /// never). Swept at the event-loop tick granularity (~250 ms).
+    pub idle_timeout: Option<Duration>,
+    /// Close (with a malformed-frame reply) any connection whose buffered
+    /// inbound bytes exceed this after frame processing — a frame larger
+    /// than this can never complete, so holding more is pure abuse.
+    pub max_buffered_bytes: usize,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        Self {
+            idle_timeout: Some(Duration::from_secs(60)),
+            max_buffered_bytes: MAX_FRAME_BYTES as usize + 4,
+        }
+    }
+}
 
 const EPOLLIN: u32 = 0x001;
 const EPOLLOUT: u32 = 0x004;
@@ -158,6 +180,12 @@ struct Conn {
     wpos: usize,
     want_write: bool,
     state_scratch: Vec<f64>,
+    /// When inbound bytes last arrived; the idle sweep keys off this.
+    last_activity: Instant,
+    /// Set when a framing violation was answered with a status-coded
+    /// goodbye: the connection closes once the goodbye is flushed and
+    /// reads no further frames.
+    closing: bool,
 }
 
 /// The reactor's JSON rendering of a wire status — compatible with the
@@ -184,12 +212,26 @@ pub struct ReactorServer {
 }
 
 impl ReactorServer {
-    /// Binds `addr` (port 0 for ephemeral) and starts the event loop.
+    /// Binds `addr` (port 0 for ephemeral) and starts the event loop with
+    /// [`ReactorConfig::default`].
     ///
     /// # Errors
     ///
     /// Propagates bind, epoll-setup, and spawn failures.
     pub fn bind<A: ToSocketAddrs>(addr: A, handle: EngineHandle) -> io::Result<Self> {
+        Self::bind_with(addr, handle, ReactorConfig::default())
+    }
+
+    /// Binds with explicit hardening knobs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind, epoll-setup, and spawn failures.
+    pub fn bind_with<A: ToSocketAddrs>(
+        addr: A,
+        handle: EngineHandle,
+        config: ReactorConfig,
+    ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -206,7 +248,9 @@ impl ReactorServer {
         let thread = std::thread::Builder::new()
             .name("cocktail-serve-reactor".into())
             .spawn(move || {
-                reactor_loop(&epoll, &listener, &wake_rx, &loop_wake, &handle, &loop_stop);
+                reactor_loop(
+                    &epoll, &listener, &wake_rx, &loop_wake, &handle, &loop_stop, &config,
+                );
             })?;
         Ok(Self {
             addr,
@@ -252,6 +296,7 @@ fn reactor_loop(
     wake_tx: &Arc<UnixStream>,
     handle: &EngineHandle,
     stop: &AtomicBool,
+    config: &ReactorConfig,
 ) {
     let mut conns: HashMap<u64, Conn> = HashMap::new();
     let dirty: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
@@ -315,6 +360,8 @@ fn reactor_loop(
                                     wpos: 0,
                                     want_write: false,
                                     state_scratch: Vec::with_capacity(handle.state_dim()),
+                                    last_activity: Instant::now(),
+                                    closing: false,
                                 },
                             );
                         }
@@ -339,7 +386,9 @@ fn reactor_loop(
                     dirty_tokens.dedup();
                     for &t in &dirty_tokens {
                         if let Some(conn) = conns.get_mut(&t) {
-                            let alive = drain_outbox(conn, &mut recs) && flush(epoll, conn, t);
+                            let alive = drain_outbox(conn, &mut recs)
+                                && flush(epoll, conn, t)
+                                && !(conn.closing && conn.wbuf.is_empty());
                             if !alive {
                                 closed.push(t);
                             }
@@ -352,15 +401,26 @@ fn reactor_loop(
                     };
                     let mut alive = bits & (EPOLLERR | EPOLLHUP) == 0;
                     if alive && bits & EPOLLIN != 0 {
-                        alive = read_ready(conn, &mut chunk);
+                        alive = read_ready(conn, &mut chunk, config);
                         alive = alive && drain_outbox(conn, &mut recs);
                     }
                     if alive {
                         alive = flush(epoll, conn, token);
                     }
+                    if alive && conn.closing && conn.wbuf.is_empty() {
+                        alive = false; // goodbye flushed: close
+                    }
                     if !alive {
                         closed.push(token);
                     }
+                }
+            }
+        }
+        if let Some(idle) = config.idle_timeout {
+            let now = Instant::now();
+            for (&t, conn) in &conns {
+                if now.duration_since(conn.last_activity) > idle {
+                    closed.push(t);
                 }
             }
         }
@@ -372,17 +432,58 @@ fn reactor_loop(
     }
 }
 
+/// Appends a status-coded malformed-frame goodbye to the write buffer (in
+/// the connection's own protocol) and flags the connection to close once
+/// it is flushed. Frames already buffered are abandoned: a byte stream
+/// cannot resynchronise after a framing violation.
+fn refuse_malformed(conn: &mut Conn, detail: &str) {
+    conn.closing = true;
+    match conn.proto {
+        Proto::Binary => wire::encode_response_into(
+            &ResponseRec::err(0, wire::STATUS_MALFORMED_FRAME),
+            &mut conn.wbuf,
+        ),
+        Proto::Json | Proto::Pending => {
+            let resp = JsonResponse {
+                id: 0,
+                control: Vec::new(),
+                fallback: false,
+                error: format!("malformed frame: {detail}"),
+            };
+            if let Ok(encoded) = serde_json::to_string(&resp) {
+                #[allow(
+                    clippy::cast_possible_truncation,
+                    reason = "an error response is far below 4 GiB"
+                )]
+                let len = (encoded.len() as u32).to_be_bytes();
+                conn.wbuf.extend_from_slice(&len);
+                conn.wbuf.extend_from_slice(encoded.as_bytes());
+            }
+        }
+    }
+}
+
 /// Reads everything available and submits every complete frame. Returns
 /// `false` when the connection must close.
-fn read_ready(conn: &mut Conn, chunk: &mut [u8]) -> bool {
+fn read_ready(conn: &mut Conn, chunk: &mut [u8], config: &ReactorConfig) -> bool {
     loop {
         match conn.stream.read(chunk) {
             Ok(0) => return false, // orderly hangup
-            Ok(n) => conn.rbuf.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                conn.last_activity = Instant::now();
+                if !conn.closing {
+                    conn.rbuf.extend_from_slice(&chunk[..n]);
+                }
+                // while closing, inbound bytes are read and discarded:
+                // only the goodbye flush matters now
+            }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(_) => return false,
         }
+    }
+    if conn.closing {
+        return true;
     }
     if conn.proto == Proto::Pending && !conn.rbuf.is_empty() {
         if conn.rbuf[0] == WIRE_HELLO {
@@ -394,13 +495,25 @@ fn read_ready(conn: &mut Conn, chunk: &mut [u8]) -> bool {
         }
     }
     match conn.proto {
-        Proto::Pending => true,
+        Proto::Pending => {}
         Proto::Binary => process_binary(conn),
         Proto::Json => process_json(conn),
     }
+    // whatever survived frame processing is a partial frame; one that
+    // outgrew the cap can never complete within it
+    if !conn.closing && conn.rbuf.len() > config.max_buffered_bytes {
+        refuse_malformed(
+            conn,
+            &format!(
+                "inbound buffer exceeds the {}-byte cap",
+                config.max_buffered_bytes
+            ),
+        );
+    }
+    true
 }
 
-fn process_binary(conn: &mut Conn) -> bool {
+fn process_binary(conn: &mut Conn) {
     let mut consumed = 0usize;
     loop {
         match wire::decode_request(&conn.rbuf[consumed..], &mut conn.state_scratch) {
@@ -417,17 +530,20 @@ fn process_binary(conn: &mut Conn) -> bool {
                 }
             }
             Ok(None) => break,
-            Err(_) => return false, // framing violation: drop the conn
+            Err(e) => {
+                // framing violation: status-coded goodbye, then close
+                refuse_malformed(conn, &e.to_string());
+                return;
+            }
         }
     }
     if consumed > 0 {
         conn.rbuf.copy_within(consumed.., 0);
         conn.rbuf.truncate(conn.rbuf.len() - consumed);
     }
-    true
 }
 
-fn process_json(conn: &mut Conn) -> bool {
+fn process_json(conn: &mut Conn) {
     let mut consumed = 0usize;
     loop {
         let rest = &conn.rbuf[consumed..];
@@ -436,7 +552,11 @@ fn process_json(conn: &mut Conn) -> bool {
         }
         let len = u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]);
         if len > MAX_FRAME_BYTES {
-            return false;
+            refuse_malformed(
+                conn,
+                &format!("length {len} exceeds the {MAX_FRAME_BYTES}-byte limit"),
+            );
+            return;
         }
         let total = 4 + len as usize;
         if rest.len() < total {
@@ -469,7 +589,6 @@ fn process_json(conn: &mut Conn) -> bool {
         conn.rbuf.copy_within(consumed.., 0);
         conn.rbuf.truncate(conn.rbuf.len() - consumed);
     }
-    true
 }
 
 /// Moves every queued outbox record into the connection's write buffer in
@@ -598,6 +717,100 @@ mod tests {
             // the connection survives a refused request
             assert!(client.control(&[0.1, 0.1]).is_ok());
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_are_swept() {
+        let engine = test_engine(1);
+        let server = ReactorServer::bind_with(
+            "127.0.0.1:0",
+            engine.handle(),
+            ReactorConfig {
+                idle_timeout: Some(Duration::from_millis(100)),
+                ..ReactorConfig::default()
+            },
+        )
+        .expect("bind");
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect raw");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        // never send a byte: the sweep must hang up on us
+        let mut buf = [0u8; 1];
+        let n = stream.read(&mut buf).expect("EOF, not a timeout");
+        assert_eq!(n, 0, "idle connection swept");
+        // the server still accepts and serves fresh traffic
+        let mut client = BinaryTcpClient::connect(server.local_addr()).expect("connect");
+        assert!(client.control(&[0.1, 0.1]).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn reactor_answers_malformed_binary_with_a_status_then_closes() {
+        let engine = test_engine(1);
+        let server = ReactorServer::bind("127.0.0.1:0", engine.handle()).expect("bind");
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect raw");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        stream.write_all(&[WIRE_HELLO]).expect("hello");
+        stream.write_all(&[0x7F; 18]).expect("garbage");
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 256];
+        let mut rec = ResponseRec::err(0, wire::STATUS_OK);
+        loop {
+            match wire::decode_response(&buf, &mut rec).expect("client-side decode") {
+                Some(_) => break,
+                None => {
+                    let n = stream.read(&mut chunk).expect("read reply");
+                    assert!(n > 0, "server closed without a status reply");
+                    buf.extend_from_slice(&chunk[..n]);
+                }
+            }
+        }
+        assert_eq!((rec.id, rec.status), (0, wire::STATUS_MALFORMED_FRAME));
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).expect("drain to EOF");
+        assert!(rest.is_empty(), "connection closes after the goodbye");
+        // the reactor itself is unharmed
+        let mut client = BinaryTcpClient::connect(server.local_addr()).expect("connect");
+        assert!(client.control(&[0.1, 0.1]).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn over_cap_inbound_buffers_are_refused() {
+        let engine = test_engine(1);
+        let server = ReactorServer::bind_with(
+            "127.0.0.1:0",
+            engine.handle(),
+            ReactorConfig {
+                idle_timeout: None,
+                max_buffered_bytes: 256,
+            },
+        )
+        .expect("bind");
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect raw");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        // declare a (legal) 64 KiB JSON frame, then trickle a body that
+        // overruns the configured buffer cap long before completing
+        stream
+            .write_all(&65536u32.to_be_bytes())
+            .expect("length prefix");
+        stream.write_all(&[b'x'; 1024]).expect("filler");
+        stream.flush().expect("flush");
+        let mut len_buf = [0u8; 4];
+        stream.read_exact(&mut len_buf).expect("goodbye length");
+        let mut body = vec![0u8; u32::from_be_bytes(len_buf) as usize];
+        stream.read_exact(&mut body).expect("goodbye body");
+        let text = std::str::from_utf8(&body).expect("UTF-8 goodbye");
+        assert!(text.contains("malformed frame"), "got: {text}");
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).expect("drain to EOF");
+        assert!(rest.is_empty(), "connection closes after the goodbye");
         server.shutdown();
     }
 

@@ -56,6 +56,11 @@ pub const STATUS_BAD_REQUEST: u8 = 3;
 pub const STATUS_NON_FINITE: u8 = 4;
 /// `status`: the engine shut down before answering.
 pub const STATUS_SHUTDOWN: u8 = 5;
+/// `status`: the connection sent an unparseable frame (bad tag, over-limit
+/// dimension, oversized length prefix). Servers answer with this code and
+/// then close — byte streams cannot resynchronise after a malformed fixed
+/// frame — so the client learns *why* instead of seeing a bare hangup.
+pub const STATUS_MALFORMED_FRAME: u8 = 6;
 
 const REQUEST_HEADER: usize = 1 + 8 + 1;
 const RESPONSE_HEADER: usize = 1 + 8 + 1 + 1;
@@ -163,6 +168,9 @@ pub fn error_of_status(status: u8) -> Option<ServeError> {
         STATUS_SHUTDOWN => Some(ServeError::Shutdown),
         STATUS_BAD_REQUEST => Some(ServeError::BadRequest(
             "request refused by the server".to_string(),
+        )),
+        STATUS_MALFORMED_FRAME => Some(ServeError::BadRequest(
+            "server reported a malformed frame and closed the connection".to_string(),
         )),
         other => Some(ServeError::BadRequest(format!(
             "unknown wire status {other}"

@@ -66,6 +66,7 @@ fn batched_outputs_are_bit_identical_across_schedules() {
                 queue_capacity: 256,
                 start_paused: true,
                 shards: 1,
+                ..EngineConfig::default()
             },
             None,
             Arc::new(NullSink),

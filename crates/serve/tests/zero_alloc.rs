@@ -16,7 +16,7 @@
 
 use cocktail_nn::{Activation, MlpBuilder};
 use cocktail_obs::NullSink;
-use cocktail_serve::{Engine, EngineConfig, Outbox};
+use cocktail_serve::{Engine, EngineConfig, Outbox, RolloutBudget, RolloutConfig};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -130,6 +130,19 @@ fn steady_state_batch_loop_is_allocation_free_on_the_outbox_path() {
         }
     };
 
+    let report = |phase: &str| {
+        let allocations = ALLOCATIONS.load(Ordering::SeqCst);
+        let sizes: Vec<u64> = SIZES
+            .iter()
+            .map(|s| s.load(Ordering::SeqCst))
+            .take(allocations.min(16) as usize)
+            .collect();
+        assert_eq!(
+            allocations, 0,
+            "{phase} must not allocate (counted {allocations} allocations across {REQUESTS} requests; first sizes: {sizes:?})"
+        );
+    };
+
     // warm-up rounds: grow the shard's pooled state buffers, the
     // size-class batch scratch, the outbox ring, and the OS thread's
     // parking machinery
@@ -138,15 +151,40 @@ fn steady_state_batch_loop_is_allocation_free_on_the_outbox_path() {
     }
     // measured round: a full submit → serve → drain cycle
     round(true, REQUESTS);
+    report("steady-state batch loop");
 
-    let allocations = ALLOCATIONS.load(Ordering::SeqCst);
-    let sizes: Vec<u64> = SIZES
-        .iter()
-        .map(|s| s.load(Ordering::SeqCst))
-        .take(allocations.min(16) as usize)
-        .collect();
-    assert_eq!(
-        allocations, 0,
-        "steady-state batch loop must not allocate (counted {allocations} allocations across {REQUESTS} requests; first sizes: {sizes:?})"
-    );
+    // a canary in flight adds routing, the candidate forward pass, and
+    // the incumbent shadow comparison to every batch — all of which must
+    // run out of the same pooled scratch. The propose itself is control
+    // plane (uncounted); the serving rounds are the claim.
+    let candidate = MlpBuilder::new(2)
+        .hidden(8, Activation::Tanh)
+        .output(1, Activation::Tanh)
+        .seed(29)
+        .build();
+    engine
+        .propose_parts(
+            candidate,
+            vec![20.0],
+            vec![-20.0],
+            vec![20.0],
+            &RolloutConfig {
+                fraction_permille: 500,
+                budget: RolloutBudget::default(),
+            },
+        )
+        .expect("candidate installs");
+    for _ in 0..3 {
+        round(false, WARM_REQUESTS);
+    }
+    round(true, REQUESTS);
+    report("canary shadow round");
+
+    // promote on the control plane, then measure the FIRST post-swap
+    // round with no intervening warm-up: the worker observes the epoch
+    // swap at the counted round's first batch boundary (a refcount
+    // bump), so the measurement spans the swap itself.
+    engine.promote().expect("canary promotes");
+    round(true, REQUESTS);
+    report("first round across the promote swap");
 }
