@@ -1,5 +1,5 @@
 //! Perf harness: measures the batched/parallel kernels plus the serving
-//! runtime and writes the machine-readable baseline (`BENCH_pr7.json`).
+//! runtime and writes the machine-readable baseline (`BENCH_pr9.json`).
 //!
 //! ```text
 //! cargo run --release -p cocktail-bench --bin perf [-- <output-path>]
@@ -24,7 +24,7 @@ fn fmt(m: Measurement) -> String {
 fn main() {
     let out = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_pr7.json".to_string());
+        .unwrap_or_else(|| "BENCH_pr9.json".to_string());
     let fast = std::env::var("COCKTAIL_FAST").is_ok_and(|v| v == "1");
     let config = if fast {
         PerfConfig::fast()
@@ -52,6 +52,13 @@ fn main() {
         fmt(report.forward.per_sample_samples_per_sec),
         fmt(report.forward.batched_samples_per_sec),
         report.forward.speedup
+    );
+    println!(
+        "forward  {:>18} samples/s fast-tanh ({:.2}x) | {:>18} samples/s f32 ({:.2}x)",
+        fmt(report.forward.fast_tanh_samples_per_sec),
+        report.forward.fast_tanh_speedup,
+        fmt(report.forward.f32_samples_per_sec),
+        report.forward.f32_speedup
     );
     println!(
         "train    {:>18} samples/s per-sample | {:>18} samples/s batched ({:.2}x)",

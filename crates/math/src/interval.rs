@@ -3,14 +3,75 @@
 //! These types carry the over-approximation semantics of the verification
 //! crate: every operation on [`Interval`] returns an interval that contains
 //! the exact image of the operands, so any property proved on the intervals
-//! holds for all concrete values inside them. We do not chase directed
-//! rounding — the dynamics and controllers of the Cocktail systems are far
-//! from the 1-ulp regime, and the Bernstein error bound already dominates —
-//! but the algebraic containment invariants are exact and property-tested.
+//! holds for all concrete values inside them.
+//!
+//! # Rounding discipline
+//!
+//! The transcendental images ([`Interval::tanh`], [`Interval::sigmoid`],
+//! [`Interval::sin`], [`Interval::cos`]) are computed with **outward
+//! rounding**: the endpoint images produced by `libm` are round-to-nearest
+//! and may sit on the wrong side of the true value by up to an ulp (more
+//! for composed expressions like the sigmoid), so each endpoint is widened
+//! outward by a small, documented ulp budget and then intersected with the
+//! function's true codomain. Any point image therefore lies inside the
+//! returned interval — the property the certification code downstream
+//! (activation bounds, the analysis range pass, `crates/verify`, the serve
+//! fast-tier error certificates) relies on.
+//!
+//! The *algebraic* ops (`+`, `-`, `*`, `/`, [`Interval::square`],
+//! [`Interval::powi`]) remain round-to-nearest: their endpoint arithmetic
+//! is a single correctly-rounded operation whose 0.5-ulp slack is absorbed
+//! by callers that need hard guarantees via [`Interval::inflate`] (the
+//! fast-tanh certifier does exactly this). The containment invariants of
+//! both families are property-tested with random points that must never
+//! escape.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Outward-rounding budget (in ulps) for single-call transcendentals
+/// (`tanh`, `sin`, `cos`): `libm` is faithfully rounded (< 1 ulp), so two
+/// ulps of slack strictly covers the true value on both sides, including
+/// the quadratically-small error of evaluating at an approximated extremum
+/// abscissa (`sin`/`cos` interior extrema at `π/2 + kπ`).
+const TRANS_ULPS: u32 = 2;
+
+/// Outward-rounding budget for the sigmoid `1 / (1 + e^{-x})`: the
+/// composed expression accumulates one < 1-ulp `exp`, one 0.5-ulp add and
+/// one 0.5-ulp divide — under 2.5 ulps relative in total — so four ulps
+/// strictly covers it. The underflow tails are covered too: for `x ≪ 0`
+/// the computed value is exactly `0.0` while the true value is a positive
+/// denormal-or-smaller, and one `next_up` step (to `5e-324`) already
+/// bounds it from above; symmetrically at `x ≫ 0`.
+const SIGMOID_ULPS: u32 = 4;
+
+/// Steps `x` toward `-∞` by `ulps` representable values.
+fn steps_down(mut x: f64, ulps: u32) -> f64 {
+    for _ in 0..ulps {
+        x = x.next_down();
+    }
+    x
+}
+
+/// Steps `x` toward `+∞` by `ulps` representable values.
+fn steps_up(mut x: f64, ulps: u32) -> f64 {
+    for _ in 0..ulps {
+        x = x.next_up();
+    }
+    x
+}
+
+/// Builds `[lo, hi]` widened outward by `ulps` steps and intersected with
+/// the true codomain `[dom_lo, dom_hi]` — sound because the exact image is
+/// a subset of the codomain, so clipping the widened bounds back to it
+/// never excludes an attainable value.
+fn outward(lo: f64, hi: f64, ulps: u32, dom_lo: f64, dom_hi: f64) -> Interval {
+    Interval::new(
+        steps_down(lo, ulps).clamp(dom_lo, dom_hi),
+        steps_up(hi, ulps).clamp(dom_lo, dom_hi),
+    )
+}
 
 /// A closed interval `[lo, hi]` of `f64`.
 ///
@@ -148,7 +209,8 @@ impl Interval {
         Interval::new(self.lo.powi(n as i32), self.hi.powi(n as i32))
     }
 
-    /// Interval image of `sin x` (sound; tight up to quadrant analysis).
+    /// Interval image of `sin x` (sound, outwardly rounded; tight up to
+    /// quadrant analysis).
     pub fn sin(&self) -> Interval {
         if self.width() >= 2.0 * std::f64::consts::PI {
             return Interval::new(-1.0, 1.0);
@@ -163,25 +225,63 @@ impl Interval {
             lo = lo.min(x.sin());
             hi = hi.max(x.sin());
         }
-        Interval::new(lo, hi)
+        // An extremum that the rounded k-range just misses sits within a
+        // few ulps of an endpoint, so the endpoint image is within O(ulp²)
+        // of ±1 — strictly inside the outward widening below.
+        outward(lo, hi, TRANS_ULPS, -1.0, 1.0)
     }
 
-    /// Interval image of `cos x`.
+    /// Interval image of `cos x` (sound, outwardly rounded).
+    ///
+    /// Implemented directly — not as `sin(x + π/2)` — so large arguments
+    /// don't pick up an unaccounted rounding of the shifted endpoint.
     pub fn cos(&self) -> Interval {
-        (*self + Interval::point(std::f64::consts::FRAC_PI_2)).sin()
+        if self.width() >= 2.0 * std::f64::consts::PI {
+            return Interval::new(-1.0, 1.0);
+        }
+        let mut lo = self.lo.cos().min(self.hi.cos());
+        let mut hi = self.lo.cos().max(self.hi.cos());
+        // include interior extrema at kπ
+        let k_min = (self.lo / std::f64::consts::PI).ceil() as i64;
+        let k_max = (self.hi / std::f64::consts::PI).floor() as i64;
+        for k in k_min..=k_max {
+            let x = k as f64 * std::f64::consts::PI;
+            lo = lo.min(x.cos());
+            hi = hi.max(x.cos());
+        }
+        outward(lo, hi, TRANS_ULPS, -1.0, 1.0)
     }
 
-    /// Interval image of `tanh x` (monotone).
+    /// Interval image of `tanh x` (monotone; sound, outwardly rounded).
     pub fn tanh(&self) -> Interval {
-        Interval::new(self.lo.tanh(), self.hi.tanh())
+        outward(self.lo.tanh(), self.hi.tanh(), TRANS_ULPS, -1.0, 1.0)
     }
 
-    /// Interval image of the logistic sigmoid (monotone).
+    /// Interval image of the logistic sigmoid (monotone; sound, outwardly
+    /// rounded).
+    ///
+    /// Large-magnitude arguments are covered: at `x ≪ 0` the `(-x).exp()`
+    /// term overflows to `+∞` and the computed quotient collapses to
+    /// `0.0`, *below* the true (positive) value — the `next_up` widening
+    /// of the upper endpoint restores soundness, and the codomain clamp
+    /// keeps the lower endpoint at `0.0` instead of a negative ulp.
     pub fn sigmoid(&self) -> Interval {
         fn s(x: f64) -> f64 {
             1.0 / (1.0 + (-x).exp())
         }
-        Interval::new(s(self.lo), s(self.hi))
+        outward(s(self.lo), s(self.hi), SIGMOID_ULPS, 0.0, 1.0)
+    }
+
+    /// Builds `[lo, hi]` widened outward by `ulps` representable steps per
+    /// endpoint — the building block for callers (e.g. activation images in
+    /// `cocktail-nn`) that compute endpoint values with round-to-nearest
+    /// arithmetic and need a sound enclosure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either bound is NaN or `lo > hi`.
+    pub fn outward_rounded(lo: f64, hi: f64, ulps: u32) -> Interval {
+        Interval::new(steps_down(lo, ulps), steps_up(hi, ulps))
     }
 
     /// Interval image of `max(0, x)` (`ReLU`, monotone).
@@ -666,7 +766,7 @@ mod tests {
     }
 
     #[test]
-    fn cos_matches_shifted_sin() {
+    fn cos_covers_extremum() {
         let x = Interval::new(-0.3, 0.2);
         let c = x.cos();
         assert!((c.hi() - 1.0).abs() < 1e-12);
@@ -676,10 +776,82 @@ mod tests {
     #[test]
     fn monotone_images() {
         let x = Interval::new(-1.0, 1.0);
-        assert_eq!(x.tanh(), Interval::new((-1.0_f64).tanh(), 1.0_f64.tanh()));
+        // contains the round-to-nearest endpoint images and is tight to a
+        // handful of ulps (outward rounding widens, never translates)
+        let t = x.tanh();
+        assert!(t.contains((-1.0_f64).tanh()) && t.contains(1.0_f64.tanh()));
+        assert!((t.lo() - (-1.0_f64).tanh()).abs() < 1e-12);
+        assert!((t.hi() - 1.0_f64.tanh()).abs() < 1e-12);
         assert_eq!(x.relu(), Interval::new(0.0, 1.0));
         let s = x.sigmoid();
         assert!(s.lo() < 0.5 && s.hi() > 0.5);
+    }
+
+    #[test]
+    fn transcendental_images_stay_in_codomain() {
+        // outward widening must not push tanh/sin/cos outside [-1, 1] or
+        // sigmoid outside [0, 1], even at saturating arguments
+        let x = Interval::new(-50.0, 50.0);
+        assert!(Interval::new(-1.0, 1.0).contains_interval(&x.tanh()));
+        assert!(Interval::new(-1.0, 1.0).contains_interval(&x.sin()));
+        assert!(Interval::new(-1.0, 1.0).contains_interval(&x.cos()));
+        assert!(Interval::new(0.0, 1.0).contains_interval(&x.sigmoid()));
+    }
+
+    #[test]
+    fn sigmoid_sound_at_extreme_arguments() {
+        // x ≪ 0: (-x).exp() overflows to +inf and the computed quotient is
+        // 0.0, below the true positive value — the upper endpoint must be
+        // widened above zero while the lower endpoint stays exactly 0.0.
+        let neg = Interval::new(-1e3, -999.0).sigmoid();
+        assert_eq!(neg.lo(), 0.0);
+        assert!(neg.hi() > 0.0, "true σ(-999) > 0 must stay inside");
+        // x ≫ 0: computed 1.0, above the true value 1 - σ(-x); the lower
+        // endpoint must be widened below one while the upper stays 1.0.
+        let pos = Interval::new(999.0, 1e3).sigmoid();
+        assert_eq!(pos.hi(), 1.0);
+        assert!(pos.lo() < 1.0, "true σ(999) < 1 must stay inside");
+        // points behave the same way
+        let p = Interval::point(-1e3).sigmoid();
+        assert!(p.lo() == 0.0 && p.hi() > 0.0);
+        let q = Interval::point(1e3).sigmoid();
+        assert!(q.hi() == 1.0 && q.lo() < 1.0);
+    }
+
+    #[test]
+    fn transcendental_point_images_never_escape() {
+        // property test: for random intervals and random interior points,
+        // the round-to-nearest point image always lies inside the
+        // outwardly-rounded interval image
+        use rand::Rng;
+        let mut rng = crate::rng::seeded(0x9e3779b97f4a7c15);
+        for case in 0..20_000 {
+            // mix scales: tight sub-ulp-ish intervals, unit scale, and
+            // saturating scale where tanh/sigmoid flatline
+            let scale = match case % 4 {
+                0 => 1e-6,
+                1 => 1.0,
+                2 => 40.0,
+                _ => 1e3,
+            };
+            let a = rng.gen_range(-scale..scale);
+            let b = rng.gen_range(-scale..scale);
+            let x = Interval::new(a.min(b), a.max(b));
+            let t = rng.gen_range(0.0..=1.0);
+            let p = (x.lo() + t * x.width()).clamp(x.lo(), x.hi());
+            assert!(x.tanh().contains(p.tanh()), "tanh escape at {p}");
+            assert!(x.sin().contains(p.sin()), "sin escape at {p}");
+            assert!(x.cos().contains(p.cos()), "cos escape at {p}");
+            let sig = 1.0 / (1.0 + (-p).exp());
+            assert!(x.sigmoid().contains(sig), "sigmoid escape at {p}");
+            // endpoints themselves must also be covered
+            for e in [x.lo(), x.hi()] {
+                assert!(x.tanh().contains(e.tanh()));
+                assert!(x.sin().contains(e.sin()));
+                assert!(x.cos().contains(e.cos()));
+                assert!(x.sigmoid().contains(1.0 / (1.0 + (-e).exp())));
+            }
+        }
     }
 
     #[test]

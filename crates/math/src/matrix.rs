@@ -278,11 +278,19 @@ impl Matrix {
             (self.rows, other.rows),
             "matmul_transpose_b output shape mismatch"
         );
-        // Materialize Bᵀ once so the inner loop runs over contiguous
-        // output columns (an axpy the compiler vectorizes), instead of
-        // strided dot products. Each output element still accumulates its
-        // `k` terms in ascending order, exactly like `matvec`, so the
-        // result is bit-identical to the naive row-dot-row form.
+        // Materialize Bᵀ once so the inner loops run over contiguous
+        // output columns, then drive a register-tiled microkernel: MR×NR
+        // accumulator blocks live in registers across the whole k loop, so
+        // each output element costs one store total instead of a
+        // load+store per k (the axpy form this replaces), and the NR lane
+        // dimension vectorizes without any reduction. Each output element
+        // still accumulates its `k` terms in ascending order, exactly like
+        // `matvec`, so the result is bit-identical to the naive
+        // row-dot-row form regardless of tiling — the serving shapes
+        // (2-24-24-1) tile as three full 8-lanes for the hidden layers and
+        // fall to the scalar edge for the 1-wide output.
+        const MR: usize = 4;
+        const NR: usize = 8;
         let n = other.cols;
         let m = other.rows;
         bt.clear();
@@ -292,15 +300,65 @@ impl Matrix {
                 bt[k * m + j] = b;
             }
         }
-        for r in 0..self.rows {
-            let arow = &self.data[r * self.cols..(r + 1) * self.cols];
-            let orow = &mut out.data[r * m..(r + 1) * m];
-            orow.fill(0.0);
-            for (&av, btrow) in arow.iter().zip(bt.chunks_exact(m)) {
-                for (o, &b) in orow.iter_mut().zip(btrow) {
-                    *o += av * b;
+        let a = &self.data;
+        let o = &mut out.data;
+        let mut r = 0;
+        while r + MR <= self.rows {
+            let mut j = 0;
+            while j + NR <= m {
+                let mut acc = [[0.0f64; NR]; MR];
+                for k in 0..n {
+                    let lanes = &bt[k * m + j..k * m + j + NR];
+                    for (i, acc_row) in acc.iter_mut().enumerate() {
+                        let av = a[(r + i) * n + k];
+                        for (s, &b) in acc_row.iter_mut().zip(lanes) {
+                            *s += av * b;
+                        }
+                    }
                 }
+                for (i, acc_row) in acc.iter().enumerate() {
+                    o[(r + i) * m + j..(r + i) * m + j + NR].copy_from_slice(acc_row);
+                }
+                j += NR;
             }
+            while j < m {
+                let mut acc = [0.0f64; MR];
+                for k in 0..n {
+                    let b = bt[k * m + j];
+                    for (i, s) in acc.iter_mut().enumerate() {
+                        *s += a[(r + i) * n + k] * b;
+                    }
+                }
+                for (i, &s) in acc.iter().enumerate() {
+                    o[(r + i) * m + j] = s;
+                }
+                j += 1;
+            }
+            r += MR;
+        }
+        while r < self.rows {
+            let arow = &a[r * n..(r + 1) * n];
+            let mut j = 0;
+            while j + NR <= m {
+                let mut acc = [0.0f64; NR];
+                for (k, &av) in arow.iter().enumerate() {
+                    let lanes = &bt[k * m + j..k * m + j + NR];
+                    for (s, &b) in acc.iter_mut().zip(lanes) {
+                        *s += av * b;
+                    }
+                }
+                o[r * m + j..r * m + j + NR].copy_from_slice(&acc);
+                j += NR;
+            }
+            while j < m {
+                let mut s = 0.0;
+                for (k, &av) in arow.iter().enumerate() {
+                    s += av * bt[k * m + j];
+                }
+                o[r * m + j] = s;
+                j += 1;
+            }
+            r += 1;
         }
     }
 
@@ -621,6 +679,38 @@ mod tests {
         for r in 0..4 {
             let per_row = b.matvec(a.row(r));
             assert_eq!(out.row(r), per_row.as_slice(), "row {r}");
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_b_tiling_edges_match_matvec_bitwise() {
+        // exercise every microkernel edge: full 4×8 tiles, row remainders
+        // (rows % 4 ∈ {1,2,3}), lane remainders (m % 8 ∈ {1,..,7}), and
+        // the serving shapes (batch×2 · 24×2, batch×24 · 24×24/1×24)
+        for (rows, m, n) in [
+            (1, 1, 1),
+            (3, 7, 5),
+            (4, 8, 3),
+            (5, 9, 4),
+            (6, 24, 2),
+            (9, 24, 24),
+            (64, 24, 24),
+            (64, 1, 24),
+            (7, 17, 11),
+        ] {
+            let a = Matrix::from_fn(rows, n, |r, c| ((r * 31 + c * 7) % 13) as f64 * 0.37 - 1.1);
+            let b = Matrix::from_fn(m, n, |r, c| ((r * 17 + c * 5) % 11) as f64 * 0.29 - 0.8);
+            let out = a.matmul_transpose_b(&b);
+            for r in 0..rows {
+                let per_row = b.matvec(a.row(r));
+                for j in 0..m {
+                    assert_eq!(
+                        out[(r, j)].to_bits(),
+                        per_row[j].to_bits(),
+                        "({rows},{m},{n}) element ({r},{j})"
+                    );
+                }
+            }
         }
     }
 

@@ -54,14 +54,12 @@ impl Activation {
                     alpha * x
                 }
             }
-            Activation::Softplus => {
-                // numerically stable ln(1 + e^x)
-                if x > 30.0 {
-                    x
-                } else {
-                    x.max(0.0) + (-(x.abs())).exp().ln_1p()
-                }
-            }
+            // numerically stable ln(1 + e^x): one formula for all x — for
+            // large x the exp underflows to 0 and ln_1p(0) = 0 leaves
+            // exactly x, so no large-x shortcut branch is needed (a
+            // previous `x > 30` shortcut made apply discontinuous by
+            // e^{-30} across the seam)
+            Activation::Softplus => x.max(0.0) + (-(x.abs())).exp().ln_1p(),
         }
     }
 
@@ -158,9 +156,17 @@ impl Activation {
             Activation::Relu => x.relu(),
             Activation::Tanh => x.tanh(),
             Activation::Sigmoid => x.sigmoid(),
-            // both are monotone increasing
-            Activation::LeakyRelu { .. } | Activation::Softplus => {
-                Interval::new(self.apply(x.lo()), self.apply(x.hi()))
+            // monotone increasing: endpoint images, widened outward to
+            // cover the single round-to-nearest multiply on the leaky side
+            Activation::LeakyRelu { .. } => {
+                Interval::outward_rounded(self.apply(x.lo()), self.apply(x.hi()), 1)
+            }
+            // monotone increasing; exp/ln_1p/add accumulate a few ulps, so
+            // widen by 4 and clamp the lower endpoint back into the true
+            // codomain (softplus > 0)
+            Activation::Softplus => {
+                let img = Interval::outward_rounded(self.apply(x.lo()), self.apply(x.hi()), 4);
+                Interval::new(img.lo().max(0.0), img.hi().max(0.0))
             }
         }
     }
@@ -273,6 +279,31 @@ mod tests {
         assert!((a.apply(40.0) - 40.0).abs() < 1e-9);
         assert!(a.apply(-40.0) < 1e-12);
         assert!(a.apply(-40.0) >= 0.0);
+    }
+
+    #[test]
+    fn softplus_is_monotone_across_former_seam() {
+        let a = Activation::Softplus;
+        // the removed `x > 30` shortcut used to drop the e^{-30} tail,
+        // making apply(30 + ulp) jump *down* by ~9.4e-14; the unified
+        // formula must be monotone non-decreasing through the seam and
+        // keep the tail: softplus(30) = 30 + e^{-30} - e^{-60}/2 + ...
+        let mut prev = f64::NEG_INFINITY;
+        for i in -1000..=1000 {
+            let x = 30.0 + i as f64 * 1e-9;
+            let y = a.apply(x);
+            assert!(y >= prev, "softplus not monotone at {x}: {y} < {prev}");
+            prev = y;
+        }
+        // the ulps straddling the former branch point
+        assert!(a.apply(30.0_f64.next_up()) >= a.apply(30.0));
+        assert!(a.apply(30.0) >= a.apply(30.0_f64.next_down()));
+        assert!(
+            a.apply(30.0) > 30.0,
+            "softplus(30) must keep the e^{{-30}} tail above x"
+        );
+        // and for genuinely large x the formula is exactly x
+        assert_eq!(a.apply(800.0), 800.0);
     }
 
     #[test]

@@ -1,0 +1,460 @@
+//! The `f32` serving tier: quantized inference with a certified error
+//! bound.
+//!
+//! Networks train and verify in `f64`; the serving engine may opt into an
+//! `f32` tier that quantizes the weights once (deterministic `as f32`
+//! casts at bundle export / engine start) and runs the batched forward in
+//! single precision with [`crate::fast::fast_tanh_f32`] activations. The
+//! substitution is only admissible because it ships with a **certificate**
+//! ([`FastTierCert`], computed by [`certify_fast_tier`]): a sound
+//! per-output-dimension bound on `|f32-tier output − exact f64 output|`
+//! over the bundle's input domain, derived by a layer-wise error recursion
+//! whose ingredients — activation magnitude bounds from interval bound
+//! propagation, weight quantization deltas, `f32` dot-product rounding
+//! (`γ_n` factors), and the certified fast-tanh epsilons — are all either
+//! outwardly rounded or explicitly inflated. The admission gate re-derives
+//! the certificate from the shipped weights and refuses a bundle whose
+//! embedded claim does not match.
+
+use crate::activation::Activation;
+use crate::fast::{fast_tanh_f32, FAST_TANH_EPS, FAST_TANH_F32_EPS};
+use crate::mlp::Mlp;
+use cocktail_math::{BoxRegion, Interval, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Unit roundoff of `f32` (half an ulp at 1.0).
+const U32: f64 = 5.960_464_477_539_063e-8; // 2^-24
+
+/// Unit roundoff of `f64`.
+const U64: f64 = 1.110_223_024_625_156_5e-16; // 2^-53
+
+/// Relative inflation applied to every certified bound to absorb the
+/// round-to-nearest `f64` arithmetic *of the bound computation itself*
+/// (a few hundred ops, ≤ `~1e-13` relative) with orders-of-magnitude
+/// margin. Documented in DESIGN.md §16.
+const CERT_REL_SLOP: f64 = 1e-9;
+
+/// A quantized `f32` copy of an [`Mlp`], laid out for the serving GEMM:
+/// weights are stored k-major (`in × out`), so the inner loop is an axpy
+/// over independent output lanes that vectorizes without reassociation.
+#[derive(Debug, Clone)]
+pub struct MlpF32 {
+    layers: Vec<LayerF32>,
+    input_dim: usize,
+    output_dim: usize,
+}
+
+#[derive(Debug, Clone)]
+struct LayerF32 {
+    /// `in × out`, k-major: `weights_t[k * out + j] = W[j][k] as f32`.
+    weights_t: Vec<f32>,
+    biases: Vec<f32>,
+    activation: Activation,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+/// Reusable scratch for [`MlpF32::forward_batch_into`]: once warmed for a
+/// batch size, repeated forwards are allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct BatchCacheF32 {
+    bufs: [Vec<f32>; 2],
+}
+
+impl BatchCacheF32 {
+    /// Creates an empty cache; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl MlpF32 {
+    /// Deterministically quantizes an `f64` network (`as f32` casts).
+    ///
+    /// Returns `None` when the network uses an activation the `f32` tier
+    /// has no certified kernel for — only `Tanh` (via
+    /// [`fast_tanh_f32`]), `Relu` and `Identity` (both exact in `f32`)
+    /// are supported.
+    pub fn quantize(net: &Mlp) -> Option<Self> {
+        let mut layers = Vec::with_capacity(net.layers().len());
+        for layer in net.layers() {
+            if !matches!(
+                layer.activation(),
+                Activation::Tanh | Activation::Relu | Activation::Identity
+            ) {
+                return None;
+            }
+            let (out_dim, in_dim) = (layer.output_dim(), layer.input_dim());
+            let w = layer.weights();
+            let mut weights_t = vec![0.0f32; in_dim * out_dim];
+            for j in 0..out_dim {
+                for k in 0..in_dim {
+                    weights_t[k * out_dim + j] = w[(j, k)] as f32;
+                }
+            }
+            layers.push(LayerF32 {
+                weights_t,
+                biases: layer.biases().iter().map(|&b| b as f32).collect(),
+                activation: layer.activation(),
+                in_dim,
+                out_dim,
+            });
+        }
+        Some(Self {
+            input_dim: net.input_dim(),
+            output_dim: net.output_dim(),
+            layers,
+        })
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    /// Batched forward over `f64` row-vector inputs, writing `f64` outputs
+    /// (the wire/engine contract stays `f64`; conversion error is part of
+    /// the certificate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.input_dim()` or `out` is not
+    /// `x.rows() × self.output_dim()`.
+    pub fn forward_batch_into(&self, x: &Matrix, out: &mut Matrix, cache: &mut BatchCacheF32) {
+        assert_eq!(x.cols(), self.input_dim, "input dimension mismatch");
+        assert_eq!(
+            out.shape(),
+            (x.rows(), self.output_dim),
+            "output shape mismatch"
+        );
+        let batch = x.rows();
+        let [cur, nxt] = &mut cache.bufs;
+        cur.clear();
+        cur.extend(x.as_slice().iter().map(|&v| v as f32));
+        for layer in &self.layers {
+            let (ind, outd) = (layer.in_dim, layer.out_dim);
+            nxt.clear();
+            nxt.resize(batch * outd, 0.0);
+            for (xrow, orow) in cur.chunks_exact(ind).zip(nxt.chunks_exact_mut(outd)) {
+                orow.copy_from_slice(&layer.biases);
+                for (k, &xv) in xrow.iter().enumerate() {
+                    let wrow = &layer.weights_t[k * outd..(k + 1) * outd];
+                    for (o, &w) in orow.iter_mut().zip(wrow) {
+                        *o += xv * w;
+                    }
+                }
+                match layer.activation {
+                    Activation::Tanh => {
+                        for o in orow.iter_mut() {
+                            *o = fast_tanh_f32(*o);
+                        }
+                    }
+                    Activation::Relu => {
+                        for o in orow.iter_mut() {
+                            *o = o.max(0.0);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            std::mem::swap(cur, nxt);
+        }
+        for (o, &v) in out.as_mut_slice().iter_mut().zip(cur.iter()) {
+            *o = f64::from(v);
+        }
+    }
+}
+
+/// The fast-tier error certificate embedded in a `ControllerBundle` and
+/// re-derived by the admission gate.
+///
+/// All bounds are sup-norm errors **in network-output units** against the
+/// exact-`f64` forward, valid for every input inside the bundle's input
+/// domain; the serving control error is at most `|scale_j| ×` these (the
+/// clip to the control envelope is 1-Lipschitz and can only shrink it).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FastTierCert {
+    /// Certified per-unit error of the `f64` fast-tanh kernel
+    /// ([`FAST_TANH_EPS`]).
+    pub fast_tanh_eps: f64,
+    /// Certified per-unit error of the `f32` fast-tanh kernel
+    /// ([`FAST_TANH_F32_EPS`]).
+    pub fast_tanh_f32_eps: f64,
+    /// Per-output-dimension error bound of the fast-tanh (`f64`) tier.
+    pub fast_tanh_output_error: Vec<f64>,
+    /// Per-output-dimension error bound of the quantized `f32` tier.
+    pub f32_output_error: Vec<f64>,
+}
+
+impl FastTierCert {
+    /// Whether `other` re-derives this certificate: every field equal to
+    /// within relative tolerance `tol` (the derivation is deterministic
+    /// `f64` arithmetic, so honest claims agree to the last bit; the
+    /// tolerance only forgives cross-platform libm drift).
+    pub fn matches(&self, other: &FastTierCert, tol: f64) -> bool {
+        fn close(a: f64, b: f64, tol: f64) -> bool {
+            (a - b).abs() <= tol * a.abs().max(b.abs()).max(1e-300)
+        }
+        close(self.fast_tanh_eps, other.fast_tanh_eps, tol)
+            && close(self.fast_tanh_f32_eps, other.fast_tanh_f32_eps, tol)
+            && self.fast_tanh_output_error.len() == other.fast_tanh_output_error.len()
+            && self.f32_output_error.len() == other.f32_output_error.len()
+            && self
+                .fast_tanh_output_error
+                .iter()
+                .zip(&other.fast_tanh_output_error)
+                .all(|(&a, &b)| close(a, b, tol))
+            && self
+                .f32_output_error
+                .iter()
+                .zip(&other.f32_output_error)
+                .all(|(&a, &b)| close(a, b, tol))
+    }
+}
+
+/// Standard rounding-accumulation factor `γ_n = n·u / (1 − n·u)`: a dot
+/// product of length `k` computed in precision `u` deviates from the exact
+/// value by at most `γ_{k} · Σ|aᵢ||bᵢ|`; we use `n = k + 2` to also cover
+/// the bias add and the activation-input rounding.
+fn gamma(n: usize, u: f64) -> f64 {
+    let nu = n as f64 * u;
+    nu / (1.0 - nu)
+}
+
+/// Computes the fast-tier certificate for `net` over `region`, or `None`
+/// when the network uses activations without certified fast kernels.
+///
+/// Layer-wise recursion (`δ` = sup-norm deviation from the exact-`f64`
+/// path entering the layer, `a` = sound activation magnitude bound from
+/// interval propagation, inflated to also cover the perturbed tier):
+///
+/// * `f32` tier:
+///   `dz = ‖Ŵ−W‖∞·(a+δ) + ‖W‖∞·δ + Δb + γ·(‖|Ŵ|‖∞·(a+δ) + ‖b̂‖∞) + γ₆₄·(‖|W|‖∞·a + ‖b‖∞)`
+///   — quantization, input deviation, `f32` accumulation rounding, and
+///   the `f64` oracle's own rounding;
+/// * fast-tanh tier: same with `Ŵ = W`, `b̂ = b` and both `γ` terms in
+///   `f64` precision;
+/// * through activations: `δ ← dz + ε_kernel` for `Tanh` (the kernel's
+///   certified epsilon plus 1-Lipschitz transport), `δ ← dz` for
+///   `Relu`/`Identity` (exact kernels, 1-Lipschitz).
+///
+/// Every bound is finally inflated by a relative `1e-9` to absorb the
+/// round-to-nearest arithmetic of the bound computation itself. The
+/// recursion is deterministic, so admission re-derives bit-equal values
+/// from an untampered bundle.
+pub fn certify_fast_tier(net: &Mlp, region: &BoxRegion) -> Option<FastTierCert> {
+    assert_eq!(region.dim(), net.input_dim(), "region dimension mismatch");
+    MlpF32::quantize(net)?;
+    // sound interval bounds entering each layer (exact-f64 path)
+    let mut layer_inputs: Vec<Vec<Interval>> = vec![region.intervals().to_vec()];
+    for layer in net.layers() {
+        let next = layer.forward_interval(layer_inputs.last()?);
+        layer_inputs.push(next);
+    }
+
+    let inflate = |v: f64| v * (1.0 + CERT_REL_SLOP) + f64::MIN_POSITIVE;
+
+    // per-tier recursion state: sup-norm deviation entering the layer
+    let in_mag = region
+        .intervals()
+        .iter()
+        .map(Interval::mag)
+        .fold(0.0, f64::max);
+    let mut delta_f32 = inflate(U32 * in_mag); // input f64 → f32 conversion
+    let mut delta_ft = 0.0f64; // fast-tanh tier starts bit-identical
+    let mut out_f32 = Vec::new();
+    let mut out_ft = Vec::new();
+
+    for (l, layer) in net.layers().iter().enumerate() {
+        let k = layer.input_dim();
+        let g32 = gamma(k + 2, U32);
+        let g64 = gamma(k + 2, U64);
+        // activation magnitude bound entering this layer, inflated to
+        // cover the perturbed tiers' activations too
+        let a_mag = layer_inputs[l]
+            .iter()
+            .map(Interval::mag)
+            .fold(0.0, f64::max);
+        let w = layer.weights();
+        let last = l + 1 == net.layers().len();
+        let mut dz_f32_max = 0.0f64;
+        let mut dz_ft_max = 0.0f64;
+        let mut row_f32 = Vec::new();
+        let mut row_ft = Vec::new();
+        for j in 0..layer.output_dim() {
+            let b = layer.biases()[j];
+            let bq = f64::from(b as f32);
+            let mut w_abs_sum = 0.0; // Σ|w|
+            let mut wq_abs_sum = 0.0; // Σ|ŵ|
+            let mut dw_sum = 0.0; // Σ|ŵ − w|
+            for kk in 0..k {
+                let wv = w[(j, kk)];
+                let wq = f64::from(wv as f32);
+                w_abs_sum += wv.abs();
+                wq_abs_sum += wq.abs();
+                dw_sum += (wq - wv).abs();
+            }
+            let a32 = a_mag + delta_f32;
+            let dz32 = dw_sum * a32
+                + w_abs_sum * delta_f32
+                + (bq - b).abs()
+                + g32 * (wq_abs_sum * a32 + bq.abs())
+                + g64 * (w_abs_sum * a_mag + b.abs());
+            let aft = a_mag + delta_ft;
+            let dzft = w_abs_sum * delta_ft + g64 * (w_abs_sum * (a_mag + aft) + 2.0 * b.abs());
+            let (d32, dft) = match layer.activation() {
+                Activation::Tanh => (
+                    (dz32 + FAST_TANH_F32_EPS).min(2.0),
+                    (dzft + FAST_TANH_EPS).min(2.0),
+                ),
+                _ => (dz32, dzft),
+            };
+            dz_f32_max = dz_f32_max.max(d32);
+            dz_ft_max = dz_ft_max.max(dft);
+            if last {
+                row_f32.push(inflate(d32));
+                row_ft.push(inflate(dft));
+            }
+        }
+        delta_f32 = inflate(dz_f32_max);
+        delta_ft = inflate(dz_ft_max);
+        if last {
+            out_f32 = row_f32;
+            out_ft = row_ft;
+        }
+    }
+
+    Some(FastTierCert {
+        fast_tanh_eps: FAST_TANH_EPS,
+        fast_tanh_f32_eps: FAST_TANH_F32_EPS,
+        fast_tanh_output_error: out_ft,
+        f32_output_error: out_f32,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fast::ForwardKernel;
+    use crate::mlp::{BatchCache, MlpBuilder};
+
+    fn serving_net(seed: u64) -> Mlp {
+        MlpBuilder::new(2)
+            .hidden(24, Activation::Tanh)
+            .hidden(24, Activation::Tanh)
+            .output(1, Activation::Identity)
+            .seed(seed)
+            .build()
+    }
+
+    fn oracle_rows(region: &BoxRegion, n: usize, seed: u64) -> Matrix {
+        let mut rng = cocktail_math::rng::seeded(seed);
+        Matrix::from_rows(
+            (0..n)
+                .map(|_| cocktail_math::rng::uniform_in_box(&mut rng, region))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn quantize_refuses_uncertified_activations() {
+        let net = MlpBuilder::new(2)
+            .hidden(4, Activation::Sigmoid)
+            .output(1, Activation::Identity)
+            .seed(1)
+            .build();
+        assert!(MlpF32::quantize(&net).is_none());
+        assert!(certify_fast_tier(&net, &BoxRegion::cube(2, -1.0, 1.0)).is_none());
+    }
+
+    #[test]
+    fn f32_tier_stays_within_certified_bound() {
+        let net = serving_net(42);
+        let region = BoxRegion::cube(2, -3.0, 3.0);
+        let cert = certify_fast_tier(&net, &region).expect("tanh net certifies");
+        assert_eq!(cert.f32_output_error.len(), 1);
+        assert!(cert.f32_output_error[0].is_finite() && cert.f32_output_error[0] > 0.0);
+        let q = MlpF32::quantize(&net).expect("tanh net quantizes");
+        let x = oracle_rows(&region, 512, 7);
+        let mut out = Matrix::zeros(x.rows(), 1);
+        let mut cache = BatchCacheF32::new();
+        q.forward_batch_into(&x, &mut out, &mut cache);
+        for r in 0..x.rows() {
+            let exact = net.forward(x.row(r));
+            let err = (out[(r, 0)] - exact[0]).abs();
+            assert!(
+                err <= cert.f32_output_error[0],
+                "row {r}: f32 tier error {err:.3e} exceeds certified {:.3e}",
+                cert.f32_output_error[0]
+            );
+        }
+    }
+
+    #[test]
+    fn fast_tanh_tier_stays_within_certified_bound() {
+        let net = serving_net(43);
+        let region = BoxRegion::cube(2, -3.0, 3.0);
+        let cert = certify_fast_tier(&net, &region).expect("tanh net certifies");
+        let x = oracle_rows(&region, 512, 8);
+        let mut cache = BatchCache::new();
+        net.forward_batch_cached_kernel(&x, &mut cache, ForwardKernel::FastTanh);
+        let fast = cache.activations.last().expect("filled cache").clone();
+        for r in 0..x.rows() {
+            let exact = net.forward(x.row(r));
+            let err = (fast[(r, 0)] - exact[0]).abs();
+            assert!(
+                err <= cert.fast_tanh_output_error[0],
+                "row {r}: fast-tanh tier error {err:.3e} exceeds certified {:.3e}",
+                cert.fast_tanh_output_error[0]
+            );
+        }
+    }
+
+    #[test]
+    fn exact_kernel_is_bit_identical_to_per_sample() {
+        let net = serving_net(44);
+        let region = BoxRegion::cube(2, -3.0, 3.0);
+        let x = oracle_rows(&region, 64, 9);
+        let mut cache = BatchCache::new();
+        net.forward_batch_cached_kernel(&x, &mut cache, ForwardKernel::Exact);
+        let batched = cache.activations.last().expect("filled cache").clone();
+        for r in 0..x.rows() {
+            let per = net.forward(x.row(r));
+            assert_eq!(batched[(r, 0)].to_bits(), per[0].to_bits(), "row {r}");
+        }
+    }
+
+    #[test]
+    fn certificate_rederivation_is_deterministic() {
+        let net = serving_net(45);
+        let region = BoxRegion::cube(2, -2.5, 2.5);
+        let a = certify_fast_tier(&net, &region).expect("certifies");
+        let b = certify_fast_tier(&net, &region).expect("certifies");
+        assert_eq!(a, b, "certificate derivation must be deterministic");
+        assert!(a.matches(&b, 1e-12));
+        let mut tampered = b.clone();
+        tampered.f32_output_error[0] *= 0.5;
+        assert!(!a.matches(&tampered, 1e-9), "tampered claim must not match");
+    }
+
+    #[test]
+    fn fast_tanh_error_also_covers_wide_pre_activations() {
+        // saturation region: fast tanh error shrinks, bound must still hold
+        let net = serving_net(46);
+        let region = BoxRegion::cube(2, -20.0, 20.0);
+        let cert = certify_fast_tier(&net, &region).expect("certifies");
+        let q = MlpF32::quantize(&net).expect("quantizes");
+        let x = oracle_rows(&region, 256, 10);
+        let mut out = Matrix::zeros(x.rows(), 1);
+        q.forward_batch_into(&x, &mut out, &mut BatchCacheF32::new());
+        for r in 0..x.rows() {
+            let exact = net.forward(x.row(r));
+            assert!((out[(r, 0)] - exact[0]).abs() <= cert.f32_output_error[0]);
+        }
+    }
+}

@@ -4,8 +4,10 @@
 //! it: the static analyzer runs afresh against the target plant (under the
 //! usual Off/Warn/Deny [`PreflightMode`]), the product-form Lipschitz
 //! bound is recomputed from the shipped weights and compared against the
-//! bundle's claim, and a fresh seeded empirical sweep over the bundle's
-//! input domain checks that the claim actually dominates observed slopes.
+//! bundle's claim, a fresh seeded empirical sweep over the bundle's
+//! input domain checks that the claim actually dominates observed slopes,
+//! and the fast-tier (reduced-precision kernel) error certificate is
+//! re-derived from the shipped weights and compared field by field.
 //! A bundle that fails any of these never reaches the engine.
 
 use crate::bundle::{BundleError, ControllerBundle};
@@ -70,6 +72,13 @@ pub enum AdmissionError {
         /// Largest observed slope.
         observed: f64,
     },
+    /// The shipped fast-tier certificate disagrees with the one admission
+    /// re-derives from the shipped weights — the claimed reduced-precision
+    /// error bounds cannot be trusted, so no fast kernel may serve.
+    FastTierMismatch {
+        /// What disagreed.
+        detail: String,
+    },
     /// The controller cannot be served against this plant (wrong family,
     /// dimension mismatch, envelope outside the actuator range).
     Unservable(String),
@@ -95,6 +104,9 @@ impl fmt::Display for AdmissionError {
                 "Lipschitz claim violated: fresh sweep observed slope {observed} \
                  above the claimed bound {claimed}"
             ),
+            AdmissionError::FastTierMismatch { detail } => {
+                write!(f, "fast-tier certificate mismatch: {detail}")
+            }
             AdmissionError::Unservable(msg) => write!(f, "unservable bundle: {msg}"),
         }
     }
@@ -190,6 +202,7 @@ fn kind_of(e: &AdmissionError) -> &'static str {
         AdmissionError::LintDenied { .. } => "lint-denied",
         AdmissionError::ClaimMismatch { .. } => "claim-mismatch",
         AdmissionError::ClaimViolated { .. } => "claim-violated",
+        AdmissionError::FastTierMismatch { .. } => "fast-tier-mismatch",
         AdmissionError::Unservable(_) => "unservable",
     }
 }
@@ -291,6 +304,41 @@ fn run_checks(
         });
     }
 
+    // ---- fast-tier certificate: re-derive the reduced-precision error
+    // bounds from the shipped weights (the derivation is deterministic,
+    // so any disagreement means the claim or the weights were altered)
+    let rederived = cocktail_nn::certify_fast_tier(net, &bundle.input_domain);
+    match (&bundle.fast_tier, &rederived) {
+        (Some(claimed), Some(fresh)) => {
+            if !fresh.matches(claimed, tol.max(1e-9)) {
+                return Err(AdmissionError::FastTierMismatch {
+                    detail: format!(
+                        "shipped bounds (ft {:?}, f32 {:?}) != re-derived (ft {:?}, f32 {:?})",
+                        claimed.fast_tanh_output_error,
+                        claimed.f32_output_error,
+                        fresh.fast_tanh_output_error,
+                        fresh.f32_output_error
+                    ),
+                });
+            }
+        }
+        (Some(_), None) => {
+            return Err(AdmissionError::FastTierMismatch {
+                detail: "bundle ships a fast-tier certificate but the shipped weights \
+                         do not admit one"
+                    .into(),
+            });
+        }
+        (None, Some(_)) => {
+            return Err(AdmissionError::FastTierMismatch {
+                detail: "shipped weights admit a fast-tier certificate but the bundle \
+                         omits it"
+                    .into(),
+            });
+        }
+        (None, None) => {}
+    }
+
     Ok(Admitted {
         bundle,
         report,
@@ -378,6 +426,31 @@ mod tests {
         }
         let err = admit(b).expect_err("refused");
         assert!(matches!(err, AdmissionError::ClaimMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn tampered_fast_tier_cert_is_refused() {
+        let mut b = healthy_bundle();
+        let cert = b.fast_tier.as_mut().expect("tanh student has a cert");
+        // understate the f32 quantization error claim by half: the serving
+        // tier would then promise tighter outputs than the weights deliver
+        cert.f32_output_error[0] *= 0.5;
+        let err = admit(b).expect_err("refused");
+        assert!(
+            matches!(err, AdmissionError::FastTierMismatch { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn stripped_fast_tier_cert_is_refused() {
+        let mut b = healthy_bundle();
+        b.fast_tier = None;
+        let err = admit(b).expect_err("refused");
+        assert!(
+            matches!(err, AdmissionError::FastTierMismatch { .. }),
+            "{err}"
+        );
     }
 
     #[test]

@@ -36,7 +36,7 @@ use cocktail_serve::loadgen::{self, LoadGenConfig, LoadReport, WireProtocol};
 use cocktail_serve::{
     admit, load_recorded, shadow_replay, BinaryTcpClient, ControlClient, ControllerBundle,
     DriftConfig, Engine, EngineConfig, EngineHandle, Provenance, RolloutAction, RolloutBudget,
-    RolloutConfig, RolloutError, Server,
+    RolloutConfig, RolloutError, ServeTier, Server,
 };
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
@@ -98,8 +98,9 @@ fn usage() -> String {
                    [--seed N] [--wire json|binary]\n\
      smoke         --bundle <path> [--requests N] [--connections N] [--seed N]\n\
                    [--wire json|binary] [--telemetry <jsonl>] [--max-batch N]\n\
-                   [--deadline-us N] [--capacity N] [--shards N] [--transport reactor|threaded]\n\
-     replay        --telemetry <jsonl> --incumbent <path> --candidate <path>\n\
+                   [--deadline-us N] [--capacity N] [--shards N] [--tier exact|fast-tanh|f32]\n\
+                   [--transport reactor|threaded]\n\
+     replay       --telemetry <jsonl> --incumbent <path> --candidate <path>\n\
                    [--max-divergence X] [--max-envelope-violations N]\n\
      rollout-drill --bundle <path> [--telemetry <jsonl>] [--retrain-dir <dir>]\n\
                    [--shards N] [--transport reactor|threaded]"
@@ -159,6 +160,12 @@ fn engine_config(args: &Args) -> Result<EngineConfig, String> {
     } else {
         None
     };
+    let tier = match args.get("tier").unwrap_or("exact") {
+        "exact" => ServeTier::Exact,
+        "fast-tanh" => ServeTier::FastTanh,
+        "f32" => ServeTier::F32,
+        other => return Err(format!("--tier must be exact, fast-tanh or f32, got `{other}`")),
+    };
     Ok(EngineConfig {
         max_batch: args.parsed("max-batch", defaults.max_batch)?,
         batch_deadline: Duration::from_micros(args.parsed(
@@ -169,6 +176,7 @@ fn engine_config(args: &Args) -> Result<EngineConfig, String> {
         start_paused: false,
         shards: args.parsed("shards", defaults.shards)?,
         drift,
+        tier,
     })
 }
 

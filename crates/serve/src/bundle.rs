@@ -16,13 +16,16 @@
 use cocktail_analysis::{AnalysisReport, ControllerSpec, Severity};
 use cocktail_core::SystemId;
 use cocktail_math::BoxRegion;
-use cocktail_nn::Mlp;
+use cocktail_nn::{FastTierCert, Mlp};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
 /// Format version of [`ControllerBundle`]; bump on any shape change.
-pub const BUNDLE_VERSION: u32 = 1;
+///
+/// Version history: 1 — initial format; 2 — adds the optional `fast_tier`
+/// quantization/approximation error certificate.
+pub const BUNDLE_VERSION: u32 = 2;
 
 /// Why a bundle could not be packaged, saved, or loaded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -133,6 +136,12 @@ pub struct ControllerBundle {
     /// Analyzer findings at export time (informational; admission re-runs
     /// the analyzer rather than trusting these).
     pub analysis: Vec<BundleFinding>,
+    /// Certified output-error bounds of the reduced-precision serving
+    /// kernels (fast-tanh and f32 tiers) over `input_domain`, derived at
+    /// export with interval arithmetic. `None` when the controller uses
+    /// activations the fast tiers do not cover; admission re-derives the
+    /// certificate from the shipped weights and refuses on mismatch.
+    pub fast_tier: Option<FastTierCert>,
     /// Who made this bundle.
     pub provenance: Provenance,
 }
@@ -174,15 +183,23 @@ impl ControllerBundle {
             ))
         })?;
         let (u_inf, u_sup) = sys.control_bounds();
+        let input_domain = sys.verification_domain();
+        let fast_tier = match &spec {
+            ControllerSpec::Mlp { net, .. } => {
+                cocktail_nn::certify_fast_tier(net, &input_domain)
+            }
+            _ => None,
+        };
         let bundle = Self {
             version: BUNDLE_VERSION,
             system,
             spec,
-            input_domain: sys.verification_domain(),
+            input_domain,
             u_inf,
             u_sup,
             lipschitz_claim: claim,
             analysis: findings_of(&report),
+            fast_tier,
             provenance,
         };
         bundle.validate()?;
@@ -246,6 +263,25 @@ impl ControllerBundle {
                 "lipschitz claim {}",
                 self.lipschitz_claim
             )));
+        }
+        if let Some(cert) = &self.fast_tier {
+            let scalars = [cert.fast_tanh_eps, cert.fast_tanh_f32_eps];
+            let rows = cert
+                .fast_tanh_output_error
+                .iter()
+                .chain(&cert.f32_output_error);
+            if scalars.iter().chain(rows).any(|v| !v.is_finite() || *v < 0.0) {
+                return Err(BundleError::NonFinite("fast tier certificate".into()));
+            }
+            if cert.fast_tanh_output_error.len() != control_dim
+                || cert.f32_output_error.len() != control_dim
+            {
+                return Err(BundleError::Format(format!(
+                    "fast tier certificate arity ({}, {}) != control dimension {control_dim}",
+                    cert.fast_tanh_output_error.len(),
+                    cert.f32_output_error.len()
+                )));
+            }
         }
         spec_params_finite(&self.spec)?;
         Ok(())
@@ -441,6 +477,30 @@ mod tests {
     }
 
     #[test]
+    fn package_embeds_a_fast_tier_certificate_for_tanh_students() {
+        let b = bundle();
+        let cert = b.fast_tier.as_ref().expect("tanh student is certifiable");
+        assert_eq!(cert.fast_tanh_output_error.len(), 1);
+        assert_eq!(cert.f32_output_error.len(), 1);
+        assert!(cert.fast_tanh_output_error[0] > 0.0);
+        assert!(cert.f32_output_error[0] > 0.0);
+        let (net, _) = b.network().expect("neural spec");
+        let fresh = cocktail_nn::certify_fast_tier(net, &b.input_domain)
+            .expect("re-derivation succeeds");
+        assert!(fresh.matches(cert, 1e-9), "re-derivation is deterministic");
+    }
+
+    #[test]
+    fn validate_refuses_a_non_finite_fast_tier_cert() {
+        let mut b = bundle();
+        if let Some(cert) = b.fast_tier.as_mut() {
+            cert.f32_output_error[0] = f64::NAN;
+        }
+        let err = b.validate().expect_err("NaN cert refused");
+        assert!(matches!(err, BundleError::NonFinite(_)), "{err}");
+    }
+
+    #[test]
     fn save_load_round_trips_bitwise() {
         let b = bundle();
         let path = temp_path("roundtrip");
@@ -480,7 +540,7 @@ mod tests {
         b.save(&path).expect("save succeeds");
         let text = std::fs::read_to_string(&path).expect("readable");
 
-        let skewed = text.replacen("\"version\": 1", "\"version\": 99", 1);
+        let skewed = text.replacen("\"version\": 2", "\"version\": 99", 1);
         std::fs::write(&path, skewed).expect("writable");
         let err = ControllerBundle::load(&path).expect_err("version skew refused");
         assert!(err.to_string().contains("version 99"), "{err}");

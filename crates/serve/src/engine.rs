@@ -66,7 +66,7 @@ use crate::rollout::{
 use crate::wire::{self, ResponseRec, MAX_WIRE_CONTROL_DIM};
 use cocktail_control::Controller;
 use cocktail_math::Matrix;
-use cocktail_nn::{BatchCache, Mlp};
+use cocktail_nn::{BatchCache, BatchCacheF32, ForwardKernel, Mlp, MlpF32};
 use cocktail_obs::{Event, NullSink, Span, Telemetry};
 use std::collections::VecDeque;
 use std::fmt;
@@ -79,6 +79,26 @@ use std::time::{Duration, Instant};
 /// above the binary wire's practical id space, so internally-assigned ids
 /// never collide with client-chosen wire ids in a recorded stream.
 const INTERNAL_ID_BASE: u64 = 1 << 48;
+
+/// Which forward kernel the shard workers serve with.
+///
+/// [`ServeTier::Exact`] (the default) preserves the engine's founding
+/// invariant: every batched row is bit-identical to a per-sample
+/// [`Mlp::forward`]. The reduced-precision tiers trade that invariant for
+/// throughput, bounded by the certificate the bundle ships (and admission
+/// re-derives): served outputs stay within `|scale| ×` the certified
+/// sup-norm error of the exact path over the bundle's input domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServeTier {
+    /// `f64` weights, libm activations — bit-identical to per-sample.
+    #[default]
+    Exact,
+    /// `f64` weights with the certified Padé fast-tanh activation kernel.
+    FastTanh,
+    /// `f32`-quantized weights and `f32` fast-tanh; requires the network
+    /// to be quantizable (Tanh / `ReLU` / Identity activations only).
+    F32,
+}
 
 /// Scheduler knobs.
 #[derive(Debug, Clone, Copy)]
@@ -102,6 +122,10 @@ pub struct EngineConfig {
     /// Enable the served-output drift detector ([`crate::rollout`]) with
     /// these knobs; `None` (the default) keeps the hot path free of it.
     pub drift: Option<DriftConfig>,
+    /// Forward kernel tier; [`ServeTier::Exact`] (the default) keeps the
+    /// batched ≡ per-sample bit-identity invariant. Applies to incumbent,
+    /// canary and shadow forwards alike.
+    pub tier: ServeTier,
 }
 
 impl Default for EngineConfig {
@@ -113,6 +137,7 @@ impl Default for EngineConfig {
             start_paused: false,
             shards: 1,
             drift: None,
+            tier: ServeTier::Exact,
         }
     }
 }
@@ -271,9 +296,41 @@ struct Request {
 /// swapping controllers is a pointer swap, never a weight copy.
 struct ModelParams {
     net: Mlp,
+    /// The `f32`-quantized twin, present iff the engine runs at
+    /// [`ServeTier::F32`]; quantization happens once at install time.
+    net32: Option<MlpF32>,
     scale: Vec<f64>,
     u_inf: Vec<f64>,
     u_sup: Vec<f64>,
+}
+
+impl ModelParams {
+    /// Builds the servable parts for `tier`, quantizing the `f32` twin up
+    /// front. Fails when the `F32` tier is requested for a network whose
+    /// activations the quantized kernel does not cover.
+    fn for_tier(
+        net: Mlp,
+        scale: Vec<f64>,
+        u_inf: Vec<f64>,
+        u_sup: Vec<f64>,
+        tier: ServeTier,
+    ) -> Result<Self, String> {
+        let net32 = match tier {
+            ServeTier::F32 => Some(MlpF32::quantize(&net).ok_or_else(|| {
+                "network has activations the f32 tier does not cover \
+                 (Tanh / ReLU / Identity only)"
+                    .to_string()
+            })?),
+            _ => None,
+        };
+        Ok(Self {
+            net,
+            net32,
+            scale,
+            u_inf,
+            u_sup,
+        })
+    }
 }
 
 /// A canary candidate plus its traffic split and auto-rollback budget.
@@ -318,6 +375,8 @@ struct Shared {
     /// Epoch of the latest published set. Stored with `Release` after
     /// the set is swapped; workers `Acquire`-load it per batch.
     model_epoch: AtomicU64,
+    /// Forward kernel tier every shard serves with (fixed at start).
+    tier: ServeTier,
     rollout: Mutex<RolloutLog>,
     drift: Mutex<Option<DriftDetector>>,
     /// Cached `drift.is_some()` so the hot path skips the lock entirely
@@ -809,12 +868,10 @@ impl Engine {
                 wake: Condvar::new(),
             })
             .collect();
-        let incumbent = Arc::new(ModelParams {
-            net,
-            scale,
-            u_inf,
-            u_sup,
-        });
+        let incumbent = Arc::new(
+            ModelParams::for_tier(net, scale, u_inf, u_sup, config.tier)
+                .map_err(ServeError::BadRequest)?,
+        );
         let drift = config
             .drift
             .map(|cfg| DriftDetector::new(cfg, &incumbent.u_inf, &incumbent.u_sup));
@@ -830,6 +887,7 @@ impl Engine {
                 canary: None,
             })),
             model_epoch: AtomicU64::new(1),
+            tier: config.tier,
             rollout: Mutex::new(RolloutLog::default()),
             drift_enabled: drift.is_some(),
             drift: Mutex::new(drift),
@@ -957,15 +1015,9 @@ impl Engine {
                 u_sup.len()
             )));
         }
-        self.shared.install_candidate(
-            ModelParams {
-                net,
-                scale,
-                u_inf,
-                u_sup,
-            },
-            cfg,
-        )
+        let params = ModelParams::for_tier(net, scale, u_inf, u_sup, self.shared.tier)
+            .map_err(RolloutError::Incompatible)?;
+        self.shared.install_candidate(params, cfg)
     }
 
     /// Atomically makes the canary the incumbent on every shard (observed
@@ -1122,10 +1174,10 @@ struct ShardScratch {
     spent: Vec<Vec<f64>>,
     route: Vec<Route>,
     inputs: Vec<Option<Matrix>>,
-    caches: Vec<Option<BatchCache>>,
+    caches: Vec<TierSlot>,
     can_inputs: Vec<Option<Matrix>>,
-    can_caches: Vec<Option<BatchCache>>,
-    shadow_caches: Vec<Option<BatchCache>>,
+    can_caches: Vec<TierSlot>,
+    shadow_caches: Vec<TierSlot>,
     divs: Vec<f64>,
     scaled: Vec<f64>,
 }
@@ -1137,12 +1189,62 @@ impl ShardScratch {
             spent: Vec::with_capacity(capacity + max_batch),
             route: Vec::with_capacity(max_batch),
             inputs: (0..=max_batch).map(|_| None).collect(),
-            caches: (0..=max_batch).map(|_| None).collect(),
+            caches: (0..=max_batch).map(|_| TierSlot::default()).collect(),
             can_inputs: (0..=max_batch).map(|_| None).collect(),
-            can_caches: (0..=max_batch).map(|_| None).collect(),
-            shadow_caches: (0..=max_batch).map(|_| None).collect(),
+            can_caches: (0..=max_batch).map(|_| TierSlot::default()).collect(),
+            shadow_caches: (0..=max_batch).map(|_| TierSlot::default()).collect(),
             divs: Vec::with_capacity(max_batch),
             scaled: vec![0.0; control_dim],
+        }
+    }
+}
+
+/// One batch-size class's forward scratch, covering every [`ServeTier`]:
+/// the `f64` kernels fill `cache`, the `f32` tier fills `cache32`/`out32`.
+/// Like the old per-class `BatchCache`s, each member is allocated on first
+/// use and reused forever after.
+#[derive(Default)]
+struct TierSlot {
+    cache: Option<BatchCache>,
+    cache32: Option<BatchCacheF32>,
+    out32: Option<Matrix>,
+}
+
+impl TierSlot {
+    /// Runs `params`' forward for `tier` over `input` into this slot,
+    /// catching the network's internal finiteness panic; `false` means the
+    /// batch is poisoned and must degrade to the fallback expert.
+    fn forward(&mut self, params: &ModelParams, tier: ServeTier, input: &Matrix) -> bool {
+        match (tier, &params.net32) {
+            (ServeTier::F32, Some(net32)) => {
+                let out = self
+                    .out32
+                    .get_or_insert_with(|| Matrix::zeros(input.rows(), net32.output_dim()));
+                let cache = self.cache32.get_or_insert_with(BatchCacheF32::new);
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    net32.forward_batch_into(input, out, cache);
+                }))
+                .is_ok()
+            }
+            _ => {
+                let kernel = match tier {
+                    ServeTier::FastTanh => ForwardKernel::FastTanh,
+                    _ => ForwardKernel::Exact,
+                };
+                let cache = self.cache.get_or_insert_with(BatchCache::new);
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    params.net.forward_batch_cached_kernel(input, cache, kernel);
+                }))
+                .is_ok()
+            }
+        }
+    }
+
+    /// Row `j` of the last forward's output, if one ran.
+    fn output_row(&self, tier: ServeTier, j: usize) -> Option<&[f64]> {
+        match tier {
+            ServeTier::F32 => self.out32.as_ref().map(|m| m.row(j)),
+            _ => self.cache.as_ref().map(|c| c.output().row(j)),
         }
     }
 }
@@ -1264,6 +1366,7 @@ fn run_batch(
     };
 
     let inc = models.incumbent.as_ref();
+    let tier = shared.tier;
 
     // ---- route each request: a pure function of its id, so the split is
     // identical for any shard count and batch composition
@@ -1292,14 +1395,10 @@ fn run_batch(
                 input.row_mut(*j).copy_from_slice(&req.state);
             }
         }
-        let cache = scratch.caches[n_inc].get_or_insert_with(BatchCache::new);
         // the network asserts its own activations are finite and panics
-        // otherwise; catch that so one poisoned batch degrades to the
-        // fallback expert instead of killing the shard worker
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            inc.net.forward_batch_cached(input, cache);
-        }))
-        .is_ok()
+        // otherwise; the slot catches that so one poisoned batch degrades
+        // to the fallback expert instead of killing the shard worker
+        scratch.caches[n_inc].forward(inc, tier, input)
     } else {
         true
     };
@@ -1322,19 +1421,12 @@ fn run_batch(
                 input.row_mut(*j).copy_from_slice(&req.state);
             }
         }
-        let can_cache = scratch.can_caches[n_can].get_or_insert_with(BatchCache::new);
-        can_ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            can.net.forward_batch_cached(input, can_cache);
-        }))
-        .is_ok();
-        // shadow: the incumbent recomputes the very same staged rows;
-        // batched ≡ per-sample by the engine invariant, so the shadow is
-        // bit-identical to what the incumbent would have served
-        let shadow_cache = scratch.shadow_caches[n_can].get_or_insert_with(BatchCache::new);
-        shadow_ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            inc.net.forward_batch_cached(input, shadow_cache);
-        }))
-        .is_ok();
+        can_ok = scratch.can_caches[n_can].forward(can, tier, input);
+        // shadow: the incumbent recomputes the very same staged rows with
+        // the very same tier; in the Exact tier batched ≡ per-sample, so
+        // the shadow is bit-identical to what the incumbent would have
+        // served (fast tiers stay within their certified bound of it)
+        shadow_ok = scratch.shadow_caches[n_can].forward(inc, tier, input);
 
         // guard pass over the whole canary sub-batch
         scratch.divs.clear();
@@ -1342,15 +1434,24 @@ fn run_batch(
         let mut env_rows = 0u64;
         let mut max_finite_div = 0.0_f64;
         for j in 0..n_can {
-            if !can_ok {
+            let can_row = if can_ok {
+                scratch.can_caches[n_can].output_row(tier, j)
+            } else {
+                None
+            };
+            let Some(can_row) = can_row else {
                 nonfinite += 1;
                 scratch.divs.push(f64::NAN);
                 continue;
-            }
-            let can_row = can_cache.output().row(j);
+            };
+            let shadow_row = if shadow_ok {
+                scratch.shadow_caches[n_can].output_row(tier, j)
+            } else {
+                None
+            };
             let mut row_finite = true;
             let mut row_escaped = false;
-            let mut shadow_finite = shadow_ok;
+            let mut shadow_finite = shadow_row.is_some();
             let mut d = 0.0_f64;
             for (i, &y) in can_row.iter().enumerate() {
                 let c = y * can.scale[i];
@@ -1361,8 +1462,8 @@ fn run_batch(
                     row_escaped = true;
                 }
                 let cc = c.clamp(can.u_inf[i], can.u_sup[i]);
-                if shadow_ok {
-                    let s = shadow_cache.output().row(j)[i] * inc.scale[i];
+                if let Some(shadow_row) = shadow_row {
+                    let s = shadow_row[i] * inc.scale[i];
                     if s.is_finite() {
                         let sc = s.clamp(inc.u_inf[i], inc.u_sup[i]);
                         // NaN-proof: f64::max ignores a NaN |cc - sc|
@@ -1434,7 +1535,7 @@ fn run_batch(
         let (model, row): (&ModelParams, Option<&[f64]>) = match scratch.route[r] {
             Route::Incumbent(j) => {
                 let row = if inc_ok {
-                    scratch.caches[n_inc].as_ref().map(|c| c.output().row(j))
+                    scratch.caches[n_inc].output_row(tier, j)
                 } else {
                     None
                 };
@@ -1446,18 +1547,14 @@ fn run_batch(
                     // incumbent's shadow outputs: zero candidate
                     // responses escape
                     let row = if shadow_ok {
-                        scratch.shadow_caches[n_can]
-                            .as_ref()
-                            .map(|c| c.output().row(j))
+                        scratch.shadow_caches[n_can].output_row(tier, j)
                     } else {
                         None
                     };
                     (inc, row)
                 } else {
                     let row = if can_ok {
-                        scratch.can_caches[n_can]
-                            .as_ref()
-                            .map(|c| c.output().row(j))
+                        scratch.can_caches[n_can].output_row(tier, j)
                     } else {
                         None
                     };
@@ -1642,6 +1739,99 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn fast_tiers_serve_within_certified_bounds_across_shards() {
+        assert_eq!(EngineConfig::default().tier, ServeTier::Exact);
+        let net = MlpBuilder::new(2)
+            .hidden(24, Activation::Tanh)
+            .hidden(24, Activation::Tanh)
+            .output(1, Activation::Identity)
+            .seed(21)
+            .build();
+        let region = cocktail_math::BoxRegion::cube(2, -3.0, 3.0);
+        let cert = cocktail_nn::certify_fast_tier(&net, &region).expect("tanh net certifies");
+        let scale = 2.0_f64;
+        for tier in [ServeTier::FastTanh, ServeTier::F32] {
+            // the clip to the control envelope is 1-Lipschitz, so the
+            // served control error is at most |scale| × the certified
+            // network-output bound
+            let bound = scale
+                * match tier {
+                    ServeTier::FastTanh => cert.fast_tanh_output_error[0],
+                    _ => cert.f32_output_error[0],
+                };
+            for shards in [1usize, 2, 8] {
+                let engine = Engine::from_parts(
+                    net.clone(),
+                    vec![scale],
+                    vec![-5.0],
+                    vec![5.0],
+                    EngineConfig {
+                        shards,
+                        tier,
+                        ..EngineConfig::default()
+                    },
+                    None,
+                    Arc::new(NullSink),
+                )
+                .expect("engine starts");
+                let h = engine.handle();
+                let mut rng = cocktail_math::rng::seeded(0xfa57 + shards as u64);
+                for i in 0..32u64 {
+                    let s = cocktail_math::rng::uniform_in_box(&mut rng, &region);
+                    let served = h.pinned(i).submit(&s).expect("served").control[0];
+                    let oracle = (net.forward(&s)[0] * scale).clamp(-5.0, 5.0);
+                    assert!(
+                        (served - oracle).abs() <= bound,
+                        "{tier:?} on {shards} shard(s): |{served} - {oracle}| > {bound}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn f32_tier_refuses_unquantizable_activations() {
+        let net = MlpBuilder::new(2)
+            .hidden(4, Activation::Sigmoid)
+            .output(1, Activation::Identity)
+            .seed(2)
+            .build();
+        let err = Engine::from_parts(
+            net.clone(),
+            vec![1.0],
+            vec![-5.0],
+            vec![5.0],
+            EngineConfig {
+                tier: ServeTier::F32,
+                ..EngineConfig::default()
+            },
+            None,
+            Arc::new(NullSink),
+        )
+        .err();
+        assert!(matches!(err, Some(ServeError::BadRequest(_))), "{err:?}");
+
+        // a running f32 engine likewise refuses an unquantizable canary
+        let engine = Engine::from_parts(
+            small_net(),
+            vec![2.0],
+            vec![-5.0],
+            vec![5.0],
+            EngineConfig {
+                tier: ServeTier::F32,
+                ..EngineConfig::default()
+            },
+            None,
+            Arc::new(NullSink),
+        )
+        .expect("quantizable incumbent starts");
+        let err = engine
+            .propose_parts(net, vec![1.0], vec![-5.0], vec![5.0], &RolloutConfig::default())
+            .expect_err("sigmoid canary refused");
+        assert!(matches!(err, RolloutError::Incompatible(_)), "{err}");
     }
 
     #[test]

@@ -55,7 +55,8 @@ pub use admission::{
 };
 pub use bundle::{BundleError, ControllerBundle, Provenance, BUNDLE_VERSION};
 pub use engine::{
-    ControlResponse, Engine, EngineConfig, EngineHandle, Outbox, PinnedHandle, ServeError, Ticket,
+    ControlResponse, Engine, EngineConfig, EngineHandle, Outbox, PinnedHandle, ServeError,
+    ServeTier, Ticket,
 };
 pub use loadgen::{LoadGenConfig, LoadReport, WireProtocol};
 #[cfg(target_os = "linux")]

@@ -283,11 +283,13 @@ where
 }
 
 /// Nearest-rank percentile over an ascending-sorted sample (0 when
-/// empty). `q` in `[0, 1]`.
+/// empty): the smallest element with at least `⌈len·q⌉` samples at or
+/// below it. `q` outside `[0, 1]` (or NaN) is clamped in.
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
+    let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
     #[allow(
         clippy::cast_precision_loss,
         clippy::cast_possible_truncation,
@@ -337,5 +339,29 @@ mod tests {
         assert_eq!(percentile(&sorted, 1.0), 1000.0);
         assert_eq!(percentile(&[], 0.5), 0.0);
         assert_eq!(percentile(&[42.0], 0.999), 42.0);
+    }
+
+    #[test]
+    fn percentile_edge_cases_with_tiny_samples() {
+        // N = 1: every quantile is the only sample
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(percentile(&[7.0], q), 7.0, "q = {q}");
+        }
+        // N = 2: nearest rank splits exactly at the ceil boundary —
+        // ⌈2·0.5⌉ = 1 (first sample), ⌈2·0.501⌉ = 2 (second)
+        assert_eq!(percentile(&[1.0, 2.0], 0.0), 1.0);
+        assert_eq!(percentile(&[1.0, 2.0], 0.5), 1.0);
+        assert_eq!(percentile(&[1.0, 2.0], 0.501), 2.0);
+        assert_eq!(percentile(&[1.0, 2.0], 0.999), 2.0);
+        // q = 0.999 with fewer than 1000 samples must hit the maximum:
+        // ⌈N·0.999⌉ = N for every N < 1000
+        for n in [2usize, 3, 10, 100, 999] {
+            let sorted: Vec<f64> = (1..=n).map(|i| i as f64).collect();
+            assert_eq!(percentile(&sorted, 0.999), n as f64, "N = {n}");
+        }
+        // out-of-range and NaN quantiles clamp instead of panicking
+        assert_eq!(percentile(&[1.0, 2.0, 3.0], -0.5), 1.0);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0], 1.5), 3.0);
+        assert_eq!(percentile(&[1.0, 2.0, 3.0], f64::NAN), 1.0);
     }
 }

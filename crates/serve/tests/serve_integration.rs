@@ -171,7 +171,7 @@ fn corrupted_bundles_never_serve() {
     let healthy = bundle();
     healthy.save(&path).expect("healthy bundle saves");
     let text = std::fs::read_to_string(&path).expect("readable");
-    std::fs::write(&path, text.replacen("\"version\": 1", "\"version\": 99", 1)).expect("writable");
+    std::fs::write(&path, text.replacen("\"version\": 2", "\"version\": 99", 1)).expect("writable");
     assert!(
         ControllerBundle::load(&path).is_err(),
         "load refuses version skew"
