@@ -1,5 +1,5 @@
 //! Perf harness: measures the batched/parallel kernels plus the serving
-//! runtime and writes the machine-readable baseline (`BENCH_pr9.json`).
+//! runtime and writes the machine-readable baseline (`BENCH_pr10.json`).
 //!
 //! ```text
 //! cargo run --release -p cocktail-bench --bin perf [-- <output-path>]
@@ -24,7 +24,7 @@ fn fmt(m: Measurement) -> String {
 fn main() {
     let out = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_pr9.json".to_string());
+        .unwrap_or_else(|| "BENCH_pr10.json".to_string());
     let fast = std::env::var("COCKTAIL_FAST").is_ok_and(|v| v == "1");
     let config = if fast {
         PerfConfig::fast()
@@ -105,6 +105,13 @@ fn main() {
         fmt(report.serve.shard4_requests_per_sec),
         report.serve.shard_speedup,
         report.serve.cores
+    );
+    println!(
+        "verify   {:>18} ms certification | {} pieces (eps {:.3}), verdict {}",
+        fmt(report.verify.certify_ms),
+        report.verify.pieces,
+        report.verify.epsilon,
+        report.verify.verdict
     );
     println!("[artifact] {out}");
 }

@@ -1,4 +1,4 @@
-//! The tracked performance baseline behind `BENCH_pr9.json`.
+//! The tracked performance baseline behind `BENCH_pr10.json`.
 //!
 //! Four measurements, chosen to cover the layers the batched/parallel
 //! kernels rewrote plus the telemetry layer:
@@ -20,7 +20,12 @@
 //!    latency through the micro-batching engine, loaded tail latency
 //!    (p99/p999) under 32 concurrent submitters, sustained in-process
 //!    throughput with 1, 8 and 32 concurrent submitters, and aggregate
-//!    throughput across 1 versus 4 engine shards.
+//!    throughput across 1 versus 4 engine shards;
+//! 6. **Verification** — wall time of one full safety certification
+//!    (Bernstein certificate with partition refinement, closed-loop
+//!    reachability, control-invariant fixpoint) of a student controller,
+//!    the paper's Property-3 metric, with the resulting partition size
+//!    and verdict recorded for trend-watching.
 //!
 //! Every timed section runs once untimed (warm-up) and then
 //! [`PerfConfig::repeats`] times, each repeat keeping the best of a few
@@ -59,7 +64,9 @@ use std::time::Instant;
 /// v5: the `forward` section grew the certified fast-tier arms
 /// (`fast_tanh_samples_per_sec`, `f32_samples_per_sec`) with their
 /// speedups over the per-sample exact path.
-pub const SCHEMA_VERSION: u32 = 5;
+/// v6: the `verify` section (full safety-certification wall time with
+/// partition size and verdict) was added.
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// One repeated timing: the median across repeats and the relative
 /// spread `(max - min) / median`.
@@ -246,7 +253,8 @@ pub struct ServeBench {
     /// Hardware threads available to the benchmark process.
     pub cores: usize,
     /// Wall time of one full admission (validation + fresh lint run +
-    /// certificate recomputation + empirical sweep), in milliseconds.
+    /// certificate recomputation + empirical sweep + safety-cert
+    /// re-derivation at the bundle's own budget tier), in milliseconds.
     pub admission_ms: Measurement,
     /// p50 latency of sequential single requests through the engine
     /// (`max_batch` 1, zero deadline), in microseconds.
@@ -272,6 +280,27 @@ pub struct ServeBench {
     pub shard_speedup: f64,
 }
 
+/// Wall time of one full safety certification — Bernstein certificate
+/// with partition refinement, closed-loop reachability, and the
+/// control-invariant fixpoint — of a student controller on the Van der
+/// Pol oscillator (the paper's Property-3 measurement). The certificate
+/// is asserted bit-identical across repeats: certification is
+/// deterministic, so the bench doubles as a re-derivation drill.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VerifyBench {
+    /// Student shape, e.g. `"2-12-1"`.
+    pub shape: String,
+    /// Bernstein partition pieces of the resulting certificate — the
+    /// paper's verification-cost driver.
+    pub pieces: usize,
+    /// Largest per-piece Bernstein approximation error of the result.
+    pub epsilon: f64,
+    /// Verdict label of the result (`"safe"` / `"not-proven"`).
+    pub verdict: String,
+    /// Wall-clock milliseconds of one full certification.
+    pub certify_ms: Measurement,
+}
+
 /// The full machine-readable perf baseline.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PerfReport {
@@ -289,6 +318,8 @@ pub struct PerfReport {
     pub telemetry: TelemetryBench,
     /// Serving-runtime measurement.
     pub serve: ServeBench,
+    /// Safety-certification measurement.
+    pub verify: VerifyBench,
 }
 
 /// Knobs for a perf run; `fast` shrinks everything for CI smoke runs.
@@ -618,7 +649,15 @@ pub fn bench_serve(config: &PerfConfig) -> ServeBench {
         .output(1, Activation::Tanh)
         .seed(4)
         .build();
-    let bundle = ControllerBundle::package(
+    // the bundle ships the coarse `fast_params` safety certificate:
+    // admission re-derives whatever tier the bundle carries, and since
+    // v3 that re-derivation dominates admission wall time — the
+    // *certification* cost at a fixed tier is bench_verify's
+    // measurement, while admission_ms tracks the gate overhead around
+    // it (export-quality budgets would also make the debug-mode bench
+    // tests take minutes per admission)
+    let safety_params = cocktail_verify::fast_params(SystemId::Oscillator.dynamics().as_ref());
+    let bundle = ControllerBundle::package_with(
         SystemId::Oscillator,
         net,
         vec![20.0],
@@ -627,6 +666,8 @@ pub fn bench_serve(config: &PerfConfig) -> ServeBench {
             config_hash: fnv1a_64(b"bench-serve"),
             crate_version: env!("CARGO_PKG_VERSION").to_string(),
         },
+        Some(&safety_params),
+        &NullSink,
     )
     .expect("benchmark student packages");
     let requests = config.serve_requests.max(32);
@@ -771,6 +812,54 @@ pub fn bench_serve(config: &PerfConfig) -> ServeBench {
     }
 }
 
+/// Measures the wall time of one full safety certification on a small
+/// student over the Van der Pol oscillator, using the coarse `fast_params`
+/// verification budgets (the default budgets answer a different question —
+/// export quality — and would dominate the whole perf run). Every repeat
+/// must produce the identical certificate.
+///
+/// # Panics
+///
+/// Panics if certification fails its budget or produces a different
+/// certificate across repeats.
+pub fn bench_verify(config: &PerfConfig) -> VerifyBench {
+    use cocktail_obs::NullSink;
+    use cocktail_verify::{certify_controller, fast_params, SafetyCert};
+
+    let sys = SystemId::Oscillator.dynamics();
+    let net = MlpBuilder::new(2)
+        .hidden(12, Activation::Tanh)
+        .output(1, Activation::Tanh)
+        .seed(4)
+        .build();
+    let scale = vec![20.0];
+    let params = fast_params(sys.as_ref());
+    let workers = parallel::default_workers();
+    let mut last: Option<SafetyCert> = None;
+    let certify_ms = measure_time(config.repeats, || {
+        let t = Instant::now();
+        let cert = certify_controller(sys.as_ref(), &net, &scale, &params, workers, &NullSink)
+            .expect("bench budgets certify");
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        if let Some(prev) = &last {
+            assert!(
+                prev.matches(&cert, 0.0),
+                "certification must be deterministic across repeats"
+            );
+        }
+        last = Some(cert);
+        ms
+    });
+    let cert = last.expect("at least one certification ran");
+    VerifyBench {
+        shape: "2-12-1".to_string(),
+        pieces: cert.pieces,
+        epsilon: cert.epsilon,
+        verdict: cert.verdict.label().to_string(),
+        certify_ms,
+    }
+}
+
 /// Runs all measurements.
 pub fn run(config: &PerfConfig) -> PerfReport {
     PerfReport {
@@ -781,6 +870,7 @@ pub fn run(config: &PerfConfig) -> PerfReport {
         end_to_end: bench_end_to_end(config),
         telemetry: bench_telemetry(config),
         serve: bench_serve(config),
+        verify: bench_verify(config),
     }
 }
 
@@ -822,6 +912,7 @@ fn measurements(report: &PerfReport) -> Vec<(&'static str, Measurement)> {
         ("serve.batch32", report.serve.batch32_requests_per_sec),
         ("serve.shard1", report.serve.shard1_requests_per_sec),
         ("serve.shard4", report.serve.shard4_requests_per_sec),
+        ("verify.certify_ms", report.verify.certify_ms),
     ]
 }
 
@@ -857,7 +948,10 @@ pub fn validate(report: &PerfReport) -> Result<(), String> {
     }
     for (name, v) in [
         ("forward.speedup", report.forward.speedup),
-        ("forward.fast_tanh_speedup", report.forward.fast_tanh_speedup),
+        (
+            "forward.fast_tanh_speedup",
+            report.forward.fast_tanh_speedup,
+        ),
         ("forward.f32_speedup", report.forward.f32_speedup),
         ("train_step.speedup", report.train_step.speedup),
         ("rollout.speedup", report.rollout.speedup),
@@ -874,8 +968,17 @@ pub fn validate(report: &PerfReport) -> Result<(), String> {
         || report.telemetry.epochs == 0
         || report.serve.requests == 0
         || report.serve.cores == 0
+        || report.verify.pieces == 0
     {
-        return Err("batch, episode, epoch, request and core counts must be positive".to_string());
+        return Err(
+            "batch, episode, epoch, request, core and piece counts must be positive".to_string(),
+        );
+    }
+    if !(report.verify.epsilon.is_finite() && report.verify.epsilon >= 0.0) {
+        return Err(format!(
+            "verify.epsilon must be finite and non-negative, got {}",
+            report.verify.epsilon
+        ));
     }
     Ok(())
 }
@@ -923,8 +1026,8 @@ mod tests {
 
     #[test]
     fn committed_baseline_parses_validates_and_is_stable() {
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr9.json");
-        let json = std::fs::read_to_string(path).expect("committed BENCH_pr9.json exists");
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr10.json");
+        let json = std::fs::read_to_string(path).expect("committed BENCH_pr10.json exists");
         let report: PerfReport = serde_json::from_str(&json).expect("baseline deserializes");
         validate(&report).expect("baseline validates");
         // the committed baseline must come from a quiet machine: CI's

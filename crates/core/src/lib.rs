@@ -42,6 +42,7 @@
 //! ```
 
 pub mod baseline;
+pub mod certify;
 pub mod experiment;
 pub mod experts;
 pub mod metrics;
@@ -51,6 +52,7 @@ pub mod report;
 pub mod supervisor;
 pub mod system;
 
+pub use certify::certify_student;
 pub use cocktail_analysis::PreflightMode;
 pub use experiment::Preset;
 pub use metrics::{evaluate, evaluate_with_workers, EvalConfig, Evaluation};

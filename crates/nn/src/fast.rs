@@ -180,11 +180,12 @@ pub fn certified_fast_tanh_bound(cells: usize) -> f64 {
     // sweeps [tanh(C), 1); both distances from the enclosure F_C bound it
     let xc = Interval::point(c);
     let yc = slopped(xc.square());
-    let fc = slopped(
-        xc * slopped(poly_interval(&p_desc, yc)) / slopped(poly_interval(&q_desc, yc)),
-    );
+    let fc =
+        slopped(xc * slopped(poly_interval(&p_desc, yc)) / slopped(poly_interval(&q_desc, yc)));
     let tc = xc.tanh();
-    let tail = slopped(fc - tc).mag().max(slopped(fc - Interval::point(1.0)).mag());
+    let tail = slopped(fc - tc)
+        .mag()
+        .max(slopped(fc - Interval::point(1.0)).mag());
     worst.max(tail)
 }
 
@@ -223,7 +224,10 @@ mod tests {
         // finer subdivision can only tighten the centered form
         let coarse = certified_fast_tanh_bound(1 << 10);
         let fine = certified_fast_tanh_bound(1 << 14);
-        assert!(fine <= coarse, "refinement loosened the bound: {fine} > {coarse}");
+        assert!(
+            fine <= coarse,
+            "refinement loosened the bound: {fine} > {coarse}"
+        );
     }
 
     #[test]
@@ -250,7 +254,10 @@ mod tests {
         for _ in 0..200_000 {
             let x = rng.gen_range(-40.0_f64..40.0) as f32;
             let err = (f64::from(fast_tanh_f32(x)) - f64::from(x).tanh()).abs();
-            assert!(err <= FAST_TANH_F32_EPS, "fast_tanh_f32({x}) error {err:.3e}");
+            assert!(
+                err <= FAST_TANH_F32_EPS,
+                "fast_tanh_f32({x}) error {err:.3e}"
+            );
             // and the f32 evaluation stays well inside its analytic slack
             let eval_drift = (f64::from(fast_tanh_f32(x)) - fast_tanh(f64::from(x))).abs();
             assert!(

@@ -6,14 +6,22 @@
 //! bound is recomputed from the shipped weights and compared against the
 //! bundle's claim, a fresh seeded empirical sweep over the bundle's
 //! input domain checks that the claim actually dominates observed slopes,
-//! and the fast-tier (reduced-precision kernel) error certificate is
-//! re-derived from the shipped weights and compared field by field.
-//! A bundle that fails any of these never reaches the engine.
+//! the fast-tier (reduced-precision kernel) error certificate is
+//! re-derived from the shipped weights and compared field by field, and
+//! the formal safety certificate — Bernstein enclosure, closed-loop
+//! reachability, control-invariant set — is re-derived from the shipped
+//! weights, the plant spec and the embedded verification budgets, then
+//! compared field by field (wall-clock excluded: it is a metric, not a
+//! claim). A bundle that fails any of these never reaches the engine; a
+//! bundle that ships *no* safety certificate (a version-2 artifact, or a
+//! student whose certification exhausted its budget at export) is refused
+//! as uncertified unless the operator opts in.
 
 use crate::bundle::{BundleError, ControllerBundle};
 use cocktail_analysis::{AnalysisReport, Analyzer, PreflightMode};
 use cocktail_nn::lipschitz;
 use cocktail_obs::{Event, NullSink, Span, Telemetry};
+use cocktail_verify::{certify_controller, SafetyCert, SafetyVerdict};
 use std::fmt;
 
 /// Tuning knobs of the admission gate.
@@ -31,6 +39,13 @@ pub struct AdmissionConfig {
     /// Relative tolerance when comparing the recomputed certified bound
     /// against the bundle's claim (absorbs cross-platform libm jitter).
     pub claim_tolerance: f64,
+    /// Admit bundles that carry no formal safety certificate (version-2
+    /// artifacts, or students whose certification exhausted its budget at
+    /// export). Off by default: an uncertified controller is refused with
+    /// [`AdmissionError::Uncertified`]. When on, the bundle is admitted
+    /// and the reason it is uncertified is recorded in the evidence. A
+    /// *present but wrong* certificate is always refused regardless.
+    pub allow_uncertified: bool,
 }
 
 impl Default for AdmissionConfig {
@@ -40,6 +55,7 @@ impl Default for AdmissionConfig {
             sweep_samples: 2000,
             sweep_seed: 0x5eed,
             claim_tolerance: 1e-6,
+            allow_uncertified: false,
         }
     }
 }
@@ -79,6 +95,31 @@ pub enum AdmissionError {
         /// What disagreed.
         detail: String,
     },
+    /// The shipped safety certificate disagrees with the one admission
+    /// re-derives from the shipped weights, plant spec and embedded
+    /// budgets — or its budgets exceed the admission ceilings, or the
+    /// re-derivation itself failed. Either the weights or the certificate
+    /// were altered after export.
+    SafetyMismatch {
+        /// What disagreed.
+        detail: String,
+    },
+    /// The shipped certificate claims `Safe` but the fresh re-derivation
+    /// proves `NotProven` under the very same budgets: the safety verdict
+    /// itself was forged. Distinguished from [`Self::SafetyMismatch`]
+    /// because it is the one tamper that would have put an unproven
+    /// controller on the wire claiming a formal guarantee.
+    SafetyViolated {
+        /// What disagreed.
+        detail: String,
+    },
+    /// The bundle carries no safety certificate at all and the config does
+    /// not allow uncertified controllers.
+    Uncertified {
+        /// Why the bundle is uncertified (format predates certification,
+        /// or the certificate was omitted at export).
+        reason: String,
+    },
     /// The controller cannot be served against this plant (wrong family,
     /// dimension mismatch, envelope outside the actuator range).
     Unservable(String),
@@ -107,6 +148,17 @@ impl fmt::Display for AdmissionError {
             AdmissionError::FastTierMismatch { detail } => {
                 write!(f, "fast-tier certificate mismatch: {detail}")
             }
+            AdmissionError::SafetyMismatch { detail } => {
+                write!(f, "safety certificate mismatch: {detail}")
+            }
+            AdmissionError::SafetyViolated { detail } => write!(
+                f,
+                "safety certificate violated: bundle claims a safe verdict the \
+                 shipped weights do not re-derive ({detail})"
+            ),
+            AdmissionError::Uncertified { reason } => {
+                write!(f, "uncertified controller refused: {reason}")
+            }
             AdmissionError::Unservable(msg) => write!(f, "unservable bundle: {msg}"),
         }
     }
@@ -131,6 +183,14 @@ pub struct Admitted {
     pub recomputed_bound: f64,
     /// Largest slope the fresh empirical sweep observed.
     pub sweep_lower_bound: f64,
+    /// The safety certificate admission re-derived from the shipped
+    /// weights (not the shipped copy — though the two are known equal by
+    /// the time admission succeeds). `None` for an uncertified bundle
+    /// admitted under `allow_uncertified`.
+    pub safety: Option<SafetyCert>,
+    /// Why the bundle has no safety certificate, when it was admitted
+    /// without one under `allow_uncertified`.
+    pub uncertified_reason: Option<String>,
 }
 
 /// Runs the admission gate with the default config and no telemetry.
@@ -203,6 +263,9 @@ fn kind_of(e: &AdmissionError) -> &'static str {
         AdmissionError::ClaimMismatch { .. } => "claim-mismatch",
         AdmissionError::ClaimViolated { .. } => "claim-violated",
         AdmissionError::FastTierMismatch { .. } => "fast-tier-mismatch",
+        AdmissionError::SafetyMismatch { .. } => "safety-mismatch",
+        AdmissionError::SafetyViolated { .. } => "safety-violated",
+        AdmissionError::Uncertified { .. } => "uncertified",
         AdmissionError::Unservable(_) => "unservable",
     }
 }
@@ -255,7 +318,7 @@ fn run_checks(
     let report = if config.mode == PreflightMode::Off {
         AnalysisReport::new()
     } else {
-        let report = Analyzer::new(sys).analyze(&bundle.spec);
+        let report = Analyzer::new(sys.clone()).analyze(&bundle.spec);
         if tel.enabled() {
             for d in report.diagnostics() {
                 tel.record(
@@ -339,41 +402,84 @@ fn run_checks(
         (None, None) => {}
     }
 
+    // ---- safety certificate: re-derive the full formal loop (Bernstein
+    // enclosure, closed-loop reachability, control-invariant set) from the
+    // shipped weights, the plant spec and the *shipped* budgets, and
+    // compare field by field. The certificate is a pure function of those
+    // inputs and worker-count invariant, so any disagreement means the
+    // weights or the certificate were altered after export. The budgets
+    // are attacker-controlled, so they are checked against hard ceilings
+    // before any work is spent on them.
+    let mut safety = None;
+    let mut uncertified_reason = None;
+    match &bundle.safety {
+        Some(claimed) => {
+            if let Some(violation) = claimed
+                .params
+                .budget_ceiling_violation(&bundle.input_domain)
+            {
+                return Err(AdmissionError::SafetyMismatch {
+                    detail: format!("shipped verification budgets exceed ceilings: {violation}"),
+                });
+            }
+            let workers = cocktail_math::parallel::default_workers();
+            match certify_controller(sys.as_ref(), net, scale, &claimed.params, workers, tel) {
+                Ok(fresh) => match claimed.diff(&fresh, tol.max(1e-9)) {
+                    None => safety = Some(fresh),
+                    Some(field) => {
+                        let detail =
+                            format!("shipped and re-derived certificates disagree on `{field}`");
+                        let forged_verdict = claimed.verdict == SafetyVerdict::Safe
+                            && fresh.verdict == SafetyVerdict::NotProven;
+                        return Err(if forged_verdict {
+                            AdmissionError::SafetyViolated { detail }
+                        } else {
+                            AdmissionError::SafetyMismatch { detail }
+                        });
+                    }
+                },
+                Err(e) => {
+                    return Err(AdmissionError::SafetyMismatch {
+                        detail: format!("re-derivation under the shipped budgets failed: {e}"),
+                    });
+                }
+            }
+        }
+        None => {
+            let reason = if bundle.version < crate::bundle::BUNDLE_VERSION {
+                format!(
+                    "bundle format v{} predates safety certification",
+                    bundle.version
+                )
+            } else {
+                "bundle omits a safety certificate (certification exhausted its \
+                 budget at export, or the certificate was stripped)"
+                    .to_string()
+            };
+            if !config.allow_uncertified {
+                return Err(AdmissionError::Uncertified { reason });
+            }
+            uncertified_reason = Some(reason);
+        }
+    }
+
     Ok(Admitted {
         bundle,
         report,
         recomputed_bound: recomputed,
         sweep_lower_bound: sweep,
+        safety,
+        uncertified_reason,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bundle::{fnv1a_64, Provenance};
+    use crate::bundle::tests_support::{healthy_bundle, v2_bundle};
     use cocktail_analysis::ControllerSpec;
     use cocktail_core::SystemId;
-    use cocktail_nn::{Activation, MlpBuilder};
     use cocktail_obs::InMemorySink;
-
-    fn healthy_bundle() -> ControllerBundle {
-        let net = MlpBuilder::new(2)
-            .hidden(8, Activation::Tanh)
-            .output(1, Activation::Tanh)
-            .seed(3)
-            .build();
-        ControllerBundle::package(
-            SystemId::Oscillator,
-            net,
-            vec![20.0],
-            Provenance {
-                seed: 3,
-                config_hash: fnv1a_64(b"admission-test"),
-                crate_version: env!("CARGO_PKG_VERSION").to_string(),
-            },
-        )
-        .expect("healthy student packages")
-    }
 
     #[test]
     fn healthy_bundle_is_admitted_with_evidence() {
@@ -386,6 +492,12 @@ mod tests {
             (admitted.recomputed_bound - admitted.bundle.lipschitz_claim).abs()
                 < 1e-9 * admitted.bundle.lipschitz_claim.max(1.0)
         );
+        let fresh = admitted.safety.as_ref().expect("safety evidence recorded");
+        assert!(
+            fresh.matches(admitted.bundle.safety.as_ref().expect("cert shipped"), 0.0),
+            "evidence cert equals the shipped cert"
+        );
+        assert_eq!(admitted.uncertified_reason, None);
         assert_eq!(tel.counter_total("serve.admissions"), 1);
         assert_eq!(tel.counter_total("serve.admission_refusals"), 0);
     }
@@ -471,5 +583,95 @@ mod tests {
         };
         let err = admit_with(b, &cfg, &NullSink).expect_err("refused");
         assert!(matches!(err, AdmissionError::ClaimMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn tampered_safety_cert_is_a_mismatch() {
+        let mut b = healthy_bundle();
+        let cert = b.safety.as_mut().expect("fixture ships a cert");
+        cert.invariant_digest ^= 1; // single-bit tamper
+        let tel = InMemorySink::new();
+        let err = admit_with(b, &AdmissionConfig::default(), &tel).expect_err("refused");
+        assert!(
+            matches!(&err, AdmissionError::SafetyMismatch { detail }
+                if detail.contains("invariant_digest")),
+            "{err}"
+        );
+        assert_eq!(tel.counter_total("serve.admission_refusals"), 1);
+    }
+
+    #[test]
+    fn forged_safe_verdict_is_a_violation() {
+        let mut b = healthy_bundle();
+        let cert = b.safety.as_mut().expect("fixture ships a cert");
+        // the coarse fixture budgets genuinely prove NotProven; forging the
+        // verdict to Safe is the one tamper that would put an unproven
+        // controller on the wire claiming a formal guarantee
+        assert_eq!(
+            cert.verdict,
+            SafetyVerdict::NotProven,
+            "fixture premise: coarse budgets do not prove safety"
+        );
+        cert.verdict = SafetyVerdict::Safe;
+        let err = admit(b).expect_err("refused");
+        assert!(
+            matches!(err, AdmissionError::SafetyViolated { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn hostile_safety_budgets_are_refused_before_any_work() {
+        let mut b = healthy_bundle();
+        let cert = b.safety.as_mut().expect("fixture ships a cert");
+        cert.params.invariant.max_iterations = usize::MAX;
+        let err = admit(b).expect_err("refused");
+        assert!(
+            matches!(&err, AdmissionError::SafetyMismatch { detail }
+                if detail.contains("ceiling")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn stripped_safety_cert_is_uncertified_unless_allowed() {
+        let mut b = healthy_bundle();
+        b.safety = None;
+        let err = admit(b.clone()).expect_err("refused by default");
+        assert!(
+            matches!(&err, AdmissionError::Uncertified { reason }
+                if reason.contains("omits")),
+            "{err}"
+        );
+
+        let cfg = AdmissionConfig {
+            allow_uncertified: true,
+            ..AdmissionConfig::default()
+        };
+        let admitted = admit_with(b, &cfg, &NullSink).expect("admitted under opt-in");
+        assert_eq!(admitted.safety, None);
+        let reason = admitted.uncertified_reason.expect("reason recorded");
+        assert!(reason.contains("omits"), "{reason}");
+    }
+
+    #[test]
+    fn v2_bundles_are_uncertified_with_a_version_reason() {
+        let b = v2_bundle();
+        let tel = InMemorySink::new();
+        let err = admit_with(b.clone(), &AdmissionConfig::default(), &tel).expect_err("refused");
+        assert!(
+            matches!(&err, AdmissionError::Uncertified { reason }
+                if reason.contains("v2") && reason.contains("predates")),
+            "{err}"
+        );
+        assert_eq!(tel.counter_total("serve.admission_refusals"), 1);
+
+        let cfg = AdmissionConfig {
+            allow_uncertified: true,
+            ..AdmissionConfig::default()
+        };
+        let admitted = admit_with(b, &cfg, &NullSink).expect("admitted under opt-in");
+        let reason = admitted.uncertified_reason.expect("reason recorded");
+        assert!(reason.contains("predates"), "{reason}");
     }
 }

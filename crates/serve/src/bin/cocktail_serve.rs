@@ -34,9 +34,9 @@ use cocktail_core::supervisor::save_retrain_request;
 use cocktail_obs::{JsonlSink, NullSink, Telemetry};
 use cocktail_serve::loadgen::{self, LoadGenConfig, LoadReport, WireProtocol};
 use cocktail_serve::{
-    admit, load_recorded, shadow_replay, BinaryTcpClient, ControlClient, ControllerBundle,
-    DriftConfig, Engine, EngineConfig, EngineHandle, Provenance, RolloutAction, RolloutBudget,
-    RolloutConfig, RolloutError, ServeTier, Server,
+    admit_with, load_recorded, shadow_replay, AdmissionConfig, BinaryTcpClient, ControlClient,
+    ControllerBundle, DriftConfig, Engine, EngineConfig, EngineHandle, Provenance, RolloutAction,
+    RolloutBudget, RolloutConfig, RolloutError, ServeTier, Server,
 };
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
@@ -56,11 +56,18 @@ impl Args {
             let key = raw[i]
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected a --flag, got `{}`", raw[i]))?;
-            let value = raw
-                .get(i + 1)
-                .ok_or_else(|| format!("--{key} needs a value"))?;
-            flags.push((key.to_string(), value.clone()));
-            i += 2;
+            // a flag followed by another flag (or by nothing) is a bare
+            // boolean switch, e.g. `--allow-uncertified`
+            match raw.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    flags.push((key.to_string(), v.clone()));
+                    i += 2;
+                }
+                _ => {
+                    flags.push((key.to_string(), "true".to_string()));
+                    i += 1;
+                }
+            }
         }
         Ok(Self { flags })
     }
@@ -87,9 +94,10 @@ impl Args {
 }
 
 fn usage() -> String {
-    "usage: cocktail-serve <check|serve|loadgen|smoke|replay|rollout-drill> [options]\n\
+    "usage: cocktail-serve <check|verify|serve|loadgen|smoke|replay|rollout-drill> [options]\n\
      \n\
-     check         --bundle <path>\n\
+     check         --bundle <path> [--allow-uncertified]\n\
+     verify        --bundle <path> [--allow-uncertified]\n\
      serve         --bundle <path> --addr <ip:port> [--max-batch N] [--deadline-us N]\n\
                    [--capacity N] [--shards N] [--transport reactor|threaded]\n\
                    [--telemetry <jsonl>] [--drift-window N] [--drift-threshold X]\n\
@@ -117,6 +125,7 @@ fn main() -> ExitCode {
         Err(e) => Err(e),
         Ok(args) => match command.as_str() {
             "check" => cmd_check(&args),
+            "verify" => cmd_verify(&args),
             "serve" => cmd_serve(&args),
             "loadgen" => cmd_loadgen(&args),
             "smoke" => cmd_smoke(&args),
@@ -137,6 +146,13 @@ fn main() -> ExitCode {
 fn load_bundle(args: &Args) -> Result<ControllerBundle, String> {
     let path = PathBuf::from(args.required("bundle")?);
     ControllerBundle::load(&path).map_err(|e| e.to_string())
+}
+
+fn admission_config(args: &Args) -> Result<AdmissionConfig, String> {
+    Ok(AdmissionConfig {
+        allow_uncertified: args.parsed("allow-uncertified", false)?,
+        ..AdmissionConfig::default()
+    })
 }
 
 fn telemetry_of(args: &Args) -> Result<Arc<dyn Telemetry>, String> {
@@ -164,7 +180,11 @@ fn engine_config(args: &Args) -> Result<EngineConfig, String> {
         "exact" => ServeTier::Exact,
         "fast-tanh" => ServeTier::FastTanh,
         "f32" => ServeTier::F32,
-        other => return Err(format!("--tier must be exact, fast-tanh or f32, got `{other}`")),
+        other => {
+            return Err(format!(
+                "--tier must be exact, fast-tanh or f32, got `{other}`"
+            ))
+        }
     };
     Ok(EngineConfig {
         max_batch: args.parsed("max-batch", defaults.max_batch)?,
@@ -274,7 +294,7 @@ fn print_report(report: &LoadReport) {
 
 fn cmd_check(args: &Args) -> Result<ExitCode, String> {
     let bundle = load_bundle(args)?;
-    match admit(bundle.clone()) {
+    match admit_with(bundle.clone(), &admission_config(args)?, &NullSink) {
         Ok(admitted) => {
             println!(
                 "ADMITTED: {} controller for {} (claim {:.6}, recomputed {:.6}, \
@@ -286,6 +306,20 @@ fn cmd_check(args: &Args) -> Result<ExitCode, String> {
                 admitted.sweep_lower_bound,
                 admitted.report.diagnostics().len()
             );
+            match (&admitted.safety, &admitted.uncertified_reason) {
+                (Some(cert), _) => println!(
+                    "safety: verdict {} re-derived in {:.0} ms ({} pieces, \
+                     epsilon {:.3e}, invariant {}/{} cells)",
+                    cert.verdict.label(),
+                    cert.verify_ms,
+                    cert.pieces,
+                    cert.epsilon,
+                    cert.invariant_alive,
+                    cert.invariant_cells
+                ),
+                (None, Some(reason)) => println!("safety: UNCERTIFIED ({reason})"),
+                (None, None) => {}
+            }
             Ok(ExitCode::SUCCESS)
         }
         Err(e) => {
@@ -295,10 +329,85 @@ fn cmd_check(args: &Args) -> Result<ExitCode, String> {
     }
 }
 
+/// Re-derives the bundle's formal safety certificate from the shipped
+/// weights, plant spec and embedded budgets, prints shipped vs fresh side
+/// by side, and exits non-zero unless the two agree exactly (wall-clock
+/// excluded — it is a metric, not a claim).
+fn cmd_verify(args: &Args) -> Result<ExitCode, String> {
+    let bundle = load_bundle(args)?;
+    bundle.validate().map_err(|e| e.to_string())?;
+    let Some(shipped) = &bundle.safety else {
+        let reason = if bundle.version < cocktail_serve::BUNDLE_VERSION {
+            format!(
+                "bundle format v{} predates safety certification",
+                bundle.version
+            )
+        } else {
+            "bundle omits a safety certificate".to_string()
+        };
+        if args.parsed("allow-uncertified", false)? {
+            println!("verify: UNCERTIFIED, allowed by --allow-uncertified ({reason})");
+            return Ok(ExitCode::SUCCESS);
+        }
+        eprintln!("verify: REFUSED: {reason}");
+        return Ok(ExitCode::FAILURE);
+    };
+    if let Some(violation) = shipped
+        .params
+        .budget_ceiling_violation(&bundle.input_domain)
+    {
+        eprintln!("verify: REFUSED: shipped verification budgets exceed ceilings: {violation}");
+        return Ok(ExitCode::FAILURE);
+    }
+    let (net, scale) = bundle.network().map_err(|e| e.to_string())?;
+    let sys = bundle.system.dynamics();
+    let fresh = cocktail_verify::certify_controller(
+        sys.as_ref(),
+        net,
+        scale,
+        &shipped.params,
+        cocktail_math::parallel::default_workers(),
+        &NullSink,
+    )
+    .map_err(|e| format!("re-derivation under the shipped budgets failed: {e}"))?;
+    let row = |label: &str, c: &cocktail_verify::SafetyCert| {
+        println!(
+            "{label:>8}: verdict {} | pieces {} | epsilon {:.6e} | reach {} steps \
+             (peak {} boxes, safe {}) | invariant {}/{} cells (digest {:016x}) | {:.0} ms",
+            c.verdict.label(),
+            c.pieces,
+            c.epsilon,
+            c.reach_steps,
+            c.reach_peak_boxes,
+            c.reach_safe,
+            c.invariant_alive,
+            c.invariant_cells,
+            c.invariant_digest,
+            c.verify_ms
+        );
+    };
+    row("shipped", shipped);
+    row("fresh", &fresh);
+    match shipped.diff(&fresh, 0.0) {
+        None => {
+            println!(
+                "verify: OK — certificate re-derives exactly from the shipped \
+                 weights and budgets"
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(field) => {
+            eprintln!("verify: REFUSED: shipped and re-derived certificates disagree on `{field}`");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
 fn cmd_serve(args: &Args) -> Result<ExitCode, String> {
     let bundle = load_bundle(args)?;
     let tel = telemetry_of(args)?;
-    let admitted = admit(bundle.clone()).map_err(|e| format!("admission refused: {e}"))?;
+    let admitted = admit_with(bundle.clone(), &admission_config(args)?, &NullSink)
+        .map_err(|e| format!("admission refused: {e}"))?;
     let config = engine_config(args)?;
     let engine = Engine::start_with(&admitted, config, None, tel).map_err(|e| e.to_string())?;
     let server = AnyServer::bind(args, args.required("addr")?, engine.handle())?;
@@ -401,7 +510,8 @@ fn cmd_rollout_drill(args: &Args) -> Result<ExitCode, String> {
     };
     let v1 = load_bundle(args)?;
     let tel = telemetry_of(args)?;
-    let admitted = admit(v1.clone()).map_err(|e| format!("admission refused: {e}"))?;
+    let admitted = admit_with(v1.clone(), &admission_config(args)?, &NullSink)
+        .map_err(|e| format!("admission refused: {e}"))?;
     let drift_window = 128usize;
     let config = EngineConfig {
         shards: args.parsed("shards", 2)?,
@@ -589,7 +699,8 @@ fn cmd_rollout_drill(args: &Args) -> Result<ExitCode, String> {
 fn cmd_smoke(args: &Args) -> Result<ExitCode, String> {
     let bundle = load_bundle(args)?;
     let tel = telemetry_of(args)?;
-    let admitted = admit(bundle.clone()).map_err(|e| format!("admission refused: {e}"))?;
+    let admitted = admit_with(bundle.clone(), &admission_config(args)?, &NullSink)
+        .map_err(|e| format!("admission refused: {e}"))?;
     let config = engine_config(args)?;
     let engine = Engine::start_with(&admitted, config, None, tel).map_err(|e| e.to_string())?;
     let server = AnyServer::bind(args, "127.0.0.1:0", engine.handle())?;

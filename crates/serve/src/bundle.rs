@@ -17,6 +17,8 @@ use cocktail_analysis::{AnalysisReport, ControllerSpec, Severity};
 use cocktail_core::SystemId;
 use cocktail_math::BoxRegion;
 use cocktail_nn::{FastTierCert, Mlp};
+use cocktail_obs::{NullSink, Telemetry};
+use cocktail_verify::{certify_controller, default_params, SafetyCert, SafetyParams};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -24,8 +26,15 @@ use std::path::{Path, PathBuf};
 /// Format version of [`ControllerBundle`]; bump on any shape change.
 ///
 /// Version history: 1 — initial format; 2 — adds the optional `fast_tier`
-/// quantization/approximation error certificate.
-pub const BUNDLE_VERSION: u32 = 2;
+/// quantization/approximation error certificate; 3 — adds the optional
+/// `safety` formal safety certificate (Bernstein + reachability +
+/// invariant set). Version-2 bundles still load and validate, but the
+/// admission gate refuses them by default as uncertified (see
+/// `AdmissionConfig::allow_uncertified`).
+pub const BUNDLE_VERSION: u32 = 3;
+
+/// Oldest bundle format [`ControllerBundle::validate`] still accepts.
+pub const OLDEST_READABLE_VERSION: u32 = 2;
 
 /// Why a bundle could not be packaged, saved, or loaded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,8 +121,10 @@ pub fn fnv1a_64(bytes: &[u8]) -> u64 {
 /// A deployable controller artifact.
 ///
 /// See the module docs for the format contract. Field order is part of
-/// the (pretty-printed JSON) format.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// the (pretty-printed JSON) format. `Deserialize` is hand-written below:
+/// version-2 files predate the `safety` field entirely, so a missing key
+/// must read as `None` while every other field stays required.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ControllerBundle {
     /// Must equal [`BUNDLE_VERSION`].
     pub version: u32,
@@ -142,17 +153,62 @@ pub struct ControllerBundle {
     /// activations the fast tiers do not cover; admission re-derives the
     /// certificate from the shipped weights and refuses on mismatch.
     pub fast_tier: Option<FastTierCert>,
+    /// The formal safety certificate: Bernstein enclosure, closed-loop
+    /// reachability and control-invariant set, derived at export from the
+    /// shipped weights, the plant spec and the embedded parameters.
+    /// Admission re-derives it bit-for-bit and refuses on any disagreement;
+    /// a bundle without one (version-2 formats, or a student whose
+    /// certification exhausted its budget — the paper's `κ_D` failure
+    /// mode) is refused as *uncertified* unless explicitly allowed.
+    /// Absent (`None`) when deserializing version-2 files.
+    pub safety: Option<SafetyCert>,
     /// Who made this bundle.
     pub provenance: Provenance,
 }
 
+impl Deserialize for ControllerBundle {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let serde::Value::Map(fields) = v else {
+            return Err(serde::DeError::custom(format!(
+                "expected map for `ControllerBundle`, got {}",
+                v.kind()
+            )));
+        };
+        fn req<T: Deserialize>(
+            fields: &[(String, serde::Value)],
+            name: &str,
+        ) -> Result<T, serde::DeError> {
+            T::from_value(
+                serde::__field(fields, name)
+                    .map_err(|e| serde::DeError::custom(format!("in `ControllerBundle`: {e}")))?,
+            )
+        }
+        // `safety` arrived with format version 3; in older files the key is
+        // simply absent, which must read as "no certificate", not an error.
+        let safety = match fields.iter().find(|(k, _)| k == "safety") {
+            Some((_, v)) => Option::<SafetyCert>::from_value(v)?,
+            None => None,
+        };
+        Ok(ControllerBundle {
+            version: req(fields, "version")?,
+            system: req(fields, "system")?,
+            spec: req(fields, "spec")?,
+            input_domain: req(fields, "input_domain")?,
+            u_inf: req(fields, "u_inf")?,
+            u_sup: req(fields, "u_sup")?,
+            lipschitz_claim: req(fields, "lipschitz_claim")?,
+            analysis: req(fields, "analysis")?,
+            fast_tier: req(fields, "fast_tier")?,
+            safety,
+            provenance: req(fields, "provenance")?,
+        })
+    }
+}
+
 impl ControllerBundle {
-    /// Packages a trained student `u = scale ⊙ net(s)` for `system`.
-    ///
-    /// Runs the static analyzer and the Lipschitz certification once at
-    /// export: a student the linter rejects at error level, or one without
-    /// a product-form Lipschitz bound, is refused here — shipping an
-    /// artifact that admission is guaranteed to bounce helps nobody.
+    /// Packages a trained student `u = scale ⊙ net(s)` for `system` with
+    /// the canonical verification budgets ([`default_params`]) and no
+    /// telemetry. See [`Self::package_with`].
     ///
     /// # Errors
     ///
@@ -164,6 +220,36 @@ impl ControllerBundle {
         net: Mlp,
         scale: Vec<f64>,
         provenance: Provenance,
+    ) -> Result<Self, BundleError> {
+        Self::package_with(system, net, scale, provenance, None, &NullSink)
+    }
+
+    /// Packages a trained student `u = scale ⊙ net(s)` for `system`.
+    ///
+    /// Runs the static analyzer and the Lipschitz certification once at
+    /// export: a student the linter rejects at error level, or one without
+    /// a product-form Lipschitz bound, is refused here — shipping an
+    /// artifact that admission is guaranteed to bounce helps nobody. Then
+    /// runs the full formal safety loop (Bernstein certificate, closed-loop
+    /// reachability, control-invariant set) under `safety_params` (the
+    /// plant's [`default_params`] when `None`) and embeds the resulting
+    /// [`SafetyCert`]. A student whose certification exhausts its budget —
+    /// the paper's `κ_D` failure mode — still packages, but without a
+    /// certificate: admission will refuse it as uncertified unless the
+    /// operator explicitly allows uncertified bundles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BundleError::Format`] when the student fails the export
+    /// gate, [`BundleError::NonFinite`] when any parameter or bound is
+    /// non-finite.
+    pub fn package_with(
+        system: SystemId,
+        net: Mlp,
+        scale: Vec<f64>,
+        provenance: Provenance,
+        safety_params: Option<&SafetyParams>,
+        tel: &dyn Telemetry,
     ) -> Result<Self, BundleError> {
         let sys = system.dynamics();
         let spec = ControllerSpec::from_network(net, scale);
@@ -185,8 +271,30 @@ impl ControllerBundle {
         let (u_inf, u_sup) = sys.control_bounds();
         let input_domain = sys.verification_domain();
         let fast_tier = match &spec {
-            ControllerSpec::Mlp { net, .. } => {
-                cocktail_nn::certify_fast_tier(net, &input_domain)
+            ControllerSpec::Mlp { net, .. } => cocktail_nn::certify_fast_tier(net, &input_domain),
+            _ => None,
+        };
+        let safety = match &spec {
+            ControllerSpec::Mlp { net, scale } => {
+                let defaults;
+                let params = match safety_params {
+                    Some(p) => p,
+                    None => {
+                        defaults = default_params(sys.as_ref());
+                        &defaults
+                    }
+                };
+                // a budget blow-up is not an export error: the bundle ships
+                // uncertified and the admission gate decides its fate
+                certify_controller(
+                    sys.as_ref(),
+                    net,
+                    scale,
+                    params,
+                    cocktail_math::parallel::default_workers(),
+                    tel,
+                )
+                .ok()
             }
             _ => None,
         };
@@ -200,6 +308,7 @@ impl ControllerBundle {
             lipschitz_claim: claim,
             analysis: findings_of(&report),
             fast_tier,
+            safety,
             provenance,
         };
         bundle.validate()?;
@@ -214,9 +323,16 @@ impl ControllerBundle {
     /// Returns [`BundleError::Format`] on shape problems and
     /// [`BundleError::NonFinite`] on NaN / infinity anywhere.
     pub fn validate(&self) -> Result<(), BundleError> {
-        if self.version != BUNDLE_VERSION {
+        if !(OLDEST_READABLE_VERSION..=BUNDLE_VERSION).contains(&self.version) {
             return Err(BundleError::Format(format!(
-                "bundle version {} != supported version {BUNDLE_VERSION}",
+                "bundle version {} outside the supported range \
+                 {OLDEST_READABLE_VERSION}..={BUNDLE_VERSION}",
+                self.version
+            )));
+        }
+        if self.version < 3 && self.safety.is_some() {
+            return Err(BundleError::Format(format!(
+                "version {} predates safety certificates yet carries one",
                 self.version
             )));
         }
@@ -270,7 +386,11 @@ impl ControllerBundle {
                 .fast_tanh_output_error
                 .iter()
                 .chain(&cert.f32_output_error);
-            if scalars.iter().chain(rows).any(|v| !v.is_finite() || *v < 0.0) {
+            if scalars
+                .iter()
+                .chain(rows)
+                .any(|v| !v.is_finite() || *v < 0.0)
+            {
                 return Err(BundleError::NonFinite("fast tier certificate".into()));
             }
             if cert.fast_tanh_output_error.len() != control_dim
@@ -282,6 +402,9 @@ impl ControllerBundle {
                     cert.f32_output_error.len()
                 )));
             }
+        }
+        if let Some(cert) = &self.safety {
+            validate_safety_cert(cert, state_dim)?;
         }
         spec_params_finite(&self.spec)?;
         Ok(())
@@ -381,6 +504,58 @@ impl ControllerBundle {
     }
 }
 
+/// Structural/finiteness checks of a shipped safety certificate. The
+/// semantic half (does the claim re-derive?) belongs to the admission
+/// gate; here we only refuse shapes that could never be valid, so the
+/// strict-JSON contract extends to the new section.
+fn validate_safety_cert(cert: &SafetyCert, state_dim: usize) -> Result<(), BundleError> {
+    for (name, v) in [
+        ("safety lipschitz", cert.lipschitz),
+        ("safety epsilon", cert.epsilon),
+        ("safety verify_ms", cert.verify_ms),
+    ] {
+        if !v.is_finite() || v < 0.0 {
+            return Err(BundleError::NonFinite(format!("{name} {v}")));
+        }
+    }
+    for (name, b) in [
+        ("safety reach hull", &cert.reach_final_hull),
+        ("safety initial set", &cert.params.initial_set),
+    ] {
+        if b.dim() != state_dim {
+            return Err(BundleError::Format(format!(
+                "{name} dimension {} != controller state dimension {state_dim}",
+                b.dim()
+            )));
+        }
+        for (i, iv) in b.intervals().iter().enumerate() {
+            if !(iv.lo().is_finite() && iv.hi().is_finite()) {
+                return Err(BundleError::NonFinite(format!("{name} dimension {i}")));
+            }
+        }
+    }
+    let c = &cert.params.certificate;
+    if !(c.tolerance.is_finite() && c.tolerance > 0.0) {
+        return Err(BundleError::Format(format!(
+            "safety certificate tolerance {} is not a positive finite",
+            c.tolerance
+        )));
+    }
+    if !(cert.params.reach.split_width.is_finite() && cert.params.reach.split_width > 0.0) {
+        return Err(BundleError::Format(format!(
+            "safety reach split width {} is not a positive finite",
+            cert.params.reach.split_width
+        )));
+    }
+    if cert.invariant_alive > cert.invariant_cells {
+        return Err(BundleError::Format(format!(
+            "safety invariant set claims {} alive cells out of {}",
+            cert.invariant_alive, cert.invariant_cells
+        )));
+    }
+    Ok(())
+}
+
 /// Rejects non-finite parameters anywhere in a spec tree. The vendored
 /// JSON parser accepts bare `NaN` / `Infinity` literals, so "the file
 /// parsed" is not the same as "the file is strict JSON" — this is the
@@ -420,6 +595,9 @@ pub(crate) mod tests_support {
     use super::{fnv1a_64, ControllerBundle, Provenance};
     use cocktail_core::SystemId;
     use cocktail_nn::{Activation, Mlp, MlpBuilder};
+    use cocktail_obs::NullSink;
+    use cocktail_verify::{fast_params, SafetyParams};
+    use std::sync::OnceLock;
 
     /// A small healthy student for the oscillator plant.
     pub(crate) fn student() -> Mlp {
@@ -439,14 +617,42 @@ pub(crate) mod tests_support {
         }
     }
 
-    /// A packaged, admission-clean oscillator bundle.
+    /// The coarse verification budgets the test fixtures embed: admission
+    /// re-derives with the *shipped* parameters, so cheap budgets keep the
+    /// unit suite fast without weakening the re-derivation contract.
+    pub(crate) fn test_safety_params() -> SafetyParams {
+        fast_params(SystemId::Oscillator.dynamics().as_ref())
+    }
+
+    /// A packaged, admission-clean oscillator bundle (memoized: packaging
+    /// runs the full certification loop once per test binary).
     #[allow(
         clippy::expect_used,
         reason = "test fixture; a packaging failure here is a test failure"
     )]
     pub(crate) fn healthy_bundle() -> ControllerBundle {
-        ControllerBundle::package(SystemId::Oscillator, student(), vec![20.0], provenance())
+        static CELL: OnceLock<ControllerBundle> = OnceLock::new();
+        CELL.get_or_init(|| {
+            ControllerBundle::package_with(
+                SystemId::Oscillator,
+                student(),
+                vec![20.0],
+                provenance(),
+                Some(&test_safety_params()),
+                &NullSink,
+            )
             .expect("healthy student packages")
+        })
+        .clone()
+    }
+
+    /// The same artifact in the legacy version-2 format: no safety
+    /// certificate, pre-certification version stamp.
+    pub(crate) fn v2_bundle() -> ControllerBundle {
+        let mut b = healthy_bundle();
+        b.version = 2;
+        b.safety = None;
+        b
     }
 }
 
@@ -485,8 +691,8 @@ mod tests {
         assert!(cert.fast_tanh_output_error[0] > 0.0);
         assert!(cert.f32_output_error[0] > 0.0);
         let (net, _) = b.network().expect("neural spec");
-        let fresh = cocktail_nn::certify_fast_tier(net, &b.input_domain)
-            .expect("re-derivation succeeds");
+        let fresh =
+            cocktail_nn::certify_fast_tier(net, &b.input_domain).expect("re-derivation succeeds");
         assert!(fresh.matches(cert, 1e-9), "re-derivation is deterministic");
     }
 
@@ -540,7 +746,7 @@ mod tests {
         b.save(&path).expect("save succeeds");
         let text = std::fs::read_to_string(&path).expect("readable");
 
-        let skewed = text.replacen("\"version\": 2", "\"version\": 99", 1);
+        let skewed = text.replacen("\"version\": 3", "\"version\": 99", 1);
         std::fs::write(&path, skewed).expect("writable");
         let err = ControllerBundle::load(&path).expect_err("version skew refused");
         assert!(err.to_string().contains("version 99"), "{err}");
@@ -563,6 +769,102 @@ mod tests {
         let err = ControllerBundle::load(&path).expect_err("NaN literal refused");
         assert!(matches!(err, BundleError::NonFinite(_)), "{err}");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn package_embeds_a_safety_cert_that_rederives_bit_for_bit() {
+        let b = bundle();
+        let cert = b.safety.as_ref().expect("oscillator student certifies");
+        let sys = b.system.dynamics();
+        let (net, scale) = b.network().expect("neural spec");
+        let fresh = certify_controller(
+            sys.as_ref(),
+            net,
+            scale,
+            &cert.params,
+            cocktail_math::parallel::default_workers(),
+            &NullSink,
+        )
+        .expect("re-derivation succeeds");
+        assert!(
+            cert.matches(&fresh, 0.0),
+            "shipped and re-derived certs must agree exactly: {:?}",
+            cert.diff(&fresh, 0.0)
+        );
+    }
+
+    #[test]
+    fn v2_files_without_a_safety_key_load_as_uncertified() {
+        let b = bundle();
+        let path = temp_path("v2-compat");
+        b.save(&path).expect("save succeeds");
+        let text = std::fs::read_to_string(&path).expect("readable");
+
+        // rebuild the file as a version-2 artifact: older stamp, no
+        // `safety` key at all (not even `null`)
+        let mut v2_lines: Vec<String> = Vec::new();
+        let mut in_safety = false;
+        let mut depth = 0i32;
+        for line in text.lines() {
+            if line.trim_start().starts_with("\"safety\":") {
+                in_safety = true;
+                depth = 0;
+            }
+            if in_safety {
+                depth += line.matches(['{', '[']).count() as i32;
+                depth -= line.matches(['}', ']']).count() as i32;
+                if depth <= 0 {
+                    in_safety = false;
+                }
+                continue;
+            }
+            v2_lines.push(line.replacen("\"version\": 3", "\"version\": 2", 1));
+        }
+        let v2_text = v2_lines.join("\n");
+        assert!(!v2_text.contains("\"safety\""), "key must be gone");
+        std::fs::write(&path, v2_text).expect("writable");
+
+        let back = ControllerBundle::load(&path).expect("v2 file still loads");
+        assert_eq!(back.version, 2);
+        assert_eq!(back.safety, None);
+        assert_eq!(back.spec, b.spec, "payload fields survive the downgrade");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn validate_refuses_a_v2_bundle_that_claims_a_safety_cert() {
+        let mut b = bundle();
+        assert!(b.safety.is_some());
+        b.version = 2;
+        let err = b.validate().expect_err("v2 with cert refused");
+        assert!(matches!(err, BundleError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn validate_refuses_corrupt_safety_certs() {
+        // non-finite wall-clock
+        let mut b = bundle();
+        if let Some(cert) = b.safety.as_mut() {
+            cert.verify_ms = f64::NAN;
+        }
+        let err = b.validate().expect_err("NaN verify_ms refused");
+        assert!(matches!(err, BundleError::NonFinite(_)), "{err}");
+
+        // hull dimension disagrees with the plant
+        let mut b = bundle();
+        if let Some(cert) = b.safety.as_mut() {
+            cert.reach_final_hull = BoxRegion::cube(3, -1.0, 1.0);
+        }
+        let err = b.validate().expect_err("wrong hull dim refused");
+        assert!(matches!(err, BundleError::Format(_)), "{err}");
+
+        // impossible invariant-set population
+        let mut b = bundle();
+        if let Some(cert) = b.safety.as_mut() {
+            cert.invariant_alive = cert.invariant_cells + 1;
+        }
+        let err = b.validate().expect_err("alive > cells refused");
+        assert!(matches!(err, BundleError::Format(_)), "{err}");
     }
 
     #[test]

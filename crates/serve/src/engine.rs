@@ -1829,7 +1829,13 @@ mod tests {
         )
         .expect("quantizable incumbent starts");
         let err = engine
-            .propose_parts(net, vec![1.0], vec![-5.0], vec![5.0], &RolloutConfig::default())
+            .propose_parts(
+                net,
+                vec![1.0],
+                vec![-5.0],
+                vec![5.0],
+                &RolloutConfig::default(),
+            )
             .expect_err("sigmoid canary refused");
         assert!(matches!(err, RolloutError::Incompatible(_)), "{err}");
     }

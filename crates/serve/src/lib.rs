@@ -53,7 +53,9 @@ pub mod wire;
 pub use admission::{
     admit, admit_candidate, admit_with, AdmissionConfig, AdmissionError, Admitted,
 };
-pub use bundle::{BundleError, ControllerBundle, Provenance, BUNDLE_VERSION};
+pub use bundle::{
+    BundleError, ControllerBundle, Provenance, BUNDLE_VERSION, OLDEST_READABLE_VERSION,
+};
 pub use engine::{
     ControlResponse, Engine, EngineConfig, EngineHandle, Outbox, PinnedHandle, ServeError,
     ServeTier, Ticket,

@@ -204,9 +204,11 @@ mod tests {
         reason = "test code; panics are failures"
     )]
     use super::*;
+    use crate::bundle::tests_support::test_safety_params;
     use crate::bundle::{fnv1a_64, Provenance};
     use cocktail_core::SystemId;
     use cocktail_nn::{Activation, MlpBuilder};
+    use cocktail_obs::NullSink;
 
     fn bundle(seed: u64) -> ControllerBundle {
         let net = MlpBuilder::new(2)
@@ -214,7 +216,7 @@ mod tests {
             .output(1, Activation::Tanh)
             .seed(seed)
             .build();
-        ControllerBundle::package(
+        ControllerBundle::package_with(
             SystemId::Oscillator,
             net,
             vec![20.0],
@@ -223,6 +225,8 @@ mod tests {
                 config_hash: fnv1a_64(b"replay-test"),
                 crate_version: env!("CARGO_PKG_VERSION").to_string(),
             },
+            Some(&test_safety_params()),
+            &NullSink,
         )
         .expect("packages")
     }

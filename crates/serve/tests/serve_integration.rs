@@ -39,8 +39,23 @@ fn provenance() -> Provenance {
 }
 
 fn bundle() -> ControllerBundle {
-    ControllerBundle::package(SystemId::Oscillator, student(), vec![20.0], provenance())
+    // memoized: packaging runs the full safety-certification loop, so pay
+    // for it once per test binary (coarse budgets — admission re-derives
+    // with whatever the bundle ships, so cheap budgets stay sound)
+    static CELL: std::sync::OnceLock<ControllerBundle> = std::sync::OnceLock::new();
+    CELL.get_or_init(|| {
+        let params = cocktail_verify::fast_params(SystemId::Oscillator.dynamics().as_ref());
+        ControllerBundle::package_with(
+            SystemId::Oscillator,
+            student(),
+            vec![20.0],
+            provenance(),
+            Some(&params),
+            &NullSink,
+        )
         .expect("healthy student packages")
+    })
+    .clone()
 }
 
 /// The per-sample reference path every batch schedule must reproduce.
@@ -171,7 +186,7 @@ fn corrupted_bundles_never_serve() {
     let healthy = bundle();
     healthy.save(&path).expect("healthy bundle saves");
     let text = std::fs::read_to_string(&path).expect("readable");
-    std::fs::write(&path, text.replacen("\"version\": 2", "\"version\": 99", 1)).expect("writable");
+    std::fs::write(&path, text.replacen("\"version\": 3", "\"version\": 99", 1)).expect("writable");
     assert!(
         ControllerBundle::load(&path).is_err(),
         "load refuses version skew"

@@ -295,7 +295,7 @@ fn sampled_error_bound(
 }
 
 /// Configuration for [`BernsteinCertificate::build`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CertificateConfig {
     /// Bernstein degree per dimension.
     pub degree: usize,
@@ -320,9 +320,20 @@ impl Default for CertificateConfig {
     }
 }
 
+/// Partition-refinement statistics of a certificate build: how many
+/// bisections were performed and how deep the refinement went. Shipped in
+/// the safety certificate so admission can compare them exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RefineStats {
+    /// Number of bisections performed (cells refined).
+    pub splits: usize,
+    /// Number of refinement levels (0 when the root piece met tolerance).
+    pub depth: usize,
+}
+
 /// A piecewise Bernstein over-approximation of a (scaled) MLP controller:
 /// on every piece `P`, `κ(x) ∈ B_P(x) ± ε_P` for all `x ∈ P`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BernsteinCertificate {
     pieces: Vec<CertPiece>,
     domain: BoxRegion,
@@ -330,7 +341,7 @@ pub struct BernsteinCertificate {
     lipschitz: f64,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct CertPiece {
     region: BoxRegion,
     polys: Vec<BernsteinApprox>,
@@ -358,53 +369,110 @@ impl BernsteinCertificate {
         domain: &BoxRegion,
         config: &CertificateConfig,
     ) -> Result<Self, VerifyError> {
+        Self::build_with_workers(
+            net,
+            scale,
+            domain,
+            config,
+            cocktail_math::parallel::default_workers(),
+        )
+        .map(|(cert, _)| cert)
+    }
+
+    /// [`Self::build`] with an explicit worker count, returning the
+    /// refinement statistics alongside the certificate.
+    ///
+    /// Refinement is level-synchronous: every region of the current frontier
+    /// is evaluated in parallel, then accepted or bisected in index order.
+    /// Each region's approximants and error bound depend only on that
+    /// region, so the resulting certificate is bit-identical for every
+    /// `workers >= 1`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::build`].
+    ///
+    /// # Panics
+    ///
+    /// See [`Self::build`].
+    pub fn build_with_workers(
+        net: &Mlp,
+        scale: &[f64],
+        domain: &BoxRegion,
+        config: &CertificateConfig,
+        workers: usize,
+    ) -> Result<(Self, RefineStats), VerifyError> {
         assert_eq!(scale.len(), net.output_dim(), "scale length mismatch");
         assert_eq!(domain.dim(), net.input_dim(), "domain dimension mismatch");
         let max_scale = scale.iter().fold(0.0_f64, |m, &s| m.max(s.abs()));
         let lipschitz = max_scale * net.lipschitz_constant();
 
-        let mut queue = vec![domain.clone()];
+        let mut frontier = vec![domain.clone()];
         let mut pieces = Vec::new();
-        while let Some(region) = queue.pop() {
-            if pieces.len() + queue.len() + 1 > config.max_pieces {
+        let mut stats = RefineStats::default();
+        while !frontier.is_empty() {
+            if pieces.len() + frontier.len() > config.max_pieces {
                 return Err(VerifyError::ResourceExhausted {
                     resource: "bernstein partitions",
                     budget: config.max_pieces,
                 });
             }
             // build per-output approximants and bound their error soundly
-            let polys: Vec<BernsteinApprox> = (0..net.output_dim())
-                .map(|o| {
-                    let f = |x: &[f64]| net.forward(x)[o] * scale[o];
-                    BernsteinApprox::build(&f, &region, config.degree)
-                })
-                .collect();
-            let rigorous = rigorous_error_bound(lipschitz, &region, config.degree);
-            let mut epsilon: f64 = 0.0;
-            for (o, poly) in polys.iter().enumerate() {
-                let f = |x: &[f64]| net.forward(x)[o] * scale[o];
-                let sampled =
-                    sampled_error_bound(&f, poly, lipschitz, config.error_samples_per_dim);
-                epsilon = epsilon.max(sampled.min(rigorous));
+            let evaluated: Vec<(Vec<BernsteinApprox>, f64)> =
+                cocktail_math::parallel::map_indexed_with_workers(
+                    &frontier,
+                    workers,
+                    |_, region| {
+                        let polys: Vec<BernsteinApprox> = (0..net.output_dim())
+                            .map(|o| {
+                                let f = |x: &[f64]| net.forward(x)[o] * scale[o];
+                                BernsteinApprox::build(&f, region, config.degree)
+                            })
+                            .collect();
+                        let rigorous = rigorous_error_bound(lipschitz, region, config.degree);
+                        let mut epsilon: f64 = 0.0;
+                        for (o, poly) in polys.iter().enumerate() {
+                            let f = |x: &[f64]| net.forward(x)[o] * scale[o];
+                            let sampled = sampled_error_bound(
+                                &f,
+                                poly,
+                                lipschitz,
+                                config.error_samples_per_dim,
+                            );
+                            epsilon = epsilon.max(sampled.min(rigorous));
+                        }
+                        (polys, epsilon)
+                    },
+                );
+            let mut next = Vec::new();
+            for (region, (polys, epsilon)) in frontier.into_iter().zip(evaluated) {
+                if epsilon > config.tolerance && region.max_width() > 1e-6 {
+                    let (a, b) = region.bisect();
+                    next.push(a);
+                    next.push(b);
+                    stats.splits += 1;
+                } else {
+                    pieces.push(CertPiece {
+                        region,
+                        polys,
+                        epsilon,
+                    });
+                }
             }
-            if epsilon > config.tolerance && region.max_width() > 1e-6 {
-                let (a, b) = region.bisect();
-                queue.push(a);
-                queue.push(b);
-                continue;
+            frontier = next;
+            if !frontier.is_empty() {
+                stats.depth += 1;
             }
-            pieces.push(CertPiece {
-                region,
-                polys,
-                epsilon,
-            });
         }
-        Ok(Self {
-            pieces,
-            domain: domain.clone(),
-            output_dim: scale.len(),
-            lipschitz,
-        })
+        Ok((
+            Self {
+                pieces,
+                domain: domain.clone(),
+                output_dim: scale.len(),
+                lipschitz,
+            },
+            stats,
+        ))
     }
 
     /// Number of partition pieces — the paper's verification-cost driver.
@@ -623,6 +691,30 @@ mod tests {
             big.piece_count()
         );
         assert!(small.lipschitz() < big.lipschitz());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_certificate() {
+        let net = small_net(5);
+        let domain = BoxRegion::cube(2, -1.0, 1.0);
+        let cfg = CertificateConfig {
+            tolerance: 0.35,
+            ..Default::default()
+        };
+        let (reference, ref_stats) =
+            BernsteinCertificate::build_with_workers(&net, &[5.0], &domain, &cfg, 1).expect("fits");
+        assert!(
+            reference.piece_count() > 1,
+            "refinement must actually happen"
+        );
+        assert!(ref_stats.splits > 0);
+        for workers in [2usize, 8] {
+            let (cert, stats) =
+                BernsteinCertificate::build_with_workers(&net, &[5.0], &domain, &cfg, workers)
+                    .expect("fits");
+            assert_eq!(cert, reference, "workers = {workers}");
+            assert_eq!(stats, ref_stats, "workers = {workers}");
+        }
     }
 
     #[test]

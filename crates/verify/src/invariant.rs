@@ -11,10 +11,11 @@ use crate::enclosure::ControlEnclosure;
 use crate::error::VerifyError;
 use cocktail_env::Dynamics;
 use cocktail_math::{BoxRegion, Interval};
+use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
 /// Configuration for [`invariant_set`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct InvariantConfig {
     /// Grid resolution per dimension (`grid^n` cells).
     pub grid: usize,
@@ -39,6 +40,9 @@ pub struct InvariantResult {
     alive: Vec<bool>,
     /// Number of fixpoint sweeps executed.
     pub iterations: usize,
+    /// Whether the fixpoint was reached within the iteration cap. Only a
+    /// converged result is a sound invariant set.
+    pub converged: bool,
     /// Wall-clock time (the paper's verifiability metric).
     pub duration: Duration,
 }
@@ -71,6 +75,26 @@ impl InvariantResult {
         match self.cell_index(p) {
             Some(i) => self.alive[i],
             None => false,
+        }
+    }
+
+    /// The raw per-cell survival bitmap (row-major, dimension 0 fastest) —
+    /// the input of the safety certificate's invariant digest.
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Whether an entire box lies inside the computed invariant set: every
+    /// cell it overlaps must have survived the fixpoint. `false` when the
+    /// box pokes outside the analysis domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.dim() != domain.dim()`.
+    pub fn contains_box(&self, b: &BoxRegion) -> bool {
+        match self.cell_range(b) {
+            None => false,
+            Some(ranges) => all_alive(&ranges, &self.alive, self.grid),
         }
     }
 
@@ -144,6 +168,35 @@ pub fn invariant_set(
     controller: &dyn ControlEnclosure,
     config: &InvariantConfig,
 ) -> Result<InvariantResult, VerifyError> {
+    invariant_set_with_workers(
+        sys,
+        controller,
+        config,
+        cocktail_math::parallel::default_workers(),
+    )
+}
+
+/// [`invariant_set`] with an explicit worker count.
+///
+/// The per-cell one-step image precompute (the dominant cost) fans out over
+/// `workers` threads, and the fixpoint runs Jacobi-style: every sweep
+/// decides each cell against the *previous* sweep's survival bitmap and
+/// removals apply between sweeps, so the result is bit-identical for every
+/// `workers >= 1` (removal order within a sweep cannot matter).
+///
+/// # Errors
+///
+/// See [`invariant_set`].
+///
+/// # Panics
+///
+/// See [`invariant_set`].
+pub fn invariant_set_with_workers(
+    sys: &dyn Dynamics,
+    controller: &dyn ControlEnclosure,
+    config: &InvariantConfig,
+    workers: usize,
+) -> Result<InvariantResult, VerifyError> {
     assert!(config.grid > 0, "grid must be positive");
     if controller.state_dim() != sys.state_dim() || controller.control_dim() != sys.control_dim() {
         return Err(VerifyError::DimensionMismatch {
@@ -168,10 +221,10 @@ pub fn invariant_set(
         .map(|&a| Interval::symmetric(a))
         .collect();
 
-    // precompute each cell's one-step image box
-    let images: Vec<BoxRegion> = cells
-        .iter()
-        .map(|cell| {
+    // precompute each cell's one-step image box in parallel: pure per-cell
+    // work, bit-identical for any worker split
+    let images: Vec<BoxRegion> =
+        cocktail_math::parallel::map_indexed_with_workers(&cells, workers, |_, cell| {
             let u: Vec<Interval> = controller
                 .enclose(cell)
                 .into_iter()
@@ -179,70 +232,74 @@ pub fn invariant_set(
                 .map(|(iv, (&l, &h))| iv.clamp_to(l, h))
                 .collect();
             BoxRegion::new(sys.step_interval(cell.intervals(), &u, &omega))
-        })
-        .collect();
+        });
 
     let mut result = InvariantResult {
         domain: domain.clone(),
         grid,
         alive: vec![true; total],
         iterations: 0,
+        converged: false,
         duration: Duration::ZERO,
     };
 
+    // image cell-ranges never change between sweeps; resolve them once
+    let ranges: Vec<Option<Vec<(usize, usize)>>> = images
+        .iter()
+        .map(|image| result.cell_range(image))
+        .collect();
+
     for iteration in 1..=config.max_iterations {
-        let mut removed = false;
-        for (i, image) in images.iter().enumerate() {
-            if !result.alive[i] {
-                continue;
-            }
-            let keep = match result.cell_range(image) {
-                None => false, // image leaves X
-                Some(ranges) => {
-                    // every overlapped cell must still be alive
-                    let mut ok = true;
-                    let mut idx: Vec<usize> = ranges.iter().map(|r| r.0).collect();
-                    'outer: loop {
-                        let mut flat = 0usize;
-                        let mut stride = 1usize;
-                        for (d, &k) in idx.iter().enumerate() {
-                            flat += k * stride;
-                            stride *= grid;
-                            let _ = d;
-                        }
-                        if !result.alive[flat] {
-                            ok = false;
-                            break 'outer;
-                        }
-                        // advance the per-dimension counter
-                        let mut d = 0;
-                        loop {
-                            if d == idx.len() {
-                                break 'outer;
-                            }
-                            idx[d] += 1;
-                            if idx[d] <= ranges[d].1 {
-                                break;
-                            }
-                            idx[d] = ranges[d].0;
-                            d += 1;
-                        }
+        // Jacobi sweep: keep-decisions read only the previous sweep's
+        // bitmap, removals apply after the sweep
+        let alive = &result.alive;
+        let keep: Vec<bool> =
+            cocktail_math::parallel::map_range_with_workers(total, workers, |i| {
+                alive[i]
+                    && match &ranges[i] {
+                        None => false, // image leaves X
+                        Some(ranges) => all_alive(ranges, alive, grid),
                     }
-                    ok
-                }
-            };
-            if !keep {
-                result.alive[i] = false;
-                removed = true;
-            }
-        }
+            });
+        let removed = result.alive.iter().zip(&keep).any(|(&a, &k)| a && !k);
+        result.alive = keep;
         result.iterations = iteration;
         if !removed {
+            result.converged = true;
             break;
         }
     }
     result.duration = start.elapsed();
     Ok(result)
+}
+
+/// Whether every grid cell in the per-dimension index `ranges` is alive.
+fn all_alive(ranges: &[(usize, usize)], alive: &[bool], grid: usize) -> bool {
+    let mut idx: Vec<usize> = ranges.iter().map(|r| r.0).collect();
+    loop {
+        let mut flat = 0usize;
+        let mut stride = 1usize;
+        for &k in &idx {
+            flat += k * stride;
+            stride *= grid;
+        }
+        if !alive[flat] {
+            return false;
+        }
+        // advance the per-dimension counter
+        let mut d = 0;
+        loop {
+            if d == idx.len() {
+                return true;
+            }
+            idx[d] += 1;
+            if idx[d] <= ranges[d].1 {
+                break;
+            }
+            idx[d] = ranges[d].0;
+            d += 1;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -310,6 +367,24 @@ mod tests {
                 let w = cocktail_math::rng::uniform_symmetric(&mut rng, 1, 0.05);
                 s = sys.step(&s, &u, &w);
             }
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_invariant_set() {
+        let sys = VanDerPol::new();
+        let enc = damped_enclosure();
+        let cfg = InvariantConfig {
+            grid: 20,
+            ..Default::default()
+        };
+        let reference = invariant_set_with_workers(&sys, &enc, &cfg, 1).expect("ok");
+        assert!(reference.converged);
+        for workers in [2usize, 8] {
+            let got = invariant_set_with_workers(&sys, &enc, &cfg, workers).expect("ok");
+            assert_eq!(got.alive(), reference.alive(), "workers = {workers}");
+            assert_eq!(got.iterations, reference.iterations, "workers = {workers}");
+            assert_eq!(got.converged, reference.converged, "workers = {workers}");
         }
     }
 

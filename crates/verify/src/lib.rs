@@ -21,7 +21,11 @@
 //! * [`reach`] — finite-horizon box reachability with subdivision
 //!   ([`reach::reach_analysis`]), the Fig. 4 experiment;
 //! * [`invariant`] — grid-fixpoint control-invariant-set computation
-//!   ([`invariant::invariant_set`]), the Fig. 3 experiment.
+//!   ([`invariant::invariant_set`]), the Fig. 3 experiment;
+//! * [`cert`] — the full loop condensed into a serializable, deterministically
+//!   re-derivable [`cert::SafetyCert`] ([`cert::certify_controller`]): the
+//!   artifact the serving layer embeds in controller bundles and re-derives
+//!   at admission time.
 //!
 //! Everything is deterministic and wall-clock metered, so "verifiability =
 //! verification time" (the paper's Property 3) is directly measurable.
@@ -49,6 +53,7 @@
 //! ```
 
 pub mod bernstein;
+pub mod cert;
 pub mod enclosure;
 pub mod error;
 pub mod invariant;
@@ -56,10 +61,11 @@ pub mod lyapunov;
 pub mod reach;
 pub mod report;
 
-pub use bernstein::{BernsteinApprox, BernsteinCertificate, CertificateConfig};
+pub use bernstein::{BernsteinApprox, BernsteinCertificate, CertificateConfig, RefineStats};
+pub use cert::{certify_controller, default_params, fast_params, SafetyCert, SafetyParams};
 pub use enclosure::ControlEnclosure;
 pub use error::VerifyError;
-pub use invariant::{invariant_set, InvariantConfig, InvariantResult};
+pub use invariant::{invariant_set, invariant_set_with_workers, InvariantConfig, InvariantResult};
 pub use lyapunov::{
     solve_discrete_lyapunov, verify_ellipsoid_invariant, EllipsoidCheck, QuadraticForm,
 };

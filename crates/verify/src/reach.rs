@@ -17,11 +17,12 @@ use crate::enclosure::ControlEnclosure;
 use crate::error::VerifyError;
 use cocktail_env::Dynamics;
 use cocktail_math::{BoxRegion, Interval};
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
 /// How reachable sets are represented between steps.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ReachMode {
     /// Snap every image onto a global grid of `split_width` cells. Bounded
     /// memory and robust against the wrapping effect over long horizons,
@@ -36,7 +37,7 @@ pub enum ReachMode {
 }
 
 /// Configuration for [`reach_analysis`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReachConfig {
     /// Number of forward steps `T`.
     pub steps: usize,

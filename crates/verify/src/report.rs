@@ -12,11 +12,11 @@ use crate::reach::{reach_analysis, ReachConfig, ReachResult};
 use cocktail_env::Dynamics;
 use cocktail_math::BoxRegion;
 use cocktail_nn::Mlp;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
 /// The verdict of a certification run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SafetyVerdict {
     /// Every reachable over-approximation stayed inside the safe domain
     /// for the full horizon.
@@ -24,6 +24,16 @@ pub enum SafetyVerdict {
     /// The over-approximation left the safe domain — possibly spurious
     /// (over-approximation), but the property could not be proven.
     NotProven,
+}
+
+impl SafetyVerdict {
+    /// Stable kebab-case label for telemetry and CLI output.
+    pub fn label(self) -> &'static str {
+        match self {
+            SafetyVerdict::Safe => "safe",
+            SafetyVerdict::NotProven => "not-proven",
+        }
+    }
 }
 
 /// A structured certification result.

@@ -16,9 +16,15 @@
 //! aggregate summary of the stream at the end.
 //!
 //! Pass `--export-bundle <path>` to package the robust student `κ*` as a
-//! `cocktail-serve` controller bundle after verification, then read it
-//! back through the serving admission gate as a self-check. The exported
-//! file is what `cocktail-serve serve --bundle <path>` consumes.
+//! `cocktail-serve` controller bundle (with its embedded formal safety
+//! certificate) after verification, then read it back through the serving
+//! admission gate as a self-check. The exported file is what
+//! `cocktail-serve serve --bundle <path>` consumes.
+//!
+//! Pass `--verify` to run the certification self-check: the safety
+//! certificate is serialized, re-derived from scratch, and the two are
+//! required to agree exactly (wall-clock excluded) — the determinism
+//! contract the serving admission gate relies on.
 
 #![allow(
     clippy::expect_used,
@@ -31,9 +37,8 @@ use cocktail_core::metrics::{evaluate, evaluate_with_telemetry, EvalConfig};
 use cocktail_core::pipeline::Cocktail;
 use cocktail_core::report::render_telemetry_summary;
 use cocktail_core::supervisor::SupervisorConfig;
-use cocktail_core::{Preset, SystemId};
+use cocktail_core::{certify_student, Preset, SystemId};
 use cocktail_obs::{read_jsonl, summarize, JsonlSink, NullSink, Telemetry};
-use cocktail_verify::{invariant_set, BernsteinCertificate, CertificateConfig, InvariantConfig};
 use std::sync::Arc;
 
 /// The path following `flag` on the command line, if present.
@@ -59,6 +64,7 @@ fn export_bundle(
     sys_id: SystemId,
     result: &cocktail_core::pipeline::CocktailResult,
     config: &cocktail_core::pipeline::CocktailConfig,
+    tel: &dyn Telemetry,
 ) {
     use cocktail_serve::bundle::{fnv1a_64, ControllerBundle, Provenance};
 
@@ -67,23 +73,41 @@ fn export_bundle(
         config_hash: fnv1a_64(format!("{config:?}").as_bytes()),
         crate_version: env!("CARGO_PKG_VERSION").to_string(),
     };
-    let bundle = ControllerBundle::package(
+    let bundle = ControllerBundle::package_with(
         sys_id,
         result.kappa_star.network().clone(),
         result.kappa_star.scale().to_vec(),
         provenance,
+        None, // canonical default verification budgets
+        tel,
     )
     .expect("verified student packages");
     bundle.save(path).expect("bundle saves");
-    println!("\nexported controller bundle to {}", path.display());
+    println!(
+        "\nexported controller bundle (format v{}) to {}",
+        bundle.version,
+        path.display()
+    );
 
     let reloaded = ControllerBundle::load(path).expect("bundle loads back");
     match cocktail_serve::admit(reloaded) {
-        Ok(admitted) => println!(
-            "admission self-check: ADMITTED (claim {:.4}, recomputed {:.4}, \
-             sweep lower bound {:.4})",
-            admitted.bundle.lipschitz_claim, admitted.recomputed_bound, admitted.sweep_lower_bound
-        ),
+        Ok(admitted) => {
+            println!(
+                "admission self-check: ADMITTED (claim {:.4}, recomputed {:.4}, \
+                 sweep lower bound {:.4})",
+                admitted.bundle.lipschitz_claim,
+                admitted.recomputed_bound,
+                admitted.sweep_lower_bound
+            );
+            let cert = admitted
+                .safety
+                .expect("exported bundle carries a safety certificate");
+            println!(
+                "admission self-check: safety verdict {} re-derived in {:.0} ms",
+                cert.verdict.label(),
+                cert.verify_ms
+            );
+        }
         Err(e) => panic!("exported bundle failed its own admission gate: {e}"),
     }
 }
@@ -181,45 +205,60 @@ fn main() {
         );
     }
 
-    // ---- stage 4: formal verification of the robust student
-    println!("\nverifying kappa_star (Bernstein certificate + invariant set) ...");
-    let cert = BernsteinCertificate::build(
-        result.kappa_star.network(),
-        result.kappa_star.scale(),
-        &sys.verification_domain(),
-        &CertificateConfig {
-            degree: 4,
-            tolerance: 0.15,
-            max_pieces: 1 << 18,
-            error_samples_per_dim: 9,
-        },
-    )
-    .expect("certificate fits the budget");
+    // ---- stage 4: the formal safety-certification stage (Bernstein
+    // certificate with partition refinement, closed-loop reachability,
+    // control-invariant set — one serializable, re-derivable artifact)
+    println!("\ncertifying kappa_star (Bernstein + reachability + invariant set) ...");
+    let cert = certify_student(sys_id, result.kappa_star.as_ref(), None, workers, &*tel)
+        .expect("default budgets certify the distilled student");
     println!(
-        "certificate: {} pieces, eps = {:.3}, L = {:.1}",
-        cert.piece_count(),
-        cert.epsilon(),
-        cert.lipschitz()
+        "safety certificate: verdict {} — {} pieces (eps {:.3}, L {:.1}, {} splits), \
+         reach {} steps (peak {} boxes, safe {}), invariant {}/{} cells alive \
+         ({} sweeps, digest {:016x}), verified in {:.0} ms",
+        cert.verdict.label(),
+        cert.pieces,
+        cert.epsilon,
+        cert.lipschitz,
+        cert.refinement_splits,
+        cert.reach_steps,
+        cert.reach_peak_boxes,
+        cert.reach_safe,
+        cert.invariant_alive,
+        cert.invariant_cells,
+        cert.invariant_iterations,
+        cert.invariant_digest,
+        cert.verify_ms
     );
-    let inv = invariant_set(
-        sys.as_ref(),
-        &cert,
-        &InvariantConfig {
-            grid: 60,
-            max_iterations: 1000,
-        },
-    )
-    .expect("dimensions agree");
-    println!(
-        "invariant set: {:.1}% of X certified invariant in {:.2?} ({} fixpoint sweeps)",
-        100.0 * inv.alive_fraction(),
-        inv.duration,
-        inv.iterations
-    );
+
+    // ---- optional: the determinism self-check behind the admission gate
+    if std::env::args().any(|a| a == "--verify") {
+        println!("re-deriving the certificate from scratch (--verify self-check) ...");
+        let json = serde_json::to_string(&cert).expect("certificate serializes");
+        let fresh = certify_student(
+            sys_id,
+            result.kappa_star.as_ref(),
+            Some(&cert.params),
+            workers,
+            &*tel,
+        )
+        .expect("re-derivation succeeds under the same budgets");
+        assert!(
+            cert.matches(&fresh, 0.0),
+            "certificate must re-derive exactly: {:?}",
+            cert.diff(&fresh, 0.0)
+        );
+        println!(
+            "self-check: OK — {} byte certificate re-derives bit-for-bit \
+             (modulo wall-clock: {:.0} ms vs {:.0} ms)",
+            json.len(),
+            cert.verify_ms,
+            fresh.verify_ms
+        );
+    }
 
     // ---- optional: export the verified student as a serving bundle
     if let Some(path) = flag_path("--export-bundle") {
-        export_bundle(&path, sys_id, &result, &pipeline_cfg);
+        export_bundle(&path, sys_id, &result, &pipeline_cfg, &*tel);
     }
 
     // ---- telemetry: read the stream back and print the aggregate view
